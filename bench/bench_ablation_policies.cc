@@ -1,0 +1,101 @@
+// Ablation bench (DESIGN.md Sec. 5): the output-policy knobs of Sec. V-A /
+// III-D, measured on one revision-heavy workload:
+//
+//   * adjust policy     — lazy (Theorem 1) vs. eager reflection;
+//   * insert policy     — first-insert-wins vs. wait-half-frozen vs.
+//                         quorum;
+//   * stable lag        — track the max input stable point vs. trail it;
+//   * R4 reconciliation — exact-match vs. count-only.
+//
+// Counters: output element counts (chattiness) and wall time (throughput).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "stream/sink.h"
+
+namespace lmerge::bench {
+namespace {
+
+const std::vector<ElementSequence>& Inputs() {
+  static const std::vector<ElementSequence>* inputs = [] {
+    workload::GeneratorConfig config = PaperConfig(10000, 101);
+    config.stable_freq = 0.01;
+    config.event_duration = 30000;
+    config.duration_jitter = 10000;
+    config.payload_string_bytes = 64;
+    const workload::LogicalHistory history =
+        workload::GenerateHistory(config);
+    return new std::vector<ElementSequence>(
+        MakeReplicas(history, 3, /*disorder=*/0.4, /*split=*/0.5, 4242));
+  }();
+  return *inputs;
+}
+
+void RunPolicy(benchmark::State& state, MergeVariant variant,
+               MergePolicy policy) {
+  const std::vector<ElementSequence>& inputs = Inputs();
+  int64_t inserts = 0;
+  int64_t adjusts = 0;
+  int64_t delivered = 0;
+  for (auto _ : state) {
+    CountingSink sink;
+    auto algo = CreateMergeAlgorithm(variant, 3, &sink, policy);
+    delivered += RoundRobinDeliver(algo.get(), inputs);
+    inserts = sink.inserts();
+    adjusts = sink.adjusts();
+  }
+  state.SetItemsProcessed(delivered);
+  state.counters["out_inserts"] =
+      benchmark::Counter(static_cast<double>(inserts));
+  state.counters["out_adjusts"] =
+      benchmark::Counter(static_cast<double>(adjusts));
+}
+
+void BM_Ablation_R3Lazy(benchmark::State& state) {
+  RunPolicy(state, MergeVariant::kLMR3Plus, MergePolicy::Default());
+}
+void BM_Ablation_R3Eager(benchmark::State& state) {
+  RunPolicy(state, MergeVariant::kLMR3Plus, MergePolicy::Eager());
+}
+void BM_Ablation_R3WaitHalfFrozen(benchmark::State& state) {
+  RunPolicy(state, MergeVariant::kLMR3Plus, MergePolicy::Conservative());
+}
+void BM_Ablation_R3Quorum2of3(benchmark::State& state) {
+  MergePolicy policy;
+  policy.insert_policy = InsertPolicy::kFractionThreshold;
+  policy.insert_fraction = 0.6;
+  RunPolicy(state, MergeVariant::kLMR3Plus, policy);
+}
+void BM_Ablation_R3StableLag(benchmark::State& state) {
+  MergePolicy policy;
+  policy.stable_lag = state.range(0);
+  RunPolicy(state, MergeVariant::kLMR3Plus, policy);
+  state.counters["stable_lag"] =
+      benchmark::Counter(static_cast<double>(state.range(0)));
+}
+void BM_Ablation_R4Exact(benchmark::State& state) {
+  RunPolicy(state, MergeVariant::kLMR4, MergePolicy::Default());
+}
+void BM_Ablation_R4CountOnly(benchmark::State& state) {
+  MergePolicy policy;
+  policy.r4_exact_match = false;
+  RunPolicy(state, MergeVariant::kLMR4, policy);
+}
+
+BENCHMARK(BM_Ablation_R3Lazy)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ablation_R3Eager)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ablation_R3WaitHalfFrozen)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ablation_R3Quorum2of3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ablation_R3StableLag)
+    ->Arg(0)
+    ->Arg(5000)
+    ->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ablation_R4Exact)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ablation_R4CountOnly)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lmerge::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Figure 2 — Memory vs. number of input streams, in-order insert-only
+// inputs, all LMerge variants.
+//
+// Paper shape: LMR0/LMR1/LMR2 negligible and overlapping; LMR3+ modestly
+// higher but nearly flat in the number of inputs (payloads shared in in2t);
+// LMR3- much higher and growing linearly (payloads duplicated per input).
+//
+// Reported counter: peak operator state in bytes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "stream/sink.h"
+
+namespace lmerge::bench {
+namespace {
+
+const workload::LogicalHistory& History() {
+  static const workload::LogicalHistory* history = [] {
+    auto* h = new workload::LogicalHistory(
+        workload::GenerateHistory(PaperConfig(20000)));
+    return h;
+  }();
+  return *history;
+}
+
+void MemoryInOrder(benchmark::State& state, MergeVariant variant) {
+  const int num_inputs = static_cast<int>(state.range(0));
+  // In-order presentation replicated across inputs.
+  const ElementSequence stream = workload::RenderInOrder(History());
+  std::vector<ElementSequence> inputs(static_cast<size_t>(num_inputs),
+                                      stream);
+  int64_t peak = 0;
+  for (auto _ : state) {
+    NullSink sink;
+    auto algo = CreateMergeAlgorithm(variant, num_inputs, &sink);
+    peak = RoundRobinPeakMemory(algo.get(), inputs);
+    benchmark::DoNotOptimize(peak);
+  }
+  state.counters["peak_bytes"] =
+      benchmark::Counter(static_cast<double>(peak));
+  state.counters["inputs"] = benchmark::Counter(num_inputs);
+}
+
+#define FIG2_BENCH(variant_enum, name)                                   \
+  void BM_Fig2_##name(benchmark::State& state) {                        \
+    MemoryInOrder(state, MergeVariant::variant_enum);                   \
+  }                                                                      \
+  BENCHMARK(BM_Fig2_##name)                                              \
+      ->DenseRange(2, 10, 2)                                             \
+      ->Iterations(1)                                                    \
+      ->Unit(benchmark::kMillisecond)
+
+FIG2_BENCH(kLMR0, LMR0);
+FIG2_BENCH(kLMR1, LMR1);
+FIG2_BENCH(kLMR2, LMR2);
+FIG2_BENCH(kLMR3Plus, LMR3Plus);
+FIG2_BENCH(kLMR3Minus, LMR3Minus);
+FIG2_BENCH(kLMR4, LMR4);
+
+}  // namespace
+}  // namespace lmerge::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Figure 3 — Throughput vs. number of input streams, in-order insert-only
+// inputs, all LMerge variants.
+//
+// Paper shape: the simpler algorithms (LMR0/LMR1/LMR2) are fastest; LMR3+
+// clearly beats LMR3- thanks to the optimized in2t data structure; LMR4 is
+// the slowest general variant.
+//
+// Reported counter: merged input elements per second.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "stream/sink.h"
+
+namespace lmerge::bench {
+namespace {
+
+const workload::LogicalHistory& History() {
+  static const workload::LogicalHistory* history = [] {
+    return new workload::LogicalHistory(
+        workload::GenerateHistory(PaperConfig(20000)));
+  }();
+  return *history;
+}
+
+void ThroughputInOrder(benchmark::State& state, MergeVariant variant) {
+  const int num_inputs = static_cast<int>(state.range(0));
+  const ElementSequence stream = workload::RenderInOrder(History());
+  std::vector<ElementSequence> inputs(static_cast<size_t>(num_inputs),
+                                      stream);
+  int64_t delivered = 0;
+  for (auto _ : state) {
+    NullSink sink;
+    auto algo = CreateMergeAlgorithm(variant, num_inputs, &sink);
+    delivered += RoundRobinDeliver(algo.get(), inputs);
+  }
+  state.SetItemsProcessed(delivered);
+  state.counters["inputs"] = benchmark::Counter(num_inputs);
+}
+
+#define FIG3_BENCH(variant_enum, name)                                   \
+  void BM_Fig3_##name(benchmark::State& state) {                        \
+    ThroughputInOrder(state, MergeVariant::variant_enum);               \
+  }                                                                      \
+  BENCHMARK(BM_Fig3_##name)->DenseRange(2, 10, 4)->Unit(benchmark::kMillisecond)
+
+FIG3_BENCH(kLMR0, LMR0);
+FIG3_BENCH(kLMR1, LMR1);
+FIG3_BENCH(kLMR2, LMR2);
+FIG3_BENCH(kLMR3Plus, LMR3Plus);
+FIG3_BENCH(kLMR3Minus, LMR3Minus);
+FIG3_BENCH(kLMR4, LMR4);
+
+}  // namespace
+}  // namespace lmerge::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Figure 4 — Output size (number of adjust elements) as input disorder
+// increases, comparing the stream's own adjust traffic ("without LMerge")
+// to LMerge's output ("with LMerge").
+//
+// Setup per Sec. VI-C.2: disordered streams are fed into a sub-query that
+// generates many adjust() elements (aggressive aggregate + lifetime
+// modification); two divergent copies of the fragment output feed LMR3+.
+// Paper shape: adjusts grow steeply with disorder, but the lazy output
+// policy keeps LMerge's output size at or below the input's (intermediate
+// adjusts that never make the final TDB are suppressed).  The `eager`
+// variants quantify the policy ablation from DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "stream/sink.h"
+#include "workload/subquery.h"
+
+namespace lmerge::bench {
+namespace {
+
+// Two divergent presentations of ONE logical source, each pushed through
+// its own copy of the adjust-producing fragment.
+std::vector<ElementSequence> FragmentPair(double disorder) {
+  workload::GeneratorConfig config = PaperConfig(15000, 9);
+  config.max_disorder_elements = 120;  // stragglers cross window boundaries
+  config.payload_string_bytes = 16;  // adjust counting, not memory, matters
+  config.key_range = 10;  // several events per (window, group) slot
+  const workload::LogicalHistory history =
+      workload::GenerateHistory(config);
+  std::vector<ElementSequence> out;
+  for (uint64_t v = 0; v < 2; ++v) {
+    workload::VariantOptions options;
+    options.disorder_fraction = disorder;
+    options.max_disorder_elements = 120;
+    options.seed = 100 + v;
+    const ElementSequence raw =
+        GeneratePhysicalVariant(history, options);
+    out.push_back(workload::MakeAdjustHeavyStream(
+        raw, /*window_size=*/600, /*max_lifetime=*/200000,
+        /*group_column=*/0));
+  }
+  return out;
+}
+
+void OutputSize(benchmark::State& state, AdjustPolicy policy) {
+  const double disorder = static_cast<double>(state.range(0)) / 100.0;
+  const std::vector<ElementSequence> pair = FragmentPair(disorder);
+  const ElementSequence& in1 = pair[0];
+  const ElementSequence& in2 = pair[1];
+  int64_t adjusts_in = 0;
+  for (const auto& e : in1) adjusts_in += e.is_adjust() ? 1 : 0;
+
+  int64_t adjusts_out = 0;
+  int64_t elements_out = 0;
+  for (auto _ : state) {
+    CountingSink sink;
+    MergePolicy merge_policy;
+    merge_policy.adjust_policy = policy;
+    auto algo = CreateMergeAlgorithm(MergeVariant::kLMR3Plus, 2, &sink,
+                                     merge_policy);
+    RoundRobinDeliver(algo.get(), {in1, in2});
+    adjusts_out = sink.adjusts();
+    elements_out = sink.total();
+  }
+  state.counters["disorder_pct"] = benchmark::Counter(state.range(0));
+  state.counters["adjusts_no_lmerge"] =
+      benchmark::Counter(static_cast<double>(adjusts_in));
+  state.counters["adjusts_lmerge_out"] =
+      benchmark::Counter(static_cast<double>(adjusts_out));
+  state.counters["elements_out"] =
+      benchmark::Counter(static_cast<double>(elements_out));
+}
+
+void BM_Fig4_LazyPolicy(benchmark::State& state) {
+  OutputSize(state, AdjustPolicy::kLazy);
+}
+void BM_Fig4_EagerPolicy(benchmark::State& state) {
+  OutputSize(state, AdjustPolicy::kEager);
+}
+
+BENCHMARK(BM_Fig4_LazyPolicy)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(30)
+    ->Arg(40)
+    ->Arg(50)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig4_EagerPolicy)
+    ->Arg(0)
+    ->Arg(20)
+    ->Arg(50)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lmerge::bench
+
+BENCHMARK_MAIN();

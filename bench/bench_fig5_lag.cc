@@ -1,0 +1,115 @@
+// Figure 5 — Throughput as stream lag increases.
+//
+// Setup per Sec. VI-C.3: three input streams with 20% disorder,
+// StableFreq 0.1%, 40-second lifetimes; one or two streams lag the leader
+// by a fixed delay.  Paper shape: throughput *improves* with lag (elements
+// from lagging streams arrive behind the output stable point and are
+// dropped cheaply), and improves more when more streams lag.
+//
+// Lag is realized by interleaving: at any instant the lagging replica is
+// delivering elements `lag_seconds` older than the leader's.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "engine/delay.h"
+#include "engine/simulator.h"
+#include "stream/sink.h"
+
+namespace lmerge::bench {
+namespace {
+
+// Builds the interleaved delivery schedule: each replica at `rate`
+// elements/sec, replicas beyond the first delayed by lag_seconds.
+// Substitution note (also recorded in EXPERIMENTS.md): application time is
+// pinned to arrival time (5000 elements/sec -> 200 us gaps) and lifetimes
+// are scaled to 1 s so that a multi-second lag actually places the lagging
+// replica behind *fully frozen* (already purged) state — the regime in
+// which LMerge "can directly drop tuples from the lagging streams".  The
+// paper's absolute 40 s lifetime with a <=5 s lag exercises the same code
+// path only at its testbed's much longer run lengths.
+std::vector<ElementSequence> Replicas() {
+  workload::GeneratorConfig config = PaperConfig(15000, 7);
+  config.stable_freq = 0.001;         // StableFreq 0.1%
+  config.max_gap = 400;               // avg 200 us between starts
+  config.event_duration = 1'000'000;  // 1 s lifetimes
+  config.duration_jitter = 0;
+  config.payload_string_bytes = 1000;
+  static const std::vector<ElementSequence>* replicas = [&config] {
+    const workload::LogicalHistory history =
+        workload::GenerateHistory(config);
+    return new std::vector<ElementSequence>(
+        MakeReplicas(history, 3, /*disorder=*/0.2, /*split=*/0.0, 99));
+  }();
+  return *replicas;
+}
+
+void Lag(benchmark::State& state, int lagging_count) {
+  const double lag_seconds = static_cast<double>(state.range(0)) / 10.0;
+  const double rate = 5000.0;
+  const std::vector<ElementSequence> replicas = Replicas();
+
+  int64_t delivered = 0;
+  int64_t dropped = 0;
+  for (auto _ : state) {
+    NullSink out;
+    auto algo = CreateMergeAlgorithm(MergeVariant::kLMR3Plus, 3, &out);
+    // Merge-by-arrival: replica r's element i arrives at i/rate (+ lag).
+    size_t next[3] = {0, 0, 0};
+    while (true) {
+      int best = -1;
+      double best_time = 0;
+      for (int r = 0; r < 3; ++r) {
+        if (next[r] >= replicas[static_cast<size_t>(r)].size()) continue;
+        const double lag =
+            (r >= 3 - lagging_count) ? lag_seconds : 0.0;
+        const double t = static_cast<double>(next[r]) / rate + lag;
+        if (best < 0 || t < best_time) {
+          best = r;
+          best_time = t;
+        }
+      }
+      if (best < 0) break;
+      const Status status = algo->OnElement(
+          best, replicas[static_cast<size_t>(best)][next[best]]);
+      LM_CHECK(status.ok());
+      ++next[best];
+      ++delivered;
+    }
+    dropped = algo->stats().dropped;
+  }
+  state.SetItemsProcessed(delivered);
+  state.counters["lag_seconds"] =
+      benchmark::Counter(static_cast<double>(state.range(0)) / 10.0);
+  state.counters["lagging_streams"] = benchmark::Counter(lagging_count);
+  // Deterministic evidence of the mechanism: elements from lagging streams
+  // that arrive behind already-frozen state and are dropped cheaply.
+  state.counters["cheap_drops"] =
+      benchmark::Counter(static_cast<double>(dropped));
+}
+
+void BM_Fig5_OneLagging(benchmark::State& state) { Lag(state, 1); }
+void BM_Fig5_TwoLagging(benchmark::State& state) { Lag(state, 2); }
+
+// Lag 0 .. 5 s in 1 s steps (range value = tenths of a second).
+BENCHMARK(BM_Fig5_OneLagging)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(30)
+    ->Arg(40)
+    ->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig5_TwoLagging)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(30)
+    ->Arg(40)
+    ->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lmerge::bench
+
+BENCHMARK_MAIN();

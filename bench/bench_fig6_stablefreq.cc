@@ -1,0 +1,68 @@
+// Figure 6 — Memory (left) and throughput (right) as StableFreq increases
+// from 0.001% to 1%.
+//
+// Paper shape: memory *decreases* with StableFreq (more frequent cleanup of
+// fully frozen index nodes); throughput of the general algorithms (LMR3+,
+// LMR4) *decreases* (each stable element triggers compatibility checks over
+// half-frozen nodes), while the simple variants are insensitive.
+//
+// Counters: peak_bytes and items/sec per (variant, StableFreq).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "stream/sink.h"
+
+namespace lmerge::bench {
+namespace {
+
+// range(0) encodes StableFreq in units of 0.001% (i.e. 1 -> 0.00001).
+double DecodeFreq(int64_t range) {
+  return static_cast<double>(range) * 1e-5;
+}
+
+std::vector<ElementSequence> ReplicasFor(double stable_freq) {
+  workload::GeneratorConfig config = PaperConfig(15000, 21);
+  config.stable_freq = stable_freq;
+  config.payload_string_bytes = 200;
+  const workload::LogicalHistory history =
+      workload::GenerateHistory(config);
+  return MakeReplicas(history, 2, /*disorder=*/0.2, /*split=*/0.3, 5);
+}
+
+void StableFreqSweep(benchmark::State& state, MergeVariant variant) {
+  const double freq = DecodeFreq(state.range(0));
+  const std::vector<ElementSequence> inputs = ReplicasFor(freq);
+  int64_t peak = 0;
+  int64_t delivered = 0;
+  for (auto _ : state) {
+    NullSink sink;
+    auto algo = CreateMergeAlgorithm(variant, 2, &sink);
+    peak = RoundRobinPeakMemory(algo.get(), inputs, 256);
+    delivered += static_cast<int64_t>(inputs[0].size() + inputs[1].size());
+  }
+  state.SetItemsProcessed(delivered);
+  state.counters["stable_freq_pct"] = benchmark::Counter(freq * 100.0);
+  state.counters["peak_bytes"] =
+      benchmark::Counter(static_cast<double>(peak));
+}
+
+#define FIG6_BENCH(variant_enum, name)                                    \
+  void BM_Fig6_##name(benchmark::State& state) {                         \
+    StableFreqSweep(state, MergeVariant::variant_enum);                  \
+  }                                                                       \
+  BENCHMARK(BM_Fig6_##name)                                               \
+      ->Arg(1)      /* 0.001% */                                          \
+      ->Arg(10)     /* 0.01%  */                                          \
+      ->Arg(100)    /* 0.1%   */                                          \
+      ->Arg(1000)   /* 1%     */                                          \
+      ->Unit(benchmark::kMillisecond)
+
+FIG6_BENCH(kLMR3Plus, LMR3Plus);
+FIG6_BENCH(kLMR4, LMR4);
+FIG6_BENCH(kLMR3Minus, LMR3Minus);
+
+}  // namespace
+}  // namespace lmerge::bench
+
+BENCHMARK_MAIN();

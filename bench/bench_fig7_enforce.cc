@@ -1,0 +1,201 @@
+// Figure 7 — Enforcing stream properties vs. merging directly
+// (Sec. VI-D): C+LMR1 (a Cleanse operator ordering each input, feeding the
+// simple LMR1) against LMR3+ and LMR3-, as the number of inputs grows
+// from 2 to 10.
+//
+// Workload: divergent replicas of one logical stream with 50% disorder and
+// 50% of events presented as a provisional insert later revised by an
+// adjust (the paper pushes its stream through an aggregate to get ~36%
+// adjusts; the revision-heavy variants exercise the same merge paths while
+// keeping the paper's long event lifetimes, which is what makes Cleanse
+// buffer).  StableFreq 0.1%.
+//
+// Paper shapes:
+//  * memory: LMR3+ nearly flat in #inputs; C+LMR1 and LMR3- degrade
+//    linearly (private buffers / duplicated payloads per input) — ~7x over
+//    LMR3+ at 10 inputs for C+LMR1;
+//  * throughput (wall-clock per delivered element): LMR3+ fastest;
+//  * latency: C+LMR1 holds every element until the stable point crosses its
+//    Ve — orders of magnitude above LMR3+'s immediate forwarding.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "engine/simulator.h"
+#include "operators/cleanse.h"
+#include "stream/sink.h"
+
+namespace lmerge::bench {
+namespace {
+
+std::vector<ElementSequence> Replicas(int count) {
+  workload::GeneratorConfig config = PaperConfig(20000, 31);
+  config.stable_freq = 0.002;
+  // Lifetimes ~10% of the stream's span: events keep freezing throughout
+  // the run, so Cleanse continuously buffers and releases (a few thousand
+  // active events at any instant).
+  config.event_duration = 30000;
+  config.duration_jitter = 10000;
+  config.payload_string_bytes = 256;
+  const workload::LogicalHistory history =
+      workload::GenerateHistory(config);
+  return MakeReplicas(history, count, /*disorder=*/0.5,
+                      /*split_probability=*/0.5, 700);
+}
+
+// Arrival times per input: each element arrives when its stream "reaches"
+// it — the running maximum of Vs along the sequence (disordered elements
+// arrive late by construction).
+std::vector<std::vector<double>> ArrivalTimes(
+    const std::vector<ElementSequence>& inputs) {
+  std::vector<std::vector<double>> arrivals(inputs.size());
+  for (size_t s = 0; s < inputs.size(); ++s) {
+    double clock = 0;
+    arrivals[s].reserve(inputs[s].size());
+    for (const StreamElement& e : inputs[s]) {
+      clock = std::max(clock,
+                       static_cast<double>(e.vs()) / kTicksPerSecond);
+      arrivals[s].push_back(clock);
+    }
+  }
+  return arrivals;
+}
+
+struct LatencyProbe : ElementSink {
+  const double* now = nullptr;
+  double total = 0;
+  int64_t count = 0;
+  void OnElement(const StreamElement& e) override {
+    if (!e.is_insert()) return;
+    total += *now - static_cast<double>(e.vs()) / kTicksPerSecond;
+    ++count;
+  }
+  double Mean() const { return count == 0 ? 0 : total / count; }
+};
+
+struct RunStats {
+  int64_t peak_bytes = 0;
+  double mean_latency = 0;
+  int64_t delivered = 0;
+};
+
+// Delivers all inputs in global arrival order to `consume`; samples memory
+// via `memory`.
+template <typename ConsumeFn, typename MemoryFn>
+RunStats DeliverByArrival(const std::vector<ElementSequence>& inputs,
+                          double* now, LatencyProbe* probe,
+                          ConsumeFn&& consume, MemoryFn&& memory) {
+  const auto arrivals = ArrivalTimes(inputs);
+  std::vector<size_t> next(inputs.size(), 0);
+  RunStats stats;
+  while (true) {
+    int best = -1;
+    for (size_t s = 0; s < inputs.size(); ++s) {
+      if (next[s] >= inputs[s].size()) continue;
+      if (best < 0 || arrivals[s][next[s]] <
+                          arrivals[static_cast<size_t>(best)]
+                                  [next[static_cast<size_t>(best)]]) {
+        best = static_cast<int>(s);
+      }
+    }
+    if (best < 0) break;
+    const auto b = static_cast<size_t>(best);
+    *now = arrivals[b][next[b]];
+    consume(best, inputs[b][next[b]]);
+    ++next[b];
+    if (++stats.delivered % 512 == 0) {
+      stats.peak_bytes = std::max(stats.peak_bytes, memory());
+    }
+  }
+  stats.peak_bytes = std::max(stats.peak_bytes, memory());
+  stats.mean_latency = probe->Mean();
+  return stats;
+}
+
+RunStats RunDirect(MergeVariant variant, int num_inputs,
+                   const std::vector<ElementSequence>& inputs) {
+  LatencyProbe probe;
+  double now = 0;
+  probe.now = &now;
+  auto algo = CreateMergeAlgorithm(variant, num_inputs, &probe);
+  return DeliverByArrival(
+      inputs, &now, &probe,
+      [&algo](int s, const StreamElement& e) {
+        LM_CHECK(algo->OnElement(s, e).ok());
+      },
+      [&algo] { return algo->StateBytes(); });
+}
+
+RunStats RunCleansed(int num_inputs,
+                     const std::vector<ElementSequence>& inputs) {
+  LatencyProbe probe;
+  double now = 0;
+  probe.now = &now;
+  auto algo = CreateMergeAlgorithm(MergeVariant::kLMR1, num_inputs, &probe);
+
+  struct Feed : ElementSink {
+    MergeAlgorithm* algo;
+    int id;
+    void OnElement(const StreamElement& e) override {
+      LM_CHECK(algo->OnElement(id, e).ok());
+    }
+  };
+  std::vector<std::unique_ptr<Cleanse>> cleanses;
+  std::vector<std::unique_ptr<Feed>> feeds;
+  for (int s = 0; s < num_inputs; ++s) {
+    cleanses.push_back(
+        std::make_unique<Cleanse>("cleanse" + std::to_string(s)));
+    feeds.push_back(std::make_unique<Feed>());
+    feeds.back()->algo = algo.get();
+    feeds.back()->id = s;
+    cleanses.back()->AddSink(feeds.back().get());
+  }
+  return DeliverByArrival(
+      inputs, &now, &probe,
+      [&cleanses](int s, const StreamElement& e) {
+        cleanses[static_cast<size_t>(s)]->Consume(0, e);
+      },
+      [&cleanses, &algo] {
+        int64_t bytes = algo->StateBytes();
+        for (const auto& cleanse : cleanses) bytes += cleanse->StateBytes();
+        return bytes;
+      });
+}
+
+void Fig7(benchmark::State& state, int mode) {
+  const int num_inputs = static_cast<int>(state.range(0));
+  const std::vector<ElementSequence> inputs = Replicas(num_inputs);
+  RunStats stats;
+  for (auto _ : state) {
+    switch (mode) {
+      case 0:
+        stats = RunDirect(MergeVariant::kLMR3Plus, num_inputs, inputs);
+        break;
+      case 1:
+        stats = RunDirect(MergeVariant::kLMR3Minus, num_inputs, inputs);
+        break;
+      default:
+        stats = RunCleansed(num_inputs, inputs);
+    }
+  }
+  state.SetItemsProcessed(stats.delivered * state.iterations());
+  state.counters["inputs"] = benchmark::Counter(num_inputs);
+  state.counters["peak_bytes"] =
+      benchmark::Counter(static_cast<double>(stats.peak_bytes));
+  state.counters["mean_latency_s"] = benchmark::Counter(stats.mean_latency);
+}
+
+void BM_Fig7_LMR3Plus(benchmark::State& state) { Fig7(state, 0); }
+void BM_Fig7_LMR3Minus(benchmark::State& state) { Fig7(state, 1); }
+void BM_Fig7_CleansePlusLMR1(benchmark::State& state) { Fig7(state, 2); }
+
+BENCHMARK(BM_Fig7_LMR3Plus)->DenseRange(2, 10, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig7_LMR3Minus)->DenseRange(2, 10, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig7_CleansePlusLMR1)
+    ->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lmerge::bench
+
+BENCHMARK_MAIN();

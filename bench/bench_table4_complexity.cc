@@ -1,0 +1,149 @@
+// Table IV — Empirical validation of the runtime and space complexity of the
+// LMerge algorithms, by sweeping the parameters the table is stated in:
+//   s — number of input streams,
+//   w — live (not fully frozen) unique (Vs, payload) keys,
+//   d — elements sharing a (Vs, payload) (R4 only).
+//
+// Expected scaling:
+//   R0/R1/R2: O(1)/O(s)/O(s) insert time, O(1)/O(s)/O(g p) space;
+//   R3: O(lg w) insert, O(w (p + s)) space — time grows slowly with w,
+//       space linear in w but near-flat in s;
+//   R4: additional lg d factor and O(w (p + s d)) space.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "stream/sink.h"
+
+namespace lmerge::bench {
+namespace {
+
+// Inserts `live` events (unique keys, lifetimes open past the horizon) and
+// then times additional inserts against the loaded index.
+void InsertTimeVsLiveKeys(benchmark::State& state, MergeVariant variant) {
+  const int64_t live = state.range(0);
+  NullSink sink;
+  auto algo = CreateMergeAlgorithm(variant, 2, &sink);
+  for (int64_t i = 0; i < live; ++i) {
+    LM_CHECK(algo->OnElement(0, StreamElement::Insert(
+                                    Row::OfInt(i), i, 1000000000 + i))
+                 .ok());
+  }
+  int64_t key = live;
+  for (auto _ : state) {
+    LM_CHECK(algo->OnElement(0, StreamElement::Insert(Row::OfInt(key), key,
+                                                      1000000000 + key))
+                 .ok());
+    ++key;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["live_keys_w"] = benchmark::Counter(
+      static_cast<double>(live));
+  state.counters["state_bytes"] =
+      benchmark::Counter(static_cast<double>(algo->StateBytes()));
+}
+
+void BM_Table4_R3InsertVsW(benchmark::State& state) {
+  InsertTimeVsLiveKeys(state, MergeVariant::kLMR3Plus);
+}
+void BM_Table4_R4InsertVsW(benchmark::State& state) {
+  InsertTimeVsLiveKeys(state, MergeVariant::kLMR4);
+}
+void BM_Table4_R0InsertVsW(benchmark::State& state) {
+  InsertTimeVsLiveKeys(state, MergeVariant::kLMR0);
+}
+BENCHMARK(BM_Table4_R3InsertVsW)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_Table4_R4InsertVsW)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_Table4_R0InsertVsW)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// Space as a function of the number of streams s, at fixed w: R3's in2t
+// shares payloads (near-flat); LMR3- duplicates them (linear).
+void SpaceVsStreams(benchmark::State& state, MergeVariant variant) {
+  const int streams = static_cast<int>(state.range(0));
+  const int64_t live = 2000;
+  const std::string blob(1000, 'b');
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    NullSink sink;
+    auto algo = CreateMergeAlgorithm(variant, streams, &sink);
+    for (int64_t i = 0; i < live; ++i) {
+      for (int s = 0; s < streams; ++s) {
+        LM_CHECK(algo->OnElement(
+                         s, StreamElement::Insert(
+                                Row::OfIntAndString(i, blob), i,
+                                1000000000 + i))
+                     .ok());
+      }
+    }
+    bytes = algo->StateBytes();
+  }
+  state.counters["streams_s"] = benchmark::Counter(streams);
+  state.counters["state_bytes"] =
+      benchmark::Counter(static_cast<double>(bytes));
+  state.counters["bytes_per_key"] = benchmark::Counter(
+      static_cast<double>(bytes) / static_cast<double>(live));
+}
+
+void BM_Table4_R3SpaceVsS(benchmark::State& state) {
+  SpaceVsStreams(state, MergeVariant::kLMR3Plus);
+}
+void BM_Table4_R3MinusSpaceVsS(benchmark::State& state) {
+  SpaceVsStreams(state, MergeVariant::kLMR3Minus);
+}
+BENCHMARK(BM_Table4_R3SpaceVsS)->Arg(2)->Arg(4)->Arg(8)->Iterations(1);
+BENCHMARK(BM_Table4_R3MinusSpaceVsS)->Arg(2)->Arg(4)->Arg(8)->Iterations(1);
+
+// R4 insert/adjust cost as d (duplicates per key) grows: the extra lg d of
+// the in3t third tier.
+void BM_Table4_R4InsertVsD(benchmark::State& state) {
+  const int64_t dups = state.range(0);
+  NullSink sink;
+  auto algo = CreateMergeAlgorithm(MergeVariant::kLMR4, 2, &sink);
+  // One hot key with `dups` distinct end times.
+  for (int64_t d = 0; d < dups; ++d) {
+    LM_CHECK(algo->OnElement(0, StreamElement::Insert(Row::OfInt(7), 10,
+                                                      1000000 + d))
+                 .ok());
+  }
+  int64_t ve = 1000000 + dups;
+  for (auto _ : state) {
+    LM_CHECK(algo->OnElement(0, StreamElement::Insert(Row::OfInt(7), 10,
+                                                      ve))
+                 .ok());
+    ++ve;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["dups_d"] = benchmark::Counter(
+      static_cast<double>(dups));
+}
+BENCHMARK(BM_Table4_R4InsertVsD)->Arg(16)->Arg(256)->Arg(4096);
+
+// Stable-processing cost: O(c lg w + h) — proportional to the number of
+// events frozen per stable element.
+void BM_Table4_R3StableCost(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  NullSink sink;
+  int64_t processed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto algo = CreateMergeAlgorithm(MergeVariant::kLMR3Plus, 2, &sink);
+    for (int64_t i = 0; i < batch; ++i) {
+      LM_CHECK(algo->OnElement(
+                       0, StreamElement::Insert(Row::OfInt(i), i, i + 10))
+                   .ok());
+    }
+    state.ResumeTiming();
+    // One stable freezes the whole batch.
+    LM_CHECK(algo->OnElement(0, StreamElement::Stable(batch + 20)).ok());
+    processed += batch;
+  }
+  state.SetItemsProcessed(processed);
+  state.counters["frozen_per_stable_c"] =
+      benchmark::Counter(static_cast<double>(batch));
+}
+BENCHMARK(BM_Table4_R3StableCost)->Arg(1000)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace lmerge::bench
+
+BENCHMARK_MAIN();

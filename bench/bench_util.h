@@ -1,0 +1,101 @@
+// Shared workload configuration for the per-figure benchmark harnesses.
+//
+// Defaults mirror Sec. VI-B: each event carries an integer in [0, 400] and a
+// 1000-byte string; StableFreq defaults to 1%; lifetimes are set so that on
+// the order of 10K events are "active" at any instant; MaxGap bounds the
+// application-time gap between consecutive elements; Disorder defaults to
+// 20%.  Scale (number of elements) is reduced relative to the paper's
+// 200K-400K so that every figure regenerates in seconds; shapes are
+// unaffected.
+
+#ifndef LMERGE_BENCH_BENCH_UTIL_H_
+#define LMERGE_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "stream/element.h"
+#include "workload/generator.h"
+
+namespace lmerge::bench {
+
+inline workload::GeneratorConfig PaperConfig(int64_t num_inserts,
+                                             uint64_t seed = 42) {
+  workload::GeneratorConfig config;
+  config.num_inserts = num_inserts;
+  config.stable_freq = 0.01;           // StableFreq 1%
+  config.max_gap = 20;                 // ticks between consecutive starts
+  config.event_duration = 100000;      // ~10K active events at a time
+  config.duration_jitter = 20000;
+  config.disorder_fraction = 0.2;      // 20% disorder
+  config.max_disorder_elements = 64;
+  config.key_range = 400;              // int field in [0, 400]
+  config.payload_string_bytes = 1000;  // 1000-byte string field
+  config.seed = seed;
+  return config;
+}
+
+// The divergent physical replicas fed to LMerge in the general-case
+// experiments.
+inline std::vector<ElementSequence> MakeReplicas(
+    const workload::LogicalHistory& history, int count, double disorder,
+    double split_probability, uint64_t seed) {
+  std::vector<ElementSequence> replicas;
+  replicas.reserve(static_cast<size_t>(count));
+  for (int v = 0; v < count; ++v) {
+    workload::VariantOptions options;
+    options.disorder_fraction = disorder;
+    options.max_disorder_elements = 64;
+    options.split_probability = split_probability;
+    options.seed = seed + static_cast<uint64_t>(v) * 977;
+    replicas.push_back(GeneratePhysicalVariant(history, options));
+  }
+  return replicas;
+}
+
+// Round-robin delivery of `inputs` into `algo`; samples StateBytes every
+// `sample_every` deliveries and returns the peak.
+inline int64_t RoundRobinPeakMemory(MergeAlgorithm* algo,
+                                    const std::vector<ElementSequence>& inputs,
+                                    int64_t sample_every = 512) {
+  size_t max_len = 0;
+  for (const auto& input : inputs) max_len = std::max(max_len, input.size());
+  int64_t peak = 0;
+  int64_t delivered = 0;
+  for (size_t i = 0; i < max_len; ++i) {
+    for (size_t s = 0; s < inputs.size(); ++s) {
+      if (i >= inputs[s].size()) continue;
+      const Status status =
+          algo->OnElement(static_cast<int>(s), inputs[s][i]);
+      LM_CHECK_MSG(status.ok(), "%s", status.ToString().c_str());
+      if (++delivered % sample_every == 0) {
+        peak = std::max(peak, algo->StateBytes());
+      }
+    }
+  }
+  peak = std::max(peak, algo->StateBytes());
+  return peak;
+}
+
+// Round-robin delivery; returns total elements delivered.
+inline int64_t RoundRobinDeliver(MergeAlgorithm* algo,
+                                 const std::vector<ElementSequence>& inputs) {
+  size_t max_len = 0;
+  for (const auto& input : inputs) max_len = std::max(max_len, input.size());
+  int64_t delivered = 0;
+  for (size_t i = 0; i < max_len; ++i) {
+    for (size_t s = 0; s < inputs.size(); ++s) {
+      if (i >= inputs[s].size()) continue;
+      const Status status =
+          algo->OnElement(static_cast<int>(s), inputs[s][i]);
+      LM_CHECK_MSG(status.ok(), "%s", status.ToString().c_str());
+      ++delivered;
+    }
+  }
+  return delivered;
+}
+
+}  // namespace lmerge::bench
+
+#endif  // LMERGE_BENCH_BENCH_UTIL_H_

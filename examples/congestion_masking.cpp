@@ -1,0 +1,96 @@
+// Masking network congestion (Sec. II-2, VI-E.2): replicas of one stream
+// arrive over independently congested paths; LMerge keeps the consumer's
+// throughput steady as long as one path is healthy.
+//
+//   build/examples/congestion_masking
+
+#include <cstdio>
+
+#include "core/factory.h"
+#include "engine/delay.h"
+#include "engine/simulator.h"
+#include "operators/operator.h"
+#include "workload/generator.h"
+
+using namespace lmerge;
+
+namespace {
+
+class MergeEntry : public Operator {
+ public:
+  MergeEntry(MergeAlgorithm* algo, int inputs)
+      : Operator("merge", inputs), algo_(algo) {}
+
+ protected:
+  void OnElement(int port, const StreamElement& element) override {
+    LM_CHECK(algo_->OnElement(port, element).ok());
+  }
+
+ private:
+  MergeAlgorithm* algo_;
+};
+
+}  // namespace
+
+int main() {
+  constexpr double kRate = 2000.0;
+  workload::GeneratorConfig config;
+  config.num_inserts = 20000;
+  config.stable_freq = 0.01;
+  config.event_duration = 40000;
+  config.max_gap = 20;
+  config.payload_string_bytes = 8;
+  config.seed = 6;
+  const workload::LogicalHistory history =
+      workload::GenerateHistory(config);
+
+  std::vector<ElementSequence> replicas;
+  for (uint64_t v = 0; v < 2; ++v) {
+    workload::VariantOptions options;
+    options.disorder_fraction = 0.2;
+    options.split_probability = 0.0;  // insert-only replicas
+    options.seed = 40 + v;
+    replicas.push_back(GeneratePhysicalVariant(history, options));
+  }
+  // The consumer sees one insert per logical event; with ~1% of the channel
+  // spent on stable() elements the steady-state output rate is just below
+  // the channel rate.
+  const double nominal =
+      kRate * static_cast<double>(config.num_inserts) /
+      static_cast<double>(replicas[0].size());
+
+  Simulator sim;
+  ThroughputRecorder merged_rate(&sim, 0.5);
+  auto algo = CreateMergeAlgorithm(MergeVariant::kLMR3Plus, 2, &merged_rate);
+  MergeEntry entry(algo.get(), 2);
+
+  // Path 0 congests at [2, 4) s; path 1 at [6, 8) s.
+  CongestionConfig path0;
+  path0.rate = kRate;
+  path0.windows = {{2.0, 4.0, 0.0015, 0.0004}};
+  path0.seed = 1;
+  CongestionConfig path1;
+  path1.rate = kRate;
+  path1.windows = {{6.0, 8.0, 0.0015, 0.0004}};
+  path1.seed = 2;
+  sim.AddInput(&entry, 0, ScheduleCongestion(replicas[0], path0));
+  sim.AddInput(&entry, 1, ScheduleCongestion(replicas[1], path1));
+  sim.Run();
+
+  std::printf("consumer-side throughput (LMerge over two congested "
+              "paths):\n");
+  std::printf("%-8s %-12s   path0 congested [2,4)s, path1 [6,8)s\n",
+              "time_s", "events/s");
+  const auto series = merged_rate.RatePerSecond();
+  double min_rate = 1e18;
+  for (size_t b = 0; b + 1 < series.size(); ++b) {
+    std::printf("%-8.1f %-12.0f %s\n", static_cast<double>(b) * 0.5,
+                series[b],
+                series[b] < nominal * 0.8 ? "<-- dip" : "");
+    min_rate = std::min(min_rate, series[b]);
+  }
+  std::printf("\nminimum consumer throughput: %.0f events/s "
+              "(nominal %.0f) — congestion fully masked: %s\n",
+              min_rate, nominal, min_rate > nominal * 0.8 ? "YES" : "NO");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// The paper's running data-center example (Sec. I): per-machine process
+// counts computed by replicated query plans over disordered measurement
+// streams — with the LMerge algorithm chosen automatically from the
+// compile-time stream properties of each plan (Sec. IV-G).
+//
+//   build/examples/datacenter_monitoring
+
+#include <cstdio>
+
+#include "core/lmerge_operator.h"
+#include "engine/graph.h"
+#include "operators/aggregate.h"
+#include "stream/sink.h"
+#include "temporal/tdb.h"
+#include "workload/generator.h"
+
+using namespace lmerge;
+
+int main() {
+  // The measurement source: process events from machines 0..4, each event's
+  // lifetime = the process lifetime.  Transmission disorders each replica's
+  // copy differently.
+  workload::GeneratorConfig config;
+  config.num_inserts = 3000;
+  config.stable_freq = 0.03;
+  config.event_duration = 900;
+  config.duration_jitter = 400;
+  config.max_gap = 8;
+  config.key_range = 4;  // machine id
+  config.payload_string_bytes = 6;
+  config.seed = 3;
+  workload::LogicalHistory history = workload::GenerateHistory(config);
+  Timestamp max_ve = 0;
+  for (const Event& e : history.events) max_ve = std::max(max_ve, e.ve);
+  history.stable_times.push_back(max_ve + 1);
+
+  // Two replicated plans: grouped process count per machine per window.
+  QueryGraph graph;
+  AggregateConfig agg_config;
+  agg_config.window_size = 2000;
+  agg_config.group_column = 0;  // machine id
+  agg_config.mode = AggregateMode::kAggressive;
+  auto* plan1 = graph.Add<GroupedAggregate>("count-per-machine-1",
+                                            agg_config);
+  auto* plan2 = graph.Add<GroupedAggregate>("count-per-machine-2",
+                                            agg_config);
+
+  // What the sources guarantee: insert-only with unique (Vs, payload), but
+  // NOT ordered (network disorder).
+  StreamProperties source;
+  source.insert_only = true;
+  source.vs_payload_key = true;
+  graph.DeclareEntry(plan1, 0, source);
+  graph.DeclareEntry(plan2, 0, source);
+
+  // Derive each plan's output properties and pick the merge algorithm.
+  std::map<const Operator*, StreamProperties> derived;
+  LM_CHECK(graph.DeriveAll(&derived).ok());
+  std::printf("source properties:       %s\n", source.ToString().c_str());
+  std::printf("aggregate output:        %s\n",
+              derived[plan1].ToString().c_str());
+  const AlgorithmCase chosen =
+      ChooseAlgorithm({derived[plan1], derived[plan2]});
+  std::printf("selected LMerge variant: %s  (Sec. IV-G example 6)\n\n",
+              AlgorithmCaseName(chosen));
+
+  auto* lmerge = graph.Add<LMergeOperator>(
+      "lm", std::vector<StreamProperties>{derived[plan1], derived[plan2]});
+  graph.Connect(plan1, lmerge, 0);
+  graph.Connect(plan2, lmerge, 1);
+  CollectingSink merged;
+  lmerge->AddSink(&merged);
+
+  // Deliver two divergent physical copies of the measurement stream.
+  workload::VariantOptions v1;
+  v1.disorder_fraction = 0.25;
+  v1.seed = 1;
+  workload::VariantOptions v2;
+  v2.disorder_fraction = 0.4;
+  v2.seed = 2;
+  const ElementSequence in1 = GeneratePhysicalVariant(history, v1);
+  const ElementSequence in2 = GeneratePhysicalVariant(history, v2);
+  for (size_t i = 0; i < std::max(in1.size(), in2.size()); ++i) {
+    if (i < in1.size()) plan1->Consume(0, in1[i]);
+    if (i < in2.size()) plan2->Consume(0, in2[i]);
+  }
+
+  // Reference: the same aggregate over the clean in-order stream.
+  GroupedAggregate reference_plan("reference", agg_config);
+  CollectingSink reference;
+  reference_plan.AddSink(&reference);
+  for (const StreamElement& e : workload::RenderInOrder(history)) {
+    reference_plan.Consume(0, e);
+  }
+
+  const Tdb got = Tdb::Reconstitute(merged.elements());
+  const Tdb want = Tdb::Reconstitute(reference.elements());
+  std::printf("merged per-machine counts: %lld result events\n",
+              static_cast<long long>(got.EventCount()));
+  std::printf("equal to single clean-plan result: %s\n\n",
+              got.Equals(want) ? "YES" : "NO");
+
+  // A taste of the result: first few (machine, count) windows.
+  int shown = 0;
+  got.ForEach([&shown](const Event& event, int64_t count) {
+    (void)count;
+    if (shown++ >= 5) return;
+    std::printf("  window [%s, %s): machine %lld ran %lld processes\n",
+                TimestampToString(event.vs).c_str(),
+                TimestampToString(event.ve).c_str(),
+                static_cast<long long>(event.payload.field(0).AsInt64()),
+                static_cast<long long>(event.payload.field(1).AsInt64()));
+  });
+  return got.Equals(want) ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// Lightweight assertion macros used throughout the library.
+//
+// The library does not use C++ exceptions (errors that callers are expected
+// to handle are reported through lmerge::Status).  LM_CHECK is for invariant
+// violations and programming errors: it logs the failing condition with its
+// source location and aborts.  LM_DCHECK compiles away in NDEBUG builds and
+// is used on hot paths (e.g., per-element index maintenance).
+
+#ifndef LMERGE_COMMON_CHECK_H_
+#define LMERGE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lmerge::internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition) {
+  std::fprintf(stderr, "LM_CHECK failed at %s:%d: %s\n", file, line,
+               condition);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace lmerge::internal_check
+
+// Aborts the process when `condition` evaluates to false.
+#define LM_CHECK(condition)                                              \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      ::lmerge::internal_check::CheckFailed(__FILE__, __LINE__,          \
+                                            #condition);                 \
+    }                                                                    \
+  } while (false)
+
+// Like LM_CHECK, with a printf-style message appended to the diagnostics.
+#define LM_CHECK_MSG(condition, ...)                                     \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      std::fprintf(stderr, "LM_CHECK message: " __VA_ARGS__);            \
+      std::fprintf(stderr, "\n");                                        \
+      ::lmerge::internal_check::CheckFailed(__FILE__, __LINE__,          \
+                                            #condition);                 \
+    }                                                                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define LM_DCHECK(condition) \
+  do {                       \
+  } while (false)
+#else
+#define LM_DCHECK(condition) LM_CHECK(condition)
+#endif
+
+#endif  // LMERGE_COMMON_CHECK_H_

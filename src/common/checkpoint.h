@@ -1,0 +1,69 @@
+// Checkpointing: snapshot and restore of operator state.
+//
+// Backs query jumpstart and cutover (Sec. II-4/5): a running query's
+// operator state is serialized, shipped (e.g., to a new machine in a cloud
+// migration), and restored into a fresh instance that continues exactly
+// where the original stood.  Checkpoints carry a magic and version so stale
+// or foreign blobs are rejected rather than misinterpreted.
+
+#ifndef LMERGE_COMMON_CHECKPOINT_H_
+#define LMERGE_COMMON_CHECKPOINT_H_
+
+#include <string>
+
+#include "common/serde.h"
+#include "common/status.h"
+
+namespace lmerge {
+
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+
+  // Serializes the complete operational state.
+  virtual void SaveState(Encoder* encoder) const = 0;
+  // Replaces this instance's state with the serialized one.  On error the
+  // instance must be treated as unusable.
+  virtual Status RestoreState(Decoder* decoder) = 0;
+};
+
+inline constexpr uint32_t kCheckpointMagic = 0x4c4d4347;  // "LMCG"
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+// Wraps SaveState with a header.
+inline std::string SaveCheckpoint(const Checkpointable& target) {
+  Encoder encoder;
+  encoder.WriteU32(kCheckpointMagic);
+  encoder.WriteU32(kCheckpointVersion);
+  target.SaveState(&encoder);
+  return encoder.TakeBytes();
+}
+
+// Verifies the header and restores.
+inline Status LoadCheckpoint(const std::string& bytes,
+                             Checkpointable* target) {
+  Decoder decoder(bytes);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  Status status = decoder.ReadU32(&magic);
+  if (!status.ok()) return status;
+  if (magic != kCheckpointMagic) {
+    return Status::InvalidArgument("not a checkpoint (bad magic)");
+  }
+  status = decoder.ReadU32(&version);
+  if (!status.ok()) return status;
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version));
+  }
+  status = target->RestoreState(&decoder);
+  if (!status.ok()) return status;
+  if (!decoder.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after checkpoint");
+  }
+  return Status::Ok();
+}
+
+}  // namespace lmerge
+
+#endif  // LMERGE_COMMON_CHECKPOINT_H_

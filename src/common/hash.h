@@ -1,0 +1,47 @@
+// Hashing primitives shared by payload hashing and the open-addressing hash
+// table in src/container.
+
+#ifndef LMERGE_COMMON_HASH_H_
+#define LMERGE_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace lmerge {
+
+// Finalization mix from MurmurHash3; turns a weakly mixed 64-bit value into a
+// well distributed one.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// Combines an accumulated hash with the hash of another component.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return Mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+// FNV-1a over raw bytes; used for string payload fields.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+}  // namespace lmerge
+
+#endif  // LMERGE_COMMON_HASH_H_

@@ -1,0 +1,100 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All experiments in the paper use a parameterised synthetic generator; to
+// make every figure reproducible bit-for-bit we route all randomness through
+// an explicitly seeded xoshiro256** generator (seeded via splitmix64, per the
+// reference implementation's recommendation).
+
+#ifndef LMERGE_COMMON_RANDOM_H_
+#define LMERGE_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace lmerge {
+
+// splitmix64 step; used to expand a single seed into generator state.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** — fast, high-quality, 2^256-1 period.  Deterministic given a
+// seed; copyable so a workload can fork independent sub-streams.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : s_) word = SplitMix64(&sm);
+  }
+
+  // Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    LM_DCHECK(lo <= hi);
+    const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+    // Bounded rejection sampling (Lemire-style without multiplication trick;
+    // the simple modulo bias is eliminated by rejecting the tail).
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+    uint64_t v = Next();
+    while (v >= limit) v = Next();
+    return lo + static_cast<int64_t>(v % range);
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Returns true with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Standard normal via Box-Muller.
+  double Normal(double mean, double stddev) {
+    // Discard the second variate for simplicity; determinism is what matters.
+    double u1 = UniformDouble();
+    while (u1 == 0.0) u1 = UniformDouble();
+    const double u2 = UniformDouble();
+    const double z = std::sqrt(-2.0 * std::log(u1)) *
+                     std::cos(2.0 * 3.14159265358979323846 * u2);
+    return mean + stddev * z;
+  }
+
+  // Normal truncated to [lo, hi] by rejection; used for the burst-delay model
+  // of Sec. VI-E ("truncated normal distribution with mean 20 and standard
+  // deviation 5").
+  double TruncatedNormal(double mean, double stddev, double lo, double hi) {
+    LM_DCHECK(lo < hi);
+    for (int i = 0; i < 1000; ++i) {
+      const double v = Normal(mean, stddev);
+      if (v >= lo && v <= hi) return v;
+    }
+    return mean < lo ? lo : (mean > hi ? hi : mean);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_COMMON_RANDOM_H_

@@ -1,0 +1,49 @@
+#include "common/row.h"
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace lmerge {
+
+Row Row::WithField(int64_t i, Value value) const {
+  LM_CHECK(i >= 0 && i < field_count());
+  std::vector<Value> fields = fields_;
+  fields[static_cast<size_t>(i)] = std::move(value);
+  return Row(std::move(fields));
+}
+
+int Row::Compare(const Row& other) const {
+  const size_t n = fields_.size() < other.fields_.size()
+                       ? fields_.size()
+                       : other.fields_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const int c = fields_[i].Compare(other.fields_[i]);
+    if (c != 0) return c;
+  }
+  if (fields_.size() == other.fields_.size()) return 0;
+  return fields_.size() < other.fields_.size() ? -1 : 1;
+}
+
+int64_t Row::DeepSizeBytes() const {
+  int64_t bytes = static_cast<int64_t>(sizeof(Row));
+  for (const Value& v : fields_) bytes += v.DeepSizeBytes();
+  return bytes;
+}
+
+std::string Row::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+void Row::RecomputeHash() {
+  uint64_t h = 0x51ed270b9f1c2b5dULL;
+  for (const Value& v : fields_) h = HashCombine(h, v.Hash());
+  hash_ = h;
+}
+
+}  // namespace lmerge

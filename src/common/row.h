@@ -1,0 +1,75 @@
+// Row: an event payload — a relational tuple of Values.
+//
+// Rows are value types: copyable, totally ordered, hashable.  The LMerge
+// algorithms key their indexes on (Vs, payload), so cheap comparison and
+// hashing of Rows is on the hot path; the precomputed hash is cached.
+
+#ifndef LMERGE_COMMON_ROW_H_
+#define LMERGE_COMMON_ROW_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace lmerge {
+
+class Row {
+ public:
+  Row() = default;
+  explicit Row(std::vector<Value> fields) : fields_(std::move(fields)) {
+    RecomputeHash();
+  }
+  Row(std::initializer_list<Value> fields)
+      : fields_(fields) {
+    RecomputeHash();
+  }
+
+  // Convenience factories for common payload shapes.
+  static Row OfInt(int64_t v) { return Row({Value(v)}); }
+  static Row OfString(std::string v) { return Row({Value(std::move(v))}); }
+  // The paper's generated payloads: an integer in [0,400] plus a string blob.
+  static Row OfIntAndString(int64_t v, std::string s) {
+    return Row({Value(v), Value(std::move(s))});
+  }
+
+  int64_t field_count() const { return static_cast<int64_t>(fields_.size()); }
+  const Value& field(int64_t i) const { return fields_[static_cast<size_t>(i)]; }
+  const std::vector<Value>& fields() const { return fields_; }
+
+  // Returns a new row with `value` replacing field `i`.
+  Row WithField(int64_t i, Value value) const;
+
+  uint64_t hash() const { return hash_; }
+
+  int Compare(const Row& other) const;
+
+  // Bytes attributable to this row for operator state accounting.
+  int64_t DeepSizeBytes() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Row& a, const Row& b) {
+    return a.hash_ == b.hash_ && a.Compare(b) == 0;
+  }
+  friend bool operator!=(const Row& a, const Row& b) { return !(a == b); }
+  friend bool operator<(const Row& a, const Row& b) {
+    return a.Compare(b) < 0;
+  }
+
+ private:
+  void RecomputeHash();
+
+  std::vector<Value> fields_;
+  uint64_t hash_ = 0;
+};
+
+struct RowHash {
+  uint64_t operator()(const Row& row) const { return row.hash(); }
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_COMMON_ROW_H_

@@ -1,0 +1,59 @@
+#include "common/schema.h"
+
+namespace lmerge {
+
+int64_t Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
+Status Schema::ValidateRow(const Row& row) const {
+  if (row.field_count() != column_count()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.field_count()) +
+        " does not match schema arity " + std::to_string(column_count()));
+  }
+  for (int64_t i = 0; i < column_count(); ++i) {
+    const Value& v = row.field(i);
+    if (!v.is_null() && v.type() != column(i).type) {
+      return Status::InvalidArgument(
+          "column '" + column(i).name + "' expects " +
+          ValueTypeName(column(i).type) + " but row has " +
+          ValueTypeName(v.type()));
+    }
+  }
+  return Status::Ok();
+}
+
+Schema Schema::Concat(const Schema& other) const {
+  std::vector<Column> cols = columns_;
+  cols.insert(cols.end(), other.columns_.begin(), other.columns_.end());
+  return Schema(std::move(cols));
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (column_count() != other.column_count()) return false;
+  for (int64_t i = 0; i < column_count(); ++i) {
+    if (column(i).name != other.column(i).name ||
+        column(i).type != other.column(i).type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += ValueTypeName(columns_[i].type);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace lmerge

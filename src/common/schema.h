@@ -1,0 +1,59 @@
+// Schema: named, typed columns for Rows flowing through a query graph.
+//
+// Operators use schemas to resolve column names to indexes at plan-build time
+// (e.g., GroupedAggregate groups by a named column) and to validate that
+// connected operators agree on payload shape.
+
+#ifndef LMERGE_COMMON_SCHEMA_H_
+#define LMERGE_COMMON_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace lmerge {
+
+struct Column {
+  std::string name;
+  ValueType type;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  int64_t column_count() const {
+    return static_cast<int64_t>(columns_.size());
+  }
+  const Column& column(int64_t i) const {
+    return columns_[static_cast<size_t>(i)];
+  }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  // Returns the index of the column named `name`, or -1 if absent.
+  int64_t IndexOf(const std::string& name) const;
+
+  // Verifies that `row` has the right arity and field types (null is allowed
+  // in any column).
+  Status ValidateRow(const Row& row) const;
+
+  // Schema of rows produced by concatenating rows of `this` and `other`
+  // (used by the temporal join).
+  Schema Concat(const Schema& other) const;
+
+  bool Equals(const Schema& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_COMMON_SCHEMA_H_

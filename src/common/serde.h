@@ -1,0 +1,76 @@
+// Binary serialization of the library's value types.
+//
+// Used by the checkpoint facility (engine/checkpoint.h) that backs the
+// query-jumpstart application (Sec. II-4: "seed query state using checkpoint
+// information stored on disk"), and usable as a wire format for shipping
+// stream elements between processes.
+//
+// Format: little-endian, length-prefixed, no alignment.  Integers are
+// varint-free fixed width (simplicity over compactness).  Every Decode
+// validates bounds and returns a Status instead of crashing on corrupt
+// input.
+
+#ifndef LMERGE_COMMON_SERDE_H_
+#define LMERGE_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/status.h"
+#include "common/timestamp.h"
+#include "common/value.h"
+
+namespace lmerge {
+
+// An append-only byte buffer with typed writers.
+class Encoder {
+ public:
+  void WriteU8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v) { WriteU64(static_cast<uint64_t>(v)); }
+  void WriteDouble(double v);
+  void WriteString(const std::string& s);
+
+  void WriteValue(const Value& value);
+  void WriteRow(const Row& row);
+
+  const std::string& bytes() const { return bytes_; }
+  std::string TakeBytes() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+// A bounds-checked reader over a byte span.
+class Decoder {
+ public:
+  explicit Decoder(const std::string& bytes) : bytes_(bytes) {}
+
+  Status ReadU8(uint8_t* v);
+  Status ReadU32(uint32_t* v);
+  Status ReadU64(uint64_t* v);
+  Status ReadI64(int64_t* v) {
+    return ReadU64(reinterpret_cast<uint64_t*>(v));
+  }
+  Status ReadDouble(double* v);
+  Status ReadString(std::string* s);
+
+  Status ReadValue(Value* value);
+  Status ReadRow(Row* row);
+
+  bool AtEnd() const { return offset_ == bytes_.size(); }
+  size_t remaining() const { return bytes_.size() - offset_; }
+
+ private:
+  Status Need(size_t n);
+
+  const std::string& bytes_;
+  size_t offset_ = 0;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_COMMON_SERDE_H_

@@ -1,0 +1,89 @@
+// Error reporting without exceptions.
+//
+// Functions whose failure a caller is expected to handle (stream validation,
+// attach/detach protocol violations, malformed element sequences) return a
+// Status.  Invariant violations use LM_CHECK instead.
+
+#ifndef LMERGE_COMMON_STATUS_H_
+#define LMERGE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace lmerge {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kInternal,
+};
+
+// A success-or-error result; cheap to copy on the success path.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + std::string(": ") + message_;
+  }
+
+ private:
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk:
+        return "OK";
+      case StatusCode::kInvalidArgument:
+        return "INVALID_ARGUMENT";
+      case StatusCode::kFailedPrecondition:
+        return "FAILED_PRECONDITION";
+      case StatusCode::kNotFound:
+        return "NOT_FOUND";
+      case StatusCode::kAlreadyExists:
+        return "ALREADY_EXISTS";
+      case StatusCode::kOutOfRange:
+        return "OUT_OF_RANGE";
+      case StatusCode::kInternal:
+        return "INTERNAL";
+    }
+    return "UNKNOWN";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_COMMON_STATUS_H_

@@ -1,0 +1,37 @@
+// Application-time timestamps.
+//
+// Following the interval-based temporal model of Sec. III of the paper, every
+// event carries a validity interval [Vs, Ve) in application time.  Ve may be
+// +infinity (kInfinity).  Timestamps are 64-bit signed "ticks"; the library
+// does not interpret their unit (benchmarks use microseconds).
+
+#ifndef LMERGE_COMMON_TIMESTAMP_H_
+#define LMERGE_COMMON_TIMESTAMP_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace lmerge {
+
+using Timestamp = int64_t;
+
+// The +infinity validity end time: an event that has started but whose end is
+// not yet known (e.g., a still-running OS process in the paper's data-center
+// example).
+inline constexpr Timestamp kInfinity = std::numeric_limits<int64_t>::max();
+
+// The minimum timestamp; used as the initial value of watermarks such as
+// MaxStable and MaxVs ("-infinity" in the paper's pseudocode).
+inline constexpr Timestamp kMinTimestamp = std::numeric_limits<int64_t>::min();
+
+// Renders `t` for diagnostics ("inf" / "-inf" for the sentinels).
+inline std::string TimestampToString(Timestamp t) {
+  if (t == kInfinity) return "inf";
+  if (t == kMinTimestamp) return "-inf";
+  return std::to_string(t);
+}
+
+}  // namespace lmerge
+
+#endif  // LMERGE_COMMON_TIMESTAMP_H_

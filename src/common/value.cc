@@ -1,0 +1,131 @@
+#include "common/value.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace lmerge {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+bool Value::AsBool() const {
+  LM_CHECK(type() == ValueType::kBool);
+  return std::get<bool>(data_);
+}
+
+int64_t Value::AsInt64() const {
+  LM_CHECK(type() == ValueType::kInt64);
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsDouble() const {
+  LM_CHECK(type() == ValueType::kDouble);
+  return std::get<double>(data_);
+}
+
+const std::string& Value::AsString() const {
+  LM_CHECK(type() == ValueType::kString);
+  return std::get<std::string>(data_);
+}
+
+int Value::Compare(const Value& other) const {
+  if (type() != other.type()) {
+    return static_cast<int>(type()) < static_cast<int>(other.type()) ? -1 : 1;
+  }
+  switch (type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool: {
+      const bool a = std::get<bool>(data_);
+      const bool b = std::get<bool>(other.data_);
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case ValueType::kInt64: {
+      const int64_t a = std::get<int64_t>(data_);
+      const int64_t b = std::get<int64_t>(other.data_);
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case ValueType::kDouble: {
+      const double a = std::get<double>(data_);
+      const double b = std::get<double>(other.data_);
+      if (a == b) return 0;
+      return a < b ? -1 : 1;
+    }
+    case ValueType::kString: {
+      const std::string& a = std::get<std::string>(data_);
+      const std::string& b = std::get<std::string>(other.data_);
+      const int c = a.compare(b);
+      return c == 0 ? 0 : (c < 0 ? -1 : 1);
+    }
+  }
+  return 0;
+}
+
+uint64_t Value::Hash() const {
+  const uint64_t tag = static_cast<uint64_t>(type());
+  switch (type()) {
+    case ValueType::kNull:
+      return Mix64(tag);
+    case ValueType::kBool:
+      return HashCombine(tag, std::get<bool>(data_) ? 1 : 0);
+    case ValueType::kInt64:
+      return HashCombine(tag,
+                         static_cast<uint64_t>(std::get<int64_t>(data_)));
+    case ValueType::kDouble: {
+      const double d = std::get<double>(data_);
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, sizeof(bits));
+      // Normalize -0.0 to +0.0 so equal values hash equally.
+      if (d == 0.0) bits = 0;
+      return HashCombine(tag, bits);
+    }
+    case ValueType::kString:
+      return HashCombine(tag, HashString(std::get<std::string>(data_)));
+  }
+  return 0;
+}
+
+int64_t Value::DeepSizeBytes() const {
+  int64_t bytes = static_cast<int64_t>(sizeof(Value));
+  if (type() == ValueType::kString) {
+    const std::string& s = std::get<std::string>(data_);
+    // Count heap storage only when the string does not fit the SSO buffer.
+    if (s.capacity() > sizeof(std::string) - 1) {
+      bytes += static_cast<int64_t>(s.capacity());
+    }
+  }
+  return bytes;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return std::get<bool>(data_) ? "true" : "false";
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(data_));
+    case ValueType::kDouble:
+      return std::to_string(std::get<double>(data_));
+    case ValueType::kString:
+      return "\"" + std::get<std::string>(data_) + "\"";
+  }
+  return "?";
+}
+
+}  // namespace lmerge

@@ -1,0 +1,80 @@
+// A dynamically typed relational value: the atom of event payloads.
+//
+// The paper models a payload as a relational tuple p.  Value is one field of
+// such a tuple; Row (row.h) is the tuple itself.
+
+#ifndef LMERGE_COMMON_VALUE_H_
+#define LMERGE_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/hash.h"
+
+namespace lmerge {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt64 = 2,
+  kDouble = 3,
+  kString = 4,
+};
+
+// Returns a human-readable name for `type` ("int64", "string", ...).
+const char* ValueTypeName(ValueType type);
+
+// A single typed field value.  Values are totally ordered (first by type tag,
+// then by content) so that payload tuples can key ordered indexes such as the
+// in2t/in3t top tier.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(bool v) : data_(v) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  // Typed accessors; LM_CHECK-fail on type mismatch.
+  bool AsBool() const;
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  // Total order: type tag first, then content.
+  int Compare(const Value& other) const;
+
+  uint64_t Hash() const;
+
+  // Bytes attributable to this value for operator state accounting
+  // (sizeof(Value) plus string heap storage).
+  int64_t DeepSizeBytes() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.Compare(b) == 0;
+  }
+  friend bool operator!=(const Value& a, const Value& b) {
+    return a.Compare(b) != 0;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.Compare(b) < 0;
+  }
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> data_;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_COMMON_VALUE_H_

@@ -1,0 +1,199 @@
+// A from-scratch open-addressing hash table with robin-hood probing.
+//
+// Used as the second tier of in2t/in3t (stream id -> per-stream state, with
+// the distinguished output entry), by LMergeR2's per-Vs payload set, and by
+// substrate operators (grouped aggregation, join sides).  Linear probing with
+// robin-hood displacement keeps probe sequences short at high load factors;
+// deletion uses backward-shift (no tombstones), which keeps iteration and
+// memory accounting simple.
+
+#ifndef LMERGE_CONTAINER_HASH_TABLE_H_
+#define LMERGE_CONTAINER_HASH_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace lmerge {
+
+template <typename Key, typename T, typename Hash, typename Eq = std::equal_to<Key>>
+class HashTable {
+ public:
+  explicit HashTable(int64_t initial_capacity = 8) {
+    int64_t cap = 8;
+    while (cap < initial_capacity) cap <<= 1;
+    slots_.resize(static_cast<size_t>(cap));
+  }
+
+  int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int64_t capacity() const { return static_cast<int64_t>(slots_.size()); }
+
+  // Approximate heap bytes held by the table's slot array.
+  int64_t SlotBytes() const {
+    return capacity() * static_cast<int64_t>(sizeof(Slot));
+  }
+
+  // Inserts (key, value) if absent; returns pointer to the stored value and
+  // whether an insertion happened.
+  std::pair<T*, bool> Insert(Key key, T value) {
+    if ((size_ + 1) * 8 > capacity() * 7) Grow();
+    return InsertNoGrow(std::move(key), std::move(value));
+  }
+
+  // Returns the value for `key`, or nullptr.
+  T* Find(const Key& key) {
+    const int64_t cap = capacity();
+    int64_t idx = Bucket(key);
+    int64_t distance = 0;
+    while (true) {
+      Slot& slot = slots_[static_cast<size_t>(idx)];
+      if (!slot.occupied) return nullptr;
+      if (slot.distance < distance) return nullptr;  // robin-hood early out
+      if (eq_(slot.kv.first, key)) return &slot.kv.second;
+      idx = (idx + 1) & (cap - 1);
+      ++distance;
+    }
+  }
+  const T* Find(const Key& key) const {
+    return const_cast<HashTable*>(this)->Find(key);
+  }
+
+  bool Contains(const Key& key) const { return Find(key) != nullptr; }
+
+  // Returns existing value or default-inserts one.
+  T& operator[](const Key& key) {
+    if (T* v = Find(key)) return *v;
+    return *Insert(key, T{}).first;
+  }
+
+  // Erases `key`; returns whether it was present.  Backward-shift deletion.
+  bool Erase(const Key& key) {
+    const int64_t cap = capacity();
+    int64_t idx = Bucket(key);
+    int64_t distance = 0;
+    while (true) {
+      Slot& slot = slots_[static_cast<size_t>(idx)];
+      if (!slot.occupied || slot.distance < distance) return false;
+      if (eq_(slot.kv.first, key)) break;
+      idx = (idx + 1) & (cap - 1);
+      ++distance;
+    }
+    // Shift the following cluster back by one.
+    int64_t hole = idx;
+    while (true) {
+      const int64_t next = (hole + 1) & (cap - 1);
+      Slot& next_slot = slots_[static_cast<size_t>(next)];
+      if (!next_slot.occupied || next_slot.distance == 0) break;
+      Slot& hole_slot = slots_[static_cast<size_t>(hole)];
+      hole_slot.kv = std::move(next_slot.kv);
+      hole_slot.distance = next_slot.distance - 1;
+      hole_slot.occupied = true;
+      hole = next;
+    }
+    slots_[static_cast<size_t>(hole)] = Slot{};
+    --size_;
+    return true;
+  }
+
+  void Clear() {
+    for (Slot& slot : slots_) slot = Slot{};
+    size_ = 0;
+  }
+
+  // Invokes fn(key, value) for every entry (unspecified order).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.occupied) fn(slot.kv.first, slot.kv.second);
+    }
+  }
+  template <typename Fn>
+  void ForEachMutable(Fn&& fn) {
+    for (Slot& slot : slots_) {
+      if (slot.occupied) fn(slot.kv.first, slot.kv.second);
+    }
+  }
+
+ private:
+  struct Slot {
+    std::pair<Key, T> kv;
+    int32_t distance = 0;
+    bool occupied = false;
+  };
+
+  int64_t Bucket(const Key& key) const {
+    return static_cast<int64_t>(hash_(key)) & (capacity() - 1);
+  }
+
+  std::pair<T*, bool> InsertNoGrow(Key key, T value) {
+    const int64_t cap = capacity();
+    int64_t idx = Bucket(key);
+    int32_t distance = 0;
+    std::pair<Key, T> carrying(std::move(key), std::move(value));
+    T* result = nullptr;
+    while (true) {
+      Slot& slot = slots_[static_cast<size_t>(idx)];
+      if (!slot.occupied) {
+        slot.kv = std::move(carrying);
+        slot.distance = distance;
+        slot.occupied = true;
+        ++size_;
+        return {result != nullptr ? result : &slot.kv.second, true};
+      }
+      if (result == nullptr && slot.distance >= distance &&
+          eq_(slot.kv.first, carrying.first)) {
+        return {&slot.kv.second, false};
+      }
+      if (slot.distance < distance) {
+        // Robin-hood: displace the richer resident and keep probing with it.
+        std::swap(slot.kv, carrying);
+        std::swap(slot.distance, distance);
+        if (result == nullptr) {
+          // The displaced position holds the element we inserted.
+          result = &slot.kv.second;
+        }
+      }
+      idx = (idx + 1) & (cap - 1);
+      ++distance;
+    }
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.clear();
+    slots_.resize(old.size() * 2);
+    size_ = 0;
+    for (Slot& slot : old) {
+      if (slot.occupied) {
+        InsertNoGrow(std::move(slot.kv.first), std::move(slot.kv.second));
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  int64_t size_ = 0;
+  Hash hash_;
+  Eq eq_;
+};
+
+// Hash functor for integral stream ids.
+struct IntHash {
+  uint64_t operator()(int64_t v) const {
+    uint64_t x = static_cast<uint64_t>(v);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return x;
+  }
+  uint64_t operator()(int32_t v) const {
+    return (*this)(static_cast<int64_t>(v));
+  }
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_CONTAINER_HASH_TABLE_H_

@@ -1,0 +1,430 @@
+// A from-scratch red-black tree with map semantics.
+//
+// This is the ordered index used as the top tier of the in2t and in3t
+// structures of Sec. IV (keyed by (Vs, payload)) and as the third tier of
+// in3t (keyed by Ve).  The paper's stable() processing performs ordered range
+// scans over half-frozen nodes, so the tree exposes begin()/LowerBound()
+// iteration plus iterator-based erase that returns the successor.
+//
+// The implementation is a textbook left-leaning-free classic RB tree
+// (CLRS-style insert/erase fixup) with parent pointers for O(1) amortized
+// iterator increment.  ValidateInvariants() verifies the RB properties and is
+// exercised by randomized tests against std::map.
+
+#ifndef LMERGE_CONTAINER_RBTREE_H_
+#define LMERGE_CONTAINER_RBTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "common/check.h"
+
+namespace lmerge {
+
+template <typename Key, typename T, typename Compare = std::less<Key>>
+class RbTree {
+ private:
+  enum Color : uint8_t { kRed, kBlack };
+
+  struct Node {
+    Key key;
+    T value;
+    Node* left = nullptr;
+    Node* right = nullptr;
+    Node* parent = nullptr;
+    Color color = kRed;
+
+    Node(Key k, T v) : key(std::move(k)), value(std::move(v)) {}
+  };
+
+ public:
+  class Iterator {
+   public:
+    Iterator() = default;
+
+    const Key& key() const { return node_->key; }
+    T& value() const { return node_->value; }
+
+    Iterator& operator++() {
+      node_ = Successor(node_);
+      return *this;
+    }
+    friend bool operator==(const Iterator& a, const Iterator& b) {
+      return a.node_ == b.node_;
+    }
+    friend bool operator!=(const Iterator& a, const Iterator& b) {
+      return a.node_ != b.node_;
+    }
+
+   private:
+    friend class RbTree;
+    explicit Iterator(Node* node) : node_(node) {}
+    Node* node_ = nullptr;
+  };
+
+  RbTree() = default;
+  explicit RbTree(Compare cmp) : cmp_(std::move(cmp)) {}
+  ~RbTree() { Clear(); }
+
+  RbTree(const RbTree&) = delete;
+  RbTree& operator=(const RbTree&) = delete;
+  RbTree(RbTree&& other) noexcept
+      : root_(other.root_), size_(other.size_), cmp_(std::move(other.cmp_)) {
+    other.root_ = nullptr;
+    other.size_ = 0;
+  }
+  RbTree& operator=(RbTree&& other) noexcept {
+    if (this != &other) {
+      Clear();
+      root_ = other.root_;
+      size_ = other.size_;
+      cmp_ = std::move(other.cmp_);
+      other.root_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Approximate heap bytes held by the tree (node overhead only; callers add
+  // deep sizes of keys/values they own).
+  int64_t NodeBytes() const {
+    return size_ * static_cast<int64_t>(sizeof(Node));
+  }
+
+  Iterator begin() const { return Iterator(Minimum(root_)); }
+  Iterator end() const { return Iterator(nullptr); }
+
+  // The node with the largest key, or end() when empty.
+  Iterator Last() const {
+    Node* n = root_;
+    if (n == nullptr) return end();
+    while (n->right != nullptr) n = n->right;
+    return Iterator(n);
+  }
+
+  // Inserts (key, value) if the key is absent.  Returns the node's iterator
+  // and whether an insertion happened.
+  std::pair<Iterator, bool> Insert(Key key, T value) {
+    Node* parent = nullptr;
+    Node** link = &root_;
+    while (*link != nullptr) {
+      parent = *link;
+      if (cmp_(key, parent->key)) {
+        link = &parent->left;
+      } else if (cmp_(parent->key, key)) {
+        link = &parent->right;
+      } else {
+        return {Iterator(parent), false};
+      }
+    }
+    Node* node = new Node(std::move(key), std::move(value));
+    node->parent = parent;
+    *link = node;
+    ++size_;
+    InsertFixup(node);
+    return {Iterator(node), true};
+  }
+
+  // Returns the node with `key`, or end().  Accepts any probe type the
+  // comparator supports (heterogeneous lookup), so callers can search with a
+  // lightweight view instead of materializing a Key.
+  template <typename ProbeKey>
+  Iterator Find(const ProbeKey& key) const {
+    Node* n = root_;
+    while (n != nullptr) {
+      if (cmp_(key, n->key)) {
+        n = n->left;
+      } else if (cmp_(n->key, key)) {
+        n = n->right;
+      } else {
+        return Iterator(n);
+      }
+    }
+    return end();
+  }
+
+  bool Contains(const Key& key) const { return Find(key) != end(); }
+
+  // First node whose key is not less than `key`, or end().
+  template <typename ProbeKey>
+  Iterator LowerBound(const ProbeKey& key) const {
+    Node* n = root_;
+    Node* best = nullptr;
+    while (n != nullptr) {
+      if (cmp_(n->key, key)) {
+        n = n->right;
+      } else {
+        best = n;
+        n = n->left;
+      }
+    }
+    return Iterator(best);
+  }
+
+  // Erases the node at `it` (must be valid) and returns the successor.
+  Iterator Erase(Iterator it) {
+    LM_DCHECK(it.node_ != nullptr);
+    Node* next = Successor(it.node_);
+    EraseNode(it.node_);
+    return Iterator(next);
+  }
+
+  // Erases `key` if present; returns whether a node was removed.
+  bool Erase(const Key& key) {
+    Iterator it = Find(key);
+    if (it == end()) return false;
+    Erase(it);
+    return true;
+  }
+
+  void Clear() {
+    DeleteSubtree(root_);
+    root_ = nullptr;
+    size_ = 0;
+  }
+
+  // Verifies the red-black invariants; used by tests.  Aborts on violation.
+  void ValidateInvariants() const {
+    LM_CHECK(root_ == nullptr || root_->color == kBlack);
+    int64_t count = 0;
+    ValidateSubtree(root_, &count);
+    LM_CHECK(count == size_);
+  }
+
+ private:
+  static Node* Minimum(Node* n) {
+    if (n == nullptr) return nullptr;
+    while (n->left != nullptr) n = n->left;
+    return n;
+  }
+
+  static Node* Successor(Node* n) {
+    if (n == nullptr) return nullptr;
+    if (n->right != nullptr) return Minimum(n->right);
+    Node* p = n->parent;
+    while (p != nullptr && n == p->right) {
+      n = p;
+      p = p->parent;
+    }
+    return p;
+  }
+
+  static bool IsRed(const Node* n) { return n != nullptr && n->color == kRed; }
+
+  void RotateLeft(Node* x) {
+    Node* y = x->right;
+    x->right = y->left;
+    if (y->left != nullptr) y->left->parent = x;
+    y->parent = x->parent;
+    ReplaceChild(x, y);
+    y->left = x;
+    x->parent = y;
+  }
+
+  void RotateRight(Node* x) {
+    Node* y = x->left;
+    x->left = y->right;
+    if (y->right != nullptr) y->right->parent = x;
+    y->parent = x->parent;
+    ReplaceChild(x, y);
+    y->right = x;
+    x->parent = y;
+  }
+
+  // Makes `y` occupy `x`'s position under x's parent (or the root).
+  void ReplaceChild(Node* x, Node* y) {
+    if (x->parent == nullptr) {
+      root_ = y;
+    } else if (x == x->parent->left) {
+      x->parent->left = y;
+    } else {
+      x->parent->right = y;
+    }
+  }
+
+  void InsertFixup(Node* z) {
+    while (IsRed(z->parent)) {
+      Node* parent = z->parent;
+      Node* grandparent = parent->parent;
+      if (parent == grandparent->left) {
+        Node* uncle = grandparent->right;
+        if (IsRed(uncle)) {
+          parent->color = kBlack;
+          uncle->color = kBlack;
+          grandparent->color = kRed;
+          z = grandparent;
+        } else {
+          if (z == parent->right) {
+            z = parent;
+            RotateLeft(z);
+            parent = z->parent;
+          }
+          parent->color = kBlack;
+          grandparent->color = kRed;
+          RotateRight(grandparent);
+        }
+      } else {
+        Node* uncle = grandparent->left;
+        if (IsRed(uncle)) {
+          parent->color = kBlack;
+          uncle->color = kBlack;
+          grandparent->color = kRed;
+          z = grandparent;
+        } else {
+          if (z == parent->left) {
+            z = parent;
+            RotateRight(z);
+            parent = z->parent;
+          }
+          parent->color = kBlack;
+          grandparent->color = kRed;
+          RotateLeft(grandparent);
+        }
+      }
+    }
+    root_->color = kBlack;
+  }
+
+  // Transplants subtree `v` into `u`'s position (CLRS RB-TRANSPLANT).
+  void Transplant(Node* u, Node* v) {
+    ReplaceChild(u, v);
+    if (v != nullptr) v->parent = u->parent;
+  }
+
+  void EraseNode(Node* z) {
+    Node* y = z;
+    Color y_original = y->color;
+    Node* x = nullptr;
+    Node* x_parent = nullptr;
+    if (z->left == nullptr) {
+      x = z->right;
+      x_parent = z->parent;
+      Transplant(z, z->right);
+    } else if (z->right == nullptr) {
+      x = z->left;
+      x_parent = z->parent;
+      Transplant(z, z->left);
+    } else {
+      y = Minimum(z->right);
+      y_original = y->color;
+      x = y->right;
+      if (y->parent == z) {
+        x_parent = y;
+      } else {
+        x_parent = y->parent;
+        Transplant(y, y->right);
+        y->right = z->right;
+        y->right->parent = y;
+      }
+      Transplant(z, y);
+      y->left = z->left;
+      y->left->parent = y;
+      y->color = z->color;
+    }
+    delete z;
+    --size_;
+    if (y_original == kBlack) EraseFixup(x, x_parent);
+  }
+
+  void EraseFixup(Node* x, Node* parent) {
+    while (x != root_ && !IsRed(x)) {
+      if (x == parent->left) {
+        Node* sibling = parent->right;
+        if (IsRed(sibling)) {
+          sibling->color = kBlack;
+          parent->color = kRed;
+          RotateLeft(parent);
+          sibling = parent->right;
+        }
+        if (!IsRed(sibling->left) && !IsRed(sibling->right)) {
+          sibling->color = kRed;
+          x = parent;
+          parent = x->parent;
+        } else {
+          if (!IsRed(sibling->right)) {
+            if (sibling->left != nullptr) sibling->left->color = kBlack;
+            sibling->color = kRed;
+            RotateRight(sibling);
+            sibling = parent->right;
+          }
+          sibling->color = parent->color;
+          parent->color = kBlack;
+          if (sibling->right != nullptr) sibling->right->color = kBlack;
+          RotateLeft(parent);
+          x = root_;
+          parent = nullptr;
+        }
+      } else {
+        Node* sibling = parent->left;
+        if (IsRed(sibling)) {
+          sibling->color = kBlack;
+          parent->color = kRed;
+          RotateRight(parent);
+          sibling = parent->left;
+        }
+        if (!IsRed(sibling->left) && !IsRed(sibling->right)) {
+          sibling->color = kRed;
+          x = parent;
+          parent = x->parent;
+        } else {
+          if (!IsRed(sibling->left)) {
+            if (sibling->right != nullptr) sibling->right->color = kBlack;
+            sibling->color = kRed;
+            RotateLeft(sibling);
+            sibling = parent->left;
+          }
+          sibling->color = parent->color;
+          parent->color = kBlack;
+          if (sibling->left != nullptr) sibling->left->color = kBlack;
+          RotateRight(parent);
+          x = root_;
+          parent = nullptr;
+        }
+      }
+    }
+    if (x != nullptr) x->color = kBlack;
+  }
+
+  void DeleteSubtree(Node* n) {
+    while (n != nullptr) {
+      DeleteSubtree(n->right);
+      Node* left = n->left;
+      delete n;
+      n = left;
+    }
+  }
+
+  // Returns black-height; checks ordering and no-red-red.
+  int ValidateSubtree(const Node* n, int64_t* count) const {
+    if (n == nullptr) return 1;
+    ++*count;
+    if (n->left != nullptr) {
+      LM_CHECK(n->left->parent == n);
+      LM_CHECK(cmp_(n->left->key, n->key));
+    }
+    if (n->right != nullptr) {
+      LM_CHECK(n->right->parent == n);
+      LM_CHECK(cmp_(n->key, n->right->key));
+    }
+    if (IsRed(n)) {
+      LM_CHECK(!IsRed(n->left));
+      LM_CHECK(!IsRed(n->right));
+    }
+    const int hl = ValidateSubtree(n->left, count);
+    const int hr = ValidateSubtree(n->right, count);
+    LM_CHECK(hl == hr);
+    return hl + (n->color == kBlack ? 1 : 0);
+  }
+
+  Node* root_ = nullptr;
+  int64_t size_ = 0;
+  Compare cmp_;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_CONTAINER_RBTREE_H_

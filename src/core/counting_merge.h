@@ -1,0 +1,82 @@
+// CountingMerge — the trivial merge sketched in Sec. I: "keep a count on
+// each input, and let the output follow the stream with the largest count."
+//
+// Correct only when every input presents the exact same elements in the
+// exact same order and no input ever detaches/re-attaches.  It is included
+// as an executable strawman: unit tests demonstrate that it duplicates or
+// omits elements under disorder and under the failure scenarios that
+// motivate LMerge.
+
+#ifndef LMERGE_CORE_COUNTING_MERGE_H_
+#define LMERGE_CORE_COUNTING_MERGE_H_
+
+#include <vector>
+
+#include "core/merge_algorithm.h"
+
+namespace lmerge {
+
+class CountingMerge : public MergeAlgorithm {
+ public:
+  CountingMerge(int num_streams, ElementSink* sink)
+      : MergeAlgorithm(num_streams, sink),
+        counts_(static_cast<size_t>(num_streams), 0) {}
+
+  AlgorithmCase algorithm_case() const override { return AlgorithmCase::kR4; }
+
+  Status OnInsert(int stream, const StreamElement& element) override {
+    Deliver(stream, element);
+    return Status::Ok();
+  }
+  Status OnAdjust(int stream, const StreamElement& element) override {
+    Deliver(stream, element);
+    return Status::Ok();
+  }
+  void OnStable(int stream, Timestamp t) override {
+    Deliver(stream, StreamElement::Stable(t));
+  }
+
+  int AddStream() override {
+    counts_.push_back(0);
+    return MergeAlgorithm::AddStream();
+  }
+
+  int64_t StateBytes() const override {
+    return static_cast<int64_t>(sizeof(*this)) +
+           static_cast<int64_t>(counts_.capacity() * sizeof(int64_t));
+  }
+
+ private:
+  void Deliver(int stream, const StreamElement& element) {
+    int64_t& count = counts_[static_cast<size_t>(stream)];
+    ++count;
+    if (count > emitted_) {
+      // This stream is ahead of everything emitted so far: follow it.
+      switch (element.kind()) {
+        case ElementKind::kInsert:
+          EmitInsert(element.payload(), element.vs(), element.ve());
+          break;
+        case ElementKind::kAdjust:
+          EmitAdjust(element.payload(), element.vs(), element.v_old(),
+                     element.ve());
+          break;
+        case ElementKind::kStable:
+          if (element.stable_time() > max_stable_) {
+            max_stable_ = element.stable_time();
+          }
+          EmitStable(element.stable_time());
+          break;
+      }
+      ++emitted_;
+    } else {
+      CountDrop();
+    }
+  }
+
+  std::vector<int64_t> counts_;
+  int64_t emitted_ = 0;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_CORE_COUNTING_MERGE_H_

@@ -1,0 +1,80 @@
+#include "core/factory.h"
+
+#include "core/counting_merge.h"
+#include "core/lmerge_r0.h"
+#include "core/lmerge_r1.h"
+#include "core/lmerge_r2.h"
+#include "core/lmerge_r3.h"
+#include "core/lmerge_r3_minus.h"
+#include "core/lmerge_r4.h"
+
+namespace lmerge {
+
+const char* MergeVariantName(MergeVariant variant) {
+  switch (variant) {
+    case MergeVariant::kLMR0:
+      return "LMR0";
+    case MergeVariant::kLMR1:
+      return "LMR1";
+    case MergeVariant::kLMR2:
+      return "LMR2";
+    case MergeVariant::kLMR3Plus:
+      return "LMR3+";
+    case MergeVariant::kLMR3Minus:
+      return "LMR3-";
+    case MergeVariant::kLMR4:
+      return "LMR4";
+    case MergeVariant::kCounting:
+      return "Counting";
+  }
+  return "?";
+}
+
+MergeVariant VariantForCase(AlgorithmCase algorithm_case) {
+  switch (algorithm_case) {
+    case AlgorithmCase::kR0:
+      return MergeVariant::kLMR0;
+    case AlgorithmCase::kR1:
+      return MergeVariant::kLMR1;
+    case AlgorithmCase::kR2:
+      return MergeVariant::kLMR2;
+    case AlgorithmCase::kR3:
+      return MergeVariant::kLMR3Plus;
+    case AlgorithmCase::kR4:
+      return MergeVariant::kLMR4;
+  }
+  return MergeVariant::kLMR4;
+}
+
+std::unique_ptr<MergeAlgorithm> CreateMergeAlgorithm(MergeVariant variant,
+                                                     int num_streams,
+                                                     ElementSink* sink,
+                                                     MergePolicy policy) {
+  switch (variant) {
+    case MergeVariant::kLMR0:
+      return std::make_unique<LMergeR0>(num_streams, sink);
+    case MergeVariant::kLMR1:
+      return std::make_unique<LMergeR1>(num_streams, sink);
+    case MergeVariant::kLMR2:
+      return std::make_unique<LMergeR2>(num_streams, sink);
+    case MergeVariant::kLMR3Plus:
+      return std::make_unique<LMergeR3>(num_streams, sink, policy);
+    case MergeVariant::kLMR3Minus:
+      return std::make_unique<LMergeR3Minus>(num_streams, sink);
+    case MergeVariant::kLMR4:
+      return std::make_unique<LMergeR4>(num_streams, sink, policy);
+    case MergeVariant::kCounting:
+      return std::make_unique<CountingMerge>(num_streams, sink);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<MergeAlgorithm> CreateMergeAlgorithmForProperties(
+    const std::vector<StreamProperties>& input_properties, int num_streams,
+    ElementSink* sink, MergePolicy policy) {
+  const AlgorithmCase algorithm_case = ChooseAlgorithm(input_properties);
+  return CreateMergeAlgorithm(VariantForCase(algorithm_case), num_streams,
+                              sink, policy);
+}
+
+}  // namespace lmerge

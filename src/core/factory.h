@@ -1,0 +1,43 @@
+// Factory: constructs the right MergeAlgorithm for an AlgorithmCase — the
+// run-time end of the property-driven selection of Sec. IV-G.
+
+#ifndef LMERGE_CORE_FACTORY_H_
+#define LMERGE_CORE_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "core/merge_algorithm.h"
+#include "core/merge_policy.h"
+
+namespace lmerge {
+
+// Which concrete implementation to use; distinguishes the in2t algorithm
+// (LMR3+) from the per-input-index baseline (LMR3-) for case R3.
+enum class MergeVariant {
+  kLMR0,
+  kLMR1,
+  kLMR2,
+  kLMR3Plus,
+  kLMR3Minus,
+  kLMR4,
+  kCounting,
+};
+
+const char* MergeVariantName(MergeVariant variant);
+
+// The preferred variant for streams with the given properties.
+MergeVariant VariantForCase(AlgorithmCase algorithm_case);
+
+std::unique_ptr<MergeAlgorithm> CreateMergeAlgorithm(
+    MergeVariant variant, int num_streams, ElementSink* sink,
+    MergePolicy policy = MergePolicy::Default());
+
+// Derives properties (meet over inputs), chooses the case, and builds it.
+std::unique_ptr<MergeAlgorithm> CreateMergeAlgorithmForProperties(
+    const std::vector<StreamProperties>& input_properties, int num_streams,
+    ElementSink* sink, MergePolicy policy = MergePolicy::Default());
+
+}  // namespace lmerge
+
+#endif  // LMERGE_CORE_FACTORY_H_

@@ -1,0 +1,76 @@
+// in2t — the two-tier index of Algorithm R3 (Sec. IV-D, Fig. 1 left).
+//
+// Top tier: a red-black tree keyed by (Vs, payload), one node per live
+// (not fully frozen) event key.  Bottom tier: per node, a hash table mapping
+// input-stream id -> that stream's current Ve for the event, plus one
+// distinguished entry (kOutputStream) holding the Ve last emitted on the
+// output.  The payload is stored once per node and *shared* across all input
+// streams — the key difference from the LMR3- baseline, and the reason
+// LMR3+'s memory is nearly independent of the number of inputs (Fig. 2/7).
+
+#ifndef LMERGE_CORE_IN2T_H_
+#define LMERGE_CORE_IN2T_H_
+
+#include <cstdint>
+
+#include "common/timestamp.h"
+#include "container/hash_table.h"
+#include "container/rbtree.h"
+#include "temporal/event.h"
+
+namespace lmerge {
+
+// The bottom-tier key for the output entry ("∞" in the paper's Fig. 1).
+inline constexpr int32_t kOutputStream = -1;
+
+class In2t {
+ public:
+  using EndTable = HashTable<int32_t, Timestamp, IntHash>;
+  using Tree = RbTree<VsPayload, EndTable, VsPayloadLess>;
+  using Iterator = Tree::Iterator;
+
+  // Returns the node with the element's (Vs, payload), or end().
+  Iterator SameVsPayload(Timestamp vs, const Row& payload) const {
+    return tree_.Find(VsPayloadRef(vs, payload));
+  }
+
+  // Adds a node for (vs, payload); must not already exist.
+  Iterator AddNode(Timestamp vs, const Row& payload) {
+    payload_bytes_ += payload.DeepSizeBytes();
+    auto [it, inserted] = tree_.Insert(VsPayload(vs, payload), EndTable());
+    LM_DCHECK(inserted);
+    return it;
+  }
+
+  // Removes the node at `it`; returns the successor.
+  Iterator DeleteNode(Iterator it) {
+    payload_bytes_ -= it.key().payload.DeepSizeBytes();
+    return tree_.Erase(it);
+  }
+
+  // First node, in (Vs, payload) order; nodes with Vs < t are exactly the
+  // ones FindHalfFrozen(t) must visit, so callers iterate from begin() while
+  // key().vs < t.
+  Iterator begin() const { return tree_.begin(); }
+  Iterator end() const { return tree_.end(); }
+
+  int64_t node_count() const { return tree_.size(); }
+  bool empty() const { return tree_.empty(); }
+
+  // Bytes held: tree nodes, shared payload copies, and bottom-tier tables.
+  int64_t StateBytes() const {
+    int64_t bytes = tree_.NodeBytes() + payload_bytes_;
+    for (auto it = tree_.begin(); it != tree_.end(); ++it) {
+      bytes += it.value().SlotBytes();
+    }
+    return bytes;
+  }
+
+ private:
+  Tree tree_;
+  int64_t payload_bytes_ = 0;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_CORE_IN2T_H_

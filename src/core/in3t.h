@@ -1,0 +1,121 @@
+// in3t — the three-tier index of Algorithm R4 (Sec. IV-E, Fig. 1 right).
+//
+// Like in2t, but the fully general case allows *many* events with the same
+// (Vs, payload) — different Ve values and even exact duplicates — so the
+// single Ve slot of the bottom tier is replaced by a small red-black tree
+// mapping Ve -> multiplicity (with a cached total) per stream, plus the
+// distinguished output entry.
+
+#ifndef LMERGE_CORE_IN3T_H_
+#define LMERGE_CORE_IN3T_H_
+
+#include <cstdint>
+
+#include "common/timestamp.h"
+#include "container/hash_table.h"
+#include "container/rbtree.h"
+#include "core/in2t.h"  // for kOutputStream
+#include "temporal/event.h"
+
+namespace lmerge {
+
+// Per-stream multiset of validity end times for one (Vs, payload) key.
+class VeMultiset {
+ public:
+  VeMultiset() = default;
+  VeMultiset(VeMultiset&&) = default;
+  VeMultiset& operator=(VeMultiset&&) = default;
+
+  void Increment(Timestamp ve, int64_t n = 1) {
+    auto [it, inserted] = counts_.Insert(ve, n);
+    if (!inserted) it.value() += n;
+    total_ += n;
+  }
+
+  // Removes one occurrence of `ve`; returns false (without changes) if none
+  // is present — the caller treats that as an input inconsistency.
+  bool Decrement(Timestamp ve) {
+    auto it = counts_.Find(ve);
+    if (it == counts_.end()) return false;
+    if (--it.value() == 0) counts_.Erase(it);
+    --total_;
+    return true;
+  }
+
+  int64_t total() const { return total_; }
+  int64_t CountOf(Timestamp ve) const {
+    auto it = counts_.Find(ve);
+    return it == counts_.end() ? 0 : it.value();
+  }
+
+  // Largest Ve present, or `fallback` when empty.
+  Timestamp MaxVe(Timestamp fallback) const {
+    auto it = counts_.Last();
+    return it == counts_.end() ? fallback : it.key();
+  }
+
+  // Invokes fn(ve, count) in ascending Ve order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (auto it = counts_.begin(); it != counts_.end(); ++it) {
+      fn(it.key(), it.value());
+    }
+  }
+
+  int64_t StateBytes() const {
+    return static_cast<int64_t>(sizeof(*this)) + counts_.NodeBytes();
+  }
+
+ private:
+  RbTree<Timestamp, int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+class In3t {
+ public:
+  using EndsTable = HashTable<int32_t, VeMultiset, IntHash>;
+  using Tree = RbTree<VsPayload, EndsTable, VsPayloadLess>;
+  using Iterator = Tree::Iterator;
+
+  Iterator SameVsPayload(Timestamp vs, const Row& payload) const {
+    return tree_.Find(VsPayloadRef(vs, payload));
+  }
+
+  Iterator AddNode(Timestamp vs, const Row& payload) {
+    payload_bytes_ += payload.DeepSizeBytes();
+    auto [it, inserted] = tree_.Insert(VsPayload(vs, payload), EndsTable());
+    LM_DCHECK(inserted);
+    return it;
+  }
+
+  Iterator DeleteNode(Iterator it) {
+    payload_bytes_ -= it.key().payload.DeepSizeBytes();
+    return tree_.Erase(it);
+  }
+
+  Iterator begin() const { return tree_.begin(); }
+  Iterator end() const { return tree_.end(); }
+
+  int64_t node_count() const { return tree_.size(); }
+  bool empty() const { return tree_.empty(); }
+
+  int64_t StateBytes() const {
+    int64_t bytes = tree_.NodeBytes() + payload_bytes_;
+    for (auto it = tree_.begin(); it != tree_.end(); ++it) {
+      bytes += it.value().SlotBytes();
+      it.value().ForEach([&bytes](int32_t stream, const VeMultiset& ends) {
+        (void)stream;
+        bytes += ends.StateBytes();
+      });
+    }
+    return bytes;
+  }
+
+ private:
+  Tree tree_;
+  int64_t payload_bytes_ = 0;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_CORE_IN3T_H_

@@ -1,0 +1,111 @@
+// LMergeOperator: LMerge as a composable query-graph operator.
+//
+// Wraps a MergeAlgorithm (chosen by variant or derived from input stream
+// properties) and adds:
+//  * the joining/leaving-stream protocol of Sec. V-B — a stream attached at
+//    runtime declares a join time t at which its TDB becomes trustworthy; it
+//    is marked "joined" once the output stable point reaches t, and only
+//    joined streams may drive the output stable point forward;
+//  * feedback signalling of Sec. V-D — whenever the output stable point
+//    advances, the operator (optionally) propagates the new horizon upstream
+//    so slower plans can fast-forward past work that no longer matters.
+
+#ifndef LMERGE_CORE_LMERGE_OPERATOR_H_
+#define LMERGE_CORE_LMERGE_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/checkpoint.h"
+#include "core/factory.h"
+#include "core/merge_algorithm.h"
+#include "core/merge_policy.h"
+#include "operators/operator.h"
+
+namespace lmerge {
+
+class LMergeOperator : public Operator, public Checkpointable {
+ public:
+  LMergeOperator(std::string name, int initial_inputs, MergeVariant variant,
+                 MergePolicy policy = MergePolicy::Default(),
+                 bool feedback_enabled = false);
+
+  // Builds the variant implied by the inputs' compile-time properties.
+  LMergeOperator(std::string name,
+                 const std::vector<StreamProperties>& input_properties,
+                 MergePolicy policy = MergePolicy::Default(),
+                 bool feedback_enabled = false);
+
+  // Attaches a new input stream at runtime.  The stream guarantees it
+  // produces the correct TDB for every event alive at or after `join_time`.
+  // Returns the new input port.
+  int AttachInput(Timestamp join_time);
+
+  // Detaches an input stream; its residual index state is reclaimed lazily
+  // as events freeze.
+  void DetachInput(int port);
+
+  // Whether the stream on `port` has been marked joined (the output stable
+  // point reached its join time): from then on LMerge tolerates the
+  // simultaneous failure of all other inputs.
+  bool InputJoined(int port) const;
+  bool InputActive(int port) const;
+  int active_input_count() const;
+
+  MergeAlgorithm& algorithm() { return *algorithm_; }
+  const MergeAlgorithm& algorithm() const { return *algorithm_; }
+
+  int64_t StateBytes() const override { return algorithm_->StateBytes(); }
+
+  StreamProperties DeriveProperties(
+      const std::vector<StreamProperties>& inputs) const override;
+
+  bool feedback_enabled() const { return feedback_enabled_; }
+
+  // Whether the wrapped algorithm supports checkpointing (LMR3+, LMR4).
+  bool SupportsCheckpoint() const {
+    return algorithm_->checkpointable() != nullptr;
+  }
+
+  // Checkpointable: snapshots the attach/detach registry plus the wrapped
+  // algorithm's state.  Requires SupportsCheckpoint(); the restoring
+  // operator must wrap the same algorithm variant and policy.
+  void SaveState(Encoder* encoder) const override;
+  Status RestoreState(Decoder* decoder) override;
+
+ protected:
+  void OnElement(int port, const StreamElement& element) override;
+
+ private:
+  // Routes the algorithm's output into Operator::Emit.
+  class OutputAdapter : public ElementSink {
+   public:
+    explicit OutputAdapter(LMergeOperator* op) : op_(op) {}
+    void OnElement(const StreamElement& element) override {
+      op_->Emit(element);
+    }
+
+   private:
+    LMergeOperator* op_;
+  };
+
+  struct InputState {
+    bool joined = true;
+    bool detached = false;
+    Timestamp join_time = kMinTimestamp;
+  };
+
+  void RefreshJoinedFlags();
+  void MaybeSendFeedback();
+
+  OutputAdapter adapter_;
+  std::unique_ptr<MergeAlgorithm> algorithm_;
+  std::vector<InputState> inputs_;
+  bool feedback_enabled_;
+  Timestamp last_feedback_sent_ = kMinTimestamp;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_CORE_LMERGE_OPERATOR_H_

@@ -1,0 +1,30 @@
+#include "core/lmerge_r0.h"
+
+namespace lmerge {
+
+Status LMergeR0::OnInsert(int stream, const StreamElement& element) {
+  (void)stream;
+  if (element.vs() > max_vs_) {
+    max_vs_ = element.vs();
+    EmitInsert(element.payload(), element.vs(), element.ve());
+  } else {
+    CountDrop();
+  }
+  return Status::Ok();
+}
+
+Status LMergeR0::OnAdjust(int stream, const StreamElement& element) {
+  (void)stream;
+  return Status::FailedPrecondition(
+      "LMergeR0 does not support adjust elements: " + element.ToString());
+}
+
+void LMergeR0::OnStable(int stream, Timestamp t) {
+  (void)stream;
+  if (t > max_stable_) {
+    max_stable_ = t;
+    EmitStable(t);
+  }
+}
+
+}  // namespace lmerge

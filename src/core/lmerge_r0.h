@@ -1,0 +1,36 @@
+// Algorithm R0 (Sec. IV-A): inputs contain only insert() and stable()
+// elements with strictly increasing Vs.  O(1) time and space: track the
+// maximum Vs and maximum stable point across all inputs; forward an element
+// iff it advances the corresponding watermark.
+
+#ifndef LMERGE_CORE_LMERGE_R0_H_
+#define LMERGE_CORE_LMERGE_R0_H_
+
+#include "core/merge_algorithm.h"
+
+namespace lmerge {
+
+class LMergeR0 : public MergeAlgorithm {
+ public:
+  LMergeR0(int num_streams, ElementSink* sink)
+      : MergeAlgorithm(num_streams, sink) {}
+
+  AlgorithmCase algorithm_case() const override { return AlgorithmCase::kR0; }
+
+  Status OnInsert(int stream, const StreamElement& element) override;
+  Status OnAdjust(int stream, const StreamElement& element) override;
+  void OnStable(int stream, Timestamp t) override;
+
+  int64_t StateBytes() const override {
+    return static_cast<int64_t>(sizeof(*this));
+  }
+
+  Timestamp max_vs() const { return max_vs_; }
+
+ private:
+  Timestamp max_vs_ = kMinTimestamp;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_CORE_LMERGE_R0_H_

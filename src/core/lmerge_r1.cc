@@ -1,0 +1,45 @@
+#include "core/lmerge_r1.h"
+
+#include <algorithm>
+
+namespace lmerge {
+
+Status LMergeR1::OnInsert(int stream, const StreamElement& element) {
+  if (element.vs() < max_vs_) {
+    CountDrop();
+    return Status::Ok();
+  }
+  if (element.vs() > max_vs_) {
+    std::fill(same_vs_count_.begin(), same_vs_count_.end(), 0);
+    max_count_ = 0;
+    max_vs_ = element.vs();
+  }
+  // max_count_ caches MAX(SameVsCount) — equivalently, the number of
+  // elements already emitted for the current Vs.  It deliberately includes
+  // detached streams: what has been emitted stays emitted.
+  int64_t& count = same_vs_count_[static_cast<size_t>(stream)];
+  if (count == max_count_) {
+    EmitInsert(element.payload(), element.vs(), element.ve());
+    ++max_count_;
+  } else {
+    CountDrop();
+  }
+  ++count;
+  return Status::Ok();
+}
+
+Status LMergeR1::OnAdjust(int stream, const StreamElement& element) {
+  (void)stream;
+  return Status::FailedPrecondition(
+      "LMergeR1 does not support adjust elements: " + element.ToString());
+}
+
+void LMergeR1::OnStable(int stream, Timestamp t) {
+  (void)stream;
+  if (t > max_stable_) {
+    max_stable_ = t;
+    EmitStable(t);
+  }
+}
+
+}  // namespace lmerge

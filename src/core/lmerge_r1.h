@@ -1,0 +1,51 @@
+// Algorithm R1 (Sec. IV-B): insert-only inputs with non-decreasing Vs where
+// elements sharing a Vs appear in a deterministic order on every input
+// (e.g., rank order out of a Top-k aggregate).  State: one counter per input
+// stream counting elements seen with Vs == MaxVs; an insert from stream s is
+// forwarded iff s's counter equals the current maximum (s is the first
+// stream to present that position).  O(s) time per insert, O(s) space.
+
+#ifndef LMERGE_CORE_LMERGE_R1_H_
+#define LMERGE_CORE_LMERGE_R1_H_
+
+#include <vector>
+
+#include "core/merge_algorithm.h"
+
+namespace lmerge {
+
+class LMergeR1 : public MergeAlgorithm {
+ public:
+  LMergeR1(int num_streams, ElementSink* sink)
+      : MergeAlgorithm(num_streams, sink),
+        same_vs_count_(static_cast<size_t>(num_streams), 0) {}
+
+  AlgorithmCase algorithm_case() const override { return AlgorithmCase::kR1; }
+
+  Status OnInsert(int stream, const StreamElement& element) override;
+  Status OnAdjust(int stream, const StreamElement& element) override;
+  void OnStable(int stream, Timestamp t) override;
+
+  int AddStream() override {
+    same_vs_count_.push_back(0);
+    return MergeAlgorithm::AddStream();
+  }
+
+  int64_t StateBytes() const override {
+    return static_cast<int64_t>(sizeof(*this)) +
+           static_cast<int64_t>(same_vs_count_.capacity() * sizeof(int64_t));
+  }
+
+  Timestamp max_vs() const { return max_vs_; }
+
+ private:
+  Timestamp max_vs_ = kMinTimestamp;
+  // Cached MAX(SameVsCount) for the current max Vs == elements emitted for
+  // that Vs.
+  int64_t max_count_ = 0;
+  std::vector<int64_t> same_vs_count_;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_CORE_LMERGE_R1_H_

@@ -1,0 +1,40 @@
+#include "core/lmerge_r2.h"
+
+namespace lmerge {
+
+Status LMergeR2::OnInsert(int stream, const StreamElement& element) {
+  (void)stream;
+  if (element.vs() < max_vs_) {
+    CountDrop();
+    return Status::Ok();
+  }
+  if (element.vs() > max_vs_) {
+    seen_.Clear();
+    payload_bytes_ = 0;
+    max_vs_ = element.vs();
+  }
+  const auto [unused, inserted] = seen_.Insert(element.payload(), 0);
+  if (inserted) {
+    payload_bytes_ += element.payload().DeepSizeBytes();
+    EmitInsert(element.payload(), element.vs(), element.ve());
+  } else {
+    CountDrop();
+  }
+  return Status::Ok();
+}
+
+Status LMergeR2::OnAdjust(int stream, const StreamElement& element) {
+  (void)stream;
+  return Status::FailedPrecondition(
+      "LMergeR2 does not support adjust elements: " + element.ToString());
+}
+
+void LMergeR2::OnStable(int stream, Timestamp t) {
+  (void)stream;
+  if (t > max_stable_) {
+    max_stable_ = t;
+    EmitStable(t);
+  }
+}
+
+}  // namespace lmerge

@@ -1,0 +1,44 @@
+// Algorithm R2 (Sec. IV-C): insert-only inputs with non-decreasing Vs where
+// elements sharing a Vs may appear in *different* orders on different inputs
+// (e.g., grouped aggregation emits its groups in nondeterministic order).
+// Requires (Vs, payload) to be a key of every prefix TDB.  State: a hash
+// table over the payloads seen with Vs == MaxVs; an insert is forwarded iff
+// its payload is not yet present.  The table is cleared whenever MaxVs
+// advances, so space is O(g · p) where g is the number of events sharing the
+// current maximum timestamp.
+
+#ifndef LMERGE_CORE_LMERGE_R2_H_
+#define LMERGE_CORE_LMERGE_R2_H_
+
+#include "container/hash_table.h"
+#include "core/merge_algorithm.h"
+
+namespace lmerge {
+
+class LMergeR2 : public MergeAlgorithm {
+ public:
+  LMergeR2(int num_streams, ElementSink* sink)
+      : MergeAlgorithm(num_streams, sink) {}
+
+  AlgorithmCase algorithm_case() const override { return AlgorithmCase::kR2; }
+
+  Status OnInsert(int stream, const StreamElement& element) override;
+  Status OnAdjust(int stream, const StreamElement& element) override;
+  void OnStable(int stream, Timestamp t) override;
+
+  int64_t StateBytes() const override {
+    return static_cast<int64_t>(sizeof(*this)) + seen_.SlotBytes() +
+           payload_bytes_;
+  }
+
+  Timestamp max_vs() const { return max_vs_; }
+
+ private:
+  Timestamp max_vs_ = kMinTimestamp;
+  HashTable<Row, char, RowHash> seen_;
+  int64_t payload_bytes_ = 0;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_CORE_LMERGE_R2_H_

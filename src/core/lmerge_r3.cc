@@ -1,0 +1,203 @@
+#include "core/lmerge_r3.h"
+
+#include <algorithm>
+
+namespace lmerge {
+
+bool LMergeR3::PolicyAllowsEmit(int stream, const In2t::EndTable& ends) const {
+  switch (policy_.insert_policy) {
+    case InsertPolicy::kFirstInsertWins:
+      return true;
+    case InsertPolicy::kLeadingStreamOnly: {
+      Timestamp lead = kMinTimestamp;
+      for (int s = 0; s < stream_count(); ++s) {
+        if (stream_active(s)) {
+          lead = std::max(lead, last_stable_[static_cast<size_t>(s)]);
+        }
+      }
+      return last_stable_[static_cast<size_t>(stream)] == lead;
+    }
+    case InsertPolicy::kWaitHalfFrozen:
+      return false;  // emitted during stable() processing instead
+    case InsertPolicy::kFractionThreshold: {
+      const int needed = std::max(
+          1, static_cast<int>(policy_.insert_fraction *
+                                  static_cast<double>(active_stream_count()) +
+                              0.999999));
+      // `ends` holds one entry per input stream that has produced the event
+      // (the output entry is absent until first emission).
+      return ends.size() >= needed;
+    }
+  }
+  return true;
+}
+
+Status LMergeR3::OnInsert(int stream, const StreamElement& element) {
+  if (element.ve() < element.vs()) {
+    return Status::InvalidArgument("insert with Ve < Vs: " +
+                                   element.ToString());
+  }
+  In2t::Iterator node = index_.SameVsPayload(element.vs(), element.payload());
+  if (node == index_.end()) {
+    if (element.vs() < max_stable_) {
+      // The key previously existed and was fully frozen and removed, or the
+      // stream is lagging; either way the element is already accounted for.
+      CountDrop();
+      return Status::Ok();
+    }
+    node = index_.AddNode(element.vs(), element.payload());
+  }
+  In2t::EndTable& ends = node.value();
+  *ends.Insert(stream, element.ve()).first = element.ve();
+  if (ends.Find(kOutputStream) == nullptr && element.vs() >= max_stable_ &&
+      PolicyAllowsEmit(stream, ends)) {
+    EmitInsert(element.payload(), element.vs(), element.ve());
+    ends.Insert(kOutputStream, element.ve());
+  }
+  return Status::Ok();
+}
+
+Status LMergeR3::OnAdjust(int stream, const StreamElement& element) {
+  if (element.ve() < element.vs()) {
+    return Status::InvalidArgument("adjust with Ve < Vs: " +
+                                   element.ToString());
+  }
+  In2t::Iterator node = index_.SameVsPayload(element.vs(), element.payload());
+  if (node == index_.end()) {
+    CountDrop();
+    return Status::Ok();
+  }
+  In2t::EndTable& ends = node.value();
+  *ends.Insert(stream, element.ve()).first = element.ve();
+
+  if (policy_.adjust_policy == AdjustPolicy::kEager) {
+    // Reflect the revision at the output immediately when doing so keeps the
+    // output stream well formed (both old and new end must still be
+    // adjustable relative to the output stable point).
+    Timestamp* out_ve = ends.Find(kOutputStream);
+    if (out_ve != nullptr && *out_ve != element.ve() &&
+        *out_ve >= max_stable_ && element.ve() >= max_stable_ &&
+        *out_ve != element.vs() &&
+        (element.ve() != element.vs() || element.vs() >= max_stable_)) {
+      EmitAdjust(element.payload(), element.vs(), *out_ve, element.ve());
+      *out_ve = element.ve();
+    }
+  }
+  return Status::Ok();
+}
+
+void LMergeR3::OnStable(int stream, Timestamp t) {
+  last_stable_[static_cast<size_t>(stream)] =
+      std::max(last_stable_[static_cast<size_t>(stream)], t);
+  // Optionally trail the maximum input stable point (Sec. III-D) so that
+  // revisions arriving shortly after a stable are absorbed, not re-emitted.
+  if (policy_.stable_lag > 0 && t != kInfinity) {
+    t = t > kMinTimestamp + policy_.stable_lag ? t - policy_.stable_lag
+                                               : kMinTimestamp;
+  }
+  if (t <= max_stable_) return;
+
+  // Walk every node that is (or is becoming) half frozen: key.vs < t.
+  In2t::Iterator it = index_.begin();
+  while (it != index_.end() && it.key().vs < t) {
+    const Timestamp vs = it.key().vs;
+    In2t::EndTable& ends = it.value();
+
+    // The driving stream's view of the event; absent means the event is not
+    // in stream `stream`'s TDB (missing element, Sec. V-C) — encoded as
+    // Ve == Vs, i.e., an empty lifetime.
+    const Timestamp* in_ptr = ends.Find(stream);
+    const Timestamp in_ve = in_ptr != nullptr ? *in_ptr : vs;
+    // The output's view; absent (never emitted) is likewise encoded Ve == Vs.
+    Timestamp* out_ptr = ends.Find(kOutputStream);
+    const Timestamp out_ve = out_ptr != nullptr ? *out_ptr : vs;
+
+    if (in_ve != out_ve && (in_ve < t || out_ve < t)) {
+      // A divergence is about to be frozen; repair the output to match the
+      // driving input.
+      if (out_ve == vs) {
+        // Not currently in the output TDB: (re)emit it.  vs >= max_stable_
+        // holds because reconciliation at the previous stable point pinned
+        // older nodes to the then-driver.
+        LM_DCHECK(vs >= max_stable_);
+        EmitInsert(it.key().payload, vs, in_ve);
+      } else if (in_ve == vs) {
+        // In the output TDB but absent from the driving input: retract.
+        LM_DCHECK(out_ve >= max_stable_);
+        EmitAdjust(it.key().payload, vs, out_ve, vs);
+      } else {
+        LM_DCHECK(out_ve >= max_stable_);
+        EmitAdjust(it.key().payload, vs, out_ve, in_ve);
+      }
+      if (out_ptr != nullptr) {
+        *out_ptr = in_ve;
+      } else {
+        ends.Insert(kOutputStream, in_ve);
+      }
+    }
+
+    if (in_ve < t) {
+      // Fully frozen under the new stable point: the output now matches the
+      // reference stream for this key forever; drop the node.
+      it = index_.DeleteNode(it);
+    } else {
+      ++it;
+    }
+  }
+
+  max_stable_ = t;
+  EmitStable(t);
+}
+
+void LMergeR3::SaveState(Encoder* encoder) const {
+  encoder->WriteI64(max_stable_);
+  encoder->WriteU32(static_cast<uint32_t>(last_stable_.size()));
+  for (const Timestamp t : last_stable_) encoder->WriteI64(t);
+  encoder->WriteU32(static_cast<uint32_t>(index_.node_count()));
+  for (auto it = index_.begin(); it != index_.end(); ++it) {
+    encoder->WriteI64(it.key().vs);
+    encoder->WriteRow(it.key().payload);
+    encoder->WriteU32(static_cast<uint32_t>(it.value().size()));
+    it.value().ForEach([encoder](int32_t stream, Timestamp ve) {
+      encoder->WriteU32(static_cast<uint32_t>(stream));
+      encoder->WriteI64(ve);
+    });
+  }
+}
+
+Status LMergeR3::RestoreState(Decoder* decoder) {
+  Status status = decoder->ReadI64(&max_stable_);
+  if (!status.ok()) return status;
+  uint32_t stream_count_saved = 0;
+  if (!(status = decoder->ReadU32(&stream_count_saved)).ok()) return status;
+  last_stable_.assign(stream_count_saved, kMinTimestamp);
+  for (uint32_t s = 0; s < stream_count_saved; ++s) {
+    if (!(status = decoder->ReadI64(&last_stable_[s])).ok()) return status;
+  }
+  // Grow the stream registry to match the snapshot.
+  while (stream_count() < static_cast<int>(stream_count_saved)) {
+    MergeAlgorithm::AddStream();
+  }
+  index_ = In2t();
+  uint32_t node_count = 0;
+  if (!(status = decoder->ReadU32(&node_count)).ok()) return status;
+  for (uint32_t n = 0; n < node_count; ++n) {
+    int64_t vs = 0;
+    Row payload;
+    if (!(status = decoder->ReadI64(&vs)).ok()) return status;
+    if (!(status = decoder->ReadRow(&payload)).ok()) return status;
+    In2t::Iterator node = index_.AddNode(vs, payload);
+    uint32_t entries = 0;
+    if (!(status = decoder->ReadU32(&entries)).ok()) return status;
+    for (uint32_t e = 0; e < entries; ++e) {
+      uint32_t stream = 0;
+      int64_t ve = 0;
+      if (!(status = decoder->ReadU32(&stream)).ok()) return status;
+      if (!(status = decoder->ReadI64(&ve)).ok()) return status;
+      node.value().Insert(static_cast<int32_t>(stream), ve);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace lmerge

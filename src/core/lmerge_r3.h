@@ -1,0 +1,83 @@
+// Algorithm R3 (Sec. IV-D) — "LMR3+" in the evaluation.
+//
+// Inputs may interleave insert(), adjust(), and stable() elements in any
+// order (subject only to the constraints stable() itself imposes), and
+// (Vs, payload) is a key of every prefix TDB.  State is the in2t index: one
+// tree node per live event key, whose bottom-tier hash table records each
+// stream's current Ve plus the Ve last emitted on the output.
+//
+// Output policy (Sec. V-A) is pluggable:
+//  - adjust() elements are by default absorbed into the index and reconciled
+//    lazily when a stable() element would otherwise freeze a divergence
+//    (Theorem 1: never more insert/adjust output than inserts received);
+//    AdjustPolicy::kEager reflects them immediately instead.
+//  - inserts are by default emitted on first sight; alternative policies
+//    delay emission (leading stream only / half-frozen / fraction quorum).
+//
+// Processing a stable(t) from stream s walks all index nodes with Vs < t and
+// repairs the three compatibility violations identified in the paper before
+// propagating the stable: (1) output event with no input event on s,
+// (2) output event about to fully freeze while diverging from s,
+// (3) input event about to fully freeze while diverging from the output.
+// Nodes whose input Ve is < t are fully frozen and removed from the index.
+
+#ifndef LMERGE_CORE_LMERGE_R3_H_
+#define LMERGE_CORE_LMERGE_R3_H_
+
+#include <vector>
+
+#include "common/checkpoint.h"
+#include "core/in2t.h"
+#include "core/merge_algorithm.h"
+#include "core/merge_policy.h"
+
+namespace lmerge {
+
+class LMergeR3 : public MergeAlgorithm, public Checkpointable {
+ public:
+  LMergeR3(int num_streams, ElementSink* sink,
+           MergePolicy policy = MergePolicy::Default())
+      : MergeAlgorithm(num_streams, sink),
+        policy_(policy),
+        last_stable_(static_cast<size_t>(num_streams), kMinTimestamp) {}
+
+  AlgorithmCase algorithm_case() const override { return AlgorithmCase::kR3; }
+
+  Status OnInsert(int stream, const StreamElement& element) override;
+  Status OnAdjust(int stream, const StreamElement& element) override;
+  void OnStable(int stream, Timestamp t) override;
+
+  int AddStream() override {
+    last_stable_.push_back(kMinTimestamp);
+    return MergeAlgorithm::AddStream();
+  }
+
+  int64_t StateBytes() const override {
+    return static_cast<int64_t>(sizeof(*this)) + index_.StateBytes() +
+           static_cast<int64_t>(last_stable_.capacity() * sizeof(Timestamp));
+  }
+
+  int64_t index_node_count() const { return index_.node_count(); }
+  const MergePolicy& policy() const { return policy_; }
+
+  // Checkpointable: snapshots MaxStable, per-stream stable points, and the
+  // whole in2t index — enough for a fresh instance (constructed with the
+  // same policy) to continue the merge exactly where this one stood
+  // (Sec. II-4/5 jumpstart and cutover).
+  void SaveState(Encoder* encoder) const override;
+  Status RestoreState(Decoder* decoder) override;
+  Checkpointable* checkpointable() override { return this; }
+
+ private:
+  // Whether the insert-emission policy allows emitting now.
+  bool PolicyAllowsEmit(int stream, const In2t::EndTable& ends) const;
+
+  MergePolicy policy_;
+  In2t index_;
+  // Latest stable point seen per input stream (drives kLeadingStreamOnly).
+  std::vector<Timestamp> last_stable_;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_CORE_LMERGE_R3_H_

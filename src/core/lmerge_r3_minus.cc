@@ -1,0 +1,139 @@
+#include "core/lmerge_r3_minus.h"
+
+namespace lmerge {
+
+void LMergeR3Minus::Put(Index& index, Timestamp vs, const Row& payload,
+                        Timestamp ve) {
+  auto [it, inserted] = index.tree.Insert(VsPayload(vs, payload), ve);
+  if (inserted) {
+    index.payload_bytes += payload.DeepSizeBytes();
+  } else {
+    it.value() = ve;
+  }
+}
+
+Status LMergeR3Minus::OnInsert(int stream, const StreamElement& element) {
+  if (element.ve() < element.vs()) {
+    return Status::InvalidArgument("insert with Ve < Vs: " +
+                                   element.ToString());
+  }
+  if (element.vs() < max_stable_ &&
+      output_.tree.Find(VsPayloadRef(element.vs(), element.payload())) ==
+          output_.tree.end()) {
+    CountDrop();
+    return Status::Ok();
+  }
+  Put(*inputs_[static_cast<size_t>(stream)], element.vs(), element.payload(),
+      element.ve());
+  if (element.vs() >= max_stable_ &&
+      output_.tree.Find(VsPayloadRef(element.vs(), element.payload())) ==
+          output_.tree.end()) {
+    EmitInsert(element.payload(), element.vs(), element.ve());
+    Put(output_, element.vs(), element.payload(), element.ve());
+  }
+  return Status::Ok();
+}
+
+Status LMergeR3Minus::OnAdjust(int stream, const StreamElement& element) {
+  if (element.ve() < element.vs()) {
+    return Status::InvalidArgument("adjust with Ve < Vs: " +
+                                   element.ToString());
+  }
+  Index& index = *inputs_[static_cast<size_t>(stream)];
+  auto it = index.tree.Find(VsPayloadRef(element.vs(), element.payload()));
+  if (it == index.tree.end()) {
+    CountDrop();
+    return Status::Ok();
+  }
+  it.value() = element.ve();
+  return Status::Ok();
+}
+
+void LMergeR3Minus::OnStable(int stream, Timestamp t) {
+  if (t <= max_stable_) return;
+  Index& driver = *inputs_[static_cast<size_t>(stream)];
+
+  // Pass 1: reconcile (and prune) every output event whose Vs precedes t.
+  auto out_it = output_.tree.begin();
+  while (out_it != output_.tree.end() && out_it.key().vs < t) {
+    const Timestamp vs = out_it.key().vs;
+    const Row& payload = out_it.key().payload;
+    auto in_it = driver.tree.Find(VsPayloadRef(vs, payload));
+    const Timestamp in_ve = in_it == driver.tree.end() ? vs : in_it.value();
+    const Timestamp out_ve = out_it.value();
+    if (in_ve != out_ve && (in_ve < t || out_ve < t)) {
+      EmitAdjust(payload, vs, out_ve, in_ve);
+      out_it.value() = in_ve;
+    }
+    if (in_ve < t) {
+      // Fully frozen: remove from the output index and from every per-input
+      // index (one extra tree lookup per input — part of this baseline's
+      // runtime cost).
+      for (auto& input : inputs_) {
+        auto it = input->tree.Find(VsPayloadRef(vs, payload));
+        if (it != input->tree.end()) {
+          input->payload_bytes -= it.key().payload.DeepSizeBytes();
+          input->tree.Erase(it);
+        }
+      }
+      output_.payload_bytes -= out_it.key().payload.DeepSizeBytes();
+      out_it = output_.tree.Erase(out_it);
+    } else {
+      ++out_it;
+    }
+  }
+
+  // Pass 2: events the driver has with Vs < t that were never output (their
+  // insert arrived behind the stable point) must be emitted before t freezes
+  // them out (same missing-element policy as LMR3+).
+  auto in_it = driver.tree.begin();
+  while (in_it != driver.tree.end() && in_it.key().vs < t) {
+    const Timestamp vs = in_it.key().vs;
+    const Row& payload = in_it.key().payload;
+    const Timestamp in_ve = in_it.value();
+    if (output_.tree.Find(VsPayloadRef(vs, payload)) == output_.tree.end() &&
+        vs >= max_stable_) {
+      EmitInsert(payload, vs, in_ve);
+      if (in_ve >= t) {
+        Put(output_, vs, payload, in_ve);
+        ++in_it;
+        continue;
+      }
+      // Emitted and immediately frozen: purge from all inputs.
+      for (size_t s = 0; s < inputs_.size(); ++s) {
+        if (inputs_[s].get() == &driver) continue;
+        auto it = inputs_[s]->tree.Find(VsPayloadRef(vs, payload));
+        if (it != inputs_[s]->tree.end()) {
+          inputs_[s]->payload_bytes -= it.key().payload.DeepSizeBytes();
+          inputs_[s]->tree.Erase(it);
+        }
+      }
+      driver.payload_bytes -= in_it.key().payload.DeepSizeBytes();
+      in_it = driver.tree.Erase(in_it);
+      continue;
+    }
+    if (in_ve < t) {
+      // Frozen events already reconciled in pass 1 were erased there; any
+      // remaining frozen driver event without output coverage is dropped.
+      driver.payload_bytes -= in_it.key().payload.DeepSizeBytes();
+      in_it = driver.tree.Erase(in_it);
+    } else {
+      ++in_it;
+    }
+  }
+
+  max_stable_ = t;
+  EmitStable(t);
+}
+
+int64_t LMergeR3Minus::StateBytes() const {
+  int64_t bytes = static_cast<int64_t>(sizeof(*this));
+  for (const auto& input : inputs_) {
+    bytes += input->tree.NodeBytes() + input->payload_bytes +
+             static_cast<int64_t>(sizeof(Index));
+  }
+  bytes += output_.tree.NodeBytes() + output_.payload_bytes;
+  return bytes;
+}
+
+}  // namespace lmerge

@@ -1,0 +1,63 @@
+// LMR3- (Sec. VI-A, variant 3): the simpler baseline algorithm for case R3.
+//
+// Events from each input stream are kept in a *separate* ordered index, with
+// one more index for the events emitted on the output.  The output index is
+// needed (1) to test whether an element was previously output, and (2) to
+// adjust prior output before propagating a stable() element.  The design is
+// easier to write than in2t but duplicates payloads across all the per-input
+// indexes and performs multiple tree lookups per element — which is exactly
+// why its memory grows linearly with the number of inputs in Fig. 2/7 while
+// LMR3+ stays flat.
+
+#ifndef LMERGE_CORE_LMERGE_R3_MINUS_H_
+#define LMERGE_CORE_LMERGE_R3_MINUS_H_
+
+#include <memory>
+#include <vector>
+
+#include "container/rbtree.h"
+#include "core/merge_algorithm.h"
+#include "temporal/event.h"
+
+namespace lmerge {
+
+class LMergeR3Minus : public MergeAlgorithm {
+ public:
+  LMergeR3Minus(int num_streams, ElementSink* sink)
+      : MergeAlgorithm(num_streams, sink) {
+    for (int s = 0; s < num_streams; ++s) inputs_.push_back(MakeIndex());
+  }
+
+  AlgorithmCase algorithm_case() const override { return AlgorithmCase::kR3; }
+
+  Status OnInsert(int stream, const StreamElement& element) override;
+  Status OnAdjust(int stream, const StreamElement& element) override;
+  void OnStable(int stream, Timestamp t) override;
+
+  int AddStream() override {
+    inputs_.push_back(MakeIndex());
+    return MergeAlgorithm::AddStream();
+  }
+
+  int64_t StateBytes() const override;
+
+ private:
+  // (Vs, payload) -> current Ve; every index owns its own payload copies.
+  struct Index {
+    RbTree<VsPayload, Timestamp, VsPayloadLess> tree;
+    int64_t payload_bytes = 0;
+  };
+
+  static std::unique_ptr<Index> MakeIndex() {
+    return std::make_unique<Index>();
+  }
+  static void Put(Index& index, Timestamp vs, const Row& payload,
+                  Timestamp ve);
+
+  std::vector<std::unique_ptr<Index>> inputs_;
+  Index output_;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_CORE_LMERGE_R3_MINUS_H_

@@ -1,0 +1,269 @@
+#include "core/lmerge_r4.h"
+
+#include <vector>
+
+namespace lmerge {
+
+Status LMergeR4::OnInsert(int stream, const StreamElement& element) {
+  if (element.ve() < element.vs()) {
+    return Status::InvalidArgument("insert with Ve < Vs: " +
+                                   element.ToString());
+  }
+  if (element.ve() == element.vs()) return Status::Ok();  // empty lifetime
+  In3t::Iterator node = index_.SameVsPayload(element.vs(), element.payload());
+  if (node == index_.end()) {
+    if (element.vs() < max_stable_) {
+      CountDrop();
+      return Status::Ok();
+    }
+    node = index_.AddNode(element.vs(), element.payload());
+  }
+  In3t::EndsTable& ends = node.value();
+  // Materialize both entries before taking references: a robin-hood insert
+  // can displace existing slots, so interleaving Insert with held references
+  // would dangle.
+  ends.Insert(stream, VeMultiset());
+  ends.Insert(kOutputStream, VeMultiset());
+  VeMultiset* mine = ends.Find(stream);
+  VeMultiset* out = ends.Find(kOutputStream);
+  mine->Increment(element.ve());
+  // Emit only while the key is unfrozen on the output and only when this
+  // stream has now presented more events for the key than the output holds —
+  // the output never holds more events per key than the richest input.
+  if (element.vs() >= max_stable_ && mine->total() > out->total()) {
+    EmitInsert(element.payload(), element.vs(), element.ve());
+    out->Increment(element.ve());
+  } else {
+    CountDrop();
+  }
+  return Status::Ok();
+}
+
+Status LMergeR4::OnAdjust(int stream, const StreamElement& element) {
+  if (element.ve() < element.vs()) {
+    return Status::InvalidArgument("adjust with Ve < Vs: " +
+                                   element.ToString());
+  }
+  In3t::Iterator node = index_.SameVsPayload(element.vs(), element.payload());
+  if (node == index_.end()) {
+    CountDrop();
+    return Status::Ok();
+  }
+  VeMultiset* mine_ptr = node.value().Find(stream);
+  if (mine_ptr == nullptr) {
+    ++inconsistencies_;
+    CountDrop();
+    return Status::Ok();
+  }
+  VeMultiset& mine = *mine_ptr;
+  if (!mine.Decrement(element.v_old())) {
+    // Adjust of an end time this stream never presented: tolerate (the
+    // element may target an event dropped during a lagging catch-up).
+    ++inconsistencies_;
+    CountDrop();
+    return Status::Ok();
+  }
+  if (element.ve() > element.vs()) {
+    mine.Increment(element.ve());
+  }
+  // Output reconciliation is lazy (stable() time); see ReconcileNode.
+  return Status::Ok();
+}
+
+void LMergeR4::ReconcileNode(In3t::Iterator it, int stream, Timestamp t) {
+  const Timestamp vs = it.key().vs;
+  const Row& payload = it.key().payload;
+  In3t::EndsTable& ends = it.value();
+  // Materialize the output entry first; Insert may displace slots, so the
+  // input pointer is looked up afterwards.
+  ends.Insert(kOutputStream, VeMultiset());
+  const VeMultiset* in_ptr = ends.Find(stream);
+  VeMultiset& out = *ends.Find(kOutputStream);
+
+  // Collect the diffs between the driving input's end-time multiset and the
+  // output's, restricted to the adjustable region Ve >= max_stable_.
+  // (End times below max_stable_ are fully frozen on the output and — for
+  // mutually consistent inputs — already match every stream.)
+  // Entries whose end time the incoming stable(t) is about to freeze are
+  // "mandatory": compatibility requires fixing them now.  The rest are
+  // optional and only reconciled under the exact-match policy.
+  std::vector<std::pair<Timestamp, int64_t>> need;    // input has more
+  std::vector<std::pair<Timestamp, int64_t>> excess;  // output has more
+  auto classify = [this, &need, &excess](Timestamp ve, int64_t diff) {
+    if (ve < max_stable_ || diff == 0) return;
+    if (diff > 0) {
+      need.emplace_back(ve, diff);
+    } else {
+      excess.emplace_back(ve, -diff);
+    }
+  };
+  // Merge-walk the two ordered multisets.
+  std::vector<std::pair<Timestamp, int64_t>> in_list;
+  std::vector<std::pair<Timestamp, int64_t>> out_list;
+  if (in_ptr != nullptr) {
+    in_ptr->ForEach([&in_list](Timestamp ve, int64_t count) {
+      in_list.emplace_back(ve, count);
+    });
+  }
+  out.ForEach([&out_list](Timestamp ve, int64_t count) {
+    out_list.emplace_back(ve, count);
+  });
+  size_t i = 0;
+  size_t j = 0;
+  while (i < in_list.size() || j < out_list.size()) {
+    if (j >= out_list.size() ||
+        (i < in_list.size() && in_list[i].first < out_list[j].first)) {
+      classify(in_list[i].first, in_list[i].second);
+      ++i;
+    } else if (i >= in_list.size() || out_list[j].first < in_list[i].first) {
+      classify(out_list[j].first, -out_list[j].second);
+      ++j;
+    } else {
+      classify(in_list[i].first, in_list[i].second - out_list[j].second);
+      ++i;
+      ++j;
+    }
+  }
+
+  // Under count-only reconciliation, process mandatory (about-to-freeze)
+  // entries first and stop once only optional work remains.  Both lists are
+  // built in ascending Ve order, so entries with Ve < t lead naturally.
+  const bool exact = policy_.r4_exact_match;
+  // Pair excess output end times with needed ones via adjust() elements.
+  size_t ei = 0;
+  size_t ni = 0;
+  while (ei < excess.size() && ni < need.size()) {
+    if (!exact && vs < max_stable_ && excess[ei].first >= t &&
+        need[ni].first >= t) {
+      break;  // neither side is being frozen: defer (less chatty)
+    }
+    const int64_t n = std::min(excess[ei].second, need[ni].second);
+    for (int64_t k = 0; k < n; ++k) {
+      EmitAdjust(payload, vs, excess[ei].first, need[ni].first);
+      out.Decrement(excess[ei].first);
+      out.Increment(need[ni].first);
+    }
+    excess[ei].second -= n;
+    need[ni].second -= n;
+    if (excess[ei].second == 0) ++ei;
+    if (need[ni].second == 0) ++ni;
+  }
+  // Leftover needs: the input holds more events than the output.  New
+  // inserts are only legal while the key is unfrozen on the output; for an
+  // already half-frozen key, a deferred optional divergence (Ve >= t on an
+  // old node under count-only policy) is fine — it stays adjustable.
+  for (; ni < need.size(); ++ni) {
+    for (int64_t k = 0; k < need[ni].second; ++k) {
+      if (vs >= max_stable_) {
+        EmitInsert(payload, vs, need[ni].first);
+        out.Increment(need[ni].first);
+      } else if (exact || need[ni].first < t) {
+        ++inconsistencies_;
+      }
+    }
+  }
+  // Leftover excess: the output holds events the input lacks.  Retraction
+  // (adjust to an empty lifetime) is only legal while the key is unfrozen.
+  for (; ei < excess.size(); ++ei) {
+    for (int64_t k = 0; k < excess[ei].second; ++k) {
+      if (vs >= max_stable_) {
+        EmitAdjust(payload, vs, excess[ei].first, vs);
+        out.Decrement(excess[ei].first);
+      } else if (exact || excess[ei].first < t) {
+        ++inconsistencies_;
+      }
+    }
+  }
+}
+
+void LMergeR4::OnStable(int stream, Timestamp t) {
+  if (policy_.stable_lag > 0 && t != kInfinity) {
+    t = t > kMinTimestamp + policy_.stable_lag ? t - policy_.stable_lag
+                                               : kMinTimestamp;
+  }
+  if (t <= max_stable_) return;
+
+  In3t::Iterator it = index_.begin();
+  while (it != index_.end() && it.key().vs < t) {
+    ReconcileNode(it, stream, t);
+    const VeMultiset* in_ptr = it.value().Find(stream);
+    const Timestamp max_ve =
+        in_ptr == nullptr ? it.key().vs : in_ptr->MaxVe(it.key().vs);
+    if (max_ve < t) {
+      // Every event for this key is fully frozen; the output matches the
+      // reference stream for it forever.
+      it = index_.DeleteNode(it);
+    } else {
+      ++it;
+    }
+  }
+
+  max_stable_ = t;
+  EmitStable(t);
+}
+
+void LMergeR4::SaveState(Encoder* encoder) const {
+  encoder->WriteI64(max_stable_);
+  encoder->WriteI64(inconsistencies_);
+  encoder->WriteU32(static_cast<uint32_t>(stream_count()));
+  encoder->WriteU32(static_cast<uint32_t>(index_.node_count()));
+  for (auto it = index_.begin(); it != index_.end(); ++it) {
+    encoder->WriteI64(it.key().vs);
+    encoder->WriteRow(it.key().payload);
+    encoder->WriteU32(static_cast<uint32_t>(it.value().size()));
+    it.value().ForEach([encoder](int32_t stream, const VeMultiset& ends) {
+      encoder->WriteU32(static_cast<uint32_t>(stream));
+      int32_t distinct = 0;
+      ends.ForEach([&distinct](Timestamp, int64_t) { ++distinct; });
+      encoder->WriteU32(static_cast<uint32_t>(distinct));
+      ends.ForEach([encoder](Timestamp ve, int64_t count) {
+        encoder->WriteI64(ve);
+        encoder->WriteI64(count);
+      });
+    });
+  }
+}
+
+Status LMergeR4::RestoreState(Decoder* decoder) {
+  Status status = decoder->ReadI64(&max_stable_);
+  if (!status.ok()) return status;
+  if (!(status = decoder->ReadI64(&inconsistencies_)).ok()) return status;
+  uint32_t stream_count_saved = 0;
+  if (!(status = decoder->ReadU32(&stream_count_saved)).ok()) return status;
+  while (stream_count() < static_cast<int>(stream_count_saved)) {
+    MergeAlgorithm::AddStream();
+  }
+  index_ = In3t();
+  uint32_t node_count = 0;
+  if (!(status = decoder->ReadU32(&node_count)).ok()) return status;
+  for (uint32_t n = 0; n < node_count; ++n) {
+    int64_t vs = 0;
+    Row payload;
+    if (!(status = decoder->ReadI64(&vs)).ok()) return status;
+    if (!(status = decoder->ReadRow(&payload)).ok()) return status;
+    In3t::Iterator node = index_.AddNode(vs, payload);
+    uint32_t entries = 0;
+    if (!(status = decoder->ReadU32(&entries)).ok()) return status;
+    for (uint32_t e = 0; e < entries; ++e) {
+      uint32_t stream = 0;
+      uint32_t distinct = 0;
+      if (!(status = decoder->ReadU32(&stream)).ok()) return status;
+      if (!(status = decoder->ReadU32(&distinct)).ok()) return status;
+      VeMultiset ends;
+      for (uint32_t d = 0; d < distinct; ++d) {
+        int64_t ve = 0;
+        int64_t count = 0;
+        if (!(status = decoder->ReadI64(&ve)).ok()) return status;
+        if (!(status = decoder->ReadI64(&count)).ok()) return status;
+        if (count <= 0) {
+          return Status::InvalidArgument("non-positive multiset count");
+        }
+        ends.Increment(ve, count);
+      }
+      node.value().Insert(static_cast<int32_t>(stream), std::move(ends));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace lmerge

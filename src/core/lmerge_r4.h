@@ -1,0 +1,69 @@
+// Algorithm R4 (Sec. IV-E) — the fully general LMerge.
+//
+// No restrictions: elements of all kinds in any stable()-consistent order,
+// and the TDB is a multiset (several events may share (Vs, payload), with
+// different or even equal lifetimes).  State is the in3t index.
+//
+// Invariants maintained when processing a stable(t) element from stream s
+// (the paper's AdjustOutputCount / AdjustOutput, realized here as one
+// region-reconciliation pass per node with Vs < t):
+//   * once a (Vs, payload) key is half frozen, the output holds exactly as
+//     many events for it as the driving input;
+//   * every end time the stable point fully freezes has equal multiplicity
+//     in the output and the driving input.
+// Both are achieved by transforming the output's multiset of adjustable end
+// times (Ve >= previous MaxStable) into the driving input's, via adjust()
+// elements, plus insert()/retraction only while the key is still unfrozen.
+
+#ifndef LMERGE_CORE_LMERGE_R4_H_
+#define LMERGE_CORE_LMERGE_R4_H_
+
+#include "common/checkpoint.h"
+#include "core/in3t.h"
+#include "core/merge_algorithm.h"
+#include "core/merge_policy.h"
+
+namespace lmerge {
+
+class LMergeR4 : public MergeAlgorithm, public Checkpointable {
+ public:
+  LMergeR4(int num_streams, ElementSink* sink,
+           MergePolicy policy = MergePolicy::Default())
+      : MergeAlgorithm(num_streams, sink), policy_(policy) {}
+
+  AlgorithmCase algorithm_case() const override { return AlgorithmCase::kR4; }
+
+  Status OnInsert(int stream, const StreamElement& element) override;
+  Status OnAdjust(int stream, const StreamElement& element) override;
+  void OnStable(int stream, Timestamp t) override;
+
+  int64_t StateBytes() const override {
+    return static_cast<int64_t>(sizeof(*this)) + index_.StateBytes();
+  }
+
+  int64_t index_node_count() const { return index_.node_count(); }
+  // Number of repairs skipped because inputs were mutually inconsistent
+  // (zero for well-formed inputs; exposed for diagnostics and tests).
+  int64_t inconsistency_count() const { return inconsistencies_; }
+
+  // Checkpointable: snapshots MaxStable plus the whole in3t index (per
+  // stream, the Ve multiset of every live key).
+  void SaveState(Encoder* encoder) const override;
+  Status RestoreState(Decoder* decoder) override;
+  Checkpointable* checkpointable() override { return this; }
+
+ private:
+  // Rewrites the output multiset for the node at `it` (end times in the
+  // adjustable region [max_stable_, +inf]) to agree with stream `stream`'s
+  // multiset ahead of propagating stable(t) — exactly, or (with
+  // policy.r4_exact_match == false) only as far as compatibility demands.
+  void ReconcileNode(In3t::Iterator it, int stream, Timestamp t);
+
+  MergePolicy policy_;
+  In3t index_;
+  int64_t inconsistencies_ = 0;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_CORE_LMERGE_R4_H_

@@ -1,0 +1,147 @@
+// MergeAlgorithm: the common interface of the LMerge algorithm family
+// (Sec. IV).  Concrete implementations: LMergeR0, LMergeR1, LMergeR2,
+// LMergeR3 (in2t), LMergeR4 (in3t), LMergeR3Minus (baseline), CountingMerge
+// (the strawman of Sec. I).
+//
+// An algorithm is fed elements tagged with a dense input-stream id and emits
+// output elements through an ElementSink.  Streams can be added and removed
+// at runtime (Sec. V-B); the LMergeOperator wrapper implements the
+// join/leave protocol on top of these hooks.
+
+#ifndef LMERGE_CORE_MERGE_ALGORITHM_H_
+#define LMERGE_CORE_MERGE_ALGORITHM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "common/timestamp.h"
+#include "properties/properties.h"
+#include "stream/element.h"
+#include "stream/sink.h"
+
+namespace lmerge {
+
+class Checkpointable;
+
+// Counts of elements emitted by the algorithm; the paper's "output size"
+// metric and the quantity bounded by Theorem 1.
+struct MergeOutputStats {
+  int64_t inserts_out = 0;
+  int64_t adjusts_out = 0;
+  int64_t stables_out = 0;
+  int64_t inserts_in = 0;
+  int64_t adjusts_in = 0;
+  int64_t stables_in = 0;
+  // Elements dropped because they arrived behind the output stable point
+  // (lagging streams); cheap drops are why lag *increases* throughput in
+  // Fig. 5.
+  int64_t dropped = 0;
+};
+
+class MergeAlgorithm {
+ public:
+  MergeAlgorithm(int num_streams, ElementSink* sink)
+      : sink_(sink), active_(static_cast<size_t>(num_streams), true) {
+    LM_CHECK(num_streams >= 1);
+    LM_CHECK(sink != nullptr);
+  }
+  virtual ~MergeAlgorithm() = default;
+
+  MergeAlgorithm(const MergeAlgorithm&) = delete;
+  MergeAlgorithm& operator=(const MergeAlgorithm&) = delete;
+
+  virtual AlgorithmCase algorithm_case() const = 0;
+
+  // Dispatches on element kind.  Insert/adjust may fail (e.g., adjust on an
+  // algorithm that does not support revisions); stable never fails.
+  Status OnElement(int stream, const StreamElement& element) {
+    LM_DCHECK(stream >= 0 && stream < stream_count());
+    LM_DCHECK(active_[static_cast<size_t>(stream)]);
+    switch (element.kind()) {
+      case ElementKind::kInsert:
+        ++stats_.inserts_in;
+        return OnInsert(stream, element);
+      case ElementKind::kAdjust:
+        ++stats_.adjusts_in;
+        return OnAdjust(stream, element);
+      case ElementKind::kStable:
+        ++stats_.stables_in;
+        OnStable(stream, element.stable_time());
+        return Status::Ok();
+    }
+    return Status::Internal("unknown element kind");
+  }
+
+  virtual Status OnInsert(int stream, const StreamElement& element) = 0;
+  virtual Status OnAdjust(int stream, const StreamElement& element) = 0;
+  virtual void OnStable(int stream, Timestamp t) = 0;
+
+  // Registers a new input stream; returns its id.  The stream must only
+  // deliver elements consistent with the reference stream from its join
+  // point onward (Sec. V-B).
+  virtual int AddStream() {
+    active_.push_back(true);
+    return stream_count() - 1;
+  }
+
+  // Marks a stream as detached.  Its state is reclaimed lazily as events
+  // freeze; the algorithm never consults a detached stream again.
+  virtual void RemoveStream(int stream) {
+    LM_DCHECK(stream >= 0 && stream < stream_count());
+    active_[static_cast<size_t>(stream)] = false;
+  }
+
+  int stream_count() const { return static_cast<int>(active_.size()); }
+  bool stream_active(int stream) const {
+    return active_[static_cast<size_t>(stream)];
+  }
+  int active_stream_count() const {
+    int n = 0;
+    for (const bool a : active_) n += a ? 1 : 0;
+    return n;
+  }
+
+  // Bytes of state the algorithm currently holds (indexes + payloads); the
+  // memory metric of Sec. VI and Table IV.
+  virtual int64_t StateBytes() const = 0;
+
+  // Non-null when the algorithm supports state snapshots (see
+  // common/checkpoint.h); used by LMergeOperator for jumpstart/cutover.
+  virtual Checkpointable* checkpointable() { return nullptr; }
+  const Checkpointable* checkpointable() const {
+    return const_cast<MergeAlgorithm*>(this)->checkpointable();
+  }
+
+  Timestamp max_stable() const { return max_stable_; }
+  const MergeOutputStats& stats() const { return stats_; }
+
+ protected:
+  void EmitInsert(const Row& payload, Timestamp vs, Timestamp ve) {
+    ++stats_.inserts_out;
+    sink_->OnElement(StreamElement::Insert(payload, vs, ve));
+  }
+  void EmitAdjust(const Row& payload, Timestamp vs, Timestamp v_old,
+                  Timestamp ve) {
+    ++stats_.adjusts_out;
+    sink_->OnElement(StreamElement::Adjust(payload, vs, v_old, ve));
+  }
+  void EmitStable(Timestamp t) {
+    ++stats_.stables_out;
+    sink_->OnElement(StreamElement::Stable(t));
+  }
+  void CountDrop() { ++stats_.dropped; }
+
+  Timestamp max_stable_ = kMinTimestamp;
+
+ private:
+  ElementSink* sink_;
+  std::vector<bool> active_;
+  MergeOutputStats stats_;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_CORE_MERGE_ALGORITHM_H_

@@ -1,0 +1,75 @@
+// Output policies for LMerge (Sec. V-A).
+//
+// Compatibility leaves freedom in *when* the output reflects the inputs.
+// The paper identifies two policy locations in Algorithm R3:
+//
+//  Location 1 — what to do with incoming adjust() elements:
+//    * lazy (default): never forward adjusts; reconcile only when a stable()
+//      element forces it.  Theorem 1 (non-chattiness) holds: LMerge emits no
+//      more insert/adjust elements than the inserts it receives.
+//    * eager: reflect adjusts at the output immediately (chattier, lower
+//      latency for downstream listeners that care about revisions).
+//
+//  Location 2 — when to first emit an event:
+//    * first insert wins (default): maximally responsive.
+//    * leading stream only: emit inserts only from the input with the
+//      current maximum stable point.
+//    * wait until half frozen: never emit an event that might later need to
+//      be fully retracted.
+//    * fraction threshold: emit once >= fraction of the attached inputs have
+//      produced the event (hybrid of Sec. V-A).
+
+#ifndef LMERGE_CORE_MERGE_POLICY_H_
+#define LMERGE_CORE_MERGE_POLICY_H_
+
+namespace lmerge {
+
+enum class AdjustPolicy {
+  kLazy,
+  kEager,
+};
+
+enum class InsertPolicy {
+  kFirstInsertWins,
+  kLeadingStreamOnly,
+  kWaitHalfFrozen,
+  kFractionThreshold,
+};
+
+struct MergePolicy {
+  AdjustPolicy adjust_policy = AdjustPolicy::kLazy;
+  InsertPolicy insert_policy = InsertPolicy::kFirstInsertWins;
+  // Used only with kFractionThreshold: emit once this fraction of attached
+  // inputs (rounded up, at least one) have produced the event.
+  double insert_fraction = 0.5;
+  // Output stable-point lag (Sec. III-D: "there might be cases where
+  // lagging a bit behind the maximum would avoid some adjust() elements in
+  // the output").  The output stable point trails the maximum input stable
+  // point by this many ticks, giving revisions that arrive shortly after a
+  // stable a chance to be absorbed instead of reconciled twice.
+  // 0 = track the maximum exactly (the paper's recommended default).
+  int64_t stable_lag = 0;
+  // R4 only: when a stable() element forces reconciliation, rewrite the
+  // output's adjustable end-time multiset to match the driving input
+  // exactly (true), or only as far as compatibility requires — end times
+  // the stable point is about to freeze (false).  Exact matching is useful
+  // "if we expect half frozen elements to rarely get updated in the
+  // future" (Sec. IV-E); count-only matching is less chatty.
+  bool r4_exact_match = true;
+
+  static MergePolicy Default() { return MergePolicy(); }
+  static MergePolicy Eager() {
+    MergePolicy p;
+    p.adjust_policy = AdjustPolicy::kEager;
+    return p;
+  }
+  static MergePolicy Conservative() {
+    MergePolicy p;
+    p.insert_policy = InsertPolicy::kWaitHalfFrozen;
+    return p;
+  }
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_CORE_MERGE_POLICY_H_

@@ -1,0 +1,28 @@
+#include "engine/concurrent.h"
+
+#include <thread>
+
+namespace lmerge {
+
+void ConcurrentMerger::Deliver(int stream, const StreamElement& element) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Status status = algorithm_->OnElement(stream, element);
+  LM_CHECK_MSG(status.ok(), "concurrent delivery failed: %s",
+               status.ToString().c_str());
+  ++delivered_;
+}
+
+void ConcurrentMerger::Run(const std::vector<ElementSequence>& inputs) {
+  std::vector<std::thread> threads;
+  threads.reserve(inputs.size());
+  for (size_t s = 0; s < inputs.size(); ++s) {
+    threads.emplace_back([this, s, &inputs] {
+      for (const StreamElement& element : inputs[s]) {
+        Deliver(static_cast<int>(s), element);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+}
+
+}  // namespace lmerge

@@ -1,0 +1,53 @@
+// Concurrent ingestion: one producer thread per input stream delivering
+// into a shared, internally synchronized LMerge.
+//
+// The deterministic simulator (engine/simulator.h) is what the figure
+// harnesses use; this module models the deployment reality instead — each
+// replica of a query arrives on its own network/session thread ("identical
+// copies of a query running on machines with independent processor or
+// network resources", Sec. II-2).  Delivery order across streams is then
+// genuinely nondeterministic; the merge must produce a stream equivalent to
+// the logical input regardless (the concurrency stress tests assert this
+// over many runs).
+
+#ifndef LMERGE_ENGINE_CONCURRENT_H_
+#define LMERGE_ENGINE_CONCURRENT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/merge_algorithm.h"
+#include "stream/element.h"
+
+namespace lmerge {
+
+class ConcurrentMerger {
+ public:
+  // The merger does not own `algorithm`; its sink must tolerate being
+  // invoked under the merger's lock.
+  explicit ConcurrentMerger(MergeAlgorithm* algorithm)
+      : algorithm_(algorithm) {
+    LM_CHECK(algorithm != nullptr);
+  }
+
+  // Spawns one thread per input, each delivering its sequence in order
+  // (cross-stream interleaving is up to the scheduler), and joins them.
+  // Aborts on delivery errors (inputs are trusted replicas).
+  void Run(const std::vector<ElementSequence>& inputs);
+
+  // Thread-safe single-element delivery (for callers managing their own
+  // threads).
+  void Deliver(int stream, const StreamElement& element);
+
+  int64_t delivered_count() const { return delivered_; }
+
+ private:
+  MergeAlgorithm* algorithm_;
+  std::mutex mutex_;
+  int64_t delivered_ = 0;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_ENGINE_CONCURRENT_H_

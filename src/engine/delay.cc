@@ -1,0 +1,68 @@
+#include "engine/delay.h"
+
+#include <algorithm>
+
+namespace lmerge {
+
+TimedStream ScheduleConstantRate(const ElementSequence& elements, double rate,
+                                 double start_seconds) {
+  TimedStream out;
+  out.reserve(elements.size());
+  for (size_t i = 0; i < elements.size(); ++i) {
+    out.push_back(TimedElement{
+        start_seconds + static_cast<double>(i) / rate, elements[i]});
+  }
+  return out;
+}
+
+TimedStream ScheduleWithLag(TimedStream stream, double lag_seconds) {
+  for (TimedElement& timed : stream) timed.arrival_seconds += lag_seconds;
+  return stream;
+}
+
+TimedStream ScheduleBursty(const ElementSequence& elements,
+                           const BurstConfig& config) {
+  Rng rng(config.seed);
+  TimedStream out;
+  out.reserve(elements.size());
+  double stall_until = 0.0;
+  for (size_t i = 0; i < elements.size(); ++i) {
+    const double generated = static_cast<double>(i) / config.rate;
+    const double delivered = std::max(generated, stall_until);
+    out.push_back(TimedElement{delivered, elements[i]});
+    if (rng.Bernoulli(config.stall_probability)) {
+      const double stall = rng.TruncatedNormal(
+          config.stall_mean_seconds, config.stall_stddev_seconds, 0.0,
+          config.stall_mean_seconds + 4 * config.stall_stddev_seconds);
+      stall_until = delivered + stall;
+    }
+  }
+  return out;
+}
+
+TimedStream ScheduleCongestion(const ElementSequence& elements,
+                               const CongestionConfig& config) {
+  Rng rng(config.seed);
+  TimedStream out;
+  out.reserve(elements.size());
+  double channel_free = 0.0;
+  for (size_t i = 0; i < elements.size(); ++i) {
+    const double generated = static_cast<double>(i) / config.rate;
+    double delivered = std::max(generated, channel_free);
+    for (const CongestionWindow& window : config.windows) {
+      if (delivered >= window.start_seconds &&
+          delivered < window.end_seconds) {
+        const double extra =
+            std::max(0.0, rng.Normal(window.extra_delay_mean_seconds,
+                                     window.extra_delay_stddev_seconds));
+        delivered += extra;
+        break;
+      }
+    }
+    channel_free = delivered;
+    out.push_back(TimedElement{delivered, elements[i]});
+  }
+  return out;
+}
+
+}  // namespace lmerge

@@ -1,0 +1,65 @@
+// Delay models: turn an element sequence into a TimedStream of arrivals.
+//
+// These reproduce the arrival processes of Sec. VI:
+//  * constant rate — the baseline presentation (5000 elements/sec in the
+//    burst/congestion experiments);
+//  * fixed lag — Fig. 5's lagging replicas;
+//  * bursty — Fig. 8: with small probability the delivery channel stalls for
+//    a truncated-normal delay; queued elements then flush in a spike;
+//  * congestion — Fig. 9: within given wall-clock windows, per-element
+//    delivery slows down (normally distributed extra delay), followed by a
+//    natural catch-up spike.
+
+#ifndef LMERGE_ENGINE_DELAY_H_
+#define LMERGE_ENGINE_DELAY_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "engine/simulator.h"
+#include "stream/element.h"
+
+namespace lmerge {
+
+// Elements arrive back-to-back at `rate` elements/second starting at
+// `start_seconds`.
+TimedStream ScheduleConstantRate(const ElementSequence& elements, double rate,
+                                 double start_seconds = 0.0);
+
+// Shifts every arrival by `lag_seconds`.
+TimedStream ScheduleWithLag(TimedStream stream, double lag_seconds);
+
+struct BurstConfig {
+  double rate = 5000.0;            // generation rate, elements/sec
+  double stall_probability = 0.004;  // per element (paper: 0.3%-0.5%)
+  double stall_mean_seconds = 0.020;  // truncated normal mean (paper: 20)
+  double stall_stddev_seconds = 0.005;  // (paper: 5)
+  uint64_t seed = 1;
+};
+
+// Generation is constant-rate, but the delivery channel occasionally stalls;
+// elements generated during a stall queue up and flush at the stall's end.
+TimedStream ScheduleBursty(const ElementSequence& elements,
+                           const BurstConfig& config);
+
+struct CongestionWindow {
+  double start_seconds;
+  double end_seconds;
+  double extra_delay_mean_seconds;    // added per element while congested
+  double extra_delay_stddev_seconds;
+};
+
+struct CongestionConfig {
+  double rate = 5000.0;
+  std::vector<CongestionWindow> windows;
+  uint64_t seed = 1;
+};
+
+// Constant-rate generation; while the channel clock is inside a congestion
+// window, each delivery pays an extra normally distributed delay.
+TimedStream ScheduleCongestion(const ElementSequence& elements,
+                               const CongestionConfig& config);
+
+}  // namespace lmerge
+
+#endif  // LMERGE_ENGINE_DELAY_H_

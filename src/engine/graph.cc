@@ -1,0 +1,63 @@
+#include "engine/graph.h"
+
+namespace lmerge {
+
+Status QueryGraph::DeriveAll(
+    std::map<const Operator*, StreamProperties>* out) const {
+  out->clear();
+  // Input-port properties resolved so far: (op, port) -> properties.
+  std::map<std::pair<const Operator*, int>, StreamProperties> ports;
+  for (const Entry& entry : entries_) {
+    ports[{entry.op, entry.port}] = entry.properties;
+  }
+
+  // Fixed-point: resolve any operator whose input ports are all known.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const auto& op : operators_) {
+      if (out->count(op.get()) > 0) continue;
+      std::vector<StreamProperties> inputs;
+      bool ready = true;
+      for (int port = 0; port < op->input_count(); ++port) {
+        auto it = ports.find({op.get(), port});
+        if (it == ports.end()) {
+          ready = false;
+          break;
+        }
+        inputs.push_back(it->second);
+      }
+      if (!ready) continue;
+      const StreamProperties derived = op->DeriveProperties(inputs);
+      (*out)[op.get()] = derived;
+      for (const Edge& edge : edges_) {
+        if (edge.from == op.get()) ports[{edge.to, edge.port}] = derived;
+      }
+      progress = true;
+    }
+  }
+
+  for (const auto& op : operators_) {
+    if (out->count(op.get()) == 0) {
+      return Status::FailedPrecondition(
+          "operator '" + op->name() +
+          "' has undeclared/unconnected inputs or sits on a cycle");
+    }
+  }
+  return Status::Ok();
+}
+
+Status QueryGraph::DeriveFor(const Operator* op,
+                             StreamProperties* out) const {
+  std::map<const Operator*, StreamProperties> all;
+  const Status status = DeriveAll(&all);
+  if (!status.ok()) return status;
+  auto it = all.find(op);
+  if (it == all.end()) {
+    return Status::NotFound("operator not owned by this graph");
+  }
+  *out = it->second;
+  return Status::Ok();
+}
+
+}  // namespace lmerge

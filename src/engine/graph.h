@@ -1,0 +1,88 @@
+// QueryGraph: owns a dataflow of Operators and derives stream properties
+// across it (Sec. IV-G: "how such properties may be derived from query
+// plans").
+//
+// Entry ports are the graph's external inputs; each carries a declared
+// StreamProperties annotation (what the source guarantees).  DeriveAll()
+// pushes annotations through every operator's transfer function in
+// topological order, yielding the output properties of each operator — the
+// input to ChooseAlgorithm when an LMerge is placed on top.
+
+#ifndef LMERGE_ENGINE_GRAPH_H_
+#define LMERGE_ENGINE_GRAPH_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "operators/operator.h"
+
+namespace lmerge {
+
+class QueryGraph {
+ public:
+  QueryGraph() = default;
+
+  // Constructs and owns an operator.
+  template <typename Op, typename... Args>
+  Op* Add(Args&&... args) {
+    auto op = std::make_unique<Op>(std::forward<Args>(args)...);
+    Op* raw = op.get();
+    operators_.push_back(std::move(op));
+    return raw;
+  }
+
+  // Wires `from`'s output into `to`'s input `port` (also registers the edge
+  // for property propagation and feedback).
+  void Connect(Operator* from, Operator* to, int port) {
+    from->AddDownstream(to, port);
+    edges_.push_back(Edge{from, to, port});
+  }
+
+  // Declares `op`'s input `port` as a graph entry with the given source
+  // guarantees.
+  void DeclareEntry(Operator* op, int port, StreamProperties properties) {
+    entries_.push_back(Entry{op, port, properties});
+  }
+
+  // Derived output properties for every operator, or an error if some input
+  // port is neither connected nor declared (or the graph is cyclic).
+  Status DeriveAll(std::map<const Operator*, StreamProperties>* out) const;
+
+  // Convenience: derived output properties of one operator.
+  Status DeriveFor(const Operator* op, StreamProperties* out) const;
+
+  const std::vector<std::unique_ptr<Operator>>& operators() const {
+    return operators_;
+  }
+
+  // Total state bytes across all owned operators.
+  int64_t TotalStateBytes() const {
+    int64_t bytes = 0;
+    for (const auto& op : operators_) bytes += op->StateBytes();
+    return bytes;
+  }
+
+ private:
+  struct Edge {
+    Operator* from;
+    Operator* to;
+    int port;
+  };
+  struct Entry {
+    Operator* op;
+    int port;
+    StreamProperties properties;
+  };
+
+  std::vector<std::unique_ptr<Operator>> operators_;
+  std::vector<Edge> edges_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_ENGINE_GRAPH_H_

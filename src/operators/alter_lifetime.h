@@ -1,0 +1,82 @@
+// AlterLifetime: rewrites event lifetimes — the "lifetime modification"
+// step the paper composes after an aggregate to synthesize streams with
+// adjust() traffic (Sec. VI-B).
+//
+// The operator clips every lifetime to at most `max_duration` ticks from Vs
+// (Ve' = min(Ve, Vs + d)).  Because the mapping depends only on (Vs, Ve), an
+// input adjust translates deterministically: if the clipped old and new ends
+// coincide the adjust is absorbed, otherwise it is re-emitted clipped.
+// Stable() elements pass through unchanged (clipping can only shorten
+// lifetimes, which never violates an input-stable guarantee... shortening
+// produces Ve' <= Ve, and a stable(Vc) forbids future Ve < Vc — so a clipped
+// end could fall below an already-announced stable point.  To stay well
+// formed the operator never clips an end below the latest stable point it
+// has forwarded).
+
+#ifndef LMERGE_OPERATORS_ALTER_LIFETIME_H_
+#define LMERGE_OPERATORS_ALTER_LIFETIME_H_
+
+#include <algorithm>
+#include <utility>
+
+#include "operators/operator.h"
+
+namespace lmerge {
+
+class AlterLifetime : public Operator {
+ public:
+  AlterLifetime(std::string name, Timestamp max_duration)
+      : Operator(std::move(name), 1), max_duration_(max_duration) {
+    LM_CHECK(max_duration > 0);
+  }
+
+  StreamProperties DeriveProperties(
+      const std::vector<StreamProperties>& inputs) const override {
+    LM_CHECK(inputs.size() == 1);
+    StreamProperties out = inputs[0];
+    // Vs values are untouched, so ordering properties survive; so does the
+    // (Vs, payload) key.  Clipping cannot introduce adjusts on an
+    // insert-only stream.
+    return out;
+  }
+
+ protected:
+  void OnElement(int port, const StreamElement& element) override {
+    (void)port;
+    switch (element.kind()) {
+      case ElementKind::kInsert:
+        EmitInsert(element.payload(), element.vs(),
+                   Clip(element.vs(), element.ve()));
+        break;
+      case ElementKind::kAdjust: {
+        const Timestamp old_clipped = Clip(element.vs(), element.v_old());
+        const Timestamp new_clipped = Clip(element.vs(), element.ve());
+        if (old_clipped != new_clipped) {
+          EmitAdjust(element.payload(), element.vs(), old_clipped,
+                     new_clipped);
+        }
+        break;
+      }
+      case ElementKind::kStable:
+        last_stable_ = std::max(last_stable_, element.stable_time());
+        Emit(element);
+        break;
+    }
+  }
+
+ private:
+  Timestamp Clip(Timestamp vs, Timestamp ve) const {
+    const Timestamp clipped =
+        std::min(ve, vs > kInfinity - max_duration_ ? kInfinity
+                                                    : vs + max_duration_);
+    // Never clip below the stable point already announced downstream.
+    return std::max(clipped, std::min(ve, last_stable_));
+  }
+
+  Timestamp max_duration_;
+  Timestamp last_stable_ = kMinTimestamp;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_OPERATORS_ALTER_LIFETIME_H_

@@ -1,0 +1,58 @@
+#include "operators/cleanse.h"
+
+#include <algorithm>
+
+namespace lmerge {
+
+void Cleanse::OnElement(int port, const StreamElement& element) {
+  (void)port;
+  switch (element.kind()) {
+    case ElementKind::kInsert: {
+      auto [it, inserted] = buffer_.emplace(
+          VsPayload(element.vs(), element.payload()), element.ve());
+      if (inserted) {
+        state_bytes_ += element.payload().DeepSizeBytes() + 64;
+      } else {
+        it->second = element.ve();
+      }
+      break;
+    }
+    case ElementKind::kAdjust: {
+      auto it = buffer_.find(VsPayload(element.vs(), element.payload()));
+      if (it == buffer_.end()) break;
+      if (element.ve() == element.vs()) {
+        state_bytes_ -= it->first.payload.DeepSizeBytes() + 64;
+        buffer_.erase(it);
+      } else {
+        it->second = element.ve();
+      }
+      break;
+    }
+    case ElementKind::kStable: {
+      const Timestamp t = element.stable_time();
+      // Release the maximal in-order prefix of fully frozen events.  An
+      // event blocks the scan as soon as its Ve is not yet frozen: anything
+      // after it may still shrink below it, but nothing can move before it.
+      auto it = buffer_.begin();
+      Timestamp release_bound = t;  // output stable point candidate
+      while (it != buffer_.end() && it->first.vs < t) {
+        if (it->second >= t) {
+          // Not fully frozen: future adjusts may still change it, so it —
+          // and everything ordered after it — must wait.
+          release_bound = std::min(release_bound, it->first.vs);
+          break;
+        }
+        EmitInsert(it->first.payload, it->first.vs, it->second);
+        state_bytes_ -= it->first.payload.DeepSizeBytes() + 64;
+        it = buffer_.erase(it);
+      }
+      if (release_bound > out_stable_) {
+        out_stable_ = release_bound;
+        EmitStable(release_bound);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace lmerge

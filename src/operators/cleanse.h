@@ -1,0 +1,56 @@
+// Cleanse: the property-enforcing operator of Sec. VI-D.
+//
+// Accepts a disordered stream with revisions and buffers everything until a
+// stable() element arrives, then releases — in (Vs, payload) order — the
+// maximal prefix of fully frozen events that cannot be overtaken by any
+// later element.  Its output is ordered, insert-only, and deterministic on
+// ties, so it can feed LMergeR1 (the C+LMR1 strategy).  The cost is exactly
+// what Fig. 7 shows: the buffer holds every event until the stable point
+// crosses its Ve, so memory scales with lifetimes and disorder, latency with
+// event lifetime, and each input stream pays for its own private buffer.
+
+#ifndef LMERGE_OPERATORS_CLEANSE_H_
+#define LMERGE_OPERATORS_CLEANSE_H_
+
+#include <map>
+#include <utility>
+
+#include "operators/operator.h"
+#include "temporal/event.h"
+
+namespace lmerge {
+
+class Cleanse : public Operator {
+ public:
+  explicit Cleanse(std::string name) : Operator(std::move(name), 1) {}
+
+  StreamProperties DeriveProperties(
+      const std::vector<StreamProperties>& inputs) const override {
+    LM_CHECK(inputs.size() == 1);
+    StreamProperties out;
+    out.insert_only = true;
+    out.ordered = true;
+    out.deterministic_ties = true;  // released in (Vs, payload) order
+    out.vs_payload_key = inputs[0].vs_payload_key;
+    return out.Normalized();
+  }
+
+  int64_t StateBytes() const override { return state_bytes_; }
+  int64_t buffered_count() const {
+    return static_cast<int64_t>(buffer_.size());
+  }
+
+ protected:
+  void OnElement(int port, const StreamElement& element) override;
+
+ private:
+  // (Vs, payload) -> current Ve.  Assumes the (Vs, payload) key property
+  // (duplicates would need a count; the evaluation streams satisfy it).
+  std::map<VsPayload, Timestamp, VsPayloadLess> buffer_;
+  int64_t state_bytes_ = 0;
+  Timestamp out_stable_ = kMinTimestamp;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_OPERATORS_CLEANSE_H_

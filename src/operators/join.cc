@@ -1,0 +1,104 @@
+#include "operators/join.h"
+
+#include <algorithm>
+
+namespace lmerge {
+
+void TemporalJoin::PairAgainstOtherSide(int port, const StoredEvent& mine,
+                                        Timestamp old_ve) {
+  const int other = 1 - port;
+  auto it = sides_[other].find(
+      mine.payload.field(key_column_[static_cast<size_t>(port)]));
+  if (it == sides_[other].end()) return;
+  for (const StoredEvent& theirs : it->second) {
+    const Timestamp start = IntersectStart(mine, theirs);
+    const Timestamp old_end =
+        std::min(old_ve, theirs.ve) > start ? std::min(old_ve, theirs.ve)
+                                            : start;
+    const Timestamp new_end =
+        IntersectEnd(mine, theirs) > start ? IntersectEnd(mine, theirs)
+                                           : start;
+    if (old_end == new_end) continue;  // intersection unchanged
+    const Row out_row =
+        port == 0 ? JoinRow(mine, theirs) : JoinRow(theirs, mine);
+    if (old_end == start) {
+      // No previous intersection: a new join result appears.
+      EmitInsert(out_row, start, new_end);
+    } else if (new_end == start) {
+      // The intersection vanished: retract.
+      EmitAdjust(out_row, start, old_end, start);
+    } else {
+      EmitAdjust(out_row, start, old_end, new_end);
+    }
+  }
+}
+
+void TemporalJoin::PurgeBelow(SideIndex& side, Timestamp t) {
+  auto it = side.begin();
+  while (it != side.end()) {
+    auto& events = it->second;
+    for (size_t i = 0; i < events.size();) {
+      if (events[i].ve < t) {
+        state_bytes_ -= events[i].payload.DeepSizeBytes() + 32;
+        events[i] = events.back();
+        events.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    if (events.empty()) {
+      it = side.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void TemporalJoin::OnElement(int port, const StreamElement& element) {
+  LM_DCHECK(port == 0 || port == 1);
+  SideIndex& mine = sides_[port];
+  switch (element.kind()) {
+    case ElementKind::kInsert: {
+      StoredEvent stored{element.payload(), element.vs(), element.ve()};
+      PairAgainstOtherSide(port, stored, /*old_ve=*/element.vs());
+      mine[element.payload().field(key_column_[static_cast<size_t>(port)])]
+          .push_back(stored);
+      state_bytes_ += element.payload().DeepSizeBytes() + 32;
+      break;
+    }
+    case ElementKind::kAdjust: {
+      auto it = mine.find(
+          element.payload().field(key_column_[static_cast<size_t>(port)]));
+      if (it == mine.end()) break;
+      for (size_t i = 0; i < it->second.size(); ++i) {
+        StoredEvent& stored = it->second[i];
+        if (stored.vs == element.vs() && stored.ve == element.v_old() &&
+            stored.payload == element.payload()) {
+          stored.ve = element.ve();
+          PairAgainstOtherSide(port, stored, /*old_ve=*/element.v_old());
+          if (stored.ve == stored.vs) {
+            state_bytes_ -= stored.payload.DeepSizeBytes() + 32;
+            it->second[i] = it->second.back();
+            it->second.pop_back();
+            if (it->second.empty()) mine.erase(it);
+          }
+          break;
+        }
+      }
+      break;
+    }
+    case ElementKind::kStable: {
+      stables_[port] = std::max(stables_[port], element.stable_time());
+      const Timestamp merged = std::min(stables_[0], stables_[1]);
+      if (merged > out_stable_) {
+        out_stable_ = merged;
+        PurgeBelow(sides_[0], merged);
+        PurgeBelow(sides_[1], merged);
+        EmitStable(merged);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace lmerge

@@ -1,0 +1,79 @@
+// MultiwayJoin: a single N-ary temporal equi-join operator.
+//
+// Sec. I motivates LMerge with plan diversity: "a temporal join of three
+// streams A, B, and C can be processed using two-way joins as A ⋈ (B ⋈ C),
+// B ⋈ (A ⋈ C), etc. or using one three-way join operator".  This operator is
+// the one-operator plan; together with cascades of TemporalJoin it gives
+// physically divergent but logically equivalent plans for the same query —
+// exactly what LMerge combines.
+//
+// Semantics: for every combination of events, one per input, with equal
+// join-key values and a non-empty common lifetime intersection, emit an
+// event whose payload concatenates the input payloads (in input order) and
+// whose lifetime is the intersection.  Insert-only inputs (revisions are
+// rejected; plans that need them use binary-join cascades).  The output
+// stable point is the minimum across inputs; state below it is purged.
+
+#ifndef LMERGE_OPERATORS_MULTIWAY_JOIN_H_
+#define LMERGE_OPERATORS_MULTIWAY_JOIN_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "operators/operator.h"
+
+namespace lmerge {
+
+class MultiwayJoin : public Operator {
+ public:
+  // key_columns[i] is the join-key column of input i.
+  MultiwayJoin(std::string name, std::vector<int64_t> key_columns)
+      : Operator(std::move(name), static_cast<int>(key_columns.size())),
+        key_columns_(std::move(key_columns)),
+        sides_(key_columns_.size()),
+        stables_(key_columns_.size(), kMinTimestamp) {
+    LM_CHECK(key_columns_.size() >= 2);
+  }
+
+  StreamProperties DeriveProperties(
+      const std::vector<StreamProperties>& inputs) const override {
+    LM_CHECK(inputs.size() == key_columns_.size());
+    StreamProperties out;
+    out.insert_only = true;
+    for (const StreamProperties& p : inputs) {
+      out.insert_only = out.insert_only && p.insert_only;
+    }
+    return out;
+  }
+
+  int64_t StateBytes() const override { return state_bytes_; }
+
+ protected:
+  void OnElement(int port, const StreamElement& element) override;
+
+ private:
+  struct StoredEvent {
+    Row payload;
+    Timestamp vs;
+    Timestamp ve;
+  };
+  using SideIndex = std::map<Value, std::vector<StoredEvent>>;
+
+  // Recursively enumerates one match per remaining side and emits the
+  // combined event.  `chosen[i]` points at the match for side i (the new
+  // event for `new_port`).
+  void Enumerate(const Value& key, int new_port, size_t side,
+                 std::vector<const StoredEvent*>* chosen);
+  void EmitCombination(const std::vector<const StoredEvent*>& chosen);
+
+  std::vector<int64_t> key_columns_;
+  std::vector<SideIndex> sides_;
+  std::vector<Timestamp> stables_;
+  Timestamp out_stable_ = kMinTimestamp;
+  int64_t state_bytes_ = 0;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_OPERATORS_MULTIWAY_JOIN_H_

@@ -1,0 +1,134 @@
+// Operator: base class of the push-based temporal query operators.
+//
+// Operators form a dataflow graph (engine/graph.h).  Each operator has a
+// fixed-arity set of input ports and one logical output that fans out to any
+// number of downstream (operator, port) targets and terminal ElementSinks.
+// Delivery is synchronous: Consume() runs the operator and pushes its output
+// downstream in the same call.
+//
+// Feedback (Sec. V-D): a downstream operator (LMerge) may announce that
+// elements whose lifetime ends before time t are no longer of interest.
+// OnFeedback records the horizon, lets the operator purge state or skip
+// work, and by default propagates the signal further upstream — the
+// "fast-forward" channel used for dynamic plan selection.
+
+#ifndef LMERGE_OPERATORS_OPERATOR_H_
+#define LMERGE_OPERATORS_OPERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/timestamp.h"
+#include "properties/properties.h"
+#include "stream/element.h"
+#include "stream/sink.h"
+
+namespace lmerge {
+
+class Operator {
+ public:
+  Operator(std::string name, int input_count)
+      : name_(std::move(name)), input_count_(input_count) {
+    LM_CHECK(input_count >= 0);
+  }
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  const std::string& name() const { return name_; }
+  int input_count() const { return input_count_; }
+
+  // Delivers one element to input `port`.
+  void Consume(int port, const StreamElement& element) {
+    LM_DCHECK(port >= 0 && port < input_count_);
+    OnElement(port, element);
+  }
+
+  // Wires this operator's output to `downstream`'s input `port`, and
+  // registers the reverse edge for feedback propagation.
+  void AddDownstream(Operator* downstream, int port) {
+    LM_CHECK(downstream != nullptr);
+    LM_CHECK(port >= 0 && port < downstream->input_count());
+    targets_.push_back({downstream, port});
+    downstream->upstreams_.push_back(this);
+  }
+
+  // Registers a terminal sink for this operator's output.
+  void AddSink(ElementSink* sink) {
+    LM_CHECK(sink != nullptr);
+    sinks_.push_back(sink);
+  }
+
+  // Receives a feedback signal from downstream: elements whose lifetime ends
+  // before `horizon` are no longer of interest.  Default behaviour records
+  // the horizon and propagates upstream; stateful operators override to also
+  // purge state, then call the base implementation.
+  virtual void OnFeedback(Timestamp horizon) {
+    if (horizon <= feedback_horizon_) return;
+    feedback_horizon_ = horizon;
+    PropagateFeedback(horizon);
+  }
+
+  // Output stream properties given the properties of each input (transfer
+  // function of Sec. IV-G).  Default: nothing guaranteed.
+  virtual StreamProperties DeriveProperties(
+      const std::vector<StreamProperties>& inputs) const {
+    (void)inputs;
+    return StreamProperties::None();
+  }
+
+  // Bytes of operator state (indexes, buffers, payload copies).
+  virtual int64_t StateBytes() const { return 0; }
+
+  Timestamp feedback_horizon() const { return feedback_horizon_; }
+
+ protected:
+  // Implemented by concrete operators.
+  virtual void OnElement(int port, const StreamElement& element) = 0;
+
+  // Pushes an output element to every downstream target and sink.
+  void Emit(const StreamElement& element) {
+    for (ElementSink* sink : sinks_) sink->OnElement(element);
+    for (const Target& target : targets_) {
+      target.op->Consume(target.port, element);
+    }
+  }
+
+  void EmitInsert(const Row& payload, Timestamp vs, Timestamp ve) {
+    Emit(StreamElement::Insert(payload, vs, ve));
+  }
+  void EmitAdjust(const Row& payload, Timestamp vs, Timestamp v_old,
+                  Timestamp ve) {
+    Emit(StreamElement::Adjust(payload, vs, v_old, ve));
+  }
+  void EmitStable(Timestamp t) { Emit(StreamElement::Stable(t)); }
+
+  // Sends feedback to every upstream operator.
+  void PropagateFeedback(Timestamp horizon) {
+    for (Operator* upstream : upstreams_) upstream->OnFeedback(horizon);
+  }
+
+  // Allows subclasses with dynamic arity (LMerge attach) to grow.
+  void GrowInputs() { ++input_count_; }
+
+  Timestamp feedback_horizon_ = kMinTimestamp;
+
+ private:
+  struct Target {
+    Operator* op;
+    int port;
+  };
+
+  std::string name_;
+  int input_count_;
+  std::vector<Target> targets_;
+  std::vector<ElementSink*> sinks_;
+  std::vector<Operator*> upstreams_;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_OPERATORS_OPERATOR_H_

@@ -1,0 +1,62 @@
+// Project: payload transformation (map).  Applies a row function to every
+// insert/adjust payload; lifetimes and stable() elements pass through.
+//
+// Property transfer: order and insert-only are preserved; (Vs, payload)
+// uniqueness and deterministic tie order are *not* (the mapping may collapse
+// distinct payloads), unless the caller declares the function injective.
+
+#ifndef LMERGE_OPERATORS_PROJECT_H_
+#define LMERGE_OPERATORS_PROJECT_H_
+
+#include <functional>
+#include <utility>
+
+#include "operators/operator.h"
+
+namespace lmerge {
+
+class Project : public Operator {
+ public:
+  using RowFn = std::function<Row(const Row&)>;
+
+  Project(std::string name, RowFn fn, bool injective = false)
+      : Operator(std::move(name), 1),
+        fn_(std::move(fn)),
+        injective_(injective) {}
+
+  StreamProperties DeriveProperties(
+      const std::vector<StreamProperties>& inputs) const override {
+    LM_CHECK(inputs.size() == 1);
+    StreamProperties out = inputs[0];
+    if (!injective_) {
+      out.vs_payload_key = false;
+      out.deterministic_ties = false;
+    }
+    return out.Normalized();
+  }
+
+ protected:
+  void OnElement(int port, const StreamElement& element) override {
+    (void)port;
+    switch (element.kind()) {
+      case ElementKind::kInsert:
+        EmitInsert(fn_(element.payload()), element.vs(), element.ve());
+        break;
+      case ElementKind::kAdjust:
+        EmitAdjust(fn_(element.payload()), element.vs(), element.v_old(),
+                   element.ve());
+        break;
+      case ElementKind::kStable:
+        Emit(element);
+        break;
+    }
+  }
+
+ private:
+  RowFn fn_;
+  bool injective_;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_OPERATORS_PROJECT_H_

@@ -1,0 +1,49 @@
+// Sampler: deterministic hash-based sampling — one of the "data-reducing
+// operators" Sec. I cites as the reason to push elements through a plan
+// without ordering them first.
+//
+// Keeps an insert (and the adjusts that target it) iff
+// hash(payload) % modulus == residue.  Because the decision is a pure
+// function of the payload, every physically divergent copy of a stream
+// samples identically, so all input stream properties are preserved.
+
+#ifndef LMERGE_OPERATORS_SAMPLER_H_
+#define LMERGE_OPERATORS_SAMPLER_H_
+
+#include <utility>
+
+#include "operators/operator.h"
+
+namespace lmerge {
+
+class Sampler : public Operator {
+ public:
+  Sampler(std::string name, uint64_t modulus, uint64_t residue = 0)
+      : Operator(std::move(name), 1), modulus_(modulus), residue_(residue) {
+    LM_CHECK(modulus >= 1);
+    LM_CHECK(residue < modulus);
+  }
+
+  StreamProperties DeriveProperties(
+      const std::vector<StreamProperties>& inputs) const override {
+    LM_CHECK(inputs.size() == 1);
+    return inputs[0];
+  }
+
+ protected:
+  void OnElement(int port, const StreamElement& element) override {
+    (void)port;
+    if (element.is_stable() ||
+        element.payload().hash() % modulus_ == residue_) {
+      Emit(element);
+    }
+  }
+
+ private:
+  uint64_t modulus_;
+  uint64_t residue_;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_OPERATORS_SAMPLER_H_

@@ -1,0 +1,112 @@
+// Select: temporal filter.  Passes insert/adjust elements whose payload
+// satisfies a predicate; stable() elements always pass.  Stateless, so every
+// input stream property is preserved except strictly-increasing degrades to
+// ordered only in spirit — dropping elements cannot create ties, so it is in
+// fact preserved too.
+//
+// UdfSelect is the expensive user-defined-function variant used by the
+// dynamic plan-selection experiments (Sec. VI-E): its per-element cost is
+// supplied by a cost function, and a feedback signal lets it *skip the UDF
+// entirely* for elements whose lifetime ends before the feedback horizon —
+// the "fast-forward" work saving.
+
+#ifndef LMERGE_OPERATORS_SELECT_H_
+#define LMERGE_OPERATORS_SELECT_H_
+
+#include <functional>
+#include <utility>
+
+#include "operators/operator.h"
+
+namespace lmerge {
+
+class Select : public Operator {
+ public:
+  using Predicate = std::function<bool(const Row&)>;
+
+  Select(std::string name, Predicate predicate)
+      : Operator(std::move(name), 1), predicate_(std::move(predicate)) {}
+
+  StreamProperties DeriveProperties(
+      const std::vector<StreamProperties>& inputs) const override {
+    LM_CHECK(inputs.size() == 1);
+    return inputs[0];  // filtering preserves order, keys, and insert-only
+  }
+
+ protected:
+  void OnElement(int port, const StreamElement& element) override {
+    (void)port;
+    if (element.is_stable()) {
+      Emit(element);
+      return;
+    }
+    if (predicate_(element.payload())) Emit(element);
+  }
+
+ private:
+  Predicate predicate_;
+};
+
+class UdfSelect : public Operator {
+ public:
+  using Predicate = std::function<bool(const Row&)>;
+  // Returns the number of work units the UDF burns for this row.
+  using CostModel = std::function<int64_t(const Row&)>;
+
+  UdfSelect(std::string name, Predicate predicate, CostModel cost)
+      : Operator(std::move(name), 1),
+        predicate_(std::move(predicate)),
+        cost_(std::move(cost)) {}
+
+  // Total UDF work performed; the quantity feedback fast-forwarding saves.
+  int64_t work_done() const { return work_done_; }
+  int64_t elements_skipped() const { return elements_skipped_; }
+
+  StreamProperties DeriveProperties(
+      const std::vector<StreamProperties>& inputs) const override {
+    LM_CHECK(inputs.size() == 1);
+    return inputs[0];
+  }
+
+ protected:
+  void OnElement(int port, const StreamElement& element) override {
+    (void)port;
+    if (element.is_stable()) {
+      Emit(element);
+      return;
+    }
+    // Fast-forward: an element whose lifetime ends before the feedback
+    // horizon can never influence output past the horizon; skip the UDF.
+    if (element.ve() <= feedback_horizon_ &&
+        (!element.is_adjust() || element.v_old() <= feedback_horizon_)) {
+      ++elements_skipped_;
+      return;
+    }
+    work_done_ += BurnWork(element.payload());
+    if (predicate_(element.payload())) Emit(element);
+  }
+
+ private:
+  // Spends `cost_(row)` work units on a computation the optimizer cannot
+  // elide, so wall-clock benchmarks reflect the skipped work.
+  int64_t BurnWork(const Row& row) {
+    const int64_t units = cost_(row);
+    uint64_t acc = 0x9e3779b97f4a7c15ULL;
+    for (int64_t i = 0; i < units; ++i) {
+      acc ^= acc >> 33;
+      acc *= 0xff51afd7ed558ccdULL + static_cast<uint64_t>(i);
+    }
+    sink_ = sink_ ^ acc;  // publish so the loop is not dead code
+    return units;
+  }
+
+  Predicate predicate_;
+  CostModel cost_;
+  int64_t work_done_ = 0;
+  int64_t elements_skipped_ = 0;
+  volatile uint64_t sink_ = 0;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_OPERATORS_SELECT_H_

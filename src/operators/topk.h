@@ -1,0 +1,123 @@
+// TopK: per tumbling window, the k rows with the largest value in a chosen
+// column, emitted in rank order when the window finalizes.
+//
+// This is the Sec. IV-G example for case R1: every output window produces up
+// to k events sharing the same Vs (the window start), and every equivalent
+// plan presents them in the same deterministic order (descending value,
+// payload as tie-break).
+
+#ifndef LMERGE_OPERATORS_TOPK_H_
+#define LMERGE_OPERATORS_TOPK_H_
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "operators/operator.h"
+
+namespace lmerge {
+
+class TopK : public Operator {
+ public:
+  TopK(std::string name, Timestamp window_size, int64_t k,
+       int64_t value_column)
+      : Operator(std::move(name), 1),
+        window_size_(window_size),
+        k_(k),
+        value_column_(value_column) {
+    LM_CHECK(window_size > 0);
+    LM_CHECK(k >= 1);
+  }
+
+  StreamProperties DeriveProperties(
+      const std::vector<StreamProperties>& inputs) const override {
+    LM_CHECK(inputs.size() == 1);
+    StreamProperties out;
+    out.insert_only = true;
+    out.ordered = true;
+    out.deterministic_ties = true;  // rank order is the same on every plan
+    out.vs_payload_key = inputs[0].vs_payload_key;
+    return out.Normalized();
+  }
+
+  int64_t StateBytes() const override { return state_bytes_; }
+
+ protected:
+  void OnElement(int port, const StreamElement& element) override {
+    (void)port;
+    switch (element.kind()) {
+      case ElementKind::kInsert: {
+        const Timestamp w = WindowStart(element.vs());
+        windows_[w].push_back(element.payload());
+        state_bytes_ += element.payload().DeepSizeBytes() + 16;
+        break;
+      }
+      case ElementKind::kAdjust:
+        // Removal drops the row from its window; other adjusts are
+        // irrelevant to a Vs-keyed ranking.
+        if (element.ve() == element.vs()) {
+          const Timestamp w = WindowStart(element.vs());
+          auto it = windows_.find(w);
+          if (it == windows_.end()) break;
+          auto& rows = it->second;
+          for (size_t i = 0; i < rows.size(); ++i) {
+            if (rows[i] == element.payload()) {
+              state_bytes_ -= rows[i].DeepSizeBytes() + 16;
+              rows.erase(rows.begin() + static_cast<int64_t>(i));
+              break;
+            }
+          }
+        }
+        break;
+      case ElementKind::kStable: {
+        const Timestamp t = element.stable_time();
+        auto it = windows_.begin();
+        while (it != windows_.end() && it->first + window_size_ <= t) {
+          EmitWindow(it->first, it->second);
+          for (const Row& row : it->second) {
+            state_bytes_ -= row.DeepSizeBytes() + 16;
+          }
+          it = windows_.erase(it);
+        }
+        const Timestamp ws = WindowStart(t);
+        if (ws > out_stable_) {
+          out_stable_ = ws;
+          EmitStable(ws);
+        }
+        break;
+      }
+    }
+  }
+
+ private:
+  Timestamp WindowStart(Timestamp vs) const {
+    Timestamp w = vs / window_size_;
+    if (vs < 0 && vs % window_size_ != 0) --w;
+    return w * window_size_;
+  }
+
+  void EmitWindow(Timestamp w, std::vector<Row>& rows) {
+    std::sort(rows.begin(), rows.end(), [this](const Row& a, const Row& b) {
+      const int64_t va = a.field(value_column_).AsInt64();
+      const int64_t vb = b.field(value_column_).AsInt64();
+      if (va != vb) return va > vb;          // descending by value
+      return a.Compare(b) < 0;               // deterministic tie-break
+    });
+    const size_t n = std::min(rows.size(), static_cast<size_t>(k_));
+    for (size_t i = 0; i < n; ++i) {
+      EmitInsert(rows[i], w, w + window_size_);
+    }
+  }
+
+  Timestamp window_size_;
+  int64_t k_;
+  int64_t value_column_;
+  std::map<Timestamp, std::vector<Row>> windows_;
+  int64_t state_bytes_ = 0;
+  Timestamp out_stable_ = kMinTimestamp;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_OPERATORS_TOPK_H_

@@ -1,0 +1,64 @@
+// Union: multiset union of N input streams (the operator whose output "can
+// be disordered even if each input stream arrives in order" — Sec. I).
+//
+// Insert/adjust elements pass straight through.  Stable() elements are
+// merged conservatively: the output stable point is the minimum of the
+// latest stable points across inputs (an event may still arrive on a slower
+// input before that).  Property transfer: insert-only survives; ordering and
+// key properties do not (interleaving breaks them).
+
+#ifndef LMERGE_OPERATORS_UNION_OP_H_
+#define LMERGE_OPERATORS_UNION_OP_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "operators/operator.h"
+
+namespace lmerge {
+
+class UnionOp : public Operator {
+ public:
+  UnionOp(std::string name, int input_count)
+      : Operator(std::move(name), input_count),
+        stables_(static_cast<size_t>(input_count), kMinTimestamp) {
+    LM_CHECK(input_count >= 1);
+  }
+
+  StreamProperties DeriveProperties(
+      const std::vector<StreamProperties>& inputs) const override {
+    LM_CHECK(static_cast<int>(inputs.size()) == input_count());
+    StreamProperties out;
+    out.insert_only = true;
+    for (const StreamProperties& p : inputs) {
+      out.insert_only = out.insert_only && p.insert_only;
+    }
+    // Interleaving arbitrary inputs preserves neither order nor keys.
+    return out;
+  }
+
+ protected:
+  void OnElement(int port, const StreamElement& element) override {
+    if (!element.is_stable()) {
+      Emit(element);
+      return;
+    }
+    Timestamp& mine = stables_[static_cast<size_t>(port)];
+    mine = std::max(mine, element.stable_time());
+    const Timestamp merged =
+        *std::min_element(stables_.begin(), stables_.end());
+    if (merged > emitted_stable_) {
+      emitted_stable_ = merged;
+      EmitStable(merged);
+    }
+  }
+
+ private:
+  std::vector<Timestamp> stables_;
+  Timestamp emitted_stable_ = kMinTimestamp;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_OPERATORS_UNION_OP_H_

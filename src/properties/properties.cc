@@ -1,0 +1,84 @@
+#include "properties/properties.h"
+
+namespace lmerge {
+
+StreamProperties StreamProperties::Meet(const StreamProperties& other) const {
+  StreamProperties out;
+  out.insert_only = insert_only && other.insert_only;
+  out.ordered = ordered && other.ordered;
+  out.strictly_increasing = strictly_increasing && other.strictly_increasing;
+  out.deterministic_ties = deterministic_ties && other.deterministic_ties;
+  out.vs_payload_key = vs_payload_key && other.vs_payload_key;
+  return out.Normalized();
+}
+
+StreamProperties StreamProperties::Normalized() const {
+  StreamProperties out = *this;
+  if (out.strictly_increasing) {
+    out.ordered = true;
+    // With unique timestamps there are no ties to order.
+    out.deterministic_ties = true;
+  }
+  return out;
+}
+
+bool StreamProperties::Equals(const StreamProperties& other) const {
+  return insert_only == other.insert_only && ordered == other.ordered &&
+         strictly_increasing == other.strictly_increasing &&
+         deterministic_ties == other.deterministic_ties &&
+         vs_payload_key == other.vs_payload_key;
+}
+
+std::string StreamProperties::ToString() const {
+  std::string out = "{";
+  auto add = [&out](bool flag, const char* name) {
+    if (!flag) return;
+    if (out.size() > 1) out += ", ";
+    out += name;
+  };
+  add(insert_only, "insert_only");
+  add(ordered, "ordered");
+  add(strictly_increasing, "strictly_increasing");
+  add(deterministic_ties, "deterministic_ties");
+  add(vs_payload_key, "vs_payload_key");
+  out += "}";
+  return out;
+}
+
+const char* AlgorithmCaseName(AlgorithmCase algorithm_case) {
+  switch (algorithm_case) {
+    case AlgorithmCase::kR0:
+      return "R0";
+    case AlgorithmCase::kR1:
+      return "R1";
+    case AlgorithmCase::kR2:
+      return "R2";
+    case AlgorithmCase::kR3:
+      return "R3";
+    case AlgorithmCase::kR4:
+      return "R4";
+  }
+  return "?";
+}
+
+AlgorithmCase ChooseAlgorithm(const StreamProperties& properties) {
+  const StreamProperties p = properties.Normalized();
+  if (p.insert_only && p.strictly_increasing) return AlgorithmCase::kR0;
+  if (p.insert_only && p.ordered && p.deterministic_ties) {
+    return AlgorithmCase::kR1;
+  }
+  if (p.insert_only && p.ordered && p.vs_payload_key) {
+    return AlgorithmCase::kR2;
+  }
+  if (p.vs_payload_key) return AlgorithmCase::kR3;
+  return AlgorithmCase::kR4;
+}
+
+AlgorithmCase ChooseAlgorithm(const std::vector<StreamProperties>& inputs) {
+  if (inputs.empty()) return AlgorithmCase::kR4;
+  StreamProperties met = inputs[0];
+  for (size_t i = 1; i < inputs.size(); ++i) met = met.Meet(inputs[i]);
+  return ChooseAlgorithm(met);
+}
+
+}  // namespace lmerge

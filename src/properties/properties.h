@@ -1,0 +1,84 @@
+// Compile-time stream properties and LMerge algorithm selection (Sec. III-C,
+// IV-G).
+//
+// Properties may be stipulated by sources or derived by pushing them through
+// operator transfer functions (each Operator implements DeriveProperties).
+// ChooseAlgorithm maps the properties of LMerge's inputs to the cheapest
+// correct algorithm case R0..R4:
+//
+//   R0: insert/stable only, strictly increasing Vs.
+//   R1: insert/stable only, non-decreasing Vs, deterministic same-Vs order.
+//   R2: insert/stable only, non-decreasing Vs, (Vs,payload) key.
+//   R3: any elements/order, (Vs,payload) key.
+//   R4: no restrictions (multiset TDB).
+
+#ifndef LMERGE_PROPERTIES_PROPERTIES_H_
+#define LMERGE_PROPERTIES_PROPERTIES_H_
+
+#include <string>
+#include <vector>
+
+namespace lmerge {
+
+struct StreamProperties {
+  // No adjust elements ever appear.
+  bool insert_only = false;
+  // Vs values of insert elements are non-decreasing.
+  bool ordered = false;
+  // Vs values of insert elements are strictly increasing (implies ordered).
+  bool strictly_increasing = false;
+  // Elements with equal Vs appear in the same (deterministic) order on every
+  // physically divergent copy of the stream (e.g., rank order from Top-k).
+  bool deterministic_ties = false;
+  // (Vs, payload) is a key of every prefix TDB.
+  bool vs_payload_key = false;
+
+  // The weakest (fully general) stream: nothing guaranteed.
+  static StreamProperties None() { return StreamProperties(); }
+
+  // An ordered, insert-only source with strictly increasing timestamps and
+  // unique payload keys — the strongest common case.
+  static StreamProperties Strongest() {
+    StreamProperties p;
+    p.insert_only = true;
+    p.ordered = true;
+    p.strictly_increasing = true;
+    p.deterministic_ties = true;
+    p.vs_payload_key = true;
+    return p;
+  }
+
+  // The meet (conjunction) of two property sets: what is guaranteed when a
+  // stream may have come from either description (used when LMerge combines
+  // inputs with differing annotations).
+  StreamProperties Meet(const StreamProperties& other) const;
+
+  // Normalizes implications (strictly_increasing => ordered;
+  // strictly_increasing => deterministic_ties).
+  StreamProperties Normalized() const;
+
+  bool Equals(const StreamProperties& other) const;
+
+  std::string ToString() const;
+};
+
+enum class AlgorithmCase {
+  kR0,
+  kR1,
+  kR2,
+  kR3,
+  kR4,
+};
+
+const char* AlgorithmCaseName(AlgorithmCase algorithm_case);
+
+// Picks the cheapest LMerge algorithm that is correct for inputs with the
+// given (already met/normalized) properties.
+AlgorithmCase ChooseAlgorithm(const StreamProperties& properties);
+
+// Convenience: meet over all inputs, then choose.
+AlgorithmCase ChooseAlgorithm(const std::vector<StreamProperties>& inputs);
+
+}  // namespace lmerge
+
+#endif  // LMERGE_PROPERTIES_PROPERTIES_H_

@@ -1,0 +1,87 @@
+#include "properties/runtime_stats.h"
+
+#include <algorithm>
+
+namespace lmerge {
+
+void StreamStatsCollector::Observe(const StreamElement& element) {
+  ++elements_;
+  switch (element.kind()) {
+    case ElementKind::kInsert: {
+      ++inserts_;
+      if (any_insert_) {
+        if (element.vs() < max_vs_) ++vs_regressions_;
+        if (element.vs() == max_vs_) ++vs_ties_;
+      }
+      any_insert_ = true;
+      max_vs_ = std::max(max_vs_, element.vs());
+      int64_t& multiplicity =
+          live_[VsPayload(element.vs(), element.payload())];
+      ++multiplicity;
+      if (multiplicity > 1) {
+        ++key_violations_;
+        max_duplicates_ = std::max(max_duplicates_, multiplicity);
+      }
+      int64_t& at_vs = per_vs_[element.vs()];
+      ++at_vs;
+      max_same_vs_ = std::max(max_same_vs_, at_vs);
+      break;
+    }
+    case ElementKind::kAdjust: {
+      ++adjusts_;
+      auto it = live_.find(VsPayload(element.vs(), element.payload()));
+      if (it != live_.end() && element.ve() == element.vs()) {
+        // Full removal.
+        if (--it->second == 0) live_.erase(it);
+        auto vs_it = per_vs_.find(element.vs());
+        if (vs_it != per_vs_.end() && --vs_it->second == 0) {
+          per_vs_.erase(vs_it);
+        }
+      }
+      break;
+    }
+    case ElementKind::kStable: {
+      ++stables_;
+      stable_point_ = std::max(stable_point_, element.stable_time());
+      // Only an approximation of full freezing is possible without end
+      // times per key; prune keys whose Vs precedes the stable point and
+      // whose events cannot change population (kept simple: prune by Vs —
+      // the live count is an upper bound used for sizing, not correctness).
+      auto it = live_.begin();
+      while (it != live_.end() && it->first.vs < stable_point_) {
+        auto vs_it = per_vs_.find(it->first.vs);
+        if (vs_it != per_vs_.end()) {
+          vs_it->second -= it->second;
+          if (vs_it->second <= 0) per_vs_.erase(vs_it);
+        }
+        it = live_.erase(it);
+      }
+      break;
+    }
+  }
+}
+
+StreamProperties StreamStatsCollector::ObservedProperties() const {
+  StreamProperties p;
+  p.insert_only = adjusts_ == 0;
+  p.ordered = vs_regressions_ == 0;
+  p.strictly_increasing = vs_regressions_ == 0 && vs_ties_ == 0;
+  p.deterministic_ties = vs_ties_ == 0;  // unobservable; claim only if moot
+  p.vs_payload_key = key_violations_ == 0;
+  return p.Normalized();
+}
+
+std::string StreamStatsCollector::ToString() const {
+  std::string out = "StreamStats{elements=" + std::to_string(elements_) +
+                    ", inserts=" + std::to_string(inserts_) +
+                    ", adjusts=" + std::to_string(adjusts_) +
+                    ", stables=" + std::to_string(stables_) +
+                    ", w=" + std::to_string(live_keys_w()) +
+                    ", d=" + std::to_string(max_duplicates_) +
+                    ", g=" + std::to_string(max_same_vs_) + ", observed=" +
+                    ObservedProperties().ToString() + ", recommend=" +
+                    AlgorithmCaseName(RecommendAlgorithm()) + "}";
+  return out;
+}
+
+}  // namespace lmerge

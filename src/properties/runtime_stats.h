@@ -1,0 +1,88 @@
+// Runtime stream statistics (Sec. IV-F): the quantities Table IV's
+// complexity analysis is phrased in, measured from a live stream, plus a
+// runtime recommendation of the cheapest safe LMerge algorithm.
+//
+// "These properties can be measured as statistics during runtime, although
+// some may be determined statically based on operators in the plan."
+// Compile-time derivation (QueryGraph::DeriveAll) is preferred when plan
+// knowledge exists; this collector is for opaque sources: observe a prefix,
+// then instantiate (or re-instantiate) the right variant.
+//
+// Measured quantities (live = not fully frozen under the latest stable):
+//   w — live distinct (Vs, payload) keys;
+//   d — max elements sharing one (Vs, payload);
+//   g — max events sharing one Vs;
+//   observed violations of ordering / insert-only / key-ness.
+
+#ifndef LMERGE_PROPERTIES_RUNTIME_STATS_H_
+#define LMERGE_PROPERTIES_RUNTIME_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/timestamp.h"
+#include "properties/properties.h"
+#include "stream/element.h"
+#include "temporal/event.h"
+
+namespace lmerge {
+
+class StreamStatsCollector {
+ public:
+  // Observes one element.  Unlike the validator this never rejects; it
+  // records what the stream *actually does*.
+  void Observe(const StreamElement& element);
+
+  int64_t elements_observed() const { return elements_; }
+  int64_t inserts() const { return inserts_; }
+  int64_t adjusts() const { return adjusts_; }
+  int64_t stables() const { return stables_; }
+
+  // Sec. IV-F quantities.
+  int64_t live_keys_w() const {
+    return static_cast<int64_t>(live_.size());
+  }
+  int64_t max_duplicates_d() const { return max_duplicates_; }
+  int64_t max_same_vs_g() const { return max_same_vs_; }
+
+  bool saw_adjust() const { return adjusts_ > 0; }
+  bool saw_vs_regression() const { return vs_regressions_ > 0; }
+  bool saw_vs_tie() const { return vs_ties_ > 0; }
+  bool saw_key_violation() const { return key_violations_ > 0; }
+
+  // The strongest property set consistent with everything observed so far.
+  // Deterministic tie order cannot be observed from a single stream, so it
+  // is claimed only when no ties occurred at all.
+  StreamProperties ObservedProperties() const;
+
+  // Cheapest algorithm safe for streams shaped like the observations
+  // (== ChooseAlgorithm(ObservedProperties())).
+  AlgorithmCase RecommendAlgorithm() const {
+    return ChooseAlgorithm(ObservedProperties());
+  }
+
+  std::string ToString() const;
+
+ private:
+  // live (Vs, payload) -> multiplicity.
+  std::map<VsPayload, int64_t, VsPayloadLess> live_;
+  std::map<Timestamp, int64_t> per_vs_;  // live events per Vs
+
+  int64_t elements_ = 0;
+  int64_t inserts_ = 0;
+  int64_t adjusts_ = 0;
+  int64_t stables_ = 0;
+  int64_t vs_regressions_ = 0;
+  int64_t vs_ties_ = 0;
+  int64_t key_violations_ = 0;
+  int64_t max_duplicates_ = 1;
+  int64_t max_same_vs_ = 0;
+  Timestamp max_vs_ = kMinTimestamp;
+  Timestamp stable_point_ = kMinTimestamp;
+  bool any_insert_ = false;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_PROPERTIES_RUNTIME_STATS_H_

@@ -1,0 +1,55 @@
+#include "stream/element.h"
+
+namespace lmerge {
+
+const char* ElementKindName(ElementKind kind) {
+  switch (kind) {
+    case ElementKind::kInsert:
+      return "insert";
+    case ElementKind::kAdjust:
+      return "adjust";
+    case ElementKind::kStable:
+      return "stable";
+  }
+  return "unknown";
+}
+
+std::string StreamElement::ToString() const {
+  switch (kind_) {
+    case ElementKind::kInsert:
+      return "insert(" + payload_.ToString() + ", " + TimestampToString(vs_) +
+             ", " + TimestampToString(ve_) + ")";
+    case ElementKind::kAdjust:
+      return "adjust(" + payload_.ToString() + ", " + TimestampToString(vs_) +
+             ", " + TimestampToString(v_old_) + " -> " +
+             TimestampToString(ve_) + ")";
+    case ElementKind::kStable:
+      return "stable(" + TimestampToString(vs_) + ")";
+  }
+  return "?";
+}
+
+bool operator==(const StreamElement& a, const StreamElement& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case ElementKind::kInsert:
+      return a.vs_ == b.vs_ && a.ve_ == b.ve_ && a.payload_ == b.payload_;
+    case ElementKind::kAdjust:
+      return a.vs_ == b.vs_ && a.v_old_ == b.v_old_ && a.ve_ == b.ve_ &&
+             a.payload_ == b.payload_;
+    case ElementKind::kStable:
+      return a.vs_ == b.vs_;
+  }
+  return false;
+}
+
+std::string ElementSequenceToString(const ElementSequence& elements) {
+  std::string out;
+  for (const StreamElement& e : elements) {
+    out += e.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace lmerge

@@ -1,0 +1,114 @@
+// The physical stream element model (Sec. III-E, StreamInsight-style):
+//
+//   insert(p, Vs, Ve)        — add event ⟨p, Vs, Ve⟩ to the TDB.
+//   adjust(p, Vs, Vold, Ve)  — change ⟨p, Vs, Vold⟩ to ⟨p, Vs, Ve⟩;
+//                              if Ve == Vs the event is removed.
+//   stable(Vc)               — the portion of the TDB before Vc is stable:
+//                              no future insert with Vs < Vc, and no future
+//                              adjust with Vold < Vc or Ve < Vc.
+//
+// A physical stream is a sequence of these elements; any finite prefix
+// reconstitutes into a TDB instance (temporal/tdb.h).
+
+#ifndef LMERGE_STREAM_ELEMENT_H_
+#define LMERGE_STREAM_ELEMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/timestamp.h"
+#include "temporal/event.h"
+
+namespace lmerge {
+
+enum class ElementKind : uint8_t {
+  kInsert,
+  kAdjust,
+  kStable,
+};
+
+const char* ElementKindName(ElementKind kind);
+
+class StreamElement {
+ public:
+  StreamElement() = default;
+
+  static StreamElement Insert(Row payload, Timestamp vs, Timestamp ve) {
+    StreamElement e;
+    e.kind_ = ElementKind::kInsert;
+    e.payload_ = std::move(payload);
+    e.vs_ = vs;
+    e.ve_ = ve;
+    return e;
+  }
+
+  static StreamElement Adjust(Row payload, Timestamp vs, Timestamp v_old,
+                              Timestamp ve) {
+    StreamElement e;
+    e.kind_ = ElementKind::kAdjust;
+    e.payload_ = std::move(payload);
+    e.vs_ = vs;
+    e.v_old_ = v_old;
+    e.ve_ = ve;
+    return e;
+  }
+
+  static StreamElement Stable(Timestamp vc) {
+    StreamElement e;
+    e.kind_ = ElementKind::kStable;
+    e.vs_ = vc;
+    return e;
+  }
+
+  ElementKind kind() const { return kind_; }
+  bool is_insert() const { return kind_ == ElementKind::kInsert; }
+  bool is_adjust() const { return kind_ == ElementKind::kAdjust; }
+  bool is_stable() const { return kind_ == ElementKind::kStable; }
+
+  // Payload; meaningful for insert/adjust.
+  const Row& payload() const { return payload_; }
+  // Validity start (insert/adjust) — for stable elements this slot holds Vc.
+  Timestamp vs() const { return vs_; }
+  // New validity end (insert/adjust).
+  Timestamp ve() const { return ve_; }
+  // Previous validity end being adjusted (adjust only).
+  Timestamp v_old() const { return v_old_; }
+  // The stable point Vc (stable only).
+  Timestamp stable_time() const { return vs_; }
+
+  // The event this insert denotes.
+  Event ToEvent() const { return Event(payload_, vs_, ve_); }
+
+  // Bytes attributable to the element (payload deep size included); used by
+  // operators that buffer elements (Cleanse, queues).
+  int64_t DeepSizeBytes() const {
+    return static_cast<int64_t>(sizeof(StreamElement)) -
+           static_cast<int64_t>(sizeof(Row)) + payload_.DeepSizeBytes();
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const StreamElement& a, const StreamElement& b);
+  friend bool operator!=(const StreamElement& a, const StreamElement& b) {
+    return !(a == b);
+  }
+
+ private:
+  ElementKind kind_ = ElementKind::kStable;
+  Row payload_;
+  Timestamp vs_ = 0;
+  Timestamp v_old_ = 0;
+  Timestamp ve_ = 0;
+};
+
+// A finite stream prefix.
+using ElementSequence = std::vector<StreamElement>;
+
+// Renders a sequence one element per line (diagnostics and golden tests).
+std::string ElementSequenceToString(const ElementSequence& elements);
+
+}  // namespace lmerge
+
+#endif  // LMERGE_STREAM_ELEMENT_H_

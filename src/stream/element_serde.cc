@@ -1,0 +1,103 @@
+#include "stream/element_serde.h"
+
+namespace lmerge {
+
+void EncodeElement(const StreamElement& element, Encoder* encoder) {
+  encoder->WriteU8(static_cast<uint8_t>(element.kind()));
+  switch (element.kind()) {
+    case ElementKind::kInsert:
+      encoder->WriteRow(element.payload());
+      encoder->WriteI64(element.vs());
+      encoder->WriteI64(element.ve());
+      break;
+    case ElementKind::kAdjust:
+      encoder->WriteRow(element.payload());
+      encoder->WriteI64(element.vs());
+      encoder->WriteI64(element.v_old());
+      encoder->WriteI64(element.ve());
+      break;
+    case ElementKind::kStable:
+      encoder->WriteI64(element.stable_time());
+      break;
+  }
+}
+
+Status DecodeElement(Decoder* decoder, StreamElement* element) {
+  uint8_t tag = 0;
+  Status status = decoder->ReadU8(&tag);
+  if (!status.ok()) return status;
+  switch (static_cast<ElementKind>(tag)) {
+    case ElementKind::kInsert: {
+      Row payload;
+      int64_t vs = 0;
+      int64_t ve = 0;
+      if (!(status = decoder->ReadRow(&payload)).ok()) return status;
+      if (!(status = decoder->ReadI64(&vs)).ok()) return status;
+      if (!(status = decoder->ReadI64(&ve)).ok()) return status;
+      *element = StreamElement::Insert(std::move(payload), vs, ve);
+      return Status::Ok();
+    }
+    case ElementKind::kAdjust: {
+      Row payload;
+      int64_t vs = 0;
+      int64_t v_old = 0;
+      int64_t ve = 0;
+      if (!(status = decoder->ReadRow(&payload)).ok()) return status;
+      if (!(status = decoder->ReadI64(&vs)).ok()) return status;
+      if (!(status = decoder->ReadI64(&v_old)).ok()) return status;
+      if (!(status = decoder->ReadI64(&ve)).ok()) return status;
+      *element = StreamElement::Adjust(std::move(payload), vs, v_old, ve);
+      return Status::Ok();
+    }
+    case ElementKind::kStable: {
+      int64_t t = 0;
+      if (!(status = decoder->ReadI64(&t)).ok()) return status;
+      *element = StreamElement::Stable(t);
+      return Status::Ok();
+    }
+  }
+  return Status::InvalidArgument("unknown element tag " +
+                                 std::to_string(tag));
+}
+
+void EncodeSequence(const ElementSequence& elements, Encoder* encoder) {
+  encoder->WriteU32(static_cast<uint32_t>(elements.size()));
+  for (const StreamElement& e : elements) EncodeElement(e, encoder);
+}
+
+Status DecodeSequence(Decoder* decoder, ElementSequence* elements) {
+  uint32_t count = 0;
+  Status status = decoder->ReadU32(&count);
+  if (!status.ok()) return status;
+  if (count > decoder->remaining()) {
+    return Status::InvalidArgument("sequence length exceeds buffer");
+  }
+  elements->clear();
+  elements->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    StreamElement element;
+    status = DecodeElement(decoder, &element);
+    if (!status.ok()) return status;
+    elements->push_back(std::move(element));
+  }
+  return Status::Ok();
+}
+
+std::string SerializeSequence(const ElementSequence& elements) {
+  Encoder encoder;
+  EncodeSequence(elements, &encoder);
+  return encoder.TakeBytes();
+}
+
+Status DeserializeSequence(const std::string& bytes,
+                           ElementSequence* elements) {
+  Decoder decoder(bytes);
+  Status status = DecodeSequence(&decoder, elements);
+  if (!status.ok()) return status;
+  if (!decoder.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after sequence");
+  }
+  return Status::Ok();
+}
+
+}  // namespace lmerge

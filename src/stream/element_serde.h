@@ -1,0 +1,26 @@
+// Binary serialization of stream elements and sequences — the wire format
+// for checkpoints and for shipping physical streams between processes.
+
+#ifndef LMERGE_STREAM_ELEMENT_SERDE_H_
+#define LMERGE_STREAM_ELEMENT_SERDE_H_
+
+#include "common/serde.h"
+#include "stream/element.h"
+
+namespace lmerge {
+
+void EncodeElement(const StreamElement& element, Encoder* encoder);
+Status DecodeElement(Decoder* decoder, StreamElement* element);
+
+// Length-prefixed sequence.
+void EncodeSequence(const ElementSequence& elements, Encoder* encoder);
+Status DecodeSequence(Decoder* decoder, ElementSequence* elements);
+
+// Convenience round-trip helpers.
+std::string SerializeSequence(const ElementSequence& elements);
+Status DeserializeSequence(const std::string& bytes,
+                           ElementSequence* elements);
+
+}  // namespace lmerge
+
+#endif  // LMERGE_STREAM_ELEMENT_SERDE_H_

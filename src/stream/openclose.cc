@@ -1,0 +1,174 @@
+#include "stream/openclose.h"
+
+#include "common/check.h"
+
+namespace lmerge {
+
+std::string OpenCloseElement::ToString() const {
+  return std::string(kind == Kind::kOpen ? "open(" : "close(") +
+         payload.ToString() + ", " + TimestampToString(time) + ")";
+}
+
+Status OpenCloseTdb::Apply(const OpenCloseElement& element) {
+  if (element.kind == OpenCloseElement::Kind::kOpen) {
+    auto [it, inserted] =
+        events_.emplace(element.payload, Interval{element.time, kInfinity});
+    if (!inserted) {
+      return Status::AlreadyExists("payload already open: " +
+                                   element.ToString());
+    }
+    return Status::Ok();
+  }
+  auto it = events_.find(element.payload);
+  if (it == events_.end()) {
+    return Status::NotFound("close without open: " + element.ToString());
+  }
+  if (element.time < it->second.vs) {
+    return Status::InvalidArgument("close before open: " +
+                                   element.ToString());
+  }
+  it->second.ve = element.time;  // a later close revises an earlier one
+  return Status::Ok();
+}
+
+OpenCloseTdb OpenCloseTdb::Reconstitute(const OpenCloseSequence& prefix) {
+  OpenCloseTdb tdb;
+  for (const OpenCloseElement& e : prefix) {
+    const Status status = tdb.Apply(e);
+    LM_CHECK_MSG(status.ok(), "Reconstitute: %s", status.ToString().c_str());
+  }
+  return tdb;
+}
+
+bool OpenCloseTdb::Equals(const OpenCloseTdb& other) const {
+  if (events_.size() != other.events_.size()) return false;
+  auto a = events_.begin();
+  auto b = other.events_.begin();
+  for (; a != events_.end(); ++a, ++b) {
+    if (!(a->first == b->first) || a->second.vs != b->second.vs ||
+        a->second.ve != b->second.ve) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool OpenCloseTdb::Lookup(const Row& payload, Timestamp* vs,
+                          Timestamp* ve) const {
+  auto it = events_.find(payload);
+  if (it == events_.end()) return false;
+  *vs = it->second.vs;
+  *ve = it->second.ve;
+  return true;
+}
+
+std::string OpenCloseTdb::ToString() const {
+  std::string out = "OpenCloseTdb {\n";
+  for (const auto& [payload, interval] : events_) {
+    out += "  " + payload.ToString() + " [" +
+           TimestampToString(interval.vs) + ", " +
+           TimestampToString(interval.ve) + ")\n";
+  }
+  out += "}";
+  return out;
+}
+
+Status CheckOpenCloseCompatibility(
+    const std::vector<const OpenCloseSequence*>& inputs,
+    const OpenCloseSequence& output) {
+  for (const OpenCloseElement& e : output) {
+    bool found = false;
+    for (const OpenCloseSequence* input : inputs) {
+      for (const OpenCloseElement& candidate : *input) {
+        if (candidate == e) {
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+    if (!found) {
+      return Status::FailedPrecondition(
+          "output element not present in any input: " + e.ToString());
+    }
+  }
+  return Status::Ok();
+}
+
+void OpenCloseMerge::OnElement(int stream, const OpenCloseElement& element,
+                               OpenCloseSequence* out) {
+  (void)stream;  // all inputs are interchangeable under this property set
+  PayloadState& state = state_[element.payload];
+  if (element.kind == OpenCloseElement::Kind::kOpen) {
+    if (!state.open_emitted) {
+      state.open_emitted = true;
+      out->push_back(element);
+    }
+    return;
+  }
+  // A close can only be emitted once (at-most-one-close property) and only
+  // after the open has been emitted.
+  if (state.open_emitted && !state.close_emitted) {
+    state.close_emitted = true;
+    out->push_back(element);
+  }
+}
+
+void OpenCloseMergeRevisable::OnElement(int stream,
+                                        const OpenCloseElement& element,
+                                        OpenCloseSequence* out) {
+  (void)stream;
+  PayloadState& state = state_[element.payload];
+  if (element.kind == OpenCloseElement::Kind::kOpen) {
+    if (!state.open_emitted) {
+      state.open_emitted = true;
+      out->push_back(element);
+      if (state.has_held_close) {
+        // A close raced ahead of the open on a faster input; flush it now.
+        state.has_held_close = false;
+        state.close_emitted = true;
+        out->push_back(
+            OpenCloseElement::Close(element.payload, state.close_value));
+      }
+    }
+    return;
+  }
+  if (!state.open_emitted) {
+    // Close before its open (the open is on a slower input): hold the
+    // latest revision until the open arrives.
+    state.has_held_close = true;
+    state.close_value = element.time;
+    return;
+  }
+  if (!state.close_emitted || state.close_value != element.time) {
+    state.close_emitted = true;
+    state.close_value = element.time;
+    out->push_back(element);
+  }
+}
+
+Status ConvertToIntervalElements(const OpenCloseSequence& input,
+                                 ElementSequence* out) {
+  std::map<Row, std::pair<Timestamp, Timestamp>> open_events;  // p -> (Vs,Ve)
+  for (const OpenCloseElement& e : input) {
+    if (e.kind == OpenCloseElement::Kind::kOpen) {
+      auto [it, inserted] =
+          open_events.emplace(e.payload, std::make_pair(e.time, kInfinity));
+      if (!inserted) {
+        return Status::AlreadyExists("payload already open: " + e.ToString());
+      }
+      out->push_back(StreamElement::Insert(e.payload, e.time, kInfinity));
+    } else {
+      auto it = open_events.find(e.payload);
+      if (it == open_events.end()) {
+        return Status::NotFound("close without open: " + e.ToString());
+      }
+      out->push_back(StreamElement::Adjust(e.payload, it->second.first,
+                                           it->second.second, e.time));
+      it->second.second = e.time;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace lmerge

@@ -1,0 +1,139 @@
+// The open/close stream model of Example 3 (Sec. III-A).
+//
+//   open(p, Vs)  — an event with payload p starts at Vs.
+//   close(p, Ve) — the event with payload p ends at Ve; a later close for the
+//                  same payload revises an earlier one.
+//
+// Open/close elements correspond to I-streams and D-streams (STREAM, Oracle
+// CEP) or positive/negative tuples (Nile).  At most one event per payload is
+// active at a time.  This module demonstrates that the LMerge theory applies
+// across element models: it provides reconstitution, the subset-compatibility
+// criterion of Example 4 (under the at-most-one-close property, O[j] is
+// compatible with inputs iff O[j] ⊆ ∪ I), a merge algorithm, and lossless
+// conversion into the interval element model.
+
+#ifndef LMERGE_STREAM_OPENCLOSE_H_
+#define LMERGE_STREAM_OPENCLOSE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/status.h"
+#include "common/timestamp.h"
+#include "stream/element.h"
+
+namespace lmerge {
+
+struct OpenCloseElement {
+  enum class Kind : uint8_t { kOpen, kClose };
+
+  Kind kind;
+  Row payload;
+  Timestamp time;
+
+  static OpenCloseElement Open(Row payload, Timestamp vs) {
+    return {Kind::kOpen, std::move(payload), vs};
+  }
+  static OpenCloseElement Close(Row payload, Timestamp ve) {
+    return {Kind::kClose, std::move(payload), ve};
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const OpenCloseElement& a,
+                         const OpenCloseElement& b) {
+    return a.kind == b.kind && a.time == b.time && a.payload == b.payload;
+  }
+};
+
+using OpenCloseSequence = std::vector<OpenCloseElement>;
+
+// The TDB reconstituted from an open/close prefix: payload -> [Vs, Ve).
+// Ve == kInfinity while the event is open.  A close for a payload that was
+// never opened is an error; a repeated close revises the end time.
+class OpenCloseTdb {
+ public:
+  Status Apply(const OpenCloseElement& element);
+  static OpenCloseTdb Reconstitute(const OpenCloseSequence& prefix);
+
+  bool Equals(const OpenCloseTdb& other) const;
+
+  int64_t EventCount() const { return static_cast<int64_t>(events_.size()); }
+
+  // Returns [Vs, Ve) for `payload`, or false if absent.
+  bool Lookup(const Row& payload, Timestamp* vs, Timestamp* ve) const;
+
+  std::string ToString() const;
+
+ private:
+  struct Interval {
+    Timestamp vs;
+    Timestamp ve;  // kInfinity while open
+  };
+  std::map<Row, Interval> events_;
+};
+
+// Example 4's compatibility criterion under the at-most-one-close property:
+// every element of `output` must appear in some input (as a multiset, per
+// payload at most one open and one close are meaningful).
+Status CheckOpenCloseCompatibility(
+    const std::vector<const OpenCloseSequence*>& inputs,
+    const OpenCloseSequence& output);
+
+// LMerge for open/close streams with the at-most-one-close property: emits
+// each open() and each close() exactly once, whichever input delivers it
+// first.
+class OpenCloseMerge {
+ public:
+  // Feeds one element from input `stream`; appends any output to `out`.
+  void OnElement(int stream, const OpenCloseElement& element,
+                 OpenCloseSequence* out);
+
+  int64_t opened_count() const {
+    return static_cast<int64_t>(state_.size());
+  }
+
+ private:
+  struct PayloadState {
+    bool open_emitted = false;
+    bool close_emitted = false;
+  };
+  std::map<Row, PayloadState> state_;
+};
+
+// LMerge for the *general* open/close model of Example 3, where a later
+// close() revises an earlier one (stream W[6]: close(B,6) then close(B,5)).
+// Opens are emitted on first sight; a close is emitted whenever it changes
+// the output's current end for the payload — so the output is exactly as
+// revisable as the inputs, and converges to the inputs' final TDB.
+class OpenCloseMergeRevisable {
+ public:
+  void OnElement(int stream, const OpenCloseElement& element,
+                 OpenCloseSequence* out);
+
+  int64_t opened_count() const {
+    return static_cast<int64_t>(state_.size());
+  }
+
+ private:
+  struct PayloadState {
+    bool open_emitted = false;
+    bool close_emitted = false;
+    bool has_held_close = false;
+    Timestamp close_value = kInfinity;
+  };
+  std::map<Row, PayloadState> state_;
+};
+
+// Converts an open/close sequence into the interval element model:
+// open(p,Vs) -> insert(p, Vs, inf); close(p,Ve) -> adjust(p, Vs, prev, Ve).
+// Fails on a close without a matching open.
+Status ConvertToIntervalElements(const OpenCloseSequence& input,
+                                 ElementSequence* out);
+
+}  // namespace lmerge
+
+#endif  // LMERGE_STREAM_OPENCLOSE_H_

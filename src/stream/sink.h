@@ -1,0 +1,102 @@
+// ElementSink: where stream elements go.
+//
+// LMerge algorithms and substrate operators emit their output through this
+// interface.  CollectingSink gathers elements for tests; ValidatingSink wraps
+// another sink and re-validates the stream against declared properties.
+
+#ifndef LMERGE_STREAM_SINK_H_
+#define LMERGE_STREAM_SINK_H_
+
+#include <vector>
+
+#include "common/check.h"
+#include "stream/element.h"
+#include "stream/validate.h"
+
+namespace lmerge {
+
+class ElementSink {
+ public:
+  virtual ~ElementSink() = default;
+  virtual void OnElement(const StreamElement& element) = 0;
+};
+
+// Discards everything; useful for pure-throughput benchmarks.
+class NullSink : public ElementSink {
+ public:
+  void OnElement(const StreamElement& element) override { (void)element; }
+};
+
+// Appends every element to a vector.
+class CollectingSink : public ElementSink {
+ public:
+  void OnElement(const StreamElement& element) override {
+    elements_.push_back(element);
+  }
+
+  const ElementSequence& elements() const { return elements_; }
+  ElementSequence TakeElements() { return std::move(elements_); }
+  void Clear() { elements_.clear(); }
+
+ private:
+  ElementSequence elements_;
+};
+
+// Validates each element (LM_CHECK on violation) and forwards to `next`
+// (which may be null).  Used in tests to assert that an operator's output is
+// a well-formed physical stream with the properties it claims.
+class ValidatingSink : public ElementSink {
+ public:
+  explicit ValidatingSink(StreamProperties properties,
+                          ElementSink* next = nullptr)
+      : validator_(properties), next_(next) {}
+
+  void OnElement(const StreamElement& element) override {
+    const Status status = validator_.Consume(element);
+    LM_CHECK_MSG(status.ok(), "invalid output element %s: %s",
+                 element.ToString().c_str(), status.ToString().c_str());
+    if (next_ != nullptr) next_->OnElement(element);
+  }
+
+  const StreamValidator& validator() const { return validator_; }
+
+ private:
+  StreamValidator validator_;
+  ElementSink* next_;
+};
+
+// Counts elements by kind; the "output size" metric of Sec. VI-B.
+class CountingSink : public ElementSink {
+ public:
+  explicit CountingSink(ElementSink* next = nullptr) : next_(next) {}
+
+  void OnElement(const StreamElement& element) override {
+    switch (element.kind()) {
+      case ElementKind::kInsert:
+        ++inserts_;
+        break;
+      case ElementKind::kAdjust:
+        ++adjusts_;
+        break;
+      case ElementKind::kStable:
+        ++stables_;
+        break;
+    }
+    if (next_ != nullptr) next_->OnElement(element);
+  }
+
+  int64_t inserts() const { return inserts_; }
+  int64_t adjusts() const { return adjusts_; }
+  int64_t stables() const { return stables_; }
+  int64_t total() const { return inserts_ + adjusts_ + stables_; }
+
+ private:
+  int64_t inserts_ = 0;
+  int64_t adjusts_ = 0;
+  int64_t stables_ = 0;
+  ElementSink* next_;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_STREAM_SINK_H_

@@ -1,0 +1,65 @@
+#include "stream/validate.h"
+
+namespace lmerge {
+
+Status StreamValidator::Consume(const StreamElement& element) {
+  // Property conformance checks first (they do not mutate state).
+  switch (element.kind()) {
+    case ElementKind::kInsert: {
+      if (properties_.ordered && element.vs() < max_vs_) {
+        return Status::FailedPrecondition(
+            "ordered stream regressed: " + element.ToString() +
+            " after max Vs " + TimestampToString(max_vs_));
+      }
+      if (properties_.strictly_increasing && element.vs() <= max_vs_ &&
+          element_count_ > 0) {
+        return Status::FailedPrecondition(
+            "strictly increasing stream repeated Vs: " + element.ToString());
+      }
+      break;
+    }
+    case ElementKind::kAdjust: {
+      if (properties_.insert_only) {
+        return Status::FailedPrecondition(
+            "adjust on an insert-only stream: " + element.ToString());
+      }
+      break;
+    }
+    case ElementKind::kStable:
+      break;
+  }
+
+  Tdb snapshot = tdb_;  // roll back on failure
+  const Status status = tdb_.Apply(element);
+  if (!status.ok()) {
+    tdb_ = std::move(snapshot);
+    return status;
+  }
+  if (element.is_insert()) {
+    if (element.vs() > max_vs_) max_vs_ = element.vs();
+    if (properties_.vs_payload_key) {
+      int64_t multiplicity = 0;
+      for (const auto& [ve, count] :
+           tdb_.EndTimesFor(VsPayload(element.vs(), element.payload()))) {
+        multiplicity += count;
+      }
+      if (multiplicity > 1) {
+        tdb_ = std::move(snapshot);
+        return Status::FailedPrecondition(
+            "(Vs,payload) key violated by " + element.ToString());
+      }
+    }
+  }
+  ++element_count_;
+  return Status::Ok();
+}
+
+Status StreamValidator::ConsumeAll(const ElementSequence& elements) {
+  for (const StreamElement& e : elements) {
+    const Status status = Consume(e);
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+}  // namespace lmerge

@@ -1,0 +1,49 @@
+// Stream validation: checks that a physical element sequence is legal and
+// conforms to declared stream properties.
+//
+// A StreamValidator is fed elements one at a time.  It maintains the running
+// TDB and rejects elements that violate the element-model contract (adjusts
+// of absent events, inserts behind the stable point, ...) or the declared
+// properties (e.g., an adjust on a stream declared insert-only, a Vs
+// regression on a stream declared ordered).  Sinks in tests wrap one around
+// every LMerge output so that each algorithm's output stream is continuously
+// re-validated.
+
+#ifndef LMERGE_STREAM_VALIDATE_H_
+#define LMERGE_STREAM_VALIDATE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "properties/properties.h"
+#include "stream/element.h"
+#include "temporal/tdb.h"
+
+namespace lmerge {
+
+class StreamValidator {
+ public:
+  explicit StreamValidator(StreamProperties properties = StreamProperties())
+      : properties_(properties) {}
+
+  // Validates and applies one element.  On error the validator state is
+  // unchanged and subsequent elements are checked against the old state.
+  Status Consume(const StreamElement& element);
+
+  // Validates a whole sequence; stops at the first error.
+  Status ConsumeAll(const ElementSequence& elements);
+
+  const Tdb& tdb() const { return tdb_; }
+  int64_t element_count() const { return element_count_; }
+  Timestamp max_vs() const { return max_vs_; }
+
+ private:
+  StreamProperties properties_;
+  Tdb tdb_;
+  Timestamp max_vs_ = kMinTimestamp;
+  int64_t element_count_ = 0;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_STREAM_VALIDATE_H_

@@ -1,0 +1,303 @@
+#include "temporal/compat.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+#include "temporal/freeze.h"
+
+namespace lmerge {
+namespace {
+
+// Collects, per (Vs, payload), the single event of `tdb` (requires the key
+// property).
+std::map<VsPayload, Event, VsPayloadLess> EventsByKey(const Tdb& tdb) {
+  std::map<VsPayload, Event, VsPayloadLess> out;
+  tdb.ForEach([&out](const Event& event, int64_t count) {
+    LM_CHECK_MSG(count == 1, "R3 compatibility requires (Vs,payload) key");
+    const bool inserted =
+        out.emplace(VsPayload(event.vs, event.payload), event).second;
+    LM_CHECK_MSG(inserted, "R3 compatibility requires (Vs,payload) key");
+  });
+  return out;
+}
+
+}  // namespace
+
+Status CheckR3Compatibility(const std::vector<const Tdb*>& inputs,
+                            const Tdb& output) {
+  LM_CHECK(!inputs.empty());
+  const Timestamp l_out = output.stable_point();
+
+  // C1: L must not exceed the maximum input stable point.
+  Timestamp max_lm = kMinTimestamp;
+  for (const Tdb* input : inputs) {
+    max_lm = std::max(max_lm, input->stable_point());
+  }
+  if (l_out > max_lm) {
+    return Status::FailedPrecondition(
+        "C1 violated: output stable " + TimestampToString(l_out) +
+        " exceeds max input stable " + TimestampToString(max_lm));
+  }
+
+  const auto out_events = EventsByKey(output);
+  std::vector<std::map<VsPayload, Event, VsPayloadLess>> in_events;
+  in_events.reserve(inputs.size());
+  for (const Tdb* input : inputs) in_events.push_back(EventsByKey(*input));
+
+  // C2: what MAY be in the output TDB.
+  for (const auto& [key, out_event] : out_events) {
+    const FreezeStatus out_status =
+        ClassifyFreeze(out_event.vs, out_event.ve, l_out);
+    if (out_status == FreezeStatus::kUnfrozen) continue;  // no constraint
+    bool supported = false;
+    for (size_t m = 0; m < inputs.size(); ++m) {
+      auto it = in_events[m].find(key);
+      if (it == in_events[m].end()) continue;
+      const Event& in_event = it->second;
+      const Timestamp lm = inputs[m]->stable_point();
+      const FreezeStatus in_status =
+          ClassifyFreeze(in_event.vs, in_event.ve, lm);
+      if (out_status == FreezeStatus::kHalfFrozen) {
+        // Input HF with Lm <= L (output can track future input changes), or
+        // input FF with L <= Vm (output end can still be adjusted to Vm).
+        if ((in_status == FreezeStatus::kHalfFrozen && lm <= l_out) ||
+            (in_status == FreezeStatus::kFullyFrozen &&
+             l_out <= in_event.ve)) {
+          supported = true;
+          break;
+        }
+      } else {  // output FF: some input must contain the identical FF event
+        if (in_status == FreezeStatus::kFullyFrozen &&
+            in_event.ve == out_event.ve) {
+          supported = true;
+          break;
+        }
+      }
+    }
+    if (!supported) {
+      return Status::FailedPrecondition(
+          "C2 violated: output event " + out_event.ToString() + " (" +
+          FreezeStatusName(out_status) + ") has no supporting input");
+    }
+  }
+
+  // C3: what MUST be (representable) in the output TDB.
+  // Gather all keys appearing in any input.
+  std::map<VsPayload, bool, VsPayloadLess> keys;
+  for (const auto& events : in_events) {
+    for (const auto& [key, event] : events) keys.emplace(key, true);
+  }
+  for (const auto& [key, unused] : keys) {
+    // Case 1: some input has an FF event for this key.
+    const Event* ff_event = nullptr;
+    for (size_t m = 0; m < inputs.size(); ++m) {
+      auto it = in_events[m].find(key);
+      if (it == in_events[m].end()) continue;
+      if (ClassifyFreeze(it->second.vs, it->second.ve,
+                         inputs[m]->stable_point()) ==
+          FreezeStatus::kFullyFrozen) {
+        ff_event = &it->second;
+        break;
+      }
+    }
+    auto out_it = out_events.find(key);
+    if (ff_event != nullptr) {
+      if (l_out <= ff_event->vs) continue;  // can still be added to output
+      if (ff_event->vs < l_out && l_out <= ff_event->ve) {
+        // Output must hold a half-frozen event for this key (adjustable to
+        // the frozen end time).
+        if (out_it != out_events.end() &&
+            ClassifyFreeze(out_it->second.vs, out_it->second.ve, l_out) ==
+                FreezeStatus::kHalfFrozen) {
+          continue;
+        }
+        return Status::FailedPrecondition(
+            "C3 violated: input FF event " + ff_event->ToString() +
+            " requires a half-frozen output event");
+      }
+      // Ve < L: output must contain the exact event.
+      if (out_it != out_events.end() && out_it->second.ve == ff_event->ve) {
+        continue;
+      }
+      return Status::FailedPrecondition(
+          "C3 violated: input FF event " + ff_event->ToString() +
+          " must appear exactly in the output");
+    }
+    // Case 2: no FF input event; find HF input with the largest Lm.
+    const Event* hf_event = nullptr;
+    Timestamp best_lm = kMinTimestamp;
+    for (size_t m = 0; m < inputs.size(); ++m) {
+      auto it = in_events[m].find(key);
+      if (it == in_events[m].end()) continue;
+      const Timestamp lm = inputs[m]->stable_point();
+      if (ClassifyFreeze(it->second.vs, it->second.ve, lm) ==
+              FreezeStatus::kHalfFrozen &&
+          (hf_event == nullptr || lm > best_lm)) {
+        hf_event = &it->second;
+        best_lm = lm;
+      }
+    }
+    if (hf_event == nullptr) continue;  // only unfrozen inputs: no constraint
+    if (l_out <= hf_event->vs) continue;  // can still be added
+    if (hf_event->vs < l_out && l_out <= best_lm) {
+      if (out_it != out_events.end() &&
+          ClassifyFreeze(out_it->second.vs, out_it->second.ve, l_out) ==
+              FreezeStatus::kHalfFrozen) {
+        continue;
+      }
+    }
+    return Status::FailedPrecondition(
+        "C3 violated: input HF event " + hf_event->ToString() +
+        " (input stable " + TimestampToString(best_lm) +
+        ") is not tracked by the output (output stable " +
+        TimestampToString(l_out) + ")");
+  }
+  return Status::Ok();
+}
+
+Status CheckR3TrackedCompatibility(const Tdb& leader, const Tdb& output) {
+  const Timestamp lm = leader.stable_point();
+  const Timestamp l_out = output.stable_point();
+  if (l_out > lm) {
+    return Status::FailedPrecondition(
+        "output stable point exceeds the leader's");
+  }
+  const auto leader_events = EventsByKey(leader);
+  const auto out_events = EventsByKey(output);
+
+  for (const auto& [key, in_event] : leader_events) {
+    const FreezeStatus in_status =
+        ClassifyFreeze(in_event.vs, in_event.ve, lm);
+    auto out_it = out_events.find(key);
+    if (in_status == FreezeStatus::kFullyFrozen) {
+      if (out_it == out_events.end()) {
+        if (l_out <= in_event.vs) continue;  // still addable
+        return Status::FailedPrecondition("missing FF event " +
+                                          in_event.ToString());
+      }
+      const FreezeStatus out_status =
+          ClassifyFreeze(out_it->second.vs, out_it->second.ve, l_out);
+      if (out_status == FreezeStatus::kFullyFrozen &&
+          out_it->second.ve != in_event.ve) {
+        return Status::FailedPrecondition(
+            "FF event mismatch: input " + in_event.ToString() + " vs output " +
+            out_it->second.ToString());
+      }
+      continue;
+    }
+    if (in_status == FreezeStatus::kHalfFrozen) {
+      if (out_it == out_events.end() && l_out > in_event.vs) {
+        return Status::FailedPrecondition(
+            "half-frozen input event " + in_event.ToString() +
+            " has no output event and the output stable point has passed Vs");
+      }
+    }
+  }
+  // No fully frozen output event may lack a matching frozen input event.
+  for (const auto& [key, out_event] : out_events) {
+    if (ClassifyFreeze(out_event.vs, out_event.ve, l_out) !=
+        FreezeStatus::kFullyFrozen) {
+      continue;
+    }
+    auto in_it = leader_events.find(key);
+    if (in_it == leader_events.end() || in_it->second.ve != out_event.ve ||
+        ClassifyFreeze(in_it->second.vs, in_it->second.ve, lm) !=
+            FreezeStatus::kFullyFrozen) {
+      return Status::FailedPrecondition("unsupported FF output event " +
+                                        out_event.ToString());
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckR4TrackedCompatibility(const Tdb& leader, const Tdb& output) {
+  const Timestamp lm = leader.stable_point();
+  const Timestamp l_out = output.stable_point();
+  if (l_out > lm) {
+    return Status::FailedPrecondition(
+        "output stable point exceeds the leader's");
+  }
+  // Per (Vs, payload): multiset of FF end times and count of HF events.
+  struct KeyState {
+    std::map<Timestamp, int64_t> ff;  // Ve -> multiplicity
+    int64_t hf = 0;
+  };
+  auto collect = [](const Tdb& tdb, Timestamp stable) {
+    std::map<VsPayload, KeyState, VsPayloadLess> out;
+    tdb.ForEach([&out, stable](const Event& event, int64_t count) {
+      KeyState& state = out[VsPayload(event.vs, event.payload)];
+      switch (ClassifyFreeze(event.vs, event.ve, stable)) {
+        case FreezeStatus::kFullyFrozen:
+          state.ff[event.ve] += count;
+          break;
+        case FreezeStatus::kHalfFrozen:
+          state.hf += count;
+          break;
+        case FreezeStatus::kUnfrozen:
+          break;
+      }
+    });
+    return out;
+  };
+  const auto in_state = collect(leader, lm);
+  const auto out_state = collect(output, l_out);
+
+  for (const auto& [key, state] : in_state) {
+    // Only keys whose Vs the *output* stable point has passed constrain the
+    // output; younger keys can still be added later.
+    if (l_out <= key.vs) continue;
+    auto it = out_state.find(key);
+    const KeyState empty;
+    const KeyState& out_key_state =
+        it == out_state.end() ? empty : it->second;
+    // Every input-FF end time that is also FF for the output must be present
+    // with equal multiplicity; input-FF end times the output still treats as
+    // adjustable (>= l_out) need only be covered by HF capacity.
+    for (const auto& [ve, count] : state.ff) {
+      if (ve < l_out) {
+        auto ff_it = out_key_state.ff.find(ve);
+        const int64_t have =
+            ff_it == out_key_state.ff.end() ? 0 : ff_it->second;
+        if (have != count) {
+          return Status::FailedPrecondition(
+              "FF multiset mismatch at " + key.payload.ToString() + " Vs=" +
+              TimestampToString(key.vs) + " Ve=" + TimestampToString(ve) +
+              ": input x" + std::to_string(count) + " output x" +
+              std::to_string(have));
+        }
+      }
+    }
+    // Equal total (FF+HF) population once the key is half frozen on both
+    // sides: the number of events per key is frozen at half-freeze time.
+    int64_t in_total = state.hf;
+    for (const auto& [ve, count] : state.ff) in_total += count;
+    int64_t out_total = out_key_state.hf;
+    for (const auto& [ve, count] : out_key_state.ff) out_total += count;
+    if (in_total != out_total) {
+      return Status::FailedPrecondition(
+          "event count mismatch at " + key.payload.ToString() + " Vs=" +
+          TimestampToString(key.vs) + ": input " + std::to_string(in_total) +
+          " output " + std::to_string(out_total));
+    }
+  }
+  // No FF output event without input support.
+  for (const auto& [key, state] : out_state) {
+    for (const auto& [ve, count] : state.ff) {
+      auto it = in_state.find(key);
+      const int64_t have =
+          (it == in_state.end() || it->second.ff.find(ve) == it->second.ff.end())
+              ? 0
+              : it->second.ff.at(ve);
+      if (have < count && ve < lm) {
+        return Status::FailedPrecondition(
+            "unsupported FF output events at " + key.payload.ToString() +
+            " Vs=" + TimestampToString(key.vs) + " Ve=" +
+            TimestampToString(ve));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace lmerge

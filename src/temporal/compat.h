@@ -1,0 +1,43 @@
+// Input/output compatibility checkers for LMerge (Sec. III-D).
+//
+// Compatibility is the paper's correctness criterion: output prefix O[j] is
+// compatible with mutually consistent input prefixes {I_1[k_1],...,I_n[k_n]}
+// if, however the inputs are consistently extended, the output can be
+// extended to be equivalent to them all.  For case R3 — arbitrary order,
+// adjusts allowed, (Vs, payload) a key of every prefix TDB — the paper gives
+// exact conditions C1, C2, C3 over the reconstituted TDBs and stable points.
+// These checkers implement those conditions literally and are used by unit
+// and property tests to validate every LMerge algorithm after each step.
+
+#ifndef LMERGE_TEMPORAL_COMPAT_H_
+#define LMERGE_TEMPORAL_COMPAT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "temporal/tdb.h"
+
+namespace lmerge {
+
+// Checks conditions C1-C3 of Sec. III-D.  `inputs` are the reconstituted
+// input prefixes (each carrying its own stable point L_m); `output` is the
+// reconstituted output prefix (carrying L).  Requires (Vs, payload) to be a
+// key of every TDB involved.  Returns OK iff the output is compatible.
+Status CheckR3Compatibility(const std::vector<const Tdb*>& inputs,
+                            const Tdb& output);
+
+// The simplified condition that holds when the output stable point tracks
+// the maximum input stable point (end of Sec. III-D): the output and the
+// leading input must have the same set of fully frozen events, and their
+// half-frozen events must match on (Vs, payload).  `leader` must be an input
+// whose stable point equals the maximum over all inputs.
+Status CheckR3TrackedCompatibility(const Tdb& leader, const Tdb& output);
+
+// The R4 (multiset) analogue: the output must contain all fully frozen
+// events of the leader with equal multiplicity, and an equal number of
+// half-frozen events per (Vs, payload).
+Status CheckR4TrackedCompatibility(const Tdb& leader, const Tdb& output);
+
+}  // namespace lmerge
+
+#endif  // LMERGE_TEMPORAL_COMPAT_H_

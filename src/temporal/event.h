@@ -1,0 +1,86 @@
+// Event: one row of the temporal database — ⟨payload p, Vs, Ve⟩.
+//
+// The lifetime [Vs, Ve) is the period over which the event is active and
+// contributes to query output (Sec. III-A).
+
+#ifndef LMERGE_TEMPORAL_EVENT_H_
+#define LMERGE_TEMPORAL_EVENT_H_
+
+#include <string>
+
+#include "common/row.h"
+#include "common/timestamp.h"
+
+namespace lmerge {
+
+struct Event {
+  Row payload;
+  Timestamp vs = 0;
+  Timestamp ve = kInfinity;
+
+  Event() = default;
+  Event(Row p, Timestamp start, Timestamp end)
+      : payload(std::move(p)), vs(start), ve(end) {}
+
+  std::string ToString() const {
+    return "<" + payload.ToString() + ", [" + TimestampToString(vs) + ", " +
+           TimestampToString(ve) + ")>";
+  }
+
+  friend bool operator==(const Event& a, const Event& b) {
+    return a.vs == b.vs && a.ve == b.ve && a.payload == b.payload;
+  }
+};
+
+// Total order on events: (Vs, payload, Ve).  This matches the key order of
+// the in2t/in3t top tier, so range scans by Vs visit events in this order.
+struct EventLess {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.vs != b.vs) return a.vs < b.vs;
+    const int c = a.payload.Compare(b.payload);
+    if (c != 0) return c < 0;
+    return a.ve < b.ve;
+  }
+};
+
+// The (Vs, payload) portion of an event: the key the R2..R4 algorithms index
+// on.  Under properties R2/R3 this pair is a key of every prefix TDB.
+struct VsPayload {
+  Timestamp vs = 0;
+  Row payload;
+
+  VsPayload() = default;
+  VsPayload(Timestamp start, Row p) : vs(start), payload(std::move(p)) {}
+
+  friend bool operator==(const VsPayload& a, const VsPayload& b) {
+    return a.vs == b.vs && a.payload == b.payload;
+  }
+};
+
+// A non-owning view of a (Vs, payload) key; lets indexes be probed without
+// copying the payload.
+struct VsPayloadRef {
+  Timestamp vs;
+  const Row* payload;
+
+  VsPayloadRef(Timestamp start, const Row& p) : vs(start), payload(&p) {}
+};
+
+struct VsPayloadLess {
+  bool operator()(const VsPayload& a, const VsPayload& b) const {
+    if (a.vs != b.vs) return a.vs < b.vs;
+    return a.payload.Compare(b.payload) < 0;
+  }
+  bool operator()(const VsPayloadRef& a, const VsPayload& b) const {
+    if (a.vs != b.vs) return a.vs < b.vs;
+    return a.payload->Compare(b.payload) < 0;
+  }
+  bool operator()(const VsPayload& a, const VsPayloadRef& b) const {
+    if (a.vs != b.vs) return a.vs < b.vs;
+    return a.payload.Compare(*b.payload) < 0;
+  }
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_TEMPORAL_EVENT_H_

@@ -1,0 +1,45 @@
+// Freeze taxonomy of Sec. III-C: a stable(Vc) element "freezes" parts of the
+// TDB.  Relative to watermark L (the latest stable point seen):
+//
+//   fully frozen (FF):  Ve < L        — no future adjust can alter the event;
+//                                       it is in every future TDB version.
+//   half frozen (HF):   Vs < L <= Ve  — some event ⟨p, Vs, _⟩ will be in the
+//                                       TDB henceforth (its end may change).
+//   unfrozen (UF):      L <= Vs       — the event may still be removed.
+
+#ifndef LMERGE_TEMPORAL_FREEZE_H_
+#define LMERGE_TEMPORAL_FREEZE_H_
+
+#include "common/timestamp.h"
+
+namespace lmerge {
+
+enum class FreezeStatus {
+  kUnfrozen,
+  kHalfFrozen,
+  kFullyFrozen,
+};
+
+inline const char* FreezeStatusName(FreezeStatus status) {
+  switch (status) {
+    case FreezeStatus::kUnfrozen:
+      return "UF";
+    case FreezeStatus::kHalfFrozen:
+      return "HF";
+    case FreezeStatus::kFullyFrozen:
+      return "FF";
+  }
+  return "?";
+}
+
+// Classifies the lifetime [vs, ve) against stable watermark `stable`.
+inline FreezeStatus ClassifyFreeze(Timestamp vs, Timestamp ve,
+                                   Timestamp stable) {
+  if (ve < stable) return FreezeStatus::kFullyFrozen;
+  if (vs < stable) return FreezeStatus::kHalfFrozen;
+  return FreezeStatus::kUnfrozen;
+}
+
+}  // namespace lmerge
+
+#endif  // LMERGE_TEMPORAL_FREEZE_H_

@@ -1,0 +1,138 @@
+#include "temporal/tdb.h"
+
+#include "common/check.h"
+
+namespace lmerge {
+
+Status Tdb::Apply(const StreamElement& element) {
+  switch (element.kind()) {
+    case ElementKind::kInsert: {
+      if (element.vs() < stable_point_) {
+        return Status::FailedPrecondition(
+            "insert with Vs=" + TimestampToString(element.vs()) +
+            " before stable point " + TimestampToString(stable_point_));
+      }
+      if (element.ve() < element.vs()) {
+        return Status::InvalidArgument("insert with Ve < Vs: " +
+                                       element.ToString());
+      }
+      if (element.ve() == element.vs()) {
+        // Zero-length lifetime: contributes nothing; treat as a no-op.
+        return Status::Ok();
+      }
+      Event event = element.ToEvent();
+      ++events_[event];
+      ++total_count_;
+      return Status::Ok();
+    }
+    case ElementKind::kAdjust: {
+      if (element.v_old() < stable_point_) {
+        return Status::FailedPrecondition(
+            "adjust with Vold=" + TimestampToString(element.v_old()) +
+            " before stable point " + TimestampToString(stable_point_));
+      }
+      if (element.ve() < stable_point_ && element.ve() != element.vs()) {
+        return Status::FailedPrecondition(
+            "adjust with Ve=" + TimestampToString(element.ve()) +
+            " before stable point " + TimestampToString(stable_point_));
+      }
+      if (element.ve() < element.vs()) {
+        return Status::InvalidArgument("adjust with Ve < Vs: " +
+                                       element.ToString());
+      }
+      if (element.ve() == element.vs() && element.vs() < stable_point_) {
+        // Removing an event whose start is already stable would change the
+        // half-frozen population.
+        return Status::FailedPrecondition(
+            "adjust removes event with Vs before stable point: " +
+            element.ToString());
+      }
+      const Event target(element.payload(), element.vs(), element.v_old());
+      auto it = events_.find(target);
+      if (it == events_.end()) {
+        return Status::NotFound("adjust target absent: " + element.ToString());
+      }
+      if (--it->second == 0) events_.erase(it);
+      --total_count_;
+      if (element.ve() > element.vs()) {
+        ++events_[Event(element.payload(), element.vs(), element.ve())];
+        ++total_count_;
+      }
+      return Status::Ok();
+    }
+    case ElementKind::kStable: {
+      if (element.stable_time() > stable_point_) {
+        stable_point_ = element.stable_time();
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unknown element kind");
+}
+
+Tdb Tdb::Reconstitute(const ElementSequence& prefix) {
+  Tdb tdb;
+  for (const StreamElement& e : prefix) {
+    const Status status = tdb.Apply(e);
+    LM_CHECK_MSG(status.ok(), "Reconstitute: %s", status.ToString().c_str());
+  }
+  return tdb;
+}
+
+bool Tdb::Equals(const Tdb& other) const {
+  return total_count_ == other.total_count_ && events_ == other.events_;
+}
+
+int64_t Tdb::CountOf(const Event& event) const {
+  auto it = events_.find(event);
+  return it == events_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<Timestamp, int64_t>> Tdb::EndTimesFor(
+    const VsPayload& key) const {
+  std::vector<std::pair<Timestamp, int64_t>> result;
+  Event probe(key.payload, key.vs, kMinTimestamp);
+  for (auto it = events_.lower_bound(probe); it != events_.end(); ++it) {
+    const Event& e = it->first;
+    if (e.vs != key.vs || !(e.payload == key.payload)) break;
+    result.emplace_back(e.ve, it->second);
+  }
+  return result;
+}
+
+bool Tdb::VsPayloadIsKey() const {
+  const Event* prev = nullptr;
+  for (const auto& [event, count] : events_) {
+    if (count > 1) return false;
+    if (prev != nullptr && prev->vs == event.vs &&
+        prev->payload == event.payload) {
+      return false;
+    }
+    prev = &event;
+  }
+  return true;
+}
+
+std::vector<Event> Tdb::ToVector() const {
+  std::vector<Event> out;
+  out.reserve(static_cast<size_t>(total_count_));
+  for (const auto& [event, count] : events_) {
+    for (int64_t i = 0; i < count; ++i) out.push_back(event);
+  }
+  return out;
+}
+
+std::string Tdb::ToString() const {
+  std::string out =
+      "TDB(stable=" + TimestampToString(stable_point_) + ") {\n";
+  for (const auto& [event, count] : events_) {
+    out += "  " + event.ToString();
+    if (count > 1) out += " x" + std::to_string(count);
+    out += "  " + std::string(FreezeStatusName(Classify(event)));
+    out += "\n";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace lmerge

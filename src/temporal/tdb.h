@@ -1,0 +1,92 @@
+// Tdb: the temporal database a stream reconstitutes into (Sec. III-A).
+//
+// A TDB instance is a multiset of events ⟨p, Vs, Ve⟩.  Tdb supports applying
+// physical stream elements one at a time — the reconstitution function
+// tdb(S, i) of the paper is Tdb::Reconstitute(prefix) — plus the equivalence
+// and freeze queries that the theory of Sec. III is phrased in.  It is a
+// reference/spec structure used by validators, tests, and examples, not by
+// the hot-path LMerge algorithms (those use in2t/in3t).
+
+#ifndef LMERGE_TEMPORAL_TDB_H_
+#define LMERGE_TEMPORAL_TDB_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timestamp.h"
+#include "stream/element.h"
+#include "temporal/event.h"
+#include "temporal/freeze.h"
+
+namespace lmerge {
+
+class Tdb {
+ public:
+  Tdb() = default;
+
+  // Applies one physical element.  Fails (without modifying the TDB) if the
+  // element is inconsistent with the current instance:
+  //  - adjust whose target event ⟨p, Vs, Vold⟩ is absent;
+  //  - insert with Vs before the stable point;
+  //  - adjust with Vold or Ve before the stable point;
+  //  - stable that regresses is ignored (allowed; it adds no information).
+  Status Apply(const StreamElement& element);
+
+  // Applies a whole prefix; LM_CHECK-fails on invalid elements.  This is the
+  // paper's tdb(S, i) for trusted inputs.
+  static Tdb Reconstitute(const ElementSequence& prefix);
+
+  // Multiset equality of events (the stable watermark is not part of the
+  // logical content).  S[i] ≡ U[j] iff their TDBs are Equal.
+  bool Equals(const Tdb& other) const;
+
+  // Total number of events (with multiplicity).
+  int64_t EventCount() const { return total_count_; }
+  // Number of distinct events.
+  int64_t DistinctEventCount() const {
+    return static_cast<int64_t>(events_.size());
+  }
+
+  // Multiplicity of `event` in the multiset.
+  int64_t CountOf(const Event& event) const;
+
+  // All (Ve, multiplicity) pairs for events with the given (Vs, payload),
+  // ordered by Ve.
+  std::vector<std::pair<Timestamp, int64_t>> EndTimesFor(
+      const VsPayload& key) const;
+
+  // True if no two distinct events share (Vs, payload) — the key property
+  // assumed by cases R2 and R3.
+  bool VsPayloadIsKey() const;
+
+  // Latest stable point applied (kMinTimestamp if none).
+  Timestamp stable_point() const { return stable_point_; }
+
+  // Freeze status of `event` under the current stable point.
+  FreezeStatus Classify(const Event& event) const {
+    return ClassifyFreeze(event.vs, event.ve, stable_point_);
+  }
+
+  // Invokes fn(event, multiplicity) in (Vs, payload, Ve) order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [event, count] : events_) fn(event, count);
+  }
+
+  // All events (expanded by multiplicity), in (Vs, payload, Ve) order.
+  std::vector<Event> ToVector() const;
+
+  std::string ToString() const;
+
+ private:
+  std::map<Event, int64_t, EventLess> events_;
+  int64_t total_count_ = 0;
+  Timestamp stable_point_ = kMinTimestamp;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_TEMPORAL_TDB_H_

@@ -1,0 +1,51 @@
+// Tiny flag parser and stream-file helpers shared by the command-line
+// tools (tools/lmerge_gen, tools/lmerge_merge, tools/lmerge_inspect).
+//
+// Stream files are the serde wire format of stream/element_serde.h with a
+// short header, so tapes written by lmerge_gen can be merged or inspected
+// offline — the file-based analogue of shipping a checkpoint (Sec. II-4).
+
+#ifndef LMERGE_TOOLS_CLI_H_
+#define LMERGE_TOOLS_CLI_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/element.h"
+
+namespace lmerge::tools {
+
+// Parses "--key=value" and "--flag" arguments; positional arguments are
+// collected in order.  Unknown flags are fine (callers validate).
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+// Magic prefix of stream files ("LMST" + version byte).
+inline constexpr char kStreamFileMagic[5] = {'L', 'M', 'S', 'T', '\x01'};
+
+// Writes `elements` to `path` in the stream-file format.
+Status WriteStreamFile(const std::string& path,
+                       const ElementSequence& elements);
+
+// Reads a stream file written by WriteStreamFile.
+Status ReadStreamFile(const std::string& path, ElementSequence* elements);
+
+}  // namespace lmerge::tools
+
+#endif  // LMERGE_TOOLS_CLI_H_

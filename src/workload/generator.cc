@@ -1,0 +1,166 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/row.h"
+
+namespace lmerge::workload {
+
+std::string RandomBlob(Rng* rng, int64_t bytes) {
+  std::string blob;
+  blob.resize(static_cast<size_t>(bytes));
+  for (int64_t i = 0; i < bytes; ++i) {
+    blob[static_cast<size_t>(i)] =
+        static_cast<char>('a' + rng->UniformInt(0, 25));
+  }
+  return blob;
+}
+
+LogicalHistory GenerateHistory(const GeneratorConfig& config) {
+  LM_CHECK(config.num_inserts > 0);
+  Rng rng(config.seed);
+  LogicalHistory history;
+  history.events.reserve(static_cast<size_t>(config.num_inserts));
+  Timestamp now = 0;
+  bool insert_since_stable = false;
+  for (int64_t i = 0; i < config.num_inserts; ++i) {
+    now += 1 + rng.UniformInt(0, std::max<Timestamp>(0, config.max_gap - 1));
+    Timestamp duration = config.event_duration;
+    if (config.duration_jitter > 0) {
+      duration += rng.UniformInt(-config.duration_jitter,
+                                 config.duration_jitter);
+    }
+    if (duration < 1) duration = 1;
+    Row payload = Row::OfIntAndString(
+        rng.UniformInt(0, config.key_range),
+        RandomBlob(&rng, config.payload_string_bytes));
+    history.events.emplace_back(std::move(payload), now, now + duration);
+    insert_since_stable = true;
+    if (insert_since_stable && rng.Bernoulli(config.stable_freq)) {
+      history.stable_times.push_back(now + 1);
+      insert_since_stable = false;
+    }
+  }
+  return history;
+}
+
+ElementSequence RenderInOrder(const LogicalHistory& history) {
+  ElementSequence out;
+  out.reserve(history.events.size() + history.stable_times.size());
+  size_t ei = 0;
+  size_t si = 0;
+  while (ei < history.events.size() || si < history.stable_times.size()) {
+    if (si >= history.stable_times.size() ||
+        (ei < history.events.size() &&
+         history.events[ei].vs < history.stable_times[si])) {
+      const Event& e = history.events[ei++];
+      out.push_back(StreamElement::Insert(e.payload, e.vs, e.ve));
+    } else {
+      out.push_back(StreamElement::Stable(history.stable_times[si++]));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct Atom {
+  int64_t release;      // virtual emission position (lower = earlier)
+  int64_t sequence;     // tie-break preserving per-event ordering
+  Timestamp constraint;  // stable(t) with t > constraint must wait for this
+  StreamElement element;
+};
+
+}  // namespace
+
+ElementSequence GeneratePhysicalVariant(const LogicalHistory& history,
+                                        const VariantOptions& options) {
+  Rng rng(options.seed);
+  std::vector<Atom> atoms;
+  atoms.reserve(history.events.size() * 2);
+  int64_t sequence = 0;
+  for (size_t i = 0; i < history.events.size(); ++i) {
+    const Event& e = history.events[i];
+    int64_t release = static_cast<int64_t>(i) * 2;
+    if (rng.Bernoulli(options.disorder_fraction)) {
+      release += rng.UniformInt(0, 2 * options.max_disorder_elements);
+    }
+    const bool split = rng.Bernoulli(options.split_probability);
+    if (split) {
+      Timestamp provisional;
+      if (options.provisional_open) {
+        provisional = kInfinity;
+      } else if (e.ve == kInfinity) {
+        // Open-ended final lifetime: present a finite guess first, widen to
+        // infinity later.
+        provisional = e.vs + 1 + rng.UniformInt(0, 1000000);
+      } else {
+        // Provisional end overshoots or undershoots the final end; stays > Vs.
+        const Timestamp span = e.ve - e.vs;
+        provisional = e.vs + std::max<Timestamp>(
+                                 1, span + rng.UniformInt(-span / 2, span));
+      }
+      if (provisional == e.ve) {
+        provisional = e.ve == kInfinity ? e.ve - 1 : e.ve + 1;
+      }
+      atoms.push_back(Atom{release, sequence++, e.vs,
+                           StreamElement::Insert(e.payload, e.vs,
+                                                 provisional)});
+      const int64_t adjust_release =
+          release + 1 + rng.UniformInt(0, options.max_disorder_elements);
+      atoms.push_back(
+          Atom{adjust_release, sequence++,
+               std::min(provisional, e.ve),
+               StreamElement::Adjust(e.payload, e.vs, provisional, e.ve)});
+    } else {
+      atoms.push_back(Atom{release, sequence++, e.vs,
+                           StreamElement::Insert(e.payload, e.vs, e.ve)});
+    }
+  }
+  std::sort(atoms.begin(), atoms.end(), [](const Atom& a, const Atom& b) {
+    if (a.release != b.release) return a.release < b.release;
+    return a.sequence < b.sequence;
+  });
+
+  // suffix_min[j] = smallest constraint among atoms[j..]; a stable(t) may be
+  // emitted before atom j iff suffix_min[j] >= t.
+  std::vector<Timestamp> suffix_min(atoms.size() + 1, kInfinity);
+  for (size_t j = atoms.size(); j > 0; --j) {
+    suffix_min[j - 1] = std::min(suffix_min[j], atoms[j - 1].constraint);
+  }
+
+  ElementSequence out;
+  out.reserve(atoms.size() + history.stable_times.size());
+  size_t si = 0;
+  int64_t stable_kept = 0;
+  auto emit_stables_before = [&](size_t j) {
+    while (si < history.stable_times.size() &&
+           suffix_min[j] >= history.stable_times[si]) {
+      if (stable_kept % std::max<int64_t>(1, options.stable_thinning) == 0) {
+        out.push_back(StreamElement::Stable(history.stable_times[si]));
+      }
+      ++stable_kept;
+      ++si;
+    }
+  };
+  for (size_t j = 0; j < atoms.size(); ++j) {
+    emit_stables_before(j);
+    out.push_back(atoms[j].element);
+  }
+  emit_stables_before(atoms.size());
+  return out;
+}
+
+ElementSequence GenerateStream(const GeneratorConfig& config) {
+  const LogicalHistory history = GenerateHistory(config);
+  VariantOptions options;
+  options.disorder_fraction = config.disorder_fraction;
+  options.max_disorder_elements = config.max_disorder_elements;
+  options.split_probability = config.open_lifetimes ? 1.0 : 0.0;
+  options.provisional_open = config.open_lifetimes;
+  options.seed = config.seed ^ 0x5bd1e995;
+  return GeneratePhysicalVariant(history, options);
+}
+
+}  // namespace lmerge::workload

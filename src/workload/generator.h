@@ -1,0 +1,92 @@
+// Synthetic stream generation, mirroring the commercial-grade test
+// generator the paper uses (Sec. VI-B, ref [26]).
+//
+// Each event has two payload fields: an integer in [0, key_range] and a
+// random string blob (1000 bytes by default).  Generation knobs match the
+// paper:
+//   StableFreq    — probability an element is a stable() element (with at
+//                   least one insert between consecutive stables);
+//   EventDuration — event lifetime (ticks), jittered around the mean;
+//   MaxGap        — maximum application-time gap between elements;
+//   Disorder      — fraction of inserts presented out of order (their Vs
+//                   moved behind later-emitted elements, never behind the
+//                   last stable point).
+//
+// GeneratePhysicalVariant re-presents one logical history as a *physically
+// different but equivalent* stream (Table I's Phy1/Phy2): events may be
+// split into an early insert with a provisional lifetime plus a later
+// adjust; local reordering and stable placement differ per seed.  All
+// variants reconstitute to the same TDB, which the equivalence tests verify.
+
+#ifndef LMERGE_WORKLOAD_GENERATOR_H_
+#define LMERGE_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timestamp.h"
+#include "stream/element.h"
+#include "temporal/event.h"
+
+namespace lmerge::workload {
+
+struct GeneratorConfig {
+  int64_t num_inserts = 10000;
+  double stable_freq = 0.01;
+  Timestamp event_duration = 2'000'000;   // 2 s in microsecond ticks
+  Timestamp duration_jitter = 500'000;    // +/- jitter on lifetimes
+  Timestamp max_gap = 1'000;              // app-time gap between starts
+  double disorder_fraction = 0.2;
+  int64_t max_disorder_elements = 64;     // how far a late element slips
+  int64_t key_range = 400;
+  int64_t payload_string_bytes = 1000;
+  bool open_lifetimes = false;            // emit Ve=inf then adjust later
+  uint64_t seed = 42;
+};
+
+// The logical history a generator run denotes: final events plus the stable
+// schedule (time, position) used to interleave stable() elements.
+struct LogicalHistory {
+  std::vector<Event> events;   // ordered by Vs; (Vs, payload) unique
+  std::vector<Timestamp> stable_times;  // ascending
+};
+
+// Builds the logical history for `config` (deterministic in the seed).
+LogicalHistory GenerateHistory(const GeneratorConfig& config);
+
+// One in-order, insert-only physical presentation of `history` (case R0/R1
+// material): inserts ascending by Vs with stable() elements interleaved.
+ElementSequence RenderInOrder(const LogicalHistory& history);
+
+// Options controlling how a physical variant diverges from the canonical
+// presentation.
+struct VariantOptions {
+  double disorder_fraction = 0.2;
+  int64_t max_disorder_elements = 64;
+  // Probability an event is presented as insert(provisional) + adjust(final)
+  // instead of a single exact insert (creates revision traffic).
+  double split_probability = 0.3;
+  // Provisional lifetime is +infinity (open) rather than a random overshoot.
+  bool provisional_open = false;
+  // Keep only every k-th stable element (1 = all).
+  int64_t stable_thinning = 1;
+  uint64_t seed = 7;
+};
+
+// Renders a physically divergent presentation of `history`.  The result is a
+// valid element sequence (validator-clean) whose full reconstitution equals
+// the history's TDB.
+ElementSequence GeneratePhysicalVariant(const LogicalHistory& history,
+                                        const VariantOptions& options);
+
+// Convenience: canonical disordered stream per the paper's generator — the
+// history rendered with the config's own disorder fraction, insert-only.
+ElementSequence GenerateStream(const GeneratorConfig& config);
+
+// A random payload string of `bytes` characters.
+std::string RandomBlob(Rng* rng, int64_t bytes);
+
+}  // namespace lmerge::workload
+
+#endif  // LMERGE_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,42 @@
+#include "workload/subquery.h"
+
+#include "operators/aggregate.h"
+#include "operators/alter_lifetime.h"
+#include "stream/sink.h"
+
+namespace lmerge::workload {
+
+ElementSequence RunThrough(Operator* entry, Operator* tail,
+                           const ElementSequence& input) {
+  CollectingSink sink;
+  tail->AddSink(&sink);
+  for (const StreamElement& element : input) entry->Consume(0, element);
+  return sink.TakeElements();
+}
+
+ElementSequence MakeAdjustHeavyStream(const ElementSequence& input,
+                                      Timestamp window_size,
+                                      Timestamp max_lifetime,
+                                      int64_t group_column) {
+  AggregateConfig config;
+  config.window_size = window_size;
+  config.group_column = group_column;
+  config.function = AggregateFunction::kCount;
+  config.mode = AggregateMode::kSpeculative;
+  GroupedAggregate aggregate("agg", config);
+  AlterLifetime alter("alter", max_lifetime);
+  aggregate.AddDownstream(&alter, 0);
+  return RunThrough(&aggregate, &alter, input);
+}
+
+double AdjustFraction(const ElementSequence& elements) {
+  if (elements.empty()) return 0.0;
+  int64_t adjusts = 0;
+  for (const StreamElement& element : elements) {
+    if (element.is_adjust()) ++adjusts;
+  }
+  return static_cast<double>(adjusts) /
+         static_cast<double>(elements.size());
+}
+
+}  // namespace lmerge::workload

@@ -1,0 +1,38 @@
+// Sub-query helpers (Sec. VI-B): the generated streams carry disorder but no
+// adjust() elements — adjust traffic "is naturally produced during query
+// processing", so the evaluation pushes streams through small query
+// fragments first.  The canonical fragment is an aggressive aggregate
+// followed by a lifetime modification.
+
+#ifndef LMERGE_WORKLOAD_SUBQUERY_H_
+#define LMERGE_WORKLOAD_SUBQUERY_H_
+
+#include <vector>
+
+#include "operators/operator.h"
+#include "stream/element.h"
+
+namespace lmerge::workload {
+
+// Feeds `input` into `entry` (port 0) and returns everything `tail` emits.
+// `entry` and `tail` may be the same operator.  The caller keeps ownership
+// and pre-wired connections between entry and tail.
+ElementSequence RunThrough(Operator* entry, Operator* tail,
+                           const ElementSequence& input);
+
+// The paper's adjust-producing fragment: a speculative grouped count over
+// tumbling windows (early answers revised on disordered stragglers), then
+// lifetimes clipped to `max_lifetime`.  Returns the fragment's output for
+// `input`.  Adjust traffic grows with input disorder (36% of the output at
+// 50% disorder in Sec. VI-D).
+ElementSequence MakeAdjustHeavyStream(const ElementSequence& input,
+                                      Timestamp window_size,
+                                      Timestamp max_lifetime,
+                                      int64_t group_column = 0);
+
+// Fraction of `elements` that are adjust() elements.
+double AdjustFraction(const ElementSequence& elements);
+
+}  // namespace lmerge::workload
+
+#endif  // LMERGE_WORKLOAD_SUBQUERY_H_

@@ -1,0 +1,72 @@
+#include "workload/ticker.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lmerge::workload {
+
+std::string TickerSymbol(int64_t i) { return "SYM" + std::to_string(i); }
+
+LogicalHistory GenerateTickerHistory(const TickerConfig& config) {
+  LM_CHECK(config.num_symbols >= 1);
+  LM_CHECK(config.quotes_per_symbol >= 1);
+  Rng rng(config.seed);
+  LogicalHistory history;
+
+  struct SymbolState {
+    int64_t price;
+    Timestamp last_quote = kMinTimestamp;
+    size_t open_event = 0;  // index into history.events of the open quote
+    bool has_open = false;
+  };
+  std::vector<SymbolState> symbols(
+      static_cast<size_t>(config.num_symbols),
+      SymbolState{config.start_price_cents});
+
+  Timestamp now = 0;
+  const int64_t total_quotes =
+      config.num_symbols * config.quotes_per_symbol;
+  std::vector<int64_t> remaining(static_cast<size_t>(config.num_symbols),
+                                 config.quotes_per_symbol);
+  int64_t issued = 0;
+  bool quote_since_stable = false;
+  while (issued < total_quotes) {
+    now += 1 + rng.UniformInt(0, std::max<Timestamp>(0, config.max_gap - 1));
+    // Pick a symbol that still has quotes to issue.
+    int64_t s = rng.UniformInt(0, config.num_symbols - 1);
+    for (int64_t probe = 0; probe < config.num_symbols; ++probe) {
+      const int64_t candidate = (s + probe) % config.num_symbols;
+      if (remaining[static_cast<size_t>(candidate)] > 0) {
+        s = candidate;
+        break;
+      }
+    }
+    SymbolState& symbol = symbols[static_cast<size_t>(s)];
+    symbol.price = std::max<int64_t>(
+        1, symbol.price +
+               rng.UniformInt(-config.max_move_cents, config.max_move_cents));
+    // The new quote supersedes the previous one.
+    if (symbol.has_open) {
+      history.events[symbol.open_event].ve = now;
+    }
+    history.events.emplace_back(
+        Row({Value(TickerSymbol(s)), Value(symbol.price)}), now, kInfinity);
+    symbol.open_event = history.events.size() - 1;
+    symbol.has_open = true;
+    symbol.last_quote = now;
+    --remaining[static_cast<size_t>(s)];
+    ++issued;
+    quote_since_stable = true;
+    if (quote_since_stable && rng.Bernoulli(config.stable_freq)) {
+      history.stable_times.push_back(now + 1);
+      quote_since_stable = false;
+    }
+  }
+  // The history's events must be ordered by Vs for the variant machinery.
+  std::sort(history.events.begin(), history.events.end(),
+            [](const Event& a, const Event& b) { return EventLess()(a, b); });
+  return history;
+}
+
+}  // namespace lmerge::workload

@@ -1,0 +1,46 @@
+// Stock-ticker workload: the revision-heavy feed shape of Sec. I
+// ("commercial stock ticker feeds issue revision tuples to amend previously
+// issued tuples") and the real-data sanity check of Sec. VI-B footnote 2.
+//
+// Model: per symbol, a sequence of quotes; each quote event's payload is
+// (symbol, price) and its lifetime spans from its own timestamp until the
+// next quote for that symbol supersedes it (the final quote stays open).
+// Physically, a feed naturally presents a quote as insert(symbol/price, t,
+// +inf) followed later by an adjust trimming it when the successor arrives —
+// exactly the provisional-open presentation GeneratePhysicalVariant emits,
+// so divergent exchange feeds are derived the usual way.
+
+#ifndef LMERGE_WORKLOAD_TICKER_H_
+#define LMERGE_WORKLOAD_TICKER_H_
+
+#include <cstdint>
+
+#include "workload/generator.h"
+
+namespace lmerge::workload {
+
+struct TickerConfig {
+  int64_t num_symbols = 8;
+  int64_t quotes_per_symbol = 200;
+  int64_t start_price_cents = 10000;
+  // Max absolute price move between consecutive quotes, in cents.
+  int64_t max_move_cents = 50;
+  // Max application-time gap between consecutive quotes (any symbol).
+  Timestamp max_gap = 1000;
+  double stable_freq = 0.02;
+  uint64_t seed = 2012;
+};
+
+// Builds the logical history of the ticker: one event per quote with
+// lifetime [quote time, next quote time for that symbol), final quotes
+// open-ended.  (Vs, payload) is a key (a symbol quotes at most once per
+// tick).  Use GeneratePhysicalVariant (typically with provisional_open) to
+// derive divergent physical feeds.
+LogicalHistory GenerateTickerHistory(const TickerConfig& config);
+
+// Symbol name for id `i` ("SYM0", "SYM1", ...).
+std::string TickerSymbol(int64_t i);
+
+}  // namespace lmerge::workload
+
+#endif  // LMERGE_WORKLOAD_TICKER_H_

@@ -1,0 +1,58 @@
+#include "common/row.h"
+
+#include <gtest/gtest.h>
+
+namespace lmerge {
+namespace {
+
+TEST(RowTest, FieldAccess) {
+  const Row row = Row::OfIntAndString(7, "blob");
+  ASSERT_EQ(row.field_count(), 2);
+  EXPECT_EQ(row.field(0).AsInt64(), 7);
+  EXPECT_EQ(row.field(1).AsString(), "blob");
+}
+
+TEST(RowTest, EqualityAndHash) {
+  const Row a = Row::OfIntAndString(1, "x");
+  const Row b = Row::OfIntAndString(1, "x");
+  const Row c = Row::OfIntAndString(2, "x");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a, c);
+}
+
+TEST(RowTest, LexicographicCompare) {
+  EXPECT_LT(Row({Value(int64_t{1}), Value(int64_t{9})}),
+            Row({Value(int64_t{2}), Value(int64_t{0})}));
+  EXPECT_LT(Row({Value(int64_t{1})}),
+            Row({Value(int64_t{1}), Value(int64_t{0})}));  // prefix shorter
+  EXPECT_EQ(Row().Compare(Row()), 0);
+}
+
+TEST(RowTest, WithFieldReplacesAndRehashes) {
+  const Row a = Row::OfIntAndString(1, "x");
+  const Row b = a.WithField(0, Value(int64_t{5}));
+  EXPECT_EQ(b.field(0).AsInt64(), 5);
+  EXPECT_EQ(b.field(1).AsString(), "x");
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_EQ(a.field(0).AsInt64(), 1);  // original untouched
+}
+
+TEST(RowTest, DeepSizeGrowsWithPayload) {
+  const Row small = Row::OfInt(1);
+  const Row big = Row::OfIntAndString(1, std::string(1000, 'p'));
+  EXPECT_GE(big.DeepSizeBytes(), small.DeepSizeBytes() + 1000);
+}
+
+TEST(RowTest, ToString) {
+  EXPECT_EQ(Row::OfIntAndString(3, "a").ToString(), "(3, \"a\")");
+  EXPECT_EQ(Row().ToString(), "()");
+}
+
+TEST(RowTest, RowHashFunctor) {
+  const Row a = Row::OfInt(11);
+  EXPECT_EQ(RowHash()(a), a.hash());
+}
+
+}  // namespace
+}  // namespace lmerge

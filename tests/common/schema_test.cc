@@ -1,0 +1,63 @@
+#include "common/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace lmerge {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"machine", ValueType::kInt64},
+                 {"metric", ValueType::kString},
+                 {"load", ValueType::kDouble}});
+}
+
+TEST(SchemaTest, IndexOf) {
+  const Schema s = TestSchema();
+  EXPECT_EQ(s.IndexOf("machine"), 0);
+  EXPECT_EQ(s.IndexOf("load"), 2);
+  EXPECT_EQ(s.IndexOf("missing"), -1);
+}
+
+TEST(SchemaTest, ValidateRowAccepts) {
+  const Schema s = TestSchema();
+  EXPECT_TRUE(
+      s.ValidateRow(Row({Value(int64_t{1}), Value("cpu"), Value(0.5)})).ok());
+}
+
+TEST(SchemaTest, ValidateRowAcceptsNulls) {
+  const Schema s = TestSchema();
+  EXPECT_TRUE(
+      s.ValidateRow(Row({Value::Null(), Value("cpu"), Value::Null()})).ok());
+}
+
+TEST(SchemaTest, ValidateRowRejectsArity) {
+  const Schema s = TestSchema();
+  const Status status = s.ValidateRow(Row({Value(int64_t{1})}));
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, ValidateRowRejectsWrongType) {
+  const Schema s = TestSchema();
+  const Status status =
+      s.ValidateRow(Row({Value("oops"), Value("cpu"), Value(0.5)}));
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(SchemaTest, ConcatForJoins) {
+  const Schema left({{"a", ValueType::kInt64}});
+  const Schema right({{"b", ValueType::kString}});
+  const Schema joined = left.Concat(right);
+  ASSERT_EQ(joined.column_count(), 2);
+  EXPECT_EQ(joined.column(0).name, "a");
+  EXPECT_EQ(joined.column(1).name, "b");
+}
+
+TEST(SchemaTest, EqualsAndToString) {
+  EXPECT_TRUE(TestSchema().Equals(TestSchema()));
+  EXPECT_FALSE(TestSchema().Equals(Schema({{"x", ValueType::kInt64}})));
+  EXPECT_EQ(Schema({{"x", ValueType::kInt64}}).ToString(), "[x:int64]");
+}
+
+}  // namespace
+}  // namespace lmerge

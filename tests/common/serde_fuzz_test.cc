@@ -1,0 +1,79 @@
+// Decoder robustness: random and mutated byte buffers must never crash the
+// decoders — every malformed input yields a Status error.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/serde.h"
+#include "stream/element_serde.h"
+#include "test_util.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::Adj;
+using ::lmerge::testing_util::Ins;
+using ::lmerge::testing_util::Stb;
+
+class SerdeFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SerdeFuzzTest, RandomBytesNeverCrashRowDecoder) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    std::string bytes;
+    const int64_t len = rng.UniformInt(0, 64);
+    for (int64_t i = 0; i < len; ++i) {
+      bytes.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+    }
+    Decoder decoder(bytes);
+    Row row;
+    // May succeed or fail; must not crash or read out of bounds.
+    (void)decoder.ReadRow(&row);
+  }
+}
+
+TEST_P(SerdeFuzzTest, RandomBytesNeverCrashSequenceDecoder) {
+  Rng rng(GetParam() * 31 + 1);
+  for (int round = 0; round < 200; ++round) {
+    std::string bytes;
+    const int64_t len = rng.UniformInt(0, 128);
+    for (int64_t i = 0; i < len; ++i) {
+      bytes.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+    }
+    ElementSequence elements;
+    (void)DeserializeSequence(bytes, &elements);
+  }
+}
+
+TEST_P(SerdeFuzzTest, MutatedValidBuffersFailCleanly) {
+  Rng rng(GetParam() * 7 + 3);
+  const ElementSequence original = {
+      Ins("payload-string", 10, 500),
+      Adj("payload-string", 10, 500, 700),
+      StreamElement::Insert(Row::OfIntAndString(42, "x"), 20, kInfinity),
+      Stb(30),
+  };
+  const std::string valid = SerializeSequence(original);
+  for (int round = 0; round < 300; ++round) {
+    std::string mutated = valid;
+    const int mutations = static_cast<int>(rng.UniformInt(1, 4));
+    for (int m = 0; m < mutations; ++m) {
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+      mutated[pos] = static_cast<char>(rng.UniformInt(0, 255));
+    }
+    ElementSequence elements;
+    const Status status = DeserializeSequence(mutated, &elements);
+    if (status.ok()) {
+      // A mutation that keeps the buffer well-formed must still produce
+      // elements the library can at least print.
+      for (const StreamElement& e : elements) (void)e.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerdeFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace lmerge

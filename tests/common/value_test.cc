@@ -1,0 +1,70 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace lmerge {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+}
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value(int64_t{42}).AsInt64(), 42);
+  EXPECT_EQ(Value(true).AsBool(), true);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("hello").AsString(), "hello");
+}
+
+TEST(ValueTest, CompareWithinType) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_EQ(Value(int64_t{3}), Value(int64_t{3}));
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_LT(Value(1.0), Value(1.5));
+  EXPECT_LT(Value(false), Value(true));
+}
+
+TEST(ValueTest, CompareAcrossTypesUsesTypeTag) {
+  // null < bool < int64 < double < string by tag.
+  EXPECT_LT(Value::Null(), Value(true));
+  EXPECT_LT(Value(true), Value(int64_t{0}));
+  EXPECT_LT(Value(int64_t{99}), Value(0.0));
+  EXPECT_LT(Value(1e300), Value(""));
+}
+
+TEST(ValueTest, EqualValuesHashEqually) {
+  EXPECT_EQ(Value(int64_t{7}).Hash(), Value(int64_t{7}).Hash());
+  EXPECT_EQ(Value("x").Hash(), Value("x").Hash());
+  EXPECT_EQ(Value(0.0).Hash(), Value(-0.0).Hash());  // -0.0 == 0.0
+}
+
+TEST(ValueTest, DistinctValuesUsuallyHashDifferently) {
+  EXPECT_NE(Value(int64_t{1}).Hash(), Value(int64_t{2}).Hash());
+  EXPECT_NE(Value("a").Hash(), Value("b").Hash());
+  // Same content, different type: must not collide by construction.
+  EXPECT_NE(Value(int64_t{1}).Hash(), Value(true).Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int64_t{5}).ToString(), "5");
+  EXPECT_EQ(Value("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value(true).ToString(), "true");
+}
+
+TEST(ValueTest, DeepSizeCountsStringHeap) {
+  const Value small("ab");  // fits SSO
+  const Value large(std::string(1000, 'x'));
+  EXPECT_GE(large.DeepSizeBytes(),
+            small.DeepSizeBytes() + 900);  // heap blob counted
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_STREQ(ValueTypeName(ValueType::kInt64), "int64");
+  EXPECT_STREQ(ValueTypeName(ValueType::kString), "string");
+}
+
+}  // namespace
+}  // namespace lmerge

@@ -1,0 +1,158 @@
+#include "container/rbtree.h"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace lmerge {
+namespace {
+
+TEST(RbTreeTest, InsertFindBasic) {
+  RbTree<int, int> tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.Insert(5, 50).second);
+  EXPECT_TRUE(tree.Insert(3, 30).second);
+  EXPECT_TRUE(tree.Insert(8, 80).second);
+  EXPECT_FALSE(tree.Insert(5, 99).second);  // duplicate key
+  EXPECT_EQ(tree.size(), 3);
+  EXPECT_EQ(tree.Find(5).value(), 50);  // value unchanged by dup insert
+  EXPECT_EQ(tree.Find(9), tree.end());
+}
+
+TEST(RbTreeTest, InOrderIteration) {
+  RbTree<int, int> tree;
+  for (const int k : {9, 1, 7, 3, 5}) tree.Insert(k, k * 10);
+  std::vector<int> keys;
+  for (auto it = tree.begin(); it != tree.end(); ++it) {
+    keys.push_back(it.key());
+  }
+  EXPECT_EQ(keys, (std::vector<int>{1, 3, 5, 7, 9}));
+}
+
+TEST(RbTreeTest, LowerBound) {
+  RbTree<int, int> tree;
+  for (const int k : {10, 20, 30}) tree.Insert(k, k);
+  EXPECT_EQ(tree.LowerBound(5).key(), 10);
+  EXPECT_EQ(tree.LowerBound(10).key(), 10);
+  EXPECT_EQ(tree.LowerBound(11).key(), 20);
+  EXPECT_EQ(tree.LowerBound(31), tree.end());
+}
+
+TEST(RbTreeTest, Last) {
+  RbTree<int, int> tree;
+  EXPECT_EQ(tree.Last(), tree.end());
+  for (const int k : {4, 2, 9, 6}) tree.Insert(k, k);
+  EXPECT_EQ(tree.Last().key(), 9);
+}
+
+TEST(RbTreeTest, EraseByKey) {
+  RbTree<int, int> tree;
+  for (int k = 0; k < 10; ++k) tree.Insert(k, k);
+  EXPECT_TRUE(tree.Erase(4));
+  EXPECT_FALSE(tree.Erase(4));
+  EXPECT_EQ(tree.size(), 9);
+  EXPECT_EQ(tree.Find(4), tree.end());
+  tree.ValidateInvariants();
+}
+
+TEST(RbTreeTest, EraseByIteratorReturnsSuccessor) {
+  RbTree<int, int> tree;
+  for (const int k : {1, 2, 3}) tree.Insert(k, k);
+  auto it = tree.Find(2);
+  it = tree.Erase(it);
+  EXPECT_EQ(it.key(), 3);
+  it = tree.Erase(it);
+  EXPECT_EQ(it, tree.end());
+  EXPECT_EQ(tree.size(), 1);
+}
+
+TEST(RbTreeTest, EraseWhileIterating) {
+  RbTree<int, int> tree;
+  for (int k = 0; k < 100; ++k) tree.Insert(k, k);
+  // Delete every even key during a forward scan.
+  auto it = tree.begin();
+  while (it != tree.end()) {
+    if (it.key() % 2 == 0) {
+      it = tree.Erase(it);
+    } else {
+      ++it;
+    }
+  }
+  EXPECT_EQ(tree.size(), 50);
+  for (auto i = tree.begin(); i != tree.end(); ++i) {
+    EXPECT_EQ(i.key() % 2, 1);
+  }
+  tree.ValidateInvariants();
+}
+
+TEST(RbTreeTest, MoveTransfersOwnership) {
+  RbTree<int, int> a;
+  a.Insert(1, 10);
+  RbTree<int, int> b(std::move(a));
+  EXPECT_EQ(b.size(), 1);
+  EXPECT_EQ(a.size(), 0);
+  RbTree<int, int> c;
+  c = std::move(b);
+  EXPECT_EQ(c.Find(1).value(), 10);
+}
+
+TEST(RbTreeTest, NodeBytesScalesWithSize) {
+  RbTree<int, int> tree;
+  EXPECT_EQ(tree.NodeBytes(), 0);
+  for (int k = 0; k < 10; ++k) tree.Insert(k, k);
+  const int64_t ten = tree.NodeBytes();
+  EXPECT_GT(ten, 0);
+  for (int k = 10; k < 20; ++k) tree.Insert(k, k);
+  EXPECT_EQ(tree.NodeBytes(), 2 * ten);
+}
+
+class RbTreeRandomizedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RbTreeRandomizedTest, MatchesStdMapUnderRandomOps) {
+  Rng rng(GetParam());
+  RbTree<int64_t, int64_t> tree;
+  std::map<int64_t, int64_t> reference;
+  for (int step = 0; step < 5000; ++step) {
+    const int64_t key = rng.UniformInt(0, 500);
+    const int op = static_cast<int>(rng.UniformInt(0, 2));
+    if (op <= 1) {  // insert biased 2:1
+      const bool inserted = tree.Insert(key, step).second;
+      const bool ref_inserted = reference.emplace(key, step).second;
+      ASSERT_EQ(inserted, ref_inserted);
+    } else {
+      ASSERT_EQ(tree.Erase(key), reference.erase(key) > 0);
+    }
+    if (step % 512 == 0) tree.ValidateInvariants();
+  }
+  tree.ValidateInvariants();
+  ASSERT_EQ(tree.size(), static_cast<int64_t>(reference.size()));
+  auto it = tree.begin();
+  for (const auto& [key, value] : reference) {
+    ASSERT_NE(it, tree.end());
+    EXPECT_EQ(it.key(), key);
+    EXPECT_EQ(it.value(), value);
+    ++it;
+  }
+  EXPECT_EQ(it, tree.end());
+  // Spot-check LowerBound against the reference.
+  for (int probe = 0; probe < 100; ++probe) {
+    const int64_t key = rng.UniformInt(0, 520);
+    auto mine = tree.LowerBound(key);
+    auto ref = reference.lower_bound(key);
+    if (ref == reference.end()) {
+      EXPECT_EQ(mine, tree.end());
+    } else {
+      ASSERT_NE(mine, tree.end());
+      EXPECT_EQ(mine.key(), ref->first);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RbTreeRandomizedTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace lmerge

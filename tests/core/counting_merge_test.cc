@@ -1,0 +1,81 @@
+// CountingMerge: the Sec. I strawman.  Works when inputs are identical
+// element-for-element; demonstrably breaks under divergence and failures —
+// the motivation for LMerge.
+
+#include "core/counting_merge.h"
+
+#include <gtest/gtest.h>
+
+#include "temporal/tdb.h"
+#include "test_util.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::CountKinds;
+using ::lmerge::testing_util::Ins;
+using ::lmerge::testing_util::RoundRobinInto;
+using ::lmerge::testing_util::Stb;
+
+TEST(CountingMergeTest, IdenticalStreamsMergeCleanly) {
+  CollectingSink collected;
+  CountingMerge merge(3, &collected);
+  const ElementSequence stream = {Ins("A", 1, 10), Ins("B", 2, 10), Stb(3)};
+  RoundRobinInto(&merge, {stream, stream, stream});
+  EXPECT_EQ(collected.elements(), stream);
+}
+
+TEST(CountingMergeTest, FasterStreamDrives) {
+  CollectingSink collected;
+  CountingMerge merge(2, &collected);
+  const ElementSequence stream = {Ins("A", 1, 10), Ins("B", 2, 10),
+                                  Ins("C", 3, 10)};
+  for (const auto& e : stream) ASSERT_TRUE(merge.OnElement(0, e).ok());
+  for (const auto& e : stream) ASSERT_TRUE(merge.OnElement(1, e).ok());
+  EXPECT_EQ(collected.elements(), stream);
+  EXPECT_EQ(merge.stats().dropped, 3);
+}
+
+TEST(CountingMergeTest, BreaksUnderReordering) {
+  // The same logical content in different orders: counting merge emits a
+  // mixture that duplicates one event and omits another.
+  CollectingSink collected;
+  CountingMerge merge(2, &collected);
+  ASSERT_TRUE(merge.OnElement(0, Ins("A", 1, 10)).ok());  // out: A
+  ASSERT_TRUE(merge.OnElement(1, Ins("B", 2, 10)).ok());  // count 1: dropped
+  ASSERT_TRUE(merge.OnElement(1, Ins("A", 1, 10)).ok());  // out: A again!
+  const Tdb out = Tdb::Reconstitute(collected.elements());
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("A"), 1, 10)), 2);  // duplicated
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("B"), 2, 10)), 0);  // lost
+}
+
+TEST(CountingMergeTest, BreaksUnderRestartReplay) {
+  // A replica fails, restarts, and replays its stream from the beginning
+  // (Sec. I: "the trivial counting merge does not work correctly when
+  // failures exist").
+  CollectingSink collected;
+  CountingMerge merge(2, &collected);
+  const ElementSequence stream = {Ins("A", 1, 10), Ins("B", 2, 10),
+                                  Ins("C", 3, 10)};
+  for (const auto& e : stream) ASSERT_TRUE(merge.OnElement(0, e).ok());
+  // Replica 1 replays from scratch, then continues past replica 0.
+  for (const auto& e : stream) ASSERT_TRUE(merge.OnElement(1, e).ok());
+  ASSERT_TRUE(merge.OnElement(1, Ins("D", 4, 10)).ok());
+  ASSERT_TRUE(merge.OnElement(1, Ins("A", 1, 10)).ok());  // duplicate replay
+  const Tdb out = Tdb::Reconstitute(collected.elements());
+  // The replayed A is emitted a second time: duplication, not a clean merge.
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("A"), 1, 10)), 2);
+}
+
+TEST(CountingMergeTest, StateIsConstant) {
+  CollectingSink collected;
+  CountingMerge merge(4, &collected);
+  const int64_t before = merge.StateBytes();
+  for (int i = 1; i < 1000; ++i) {
+    ASSERT_TRUE(merge.OnElement(0, Ins("X", i, i + 1)).ok());
+  }
+  EXPECT_EQ(merge.StateBytes(), before);
+}
+
+}  // namespace
+}  // namespace lmerge

@@ -1,0 +1,252 @@
+// Property-based end-to-end correctness: for randomly generated logical
+// histories, arbitrary physically divergent presentations, and arbitrary
+// interleavings, every LMerge algorithm must
+//   (1) emit a well-formed physical stream,
+//   (2) reconstitute to exactly the input's logical TDB once all inputs are
+//       fully delivered and stabilized, and
+//   (3) — for the R3 algorithms — keep the output compatible (conditions
+//       C1..C3) with the inputs at every stable point.
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "core/lmerge_r4.h"
+#include "temporal/compat.h"
+#include "temporal/tdb.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::workload::GeneratorConfig;
+using ::lmerge::workload::GeneratePhysicalVariant;
+using ::lmerge::workload::GenerateHistory;
+using ::lmerge::workload::LogicalHistory;
+using ::lmerge::workload::RenderInOrder;
+using ::lmerge::workload::VariantOptions;
+
+LogicalHistory SmallHistory(uint64_t seed, bool with_final_stable = true) {
+  GeneratorConfig config;
+  config.num_inserts = 150;
+  config.stable_freq = 0.08;
+  config.event_duration = 400;
+  config.duration_jitter = 300;
+  config.max_gap = 20;
+  config.key_range = 30;
+  config.payload_string_bytes = 8;
+  config.seed = seed;
+  LogicalHistory history = GenerateHistory(config);
+  if (with_final_stable) {
+    Timestamp max_ve = 0;
+    for (const Event& e : history.events) max_ve = std::max(max_ve, e.ve);
+    history.stable_times.push_back(max_ve + 1);
+  }
+  return history;
+}
+
+Tdb HistoryTdb(const LogicalHistory& history) {
+  return Tdb::Reconstitute(RenderInOrder(history));
+}
+
+// ---------------------------------------------------------------------------
+// Ordered, insert-only, unique timestamps: R0 and R1 and R2 must all merge
+// identical replicas delivered at different speeds.
+// ---------------------------------------------------------------------------
+
+class OrderedMergeProperty
+    : public ::testing::TestWithParam<std::tuple<MergeVariant, uint64_t>> {};
+
+TEST_P(OrderedMergeProperty, ReplicasAtDifferentSpeedsConverge) {
+  const auto [variant, seed] = GetParam();
+  const LogicalHistory history = SmallHistory(seed);
+  const ElementSequence stream = RenderInOrder(history);
+
+  CollectingSink collected;
+  StreamProperties out_props;
+  out_props.insert_only = true;
+  ValidatingSink sink(out_props, &collected);
+  auto merge = CreateMergeAlgorithm(variant, 3, &sink);
+  testing_util::InterleaveInto(merge.get(), {stream, stream, stream},
+                               seed * 31 + 7);
+  EXPECT_TRUE(Tdb::Reconstitute(collected.elements())
+                  .Equals(HistoryTdb(history)))
+      << MergeVariantName(variant) << " seed " << seed;
+  // No duplication: output inserts == distinct events.
+  EXPECT_EQ(testing_util::CountKinds(collected.elements()).inserts,
+            static_cast<int64_t>(history.events.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsAndSeeds, OrderedMergeProperty,
+    ::testing::Combine(::testing::Values(MergeVariant::kLMR0,
+                                         MergeVariant::kLMR1,
+                                         MergeVariant::kLMR2,
+                                         MergeVariant::kLMR3Plus,
+                                         MergeVariant::kLMR3Minus,
+                                         MergeVariant::kLMR4),
+                       ::testing::Values(1u, 2u, 3u, 4u)));
+
+// ---------------------------------------------------------------------------
+// Disordered presentations with revisions (case R3): LMR3+, LMR3-, LMR4.
+// ---------------------------------------------------------------------------
+
+class DivergentMergeProperty
+    : public ::testing::TestWithParam<std::tuple<MergeVariant, uint64_t>> {};
+
+TEST_P(DivergentMergeProperty, DivergentVariantsConverge) {
+  const auto [variant, seed] = GetParam();
+  const LogicalHistory history = SmallHistory(seed);
+
+  std::vector<ElementSequence> inputs;
+  for (uint64_t v = 0; v < 3; ++v) {
+    VariantOptions options;
+    options.disorder_fraction = 0.15 + 0.15 * static_cast<double>(v);
+    options.max_disorder_elements = 20;
+    options.split_probability = 0.25 * static_cast<double>(v);
+    options.provisional_open = (v == 2);
+    options.seed = seed * 1000 + v;
+    inputs.push_back(GeneratePhysicalVariant(history, options));
+  }
+
+  CollectingSink collected;
+  ValidatingSink sink(StreamProperties::None(), &collected);
+  auto merge =
+      CreateMergeAlgorithm(variant, static_cast<int>(inputs.size()), &sink);
+  testing_util::InterleaveInto(merge.get(), inputs, seed * 17 + 3);
+
+  EXPECT_TRUE(Tdb::Reconstitute(collected.elements())
+                  .Equals(HistoryTdb(history)))
+      << MergeVariantName(variant) << " seed " << seed;
+
+  if (variant == MergeVariant::kLMR3Plus) {
+    // Theorem 1: non-chattiness.
+    const auto& stats = merge->stats();
+    EXPECT_LE(stats.inserts_out + stats.adjusts_out, stats.inserts_in);
+    EXPECT_LE(stats.stables_out, stats.stables_in);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsAndSeeds, DivergentMergeProperty,
+    ::testing::Combine(::testing::Values(MergeVariant::kLMR3Plus,
+                                         MergeVariant::kLMR3Minus,
+                                         MergeVariant::kLMR4),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u)));
+
+// ---------------------------------------------------------------------------
+// Compatibility at every stable point (R3 conditions C1..C3).
+// ---------------------------------------------------------------------------
+
+class CompatibilityProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CompatibilityProperty, OutputCompatibleAtEveryStable) {
+  const uint64_t seed = GetParam();
+  GeneratorConfig config;
+  config.num_inserts = 60;
+  config.stable_freq = 0.15;
+  config.event_duration = 300;
+  config.duration_jitter = 200;
+  config.max_gap = 25;
+  config.key_range = 20;
+  config.payload_string_bytes = 4;
+  config.seed = seed;
+  LogicalHistory history = GenerateHistory(config);
+  Timestamp max_ve = 0;
+  for (const Event& e : history.events) max_ve = std::max(max_ve, e.ve);
+  history.stable_times.push_back(max_ve + 1);
+
+  std::vector<ElementSequence> inputs;
+  for (uint64_t v = 0; v < 2; ++v) {
+    VariantOptions options;
+    options.disorder_fraction = 0.3;
+    options.max_disorder_elements = 10;
+    options.split_probability = 0.3;
+    options.seed = seed * 77 + v;
+    inputs.push_back(GeneratePhysicalVariant(history, options));
+  }
+
+  CollectingSink collected;
+  auto merge = CreateMergeAlgorithm(MergeVariant::kLMR3Plus, 2, &collected);
+
+  // Deliver with a deterministic interleaving while tracking input TDBs.
+  Rng rng(seed + 5);
+  std::vector<size_t> next(inputs.size(), 0);
+  Tdb in_tdb[2];
+  while (true) {
+    std::vector<int> candidates;
+    for (size_t s = 0; s < inputs.size(); ++s) {
+      if (next[s] < inputs[s].size()) candidates.push_back(static_cast<int>(s));
+    }
+    if (candidates.empty()) break;
+    const int s = candidates[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(candidates.size()) - 1))];
+    const StreamElement& e = inputs[static_cast<size_t>(s)][next[static_cast<size_t>(s)]];
+    ASSERT_TRUE(merge->OnElement(s, e).ok());
+    ASSERT_TRUE(in_tdb[s].Apply(e).ok());
+    ++next[static_cast<size_t>(s)];
+    if (e.is_stable()) {
+      const Tdb out = Tdb::Reconstitute(collected.elements());
+      const Status compat =
+          CheckR3Compatibility({&in_tdb[0], &in_tdb[1]}, out);
+      ASSERT_TRUE(compat.ok())
+          << "seed " << seed << ": " << compat.ToString();
+    }
+  }
+  EXPECT_TRUE(Tdb::Reconstitute(collected.elements())
+                  .Equals(HistoryTdb(history)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompatibilityProperty,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------------
+// R4 with duplicate events in the logical multiset.
+// ---------------------------------------------------------------------------
+
+class MultisetMergeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MultisetMergeProperty, DuplicateEventsSurviveMerge) {
+  const uint64_t seed = GetParam();
+  LogicalHistory history = SmallHistory(seed, /*with_final_stable=*/false);
+  // Duplicate every 7th event (same payload, Vs, and Ve) — a true multiset.
+  const size_t original = history.events.size();
+  for (size_t i = 0; i < original; i += 7) {
+    history.events.push_back(history.events[i]);
+  }
+  std::sort(history.events.begin(), history.events.end(),
+            [](const Event& a, const Event& b) {
+              return EventLess()(a, b);
+            });
+  Timestamp max_ve = 0;
+  for (const Event& e : history.events) max_ve = std::max(max_ve, e.ve);
+  history.stable_times.push_back(max_ve + 1);
+
+  std::vector<ElementSequence> inputs;
+  for (uint64_t v = 0; v < 2; ++v) {
+    VariantOptions options;
+    options.disorder_fraction = 0.25;
+    options.max_disorder_elements = 15;
+    options.split_probability = 0.2;
+    options.seed = seed * 13 + v;
+    inputs.push_back(GeneratePhysicalVariant(history, options));
+  }
+
+  CollectingSink collected;
+  ValidatingSink sink(StreamProperties::None(), &collected);
+  LMergeR4* raw = nullptr;
+  auto merge = CreateMergeAlgorithm(MergeVariant::kLMR4, 2, &sink);
+  raw = static_cast<LMergeR4*>(merge.get());
+  testing_util::InterleaveInto(merge.get(), inputs, seed * 3 + 1);
+
+  EXPECT_TRUE(Tdb::Reconstitute(collected.elements())
+                  .Equals(HistoryTdb(history)))
+      << "seed " << seed;
+  EXPECT_EQ(raw->inconsistency_count(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultisetMergeProperty,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace lmerge

@@ -1,0 +1,63 @@
+#include "core/factory.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace lmerge {
+namespace {
+
+TEST(FactoryTest, VariantForEachCase) {
+  EXPECT_EQ(VariantForCase(AlgorithmCase::kR0), MergeVariant::kLMR0);
+  EXPECT_EQ(VariantForCase(AlgorithmCase::kR1), MergeVariant::kLMR1);
+  EXPECT_EQ(VariantForCase(AlgorithmCase::kR2), MergeVariant::kLMR2);
+  EXPECT_EQ(VariantForCase(AlgorithmCase::kR3), MergeVariant::kLMR3Plus);
+  EXPECT_EQ(VariantForCase(AlgorithmCase::kR4), MergeVariant::kLMR4);
+}
+
+TEST(FactoryTest, CreatesEveryVariant) {
+  NullSink sink;
+  for (const MergeVariant variant :
+       {MergeVariant::kLMR0, MergeVariant::kLMR1, MergeVariant::kLMR2,
+        MergeVariant::kLMR3Plus, MergeVariant::kLMR3Minus,
+        MergeVariant::kLMR4, MergeVariant::kCounting}) {
+    auto algo = CreateMergeAlgorithm(variant, 3, &sink);
+    ASSERT_NE(algo, nullptr) << MergeVariantName(variant);
+    EXPECT_EQ(algo->stream_count(), 3);
+  }
+}
+
+TEST(FactoryTest, CreateForPropertiesPicksCheapest) {
+  NullSink sink;
+  auto algo = CreateMergeAlgorithmForProperties(
+      {StreamProperties::Strongest(), StreamProperties::Strongest()}, 2,
+      &sink);
+  EXPECT_EQ(algo->algorithm_case(), AlgorithmCase::kR0);
+  auto general = CreateMergeAlgorithmForProperties(
+      {StreamProperties::Strongest(), StreamProperties::None()}, 2, &sink);
+  EXPECT_EQ(general->algorithm_case(), AlgorithmCase::kR4);
+}
+
+TEST(FactoryTest, PolicyReachesR3) {
+  NullSink sink;
+  auto algo = CreateMergeAlgorithm(MergeVariant::kLMR3Plus, 2, &sink,
+                                   MergePolicy::Eager());
+  // Downcast via behaviour: adjusts reflected eagerly imply the policy took.
+  using ::lmerge::testing_util::Adj;
+  using ::lmerge::testing_util::Ins;
+  CollectingSink out;
+  auto eager = CreateMergeAlgorithm(MergeVariant::kLMR3Plus, 1, &out,
+                                    MergePolicy::Eager());
+  ASSERT_TRUE(eager->OnElement(0, Ins("A", 1, 5)).ok());
+  ASSERT_TRUE(eager->OnElement(0, Adj("A", 1, 5, 9)).ok());
+  EXPECT_EQ(testing_util::CountKinds(out.elements()).adjusts, 1);
+}
+
+TEST(FactoryTest, VariantNames) {
+  EXPECT_STREQ(MergeVariantName(MergeVariant::kLMR3Plus), "LMR3+");
+  EXPECT_STREQ(MergeVariantName(MergeVariant::kLMR3Minus), "LMR3-");
+  EXPECT_STREQ(MergeVariantName(MergeVariant::kCounting), "Counting");
+}
+
+}  // namespace
+}  // namespace lmerge

@@ -1,0 +1,79 @@
+#include "core/in2t.h"
+
+#include <gtest/gtest.h>
+
+namespace lmerge {
+namespace {
+
+TEST(In2tTest, AddFindDelete) {
+  In2t index;
+  EXPECT_TRUE(index.empty());
+  auto it = index.AddNode(5, Row::OfString("A"));
+  EXPECT_EQ(index.node_count(), 1);
+  EXPECT_NE(index.SameVsPayload(5, Row::OfString("A")), index.end());
+  EXPECT_EQ(index.SameVsPayload(5, Row::OfString("B")), index.end());
+  EXPECT_EQ(index.SameVsPayload(6, Row::OfString("A")), index.end());
+  index.DeleteNode(it);
+  EXPECT_TRUE(index.empty());
+}
+
+TEST(In2tTest, OrderedByVsThenPayload) {
+  In2t index;
+  index.AddNode(7, Row::OfString("B"));
+  index.AddNode(5, Row::OfString("Z"));
+  index.AddNode(7, Row::OfString("A"));
+  index.AddNode(6, Row::OfString("M"));
+  std::vector<Timestamp> vs_order;
+  for (auto it = index.begin(); it != index.end(); ++it) {
+    vs_order.push_back(it.key().vs);
+  }
+  EXPECT_EQ(vs_order, (std::vector<Timestamp>{5, 6, 7, 7}));
+  // Equal Vs ties broken by payload.
+  auto it = index.begin();
+  ++it;
+  ++it;
+  EXPECT_EQ(it.key().payload, Row::OfString("A"));
+}
+
+TEST(In2tTest, EndTableTracksPerStreamEnds) {
+  In2t index;
+  auto it = index.AddNode(5, Row::OfString("A"));
+  In2t::EndTable& ends = it.value();
+  ends.Insert(0, 100);
+  ends.Insert(1, 200);
+  ends.Insert(kOutputStream, 100);
+  EXPECT_EQ(*ends.Find(0), 100);
+  EXPECT_EQ(*ends.Find(1), 200);
+  EXPECT_EQ(*ends.Find(kOutputStream), 100);
+  EXPECT_EQ(ends.Find(2), nullptr);
+}
+
+TEST(In2tTest, HalfFrozenScanIsVsPrefix) {
+  In2t index;
+  for (Timestamp vs = 10; vs < 20; ++vs) {
+    index.AddNode(vs, Row::OfInt(vs));
+  }
+  // Nodes with Vs < 15 form the prefix the stable(15) walk visits.
+  int visited = 0;
+  for (auto it = index.begin(); it != index.end() && it.key().vs < 15;
+       ++it) {
+    ++visited;
+  }
+  EXPECT_EQ(visited, 5);
+}
+
+TEST(In2tTest, StateBytesIncludesPayloadOnce) {
+  In2t index;
+  const std::string blob(1000, 'q');
+  auto it = index.AddNode(5, Row::OfIntAndString(1, blob));
+  const int64_t one_stream_before = index.StateBytes();
+  // Registering ten streams adds hash entries, not payload copies.
+  for (int s = 0; s < 10; ++s) it.value().Insert(s, 100 + s);
+  const int64_t ten_streams = index.StateBytes();
+  EXPECT_LT(ten_streams - one_stream_before, 1000);
+  index.DeleteNode(index.begin());
+  EXPECT_LT(index.StateBytes(), one_stream_before);
+}
+
+}  // namespace
+}  // namespace lmerge

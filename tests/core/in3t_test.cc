@@ -1,0 +1,74 @@
+#include "core/in3t.h"
+
+#include <gtest/gtest.h>
+
+namespace lmerge {
+namespace {
+
+TEST(VeMultisetTest, IncrementDecrementTotals) {
+  VeMultiset ends;
+  EXPECT_EQ(ends.total(), 0);
+  ends.Increment(10);
+  ends.Increment(10);
+  ends.Increment(20);
+  EXPECT_EQ(ends.total(), 3);
+  EXPECT_EQ(ends.CountOf(10), 2);
+  EXPECT_EQ(ends.CountOf(20), 1);
+  EXPECT_TRUE(ends.Decrement(10));
+  EXPECT_EQ(ends.CountOf(10), 1);
+  EXPECT_TRUE(ends.Decrement(10));
+  EXPECT_EQ(ends.CountOf(10), 0);
+  EXPECT_FALSE(ends.Decrement(10));  // nothing left
+  EXPECT_EQ(ends.total(), 1);
+}
+
+TEST(VeMultisetTest, MaxVeAndFallback) {
+  VeMultiset ends;
+  EXPECT_EQ(ends.MaxVe(42), 42);
+  ends.Increment(10);
+  ends.Increment(99);
+  EXPECT_EQ(ends.MaxVe(42), 99);
+  ends.Decrement(99);
+  EXPECT_EQ(ends.MaxVe(42), 10);
+}
+
+TEST(VeMultisetTest, ForEachAscending) {
+  VeMultiset ends;
+  ends.Increment(30);
+  ends.Increment(10);
+  ends.Increment(20);
+  ends.Increment(20);
+  std::vector<Timestamp> order;
+  std::vector<int64_t> counts;
+  ends.ForEach([&](Timestamp ve, int64_t count) {
+    order.push_back(ve);
+    counts.push_back(count);
+  });
+  EXPECT_EQ(order, (std::vector<Timestamp>{10, 20, 30}));
+  EXPECT_EQ(counts, (std::vector<int64_t>{1, 2, 1}));
+}
+
+TEST(In3tTest, NodesKeyedByVsPayload) {
+  In3t index;
+  auto it = index.AddNode(5, Row::OfString("A"));
+  it.value()[0].Increment(100);
+  it.value()[0].Increment(200);
+  it.value()[1].Increment(100);
+  EXPECT_EQ(index.SameVsPayload(5, Row::OfString("A")).value()[0].total(),
+            2);
+  EXPECT_EQ(index.node_count(), 1);
+  index.DeleteNode(index.begin());
+  EXPECT_TRUE(index.empty());
+}
+
+TEST(In3tTest, StateBytesGrowWithDistinctEnds) {
+  In3t index;
+  auto it = index.AddNode(5, Row::OfString("A"));
+  it.value()[0].Increment(1);
+  const int64_t one = index.StateBytes();
+  for (Timestamp ve = 2; ve <= 50; ++ve) it.value()[0].Increment(ve);
+  EXPECT_GT(index.StateBytes(), one);
+}
+
+}  // namespace
+}  // namespace lmerge

@@ -1,0 +1,157 @@
+// LMergeOperator: attach/detach protocol (Sec. V-B) and feedback origin
+// (Sec. V-D).
+
+#include "core/lmerge_operator.h"
+
+#include <gtest/gtest.h>
+
+#include "operators/select.h"
+#include "temporal/tdb.h"
+#include "test_util.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::CountKinds;
+using ::lmerge::testing_util::Ins;
+using ::lmerge::testing_util::Stb;
+
+TEST(LMergeOperatorTest, BasicMergeThroughOperatorInterface) {
+  LMergeOperator lm("lm", 2, MergeVariant::kLMR3Plus);
+  CollectingSink sink;
+  lm.AddSink(&sink);
+  lm.Consume(0, Ins("A", 1, 10));
+  lm.Consume(1, Ins("A", 1, 10));
+  lm.Consume(0, Stb(20));
+  EXPECT_EQ(CountKinds(sink.elements()).inserts, 1);
+  EXPECT_EQ(lm.algorithm().max_stable(), 20);
+}
+
+TEST(LMergeOperatorTest, PropertyDrivenConstruction) {
+  LMergeOperator lm("lm",
+                    std::vector<StreamProperties>{
+                        StreamProperties::Strongest(),
+                        StreamProperties::Strongest()});
+  EXPECT_EQ(lm.algorithm().algorithm_case(), AlgorithmCase::kR0);
+}
+
+TEST(LMergeOperatorTest, AttachAddsPort) {
+  LMergeOperator lm("lm", 2, MergeVariant::kLMR3Plus);
+  CollectingSink sink;
+  lm.AddSink(&sink);
+  lm.Consume(0, Ins("A", 1, 10));
+  const int port = lm.AttachInput(/*join_time=*/0);
+  EXPECT_EQ(port, 2);
+  EXPECT_EQ(lm.input_count(), 3);
+  lm.Consume(port, Ins("A", 1, 10));  // duplicate from the new replica
+  EXPECT_EQ(CountKinds(sink.elements()).inserts, 1);
+}
+
+TEST(LMergeOperatorTest, LateJoinerCannotDriveStabilityUntilJoined) {
+  LMergeOperator lm("lm", 1, MergeVariant::kLMR3Plus);
+  CollectingSink sink;
+  lm.AddSink(&sink);
+  lm.Consume(0, Ins("OLD", 5, 8));  // the joiner will never see this
+  // Replica joins promising correctness from t=50 onward.
+  const int port = lm.AttachInput(/*join_time=*/50);
+  EXPECT_FALSE(lm.InputJoined(port));
+  // Its stable(20) would wrongly freeze OLD's absence: held back.
+  lm.Consume(port, Stb(20));
+  EXPECT_EQ(CountKinds(sink.elements()).stables, 0);
+  // The original stream stabilizes past the join time; the joiner is now
+  // trustworthy.
+  lm.Consume(0, Stb(60));
+  EXPECT_TRUE(lm.InputJoined(port));
+  lm.Consume(port, Stb(70));
+  EXPECT_EQ(CountKinds(sink.elements()).stables, 2);
+  // OLD survived (the joiner never contradicted it).
+  const Tdb out = Tdb::Reconstitute(sink.elements());
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("OLD"), 5, 8)), 1);
+}
+
+TEST(LMergeOperatorTest, DetachedInputIgnored) {
+  LMergeOperator lm("lm", 2, MergeVariant::kLMR3Plus);
+  CollectingSink sink;
+  lm.AddSink(&sink);
+  lm.Consume(0, Ins("A", 1, 10));
+  lm.DetachInput(1);
+  EXPECT_FALSE(lm.InputActive(1));
+  lm.Consume(1, Ins("Z", 2, 10));  // from the corpse: dropped
+  EXPECT_EQ(CountKinds(sink.elements()).inserts, 1);
+  EXPECT_EQ(lm.active_input_count(), 1);
+}
+
+TEST(LMergeOperatorTest, SurvivesFailureOfAllButOne) {
+  // n-1 simultaneous failures: output continues from the last replica.
+  LMergeOperator lm("lm", 3, MergeVariant::kLMR3Plus);
+  CollectingSink sink;
+  lm.AddSink(&sink);
+  for (int s = 0; s < 3; ++s) lm.Consume(s, Ins("A", 1, 10));
+  lm.DetachInput(0);
+  lm.DetachInput(1);
+  lm.Consume(2, Ins("B", 2, 10));
+  lm.Consume(2, Stb(20));
+  const Tdb out = Tdb::Reconstitute(sink.elements());
+  EXPECT_EQ(out.EventCount(), 2);
+  EXPECT_EQ(out.stable_point(), 20);
+}
+
+TEST(LMergeOperatorTest, FeedbackSentUpstreamOnStableAdvance) {
+  UdfSelect upstream(
+      "udf", [](const Row&) { return true; }, [](const Row&) { return 1; });
+  LMergeOperator lm("lm", 2, MergeVariant::kLMR3Plus, MergePolicy::Default(),
+                    /*feedback_enabled=*/true);
+  upstream.AddDownstream(&lm, 0);
+  NullSink sink;
+  lm.AddSink(&sink);
+  EXPECT_EQ(upstream.feedback_horizon(), kMinTimestamp);
+  lm.Consume(1, Stb(42));  // stream 1 advances the merge's stable point
+  EXPECT_EQ(upstream.feedback_horizon(), 42);
+}
+
+TEST(LMergeOperatorTest, NoFeedbackWhenDisabled) {
+  UdfSelect upstream(
+      "udf", [](const Row&) { return true; }, [](const Row&) { return 1; });
+  LMergeOperator lm("lm", 2, MergeVariant::kLMR3Plus);
+  upstream.AddDownstream(&lm, 0);
+  NullSink sink;
+  lm.AddSink(&sink);
+  lm.Consume(1, Stb(42));
+  EXPECT_EQ(upstream.feedback_horizon(), kMinTimestamp);
+}
+
+TEST(LMergeOperatorTest, ReattachAfterFailureRoundTrip) {
+  // A replica detaches (failure) and re-attaches later with a join time; the
+  // merged output never duplicates or loses events.
+  LMergeOperator lm("lm", 2, MergeVariant::kLMR3Plus);
+  CollectingSink sink;
+  lm.AddSink(&sink);
+  lm.Consume(0, Ins("A", 1, 5));
+  lm.Consume(1, Ins("A", 1, 5));
+  lm.DetachInput(1);
+  lm.Consume(0, Ins("B", 10, 15));
+  lm.Consume(0, Stb(20));
+  // Restarted replica replays from its checkpoint: it regenerates B (already
+  // merged) and new C, promising correctness from t=10.
+  const int port = lm.AttachInput(/*join_time=*/10);
+  lm.Consume(port, Ins("B", 10, 15));  // duplicate: absorbed
+  lm.Consume(port, Ins("C", 25, 30));
+  lm.Consume(port, Stb(40));
+  const Tdb out = Tdb::Reconstitute(sink.elements());
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("A"), 1, 5)), 1);
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("B"), 10, 15)), 1);
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("C"), 25, 30)), 1);
+  EXPECT_EQ(out.stable_point(), 40);
+}
+
+TEST(LMergeOperatorTest, StateBytesDelegatesToAlgorithm) {
+  LMergeOperator lm("lm", 2, MergeVariant::kLMR3Plus);
+  NullSink sink;
+  lm.AddSink(&sink);
+  const int64_t empty = lm.StateBytes();
+  lm.Consume(0, Ins("A", 1, 1000));
+  EXPECT_GT(lm.StateBytes(), empty);
+}
+
+}  // namespace
+}  // namespace lmerge

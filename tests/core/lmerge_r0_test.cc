@@ -1,0 +1,95 @@
+#include "core/lmerge_r0.h"
+
+#include <gtest/gtest.h>
+
+#include "temporal/tdb.h"
+#include "test_util.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::Adj;
+using ::lmerge::testing_util::CountKinds;
+using ::lmerge::testing_util::Ins;
+using ::lmerge::testing_util::RoundRobinInto;
+using ::lmerge::testing_util::Stb;
+
+TEST(LMergeR0Test, SingleStreamPassesThrough) {
+  CollectingSink sink;
+  LMergeR0 merge(1, &sink);
+  const ElementSequence input = {Ins("A", 1, 10), Ins("B", 2, 10), Stb(3)};
+  for (const auto& e : input) ASSERT_TRUE(merge.OnElement(0, e).ok());
+  EXPECT_EQ(sink.elements(), input);
+}
+
+TEST(LMergeR0Test, DuplicatesFromReplicasDropped) {
+  CollectingSink sink;
+  LMergeR0 merge(3, &sink);
+  const ElementSequence stream = {Ins("A", 1, 10), Ins("B", 2, 10),
+                                  Ins("C", 3, 10), Stb(4)};
+  RoundRobinInto(&merge, {stream, stream, stream});
+  const auto counts = CountKinds(sink.elements());
+  EXPECT_EQ(counts.inserts, 3);
+  EXPECT_EQ(counts.stables, 1);
+  EXPECT_EQ(merge.stats().dropped, 6);  // each insert duplicated twice
+  EXPECT_TRUE(Tdb::Reconstitute(sink.elements())
+                  .Equals(Tdb::Reconstitute(stream)));
+}
+
+TEST(LMergeR0Test, FollowsWhicheverStreamIsAhead) {
+  CollectingSink sink;
+  LMergeR0 merge(2, &sink);
+  ASSERT_TRUE(merge.OnElement(0, Ins("A", 1, 10)).ok());
+  ASSERT_TRUE(merge.OnElement(1, Ins("A", 1, 10)).ok());  // dup dropped
+  ASSERT_TRUE(merge.OnElement(1, Ins("B", 2, 10)).ok());  // stream 1 ahead
+  ASSERT_TRUE(merge.OnElement(0, Ins("B", 2, 10)).ok());  // dup dropped
+  ASSERT_TRUE(merge.OnElement(0, Ins("C", 3, 10)).ok());  // stream 0 ahead
+  const auto counts = CountKinds(sink.elements());
+  EXPECT_EQ(counts.inserts, 3);
+  EXPECT_EQ(merge.max_vs(), 3);
+}
+
+TEST(LMergeR0Test, StableOnlyAdvances) {
+  CollectingSink sink;
+  LMergeR0 merge(2, &sink);
+  merge.OnStable(0, 10);
+  merge.OnStable(1, 5);   // behind: dropped
+  merge.OnStable(1, 10);  // equal: dropped
+  merge.OnStable(1, 12);
+  const auto counts = CountKinds(sink.elements());
+  EXPECT_EQ(counts.stables, 2);
+  EXPECT_EQ(merge.max_stable(), 12);
+}
+
+TEST(LMergeR0Test, AdjustRejected) {
+  CollectingSink sink;
+  LMergeR0 merge(1, &sink);
+  const Status status = merge.OnElement(0, Adj("A", 1, 10, 12));
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(LMergeR0Test, ConstantStateBytes) {
+  CollectingSink sink;
+  LMergeR0 merge(8, &sink);
+  const int64_t before = merge.StateBytes();
+  ElementSequence stream;
+  for (int i = 1; i <= 1000; ++i) stream.push_back(Ins("X", i, i + 100));
+  for (const auto& e : stream) ASSERT_TRUE(merge.OnElement(0, e).ok());
+  EXPECT_EQ(merge.StateBytes(), before);  // O(1) space
+}
+
+TEST(LMergeR0Test, StatsTrackInputAndOutput) {
+  CollectingSink sink;
+  LMergeR0 merge(2, &sink);
+  ASSERT_TRUE(merge.OnElement(0, Ins("A", 1, 10)).ok());
+  ASSERT_TRUE(merge.OnElement(1, Ins("A", 1, 10)).ok());
+  merge.OnStable(0, 5);
+  EXPECT_EQ(merge.stats().inserts_in, 2);
+  EXPECT_EQ(merge.stats().inserts_out, 1);
+  EXPECT_EQ(merge.stats().stables_out, 1);
+  EXPECT_EQ(merge.stats().dropped, 1);
+}
+
+}  // namespace
+}  // namespace lmerge

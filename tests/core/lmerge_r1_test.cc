@@ -1,0 +1,122 @@
+#include "core/lmerge_r1.h"
+
+#include <gtest/gtest.h>
+
+#include "temporal/tdb.h"
+#include "test_util.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::Adj;
+using ::lmerge::testing_util::CountKinds;
+using ::lmerge::testing_util::Ins;
+using ::lmerge::testing_util::RoundRobinInto;
+using ::lmerge::testing_util::Stb;
+
+// Top-k style streams: several elements share each Vs, in rank order.
+ElementSequence RankedStream() {
+  return {Ins("w1r1", 10, 20), Ins("w1r2", 10, 20), Ins("w1r3", 10, 20),
+          Stb(11),             Ins("w2r1", 20, 30), Ins("w2r2", 20, 30)};
+}
+
+TEST(LMergeR1Test, DuplicateTimestampsMergedByPosition) {
+  CollectingSink sink;
+  LMergeR1 merge(2, &sink);
+  RoundRobinInto(&merge, {RankedStream(), RankedStream()});
+  const auto counts = CountKinds(sink.elements());
+  EXPECT_EQ(counts.inserts, 5);
+  EXPECT_EQ(counts.stables, 1);
+  EXPECT_TRUE(Tdb::Reconstitute(sink.elements())
+                  .Equals(Tdb::Reconstitute(RankedStream())));
+}
+
+TEST(LMergeR1Test, FastStreamDrivesOutputSlowIsDropped) {
+  CollectingSink sink;
+  LMergeR1 merge(2, &sink);
+  const ElementSequence fast = RankedStream();
+  for (const auto& e : fast) ASSERT_TRUE(merge.OnElement(0, e).ok());
+  for (const auto& e : fast) ASSERT_TRUE(merge.OnElement(1, e).ok());
+  EXPECT_EQ(CountKinds(sink.elements()).inserts, 5);
+  EXPECT_EQ(merge.stats().dropped, 5);
+}
+
+TEST(LMergeR1Test, InterleavedWithinSameVs) {
+  CollectingSink sink;
+  LMergeR1 merge(2, &sink);
+  // Stream 0 delivers two ranks, stream 1 delivers three: output takes the
+  // longer presentation without duplicating the shared prefix.
+  ASSERT_TRUE(merge.OnElement(0, Ins("r1", 10, 20)).ok());
+  ASSERT_TRUE(merge.OnElement(1, Ins("r1", 10, 20)).ok());
+  ASSERT_TRUE(merge.OnElement(1, Ins("r2", 10, 20)).ok());
+  ASSERT_TRUE(merge.OnElement(0, Ins("r2", 10, 20)).ok());
+  ASSERT_TRUE(merge.OnElement(1, Ins("r3", 10, 20)).ok());
+  const auto counts = CountKinds(sink.elements());
+  EXPECT_EQ(counts.inserts, 3);
+}
+
+TEST(LMergeR1Test, CountersResetOnNewVs) {
+  CollectingSink sink;
+  LMergeR1 merge(2, &sink);
+  ASSERT_TRUE(merge.OnElement(0, Ins("a", 10, 20)).ok());
+  ASSERT_TRUE(merge.OnElement(0, Ins("b", 10, 20)).ok());
+  ASSERT_TRUE(merge.OnElement(1, Ins("a2", 20, 30)).ok());  // new Vs
+  ASSERT_TRUE(merge.OnElement(0, Ins("a2", 20, 30)).ok());  // dup of position
+  EXPECT_EQ(CountKinds(sink.elements()).inserts, 3);
+}
+
+TEST(LMergeR1Test, LateElementsBehindMaxVsDropped) {
+  CollectingSink sink;
+  LMergeR1 merge(2, &sink);
+  ASSERT_TRUE(merge.OnElement(0, Ins("a", 10, 20)).ok());
+  ASSERT_TRUE(merge.OnElement(1, Ins("old", 5, 20)).ok());
+  EXPECT_EQ(CountKinds(sink.elements()).inserts, 1);
+  EXPECT_EQ(merge.stats().dropped, 1);
+}
+
+TEST(LMergeR1Test, AdjustRejected) {
+  CollectingSink sink;
+  LMergeR1 merge(1, &sink);
+  EXPECT_FALSE(merge.OnElement(0, Adj("A", 1, 10, 12)).ok());
+}
+
+TEST(LMergeR1Test, DetachDoesNotCauseReemission) {
+  CollectingSink sink;
+  LMergeR1 merge(2, &sink);
+  ASSERT_TRUE(merge.OnElement(0, Ins("a", 10, 20)).ok());
+  ASSERT_TRUE(merge.OnElement(0, Ins("b", 10, 20)).ok());
+  merge.RemoveStream(0);
+  // What has been emitted stays emitted: stream 1's copies of a and b are
+  // duplicates even though the stream that delivered them first is gone.
+  ASSERT_TRUE(merge.OnElement(1, Ins("a", 10, 20)).ok());
+  ASSERT_TRUE(merge.OnElement(1, Ins("b", 10, 20)).ok());
+  ASSERT_TRUE(merge.OnElement(1, Ins("c", 10, 20)).ok());
+  const auto counts = CountKinds(sink.elements());
+  EXPECT_EQ(counts.inserts, 3);  // a, b from stream 0; c new from stream 1
+}
+
+TEST(LMergeR1Test, AddStreamGrowsCounters) {
+  CollectingSink sink;
+  LMergeR1 merge(1, &sink);
+  ASSERT_TRUE(merge.OnElement(0, Ins("a", 10, 20)).ok());
+  const int id = merge.AddStream();
+  EXPECT_EQ(id, 1);
+  ASSERT_TRUE(merge.OnElement(1, Ins("a", 10, 20)).ok());  // dup position
+  EXPECT_EQ(CountKinds(sink.elements()).inserts, 1);
+}
+
+TEST(LMergeR1Test, StateBytesScaleWithStreamsNotEvents) {
+  CollectingSink sink_small;
+  CollectingSink sink_large;
+  LMergeR1 small(2, &sink_small);
+  LMergeR1 large(10, &sink_large);
+  EXPECT_LT(small.StateBytes(), large.StateBytes() + 1);
+  const int64_t before = small.StateBytes();
+  for (int i = 1; i <= 500; ++i) {
+    ASSERT_TRUE(small.OnElement(0, Ins("x", i, i + 5)).ok());
+  }
+  EXPECT_EQ(small.StateBytes(), before);
+}
+
+}  // namespace
+}  // namespace lmerge

@@ -1,0 +1,106 @@
+#include "core/lmerge_r2.h"
+
+#include <gtest/gtest.h>
+
+#include "temporal/tdb.h"
+#include "test_util.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::Adj;
+using ::lmerge::testing_util::CountKinds;
+using ::lmerge::testing_util::Ins;
+using ::lmerge::testing_util::Stb;
+
+TEST(LMergeR2Test, SameVsDifferentOrderDeduplicated) {
+  // Grouped-aggregation style: three groups report at Vs=10, but the two
+  // replicas enumerate groups in different orders (case R2's defining
+  // situation).
+  CollectingSink sink;
+  LMergeR2 merge(2, &sink);
+  const ElementSequence in1 = {Ins("g1", 10, 20), Ins("g2", 10, 20),
+                               Ins("g3", 10, 20)};
+  const ElementSequence in2 = {Ins("g3", 10, 20), Ins("g1", 10, 20),
+                               Ins("g2", 10, 20)};
+  // Interleave: 1a 2a 1b 2b ...
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(merge.OnElement(0, in1[i]).ok());
+    ASSERT_TRUE(merge.OnElement(1, in2[i]).ok());
+  }
+  const auto counts = CountKinds(sink.elements());
+  EXPECT_EQ(counts.inserts, 3);
+  EXPECT_TRUE(Tdb::Reconstitute(sink.elements())
+                  .Equals(Tdb::Reconstitute(in1)));
+}
+
+TEST(LMergeR2Test, HashClearedWhenVsAdvances) {
+  CollectingSink sink;
+  LMergeR2 merge(2, &sink);
+  ASSERT_TRUE(merge.OnElement(0, Ins("g1", 10, 20)).ok());
+  ASSERT_TRUE(merge.OnElement(0, Ins("g1", 20, 30)).ok());
+  // Same payload at the new Vs is a fresh event, not a duplicate.
+  const auto counts = CountKinds(sink.elements());
+  EXPECT_EQ(counts.inserts, 2);
+  // But a replica's copy of the new one is a duplicate.
+  ASSERT_TRUE(merge.OnElement(1, Ins("g1", 20, 30)).ok());
+  EXPECT_EQ(CountKinds(sink.elements()).inserts, 2);
+}
+
+TEST(LMergeR2Test, LaggardsBehindMaxVsDropped) {
+  CollectingSink sink;
+  LMergeR2 merge(2, &sink);
+  ASSERT_TRUE(merge.OnElement(0, Ins("g1", 20, 30)).ok());
+  ASSERT_TRUE(merge.OnElement(1, Ins("g9", 10, 30)).ok());  // late
+  EXPECT_EQ(CountKinds(sink.elements()).inserts, 1);
+  EXPECT_EQ(merge.stats().dropped, 1);
+}
+
+TEST(LMergeR2Test, StableMergedByMax) {
+  CollectingSink sink;
+  LMergeR2 merge(2, &sink);
+  ASSERT_TRUE(merge.OnElement(0, Stb(10)).ok());
+  ASSERT_TRUE(merge.OnElement(1, Stb(8)).ok());
+  ASSERT_TRUE(merge.OnElement(1, Stb(15)).ok());
+  EXPECT_EQ(CountKinds(sink.elements()).stables, 2);
+  EXPECT_EQ(merge.max_stable(), 15);
+}
+
+TEST(LMergeR2Test, AdjustRejected) {
+  CollectingSink sink;
+  LMergeR2 merge(1, &sink);
+  EXPECT_FALSE(merge.OnElement(0, Adj("A", 1, 10, 12)).ok());
+}
+
+TEST(LMergeR2Test, MemoryProportionalToCurrentVsCohort) {
+  CollectingSink sink;
+  LMergeR2 merge(2, &sink);
+  // 100 groups at Vs=10.
+  for (int g = 0; g < 100; ++g) {
+    ASSERT_TRUE(
+        merge.OnElement(0, StreamElement::Insert(Row::OfInt(g), 10, 20))
+            .ok());
+  }
+  const int64_t at_ten = merge.StateBytes();
+  // Advancing to Vs=20 clears the cohort.
+  ASSERT_TRUE(merge.OnElement(0, Ins("fresh", 20, 30)).ok());
+  EXPECT_LT(merge.StateBytes(), at_ten);
+}
+
+TEST(LMergeR2Test, WorksWithManyStreams) {
+  CollectingSink sink;
+  LMergeR2 merge(5, &sink);
+  for (int s = 0; s < 5; ++s) {
+    for (int g = 0; g < 4; ++g) {
+      ASSERT_TRUE(
+          merge
+              .OnElement(s, StreamElement::Insert(
+                                Row::OfInt((g * 7 + s) % 4), 10, 20))
+              .ok());
+    }
+  }
+  EXPECT_EQ(CountKinds(sink.elements()).inserts, 4);
+}
+
+}  // namespace
+}  // namespace lmerge

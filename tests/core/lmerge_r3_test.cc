@@ -1,0 +1,280 @@
+// LMergeR3 ("LMR3+") — the in2t-based algorithm for disordered streams with
+// revisions and the (Vs, payload) key property.
+
+#include "core/lmerge_r3.h"
+
+#include <gtest/gtest.h>
+
+#include "temporal/compat.h"
+#include "temporal/tdb.h"
+#include "test_util.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::Adj;
+using ::lmerge::testing_util::CountKinds;
+using ::lmerge::testing_util::Ins;
+using ::lmerge::testing_util::Stb;
+
+// Table I's two physical presentations of {A [6,12), B [8,10)}.
+ElementSequence Phy1() {
+  return {Ins("B", 8, kInfinity), Ins("A", 6, 12),
+          Adj("B", 8, kInfinity, 10), Stb(11), Stb(1000)};
+}
+ElementSequence Phy2() {
+  return {Ins("A", 6, 7), Ins("B", 8, 15), Adj("A", 6, 7, 12),
+          Adj("B", 8, 15, 10), Stb(1000)};
+}
+
+TEST(LMergeR3Test, TableOneMergeProducesEquivalentOutput) {
+  CollectingSink collected;
+  ValidatingSink sink(StreamProperties::None(), &collected);
+  LMergeR3 merge(2, &sink);
+  // Deliver Phy2 then Phy1 fully (a legal interleaving).
+  for (const auto& e : Phy2()) ASSERT_TRUE(merge.OnElement(1, e).ok());
+  for (const auto& e : Phy1()) ASSERT_TRUE(merge.OnElement(0, e).ok());
+  const Tdb out = Tdb::Reconstitute(collected.elements());
+  EXPECT_TRUE(out.Equals(Tdb::Reconstitute(Phy1())));
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("A"), 6, 12)), 1);
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("B"), 8, 10)), 1);
+  EXPECT_EQ(merge.index_node_count(), 0);  // everything frozen and purged
+}
+
+TEST(LMergeR3Test, SectionOnePunctuationScenario) {
+  // The introduction's pitfall: output followed Phy2's a(A,6,7) and
+  // a(B,8,15); then Phy1 reaches f(11).  A correct LMerge must adjust both
+  // events *before* propagating the stable — A's end must still be able to
+  // reach 12, B's to come down to 10.
+  CollectingSink collected;
+  LMergeR3 merge(2, &collected);
+  const ElementSequence phy2 = Phy2();
+  ASSERT_TRUE(merge.OnElement(1, phy2[0]).ok());  // a(A, 6, 7)
+  ASSERT_TRUE(merge.OnElement(1, phy2[1]).ok());  // a(B, 8, 15)
+  for (const auto& e : Phy1()) ASSERT_TRUE(merge.OnElement(0, e).ok());
+  // After Phy1's f(11): A must end at 12, B at 10, in the output TDB.
+  const Tdb out = Tdb::Reconstitute(collected.elements());
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("A"), 6, 12)), 1);
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("B"), 8, 10)), 1);
+  EXPECT_EQ(out.stable_point(), 1000);
+  // The late m(A,6,12) from Phy2 targets an already-frozen event: ignored.
+  ASSERT_TRUE(merge.OnElement(1, phy2[2]).ok());
+  ASSERT_TRUE(merge.OnElement(1, phy2[3]).ok());
+  ASSERT_TRUE(merge.OnElement(1, phy2[4]).ok());
+}
+
+TEST(LMergeR3Test, OutputCompatibleAfterEveryStable) {
+  // Replay with compatibility verified against the leader at each stable.
+  const ElementSequence phy1 = Phy1();
+  const ElementSequence phy2 = Phy2();
+  CollectingSink collected;
+  LMergeR3 merge(2, &collected);
+  Tdb in_tdb[2];
+  auto deliver = [&](int s, const StreamElement& e) {
+    ASSERT_TRUE(merge.OnElement(s, e).ok());
+    ASSERT_TRUE(in_tdb[s].Apply(e).ok());
+    if (e.is_stable()) {
+      const Tdb out = Tdb::Reconstitute(collected.elements());
+      const Tdb& leader = in_tdb[s].stable_point() >=
+                                  in_tdb[1 - s].stable_point()
+                              ? in_tdb[s]
+                              : in_tdb[1 - s];
+      const Status compat = CheckR3TrackedCompatibility(leader, out);
+      EXPECT_TRUE(compat.ok()) << compat.ToString();
+      const Status full =
+          CheckR3Compatibility({&in_tdb[0], &in_tdb[1]}, out);
+      EXPECT_TRUE(full.ok()) << full.ToString();
+    }
+  };
+  // Interleave: phy2 first two, all phy1, rest of phy2.
+  deliver(1, phy2[0]);
+  deliver(1, phy2[1]);
+  for (const auto& e : phy1) deliver(0, e);
+  for (size_t i = 2; i < phy2.size(); ++i) deliver(1, phy2[i]);
+}
+
+TEST(LMergeR3Test, TheoremOneNonChattiness) {
+  // Algorithm R3 outputs no more insert()+adjust() elements than the total
+  // number of insert() elements received, and no more stable() elements
+  // than received.
+  CollectingSink collected;
+  LMergeR3 merge(2, &collected);
+  for (const auto& e : Phy2()) ASSERT_TRUE(merge.OnElement(1, e).ok());
+  for (const auto& e : Phy1()) ASSERT_TRUE(merge.OnElement(0, e).ok());
+  const auto& stats = merge.stats();
+  EXPECT_LE(stats.inserts_out + stats.adjusts_out, stats.inserts_in);
+  EXPECT_LE(stats.stables_out, stats.stables_in);
+}
+
+TEST(LMergeR3Test, LateInsertBehindStableDropped) {
+  CollectingSink collected;
+  LMergeR3 merge(2, &collected);
+  ASSERT_TRUE(merge.OnElement(0, Ins("A", 5, 50)).ok());
+  ASSERT_TRUE(merge.OnElement(0, Stb(100)).ok());
+  ASSERT_TRUE(merge.OnElement(1, Ins("Z", 7, 60)).ok());  // missed its window
+  const auto counts = CountKinds(collected.elements());
+  EXPECT_EQ(counts.inserts, 1);
+  EXPECT_EQ(merge.stats().dropped, 1);
+}
+
+TEST(LMergeR3Test, MissingElementRetractedWhenDriverLacksIt) {
+  // Sec. V-C: the output drops an element if the stream that advances
+  // MaxStable beyond its Vs never produced it.
+  CollectingSink collected;
+  LMergeR3 merge(2, &collected);
+  ASSERT_TRUE(merge.OnElement(0, Ins("GHOST", 5, 50)).ok());
+  ASSERT_TRUE(merge.OnElement(1, Ins("REAL", 6, 70)).ok());
+  // Stream 1 (which lacks GHOST) drives stability past both Vs values.
+  ASSERT_TRUE(merge.OnElement(1, Stb(10)).ok());
+  const Tdb out = Tdb::Reconstitute(collected.elements());
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("GHOST"), 5, 50)), 0);
+  EXPECT_EQ(out.EndTimesFor(VsPayload(6, Row::OfString("REAL"))).size(), 1u);
+}
+
+TEST(LMergeR3Test, AdjustsAbsorbedUntilStableLazyPolicy) {
+  CollectingSink collected;
+  LMergeR3 merge(1, &collected);
+  ASSERT_TRUE(merge.OnElement(0, Ins("A", 5, 10)).ok());
+  ASSERT_TRUE(merge.OnElement(0, Adj("A", 5, 10, 20)).ok());
+  ASSERT_TRUE(merge.OnElement(0, Adj("A", 5, 20, 30)).ok());
+  EXPECT_EQ(CountKinds(collected.elements()).adjusts, 0);  // absorbed
+  // A stable that freezes only the start still defers reconciliation: both
+  // the output end (10) and the input end (30) remain adjustable.
+  ASSERT_TRUE(merge.OnElement(0, Stb(6)).ok());
+  EXPECT_EQ(CountKinds(collected.elements()).adjusts, 0);
+  // Once the stable point would freeze the divergence, exactly one
+  // reconciling adjust is emitted (10 -> 30 directly, not 10->20->30).
+  ASSERT_TRUE(merge.OnElement(0, Stb(40)).ok());
+  EXPECT_EQ(CountKinds(collected.elements()).adjusts, 1);
+  const Tdb out = Tdb::Reconstitute(collected.elements());
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("A"), 5, 30)), 1);
+}
+
+TEST(LMergeR3Test, EagerPolicyReflectsAdjustsImmediately) {
+  CollectingSink collected;
+  LMergeR3 merge(1, &collected, MergePolicy::Eager());
+  ASSERT_TRUE(merge.OnElement(0, Ins("A", 5, 10)).ok());
+  ASSERT_TRUE(merge.OnElement(0, Adj("A", 5, 10, 20)).ok());
+  ASSERT_TRUE(merge.OnElement(0, Adj("A", 5, 20, 30)).ok());
+  EXPECT_EQ(CountKinds(collected.elements()).adjusts, 2);  // chatty
+  const Tdb out = Tdb::Reconstitute(collected.elements());
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("A"), 5, 30)), 1);
+}
+
+TEST(LMergeR3Test, WaitHalfFrozenPolicyDelaysEmission) {
+  CollectingSink collected;
+  LMergeR3 merge(2, &collected, MergePolicy::Conservative());
+  ASSERT_TRUE(merge.OnElement(0, Ins("A", 5, 50)).ok());
+  ASSERT_TRUE(merge.OnElement(1, Ins("A", 5, 50)).ok());
+  EXPECT_EQ(CountKinds(collected.elements()).inserts, 0);  // held back
+  ASSERT_TRUE(merge.OnElement(0, Stb(6)).ok());  // A becomes half frozen
+  EXPECT_EQ(CountKinds(collected.elements()).inserts, 1);
+  const Tdb out = Tdb::Reconstitute(collected.elements());
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("A"), 5, 50)), 1);
+}
+
+TEST(LMergeR3Test, FractionThresholdPolicyWaitsForQuorum) {
+  MergePolicy policy;
+  policy.insert_policy = InsertPolicy::kFractionThreshold;
+  policy.insert_fraction = 0.6;  // 2 of 3 streams
+  CollectingSink collected;
+  LMergeR3 merge(3, &collected, policy);
+  ASSERT_TRUE(merge.OnElement(0, Ins("A", 5, 50)).ok());
+  EXPECT_EQ(CountKinds(collected.elements()).inserts, 0);
+  ASSERT_TRUE(merge.OnElement(2, Ins("A", 5, 50)).ok());  // quorum reached
+  EXPECT_EQ(CountKinds(collected.elements()).inserts, 1);
+  ASSERT_TRUE(merge.OnElement(1, Ins("A", 5, 50)).ok());  // duplicate
+  EXPECT_EQ(CountKinds(collected.elements()).inserts, 1);
+}
+
+TEST(LMergeR3Test, LeadingStreamOnlyPolicy) {
+  MergePolicy policy;
+  policy.insert_policy = InsertPolicy::kLeadingStreamOnly;
+  CollectingSink collected;
+  LMergeR3 merge(2, &collected, policy);
+  // Stream 1 leads (has the max stable point).
+  ASSERT_TRUE(merge.OnElement(1, Stb(3)).ok());
+  ASSERT_TRUE(merge.OnElement(0, Ins("A", 5, 50)).ok());   // non-leader: held
+  EXPECT_EQ(CountKinds(collected.elements()).inserts, 0);
+  ASSERT_TRUE(merge.OnElement(1, Ins("B", 6, 60)).ok());   // leader: emitted
+  EXPECT_EQ(CountKinds(collected.elements()).inserts, 1);
+  // When the leader's stable passes A's Vs, A (present on stream 1?) — it is
+  // not, so A is dropped; B survives.
+  ASSERT_TRUE(merge.OnElement(1, Stb(10)).ok());
+  const Tdb out = Tdb::Reconstitute(collected.elements());
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("A"), 5, 50)), 0);
+  EXPECT_EQ(out.EndTimesFor(VsPayload(6, Row::OfString("B"))).size(), 1u);
+}
+
+TEST(LMergeR3Test, IndexPurgedAndMemoryReclaimed) {
+  CollectingSink collected;
+  LMergeR3 merge(2, &collected);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        merge.OnElement(0, StreamElement::Insert(Row::OfInt(i), 10 + i,
+                                                 20 + i))
+            .ok());
+  }
+  EXPECT_EQ(merge.index_node_count(), 100);
+  const int64_t loaded = merge.StateBytes();
+  ASSERT_TRUE(merge.OnElement(0, Stb(1000)).ok());
+  EXPECT_EQ(merge.index_node_count(), 0);
+  EXPECT_LT(merge.StateBytes(), loaded);
+}
+
+TEST(LMergeR3Test, PayloadSharedAcrossStreams) {
+  // in2t stores the payload once per node no matter how many inputs carry
+  // the event: state must grow only marginally with replica count.
+  const std::string blob(1000, 'x');
+  CollectingSink sink2;
+  CollectingSink sink8;
+  LMergeR3 two(2, &sink2);
+  LMergeR3 eight(8, &sink8);
+  for (int s = 0; s < 2; ++s) {
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(two.OnElement(s, StreamElement::Insert(
+                                       Row::OfIntAndString(i, blob), 10 + i,
+                                       2000 + i))
+                      .ok());
+    }
+  }
+  for (int s = 0; s < 8; ++s) {
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(eight.OnElement(s, StreamElement::Insert(
+                                         Row::OfIntAndString(i, blob),
+                                         10 + i, 2000 + i))
+                      .ok());
+    }
+  }
+  // 4x the streams must cost far less than 4x the memory (payload shared).
+  EXPECT_LT(eight.StateBytes(), two.StateBytes() * 2);
+}
+
+TEST(LMergeR3Test, InvalidInsertRejected) {
+  CollectingSink collected;
+  LMergeR3 merge(1, &collected);
+  EXPECT_FALSE(merge.OnElement(0, Ins("A", 10, 5)).ok());  // Ve < Vs
+  EXPECT_FALSE(merge.OnElement(0, Adj("A", 10, 12, 5)).ok());
+}
+
+TEST(LMergeR3Test, AdjustForUnknownNodeIgnored) {
+  CollectingSink collected;
+  LMergeR3 merge(1, &collected);
+  ASSERT_TRUE(merge.OnElement(0, Adj("A", 5, 10, 20)).ok());
+  EXPECT_EQ(collected.elements().size(), 0u);
+}
+
+TEST(LMergeR3Test, ThreeStreamsRandomInterleavings) {
+  // The same two-event history under several random interleavings of three
+  // divergent replicas always converges to the same TDB.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    CollectingSink collected;
+    LMergeR3 merge(3, &collected);
+    testing_util::InterleaveInto(&merge, {Phy1(), Phy2(), Phy1()}, seed);
+    const Tdb out = Tdb::Reconstitute(collected.elements());
+    EXPECT_TRUE(out.Equals(Tdb::Reconstitute(Phy1()))) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace lmerge

@@ -1,0 +1,175 @@
+// LMergeR4 — the fully general algorithm (multiset TDB, duplicate
+// (Vs, payload) keys, arbitrary order).
+
+#include "core/lmerge_r4.h"
+
+#include <gtest/gtest.h>
+
+#include "temporal/compat.h"
+#include "temporal/tdb.h"
+#include "test_util.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::Adj;
+using ::lmerge::testing_util::CountKinds;
+using ::lmerge::testing_util::Ins;
+using ::lmerge::testing_util::Stb;
+
+TEST(LMergeR4Test, BasicDeduplication) {
+  CollectingSink collected;
+  LMergeR4 merge(2, &collected);
+  ASSERT_TRUE(merge.OnElement(0, Ins("A", 5, 10)).ok());
+  ASSERT_TRUE(merge.OnElement(1, Ins("A", 5, 10)).ok());  // replica copy
+  EXPECT_EQ(CountKinds(collected.elements()).inserts, 1);
+}
+
+TEST(LMergeR4Test, TrueDuplicatesPreserved) {
+  // Two events with identical (payload, Vs, Ve) are *both* part of the
+  // logical multiset; a single stream presenting both must yield both.
+  CollectingSink collected;
+  LMergeR4 merge(2, &collected);
+  ASSERT_TRUE(merge.OnElement(0, Ins("A", 5, 10)).ok());
+  ASSERT_TRUE(merge.OnElement(0, Ins("A", 5, 10)).ok());
+  EXPECT_EQ(CountKinds(collected.elements()).inserts, 2);
+  // The replica's copies are duplicates of what is already out.
+  ASSERT_TRUE(merge.OnElement(1, Ins("A", 5, 10)).ok());
+  ASSERT_TRUE(merge.OnElement(1, Ins("A", 5, 10)).ok());
+  EXPECT_EQ(CountKinds(collected.elements()).inserts, 2);
+  ASSERT_TRUE(merge.OnElement(0, Stb(100)).ok());
+  const Tdb out = Tdb::Reconstitute(collected.elements());
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("A"), 5, 10)), 2);
+}
+
+TEST(LMergeR4Test, SameKeyDifferentEnds) {
+  CollectingSink collected;
+  LMergeR4 merge(2, &collected);
+  ASSERT_TRUE(merge.OnElement(0, Ins("A", 5, 10)).ok());
+  ASSERT_TRUE(merge.OnElement(0, Ins("A", 5, 20)).ok());
+  ASSERT_TRUE(merge.OnElement(1, Ins("A", 5, 20)).ok());  // dup by count
+  ASSERT_TRUE(merge.OnElement(1, Ins("A", 5, 10)).ok());  // dup by count
+  ASSERT_TRUE(merge.OnElement(0, Stb(100)).ok());
+  const Tdb out = Tdb::Reconstitute(collected.elements());
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("A"), 5, 10)), 1);
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("A"), 5, 20)), 1);
+  EXPECT_EQ(merge.inconsistency_count(), 0);
+}
+
+TEST(LMergeR4Test, StableReconcilesEndTimesToDriver) {
+  CollectingSink collected;
+  LMergeR4 merge(2, &collected);
+  // Output follows stream 0's provisional end; stream 1 knows the real end
+  // and drives stability.
+  ASSERT_TRUE(merge.OnElement(0, Ins("A", 5, kInfinity)).ok());
+  ASSERT_TRUE(merge.OnElement(1, Ins("A", 5, 12)).ok());
+  ASSERT_TRUE(merge.OnElement(1, Stb(50)).ok());
+  const Tdb out = Tdb::Reconstitute(collected.elements());
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("A"), 5, 12)), 1);
+  EXPECT_EQ(out.EventCount(), 1);
+}
+
+TEST(LMergeR4Test, StableRemovesEventsDriverLacks) {
+  CollectingSink collected;
+  LMergeR4 merge(2, &collected);
+  ASSERT_TRUE(merge.OnElement(0, Ins("A", 5, 10)).ok());
+  ASSERT_TRUE(merge.OnElement(0, Ins("A", 5, 10)).ok());  // two copies
+  ASSERT_TRUE(merge.OnElement(1, Ins("A", 5, 10)).ok());  // one copy only
+  ASSERT_TRUE(merge.OnElement(1, Stb(50)).ok());          // stream 1 drives
+  const Tdb out = Tdb::Reconstitute(collected.elements());
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("A"), 5, 10)), 1);
+}
+
+TEST(LMergeR4Test, StableAddsEventsOnlyDriverHas) {
+  CollectingSink collected;
+  LMergeR4 merge(2, &collected);
+  ASSERT_TRUE(merge.OnElement(0, Ins("A", 5, 10)).ok());
+  ASSERT_TRUE(merge.OnElement(1, Ins("A", 5, 10)).ok());
+  ASSERT_TRUE(merge.OnElement(1, Ins("A", 5, 10)).ok());  // extra copy
+  ASSERT_TRUE(merge.OnElement(1, Stb(50)).ok());
+  const Tdb out = Tdb::Reconstitute(collected.elements());
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("A"), 5, 10)), 2);
+}
+
+TEST(LMergeR4Test, AdjustsTrackedPerStream) {
+  CollectingSink collected;
+  LMergeR4 merge(2, &collected);
+  ASSERT_TRUE(merge.OnElement(0, Ins("A", 5, 10)).ok());
+  ASSERT_TRUE(merge.OnElement(0, Adj("A", 5, 10, 30)).ok());
+  ASSERT_TRUE(merge.OnElement(1, Ins("A", 5, 30)).ok());
+  ASSERT_TRUE(merge.OnElement(0, Stb(100)).ok());
+  const Tdb out = Tdb::Reconstitute(collected.elements());
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("A"), 5, 30)), 1);
+  EXPECT_EQ(out.EventCount(), 1);
+  EXPECT_EQ(merge.inconsistency_count(), 0);
+}
+
+TEST(LMergeR4Test, AdjustRemovalShrinksMultiset) {
+  CollectingSink collected;
+  LMergeR4 merge(1, &collected);
+  ASSERT_TRUE(merge.OnElement(0, Ins("A", 5, 10)).ok());
+  ASSERT_TRUE(merge.OnElement(0, Ins("A", 5, 10)).ok());
+  ASSERT_TRUE(merge.OnElement(0, Adj("A", 5, 10, 5)).ok());  // remove one
+  ASSERT_TRUE(merge.OnElement(0, Stb(100)).ok());
+  const Tdb out = Tdb::Reconstitute(collected.elements());
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("A"), 5, 10)), 1);
+}
+
+TEST(LMergeR4Test, CompatibleWithDriverAfterStable) {
+  CollectingSink collected;
+  LMergeR4 merge(2, &collected);
+  Tdb driver;
+  const ElementSequence driver_stream = {
+      Ins("A", 5, 10), Ins("A", 5, 10), Ins("B", 6, kInfinity),
+      Adj("B", 6, kInfinity, 40), Stb(20)};
+  ASSERT_TRUE(merge.OnElement(0, Ins("A", 5, 9)).ok());  // will be fixed
+  for (const auto& e : driver_stream) {
+    ASSERT_TRUE(merge.OnElement(1, e).ok());
+    ASSERT_TRUE(driver.Apply(e).ok());
+  }
+  const Tdb out = Tdb::Reconstitute(collected.elements());
+  const Status compat = CheckR4TrackedCompatibility(driver, out);
+  EXPECT_TRUE(compat.ok()) << compat.ToString();
+}
+
+TEST(LMergeR4Test, NodePurgeAfterFullFreeze) {
+  CollectingSink collected;
+  LMergeR4 merge(1, &collected);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        merge.OnElement(0, StreamElement::Insert(Row::OfInt(i), 10 + i,
+                                                 100 + i))
+            .ok());
+  }
+  EXPECT_EQ(merge.index_node_count(), 50);
+  ASSERT_TRUE(merge.OnElement(0, Stb(500)).ok());
+  EXPECT_EQ(merge.index_node_count(), 0);
+}
+
+TEST(LMergeR4Test, LateInsertForPurgedKeyDropped) {
+  CollectingSink collected;
+  LMergeR4 merge(2, &collected);
+  ASSERT_TRUE(merge.OnElement(0, Ins("A", 5, 10)).ok());
+  ASSERT_TRUE(merge.OnElement(0, Stb(100)).ok());
+  ASSERT_TRUE(merge.OnElement(1, Ins("A", 5, 10)).ok());  // replica lag
+  EXPECT_EQ(CountKinds(collected.elements()).inserts, 1);
+}
+
+TEST(LMergeR4Test, InfiniteLifetimesNeverPurge) {
+  CollectingSink collected;
+  LMergeR4 merge(1, &collected);
+  ASSERT_TRUE(merge.OnElement(0, Ins("A", 5, kInfinity)).ok());
+  ASSERT_TRUE(merge.OnElement(0, Stb(1000)).ok());
+  EXPECT_EQ(merge.index_node_count(), 1);  // half frozen forever
+}
+
+TEST(LMergeR4Test, AdjustOfUnknownEndCountsInconsistency) {
+  CollectingSink collected;
+  LMergeR4 merge(1, &collected);
+  ASSERT_TRUE(merge.OnElement(0, Ins("A", 5, 10)).ok());
+  ASSERT_TRUE(merge.OnElement(0, Adj("A", 5, 77, 88)).ok());  // bad Vold
+  EXPECT_EQ(merge.inconsistency_count(), 1);
+}
+
+}  // namespace
+}  // namespace lmerge

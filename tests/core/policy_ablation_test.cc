@@ -1,0 +1,174 @@
+// Ablations of the remaining policy knobs: the stable-lag of Sec. III-D
+// ("lagging a bit behind the maximum would avoid some adjust() elements")
+// and R4's exact-match vs. count-only reconciliation (Sec. IV-E).
+
+#include <gtest/gtest.h>
+
+#include "core/lmerge_r3.h"
+#include "core/lmerge_r4.h"
+#include "temporal/tdb.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::Adj;
+using ::lmerge::testing_util::CountKinds;
+using ::lmerge::testing_util::Ins;
+using ::lmerge::testing_util::Stb;
+
+TEST(StableLagTest, LagAbsorbsPostStableRevisions) {
+  // Scenario (Sec. III-D): the output follows stream 1's short provisional
+  // end; stream 0's stable barely freezes it, forcing an adjust to stream
+  // 0's (still changing) value — which is then revised again.  With a
+  // stable lag, the first stable's effect is delayed past the divergence
+  // window and a single reconciling adjust suffices.
+  auto run = [](int64_t lag) {
+    CollectingSink sink;
+    MergePolicy policy;
+    policy.stable_lag = lag;
+    LMergeR3 merge(2, &sink, policy);
+    LM_CHECK(merge.OnElement(1, Ins("A", 10, 50)).ok());   // out end = 50
+    LM_CHECK(merge.OnElement(0, Ins("A", 10, 200)).ok());
+    LM_CHECK(merge.OnElement(0, Stb(60)).ok());   // would freeze end 50
+    LM_CHECK(merge.OnElement(0, Adj("A", 10, 200, 300)).ok());
+    LM_CHECK(merge.OnElement(0, Stb(400)).ok());
+    return testing_util::CountKinds(sink.elements());
+  };
+  const auto eager = run(0);
+  const auto lagged = run(20);
+  EXPECT_EQ(eager.adjusts, 2);   // 50 -> 200 at stable(60), 200 -> 300 later
+  EXPECT_EQ(lagged.adjusts, 1);  // stable effect delayed: 50 -> 300 once
+}
+
+TEST(StableLagTest, OutputStillConvergesWithLag) {
+  using workload::GeneratorConfig;
+  using workload::GeneratePhysicalVariant;
+  using workload::GenerateHistory;
+  using workload::VariantOptions;
+  GeneratorConfig config;
+  config.num_inserts = 200;
+  config.stable_freq = 0.1;
+  config.event_duration = 300;
+  config.max_gap = 20;
+  config.payload_string_bytes = 4;
+  config.seed = 77;
+  workload::LogicalHistory history = GenerateHistory(config);
+  Timestamp max_ve = 0;
+  for (const Event& e : history.events) max_ve = std::max(max_ve, e.ve);
+  // Final stable far enough out that even the lagged point passes all ends.
+  history.stable_times.push_back(max_ve + 1000);
+
+  std::vector<ElementSequence> inputs;
+  for (uint64_t v = 0; v < 2; ++v) {
+    VariantOptions options;
+    options.disorder_fraction = 0.3;
+    options.split_probability = 0.4;
+    options.seed = 40 + v;
+    inputs.push_back(GeneratePhysicalVariant(history, options));
+  }
+  CollectingSink sink;
+  MergePolicy policy;
+  policy.stable_lag = 100;
+  LMergeR3 merge(2, &sink, policy);
+  testing_util::InterleaveInto(&merge, inputs, 5);
+  EXPECT_TRUE(
+      Tdb::Reconstitute(sink.elements())
+          .Equals(Tdb::Reconstitute(workload::RenderInOrder(history))));
+  // The emitted stable points trail the inputs' by the configured lag.
+  EXPECT_EQ(merge.max_stable(), max_ve + 1000 - 100);
+}
+
+TEST(R4PolicyTest, CountOnlyIsLessChattyThanExact) {
+  // After the key is half frozen, the driver revises an (unfrozen) end
+  // time.  A later stable that freezes nothing forces no reconciliation:
+  // exact matching rewrites the output anyway, count-only defers.
+  auto run = [](bool exact) {
+    CollectingSink sink;
+    MergePolicy policy;
+    policy.r4_exact_match = exact;
+    LMergeR4 merge(2, &sink, policy);
+    LM_CHECK(merge.OnElement(0, Ins("A", 10, 100)).ok());
+    LM_CHECK(merge.OnElement(0, Ins("A", 10, 200)).ok());
+    LM_CHECK(merge.OnElement(1, Ins("A", 10, 150)).ok());
+    LM_CHECK(merge.OnElement(1, Ins("A", 10, 250)).ok());
+    // Stream 1 drives: the key half-freezes, output pinned to {150, 250}
+    // under both policies (first-freeze equalizes counts and values).
+    LM_CHECK(merge.OnElement(1, Stb(20)).ok());
+    // The driver revises one still-unfrozen end, then stabilizes again at a
+    // point below every end time.
+    LM_CHECK(merge.OnElement(1, Adj("A", 10, 150, 160)).ok());
+    LM_CHECK(merge.OnElement(1, Stb(60)).ok());
+    return testing_util::CountKinds(sink.elements());
+  };
+  const auto exact = run(true);
+  const auto lazy = run(false);
+  EXPECT_EQ(exact.inserts, lazy.inserts);
+  EXPECT_EQ(exact.adjusts, 3);  // 2 at half-freeze + eager rewrite 150->160
+  EXPECT_EQ(lazy.adjusts, 2);   // the unfrozen divergence is deferred
+}
+
+TEST(R4PolicyTest, CountOnlyStillFreezesCorrectly) {
+  // Whatever is deferred must be reconciled by the time it fully freezes:
+  // final TDBs agree for both policies.
+  auto run = [](bool exact) {
+    CollectingSink sink;
+    MergePolicy policy;
+    policy.r4_exact_match = exact;
+    LMergeR4 merge(2, &sink, policy);
+    LM_CHECK(merge.OnElement(0, Ins("A", 10, 100)).ok());
+    LM_CHECK(merge.OnElement(0, Ins("A", 10, 200)).ok());
+    LM_CHECK(merge.OnElement(1, Ins("A", 10, 150)).ok());
+    LM_CHECK(merge.OnElement(1, Ins("A", 10, 250)).ok());
+    LM_CHECK(merge.OnElement(1, Stb(20)).ok());
+    LM_CHECK(merge.OnElement(1, Stb(1000)).ok());  // freezes everything
+    return Tdb::Reconstitute(sink.elements());
+  };
+  const Tdb exact = run(true);
+  const Tdb lazy = run(false);
+  EXPECT_TRUE(exact.Equals(lazy));
+  EXPECT_EQ(lazy.CountOf(Event(Row::OfString("A"), 10, 150)), 1);
+  EXPECT_EQ(lazy.CountOf(Event(Row::OfString("A"), 10, 250)), 1);
+}
+
+TEST(R4PolicyTest, CountOnlyConvergesOnGeneratedWorkloads) {
+  using workload::GeneratorConfig;
+  using workload::GeneratePhysicalVariant;
+  using workload::GenerateHistory;
+  using workload::VariantOptions;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    GeneratorConfig config;
+    config.num_inserts = 150;
+    config.stable_freq = 0.1;
+    config.event_duration = 400;
+    config.max_gap = 20;
+    config.payload_string_bytes = 4;
+    config.seed = seed;
+    workload::LogicalHistory history = GenerateHistory(config);
+    Timestamp max_ve = 0;
+    for (const Event& e : history.events) max_ve = std::max(max_ve, e.ve);
+    history.stable_times.push_back(max_ve + 1);
+    std::vector<ElementSequence> inputs;
+    for (uint64_t v = 0; v < 2; ++v) {
+      VariantOptions options;
+      options.disorder_fraction = 0.3;
+      options.split_probability = 0.4;
+      options.seed = seed * 19 + v;
+      inputs.push_back(GeneratePhysicalVariant(history, options));
+    }
+    CollectingSink sink;
+    MergePolicy policy;
+    policy.r4_exact_match = false;
+    LMergeR4 merge(2, &sink, policy);
+    testing_util::InterleaveInto(&merge, inputs, seed);
+    EXPECT_TRUE(
+        Tdb::Reconstitute(sink.elements())
+            .Equals(Tdb::Reconstitute(workload::RenderInOrder(history))))
+        << "seed " << seed;
+    EXPECT_EQ(merge.inconsistency_count(), 0) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace lmerge

@@ -1,0 +1,120 @@
+// Output-policy behaviour (Sec. V-A, Example 2 / Table II): the same inputs
+// under different policies produce outputs that trade latency against
+// chattiness, while all remaining logically equivalent.
+
+#include <gtest/gtest.h>
+
+#include "core/lmerge_r3.h"
+#include "temporal/tdb.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::Adj;
+using ::lmerge::testing_util::CountKinds;
+using ::lmerge::testing_util::Ins;
+using ::lmerge::testing_util::Stb;
+
+// Example 2's inputs In1 and In2 (a/m/f translated to insert/adjust/stable).
+ElementSequence In1() {
+  return {Ins("A", 6, 10), Adj("A", 6, 10, 12), Ins("B", 7, 14),
+          Adj("A", 6, 12, 15), Stb(16)};
+}
+ElementSequence In2() {
+  return {Ins("A", 6, 12), Ins("B", 7, 14), Adj("A", 6, 12, 15), Stb(16)};
+}
+
+// Runs both inputs through LMR3 under `policy`, alternating elements.
+ElementSequence RunWithPolicy(const MergePolicy& policy) {
+  CollectingSink sink;
+  LMergeR3 merge(2, &sink, policy);
+  const ElementSequence in1 = In1();
+  const ElementSequence in2 = In2();
+  const size_t n = std::max(in1.size(), in2.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (i < in1.size()) LM_CHECK(merge.OnElement(0, in1[i]).ok());
+    if (i < in2.size()) LM_CHECK(merge.OnElement(1, in2[i]).ok());
+  }
+  return sink.TakeElements();
+}
+
+TEST(PolicyTest, AllPoliciesAgreeLogically) {
+  const Tdb reference = Tdb::Reconstitute(In1());
+  for (const MergePolicy& policy :
+       {MergePolicy::Default(), MergePolicy::Eager(),
+        MergePolicy::Conservative()}) {
+    const ElementSequence out = RunWithPolicy(policy);
+    EXPECT_TRUE(Tdb::Reconstitute(out).Equals(reference));
+  }
+}
+
+TEST(PolicyTest, EagerIsChattierThanLazy) {
+  const auto lazy = CountKinds(RunWithPolicy(MergePolicy::Default()));
+  const auto eager = CountKinds(RunWithPolicy(MergePolicy::Eager()));
+  EXPECT_GT(eager.adjusts, lazy.adjusts);
+  // Out1-style: eager reflects every revision it can.
+  EXPECT_GE(eager.inserts + eager.adjusts, lazy.inserts + lazy.adjusts);
+}
+
+TEST(PolicyTest, ConservativeEmitsFewerButLater) {
+  const ElementSequence lazy = RunWithPolicy(MergePolicy::Default());
+  const ElementSequence conservative =
+      RunWithPolicy(MergePolicy::Conservative());
+  // Out2-style: fewer total elements...
+  EXPECT_LE(conservative.size(), lazy.size());
+  // ...and the first insert appears later in the run (no output until the
+  // first stable arrives and half-freezes the events).
+  size_t lazy_first = 0;
+  size_t conservative_count_before_stable = 0;
+  for (size_t i = 0; i < lazy.size(); ++i) {
+    if (lazy[i].is_insert()) {
+      lazy_first = i;
+      break;
+    }
+  }
+  for (const StreamElement& e : conservative) {
+    if (e.is_stable()) break;
+    if (e.is_insert()) ++conservative_count_before_stable;
+  }
+  EXPECT_EQ(lazy_first, 0u);  // first-insert-wins emits immediately
+  // Conservative emits all inserts only at the stable (they precede the
+  // stable element itself in the output, but nothing earlier).
+  EXPECT_EQ(conservative_count_before_stable, 2u);
+}
+
+TEST(PolicyTest, TheoremOneHoldsOnGeneratedWorkloads) {
+  using workload::GeneratorConfig;
+  using workload::GeneratePhysicalVariant;
+  using workload::GenerateHistory;
+  using workload::VariantOptions;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    GeneratorConfig config;
+    config.num_inserts = 300;
+    config.stable_freq = 0.05;
+    config.event_duration = 500;
+    config.max_gap = 15;
+    config.payload_string_bytes = 4;
+    config.seed = seed;
+    const auto history = GenerateHistory(config);
+    std::vector<ElementSequence> inputs;
+    for (uint64_t v = 0; v < 2; ++v) {
+      VariantOptions options;
+      options.disorder_fraction = 0.4;
+      options.split_probability = 0.5;
+      options.seed = seed * 5 + v;
+      inputs.push_back(GeneratePhysicalVariant(history, options));
+    }
+    CollectingSink sink;
+    LMergeR3 merge(2, &sink);
+    testing_util::InterleaveInto(&merge, inputs, seed);
+    const auto& stats = merge.stats();
+    EXPECT_LE(stats.inserts_out + stats.adjusts_out, stats.inserts_in)
+        << "seed " << seed;
+    EXPECT_LE(stats.stables_out, stats.stables_in) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace lmerge

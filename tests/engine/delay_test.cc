@@ -1,0 +1,110 @@
+#include "engine/delay.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::Ins;
+
+ElementSequence SomeElements(int n) {
+  ElementSequence out;
+  for (int i = 0; i < n; ++i) out.push_back(Ins("x", i + 1, i + 100));
+  return out;
+}
+
+TEST(DelayTest, ConstantRateSpacing) {
+  const TimedStream stream =
+      ScheduleConstantRate(SomeElements(10), /*rate=*/100.0, /*start=*/2.0);
+  ASSERT_EQ(stream.size(), 10u);
+  EXPECT_DOUBLE_EQ(stream[0].arrival_seconds, 2.0);
+  EXPECT_NEAR(stream[1].arrival_seconds - stream[0].arrival_seconds, 0.01,
+              1e-12);
+  EXPECT_NEAR(stream[9].arrival_seconds, 2.09, 1e-9);
+}
+
+TEST(DelayTest, LagShiftsEverything) {
+  TimedStream stream = ScheduleConstantRate(SomeElements(5), 10.0);
+  const double first = stream[0].arrival_seconds;
+  stream = ScheduleWithLag(std::move(stream), 3.0);
+  EXPECT_DOUBLE_EQ(stream[0].arrival_seconds, first + 3.0);
+}
+
+TEST(DelayTest, BurstyIsMonotoneAndStalls) {
+  BurstConfig config;
+  config.rate = 1000.0;
+  config.stall_probability = 0.01;
+  config.seed = 5;
+  const TimedStream stream = ScheduleBursty(SomeElements(5000), config);
+  double max_gap = 0;
+  for (size_t i = 1; i < stream.size(); ++i) {
+    ASSERT_GE(stream[i].arrival_seconds, stream[i - 1].arrival_seconds);
+    max_gap = std::max(max_gap, stream[i].arrival_seconds -
+                                    stream[i - 1].arrival_seconds);
+  }
+  // At least one stall on the order of the configured 20 ms.
+  EXPECT_GT(max_gap, 0.005);
+  // Deliveries catch up: total duration is close to generation time plus a
+  // few stalls, not unbounded.
+  EXPECT_LT(stream.back().arrival_seconds, 5.0 + 60 * 0.04);
+}
+
+TEST(DelayTest, BurstyFlushesQueueAfterStall) {
+  BurstConfig config;
+  config.rate = 1000.0;
+  config.stall_probability = 0.01;
+  config.stall_mean_seconds = 0.05;
+  config.seed = 9;
+  const TimedStream stream = ScheduleBursty(SomeElements(5000), config);
+  // Find a stall, then verify a burst of simultaneous deliveries follows.
+  bool found_burst = false;
+  for (size_t i = 1; i + 5 < stream.size(); ++i) {
+    const double gap =
+        stream[i].arrival_seconds - stream[i - 1].arrival_seconds;
+    if (gap > 0.02) {
+      // Elements generated during the stall flush at (nearly) one instant.
+      if (stream[i + 5].arrival_seconds - stream[i].arrival_seconds < 0.001) {
+        found_burst = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(found_burst);
+}
+
+TEST(DelayTest, CongestionSlowsWindowThenRecovers) {
+  CongestionConfig config;
+  config.rate = 1000.0;
+  config.windows = {{1.0, 1.5, 0.002, 0.0005}};
+  config.seed = 3;
+  const TimedStream stream = ScheduleCongestion(SomeElements(4000), config);
+  // Count deliveries per 0.5 s bucket.
+  std::vector<int> buckets(20, 0);
+  for (const TimedElement& t : stream) {
+    const auto b = static_cast<size_t>(t.arrival_seconds / 0.5);
+    if (b < buckets.size()) ++buckets[static_cast<size_t>(b)];
+  }
+  // Bucket [1.0, 1.5) is congested: far fewer deliveries than nominal 500.
+  EXPECT_LT(buckets[2], 400);
+  // Monotone arrivals.
+  for (size_t i = 1; i < stream.size(); ++i) {
+    ASSERT_GE(stream[i].arrival_seconds, stream[i - 1].arrival_seconds);
+  }
+  // All elements eventually delivered (catch-up after the window).
+  EXPECT_EQ(stream.size(), 4000u);
+}
+
+TEST(DelayTest, DeterministicInSeed) {
+  BurstConfig config;
+  config.seed = 11;
+  const TimedStream a = ScheduleBursty(SomeElements(500), config);
+  const TimedStream b = ScheduleBursty(SomeElements(500), config);
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a[i].arrival_seconds, b[i].arrival_seconds);
+  }
+}
+
+}  // namespace
+}  // namespace lmerge

@@ -1,0 +1,149 @@
+// Property derivation across query plans and end-to-end algorithm selection
+// (the Sec. IV-G examples as whole-plan tests).
+
+#include "engine/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "core/lmerge_operator.h"
+#include "operators/aggregate.h"
+#include "operators/cleanse.h"
+#include "operators/select.h"
+#include "operators/topk.h"
+#include "operators/union_op.h"
+
+namespace lmerge {
+namespace {
+
+StreamProperties OrderedSource() {
+  StreamProperties p;
+  p.insert_only = true;
+  p.ordered = true;
+  p.strictly_increasing = true;
+  p.vs_payload_key = true;
+  return p.Normalized();
+}
+
+StreamProperties DisorderedSource() {
+  StreamProperties p;
+  p.insert_only = true;
+  p.vs_payload_key = true;
+  return p;
+}
+
+AggregateConfig Grouped(AggregateMode mode) {
+  AggregateConfig config;
+  config.window_size = 100;
+  config.group_column = 0;
+  config.mode = mode;
+  return config;
+}
+
+TEST(GraphTest, GlobalAggregateOverOrderedStreamIsR0) {
+  // Sec. IV-G example 3: in-order stream into windowed count -> R0.
+  QueryGraph graph;
+  AggregateConfig config;
+  config.window_size = 100;
+  config.mode = AggregateMode::kConservative;
+  auto* agg = graph.Add<GroupedAggregate>("count", config);
+  graph.DeclareEntry(agg, 0, OrderedSource());
+  StreamProperties out;
+  ASSERT_TRUE(graph.DeriveFor(agg, &out).ok());
+  EXPECT_EQ(ChooseAlgorithm(out), AlgorithmCase::kR0);
+}
+
+TEST(GraphTest, TopKOverOrderedStreamIsR1) {
+  // Example 4: sliding-window multi-valued aggregate -> R1.
+  QueryGraph graph;
+  auto* topk = graph.Add<TopK>("topk", 100, 3, 0);
+  graph.DeclareEntry(topk, 0, OrderedSource());
+  StreamProperties out;
+  ASSERT_TRUE(graph.DeriveFor(topk, &out).ok());
+  EXPECT_EQ(ChooseAlgorithm(out), AlgorithmCase::kR1);
+}
+
+TEST(GraphTest, GroupedAggregateOverOrderedStreamIsR2) {
+  // Example 5: grouped aggregation over an ordered stream -> R2.
+  QueryGraph graph;
+  auto* agg = graph.Add<GroupedAggregate>(
+      "grouped", Grouped(AggregateMode::kConservative));
+  graph.DeclareEntry(agg, 0, OrderedSource());
+  StreamProperties out;
+  ASSERT_TRUE(graph.DeriveFor(agg, &out).ok());
+  EXPECT_EQ(ChooseAlgorithm(out), AlgorithmCase::kR2);
+}
+
+TEST(GraphTest, AggressiveGroupedAggregateOverDisorderIsR3) {
+  // Example 6: grouped aggregation over a disordered stream -> R3.
+  QueryGraph graph;
+  auto* agg = graph.Add<GroupedAggregate>(
+      "grouped", Grouped(AggregateMode::kAggressive));
+  graph.DeclareEntry(agg, 0, DisorderedSource());
+  StreamProperties out;
+  ASSERT_TRUE(graph.DeriveFor(agg, &out).ok());
+  EXPECT_EQ(ChooseAlgorithm(out), AlgorithmCase::kR3);
+}
+
+TEST(GraphTest, CleanseRestoresOrderForR1) {
+  // The C+LM strategy of Sec. VI-D: Cleanse in front of the merge lets the
+  // simple R1 algorithm run on disordered inputs.
+  QueryGraph graph;
+  auto* cleanse = graph.Add<Cleanse>("cleanse");
+  graph.DeclareEntry(cleanse, 0, StreamProperties::None());
+  StreamProperties out;
+  ASSERT_TRUE(graph.DeriveFor(cleanse, &out).ok());
+  EXPECT_EQ(ChooseAlgorithm(out), AlgorithmCase::kR1);
+}
+
+TEST(GraphTest, PropertiesChainThroughOperators) {
+  QueryGraph graph;
+  auto* select = graph.Add<Select>("sel", [](const Row&) { return true; });
+  auto* agg = graph.Add<GroupedAggregate>(
+      "grouped", Grouped(AggregateMode::kConservative));
+  graph.Connect(select, agg, 0);
+  graph.DeclareEntry(select, 0, OrderedSource());
+  StreamProperties out;
+  ASSERT_TRUE(graph.DeriveFor(agg, &out).ok());
+  EXPECT_EQ(ChooseAlgorithm(out), AlgorithmCase::kR2);
+}
+
+TEST(GraphTest, UnionDegradesToR4WithoutKey) {
+  QueryGraph graph;
+  auto* u = graph.Add<UnionOp>("union", 2);
+  graph.DeclareEntry(u, 0, OrderedSource());
+  graph.DeclareEntry(u, 1, OrderedSource());
+  StreamProperties out;
+  ASSERT_TRUE(graph.DeriveFor(u, &out).ok());
+  EXPECT_EQ(ChooseAlgorithm(out), AlgorithmCase::kR4);
+}
+
+TEST(GraphTest, LMergeOutputKeepsJointProperties) {
+  QueryGraph graph;
+  auto* lmerge = graph.Add<LMergeOperator>("lm", 2, MergeVariant::kLMR2);
+  graph.DeclareEntry(lmerge, 0, OrderedSource());
+  graph.DeclareEntry(lmerge, 1, OrderedSource());
+  StreamProperties out;
+  ASSERT_TRUE(graph.DeriveFor(lmerge, &out).ok());
+  EXPECT_TRUE(out.insert_only);
+  EXPECT_TRUE(out.ordered);
+}
+
+TEST(GraphTest, UndeclaredInputIsAnError) {
+  QueryGraph graph;
+  auto* u = graph.Add<UnionOp>("union", 2);
+  graph.DeclareEntry(u, 0, OrderedSource());  // port 1 missing
+  std::map<const Operator*, StreamProperties> all;
+  EXPECT_FALSE(graph.DeriveAll(&all).ok());
+}
+
+TEST(GraphTest, TotalStateBytesSums) {
+  QueryGraph graph;
+  auto* cleanse = graph.Add<Cleanse>("cleanse");
+  graph.DeclareEntry(cleanse, 0, StreamProperties::None());
+  cleanse->Consume(0, StreamElement::Insert(Row::OfInt(1), 10, 1000));
+  EXPECT_EQ(graph.TotalStateBytes(), cleanse->StateBytes());
+  EXPECT_GT(graph.TotalStateBytes(), 0);
+}
+
+}  // namespace
+}  // namespace lmerge

@@ -1,0 +1,128 @@
+// Randomized failure churn: replicas detach at random points and fresh
+// replicas join mid-run; as long as one input covers the whole stream, the
+// merged output converges to the reference TDB (Sec. V-B under stress).
+
+#include <gtest/gtest.h>
+
+#include "core/lmerge_operator.h"
+#include "temporal/tdb.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace lmerge {
+namespace {
+
+using workload::GeneratorConfig;
+using workload::GeneratePhysicalVariant;
+using workload::GenerateHistory;
+using workload::LogicalHistory;
+using workload::RenderInOrder;
+using workload::VariantOptions;
+
+class ChurnTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChurnTest, RandomDetachPointsNeverCorruptOutput) {
+  const uint64_t seed = GetParam();
+  GeneratorConfig config;
+  config.num_inserts = 250;
+  config.stable_freq = 0.06;
+  config.event_duration = 400;
+  config.max_gap = 15;
+  config.payload_string_bytes = 6;
+  config.seed = seed;
+  LogicalHistory history = GenerateHistory(config);
+  Timestamp max_ve = 0;
+  for (const Event& e : history.events) max_ve = std::max(max_ve, e.ve);
+  history.stable_times.push_back(max_ve + 1);
+
+  std::vector<ElementSequence> replicas;
+  for (uint64_t v = 0; v < 3; ++v) {
+    VariantOptions options;
+    options.disorder_fraction = 0.3;
+    options.split_probability = 0.3;
+    options.seed = seed * 31 + v;
+    replicas.push_back(GeneratePhysicalVariant(history, options));
+  }
+
+  Rng rng(seed * 7 + 1);
+  LMergeOperator lm("churn", 3, MergeVariant::kLMR3Plus);
+  CollectingSink merged;
+  lm.AddSink(&merged);
+
+  // Replicas 0 and 1 die at random points; replica 2 survives.
+  const size_t kill0 = static_cast<size_t>(rng.UniformInt(
+      0, static_cast<int64_t>(replicas[0].size())));
+  const size_t kill1 = static_cast<size_t>(rng.UniformInt(
+      0, static_cast<int64_t>(replicas[1].size())));
+  size_t next[3] = {0, 0, 0};
+  bool any = true;
+  while (any) {
+    any = false;
+    for (int s = 0; s < 3; ++s) {
+      const size_t limit =
+          s == 0 ? kill0 : (s == 1 ? kill1 : replicas[2].size());
+      if (next[s] < std::min(limit, replicas[static_cast<size_t>(s)].size())) {
+        lm.Consume(s, replicas[static_cast<size_t>(s)]
+                          [next[static_cast<size_t>(s)]++]);
+        any = true;
+      } else if (s != 2 && lm.InputActive(s)) {
+        lm.DetachInput(s);
+      }
+    }
+  }
+  EXPECT_TRUE(Tdb::Reconstitute(merged.elements())
+                  .Equals(Tdb::Reconstitute(RenderInOrder(history))))
+      << "seed " << seed << " kills at " << kill0 << "/" << kill1;
+}
+
+TEST_P(ChurnTest, MidRunJoinerCatchesUpAndTakesOver) {
+  const uint64_t seed = GetParam();
+  GeneratorConfig config;
+  config.num_inserts = 200;
+  config.stable_freq = 0.08;
+  config.event_duration = 300;
+  config.max_gap = 12;
+  config.payload_string_bytes = 6;
+  config.seed = seed + 1000;
+  LogicalHistory history = GenerateHistory(config);
+  Timestamp max_ve = 0;
+  for (const Event& e : history.events) max_ve = std::max(max_ve, e.ve);
+  history.stable_times.push_back(max_ve + 1);
+
+  VariantOptions options;
+  options.disorder_fraction = 0.25;
+  options.seed = seed * 5;
+  const ElementSequence original = GeneratePhysicalVariant(history, options);
+
+  Rng rng(seed * 13 + 3);
+  LMergeOperator lm("churn", 1, MergeVariant::kLMR3Plus);
+  CollectingSink merged;
+  lm.AddSink(&merged);
+
+  const size_t handoff = static_cast<size_t>(rng.UniformInt(
+      static_cast<int64_t>(original.size()) / 4,
+      static_cast<int64_t>(original.size()) * 3 / 4));
+  for (size_t i = 0; i < handoff; ++i) lm.Consume(0, original[i]);
+
+  // New replica joins at the current output stable point and replays every
+  // event still alive at it, plus the remaining stables.
+  const Timestamp join_time = lm.algorithm().max_stable();
+  const int port = lm.AttachInput(join_time);
+  lm.DetachInput(0);
+  for (const Event& e : history.events) {
+    if (e.ve >= join_time) {
+      lm.Consume(port, StreamElement::Insert(e.payload, e.vs, e.ve));
+    }
+  }
+  for (const Timestamp t : history.stable_times) {
+    if (t > join_time) lm.Consume(port, StreamElement::Stable(t));
+  }
+  EXPECT_TRUE(Tdb::Reconstitute(merged.elements())
+                  .Equals(Tdb::Reconstitute(RenderInOrder(history))))
+      << "seed " << seed << " handoff " << handoff;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnTest, ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace lmerge

@@ -1,0 +1,124 @@
+// Plan fast-forward via feedback (Sec. II-3, V-D): LMerge over two
+// alternative plans signals "elements before t are no longer of interest"
+// upstream; the lagging plan skips its expensive UDF for doomed elements.
+
+#include <gtest/gtest.h>
+
+#include "core/lmerge_operator.h"
+#include "operators/select.h"
+#include "temporal/tdb.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::Ins;
+using ::lmerge::testing_util::Stb;
+
+// Runs the two-plan merge; plan B lags behind plan A by `lag_elements`.
+// Returns total UDF work done by plan B.
+int64_t RunTwoPlans(bool feedback, int64_t* out_events = nullptr) {
+  // Plans: identical selection queries with different (simulated) costs.
+  UdfSelect plan_a(
+      "plan_a", [](const Row&) { return true; }, [](const Row&) { return 1; });
+  UdfSelect plan_b(
+      "plan_b", [](const Row&) { return true; },
+      [](const Row&) { return 50; });
+  LMergeOperator lm("lm", 2, MergeVariant::kLMR3Plus, MergePolicy::Default(),
+                    feedback);
+  plan_a.AddDownstream(&lm, 0);
+  plan_b.AddDownstream(&lm, 1);
+  CollectingSink merged;
+  lm.AddSink(&merged);
+
+  workload::GeneratorConfig config;
+  config.num_inserts = 500;
+  config.stable_freq = 0.1;
+  config.event_duration = 60;
+  config.duration_jitter = 20;
+  config.max_gap = 10;
+  config.disorder_fraction = 0.05;
+  config.max_disorder_elements = 8;
+  config.payload_string_bytes = 4;
+  config.seed = 3;
+  const ElementSequence stream = workload::GenerateStream(config);
+
+  // Plan A processes promptly; plan B lags by a window of 100 elements —
+  // far longer than event lifetimes, so nearly everything B would compute
+  // is already stable on the output.
+  const size_t lag = 100;
+  for (size_t i = 0; i < stream.size() + lag; ++i) {
+    if (i < stream.size()) plan_a.Consume(0, stream[i]);
+    if (i >= lag) plan_b.Consume(0, stream[i - lag]);
+  }
+  if (out_events != nullptr) {
+    *out_events = static_cast<int64_t>(merged.elements().size());
+  }
+  return plan_b.work_done();
+}
+
+TEST(FeedbackTest, FeedbackSavesLaggingPlanWork) {
+  const int64_t without = RunTwoPlans(false);
+  const int64_t with = RunTwoPlans(true);
+  EXPECT_LT(with, without / 2);  // the bulk of B's UDF work is skipped
+}
+
+TEST(FeedbackTest, OutputUnchangedByFeedback) {
+  int64_t events_without = 0;
+  int64_t events_with = 0;
+  RunTwoPlans(false, &events_without);
+  RunTwoPlans(true, &events_with);
+  EXPECT_EQ(events_with, events_without);
+}
+
+TEST(FeedbackTest, HorizonOnlyAdvances) {
+  UdfSelect udf(
+      "udf", [](const Row&) { return true; }, [](const Row&) { return 1; });
+  udf.OnFeedback(100);
+  udf.OnFeedback(50);  // stale signal ignored
+  EXPECT_EQ(udf.feedback_horizon(), 100);
+}
+
+TEST(FeedbackTest, FeedbackChainsThroughMultipleOperators) {
+  // source-side select <- mid select <- LMerge: the signal reaches the top.
+  UdfSelect top(
+      "top", [](const Row&) { return true; }, [](const Row&) { return 1; });
+  Select mid("mid", [](const Row&) { return true; });
+  LMergeOperator lm("lm", 2, MergeVariant::kLMR3Plus, MergePolicy::Default(),
+                    /*feedback_enabled=*/true);
+  top.AddDownstream(&mid, 0);
+  mid.AddDownstream(&lm, 0);
+  NullSink sink;
+  lm.AddSink(&sink);
+  lm.Consume(1, Stb(77));
+  EXPECT_EQ(top.feedback_horizon(), 77);
+  EXPECT_EQ(mid.feedback_horizon(), 77);
+}
+
+TEST(FeedbackTest, SkippedElementsWereTrulyDoomed) {
+  // Everything the lagging plan skips would have been dropped by LMerge
+  // anyway: the merged output with feedback reconstitutes identically.
+  UdfSelect plan_a(
+      "plan_a", [](const Row&) { return true; }, [](const Row&) { return 1; });
+  UdfSelect plan_b(
+      "plan_b", [](const Row&) { return true; }, [](const Row&) { return 1; });
+  LMergeOperator lm("lm", 2, MergeVariant::kLMR3Plus, MergePolicy::Default(),
+                    /*feedback_enabled=*/true);
+  plan_a.AddDownstream(&lm, 0);
+  plan_b.AddDownstream(&lm, 1);
+  CollectingSink merged;
+  lm.AddSink(&merged);
+
+  const ElementSequence stream = {Ins("A", 10, 20), Ins("B", 30, 40),
+                                  Stb(50),          Ins("C", 60, 70),
+                                  Stb(100)};
+  for (const auto& e : stream) plan_a.Consume(0, e);
+  for (const auto& e : stream) plan_b.Consume(0, e);  // all doomed or dups
+  EXPECT_GT(plan_b.elements_skipped(), 0);
+  EXPECT_TRUE(Tdb::Reconstitute(merged.elements())
+                  .Equals(Tdb::Reconstitute(stream)));
+}
+
+}  // namespace
+}  // namespace lmerge

@@ -1,0 +1,121 @@
+// Query jumpstart and cutover (Sec. II-4/5): LMerge seamlessly merges a
+// checkpoint/state-seed stream with the live stream, and cuts over from one
+// running plan to a newly instantiated one.
+
+#include <gtest/gtest.h>
+
+#include "core/lmerge_operator.h"
+#include "temporal/tdb.h"
+#include "test_util.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::Ins;
+using ::lmerge::testing_util::Stb;
+
+TEST(JumpstartTest, CheckpointSeedsLongLivedState) {
+  // The process-monitoring example: a join/aggregate holds events for
+  // processes running for days.  A fresh query instance starting from the
+  // live stream alone would miss them; a checkpoint stream provides them.
+  LMergeOperator lm("jumpstart", 2, MergeVariant::kLMR3Plus);
+  CollectingSink merged;
+  lm.AddSink(&merged);
+
+  // Input 0: checkpoint — long-lived events started long ago, still open.
+  lm.Consume(0, Ins("proc-1", 100, kInfinity));
+  lm.Consume(0, Ins("proc-2", 500, kInfinity));
+  lm.Consume(0, Stb(10000));
+
+  // Input 1: live stream — new processes plus the eventual ends of the old
+  // ones (the live source knows current processes).
+  lm.Consume(1, Ins("proc-1", 100, kInfinity));  // duplicate of checkpoint
+  lm.Consume(1, Ins("proc-3", 10500, 10900));
+  lm.Consume(1, StreamElement::Adjust(Row::OfString("proc-1"), 100,
+                                      kInfinity, 10700));
+  lm.Consume(1, Ins("proc-2", 500, kInfinity));
+  lm.Consume(1, Stb(11000));
+
+  const Tdb out = Tdb::Reconstitute(merged.elements());
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("proc-1"), 100, 10700)), 1);
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("proc-2"), 500, kInfinity)), 1);
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("proc-3"), 10500, 10900)), 1);
+  EXPECT_EQ(out.EventCount(), 3);
+}
+
+TEST(JumpstartTest, CheckpointThenDetachLeavesLiveStreamInCharge) {
+  LMergeOperator lm("jumpstart", 2, MergeVariant::kLMR3Plus);
+  CollectingSink merged;
+  lm.AddSink(&merged);
+  lm.Consume(0, Ins("old", 10, kInfinity));
+  lm.Consume(0, Stb(100));
+  lm.Consume(1, Ins("old", 10, kInfinity));
+  lm.DetachInput(0);  // checkpoint replay finished
+  lm.Consume(1, StreamElement::Adjust(Row::OfString("old"), 10, kInfinity,
+                                      150));
+  lm.Consume(1, Ins("new", 120, 130));
+  lm.Consume(1, Stb(200));
+  const Tdb out = Tdb::Reconstitute(merged.elements());
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("old"), 10, 150)), 1);
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("new"), 120, 130)), 1);
+}
+
+TEST(CutoverTest, PlanSwitchIsInvisibleDownstream) {
+  // Sec. II-5: run plan P1; spin up P2 (different physical presentation of
+  // the same logical query); detach P1.  The consumer sees one continuous
+  // stream.
+  LMergeOperator lm("cutover", 1, MergeVariant::kLMR3Plus);
+  CollectingSink merged;
+  lm.AddSink(&merged);
+
+  // P1 presents events eagerly with provisional ends.
+  lm.Consume(0, Ins("e1", 10, kInfinity));
+  lm.Consume(0, Ins("e2", 20, kInfinity));
+  lm.Consume(0, StreamElement::Adjust(Row::OfString("e1"), 10, kInfinity,
+                                      30));
+  lm.Consume(0, Stb(35));
+
+  // P2 spins up, guaranteeing correctness for events alive from t=35.
+  const int p2 = lm.AttachInput(/*join_time=*/35);
+  EXPECT_TRUE(lm.InputJoined(p2));
+  // P2's presentation: e2 exact, plus the future.
+  lm.Consume(p2, Ins("e2", 20, 50));
+  lm.Consume(0, StreamElement::Adjust(Row::OfString("e2"), 20, kInfinity,
+                                      50));
+  lm.DetachInput(0);  // P1 torn down
+  lm.Consume(p2, Ins("e3", 40, 60));
+  lm.Consume(p2, Stb(100));
+
+  const Tdb out = Tdb::Reconstitute(merged.elements());
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("e1"), 10, 30)), 1);
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("e2"), 20, 50)), 1);
+  EXPECT_EQ(out.CountOf(Event(Row::OfString("e3"), 40, 60)), 1);
+  EXPECT_EQ(out.stable_point(), 100);
+}
+
+TEST(CutoverTest, RepeatedCutovers) {
+  // Migrate the query across three "machines" in sequence.
+  LMergeOperator lm("cutover", 1, MergeVariant::kLMR3Plus);
+  CollectingSink merged;
+  lm.AddSink(&merged);
+  int current = 0;
+  Timestamp t = 0;
+  for (int generation = 0; generation < 3; ++generation) {
+    for (int i = 0; i < 5; ++i) {
+      t += 10;
+      lm.Consume(current, StreamElement::Insert(
+                              Row::OfInt(generation * 100 + i), t, t + 5));
+    }
+    t += 10;
+    lm.Consume(current, Stb(t));
+    const int next = lm.AttachInput(/*join_time=*/t);
+    lm.DetachInput(current);
+    current = next;
+  }
+  const Tdb out = Tdb::Reconstitute(merged.elements());
+  EXPECT_EQ(out.EventCount(), 15);
+  EXPECT_EQ(out.stable_point(), t);
+}
+
+}  // namespace
+}  // namespace lmerge

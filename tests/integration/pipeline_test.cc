@@ -1,0 +1,192 @@
+// End-to-end query pipelines: sources through substrate operators into
+// LMerge, with compile-time property derivation picking the algorithm.
+
+#include <gtest/gtest.h>
+
+#include "core/lmerge_operator.h"
+#include "engine/graph.h"
+#include "operators/aggregate.h"
+#include "operators/select.h"
+#include "operators/union_op.h"
+#include "stream/validate.h"
+#include "temporal/tdb.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace lmerge {
+namespace {
+
+using workload::GeneratorConfig;
+using workload::GeneratePhysicalVariant;
+using workload::GenerateHistory;
+using workload::LogicalHistory;
+using workload::RenderInOrder;
+using workload::VariantOptions;
+
+GeneratorConfig PipelineConfig(uint64_t seed) {
+  GeneratorConfig config;
+  config.num_inserts = 500;
+  config.stable_freq = 0.05;
+  config.event_duration = 800;
+  config.duration_jitter = 300;
+  config.max_gap = 10;
+  config.key_range = 5;
+  config.payload_string_bytes = 8;
+  config.seed = seed;
+  return config;
+}
+
+TEST(PipelineTest, TwoReplicatedAggregatePlansUnderLMerge) {
+  // Two copies of "grouped count over a disordered stream", physically
+  // divergent, merged by the algorithm the property pass selects (R3).
+  const LogicalHistory history = GenerateHistory(PipelineConfig(1));
+  Timestamp max_ve = 0;
+  for (const Event& e : history.events) max_ve = std::max(max_ve, e.ve);
+
+  QueryGraph graph;
+  AggregateConfig agg_config;
+  agg_config.window_size = 500;
+  agg_config.group_column = 0;
+  agg_config.mode = AggregateMode::kAggressive;
+
+  auto* agg1 = graph.Add<GroupedAggregate>("agg1", agg_config);
+  auto* agg2 = graph.Add<GroupedAggregate>("agg2", agg_config);
+
+  StreamProperties source_props;
+  source_props.insert_only = true;
+  source_props.vs_payload_key = true;
+  graph.DeclareEntry(agg1, 0, source_props);
+  graph.DeclareEntry(agg2, 0, source_props);
+
+  std::map<const Operator*, StreamProperties> derived;
+  ASSERT_TRUE(graph.DeriveAll(&derived).ok());
+  const AlgorithmCase chosen =
+      ChooseAlgorithm({derived[agg1], derived[agg2]});
+  EXPECT_EQ(chosen, AlgorithmCase::kR3);
+
+  auto* lmerge = graph.Add<LMergeOperator>(
+      "lm", std::vector<StreamProperties>{derived[agg1], derived[agg2]});
+  graph.Connect(agg1, lmerge, 0);
+  graph.Connect(agg2, lmerge, 1);
+
+  CollectingSink merged;
+  ValidatingSink validated(StreamProperties::None(), &merged);
+  lmerge->AddSink(&validated);
+
+  // Physically different presentations of the same logical source.
+  VariantOptions v1;
+  v1.disorder_fraction = 0.2;
+  v1.seed = 11;
+  VariantOptions v2;
+  v2.disorder_fraction = 0.35;
+  v2.seed = 22;
+  LogicalHistory closed = history;
+  closed.stable_times.push_back(max_ve + 1);
+  const ElementSequence in1 = GeneratePhysicalVariant(closed, v1);
+  const ElementSequence in2 = GeneratePhysicalVariant(closed, v2);
+  // Alternate between the two replicas.
+  const size_t n = std::max(in1.size(), in2.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (i < in1.size()) agg1->Consume(0, in1[i]);
+    if (i < in2.size()) agg2->Consume(0, in2[i]);
+  }
+
+  // Reference: the same aggregate over the canonical in-order stream.
+  GroupedAggregate reference_agg("ref", agg_config);
+  CollectingSink reference;
+  reference_agg.AddSink(&reference);
+  for (const StreamElement& e : RenderInOrder(closed)) {
+    reference_agg.Consume(0, e);
+  }
+  EXPECT_TRUE(Tdb::Reconstitute(merged.elements())
+                  .Equals(Tdb::Reconstitute(reference.elements())));
+}
+
+TEST(PipelineTest, HierarchyOfLMergesForFragmentLevelResilience) {
+  // Sec. II-1: "a hierarchy of LMerge operators — one for each replicated
+  // query fragment".  Two replicated source fragments, each merged, then
+  // unioned and merged again downstream against a replica of the whole.
+  const LogicalHistory history = GenerateHistory(PipelineConfig(2));
+  LogicalHistory closed = history;
+  Timestamp max_ve = 0;
+  for (const Event& e : closed.events) max_ve = std::max(max_ve, e.ve);
+  closed.stable_times.push_back(max_ve + 1);
+
+  QueryGraph graph;
+  auto* inner = graph.Add<LMergeOperator>("inner", 2,
+                                          MergeVariant::kLMR3Plus);
+  auto* outer = graph.Add<LMergeOperator>("outer", 2,
+                                          MergeVariant::kLMR3Plus);
+  graph.Connect(inner, outer, 0);
+
+  CollectingSink merged;
+  outer->AddSink(&merged);
+
+  VariantOptions v1;
+  v1.disorder_fraction = 0.3;
+  v1.split_probability = 0.3;
+  v1.seed = 7;
+  VariantOptions v2 = v1;
+  v2.seed = 8;
+  VariantOptions v3 = v1;
+  v3.seed = 9;
+  const ElementSequence in1 = GeneratePhysicalVariant(closed, v1);
+  const ElementSequence in2 = GeneratePhysicalVariant(closed, v2);
+  const ElementSequence in3 = GeneratePhysicalVariant(closed, v3);
+  const size_t n = std::max({in1.size(), in2.size(), in3.size()});
+  for (size_t i = 0; i < n; ++i) {
+    if (i < in1.size()) inner->Consume(0, in1[i]);
+    if (i < in2.size()) inner->Consume(1, in2[i]);
+    if (i < in3.size()) outer->Consume(1, in3[i]);
+  }
+  EXPECT_TRUE(Tdb::Reconstitute(merged.elements())
+                  .Equals(Tdb::Reconstitute(RenderInOrder(closed))));
+}
+
+TEST(PipelineTest, UnionOfPartitionsThenMerge) {
+  // Data-center partitioned sources: each replica unions two machine
+  // partitions; the union outputs are disordered, LMerge-R4 combines them.
+  QueryGraph graph;
+  auto* union1 = graph.Add<UnionOp>("u1", 2);
+  auto* union2 = graph.Add<UnionOp>("u2", 2);
+  auto* lmerge = graph.Add<LMergeOperator>("lm", 2, MergeVariant::kLMR4);
+  graph.Connect(union1, lmerge, 0);
+  graph.Connect(union2, lmerge, 1);
+  CollectingSink merged;
+  lmerge->AddSink(&merged);
+
+  GeneratorConfig part_a = PipelineConfig(3);
+  part_a.num_inserts = 150;
+  GeneratorConfig part_b = PipelineConfig(4);
+  part_b.num_inserts = 150;
+  const ElementSequence stream_a = RenderInOrder(GenerateHistory(part_a));
+  const ElementSequence stream_b = RenderInOrder(GenerateHistory(part_b));
+
+  // Replica 1 interleaves a-then-b per step; replica 2 b-then-a.
+  for (size_t i = 0; i < stream_a.size() || i < stream_b.size(); ++i) {
+    if (i < stream_a.size()) {
+      union1->Consume(0, stream_a[i]);
+    }
+    if (i < stream_b.size()) {
+      union1->Consume(1, stream_b[i]);
+      union2->Consume(1, stream_b[i]);
+    }
+    if (i < stream_a.size()) {
+      union2->Consume(0, stream_a[i]);
+    }
+  }
+  // Both unions carry the same multiset; the merge must reproduce it once.
+  Tdb expected;
+  for (const auto& e : stream_a) {
+    if (e.is_stable()) continue;
+    ASSERT_TRUE(expected.Apply(e).ok());
+  }
+  for (const auto& e : stream_b) {
+    if (e.is_stable()) continue;
+    ASSERT_TRUE(expected.Apply(e).ok());
+  }
+  EXPECT_TRUE(Tdb::Reconstitute(merged.elements()).Equals(expected));
+}
+
+}  // namespace
+}  // namespace lmerge

@@ -1,0 +1,255 @@
+#include "operators/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "temporal/tdb.h"
+#include "test_util.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::CountKinds;
+using ::lmerge::testing_util::Stb;
+
+StreamElement Ev(int64_t machine, Timestamp vs, Timestamp ve) {
+  return StreamElement::Insert(Row::OfIntAndString(machine, "m"), vs, ve);
+}
+
+AggregateConfig GlobalCount(AggregateMode mode) {
+  AggregateConfig config;
+  config.window_size = 100;
+  config.group_column = -1;
+  config.mode = mode;
+  return config;
+}
+
+AggregateConfig GroupedCount(AggregateMode mode) {
+  AggregateConfig config = GlobalCount(mode);
+  config.group_column = 0;
+  return config;
+}
+
+TEST(AggregateTest, ConservativeEmitsFinalCountsOnce) {
+  GroupedAggregate agg("agg", GlobalCount(AggregateMode::kConservative));
+  CollectingSink sink;
+  agg.AddSink(&sink);
+  agg.Consume(0, Ev(1, 10, 20));
+  agg.Consume(0, Ev(2, 30, 40));
+  agg.Consume(0, Ev(3, 150, 160));
+  EXPECT_EQ(sink.elements().size(), 0u);  // nothing final yet
+  agg.Consume(0, Stb(200));
+  const auto counts = CountKinds(sink.elements());
+  EXPECT_EQ(counts.inserts, 2);  // window [0,100): count 2; [100,200): 1
+  EXPECT_EQ(counts.adjusts, 0);
+  EXPECT_EQ(sink.elements()[0].payload().field(0).AsInt64(), 2);
+  EXPECT_EQ(sink.elements()[1].payload().field(0).AsInt64(), 1);
+  EXPECT_EQ(sink.elements()[0].vs(), 0);
+  EXPECT_EQ(sink.elements()[1].vs(), 100);
+}
+
+TEST(AggregateTest, AggressiveRevisesOpenWindow) {
+  GroupedAggregate agg("agg", GlobalCount(AggregateMode::kAggressive));
+  CollectingSink sink;
+  agg.AddSink(&sink);
+  agg.Consume(0, Ev(1, 10, 20));   // insert count=1
+  agg.Consume(0, Ev(2, 30, 40));   // retract 1, insert 2
+  const auto counts = CountKinds(sink.elements());
+  EXPECT_EQ(counts.inserts, 2);
+  EXPECT_EQ(counts.adjusts, 1);
+  const Tdb tdb = Tdb::Reconstitute(sink.elements());
+  EXPECT_EQ(tdb.EventCount(), 1);
+  EXPECT_EQ(
+      tdb.CountOf(Event(Row({Value(int64_t{2})}), 0, 100)), 1);
+}
+
+TEST(AggregateTest, AggressiveHandlesLateArrivals) {
+  GroupedAggregate agg("agg", GlobalCount(AggregateMode::kAggressive));
+  CollectingSink sink;
+  agg.AddSink(&sink);
+  agg.Consume(0, Ev(1, 150, 160));  // window [100,200)
+  agg.Consume(0, Ev(2, 10, 20));    // late for window [0,100)
+  const Tdb tdb = Tdb::Reconstitute(sink.elements());
+  EXPECT_EQ(tdb.CountOf(Event(Row({Value(int64_t{1})}), 0, 100)), 1);
+  EXPECT_EQ(tdb.CountOf(Event(Row({Value(int64_t{1})}), 100, 200)), 1);
+}
+
+TEST(AggregateTest, AggressiveOutputIsValidStream) {
+  GroupedAggregate agg("agg", GroupedCount(AggregateMode::kAggressive));
+  CollectingSink collected;
+  ValidatingSink sink(StreamProperties::None(), &collected);
+  agg.AddSink(&sink);
+  for (int i = 0; i < 50; ++i) {
+    agg.Consume(0, Ev(i % 3, (i * 37) % 500, (i * 37) % 500 + 50));
+  }
+  agg.Consume(0, Stb(600));
+  EXPECT_GT(collected.elements().size(), 0u);
+}
+
+TEST(AggregateTest, GroupedCountsPerKey) {
+  GroupedAggregate agg("agg", GroupedCount(AggregateMode::kConservative));
+  CollectingSink sink;
+  agg.AddSink(&sink);
+  agg.Consume(0, Ev(7, 10, 20));
+  agg.Consume(0, Ev(7, 30, 40));
+  agg.Consume(0, Ev(9, 50, 60));
+  agg.Consume(0, Stb(100));
+  ASSERT_EQ(CountKinds(sink.elements()).inserts, 2);
+  const Tdb tdb = Tdb::Reconstitute(sink.elements());
+  EXPECT_EQ(tdb.CountOf(Event(
+                Row({Value(int64_t{7}), Value(int64_t{2})}), 0, 100)),
+            1);
+  EXPECT_EQ(tdb.CountOf(Event(
+                Row({Value(int64_t{9}), Value(int64_t{1})}), 0, 100)),
+            1);
+}
+
+TEST(AggregateTest, SumAggregates) {
+  AggregateConfig config = GlobalCount(AggregateMode::kConservative);
+  config.function = AggregateFunction::kSum;
+  config.value_column = 0;
+  GroupedAggregate agg("agg", config);
+  CollectingSink sink;
+  agg.AddSink(&sink);
+  agg.Consume(0, Ev(5, 10, 20));
+  agg.Consume(0, Ev(7, 30, 40));
+  agg.Consume(0, Stb(100));
+  ASSERT_EQ(sink.elements().size(), 2u);  // insert + stable
+  EXPECT_EQ(sink.elements()[0].payload().field(0).AsInt64(), 12);
+}
+
+TEST(AggregateTest, RemovalAdjustDecrementsCount) {
+  GroupedAggregate agg("agg", GlobalCount(AggregateMode::kAggressive));
+  CollectingSink sink;
+  agg.AddSink(&sink);
+  agg.Consume(0, Ev(1, 10, 20));
+  agg.Consume(0, Ev(2, 30, 40));
+  // Source retracts the second event entirely.
+  agg.Consume(0, StreamElement::Adjust(Row::OfIntAndString(2, "m"), 30, 40,
+                                       30));
+  const Tdb tdb = Tdb::Reconstitute(sink.elements());
+  EXPECT_EQ(tdb.CountOf(Event(Row({Value(int64_t{1})}), 0, 100)), 1);
+  EXPECT_EQ(tdb.EventCount(), 1);
+}
+
+TEST(AggregateTest, StableEmittedAtWindowGranularity) {
+  GroupedAggregate agg("agg", GlobalCount(AggregateMode::kConservative));
+  CollectingSink sink;
+  agg.AddSink(&sink);
+  agg.Consume(0, Ev(1, 10, 20));
+  agg.Consume(0, Stb(250));
+  ASSERT_EQ(CountKinds(sink.elements()).stables, 1);
+  EXPECT_EQ(sink.elements().back().stable_time(), 200);  // floor(250/100)*100
+}
+
+TEST(AggregateTest, StatePurgedOnFinalize) {
+  GroupedAggregate agg("agg", GroupedCount(AggregateMode::kConservative));
+  NullSink sink;
+  agg.AddSink(&sink);
+  for (int i = 0; i < 100; ++i) agg.Consume(0, Ev(i, i * 10, i * 10 + 5));
+  const int64_t loaded = agg.StateBytes();
+  EXPECT_GT(loaded, 0);
+  agg.Consume(0, Stb(2000));
+  EXPECT_EQ(agg.StateBytes(), 0);
+}
+
+TEST(AggregateTest, FeedbackPurgesDoomedWindows) {
+  GroupedAggregate agg("agg", GroupedCount(AggregateMode::kConservative));
+  NullSink sink;
+  agg.AddSink(&sink);
+  for (int i = 0; i < 100; ++i) agg.Consume(0, Ev(i, i * 10, i * 10 + 5));
+  const int64_t loaded = agg.StateBytes();
+  agg.OnFeedback(500);  // windows ending before 500 are moot
+  EXPECT_LT(agg.StateBytes(), loaded);
+  // Inserts for fast-forwarded windows are skipped entirely.
+  agg.Consume(0, Ev(1, 120, 130));
+  EXPECT_EQ(agg.StateBytes(),
+            agg.StateBytes());  // no growth for a doomed window
+}
+
+TEST(AggregateTest, SpeculativeEmitsAtFrontierCrossing) {
+  GroupedAggregate agg("agg", GlobalCount(AggregateMode::kSpeculative));
+  CollectingSink sink;
+  agg.AddSink(&sink);
+  agg.Consume(0, Ev(1, 10, 20));
+  agg.Consume(0, Ev(2, 30, 40));
+  EXPECT_EQ(sink.elements().size(), 0u);  // frontier window withheld
+  agg.Consume(0, Ev(3, 150, 160));  // newer window: [0,100) speculated
+  const auto counts = CountKinds(sink.elements());
+  EXPECT_EQ(counts.inserts, 1);
+  EXPECT_EQ(counts.adjusts, 0);
+  EXPECT_EQ(sink.elements()[0].payload().field(0).AsInt64(), 2);
+}
+
+TEST(AggregateTest, SpeculativeRevisesOnlyOnStragglers) {
+  GroupedAggregate agg("agg", GlobalCount(AggregateMode::kSpeculative));
+  CollectingSink sink;
+  agg.AddSink(&sink);
+  agg.Consume(0, Ev(1, 10, 20));
+  agg.Consume(0, Ev(2, 150, 160));  // [0,100) emitted with count 1
+  ASSERT_EQ(CountKinds(sink.elements()).inserts, 1);
+  agg.Consume(0, Ev(3, 50, 60));  // straggler for the emitted window
+  const auto counts = CountKinds(sink.elements());
+  EXPECT_EQ(counts.adjusts, 1);  // retract count 1
+  EXPECT_EQ(counts.inserts, 2);  // re-insert count 2
+  const Tdb tdb = Tdb::Reconstitute(sink.elements());
+  EXPECT_EQ(tdb.CountOf(Event(Row({Value(int64_t{2})}), 0, 100)), 1);
+}
+
+TEST(AggregateTest, SpeculativeInOrderInputProducesNoAdjusts) {
+  GroupedAggregate agg("agg", GroupedCount(AggregateMode::kSpeculative));
+  CollectingSink sink;
+  agg.AddSink(&sink);
+  for (int i = 0; i < 50; ++i) agg.Consume(0, Ev(i % 3, i * 10, i * 10 + 5));
+  agg.Consume(0, Stb(600));
+  EXPECT_EQ(CountKinds(sink.elements()).adjusts, 0);
+  EXPECT_GT(CountKinds(sink.elements()).inserts, 0);
+}
+
+TEST(AggregateTest, SpeculativeFinalizesUnspeculatedWindowsOnStable) {
+  GroupedAggregate agg("agg", GlobalCount(AggregateMode::kSpeculative));
+  CollectingSink sink;
+  agg.AddSink(&sink);
+  agg.Consume(0, Ev(1, 10, 20));
+  agg.Consume(0, Stb(150));  // no newer window ever arrived
+  const auto counts = CountKinds(sink.elements());
+  EXPECT_EQ(counts.inserts, 1);
+  EXPECT_EQ(counts.stables, 1);
+}
+
+TEST(AggregateTest, SpeculativeOutputIsValidStream) {
+  GroupedAggregate agg("agg", GroupedCount(AggregateMode::kSpeculative));
+  CollectingSink collected;
+  ValidatingSink sink(StreamProperties::None(), &collected);
+  agg.AddSink(&sink);
+  for (int i = 0; i < 80; ++i) {
+    agg.Consume(0, Ev(i % 3, (i * 53) % 700, (i * 53) % 700 + 40));
+  }
+  agg.Consume(0, Stb(800));
+  EXPECT_GT(collected.elements().size(), 0u);
+}
+
+TEST(AggregateTest, PropertyDerivation) {
+  GroupedAggregate conservative_global(
+      "a", GlobalCount(AggregateMode::kConservative));
+  const StreamProperties p1 = conservative_global.DeriveProperties(
+      {StreamProperties::Strongest()});
+  EXPECT_TRUE(p1.strictly_increasing);
+  EXPECT_TRUE(p1.insert_only);  // Sec. IV-G example 3 -> R0
+
+  GroupedAggregate conservative_grouped(
+      "b", GroupedCount(AggregateMode::kConservative));
+  const StreamProperties p2 = conservative_grouped.DeriveProperties(
+      {StreamProperties::Strongest()});
+  EXPECT_TRUE(p2.ordered);
+  EXPECT_FALSE(p2.deterministic_ties);
+  EXPECT_TRUE(p2.vs_payload_key);  // example 5 -> R2
+
+  GroupedAggregate aggressive("c", GroupedCount(AggregateMode::kAggressive));
+  const StreamProperties p3 =
+      aggressive.DeriveProperties({StreamProperties::None()});
+  EXPECT_FALSE(p3.insert_only);
+  EXPECT_TRUE(p3.vs_payload_key);  // example 6 -> R3
+}
+
+}  // namespace
+}  // namespace lmerge

@@ -1,0 +1,72 @@
+#include "operators/alter_lifetime.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::Adj;
+using ::lmerge::testing_util::Ins;
+using ::lmerge::testing_util::Stb;
+
+TEST(AlterLifetimeTest, ClipsLongLifetimes) {
+  AlterLifetime alter("alter", 100);
+  CollectingSink sink;
+  alter.AddSink(&sink);
+  alter.Consume(0, Ins("A", 10, 500));
+  alter.Consume(0, Ins("B", 10, 50));
+  ASSERT_EQ(sink.elements().size(), 2u);
+  EXPECT_EQ(sink.elements()[0].ve(), 110);  // clipped to Vs + 100
+  EXPECT_EQ(sink.elements()[1].ve(), 50);   // already short
+}
+
+TEST(AlterLifetimeTest, ClipsInfiniteLifetimes) {
+  AlterLifetime alter("alter", 100);
+  CollectingSink sink;
+  alter.AddSink(&sink);
+  alter.Consume(0, Ins("A", 10, kInfinity));
+  EXPECT_EQ(sink.elements()[0].ve(), 110);
+}
+
+TEST(AlterLifetimeTest, AbsorbsAdjustsThatClipAway) {
+  AlterLifetime alter("alter", 100);
+  CollectingSink sink;
+  alter.AddSink(&sink);
+  alter.Consume(0, Ins("A", 10, 500));
+  // 500 -> 600: both clip to 110; the adjust disappears.
+  alter.Consume(0, Adj("A", 10, 500, 600));
+  EXPECT_EQ(sink.elements().size(), 1u);
+  // 500 -> 60: clipped old 110, new 60; re-emitted.
+  alter.Consume(0, Adj("A", 10, 500, 60));
+  ASSERT_EQ(sink.elements().size(), 2u);
+  EXPECT_EQ(sink.elements()[1].v_old(), 110);
+  EXPECT_EQ(sink.elements()[1].ve(), 60);
+}
+
+TEST(AlterLifetimeTest, OutputIsValidStream) {
+  AlterLifetime alter("alter", 100);
+  CollectingSink collected;
+  ValidatingSink sink(StreamProperties::None(), &collected);
+  alter.AddSink(&sink);
+  alter.Consume(0, Ins("A", 10, kInfinity));
+  alter.Consume(0, Ins("B", 20, 30));
+  alter.Consume(0, Stb(25));
+  alter.Consume(0, Adj("A", 10, kInfinity, 400));  // clipped: no change
+  alter.Consume(0, Ins("C", 25, 1000));
+  alter.Consume(0, Stb(500));
+  EXPECT_GE(collected.elements().size(), 5u);
+}
+
+TEST(AlterLifetimeTest, PreservesOrderProperties) {
+  AlterLifetime alter("alter", 100);
+  const StreamProperties out =
+      alter.DeriveProperties({StreamProperties::Strongest()});
+  EXPECT_TRUE(out.ordered);
+  EXPECT_TRUE(out.strictly_increasing);
+  EXPECT_TRUE(out.vs_payload_key);
+}
+
+}  // namespace
+}  // namespace lmerge

@@ -1,0 +1,131 @@
+#include "operators/cleanse.h"
+
+#include <gtest/gtest.h>
+
+#include "temporal/tdb.h"
+#include "test_util.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::Adj;
+using ::lmerge::testing_util::CountKinds;
+using ::lmerge::testing_util::Ins;
+using ::lmerge::testing_util::Stb;
+
+TEST(CleanseTest, BuffersUntilStable) {
+  Cleanse cleanse("cleanse");
+  CollectingSink sink;
+  cleanse.AddSink(&sink);
+  cleanse.Consume(0, Ins("B", 20, 25));
+  cleanse.Consume(0, Ins("A", 10, 15));  // disordered
+  EXPECT_TRUE(sink.elements().empty());
+  cleanse.Consume(0, Stb(30));
+  const auto counts = CountKinds(sink.elements());
+  EXPECT_EQ(counts.inserts, 2);
+  // Released in timestamp order despite arrival order.
+  EXPECT_EQ(sink.elements()[0].vs(), 10);
+  EXPECT_EQ(sink.elements()[1].vs(), 20);
+}
+
+TEST(CleanseTest, OutputSatisfiesOrderedInsertOnly) {
+  Cleanse cleanse("cleanse");
+  StreamProperties props;
+  props.ordered = true;
+  props.insert_only = true;
+  CollectingSink collected;
+  ValidatingSink sink(props, &collected);
+  cleanse.AddSink(&sink);
+  // Heavily disordered input with revisions.
+  cleanse.Consume(0, Ins("C", 30, 35));
+  cleanse.Consume(0, Ins("A", 10, kInfinity));
+  cleanse.Consume(0, Adj("A", 10, kInfinity, 12));
+  cleanse.Consume(0, Ins("B", 20, 22));
+  cleanse.Consume(0, Stb(40));
+  cleanse.Consume(0, Ins("D", 40, 45));
+  cleanse.Consume(0, Stb(100));
+  EXPECT_EQ(CountKinds(collected.elements()).inserts, 4);
+  EXPECT_EQ(CountKinds(collected.elements()).adjusts, 0);
+}
+
+TEST(CleanseTest, HalfFrozenEventBlocksRelease) {
+  Cleanse cleanse("cleanse");
+  CollectingSink sink;
+  cleanse.AddSink(&sink);
+  cleanse.Consume(0, Ins("LONG", 10, 1000));  // not frozen at stable(50)
+  cleanse.Consume(0, Ins("SHORT", 20, 25));
+  cleanse.Consume(0, Stb(50));
+  // SHORT is fully frozen but LONG (earlier Vs) is not: releasing SHORT
+  // would break output order later, so nothing is released.
+  EXPECT_EQ(CountKinds(sink.elements()).inserts, 0);
+  // The output stable point is held at LONG's Vs.
+  ASSERT_EQ(CountKinds(sink.elements()).stables, 1);
+  EXPECT_EQ(sink.elements()[0].stable_time(), 10);
+  // Once LONG's end is revised below the stable point, both release.
+  cleanse.Consume(0, Adj("LONG", 10, 1000, 30));
+  cleanse.Consume(0, Stb(60));
+  EXPECT_EQ(CountKinds(sink.elements()).inserts, 2);
+}
+
+TEST(CleanseTest, AdjustsAppliedInsideBuffer) {
+  Cleanse cleanse("cleanse");
+  CollectingSink sink;
+  cleanse.AddSink(&sink);
+  cleanse.Consume(0, Ins("A", 10, kInfinity));
+  cleanse.Consume(0, Adj("A", 10, kInfinity, 15));
+  cleanse.Consume(0, Stb(20));
+  ASSERT_EQ(CountKinds(sink.elements()).inserts, 1);
+  EXPECT_EQ(sink.elements()[0].ve(), 15);  // final end, single insert
+}
+
+TEST(CleanseTest, RemovalAdjustDropsBufferedEvent) {
+  Cleanse cleanse("cleanse");
+  CollectingSink sink;
+  cleanse.AddSink(&sink);
+  cleanse.Consume(0, Ins("A", 10, 15));
+  cleanse.Consume(0, Adj("A", 10, 15, 10));  // retract
+  cleanse.Consume(0, Stb(20));
+  EXPECT_EQ(CountKinds(sink.elements()).inserts, 0);
+}
+
+TEST(CleanseTest, MemoryGrowsWithBufferedLifetimes) {
+  Cleanse cleanse("cleanse");
+  NullSink sink;
+  cleanse.AddSink(&sink);
+  for (int i = 0; i < 100; ++i) {
+    cleanse.Consume(
+        0, StreamElement::Insert(Row::OfInt(i), 10 + i, 100000 + i));
+  }
+  const int64_t loaded = cleanse.StateBytes();
+  EXPECT_GT(loaded, 0);
+  cleanse.Consume(0, Stb(5000));  // nothing fully frozen: all retained
+  EXPECT_EQ(cleanse.StateBytes(), loaded);
+  EXPECT_EQ(cleanse.buffered_count(), 100);
+  cleanse.Consume(0, Stb(200001));  // everything frozen: all released
+  EXPECT_EQ(cleanse.StateBytes(), 0);
+  EXPECT_EQ(cleanse.buffered_count(), 0);
+}
+
+TEST(CleanseTest, OutputEquivalentToInput) {
+  Cleanse cleanse("cleanse");
+  CollectingSink sink;
+  cleanse.AddSink(&sink);
+  const ElementSequence input = {
+      Ins("C", 30, 35), Ins("A", 10, 40), Ins("B", 20, 22),
+      Adj("A", 10, 40, 12), Stb(50)};
+  for (const auto& e : input) cleanse.Consume(0, e);
+  EXPECT_TRUE(Tdb::Reconstitute(sink.elements())
+                  .Equals(Tdb::Reconstitute(input)));
+}
+
+TEST(CleanseTest, FeedsR1PropertyShape) {
+  Cleanse cleanse("cleanse");
+  const StreamProperties out =
+      cleanse.DeriveProperties({StreamProperties::None()});
+  EXPECT_TRUE(out.insert_only);
+  EXPECT_TRUE(out.ordered);
+  EXPECT_TRUE(out.deterministic_ties);
+}
+
+}  // namespace
+}  // namespace lmerge

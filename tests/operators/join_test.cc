@@ -1,0 +1,138 @@
+#include "operators/join.h"
+
+#include <gtest/gtest.h>
+
+#include "temporal/tdb.h"
+#include "test_util.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::CountKinds;
+using ::lmerge::testing_util::Stb;
+
+StreamElement L(int64_t key, int64_t tag, Timestamp vs, Timestamp ve) {
+  return StreamElement::Insert(Row({Value(key), Value(tag)}), vs, ve);
+}
+
+TEST(JoinTest, OverlappingLifetimesJoin) {
+  TemporalJoin join("join", 0, 0);
+  CollectingSink sink;
+  join.AddSink(&sink);
+  join.Consume(0, L(1, 100, 10, 30));
+  join.Consume(1, L(1, 200, 20, 40));
+  ASSERT_EQ(CountKinds(sink.elements()).inserts, 1);
+  const StreamElement& out = sink.elements()[0];
+  EXPECT_EQ(out.vs(), 20);  // max(10, 20)
+  EXPECT_EQ(out.ve(), 30);  // min(30, 40)
+  ASSERT_EQ(out.payload().field_count(), 4);
+  EXPECT_EQ(out.payload().field(1).AsInt64(), 100);
+  EXPECT_EQ(out.payload().field(3).AsInt64(), 200);
+}
+
+TEST(JoinTest, DisjointLifetimesDoNot) {
+  TemporalJoin join("join", 0, 0);
+  CollectingSink sink;
+  join.AddSink(&sink);
+  join.Consume(0, L(1, 100, 10, 20));
+  join.Consume(1, L(1, 200, 20, 40));  // touches at 20: empty intersection
+  EXPECT_EQ(sink.elements().size(), 0u);
+}
+
+TEST(JoinTest, DifferentKeysDoNotJoin) {
+  TemporalJoin join("join", 0, 0);
+  CollectingSink sink;
+  join.AddSink(&sink);
+  join.Consume(0, L(1, 100, 10, 30));
+  join.Consume(1, L(2, 200, 10, 30));
+  EXPECT_EQ(sink.elements().size(), 0u);
+}
+
+TEST(JoinTest, ManyToManyMatches) {
+  TemporalJoin join("join", 0, 0);
+  CollectingSink sink;
+  join.AddSink(&sink);
+  join.Consume(0, L(1, 100, 10, 30));
+  join.Consume(0, L(1, 101, 10, 30));
+  join.Consume(1, L(1, 200, 10, 30));
+  join.Consume(1, L(1, 201, 10, 30));
+  EXPECT_EQ(CountKinds(sink.elements()).inserts, 4);
+}
+
+TEST(JoinTest, AdjustGrowsIntersection) {
+  TemporalJoin join("join", 0, 0);
+  CollectingSink sink;
+  join.AddSink(&sink);
+  join.Consume(0, L(1, 100, 10, 30));
+  join.Consume(1, L(1, 200, 20, 40));
+  // Left event extends: intersection end moves 30 -> 40.
+  join.Consume(0, StreamElement::Adjust(Row({Value(int64_t{1}),
+                                             Value(int64_t{100})}),
+                                        10, 30, 60));
+  const auto counts = CountKinds(sink.elements());
+  EXPECT_EQ(counts.inserts, 1);
+  EXPECT_EQ(counts.adjusts, 1);
+  const Tdb tdb = Tdb::Reconstitute(sink.elements());
+  EXPECT_EQ(tdb.EventCount(), 1);
+  EXPECT_EQ(tdb.ToVector()[0].ve, 40);
+}
+
+TEST(JoinTest, AdjustCreatesNewIntersection) {
+  TemporalJoin join("join", 0, 0);
+  CollectingSink sink;
+  join.AddSink(&sink);
+  join.Consume(0, L(1, 100, 10, 20));
+  join.Consume(1, L(1, 200, 20, 40));  // no overlap yet
+  EXPECT_EQ(sink.elements().size(), 0u);
+  join.Consume(0, StreamElement::Adjust(Row({Value(int64_t{1}),
+                                             Value(int64_t{100})}),
+                                        10, 20, 35));
+  EXPECT_EQ(CountKinds(sink.elements()).inserts, 1);
+}
+
+TEST(JoinTest, AdjustRetractsVanishedIntersection) {
+  TemporalJoin join("join", 0, 0);
+  CollectingSink sink;
+  join.AddSink(&sink);
+  join.Consume(0, L(1, 100, 10, 30));
+  join.Consume(1, L(1, 200, 20, 40));
+  join.Consume(0, StreamElement::Adjust(Row({Value(int64_t{1}),
+                                             Value(int64_t{100})}),
+                                        10, 30, 15));  // now ends before 20
+  const Tdb tdb = Tdb::Reconstitute(sink.elements());
+  EXPECT_EQ(tdb.EventCount(), 0);
+}
+
+TEST(JoinTest, StableIsMinOfSides) {
+  TemporalJoin join("join", 0, 0);
+  CollectingSink sink;
+  join.AddSink(&sink);
+  join.Consume(0, Stb(100));
+  EXPECT_EQ(CountKinds(sink.elements()).stables, 0);
+  join.Consume(1, Stb(60));
+  ASSERT_EQ(CountKinds(sink.elements()).stables, 1);
+  EXPECT_EQ(sink.elements().back().stable_time(), 60);
+}
+
+TEST(JoinTest, StatePurgedBelowStable) {
+  TemporalJoin join("join", 0, 0);
+  NullSink sink;
+  join.AddSink(&sink);
+  for (int i = 0; i < 50; ++i) join.Consume(0, L(i, i, 10, 20 + i));
+  const int64_t loaded = join.StateBytes();
+  join.Consume(0, Stb(1000));
+  join.Consume(1, Stb(1000));
+  EXPECT_LT(join.StateBytes(), loaded);
+  EXPECT_EQ(join.StateBytes(), 0);
+}
+
+TEST(JoinTest, InsertOnlyPropagates) {
+  TemporalJoin join("join", 0, 0);
+  StreamProperties strong = StreamProperties::Strongest();
+  const StreamProperties out = join.DeriveProperties({strong, strong});
+  EXPECT_TRUE(out.insert_only);
+  EXPECT_FALSE(out.ordered);
+}
+
+}  // namespace
+}  // namespace lmerge

@@ -1,0 +1,201 @@
+#include "operators/multiway_join.h"
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "operators/join.h"
+#include "stream/sink.h"
+#include "temporal/tdb.h"
+#include "test_util.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::CountKinds;
+using ::lmerge::testing_util::Stb;
+
+StreamElement Ev(int64_t key, int64_t tag, Timestamp vs, Timestamp ve) {
+  return StreamElement::Insert(Row({Value(key), Value(tag)}), vs, ve);
+}
+
+TEST(MultiwayJoinTest, ThreeWayMatch) {
+  MultiwayJoin join("j3", {0, 0, 0});
+  CollectingSink sink;
+  join.AddSink(&sink);
+  join.Consume(0, Ev(1, 100, 10, 40));
+  join.Consume(1, Ev(1, 200, 20, 50));
+  EXPECT_EQ(sink.elements().size(), 0u);  // needs all three sides
+  join.Consume(2, Ev(1, 300, 30, 60));
+  ASSERT_EQ(CountKinds(sink.elements()).inserts, 1);
+  const StreamElement& out = sink.elements()[0];
+  EXPECT_EQ(out.vs(), 30);  // max of starts
+  EXPECT_EQ(out.ve(), 40);  // min of ends
+  ASSERT_EQ(out.payload().field_count(), 6);
+  EXPECT_EQ(out.payload().field(1).AsInt64(), 100);
+  EXPECT_EQ(out.payload().field(3).AsInt64(), 200);
+  EXPECT_EQ(out.payload().field(5).AsInt64(), 300);
+}
+
+TEST(MultiwayJoinTest, EmptyIntersectionSuppressed) {
+  MultiwayJoin join("j3", {0, 0, 0});
+  CollectingSink sink;
+  join.AddSink(&sink);
+  join.Consume(0, Ev(1, 100, 10, 20));
+  join.Consume(1, Ev(1, 200, 20, 30));  // touches side 0 at a point
+  join.Consume(2, Ev(1, 300, 10, 30));
+  EXPECT_EQ(sink.elements().size(), 0u);
+}
+
+TEST(MultiwayJoinTest, CrossProductOfMatches) {
+  MultiwayJoin join("j3", {0, 0, 0});
+  CollectingSink sink;
+  join.AddSink(&sink);
+  join.Consume(0, Ev(1, 100, 10, 90));
+  join.Consume(0, Ev(1, 101, 10, 90));
+  join.Consume(1, Ev(1, 200, 10, 90));
+  join.Consume(2, Ev(1, 300, 10, 90));
+  join.Consume(2, Ev(1, 301, 10, 90));
+  // 2 (side 0) x 1 (side 1) x 2 (side 2) = 4 combinations; the last insert
+  // completes 2 of them, the first side-2 insert the other 2.
+  EXPECT_EQ(CountKinds(sink.elements()).inserts, 4);
+}
+
+TEST(MultiwayJoinTest, StableIsMinAndPurges) {
+  MultiwayJoin join("j3", {0, 0, 0});
+  CollectingSink sink;
+  join.AddSink(&sink);
+  join.Consume(0, Ev(1, 100, 10, 20));
+  join.Consume(0, Stb(100));
+  join.Consume(1, Stb(100));
+  EXPECT_EQ(CountKinds(sink.elements()).stables, 0);
+  join.Consume(2, Stb(50));
+  ASSERT_EQ(CountKinds(sink.elements()).stables, 1);
+  EXPECT_EQ(sink.elements().back().stable_time(), 50);
+  EXPECT_EQ(join.StateBytes(), 0);  // the [10,20) event purged
+}
+
+TEST(MultiwayJoinTest, EquivalentToBinaryJoinCascade) {
+  // A ⋈ B ⋈ C as one operator vs. A ⋈ (B ⋈ C): logically identical.
+  // Cascade: inner = B ⋈ C (keys col 0 of each); outer joins A (col 0)
+  // with inner output whose B-key sits at column 0 of the concat payload.
+  MultiwayJoin multi("j3", {0, 0, 0});
+  CollectingSink multi_sink;
+  multi.AddSink(&multi_sink);
+
+  TemporalJoin inner("bc", 0, 0);
+  TemporalJoin outer("a_bc", 0, 0);
+  inner.AddDownstream(&outer, 1);
+  CollectingSink cascade_sink;
+  outer.AddSink(&cascade_sink);
+
+  Rng rng(7);
+  std::vector<StreamElement> a_events;
+  std::vector<StreamElement> b_events;
+  std::vector<StreamElement> c_events;
+  for (int i = 0; i < 30; ++i) {
+    const int64_t key = rng.UniformInt(0, 3);
+    const Timestamp vs = rng.UniformInt(0, 80);
+    const Timestamp ve = vs + rng.UniformInt(5, 40);
+    const StreamElement e = Ev(key, 1000 + i, vs, ve);
+    switch (i % 3) {
+      case 0:
+        a_events.push_back(e);
+        break;
+      case 1:
+        b_events.push_back(e);
+        break;
+      default:
+        c_events.push_back(e);
+    }
+  }
+  for (const auto& e : a_events) {
+    multi.Consume(0, e);
+    outer.Consume(0, e);
+  }
+  for (const auto& e : b_events) {
+    multi.Consume(1, e);
+    inner.Consume(0, e);
+  }
+  for (const auto& e : c_events) {
+    multi.Consume(2, e);
+    inner.Consume(1, e);
+  }
+  // Payload column orders match: multi emits (A, B, C) and the cascade
+  // emits A ++ (B ++ C).
+  EXPECT_TRUE(Tdb::Reconstitute(multi_sink.elements())
+                  .Equals(Tdb::Reconstitute(cascade_sink.elements())));
+  EXPECT_GT(multi_sink.elements().size(), 0u);
+}
+
+TEST(MultiwayJoinTest, TwoPlansUnderLMerge) {
+  // The Sec. I scenario end-to-end: the one-operator plan and the cascade
+  // plan run side by side; LMerge (R4: no key guarantees on join output)
+  // produces a single clean stream.
+  MultiwayJoin multi("j3", {0, 0, 0});
+  TemporalJoin inner("bc", 0, 0);
+  TemporalJoin outer("a_bc", 0, 0);
+  inner.AddDownstream(&outer, 1);
+
+  auto lmerge_sink = CollectingSink();
+  auto lmerge = CreateMergeAlgorithm(MergeVariant::kLMR4, 2, &lmerge_sink);
+  struct Feed : ElementSink {
+    MergeAlgorithm* algo = nullptr;
+    int id = 0;
+    void OnElement(const StreamElement& e) override {
+      LM_CHECK(algo->OnElement(id, e).ok());
+    }
+  };
+  Feed feed_multi;
+  feed_multi.algo = lmerge.get();
+  feed_multi.id = 0;
+  Feed feed_cascade;
+  feed_cascade.algo = lmerge.get();
+  feed_cascade.id = 1;
+  multi.AddSink(&feed_multi);
+  outer.AddSink(&feed_cascade);
+
+  Rng rng(9);
+  CollectingSink reference;
+  MultiwayJoin ref_join("ref", {0, 0, 0});
+  ref_join.AddSink(&reference);
+  for (int i = 0; i < 45; ++i) {
+    const int64_t key = rng.UniformInt(0, 2);
+    const Timestamp vs = rng.UniformInt(0, 60);
+    const StreamElement e = Ev(key, 2000 + i, vs, vs + 25);
+    const int side = i % 3;
+    multi.Consume(side, e);
+    ref_join.Consume(side, e);
+    if (side == 0) {
+      outer.Consume(0, e);
+    } else {
+      inner.Consume(side - 1, e);
+    }
+  }
+  for (int side = 0; side < 3; ++side) {
+    multi.Consume(side, Stb(1000));
+    ref_join.Consume(side, Stb(1000));
+    if (side == 0) {
+      outer.Consume(0, Stb(1000));
+    } else {
+      inner.Consume(side - 1, Stb(1000));
+    }
+  }
+  EXPECT_TRUE(Tdb::Reconstitute(lmerge_sink.elements())
+                  .Equals(Tdb::Reconstitute(reference.elements())));
+}
+
+TEST(MultiwayJoinTest, RetractionRemovesStoredEvent) {
+  MultiwayJoin join("j3", {0, 0, 0});
+  CollectingSink sink;
+  join.AddSink(&sink);
+  join.Consume(0, Ev(1, 100, 10, 40));
+  join.Consume(0, StreamElement::Adjust(Row({Value(int64_t{1}),
+                                             Value(int64_t{100})}),
+                                        10, 40, 10));
+  join.Consume(1, Ev(1, 200, 10, 40));
+  join.Consume(2, Ev(1, 300, 10, 40));
+  EXPECT_EQ(CountKinds(sink.elements()).inserts, 0);  // retracted before
+}
+
+}  // namespace
+}  // namespace lmerge

@@ -1,0 +1,68 @@
+#include "operators/project.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::CountKinds;
+using ::lmerge::testing_util::Stb;
+
+TEST(ProjectTest, MapsPayloads) {
+  Project project("proj", [](const Row& row) {
+    return Row::OfInt(row.field(0).AsInt64() * 2);
+  });
+  CollectingSink sink;
+  project.AddSink(&sink);
+  project.Consume(0, StreamElement::Insert(Row::OfInt(21), 5, 10));
+  ASSERT_EQ(sink.elements().size(), 1u);
+  EXPECT_EQ(sink.elements()[0].payload().field(0).AsInt64(), 42);
+  EXPECT_EQ(sink.elements()[0].vs(), 5);
+  EXPECT_EQ(sink.elements()[0].ve(), 10);
+}
+
+TEST(ProjectTest, MapsAdjustPayloadsIdentically) {
+  Project project("proj", [](const Row& row) {
+    return Row::OfInt(row.field(0).AsInt64() + 1);
+  });
+  CollectingSink sink;
+  project.AddSink(&sink);
+  project.Consume(0, StreamElement::Insert(Row::OfInt(1), 5, 10));
+  project.Consume(0, StreamElement::Adjust(Row::OfInt(1), 5, 10, 20));
+  ASSERT_EQ(sink.elements().size(), 2u);
+  // Both map to payload 2, so the adjust still targets the emitted insert.
+  EXPECT_EQ(sink.elements()[1].payload().field(0).AsInt64(), 2);
+  EXPECT_EQ(sink.elements()[1].v_old(), 10);
+}
+
+TEST(ProjectTest, StablePassesThrough) {
+  Project project("proj", [](const Row& row) { return row; });
+  CollectingSink sink;
+  project.AddSink(&sink);
+  project.Consume(0, Stb(7));
+  ASSERT_EQ(sink.elements().size(), 1u);
+  EXPECT_EQ(sink.elements()[0].stable_time(), 7);
+}
+
+TEST(ProjectTest, NonInjectiveDropsKeyProperty) {
+  Project project("proj", [](const Row& row) { return row; });
+  const StreamProperties out =
+      project.DeriveProperties({StreamProperties::Strongest()});
+  EXPECT_FALSE(out.vs_payload_key);
+  EXPECT_TRUE(out.ordered);
+  EXPECT_TRUE(out.insert_only);
+}
+
+TEST(ProjectTest, InjectiveKeepsKeyProperty) {
+  Project project("proj", [](const Row& row) { return row; },
+                  /*injective=*/true);
+  const StreamProperties out =
+      project.DeriveProperties({StreamProperties::Strongest()});
+  EXPECT_TRUE(out.vs_payload_key);
+  EXPECT_TRUE(out.deterministic_ties);
+}
+
+}  // namespace
+}  // namespace lmerge

@@ -1,0 +1,84 @@
+#include "operators/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::CountKinds;
+using ::lmerge::testing_util::Stb;
+
+TEST(SamplerTest, KeepsDeterministicSubset) {
+  Sampler sampler("sample", 4);
+  CollectingSink sink;
+  sampler.AddSink(&sink);
+  int64_t kept = 0;
+  for (int64_t k = 0; k < 1000; ++k) {
+    sampler.Consume(0, StreamElement::Insert(Row::OfInt(k), k, k + 5));
+  }
+  kept = CountKinds(sink.elements()).inserts;
+  EXPECT_GT(kept, 150);
+  EXPECT_LT(kept, 350);  // ~ 1/4
+}
+
+TEST(SamplerTest, SameDecisionOnEveryCopy) {
+  // The property LMerge relies on: physically divergent replicas sample the
+  // same logical subset.
+  Sampler a("a", 3);
+  Sampler b("b", 3);
+  CollectingSink sink_a;
+  CollectingSink sink_b;
+  a.AddSink(&sink_a);
+  b.AddSink(&sink_b);
+  for (int64_t k = 0; k < 100; ++k) {
+    const StreamElement e = StreamElement::Insert(Row::OfInt(k), k, k + 5);
+    a.Consume(0, e);
+    b.Consume(0, e);
+  }
+  EXPECT_EQ(sink_a.elements(), sink_b.elements());
+}
+
+TEST(SamplerTest, AdjustsFollowTheirInserts) {
+  Sampler sampler("sample", 2);
+  CollectingSink sink;
+  sampler.AddSink(&sink);
+  const Row kept_row = Row::OfInt(0);
+  // Find a row the sampler keeps and one it drops.
+  Row dropped_row = Row::OfInt(1);
+  for (int64_t k = 1; k < 100; ++k) {
+    if (Row::OfInt(k).hash() % 2 != kept_row.hash() % 2) {
+      dropped_row = Row::OfInt(k);
+      break;
+    }
+  }
+  const uint64_t residue = kept_row.hash() % 2;
+  Sampler tuned("tuned", 2, residue);
+  CollectingSink tuned_sink;
+  tuned.AddSink(&tuned_sink);
+  tuned.Consume(0, StreamElement::Insert(kept_row, 1, 10));
+  tuned.Consume(0, StreamElement::Adjust(kept_row, 1, 10, 20));
+  tuned.Consume(0, StreamElement::Insert(dropped_row, 2, 10));
+  tuned.Consume(0, StreamElement::Adjust(dropped_row, 2, 10, 20));
+  const auto counts = CountKinds(tuned_sink.elements());
+  EXPECT_EQ(counts.inserts, 1);
+  EXPECT_EQ(counts.adjusts, 1);
+}
+
+TEST(SamplerTest, StablesPass) {
+  Sampler sampler("sample", 1000);
+  CollectingSink sink;
+  sampler.AddSink(&sink);
+  sampler.Consume(0, Stb(5));
+  EXPECT_EQ(CountKinds(sink.elements()).stables, 1);
+}
+
+TEST(SamplerTest, PreservesAllProperties) {
+  Sampler sampler("sample", 4);
+  EXPECT_TRUE(sampler.DeriveProperties({StreamProperties::Strongest()})
+                  .Equals(StreamProperties::Strongest()));
+}
+
+}  // namespace
+}  // namespace lmerge

@@ -1,0 +1,106 @@
+#include "operators/select.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::Adj;
+using ::lmerge::testing_util::CountKinds;
+using ::lmerge::testing_util::Stb;
+
+StreamElement IntIns(int64_t key, Timestamp vs, Timestamp ve) {
+  return StreamElement::Insert(Row::OfInt(key), vs, ve);
+}
+
+TEST(SelectTest, FiltersByPredicate) {
+  Select select("sel", [](const Row& row) {
+    return row.field(0).AsInt64() % 2 == 0;
+  });
+  CollectingSink sink;
+  select.AddSink(&sink);
+  for (int64_t k = 0; k < 10; ++k) select.Consume(0, IntIns(k, k, k + 10));
+  EXPECT_EQ(CountKinds(sink.elements()).inserts, 5);
+}
+
+TEST(SelectTest, StablesAlwaysPass) {
+  Select select("sel", [](const Row&) { return false; });
+  CollectingSink sink;
+  select.AddSink(&sink);
+  select.Consume(0, IntIns(1, 1, 5));
+  select.Consume(0, Stb(3));
+  EXPECT_EQ(sink.elements().size(), 1u);
+  EXPECT_TRUE(sink.elements()[0].is_stable());
+}
+
+TEST(SelectTest, AdjustsFilteredConsistentlyWithInserts) {
+  Select select("sel", [](const Row& row) {
+    return row.field(0).AsInt64() > 5;
+  });
+  CollectingSink sink;
+  select.AddSink(&sink);
+  select.Consume(0, IntIns(9, 1, 10));
+  select.Consume(0, StreamElement::Adjust(Row::OfInt(9), 1, 10, 20));
+  select.Consume(0, StreamElement::Adjust(Row::OfInt(2), 1, 10, 20));
+  const auto counts = CountKinds(sink.elements());
+  EXPECT_EQ(counts.inserts, 1);
+  EXPECT_EQ(counts.adjusts, 1);
+}
+
+TEST(SelectTest, PreservesProperties) {
+  Select select("sel", [](const Row&) { return true; });
+  const StreamProperties out =
+      select.DeriveProperties({StreamProperties::Strongest()});
+  EXPECT_TRUE(out.Equals(StreamProperties::Strongest()));
+}
+
+TEST(UdfSelectTest, BurnsWorkPerElement) {
+  UdfSelect udf(
+      "udf", [](const Row&) { return true; },
+      [](const Row&) { return 100; });
+  CollectingSink sink;
+  udf.AddSink(&sink);
+  for (int64_t k = 0; k < 10; ++k) udf.Consume(0, IntIns(k, k, k + 5));
+  EXPECT_EQ(udf.work_done(), 1000);
+  EXPECT_EQ(CountKinds(sink.elements()).inserts, 10);
+}
+
+TEST(UdfSelectTest, FeedbackSkipsDoomedElements) {
+  UdfSelect udf(
+      "udf", [](const Row&) { return true; },
+      [](const Row&) { return 100; });
+  CollectingSink sink;
+  udf.AddSink(&sink);
+  udf.OnFeedback(50);
+  udf.Consume(0, IntIns(1, 10, 40));   // ends before horizon: skipped
+  udf.Consume(0, IntIns(2, 10, 60));   // still relevant: processed
+  EXPECT_EQ(udf.elements_skipped(), 1);
+  EXPECT_EQ(udf.work_done(), 100);
+  EXPECT_EQ(CountKinds(sink.elements()).inserts, 1);
+}
+
+TEST(UdfSelectTest, FeedbackPropagatesUpstream) {
+  UdfSelect upstream(
+      "up", [](const Row&) { return true; }, [](const Row&) { return 1; });
+  UdfSelect downstream(
+      "down", [](const Row&) { return true; }, [](const Row&) { return 1; });
+  upstream.AddDownstream(&downstream, 0);
+  downstream.OnFeedback(42);
+  EXPECT_EQ(downstream.feedback_horizon(), 42);
+  EXPECT_EQ(upstream.feedback_horizon(), 42);
+}
+
+TEST(UdfSelectTest, StableElementsNeverSkipped) {
+  UdfSelect udf(
+      "udf", [](const Row&) { return true; }, [](const Row&) { return 1; });
+  CollectingSink sink;
+  udf.AddSink(&sink);
+  udf.OnFeedback(100);
+  udf.Consume(0, Stb(30));
+  EXPECT_EQ(sink.elements().size(), 1u);
+}
+
+}  // namespace
+}  // namespace lmerge

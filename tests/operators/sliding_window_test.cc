@@ -1,0 +1,131 @@
+// Sliding (hopping) window aggregation: each event contributes to every
+// window covering its start time.
+
+#include <gtest/gtest.h>
+
+#include "operators/aggregate.h"
+#include "stream/sink.h"
+#include "temporal/tdb.h"
+#include "test_util.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::CountKinds;
+using ::lmerge::testing_util::Stb;
+
+StreamElement Ev(int64_t key, Timestamp vs) {
+  return StreamElement::Insert(Row::OfInt(key), vs, vs + 10);
+}
+
+AggregateConfig Sliding(Timestamp window, Timestamp hop, AggregateMode mode) {
+  AggregateConfig config;
+  config.window_size = window;
+  config.hop = hop;
+  config.group_column = -1;
+  config.mode = mode;
+  return config;
+}
+
+TEST(SlidingWindowTest, EventContributesToAllCoveringWindows) {
+  // Window 100, hop 25: an event at t=60 is covered by windows starting at
+  // -25, 0, 25, 50 — the four windows with start in (60-100, 60].
+  GroupedAggregate agg("agg",
+                       Sliding(100, 25, AggregateMode::kConservative));
+  CollectingSink sink;
+  agg.AddSink(&sink);
+  agg.Consume(0, Ev(1, 60));
+  agg.Consume(0, Stb(1000));
+  const auto counts = CountKinds(sink.elements());
+  EXPECT_EQ(counts.inserts, 4);
+  std::vector<Timestamp> starts;
+  for (const StreamElement& e : sink.elements()) {
+    if (e.is_insert()) starts.push_back(e.vs());
+  }
+  EXPECT_EQ(starts, (std::vector<Timestamp>{-25, 0, 25, 50}));
+  for (const StreamElement& e : sink.elements()) {
+    if (e.is_insert()) {
+      EXPECT_EQ(e.ve() - e.vs(), 100);  // full window lifetime
+      EXPECT_EQ(e.payload().field(0).AsInt64(), 1);  // count 1 everywhere
+    }
+  }
+}
+
+TEST(SlidingWindowTest, OverlapCountsAccumulate) {
+  GroupedAggregate agg("agg",
+                       Sliding(100, 50, AggregateMode::kConservative));
+  CollectingSink sink;
+  agg.AddSink(&sink);
+  agg.Consume(0, Ev(1, 10));   // windows -50? no: (10-100,10] -> -50,0...
+  agg.Consume(0, Ev(2, 60));   // windows 0 and 50
+  agg.Consume(0, Stb(1000));
+  // Window 0 covers both events: count 2.  Window -50 covers only t=10,
+  // window 50 covers only t=60.
+  const Tdb out = Tdb::Reconstitute(sink.elements());
+  EXPECT_EQ(out.CountOf(Event(Row({Value(int64_t{2})}), 0, 100)), 1);
+  EXPECT_EQ(out.CountOf(Event(Row({Value(int64_t{1})}), -50, 50)), 1);
+  EXPECT_EQ(out.CountOf(Event(Row({Value(int64_t{1})}), 50, 150)), 1);
+}
+
+TEST(SlidingWindowTest, TumblingIsDefaultHop) {
+  GroupedAggregate agg("agg", Sliding(100, 0, AggregateMode::kConservative));
+  CollectingSink sink;
+  agg.AddSink(&sink);
+  agg.Consume(0, Ev(1, 60));
+  agg.Consume(0, Stb(1000));
+  EXPECT_EQ(CountKinds(sink.elements()).inserts, 1);
+  EXPECT_EQ(sink.elements()[0].vs(), 0);
+}
+
+TEST(SlidingWindowTest, StablePointRespectsOpenWindows) {
+  GroupedAggregate agg("agg",
+                       Sliding(100, 25, AggregateMode::kConservative));
+  CollectingSink sink;
+  agg.AddSink(&sink);
+  agg.Consume(0, Ev(1, 60));
+  agg.Consume(0, Stb(130));
+  // Windows ending at or before 130 are final: starts -25, 0, 25.
+  // Start 50 (ends 150) is still open, so the output stable point must not
+  // pass 50.
+  ASSERT_EQ(CountKinds(sink.elements()).stables, 1);
+  EXPECT_EQ(sink.elements().back().stable_time(), 50);
+  EXPECT_EQ(CountKinds(sink.elements()).inserts, 3);
+}
+
+TEST(SlidingWindowTest, SpeculativeSlidingRevisesStragglers) {
+  GroupedAggregate agg("agg",
+                       Sliding(100, 50, AggregateMode::kSpeculative));
+  CollectingSink collected;
+  ValidatingSink sink(StreamProperties::None(), &collected);
+  agg.AddSink(&sink);
+  agg.Consume(0, Ev(1, 60));
+  agg.Consume(0, Ev(2, 260));  // windows below 150 speculated
+  agg.Consume(0, Ev(3, 70));   // straggler: revises windows 0 and 50
+  agg.Consume(0, Stb(1000));
+  const Tdb out = Tdb::Reconstitute(collected.elements());
+  // Window 0 and 50 both saw two events in the end.
+  EXPECT_EQ(out.CountOf(Event(Row({Value(int64_t{2})}), 0, 100)), 1);
+  EXPECT_EQ(out.CountOf(Event(Row({Value(int64_t{2})}), 50, 150)), 1);
+  EXPECT_GT(CountKinds(collected.elements()).adjusts, 0);
+}
+
+TEST(SlidingWindowTest, OutputIsValidStreamUnderDisorder) {
+  GroupedAggregate agg("agg",
+                       Sliding(200, 50, AggregateMode::kSpeculative));
+  CollectingSink collected;
+  ValidatingSink sink(StreamProperties::None(), &collected);
+  agg.AddSink(&sink);
+  Rng rng(3);
+  Timestamp clock = 0;
+  std::vector<StreamElement> pending;
+  for (int i = 0; i < 300; ++i) {
+    clock += rng.UniformInt(1, 20);
+    agg.Consume(0, Ev(rng.UniformInt(0, 3), clock));
+    if (i % 40 == 39) agg.Consume(0, Stb(clock - 100));
+  }
+  agg.Consume(0, Stb(clock + 1000));
+  EXPECT_GT(collected.elements().size(), 0u);
+}
+
+}  // namespace
+}  // namespace lmerge

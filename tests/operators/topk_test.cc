@@ -1,0 +1,102 @@
+#include "operators/topk.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::CountKinds;
+using ::lmerge::testing_util::Stb;
+
+StreamElement Reading(int64_t sensor, int64_t value, Timestamp vs) {
+  return StreamElement::Insert(Row({Value(sensor), Value(value)}), vs,
+                               vs + 10);
+}
+
+TEST(TopKTest, EmitsTopKInRankOrder) {
+  TopK topk("topk", /*window_size=*/100, /*k=*/2, /*value_column=*/1);
+  CollectingSink sink;
+  topk.AddSink(&sink);
+  topk.Consume(0, Reading(1, 30, 10));
+  topk.Consume(0, Reading(2, 90, 20));
+  topk.Consume(0, Reading(3, 60, 30));
+  topk.Consume(0, Stb(150));
+  const auto counts = CountKinds(sink.elements());
+  ASSERT_EQ(counts.inserts, 2);
+  EXPECT_EQ(sink.elements()[0].payload().field(1).AsInt64(), 90);  // rank 1
+  EXPECT_EQ(sink.elements()[1].payload().field(1).AsInt64(), 60);  // rank 2
+  // Both share the window-start timestamp: the R1 situation.
+  EXPECT_EQ(sink.elements()[0].vs(), sink.elements()[1].vs());
+}
+
+TEST(TopKTest, DeterministicTieBreakByPayload) {
+  TopK topk("topk", 100, 2, 1);
+  CollectingSink sink;
+  topk.AddSink(&sink);
+  topk.Consume(0, Reading(5, 50, 10));
+  topk.Consume(0, Reading(3, 50, 20));  // same value, smaller sensor id
+  topk.Consume(0, Stb(150));
+  ASSERT_EQ(CountKinds(sink.elements()).inserts, 2);
+  EXPECT_EQ(sink.elements()[0].payload().field(0).AsInt64(), 3);
+  EXPECT_EQ(sink.elements()[1].payload().field(0).AsInt64(), 5);
+}
+
+TEST(TopKTest, FewerThanKRowsAllEmitted) {
+  TopK topk("topk", 100, 5, 1);
+  CollectingSink sink;
+  topk.AddSink(&sink);
+  topk.Consume(0, Reading(1, 10, 10));
+  topk.Consume(0, Stb(200));
+  EXPECT_EQ(CountKinds(sink.elements()).inserts, 1);
+}
+
+TEST(TopKTest, RemovalAdjustDropsRow) {
+  TopK topk("topk", 100, 1, 1);
+  CollectingSink sink;
+  topk.AddSink(&sink);
+  topk.Consume(0, Reading(1, 90, 10));
+  topk.Consume(0, Reading(2, 50, 20));
+  // Retract the would-be winner before the window finalizes.
+  topk.Consume(0, StreamElement::Adjust(Row({Value(int64_t{1}),
+                                             Value(int64_t{90})}),
+                                        10, 20, 10));
+  topk.Consume(0, Stb(150));
+  ASSERT_EQ(CountKinds(sink.elements()).inserts, 1);
+  EXPECT_EQ(sink.elements()[0].payload().field(0).AsInt64(), 2);
+}
+
+TEST(TopKTest, WindowsFinalizeInOrder) {
+  TopK topk("topk", 100, 1, 1);
+  CollectingSink sink;
+  topk.AddSink(&sink);
+  topk.Consume(0, Reading(1, 10, 250));  // window [200,300)
+  topk.Consume(0, Reading(2, 20, 50));   // window [0,100)
+  topk.Consume(0, Stb(400));
+  ASSERT_EQ(CountKinds(sink.elements()).inserts, 2);
+  EXPECT_LT(sink.elements()[0].vs(), sink.elements()[1].vs());
+}
+
+TEST(TopKTest, DerivePropertiesIsR1Shape) {
+  TopK topk("topk", 100, 3, 1);
+  const StreamProperties out =
+      topk.DeriveProperties({StreamProperties::Strongest()});
+  EXPECT_TRUE(out.insert_only);
+  EXPECT_TRUE(out.ordered);
+  EXPECT_TRUE(out.deterministic_ties);
+  EXPECT_FALSE(out.strictly_increasing);  // k events share each window start
+}
+
+TEST(TopKTest, StateReclaimedOnFinalize) {
+  TopK topk("topk", 100, 2, 1);
+  NullSink sink;
+  topk.AddSink(&sink);
+  for (int i = 0; i < 50; ++i) topk.Consume(0, Reading(i, i, 10 + i));
+  EXPECT_GT(topk.StateBytes(), 0);
+  topk.Consume(0, Stb(1000));
+  EXPECT_EQ(topk.StateBytes(), 0);
+}
+
+}  // namespace
+}  // namespace lmerge

@@ -1,0 +1,80 @@
+#include "operators/union_op.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::CountKinds;
+using ::lmerge::testing_util::Ins;
+using ::lmerge::testing_util::Stb;
+
+TEST(UnionTest, PassesInsertsFromAllInputs) {
+  UnionOp u("union", 3);
+  CollectingSink sink;
+  u.AddSink(&sink);
+  u.Consume(0, Ins("a", 1, 5));
+  u.Consume(1, Ins("b", 2, 5));
+  u.Consume(2, Ins("c", 3, 5));
+  EXPECT_EQ(CountKinds(sink.elements()).inserts, 3);
+}
+
+TEST(UnionTest, StableIsMinAcrossInputs) {
+  UnionOp u("union", 2);
+  CollectingSink sink;
+  u.AddSink(&sink);
+  u.Consume(0, Stb(10));
+  EXPECT_EQ(CountKinds(sink.elements()).stables, 0);  // input 1 still at -inf
+  u.Consume(1, Stb(7));
+  ASSERT_EQ(CountKinds(sink.elements()).stables, 1);
+  EXPECT_EQ(sink.elements().back().stable_time(), 7);
+  u.Consume(1, Stb(20));
+  EXPECT_EQ(sink.elements().back().stable_time(), 10);  // min(10, 20)
+}
+
+TEST(UnionTest, StableNeverRegresses) {
+  UnionOp u("union", 2);
+  CollectingSink sink;
+  u.AddSink(&sink);
+  u.Consume(0, Stb(10));
+  u.Consume(1, Stb(10));
+  const int64_t emitted = CountKinds(sink.elements()).stables;
+  u.Consume(0, Stb(10));  // no progress
+  EXPECT_EQ(CountKinds(sink.elements()).stables, emitted);
+}
+
+TEST(UnionTest, DuplicatesPreserved) {
+  // Union is multiset union: identical events from different inputs are both
+  // part of the output (deduplication is LMerge's job, not Union's).
+  UnionOp u("union", 2);
+  CollectingSink sink;
+  u.AddSink(&sink);
+  u.Consume(0, Ins("x", 1, 5));
+  u.Consume(1, Ins("x", 1, 5));
+  EXPECT_EQ(CountKinds(sink.elements()).inserts, 2);
+}
+
+TEST(UnionTest, BreaksOrderButKeepsInsertOnly) {
+  UnionOp u("union", 2);
+  const StreamProperties out = u.DeriveProperties(
+      {StreamProperties::Strongest(), StreamProperties::Strongest()});
+  EXPECT_TRUE(out.insert_only);
+  EXPECT_FALSE(out.ordered);
+  EXPECT_FALSE(out.vs_payload_key);
+}
+
+TEST(UnionTest, UnionOutputIsDisorderedEvenFromOrderedInputs) {
+  // The Sec. I observation: interleaving in-order sources yields disorder.
+  UnionOp u("union", 2);
+  CollectingSink sink;
+  u.AddSink(&sink);
+  u.Consume(0, Ins("a", 100, 200));
+  u.Consume(1, Ins("b", 50, 200));  // arrives later, earlier timestamp
+  ASSERT_EQ(sink.elements().size(), 2u);
+  EXPECT_GT(sink.elements()[0].vs(), sink.elements()[1].vs());
+}
+
+}  // namespace
+}  // namespace lmerge

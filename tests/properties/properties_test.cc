@@ -1,0 +1,103 @@
+// Stream properties, their meet, and algorithm selection (Sec. III-C/IV-G).
+
+#include "properties/properties.h"
+
+#include <gtest/gtest.h>
+
+namespace lmerge {
+namespace {
+
+StreamProperties Make(bool insert_only, bool ordered, bool strict,
+                      bool det_ties, bool key) {
+  StreamProperties p;
+  p.insert_only = insert_only;
+  p.ordered = ordered;
+  p.strictly_increasing = strict;
+  p.deterministic_ties = det_ties;
+  p.vs_payload_key = key;
+  return p;
+}
+
+TEST(PropertiesTest, NormalizeImplications) {
+  StreamProperties p;
+  p.strictly_increasing = true;
+  const StreamProperties n = p.Normalized();
+  EXPECT_TRUE(n.ordered);
+  EXPECT_TRUE(n.deterministic_ties);
+}
+
+TEST(PropertiesTest, MeetIsConjunction) {
+  const StreamProperties a = Make(true, true, true, true, true);
+  const StreamProperties b = Make(true, true, false, false, true);
+  const StreamProperties m = a.Meet(b);
+  EXPECT_TRUE(m.insert_only);
+  EXPECT_TRUE(m.ordered);
+  EXPECT_FALSE(m.strictly_increasing);
+  EXPECT_FALSE(m.deterministic_ties);
+  EXPECT_TRUE(m.vs_payload_key);
+}
+
+TEST(PropertiesTest, MeetWithNoneIsNone) {
+  const StreamProperties m =
+      StreamProperties::Strongest().Meet(StreamProperties::None());
+  EXPECT_TRUE(m.Equals(StreamProperties::None()));
+}
+
+TEST(PropertiesTest, ChooseR0ForStrictlyIncreasingInsertOnly) {
+  EXPECT_EQ(ChooseAlgorithm(Make(true, true, true, true, false)),
+            AlgorithmCase::kR0);
+}
+
+TEST(PropertiesTest, ChooseR1ForDeterministicTies) {
+  // Top-k over an ordered stream: duplicate timestamps in rank order.
+  EXPECT_EQ(ChooseAlgorithm(Make(true, true, false, true, false)),
+            AlgorithmCase::kR1);
+}
+
+TEST(PropertiesTest, ChooseR2ForOrderedKeyedNondeterministicTies) {
+  // Grouped aggregation over an ordered stream (Sec. IV-G example 5).
+  EXPECT_EQ(ChooseAlgorithm(Make(true, true, false, false, true)),
+            AlgorithmCase::kR2);
+}
+
+TEST(PropertiesTest, ChooseR3ForDisorderedKeyed) {
+  // Grouped aggregation over a disordered stream (example 6).
+  EXPECT_EQ(ChooseAlgorithm(Make(false, false, false, false, true)),
+            AlgorithmCase::kR3);
+}
+
+TEST(PropertiesTest, ChooseR4WhenNothingHolds) {
+  EXPECT_EQ(ChooseAlgorithm(StreamProperties::None()), AlgorithmCase::kR4);
+  // Ordered but without the key property and with duplicates possible:
+  // R2 requires the key, so this degrades to R4.
+  EXPECT_EQ(ChooseAlgorithm(Make(true, true, false, false, false)),
+            AlgorithmCase::kR4);
+}
+
+TEST(PropertiesTest, ChooseOverInputsUsesMeet) {
+  const std::vector<StreamProperties> inputs = {
+      Make(true, true, true, true, true),   // R0-grade input
+      Make(false, false, false, false, true),  // R3-grade input
+  };
+  EXPECT_EQ(ChooseAlgorithm(inputs), AlgorithmCase::kR3);
+}
+
+TEST(PropertiesTest, EmptyInputsChooseR4) {
+  EXPECT_EQ(ChooseAlgorithm(std::vector<StreamProperties>{}),
+            AlgorithmCase::kR4);
+}
+
+TEST(PropertiesTest, ToStringListsFlags) {
+  const std::string s = StreamProperties::Strongest().ToString();
+  EXPECT_NE(s.find("insert_only"), std::string::npos);
+  EXPECT_NE(s.find("strictly_increasing"), std::string::npos);
+  EXPECT_EQ(StreamProperties::None().ToString(), "{}");
+}
+
+TEST(PropertiesTest, CaseNames) {
+  EXPECT_STREQ(AlgorithmCaseName(AlgorithmCase::kR0), "R0");
+  EXPECT_STREQ(AlgorithmCaseName(AlgorithmCase::kR4), "R4");
+}
+
+}  // namespace
+}  // namespace lmerge

@@ -1,0 +1,123 @@
+// Runtime statistics and adaptive algorithm recommendation (Sec. IV-F).
+
+#include "properties/runtime_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::Adj;
+using ::lmerge::testing_util::Ins;
+using ::lmerge::testing_util::Stb;
+
+TEST(RuntimeStatsTest, OrderedUniqueStreamRecommendsR0) {
+  StreamStatsCollector stats;
+  for (int i = 1; i <= 50; ++i) {
+    stats.Observe(StreamElement::Insert(Row::OfInt(i), i * 10, i * 10 + 5));
+  }
+  stats.Observe(Stb(100));
+  EXPECT_EQ(stats.RecommendAlgorithm(), AlgorithmCase::kR0);
+  const StreamProperties p = stats.ObservedProperties();
+  EXPECT_TRUE(p.insert_only);
+  EXPECT_TRUE(p.strictly_increasing);
+}
+
+TEST(RuntimeStatsTest, TiesDemoteToR2) {
+  StreamStatsCollector stats;
+  stats.Observe(StreamElement::Insert(Row::OfInt(1), 10, 20));
+  stats.Observe(StreamElement::Insert(Row::OfInt(2), 10, 20));  // tie
+  stats.Observe(StreamElement::Insert(Row::OfInt(3), 20, 30));
+  // Ties observed, order preserved, key holds, insert-only: R2 (the
+  // collector cannot certify deterministic tie order).
+  EXPECT_EQ(stats.RecommendAlgorithm(), AlgorithmCase::kR2);
+}
+
+TEST(RuntimeStatsTest, DisorderDemotesToR3) {
+  StreamStatsCollector stats;
+  stats.Observe(Ins("a", 100, 200));
+  stats.Observe(Ins("b", 50, 200));  // regression
+  EXPECT_TRUE(stats.saw_vs_regression());
+  EXPECT_EQ(stats.RecommendAlgorithm(), AlgorithmCase::kR3);
+}
+
+TEST(RuntimeStatsTest, AdjustsDemoteToR3) {
+  StreamStatsCollector stats;
+  stats.Observe(Ins("a", 10, 200));
+  stats.Observe(Adj("a", 10, 200, 150));
+  EXPECT_TRUE(stats.saw_adjust());
+  EXPECT_EQ(stats.RecommendAlgorithm(), AlgorithmCase::kR3);
+}
+
+TEST(RuntimeStatsTest, DuplicateKeysDemoteToR4) {
+  StreamStatsCollector stats;
+  stats.Observe(Ins("a", 10, 200));
+  stats.Observe(Ins("a", 10, 300));  // same (Vs, payload)
+  EXPECT_TRUE(stats.saw_key_violation());
+  EXPECT_EQ(stats.max_duplicates_d(), 2);
+  EXPECT_EQ(stats.RecommendAlgorithm(), AlgorithmCase::kR4);
+}
+
+TEST(RuntimeStatsTest, TableFourQuantities) {
+  StreamStatsCollector stats;
+  stats.Observe(Ins("a", 10, 99));
+  stats.Observe(Ins("b", 10, 99));
+  stats.Observe(Ins("c", 20, 99));
+  EXPECT_EQ(stats.live_keys_w(), 3);
+  EXPECT_EQ(stats.max_same_vs_g(), 2);
+  // A stable past some keys prunes the live set.
+  stats.Observe(Stb(15));
+  EXPECT_EQ(stats.live_keys_w(), 1);
+}
+
+TEST(RuntimeStatsTest, RemovalAdjustShrinksLiveSet) {
+  StreamStatsCollector stats;
+  stats.Observe(Ins("a", 10, 99));
+  stats.Observe(Adj("a", 10, 99, 10));  // retract
+  EXPECT_EQ(stats.live_keys_w(), 0);
+}
+
+TEST(RuntimeStatsTest, MatchesCompileTimeDerivationOnGeneratedStreams) {
+  // The observed recommendation for a generated stream agrees with the
+  // static knowledge of how it was generated.
+  workload::GeneratorConfig config;
+  config.num_inserts = 300;
+  config.stable_freq = 0.05;
+  config.event_duration = 400;
+  config.max_gap = 15;
+  config.payload_string_bytes = 4;
+  config.seed = 5;
+  const workload::LogicalHistory history =
+      workload::GenerateHistory(config);
+
+  StreamStatsCollector ordered;
+  for (const StreamElement& e : workload::RenderInOrder(history)) {
+    ordered.Observe(e);
+  }
+  EXPECT_EQ(ordered.RecommendAlgorithm(), AlgorithmCase::kR0);
+
+  workload::VariantOptions messy;
+  messy.disorder_fraction = 0.4;
+  messy.split_probability = 0.4;
+  messy.seed = 9;
+  StreamStatsCollector disordered;
+  for (const StreamElement& e :
+       GeneratePhysicalVariant(history, messy)) {
+    disordered.Observe(e);
+  }
+  EXPECT_EQ(disordered.RecommendAlgorithm(), AlgorithmCase::kR3);
+}
+
+TEST(RuntimeStatsTest, ToStringMentionsRecommendation) {
+  StreamStatsCollector stats;
+  stats.Observe(Ins("a", 10, 99));
+  const std::string s = stats.ToString();
+  EXPECT_NE(s.find("recommend="), std::string::npos);
+  EXPECT_NE(s.find("w=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lmerge

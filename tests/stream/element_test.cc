@@ -1,0 +1,73 @@
+#include "stream/element.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::Adj;
+using ::lmerge::testing_util::Ins;
+using ::lmerge::testing_util::P;
+using ::lmerge::testing_util::Stb;
+
+TEST(ElementTest, InsertAccessors) {
+  const StreamElement e = Ins("A", 5, 10);
+  EXPECT_TRUE(e.is_insert());
+  EXPECT_EQ(e.vs(), 5);
+  EXPECT_EQ(e.ve(), 10);
+  EXPECT_EQ(e.payload(), P("A"));
+  EXPECT_EQ(e.ToEvent(), Event(P("A"), 5, 10));
+}
+
+TEST(ElementTest, AdjustAccessors) {
+  const StreamElement e = Adj("A", 5, 10, 12);
+  EXPECT_TRUE(e.is_adjust());
+  EXPECT_EQ(e.v_old(), 10);
+  EXPECT_EQ(e.ve(), 12);
+}
+
+TEST(ElementTest, StableAccessors) {
+  const StreamElement e = Stb(42);
+  EXPECT_TRUE(e.is_stable());
+  EXPECT_EQ(e.stable_time(), 42);
+}
+
+TEST(ElementTest, Equality) {
+  EXPECT_EQ(Ins("A", 1, 2), Ins("A", 1, 2));
+  EXPECT_NE(Ins("A", 1, 2), Ins("A", 1, 3));
+  EXPECT_NE(Ins("A", 1, 2), Adj("A", 1, 2, 2));
+  EXPECT_EQ(Stb(5), Stb(5));
+  EXPECT_NE(Stb(5), Stb(6));
+}
+
+TEST(ElementTest, ToStringFormats) {
+  EXPECT_EQ(Ins("A", 6, kInfinity).ToString(), "insert((\"A\"), 6, inf)");
+  EXPECT_EQ(Adj("A", 6, 20, 25).ToString(),
+            "adjust((\"A\"), 6, 20 -> 25)");
+  EXPECT_EQ(Stb(11).ToString(), "stable(11)");
+}
+
+TEST(ElementTest, SequenceToString) {
+  const std::string text = ElementSequenceToString({Ins("A", 1, 2), Stb(3)});
+  EXPECT_NE(text.find("insert"), std::string::npos);
+  EXPECT_NE(text.find("stable(3)"), std::string::npos);
+}
+
+TEST(ElementTest, DeepSizeIncludesPayload) {
+  const StreamElement small = Ins("A", 1, 2);
+  const StreamElement big =
+      StreamElement::Insert(Row::OfIntAndString(1, std::string(1000, 'x')),
+                            1, 2);
+  EXPECT_GE(big.DeepSizeBytes(), small.DeepSizeBytes() + 900);
+}
+
+TEST(ElementTest, KindNames) {
+  EXPECT_STREQ(ElementKindName(ElementKind::kInsert), "insert");
+  EXPECT_STREQ(ElementKindName(ElementKind::kAdjust), "adjust");
+  EXPECT_STREQ(ElementKindName(ElementKind::kStable), "stable");
+}
+
+}  // namespace
+}  // namespace lmerge

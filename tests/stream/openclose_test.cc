@@ -1,0 +1,192 @@
+// The open/close element model of Example 3, its equivalence relation, the
+// Example 4 compatibility criterion, and lossless conversion to the interval
+// model.
+
+#include "stream/openclose.h"
+
+#include <gtest/gtest.h>
+
+#include "temporal/tdb.h"
+
+namespace lmerge {
+namespace {
+
+OpenCloseElement Open(const std::string& p, Timestamp t) {
+  return OpenCloseElement::Open(Row::OfString(p), t);
+}
+OpenCloseElement Close(const std::string& p, Timestamp t) {
+  return OpenCloseElement::Close(Row::OfString(p), t);
+}
+
+// Example 3's three prefixes, all denoting {A[1,4), B[2,5), C[3,inf)}.
+OpenCloseSequence S5() {
+  return {Open("A", 1), Open("B", 2), Open("C", 3), Close("A", 4),
+          Close("B", 5)};
+}
+OpenCloseSequence U5() {
+  return {Open("A", 1), Close("A", 4), Open("B", 2), Close("B", 5),
+          Open("C", 3)};
+}
+OpenCloseSequence W6() {
+  // close(B,6) later revised by close(B,5).
+  return {Open("B", 2), Close("B", 6), Open("A", 1),
+          Open("C", 3), Close("A", 4), Close("B", 5)};
+}
+
+TEST(OpenCloseTest, ExampleThreeEquivalence) {
+  const OpenCloseTdb s = OpenCloseTdb::Reconstitute(S5());
+  const OpenCloseTdb u = OpenCloseTdb::Reconstitute(U5());
+  const OpenCloseTdb w = OpenCloseTdb::Reconstitute(W6());
+  EXPECT_TRUE(s.Equals(u));
+  EXPECT_TRUE(s.Equals(w));
+  Timestamp vs = 0;
+  Timestamp ve = 0;
+  ASSERT_TRUE(s.Lookup(Row::OfString("B"), &vs, &ve));
+  EXPECT_EQ(vs, 2);
+  EXPECT_EQ(ve, 5);
+  ASSERT_TRUE(s.Lookup(Row::OfString("C"), &vs, &ve));
+  EXPECT_EQ(ve, kInfinity);
+}
+
+TEST(OpenCloseTest, CloseWithoutOpenFails) {
+  OpenCloseTdb tdb;
+  EXPECT_FALSE(tdb.Apply(Close("A", 5)).ok());
+}
+
+TEST(OpenCloseTest, DoubleOpenFails) {
+  OpenCloseTdb tdb;
+  ASSERT_TRUE(tdb.Apply(Open("A", 1)).ok());
+  EXPECT_FALSE(tdb.Apply(Open("A", 2)).ok());
+}
+
+TEST(OpenCloseTest, CompatibilitySubsetCriterion) {
+  const OpenCloseSequence in1 = S5();
+  const OpenCloseSequence in2 = U5();
+  // Output drawn entirely from the inputs: compatible.
+  const OpenCloseSequence good = {Open("A", 1), Open("B", 2), Close("A", 4)};
+  EXPECT_TRUE(CheckOpenCloseCompatibility({&in1, &in2}, good).ok());
+  // close(B,9) appears in no input: incompatible (cannot be revised away
+  // under at-most-one-close).
+  const OpenCloseSequence bad = {Open("B", 2), Close("B", 9)};
+  EXPECT_FALSE(CheckOpenCloseCompatibility({&in1, &in2}, bad).ok());
+}
+
+TEST(OpenCloseTest, MergeEmitsEachElementOnce) {
+  OpenCloseMerge merge;
+  OpenCloseSequence out;
+  const OpenCloseSequence in1 = S5();
+  const OpenCloseSequence in2 = U5();
+  // Interleave: in2 first half, then all of in1, then rest of in2.
+  for (size_t i = 0; i < 3; ++i) merge.OnElement(1, in2[i], &out);
+  for (const auto& e : in1) merge.OnElement(0, e, &out);
+  for (size_t i = 3; i < in2.size(); ++i) merge.OnElement(1, in2[i], &out);
+  // The merged stream must reconstitute to the same TDB as the inputs and
+  // be a subset of their union.
+  EXPECT_TRUE(OpenCloseTdb::Reconstitute(out).Equals(
+      OpenCloseTdb::Reconstitute(in1)));
+  EXPECT_TRUE(CheckOpenCloseCompatibility({&in1, &in2}, out).ok());
+  // Exactly 3 opens and 2 closes (no duplicates).
+  int opens = 0;
+  int closes = 0;
+  for (const auto& e : out) {
+    (e.kind == OpenCloseElement::Kind::kOpen ? opens : closes) += 1;
+  }
+  EXPECT_EQ(opens, 3);
+  EXPECT_EQ(closes, 2);
+}
+
+TEST(OpenCloseTest, MergeHoldsCloseUntilOpenEmitted) {
+  OpenCloseMerge merge;
+  OpenCloseSequence out;
+  // Stream 1 delivers the close before stream 0 delivered the open.
+  merge.OnElement(1, Close("A", 4), &out);
+  EXPECT_TRUE(out.empty());
+  merge.OnElement(0, Open("A", 1), &out);
+  merge.OnElement(0, Close("A", 4), &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].kind, OpenCloseElement::Kind::kOpen);
+  EXPECT_EQ(out[1].kind, OpenCloseElement::Kind::kClose);
+}
+
+TEST(OpenCloseRevisableTest, RevisedClosesPropagate) {
+  // Stream W[6]'s situation: close(B,6) later revised to close(B,5).
+  OpenCloseMergeRevisable merge;
+  OpenCloseSequence out;
+  merge.OnElement(0, Open("B", 2), &out);
+  merge.OnElement(0, Close("B", 6), &out);
+  merge.OnElement(0, Close("B", 5), &out);  // revision
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(OpenCloseTdb::Reconstitute(out).Equals(
+      OpenCloseTdb::Reconstitute({Open("B", 2), Close("B", 5)})));
+}
+
+TEST(OpenCloseRevisableTest, DuplicateClosesAbsorbed) {
+  OpenCloseMergeRevisable merge;
+  OpenCloseSequence out;
+  merge.OnElement(0, Open("A", 1), &out);
+  merge.OnElement(0, Close("A", 4), &out);
+  merge.OnElement(1, Close("A", 4), &out);  // replica copy: same value
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(OpenCloseRevisableTest, MergesSAndWStyleStreams) {
+  // S presents final closes directly; W presents a provisional close that
+  // it later revises.  Any interleaving converges to the same TDB.
+  const OpenCloseSequence s = S5();
+  const OpenCloseSequence w = W6();
+  for (int phase = 0; phase < 3; ++phase) {
+    OpenCloseMergeRevisable merge;
+    OpenCloseSequence out;
+    size_t si = 0;
+    size_t wi = 0;
+    // Interleave with different phase offsets.
+    while (si < s.size() || wi < w.size()) {
+      if (si < s.size() && (phase + static_cast<int>(si + wi)) % 2 == 0) {
+        merge.OnElement(0, s[si++], &out);
+      } else if (wi < w.size()) {
+        merge.OnElement(1, w[wi++], &out);
+      } else {
+        merge.OnElement(0, s[si++], &out);
+      }
+    }
+    EXPECT_TRUE(OpenCloseTdb::Reconstitute(out).Equals(
+        OpenCloseTdb::Reconstitute(s)))
+        << "phase " << phase;
+  }
+}
+
+TEST(OpenCloseRevisableTest, CloseBeforeOpenHeldAndFlushed) {
+  OpenCloseMergeRevisable merge;
+  OpenCloseSequence out;
+  merge.OnElement(1, Close("A", 4), &out);  // racing close
+  EXPECT_TRUE(out.empty());
+  merge.OnElement(1, Close("A", 3), &out);  // revised while held
+  EXPECT_TRUE(out.empty());
+  merge.OnElement(0, Open("A", 1), &out);   // open arrives: flush
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].kind, OpenCloseElement::Kind::kOpen);
+  EXPECT_EQ(out[1].time, 3);
+}
+
+TEST(OpenCloseTest, ConvertToIntervalElements) {
+  ElementSequence intervals;
+  ASSERT_TRUE(ConvertToIntervalElements(W6(), &intervals).ok());
+  const Tdb tdb = Tdb::Reconstitute(intervals);
+  EXPECT_EQ(tdb.EventCount(), 3);
+  EXPECT_EQ(tdb.CountOf(Event(Row::OfString("B"), 2, 5)), 1);
+  EXPECT_EQ(tdb.CountOf(Event(Row::OfString("C"), 3, kInfinity)), 1);
+}
+
+TEST(OpenCloseTest, ConvertRejectsCloseWithoutOpen) {
+  ElementSequence intervals;
+  EXPECT_FALSE(
+      ConvertToIntervalElements({Close("A", 4)}, &intervals).ok());
+}
+
+TEST(OpenCloseTest, ElementToString) {
+  EXPECT_EQ(Open("A", 1).ToString(), "open((\"A\"), 1)");
+  EXPECT_EQ(Close("A", 4).ToString(), "close((\"A\"), 4)");
+}
+
+}  // namespace
+}  // namespace lmerge

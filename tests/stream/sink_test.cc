@@ -1,0 +1,67 @@
+#include "stream/sink.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::Adj;
+using ::lmerge::testing_util::Ins;
+using ::lmerge::testing_util::Stb;
+
+TEST(SinkTest, CollectingSinkGathersAndReleases) {
+  CollectingSink sink;
+  sink.OnElement(Ins("A", 1, 5));
+  sink.OnElement(Stb(2));
+  EXPECT_EQ(sink.elements().size(), 2u);
+  const ElementSequence taken = sink.TakeElements();
+  EXPECT_EQ(taken.size(), 2u);
+  sink.Clear();
+  EXPECT_TRUE(sink.elements().empty());
+}
+
+TEST(SinkTest, CountingSinkByKindAndForwarding) {
+  CollectingSink downstream;
+  CountingSink counter(&downstream);
+  counter.OnElement(Ins("A", 1, 5));
+  counter.OnElement(Adj("A", 1, 5, 7));
+  counter.OnElement(Adj("A", 1, 7, 9));
+  counter.OnElement(Stb(2));
+  EXPECT_EQ(counter.inserts(), 1);
+  EXPECT_EQ(counter.adjusts(), 2);
+  EXPECT_EQ(counter.stables(), 1);
+  EXPECT_EQ(counter.total(), 4);
+  EXPECT_EQ(downstream.elements().size(), 4u);
+}
+
+TEST(SinkTest, CountingSinkWithoutDownstream) {
+  CountingSink counter;
+  counter.OnElement(Ins("A", 1, 5));
+  EXPECT_EQ(counter.inserts(), 1);
+}
+
+TEST(SinkTest, ValidatingSinkForwardsGoodElements) {
+  CollectingSink downstream;
+  ValidatingSink sink(StreamProperties::None(), &downstream);
+  sink.OnElement(Ins("A", 1, 5));
+  sink.OnElement(Adj("A", 1, 5, 9));
+  EXPECT_EQ(downstream.elements().size(), 2u);
+  EXPECT_EQ(sink.validator().tdb().EventCount(), 1);
+}
+
+TEST(SinkDeathTest, ValidatingSinkAbortsOnBadStream) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ValidatingSink sink(StreamProperties::None());
+  EXPECT_DEATH(sink.OnElement(Adj("ghost", 1, 5, 9)),
+               "invalid output element");
+}
+
+TEST(SinkTest, NullSinkSwallows) {
+  NullSink sink;
+  sink.OnElement(Ins("A", 1, 5));  // no observable effect, no crash
+}
+
+}  // namespace
+}  // namespace lmerge

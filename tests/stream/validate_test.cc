@@ -1,0 +1,87 @@
+#include "stream/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::Adj;
+using ::lmerge::testing_util::Ins;
+using ::lmerge::testing_util::Stb;
+
+TEST(ValidateTest, AcceptsWellFormedStream) {
+  StreamValidator v;
+  EXPECT_TRUE(v.ConsumeAll({Ins("A", 1, 10), Ins("B", 2, kInfinity),
+                            Adj("B", 2, kInfinity, 8), Stb(5), Ins("C", 5, 9)})
+                  .ok());
+  EXPECT_EQ(v.element_count(), 5);
+  EXPECT_EQ(v.tdb().EventCount(), 3);
+}
+
+TEST(ValidateTest, RejectsInsertBehindStable) {
+  StreamValidator v;
+  ASSERT_TRUE(v.Consume(Stb(100)).ok());
+  EXPECT_FALSE(v.Consume(Ins("A", 99, 200)).ok());
+  // State unchanged: the good insert still works.
+  EXPECT_TRUE(v.Consume(Ins("A", 100, 200)).ok());
+}
+
+TEST(ValidateTest, RejectsAdjustOfMissingEvent) {
+  StreamValidator v;
+  EXPECT_FALSE(v.Consume(Adj("A", 1, 5, 7)).ok());
+}
+
+TEST(ValidateTest, OrderedPropertyEnforced) {
+  StreamProperties props;
+  props.ordered = true;
+  StreamValidator v(props);
+  ASSERT_TRUE(v.Consume(Ins("A", 10, 20)).ok());
+  ASSERT_TRUE(v.Consume(Ins("B", 10, 20)).ok());  // equal Vs fine
+  EXPECT_FALSE(v.Consume(Ins("C", 9, 20)).ok());
+}
+
+TEST(ValidateTest, StrictlyIncreasingRejectsTies) {
+  StreamProperties props;
+  props.strictly_increasing = true;
+  StreamValidator v(props);
+  ASSERT_TRUE(v.Consume(Ins("A", 10, 20)).ok());
+  EXPECT_FALSE(v.Consume(Ins("B", 10, 20)).ok());
+  EXPECT_TRUE(v.Consume(Ins("B", 11, 20)).ok());
+}
+
+TEST(ValidateTest, InsertOnlyRejectsAdjust) {
+  StreamProperties props;
+  props.insert_only = true;
+  StreamValidator v(props);
+  ASSERT_TRUE(v.Consume(Ins("A", 1, 10)).ok());
+  EXPECT_FALSE(v.Consume(Adj("A", 1, 10, 12)).ok());
+}
+
+TEST(ValidateTest, KeyPropertyRejectsDuplicateVsPayload) {
+  StreamProperties props;
+  props.vs_payload_key = true;
+  StreamValidator v(props);
+  ASSERT_TRUE(v.Consume(Ins("A", 1, 10)).ok());
+  ASSERT_TRUE(v.Consume(Ins("A", 2, 10)).ok());  // different Vs, fine
+  EXPECT_FALSE(v.Consume(Ins("A", 1, 12)).ok());
+  EXPECT_EQ(v.tdb().EventCount(), 2);  // rejected insert rolled back
+}
+
+TEST(ValidateTest, TracksMaxVs) {
+  StreamValidator v;
+  ASSERT_TRUE(v.ConsumeAll({Ins("A", 5, 10), Ins("B", 3, 10)}).ok());
+  EXPECT_EQ(v.max_vs(), 5);
+}
+
+TEST(ValidateTest, ConsumeAllStopsAtFirstError) {
+  StreamValidator v;
+  const Status status = v.ConsumeAll(
+      {Ins("A", 1, 10), Adj("B", 1, 5, 7), Ins("C", 2, 10)});
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(v.element_count(), 1);  // C never consumed
+}
+
+}  // namespace
+}  // namespace lmerge

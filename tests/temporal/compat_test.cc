@@ -1,0 +1,129 @@
+// Compatibility checkers, exercised on the worked example of Sec. III-D:
+// inputs I1 (last:14) and I2 (last:11); O1 and O2 are compatible outputs,
+// O3 is not (for two independent reasons).
+
+#include "temporal/compat.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::Ins;
+using ::lmerge::testing_util::P;
+using ::lmerge::testing_util::Stb;
+
+Tdb MakeTdb(const ElementSequence& events_then_stable) {
+  return Tdb::Reconstitute(events_then_stable);
+}
+
+class SectionThreeDExample : public ::testing::Test {
+ protected:
+  // I1 (last:14): A[2,16) HF, B[3,10) FF, C[4,18) HF, D[15,20) UF.
+  Tdb i1_ = MakeTdb({Ins("A", 2, 16), Ins("B", 3, 10), Ins("C", 4, 18),
+                     Ins("D", 15, 20), Stb(14)});
+  // I2 (last:11): A[2,12) HF, B[3,10) FF, C[4,18) HF, E[17,21) UF.
+  Tdb i2_ = MakeTdb({Ins("A", 2, 12), Ins("B", 3, 10), Ins("C", 4, 18),
+                     Ins("E", 17, 21), Stb(11)});
+
+  std::vector<const Tdb*> Inputs() { return {&i1_, &i2_}; }
+};
+
+TEST_F(SectionThreeDExample, ConservativeOutputO1IsCompatible) {
+  // O1 (last:11): A[2,inf) HF, B[3,10) FF, C[4,inf) HF.
+  const Tdb o1 = MakeTdb({Ins("A", 2, kInfinity), Ins("B", 3, 10),
+                          Ins("C", 4, kInfinity), Stb(11)});
+  const Status status = CheckR3Compatibility(Inputs(), o1);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST_F(SectionThreeDExample, AggressiveOutputO2IsCompatible) {
+  // O2 (last:14): everything seen, including unfrozen D and E.
+  const Tdb o2 = MakeTdb({Ins("A", 2, 16), Ins("B", 3, 10), Ins("C", 4, 18),
+                          Ins("D", 15, 20), Ins("E", 17, 21), Stb(14)});
+  const Status status = CheckR3Compatibility(Inputs(), o2);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST_F(SectionThreeDExample, OutputO3IsIncompatible) {
+  // O3 (last:13): A[2,12) fully frozen — contradicts I1 (end will be >= 14);
+  // and B[3,10) is missing even though it is fully frozen in the inputs.
+  const Tdb o3 =
+      MakeTdb({Ins("A", 2, 12), Ins("C", 4, 18), Ins("D", 15, 20), Stb(13)});
+  EXPECT_FALSE(CheckR3Compatibility(Inputs(), o3).ok());
+}
+
+TEST_F(SectionThreeDExample, MissingFrozenBViolatesC3Alone) {
+  // Even with A corrected, omitting B keeps the output incompatible.
+  const Tdb bad = MakeTdb({Ins("A", 2, kInfinity), Ins("C", 4, 18), Stb(13)});
+  const Status status = CheckR3Compatibility(Inputs(), bad);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("C3"), std::string::npos);
+}
+
+TEST(CompatTest, C1OutputStableMayNotExceedInputs) {
+  const Tdb input = Tdb::Reconstitute({Ins("A", 2, 5), Stb(10)});
+  const Tdb output = Tdb::Reconstitute({Ins("A", 2, 5), Stb(20)});
+  const Status status = CheckR3Compatibility({&input}, output);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("C1"), std::string::npos);
+}
+
+TEST(CompatTest, UnfrozenOutputEventIsUnconstrained) {
+  const Tdb input = Tdb::Reconstitute({Stb(5)});
+  // An unfrozen speculative event (Vs >= L) violates nothing.
+  const Tdb output = Tdb::Reconstitute({Ins("X", 7, 9), Stb(5)});
+  EXPECT_TRUE(CheckR3Compatibility({&input}, output).ok());
+}
+
+TEST(CompatTest, FullyFrozenOutputNeedsExactInputSupport) {
+  const Tdb input = Tdb::Reconstitute({Ins("A", 1, 3), Stb(10)});
+  const Tdb bad = Tdb::Reconstitute({Ins("A", 1, 4), Stb(10)});
+  EXPECT_FALSE(CheckR3Compatibility({&input}, bad).ok());
+  const Tdb good = Tdb::Reconstitute({Ins("A", 1, 3), Stb(10)});
+  EXPECT_TRUE(CheckR3Compatibility({&input}, good).ok());
+}
+
+TEST(CompatTest, TrackedR3LeaderMatch) {
+  const Tdb leader =
+      Tdb::Reconstitute({Ins("A", 1, 3), Ins("B", 2, 50), Stb(10)});
+  const Tdb good =
+      Tdb::Reconstitute({Ins("A", 1, 3), Ins("B", 2, 60), Stb(10)});
+  EXPECT_TRUE(CheckR3TrackedCompatibility(leader, good).ok());
+  // Missing the half-frozen B while claiming stable(10) is a violation.
+  const Tdb missing_hf = Tdb::Reconstitute({Ins("A", 1, 3), Stb(10)});
+  EXPECT_FALSE(CheckR3TrackedCompatibility(leader, missing_hf).ok());
+  // FF event with the wrong end is a violation.
+  const Tdb wrong_ff =
+      Tdb::Reconstitute({Ins("A", 1, 4), Ins("B", 2, 50), Stb(10)});
+  EXPECT_FALSE(CheckR3TrackedCompatibility(leader, wrong_ff).ok());
+}
+
+TEST(CompatTest, TrackedR4CountsPerKey) {
+  // Leader: two events for (A,1) — one FF end 3, one HF end 50.
+  const Tdb leader = Tdb::Reconstitute(
+      {Ins("A", 1, 3), Ins("A", 1, 50), Stb(10)});
+  const Tdb good = Tdb::Reconstitute(
+      {Ins("A", 1, 3), Ins("A", 1, 70), Stb(10)});
+  EXPECT_TRUE(CheckR4TrackedCompatibility(leader, good).ok())
+      << CheckR4TrackedCompatibility(leader, good).ToString();
+  // Wrong FF multiplicity.
+  const Tdb missing_ff =
+      Tdb::Reconstitute({Ins("A", 1, 70), Stb(10)});
+  EXPECT_FALSE(CheckR4TrackedCompatibility(leader, missing_ff).ok());
+  // Wrong total population for the half-frozen key.
+  const Tdb extra = Tdb::Reconstitute(
+      {Ins("A", 1, 3), Ins("A", 1, 70), Ins("A", 1, 80), Stb(10)});
+  EXPECT_FALSE(CheckR4TrackedCompatibility(leader, extra).ok());
+}
+
+TEST(CompatTest, TrackedR4UnfrozenKeysUnconstrained) {
+  const Tdb leader = Tdb::Reconstitute({Ins("A", 20, 30), Stb(10)});
+  const Tdb output = Tdb::Reconstitute({Stb(10)});
+  EXPECT_TRUE(CheckR4TrackedCompatibility(leader, output).ok());
+}
+
+}  // namespace
+}  // namespace lmerge

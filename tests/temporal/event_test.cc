@@ -1,0 +1,52 @@
+#include "temporal/event.h"
+
+#include <gtest/gtest.h>
+
+namespace lmerge {
+namespace {
+
+TEST(EventTest, Equality) {
+  EXPECT_EQ(Event(Row::OfString("A"), 1, 5), Event(Row::OfString("A"), 1, 5));
+  EXPECT_FALSE(Event(Row::OfString("A"), 1, 5) ==
+               Event(Row::OfString("A"), 1, 6));
+  EXPECT_FALSE(Event(Row::OfString("A"), 1, 5) ==
+               Event(Row::OfString("B"), 1, 5));
+}
+
+TEST(EventTest, EventLessOrdersByVsPayloadVe) {
+  const Event a(Row::OfString("A"), 1, 5);
+  const Event b(Row::OfString("B"), 1, 5);
+  const Event a2(Row::OfString("A"), 2, 3);
+  const Event a_long(Row::OfString("A"), 1, 9);
+  EventLess less;
+  EXPECT_TRUE(less(a, b));        // payload tie-break
+  EXPECT_TRUE(less(a, a2));       // Vs dominates
+  EXPECT_TRUE(less(b, a2));
+  EXPECT_TRUE(less(a, a_long));   // Ve last
+  EXPECT_FALSE(less(a, a));
+}
+
+TEST(EventTest, VsPayloadLessConsistentWithRefProbe) {
+  const VsPayload key(5, Row::OfString("M"));
+  const Row probe_row = Row::OfString("M");
+  VsPayloadLess less;
+  EXPECT_FALSE(less(key, VsPayloadRef(5, probe_row)));
+  EXPECT_FALSE(less(VsPayloadRef(5, probe_row), key));
+  const Row smaller = Row::OfString("A");
+  EXPECT_TRUE(less(VsPayloadRef(5, smaller), key));
+  EXPECT_TRUE(less(VsPayloadRef(4, probe_row), key));
+  EXPECT_FALSE(less(VsPayloadRef(6, probe_row), key));
+}
+
+TEST(EventTest, ToStringShowsIntervalNotation) {
+  const Event e(Row::OfString("A"), 6, kInfinity);
+  EXPECT_EQ(e.ToString(), "<(\"A\"), [6, inf)>");
+}
+
+TEST(EventTest, VsPayloadEquality) {
+  EXPECT_EQ(VsPayload(1, Row::OfInt(2)), VsPayload(1, Row::OfInt(2)));
+  EXPECT_FALSE(VsPayload(1, Row::OfInt(2)) == VsPayload(2, Row::OfInt(2)));
+}
+
+}  // namespace
+}  // namespace lmerge

@@ -1,0 +1,34 @@
+#include "temporal/freeze.h"
+
+#include <gtest/gtest.h>
+
+namespace lmerge {
+namespace {
+
+TEST(FreezeTest, Boundaries) {
+  // Event [5, 10) against various stable points.
+  EXPECT_EQ(ClassifyFreeze(5, 10, 4), FreezeStatus::kUnfrozen);
+  EXPECT_EQ(ClassifyFreeze(5, 10, 5), FreezeStatus::kUnfrozen);   // L <= Vs
+  EXPECT_EQ(ClassifyFreeze(5, 10, 6), FreezeStatus::kHalfFrozen);  // Vs < L
+  EXPECT_EQ(ClassifyFreeze(5, 10, 10), FreezeStatus::kHalfFrozen);  // L <= Ve
+  EXPECT_EQ(ClassifyFreeze(5, 10, 11), FreezeStatus::kFullyFrozen);  // Ve < L
+}
+
+TEST(FreezeTest, InfiniteEndNeverFullyFreezes) {
+  EXPECT_EQ(ClassifyFreeze(5, kInfinity, kInfinity),
+            FreezeStatus::kHalfFrozen);
+  EXPECT_EQ(ClassifyFreeze(5, kInfinity, 1000), FreezeStatus::kHalfFrozen);
+}
+
+TEST(FreezeTest, MinWatermarkFreezesNothing) {
+  EXPECT_EQ(ClassifyFreeze(0, 10, kMinTimestamp), FreezeStatus::kUnfrozen);
+}
+
+TEST(FreezeTest, Names) {
+  EXPECT_STREQ(FreezeStatusName(FreezeStatus::kUnfrozen), "UF");
+  EXPECT_STREQ(FreezeStatusName(FreezeStatus::kHalfFrozen), "HF");
+  EXPECT_STREQ(FreezeStatusName(FreezeStatus::kFullyFrozen), "FF");
+}
+
+}  // namespace
+}  // namespace lmerge

@@ -1,0 +1,158 @@
+// TDB reconstitution and equivalence, including the paper's Table I example:
+// two physically different streams (Phy1 and Phy2) whose prefixes
+// reconstitute to the same logical TDB {A [6,12), B [8,10)}.
+
+#include "temporal/tdb.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::Adj;
+using ::lmerge::testing_util::Ins;
+using ::lmerge::testing_util::P;
+using ::lmerge::testing_util::Stb;
+
+TEST(TdbTest, TableOneExampleEquivalence) {
+  // Phy1 (Table I left column), translated into the interval element model:
+  //   a(B, 8, inf); m(A, 6, 12) arrives before A exists in Phy1?  Table I's
+  //   Phy1 column is: a(B,8,inf), m(A,6,12)... — in the a/m/f model of
+  //   Example 1, m can only modify an existing event, so Phy1's m(A,6,12)
+  //   presumes a(A,...) arrived on Phy1 earlier than shown... Table I shows
+  //   rows as instants of *system* time shared by both streams; Phy1's own
+  //   elements are: a(B,8,inf), a(A,6,12), m(B,8,10), f(11), f(inf) —
+  //   we reproduce the logical content with a valid element ordering.
+  const ElementSequence phy1 = {
+      Ins("B", 8, kInfinity), Ins("A", 6, 12),  Adj("B", 8, kInfinity, 10),
+      Stb(11),                Stb(kInfinity),
+  };
+  // Phy2: a(A,6,7), a(B,8,15), m(A,6,7->12), m(B,8,15->10), f(inf).
+  const ElementSequence phy2 = {
+      Ins("A", 6, 7),   Ins("B", 8, 15),      Adj("A", 6, 7, 12),
+      Adj("B", 8, 15, 10), Stb(kInfinity),
+  };
+  const Tdb tdb1 = Tdb::Reconstitute(phy1);
+  const Tdb tdb2 = Tdb::Reconstitute(phy2);
+  EXPECT_TRUE(tdb1.Equals(tdb2));
+  EXPECT_EQ(tdb1.EventCount(), 2);
+  EXPECT_EQ(tdb1.CountOf(Event(P("A"), 6, 12)), 1);
+  EXPECT_EQ(tdb1.CountOf(Event(P("B"), 8, 10)), 1);
+}
+
+TEST(TdbTest, PrefixesDivergeThenConverge) {
+  // Prefixes of equivalent streams need not be equivalent (Sec. I) — but
+  // the full streams are.
+  const ElementSequence phy1 = {Ins("A", 6, 12)};
+  const ElementSequence phy2 = {Ins("A", 6, 7)};
+  EXPECT_FALSE(
+      Tdb::Reconstitute(phy1).Equals(Tdb::Reconstitute(phy2)));
+  ElementSequence phy2_full = phy2;
+  phy2_full.push_back(Adj("A", 6, 7, 12));
+  EXPECT_TRUE(
+      Tdb::Reconstitute(phy1).Equals(Tdb::Reconstitute(phy2_full)));
+}
+
+TEST(TdbTest, AdjustSequenceCollapses) {
+  // Sec. III-E: insert(A,6,20), adjust(A,6,20,30), adjust(A,6,30,25)
+  // is equivalent to insert(A,6,25).
+  const ElementSequence long_form = {Ins("A", 6, 20), Adj("A", 6, 20, 30),
+                                     Adj("A", 6, 30, 25)};
+  const ElementSequence short_form = {Ins("A", 6, 25)};
+  EXPECT_TRUE(Tdb::Reconstitute(long_form)
+                  .Equals(Tdb::Reconstitute(short_form)));
+}
+
+TEST(TdbTest, AdjustToVsRemovesEvent) {
+  Tdb tdb;
+  ASSERT_TRUE(tdb.Apply(Ins("A", 5, 10)).ok());
+  ASSERT_TRUE(tdb.Apply(Adj("A", 5, 10, 5)).ok());
+  EXPECT_EQ(tdb.EventCount(), 0);
+}
+
+TEST(TdbTest, AdjustMissingTargetFails) {
+  Tdb tdb;
+  const Status status = tdb.Apply(Adj("A", 5, 10, 12));
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST(TdbTest, InsertBehindStableFails) {
+  Tdb tdb;
+  ASSERT_TRUE(tdb.Apply(Stb(100)).ok());
+  EXPECT_FALSE(tdb.Apply(Ins("A", 50, 200)).ok());
+  EXPECT_TRUE(tdb.Apply(Ins("A", 100, 200)).ok());
+}
+
+TEST(TdbTest, AdjustBehindStableFails) {
+  Tdb tdb;
+  ASSERT_TRUE(tdb.Apply(Ins("A", 5, 300)).ok());
+  ASSERT_TRUE(tdb.Apply(Stb(100)).ok());
+  // Vold >= stable, Ve >= stable: fine.
+  EXPECT_TRUE(tdb.Apply(Adj("A", 5, 300, 250)).ok());
+  // New end below the stable point: illegal.
+  EXPECT_FALSE(tdb.Apply(Adj("A", 5, 250, 80)).ok());
+  // Removing a half-frozen event: illegal.
+  EXPECT_FALSE(tdb.Apply(Adj("A", 5, 250, 5)).ok());
+}
+
+TEST(TdbTest, StableNeverRegresses) {
+  Tdb tdb;
+  ASSERT_TRUE(tdb.Apply(Stb(100)).ok());
+  ASSERT_TRUE(tdb.Apply(Stb(50)).ok());  // ignored, not an error
+  EXPECT_EQ(tdb.stable_point(), 100);
+}
+
+TEST(TdbTest, MultisetSemantics) {
+  Tdb tdb;
+  ASSERT_TRUE(tdb.Apply(Ins("A", 5, 10)).ok());
+  ASSERT_TRUE(tdb.Apply(Ins("A", 5, 10)).ok());
+  EXPECT_EQ(tdb.EventCount(), 2);
+  EXPECT_EQ(tdb.DistinctEventCount(), 1);
+  EXPECT_EQ(tdb.CountOf(Event(P("A"), 5, 10)), 2);
+  EXPECT_FALSE(tdb.VsPayloadIsKey());
+  ASSERT_TRUE(tdb.Apply(Adj("A", 5, 10, 12)).ok());
+  EXPECT_EQ(tdb.CountOf(Event(P("A"), 5, 10)), 1);
+  EXPECT_EQ(tdb.CountOf(Event(P("A"), 5, 12)), 1);
+}
+
+TEST(TdbTest, EndTimesForKey) {
+  Tdb tdb;
+  ASSERT_TRUE(tdb.Apply(Ins("A", 5, 10)).ok());
+  ASSERT_TRUE(tdb.Apply(Ins("A", 5, 20)).ok());
+  ASSERT_TRUE(tdb.Apply(Ins("A", 6, 30)).ok());
+  const auto ends = tdb.EndTimesFor(VsPayload(5, P("A")));
+  ASSERT_EQ(ends.size(), 2u);
+  EXPECT_EQ(ends[0].first, 10);
+  EXPECT_EQ(ends[1].first, 20);
+}
+
+TEST(TdbTest, FreezeClassification) {
+  Tdb tdb;
+  ASSERT_TRUE(tdb.Apply(Ins("FF", 1, 5)).ok());
+  ASSERT_TRUE(tdb.Apply(Ins("HF", 2, 50)).ok());
+  ASSERT_TRUE(tdb.Apply(Ins("UF", 30, 60)).ok());
+  ASSERT_TRUE(tdb.Apply(Stb(10)).ok());
+  EXPECT_EQ(tdb.Classify(Event(P("FF"), 1, 5)), FreezeStatus::kFullyFrozen);
+  EXPECT_EQ(tdb.Classify(Event(P("HF"), 2, 50)), FreezeStatus::kHalfFrozen);
+  EXPECT_EQ(tdb.Classify(Event(P("UF"), 30, 60)), FreezeStatus::kUnfrozen);
+}
+
+TEST(TdbTest, ZeroLengthInsertIsNoOp) {
+  Tdb tdb;
+  ASSERT_TRUE(tdb.Apply(Ins("A", 5, 5)).ok());
+  EXPECT_EQ(tdb.EventCount(), 0);
+}
+
+TEST(TdbTest, ToVectorExpandsMultiplicity) {
+  Tdb tdb;
+  ASSERT_TRUE(tdb.Apply(Ins("A", 5, 10)).ok());
+  ASSERT_TRUE(tdb.Apply(Ins("A", 5, 10)).ok());
+  ASSERT_TRUE(tdb.Apply(Ins("B", 6, 12)).ok());
+  EXPECT_EQ(tdb.ToVector().size(), 3u);
+}
+
+}  // namespace
+}  // namespace lmerge

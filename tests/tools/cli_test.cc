@@ -1,0 +1,95 @@
+#include "tools/cli.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace lmerge::tools {
+namespace {
+
+using ::lmerge::testing_util::Adj;
+using ::lmerge::testing_util::Ins;
+using ::lmerge::testing_util::Stb;
+
+TEST(FlagsTest, ParsesKeyValueAndBooleans) {
+  const char* argv[] = {"prog", "--inserts=100", "--open", "file.lmst",
+                        "--rate=2.5", "other.lmst"};
+  const Flags flags(6, argv);
+  EXPECT_EQ(flags.GetInt("inserts", 0), 100);
+  EXPECT_TRUE(flags.Has("open"));
+  EXPECT_FALSE(flags.Has("closed"));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate", 0.0), 2.5);
+  EXPECT_EQ(flags.GetString("open", ""), "true");
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "file.lmst");
+  EXPECT_EQ(flags.positional()[1], "other.lmst");
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  const Flags flags(1, argv);
+  EXPECT_EQ(flags.GetInt("n", 42), 42);
+  EXPECT_EQ(flags.GetString("s", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("d", 1.5), 1.5);
+  EXPECT_TRUE(flags.positional().empty());
+}
+
+TEST(StreamFileTest, RoundTrip) {
+  const std::string path =
+      ::testing::TempDir() + "/lmerge_cli_test_roundtrip.lmst";
+  const ElementSequence elements = {Ins("A", 1, 10), Adj("A", 1, 10, 20),
+                                    Stb(5)};
+  ASSERT_TRUE(WriteStreamFile(path, elements).ok());
+  ElementSequence got;
+  ASSERT_TRUE(ReadStreamFile(path, &got).ok());
+  EXPECT_EQ(got, elements);
+  std::remove(path.c_str());
+}
+
+TEST(StreamFileTest, MissingFileIsNotFound) {
+  ElementSequence got;
+  const Status status =
+      ReadStreamFile("/nonexistent/definitely/missing.lmst", &got);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST(StreamFileTest, BadMagicRejected) {
+  const std::string path = ::testing::TempDir() + "/lmerge_cli_badmagic.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a stream file at all", f);
+  std::fclose(f);
+  ElementSequence got;
+  EXPECT_FALSE(ReadStreamFile(path, &got).ok());
+  std::remove(path.c_str());
+}
+
+TEST(StreamFileTest, TruncatedBodyRejected) {
+  const std::string path = ::testing::TempDir() + "/lmerge_cli_trunc.lmst";
+  ASSERT_TRUE(WriteStreamFile(path, {Ins("A", 1, 10)}).ok());
+  // Truncate the last bytes.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 4), 0);
+  ElementSequence got;
+  EXPECT_FALSE(ReadStreamFile(path, &got).ok());
+  std::remove(path.c_str());
+}
+
+TEST(StreamFileTest, EmptySequenceIsFine) {
+  const std::string path = ::testing::TempDir() + "/lmerge_cli_empty.lmst";
+  ASSERT_TRUE(WriteStreamFile(path, {}).ok());
+  ElementSequence got = {Stb(1)};
+  ASSERT_TRUE(ReadStreamFile(path, &got).ok());
+  EXPECT_TRUE(got.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lmerge::tools

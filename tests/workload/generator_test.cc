@@ -1,0 +1,195 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/validate.h"
+#include "temporal/tdb.h"
+#include "workload/subquery.h"
+
+namespace lmerge::workload {
+namespace {
+
+GeneratorConfig SmallConfig(uint64_t seed) {
+  GeneratorConfig config;
+  config.num_inserts = 400;
+  config.stable_freq = 0.05;
+  config.event_duration = 500;
+  config.duration_jitter = 200;
+  config.max_gap = 20;
+  config.key_range = 50;
+  config.payload_string_bytes = 16;
+  config.seed = seed;
+  return config;
+}
+
+TEST(GeneratorTest, HistoryShape) {
+  const LogicalHistory history = GenerateHistory(SmallConfig(1));
+  EXPECT_EQ(history.events.size(), 400u);
+  EXPECT_GT(history.stable_times.size(), 5u);
+  // Events ordered by Vs, strictly increasing (unique timestamps).
+  for (size_t i = 1; i < history.events.size(); ++i) {
+    EXPECT_GT(history.events[i].vs, history.events[i - 1].vs);
+    EXPECT_GT(history.events[i].ve, history.events[i].vs);
+  }
+  // Stables ascending.
+  for (size_t i = 1; i < history.stable_times.size(); ++i) {
+    EXPECT_GT(history.stable_times[i], history.stable_times[i - 1]);
+  }
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  const LogicalHistory a = GenerateHistory(SmallConfig(7));
+  const LogicalHistory b = GenerateHistory(SmallConfig(7));
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i], b.events[i]);
+  }
+}
+
+TEST(GeneratorTest, PayloadShapeMatchesPaper) {
+  const LogicalHistory history = GenerateHistory(SmallConfig(2));
+  for (const Event& e : history.events) {
+    ASSERT_EQ(e.payload.field_count(), 2);
+    const int64_t key = e.payload.field(0).AsInt64();
+    EXPECT_GE(key, 0);
+    EXPECT_LE(key, 50);
+    EXPECT_EQ(e.payload.field(1).AsString().size(), 16u);
+  }
+}
+
+TEST(GeneratorTest, InOrderRenderingIsValidOrderedStream) {
+  const LogicalHistory history = GenerateHistory(SmallConfig(3));
+  const ElementSequence stream = RenderInOrder(history);
+  StreamProperties props;
+  props.insert_only = true;
+  props.ordered = true;
+  props.strictly_increasing = true;
+  props.vs_payload_key = true;
+  StreamValidator validator(props.Normalized());
+  EXPECT_TRUE(validator.ConsumeAll(stream).ok());
+}
+
+TEST(GeneratorTest, VariantsAreValidStreams) {
+  const LogicalHistory history = GenerateHistory(SmallConfig(4));
+  for (uint64_t v = 0; v < 4; ++v) {
+    VariantOptions options;
+    options.disorder_fraction = 0.3;
+    options.split_probability = 0.4;
+    options.provisional_open = (v % 2 == 1);
+    options.seed = 100 + v;
+    const ElementSequence variant =
+        GeneratePhysicalVariant(history, options);
+    StreamValidator validator;
+    const Status status = validator.ConsumeAll(variant);
+    EXPECT_TRUE(status.ok()) << "variant " << v << ": " << status.ToString();
+  }
+}
+
+TEST(GeneratorTest, VariantsAreLogicallyEquivalent) {
+  const LogicalHistory history = GenerateHistory(SmallConfig(5));
+  const Tdb reference = Tdb::Reconstitute(RenderInOrder(history));
+  for (uint64_t v = 0; v < 4; ++v) {
+    VariantOptions options;
+    options.disorder_fraction = 0.2 + 0.1 * static_cast<double>(v);
+    options.split_probability = 0.25 * static_cast<double>(v);
+    options.seed = 200 + v;
+    const ElementSequence variant =
+        GeneratePhysicalVariant(history, options);
+    EXPECT_TRUE(Tdb::Reconstitute(variant).Equals(reference))
+        << "variant " << v;
+  }
+}
+
+TEST(GeneratorTest, VariantsArePhysicallyDifferent) {
+  const LogicalHistory history = GenerateHistory(SmallConfig(6));
+  VariantOptions a;
+  a.seed = 1;
+  a.disorder_fraction = 0.4;
+  VariantOptions b = a;
+  b.seed = 2;
+  EXPECT_NE(GeneratePhysicalVariant(history, a),
+            GeneratePhysicalVariant(history, b));
+}
+
+TEST(GeneratorTest, DisorderFractionControlsDisorder) {
+  const LogicalHistory history = GenerateHistory(SmallConfig(8));
+  auto count_regressions = [](const ElementSequence& stream) {
+    int64_t regressions = 0;
+    Timestamp max_vs = kMinTimestamp;
+    for (const StreamElement& e : stream) {
+      if (!e.is_insert()) continue;
+      if (e.vs() < max_vs) ++regressions;
+      max_vs = std::max(max_vs, e.vs());
+    }
+    return regressions;
+  };
+  VariantOptions ordered;
+  ordered.disorder_fraction = 0.0;
+  ordered.split_probability = 0.0;
+  ordered.seed = 1;
+  VariantOptions messy = ordered;
+  messy.disorder_fraction = 0.5;
+  EXPECT_EQ(count_regressions(GeneratePhysicalVariant(history, ordered)), 0);
+  EXPECT_GT(count_regressions(GeneratePhysicalVariant(history, messy)), 50);
+}
+
+TEST(GeneratorTest, StableThinningKeepsSubset) {
+  const LogicalHistory history = GenerateHistory(SmallConfig(9));
+  VariantOptions all;
+  all.stable_thinning = 1;
+  all.seed = 3;
+  VariantOptions thinned = all;
+  thinned.stable_thinning = 3;
+  auto count_stables = [](const ElementSequence& s) {
+    int64_t n = 0;
+    for (const auto& e : s) n += e.is_stable() ? 1 : 0;
+    return n;
+  };
+  const int64_t full = count_stables(GeneratePhysicalVariant(history, all));
+  const int64_t thin =
+      count_stables(GeneratePhysicalVariant(history, thinned));
+  EXPECT_LT(thin, full);
+  EXPECT_GT(thin, 0);
+}
+
+TEST(GeneratorTest, OpenLifetimesProduceAdjusts) {
+  GeneratorConfig config = SmallConfig(10);
+  config.open_lifetimes = true;
+  const ElementSequence stream = GenerateStream(config);
+  EXPECT_GT(AdjustFraction(stream), 0.3);
+  StreamValidator validator;
+  EXPECT_TRUE(validator.ConsumeAll(stream).ok());
+}
+
+TEST(SubqueryTest, AggregateFragmentProducesAdjustTraffic) {
+  // Sec. VI-D: ~36% adjusts from a 50% disordered stream through an
+  // aggressive aggregate.  Verify the fragment produces substantial adjust
+  // traffic and a valid stream.
+  GeneratorConfig config = SmallConfig(11);
+  config.disorder_fraction = 0.5;
+  config.max_disorder_elements = 120;
+  config.key_range = 10;  // several events per (window, group) slot
+  const ElementSequence raw = GenerateStream(config);
+  const ElementSequence out =
+      MakeAdjustHeavyStream(raw, /*window_size=*/600, /*max_lifetime=*/5000);
+  EXPECT_GT(out.size(), 100u);
+  EXPECT_GT(AdjustFraction(out), 0.2);
+  StreamValidator validator;
+  const Status status = validator.ConsumeAll(out);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(SubqueryTest, RunThroughCollectsTailOutput) {
+  GeneratorConfig config = SmallConfig(12);
+  const ElementSequence raw = GenerateStream(config);
+  // Identity check via a single pass-through operator chain is covered by
+  // MakeAdjustHeavyStream; here just validate AdjustFraction arithmetic.
+  EXPECT_DOUBLE_EQ(AdjustFraction({}), 0.0);
+  EXPECT_DOUBLE_EQ(
+      AdjustFraction({StreamElement::Adjust(Row::OfInt(1), 1, 5, 6),
+                      StreamElement::Stable(2)}),
+      0.5);
+}
+
+}  // namespace
+}  // namespace lmerge::workload

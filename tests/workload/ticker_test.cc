@@ -1,0 +1,118 @@
+#include "workload/ticker.h"
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "stream/sink.h"
+#include "stream/validate.h"
+#include "temporal/tdb.h"
+#include "test_util.h"
+
+namespace lmerge::workload {
+namespace {
+
+TickerConfig SmallTicker(uint64_t seed) {
+  TickerConfig config;
+  config.num_symbols = 4;
+  config.quotes_per_symbol = 50;
+  config.max_gap = 100;
+  config.stable_freq = 0.05;
+  config.seed = seed;
+  return config;
+}
+
+TEST(TickerTest, HistoryShape) {
+  const LogicalHistory history = GenerateTickerHistory(SmallTicker(1));
+  EXPECT_EQ(history.events.size(), 200u);
+  // Per symbol: lifetimes tile the timeline without overlap, final open.
+  for (int64_t s = 0; s < 4; ++s) {
+    const std::string symbol = TickerSymbol(s);
+    std::vector<const Event*> quotes;
+    for (const Event& e : history.events) {
+      if (e.payload.field(0).AsString() == symbol) quotes.push_back(&e);
+    }
+    ASSERT_EQ(quotes.size(), 50u);
+    for (size_t i = 0; i + 1 < quotes.size(); ++i) {
+      EXPECT_EQ(quotes[i]->ve, quotes[i + 1]->vs)
+          << symbol << " quote " << i;
+    }
+    EXPECT_EQ(quotes.back()->ve, kInfinity);
+  }
+}
+
+TEST(TickerTest, PricesPositiveAndBounded) {
+  const TickerConfig config = SmallTicker(2);
+  const LogicalHistory history = GenerateTickerHistory(config);
+  for (const Event& e : history.events) {
+    const int64_t price = e.payload.field(1).AsInt64();
+    EXPECT_GE(price, 1);
+    EXPECT_LE(price, config.start_price_cents +
+                         config.max_move_cents *
+                             static_cast<int64_t>(history.events.size()));
+  }
+}
+
+TEST(TickerTest, DivergentFeedsAreValidAndEquivalent) {
+  const LogicalHistory history = GenerateTickerHistory(SmallTicker(3));
+  const Tdb reference = Tdb::Reconstitute(RenderInOrder(history));
+  for (uint64_t v = 0; v < 3; ++v) {
+    VariantOptions options;
+    options.disorder_fraction = 0.2;
+    options.split_probability = 0.8;
+    options.provisional_open = true;  // the natural ticker presentation
+    options.seed = 30 + v;
+    const ElementSequence feed = GeneratePhysicalVariant(history, options);
+    StreamValidator validator;
+    const Status status = validator.ConsumeAll(feed);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    EXPECT_TRUE(Tdb::Reconstitute(feed).Equals(reference)) << "feed " << v;
+  }
+}
+
+TEST(TickerTest, TwoExchangeFeedsMergeToOneConsolidatedTape) {
+  LogicalHistory history = GenerateTickerHistory(SmallTicker(4));
+  // Market close: end every open quote at a common close time and stabilize
+  // past it, so the consolidated tape converges exactly (quotes left open
+  // would stay half frozen with provisional ends — compatible but not yet
+  // equal).
+  Timestamp close = 0;
+  for (const Event& e : history.events) {
+    if (e.ve != kInfinity) close = std::max(close, e.ve);
+  }
+  close += 100;
+  for (Event& e : history.events) {
+    if (e.ve == kInfinity) e.ve = close;
+  }
+  history.stable_times.push_back(close + 1);
+  std::vector<ElementSequence> feeds;
+  for (uint64_t v = 0; v < 2; ++v) {
+    VariantOptions options;
+    options.disorder_fraction = 0.25;
+    options.split_probability = 0.7;
+    options.provisional_open = true;
+    options.seed = 90 + v;
+    feeds.push_back(GeneratePhysicalVariant(history, options));
+  }
+  CollectingSink merged;
+  auto lmerge = CreateMergeAlgorithm(MergeVariant::kLMR3Plus, 2, &merged);
+  testing_util::InterleaveInto(lmerge.get(), feeds, 17);
+  EXPECT_TRUE(Tdb::Reconstitute(merged.elements())
+                  .Equals(Tdb::Reconstitute(RenderInOrder(history))));
+}
+
+TEST(TickerTest, DeterministicInSeed) {
+  const LogicalHistory a = GenerateTickerHistory(SmallTicker(5));
+  const LogicalHistory b = GenerateTickerHistory(SmallTicker(5));
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i], b.events[i]);
+  }
+}
+
+TEST(TickerTest, SymbolNames) {
+  EXPECT_EQ(TickerSymbol(0), "SYM0");
+  EXPECT_EQ(TickerSymbol(12), "SYM12");
+}
+
+}  // namespace
+}  // namespace lmerge::workload

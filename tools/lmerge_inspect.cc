@@ -1,0 +1,100 @@
+// lmerge_inspect — examine a stream file: validate it, summarize its
+// logical content, optionally dump elements or compare with another tape.
+//
+//   lmerge_inspect tape.lmst [--dump[=N]] [--equiv=other.lmst]
+
+#include <cstdio>
+
+#include "stream/validate.h"
+#include "temporal/tdb.h"
+#include "tools/cli.h"
+
+using namespace lmerge;
+using namespace lmerge::tools;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.positional().size() != 1) {
+    std::fprintf(stderr,
+                 "usage: lmerge_inspect <tape.lmst> [--dump[=N]] "
+                 "[--equiv=other.lmst]\n");
+    return 2;
+  }
+  ElementSequence elements;
+  Status status = ReadStreamFile(flags.positional()[0], &elements);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  StreamValidator validator;
+  int64_t inserts = 0;
+  int64_t adjusts = 0;
+  int64_t stables = 0;
+  for (const StreamElement& e : elements) {
+    status = validator.Consume(e);
+    if (!status.ok()) {
+      std::fprintf(stderr, "INVALID at element %lld: %s\n",
+                   static_cast<long long>(validator.element_count()),
+                   status.ToString().c_str());
+      return 1;
+    }
+    switch (e.kind()) {
+      case ElementKind::kInsert:
+        ++inserts;
+        break;
+      case ElementKind::kAdjust:
+        ++adjusts;
+        break;
+      case ElementKind::kStable:
+        ++stables;
+        break;
+    }
+  }
+  const Tdb& tdb = validator.tdb();
+  std::printf("%s: VALID physical stream\n", flags.positional()[0].c_str());
+  std::printf("  %zu elements: %lld inserts, %lld adjusts (%.1f%%), %lld "
+              "stables\n",
+              elements.size(), static_cast<long long>(inserts),
+              static_cast<long long>(adjusts),
+              elements.empty()
+                  ? 0.0
+                  : 100.0 * static_cast<double>(adjusts) /
+                        static_cast<double>(elements.size()),
+              static_cast<long long>(stables));
+  std::printf("  logical TDB: %lld events (%lld distinct), stable to %s, "
+              "max Vs %s, (Vs,payload) key: %s\n",
+              static_cast<long long>(tdb.EventCount()),
+              static_cast<long long>(tdb.DistinctEventCount()),
+              TimestampToString(tdb.stable_point()).c_str(),
+              TimestampToString(validator.max_vs()).c_str(),
+              tdb.VsPayloadIsKey() ? "yes" : "no");
+
+  if (flags.Has("dump")) {
+    const int64_t limit = flags.GetInt("dump", 20);
+    int64_t shown = 0;
+    for (const StreamElement& e : elements) {
+      if (shown++ >= limit) break;
+      std::printf("  %s\n", e.ToString().c_str());
+    }
+    if (static_cast<int64_t>(elements.size()) > limit) {
+      std::printf("  ... (%zu more)\n",
+                  elements.size() - static_cast<size_t>(limit));
+    }
+  }
+
+  const std::string other_path = flags.GetString("equiv", "");
+  if (!other_path.empty()) {
+    ElementSequence other;
+    status = ReadStreamFile(other_path, &other);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    const bool equal = tdb.Equals(Tdb::Reconstitute(other));
+    std::printf("  logically equivalent to %s: %s\n", other_path.c_str(),
+                equal ? "YES" : "NO");
+    return equal ? 0 : 3;
+  }
+  return 0;
+}
