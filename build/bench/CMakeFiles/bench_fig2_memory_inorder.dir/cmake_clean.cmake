@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_memory_inorder.dir/bench_fig2_memory_inorder.cc.o"
+  "CMakeFiles/bench_fig2_memory_inorder.dir/bench_fig2_memory_inorder.cc.o.d"
+  "bench_fig2_memory_inorder"
+  "bench_fig2_memory_inorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_memory_inorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

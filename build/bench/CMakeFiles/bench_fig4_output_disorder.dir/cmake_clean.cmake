@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_output_disorder.dir/bench_fig4_output_disorder.cc.o"
+  "CMakeFiles/bench_fig4_output_disorder.dir/bench_fig4_output_disorder.cc.o.d"
+  "bench_fig4_output_disorder"
+  "bench_fig4_output_disorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_output_disorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_lag.dir/bench_fig5_lag.cc.o"
+  "CMakeFiles/bench_fig5_lag.dir/bench_fig5_lag.cc.o.d"
+  "bench_fig5_lag"
+  "bench_fig5_lag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_lag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_stablefreq.dir/bench_fig6_stablefreq.cc.o"
+  "CMakeFiles/bench_fig6_stablefreq.dir/bench_fig6_stablefreq.cc.o.d"
+  "bench_fig6_stablefreq"
+  "bench_fig6_stablefreq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_stablefreq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

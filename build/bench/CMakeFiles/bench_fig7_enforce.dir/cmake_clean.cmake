@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_enforce.dir/bench_fig7_enforce.cc.o"
+  "CMakeFiles/bench_fig7_enforce.dir/bench_fig7_enforce.cc.o.d"
+  "bench_fig7_enforce"
+  "bench_fig7_enforce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_enforce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

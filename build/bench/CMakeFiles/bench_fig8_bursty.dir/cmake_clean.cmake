@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_bursty.dir/bench_fig8_bursty.cc.o"
+  "CMakeFiles/bench_fig8_bursty.dir/bench_fig8_bursty.cc.o.d"
+  "bench_fig8_bursty"
+  "bench_fig8_bursty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_bursty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

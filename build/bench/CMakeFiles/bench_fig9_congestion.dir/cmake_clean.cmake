@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_congestion.dir/bench_fig9_congestion.cc.o"
+  "CMakeFiles/bench_fig9_congestion.dir/bench_fig9_congestion.cc.o.d"
+  "bench_fig9_congestion"
+  "bench_fig9_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

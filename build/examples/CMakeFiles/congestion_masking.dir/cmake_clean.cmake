@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_masking.dir/congestion_masking.cpp.o"
+  "CMakeFiles/congestion_masking.dir/congestion_masking.cpp.o.d"
+  "congestion_masking"
+  "congestion_masking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_masking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/high_availability.dir/high_availability.cpp.o"
+  "CMakeFiles/high_availability.dir/high_availability.cpp.o.d"
+  "high_availability"
+  "high_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/high_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

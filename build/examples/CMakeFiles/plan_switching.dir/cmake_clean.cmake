@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_switching.dir/plan_switching.cpp.o"
+  "CMakeFiles/plan_switching.dir/plan_switching.cpp.o.d"
+  "plan_switching"
+  "plan_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/row.cc" "src/CMakeFiles/lmerge.dir/common/row.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/common/row.cc.o.d"
+  "/root/repo/src/common/schema.cc" "src/CMakeFiles/lmerge.dir/common/schema.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/common/schema.cc.o.d"
+  "/root/repo/src/common/serde.cc" "src/CMakeFiles/lmerge.dir/common/serde.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/common/serde.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/lmerge.dir/common/value.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/common/value.cc.o.d"
+  "/root/repo/src/core/factory.cc" "src/CMakeFiles/lmerge.dir/core/factory.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/core/factory.cc.o.d"
+  "/root/repo/src/core/lmerge_operator.cc" "src/CMakeFiles/lmerge.dir/core/lmerge_operator.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/core/lmerge_operator.cc.o.d"
+  "/root/repo/src/core/lmerge_r0.cc" "src/CMakeFiles/lmerge.dir/core/lmerge_r0.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/core/lmerge_r0.cc.o.d"
+  "/root/repo/src/core/lmerge_r1.cc" "src/CMakeFiles/lmerge.dir/core/lmerge_r1.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/core/lmerge_r1.cc.o.d"
+  "/root/repo/src/core/lmerge_r2.cc" "src/CMakeFiles/lmerge.dir/core/lmerge_r2.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/core/lmerge_r2.cc.o.d"
+  "/root/repo/src/core/lmerge_r3.cc" "src/CMakeFiles/lmerge.dir/core/lmerge_r3.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/core/lmerge_r3.cc.o.d"
+  "/root/repo/src/core/lmerge_r3_minus.cc" "src/CMakeFiles/lmerge.dir/core/lmerge_r3_minus.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/core/lmerge_r3_minus.cc.o.d"
+  "/root/repo/src/core/lmerge_r4.cc" "src/CMakeFiles/lmerge.dir/core/lmerge_r4.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/core/lmerge_r4.cc.o.d"
+  "/root/repo/src/engine/concurrent.cc" "src/CMakeFiles/lmerge.dir/engine/concurrent.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/engine/concurrent.cc.o.d"
+  "/root/repo/src/engine/delay.cc" "src/CMakeFiles/lmerge.dir/engine/delay.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/engine/delay.cc.o.d"
+  "/root/repo/src/engine/graph.cc" "src/CMakeFiles/lmerge.dir/engine/graph.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/engine/graph.cc.o.d"
+  "/root/repo/src/engine/simulator.cc" "src/CMakeFiles/lmerge.dir/engine/simulator.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/engine/simulator.cc.o.d"
+  "/root/repo/src/operators/aggregate.cc" "src/CMakeFiles/lmerge.dir/operators/aggregate.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/operators/aggregate.cc.o.d"
+  "/root/repo/src/operators/cleanse.cc" "src/CMakeFiles/lmerge.dir/operators/cleanse.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/operators/cleanse.cc.o.d"
+  "/root/repo/src/operators/join.cc" "src/CMakeFiles/lmerge.dir/operators/join.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/operators/join.cc.o.d"
+  "/root/repo/src/operators/multiway_join.cc" "src/CMakeFiles/lmerge.dir/operators/multiway_join.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/operators/multiway_join.cc.o.d"
+  "/root/repo/src/properties/properties.cc" "src/CMakeFiles/lmerge.dir/properties/properties.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/properties/properties.cc.o.d"
+  "/root/repo/src/properties/runtime_stats.cc" "src/CMakeFiles/lmerge.dir/properties/runtime_stats.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/properties/runtime_stats.cc.o.d"
+  "/root/repo/src/stream/element.cc" "src/CMakeFiles/lmerge.dir/stream/element.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/stream/element.cc.o.d"
+  "/root/repo/src/stream/element_serde.cc" "src/CMakeFiles/lmerge.dir/stream/element_serde.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/stream/element_serde.cc.o.d"
+  "/root/repo/src/stream/openclose.cc" "src/CMakeFiles/lmerge.dir/stream/openclose.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/stream/openclose.cc.o.d"
+  "/root/repo/src/stream/validate.cc" "src/CMakeFiles/lmerge.dir/stream/validate.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/stream/validate.cc.o.d"
+  "/root/repo/src/temporal/compat.cc" "src/CMakeFiles/lmerge.dir/temporal/compat.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/temporal/compat.cc.o.d"
+  "/root/repo/src/temporal/tdb.cc" "src/CMakeFiles/lmerge.dir/temporal/tdb.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/temporal/tdb.cc.o.d"
+  "/root/repo/src/tools/cli.cc" "src/CMakeFiles/lmerge.dir/tools/cli.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/tools/cli.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/lmerge.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/subquery.cc" "src/CMakeFiles/lmerge.dir/workload/subquery.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/workload/subquery.cc.o.d"
+  "/root/repo/src/workload/ticker.cc" "src/CMakeFiles/lmerge.dir/workload/ticker.cc.o" "gcc" "src/CMakeFiles/lmerge.dir/workload/ticker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alter_lifetime_test.dir/operators/alter_lifetime_test.cc.o"
+  "CMakeFiles/alter_lifetime_test.dir/operators/alter_lifetime_test.cc.o.d"
+  "alter_lifetime_test"
+  "alter_lifetime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alter_lifetime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleanse_test.dir/operators/cleanse_test.cc.o"
+  "CMakeFiles/cleanse_test.dir/operators/cleanse_test.cc.o.d"
+  "cleanse_test"
+  "cleanse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleanse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counting_merge_test.dir/core/counting_merge_test.cc.o"
+  "CMakeFiles/counting_merge_test.dir/core/counting_merge_test.cc.o.d"
+  "counting_merge_test"
+  "counting_merge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counting_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

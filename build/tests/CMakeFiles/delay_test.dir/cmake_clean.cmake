@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delay_test.dir/engine/delay_test.cc.o"
+  "CMakeFiles/delay_test.dir/engine/delay_test.cc.o.d"
+  "delay_test"
+  "delay_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

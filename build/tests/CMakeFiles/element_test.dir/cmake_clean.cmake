@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/element_test.dir/stream/element_test.cc.o"
+  "CMakeFiles/element_test.dir/stream/element_test.cc.o.d"
+  "element_test"
+  "element_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/element_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

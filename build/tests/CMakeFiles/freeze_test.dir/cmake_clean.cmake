@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freeze_test.dir/temporal/freeze_test.cc.o"
+  "CMakeFiles/freeze_test.dir/temporal/freeze_test.cc.o.d"
+  "freeze_test"
+  "freeze_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freeze_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

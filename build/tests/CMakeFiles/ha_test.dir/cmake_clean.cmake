@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ha_test.dir/integration/ha_test.cc.o"
+  "CMakeFiles/ha_test.dir/integration/ha_test.cc.o.d"
+  "ha_test"
+  "ha_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ha_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

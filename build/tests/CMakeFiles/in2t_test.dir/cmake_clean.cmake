@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/in2t_test.dir/core/in2t_test.cc.o"
+  "CMakeFiles/in2t_test.dir/core/in2t_test.cc.o.d"
+  "in2t_test"
+  "in2t_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/in2t_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

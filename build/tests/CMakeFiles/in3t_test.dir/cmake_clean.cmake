@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/in3t_test.dir/core/in3t_test.cc.o"
+  "CMakeFiles/in3t_test.dir/core/in3t_test.cc.o.d"
+  "in3t_test"
+  "in3t_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/in3t_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jumpstart_test.dir/integration/jumpstart_test.cc.o"
+  "CMakeFiles/jumpstart_test.dir/integration/jumpstart_test.cc.o.d"
+  "jumpstart_test"
+  "jumpstart_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jumpstart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmerge_operator_test.dir/core/lmerge_operator_test.cc.o"
+  "CMakeFiles/lmerge_operator_test.dir/core/lmerge_operator_test.cc.o.d"
+  "lmerge_operator_test"
+  "lmerge_operator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmerge_operator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

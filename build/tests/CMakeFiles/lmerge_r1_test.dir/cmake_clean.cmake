@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmerge_r1_test.dir/core/lmerge_r1_test.cc.o"
+  "CMakeFiles/lmerge_r1_test.dir/core/lmerge_r1_test.cc.o.d"
+  "lmerge_r1_test"
+  "lmerge_r1_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmerge_r1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

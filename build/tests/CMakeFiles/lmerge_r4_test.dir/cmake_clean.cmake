@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmerge_r4_test.dir/core/lmerge_r4_test.cc.o"
+  "CMakeFiles/lmerge_r4_test.dir/core/lmerge_r4_test.cc.o.d"
+  "lmerge_r4_test"
+  "lmerge_r4_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmerge_r4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

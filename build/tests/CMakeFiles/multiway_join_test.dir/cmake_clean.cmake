@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiway_join_test.dir/operators/multiway_join_test.cc.o"
+  "CMakeFiles/multiway_join_test.dir/operators/multiway_join_test.cc.o.d"
+  "multiway_join_test"
+  "multiway_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiway_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openclose_test.dir/stream/openclose_test.cc.o"
+  "CMakeFiles/openclose_test.dir/stream/openclose_test.cc.o.d"
+  "openclose_test"
+  "openclose_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openclose_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

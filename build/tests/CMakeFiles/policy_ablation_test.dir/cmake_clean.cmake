@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_ablation_test.dir/core/policy_ablation_test.cc.o"
+  "CMakeFiles/policy_ablation_test.dir/core/policy_ablation_test.cc.o.d"
+  "policy_ablation_test"
+  "policy_ablation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_ablation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

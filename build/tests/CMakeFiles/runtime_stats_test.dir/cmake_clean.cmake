@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_stats_test.dir/properties/runtime_stats_test.cc.o"
+  "CMakeFiles/runtime_stats_test.dir/properties/runtime_stats_test.cc.o.d"
+  "runtime_stats_test"
+  "runtime_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

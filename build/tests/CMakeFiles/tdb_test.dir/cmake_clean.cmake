@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_test.dir/temporal/tdb_test.cc.o"
+  "CMakeFiles/tdb_test.dir/temporal/tdb_test.cc.o.d"
+  "tdb_test"
+  "tdb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

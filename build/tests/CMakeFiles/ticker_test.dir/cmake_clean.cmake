@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticker_test.dir/workload/ticker_test.cc.o"
+  "CMakeFiles/ticker_test.dir/workload/ticker_test.cc.o.d"
+  "ticker_test"
+  "ticker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

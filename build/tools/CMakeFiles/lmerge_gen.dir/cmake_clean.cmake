@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmerge_gen.dir/lmerge_gen.cc.o"
+  "CMakeFiles/lmerge_gen.dir/lmerge_gen.cc.o.d"
+  "lmerge_gen"
+  "lmerge_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmerge_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

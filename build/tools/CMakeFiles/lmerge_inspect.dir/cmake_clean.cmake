@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmerge_inspect.dir/lmerge_inspect.cc.o"
+  "CMakeFiles/lmerge_inspect.dir/lmerge_inspect.cc.o.d"
+  "lmerge_inspect"
+  "lmerge_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmerge_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

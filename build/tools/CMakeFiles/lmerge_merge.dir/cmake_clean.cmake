@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmerge_merge.dir/lmerge_merge.cc.o"
+  "CMakeFiles/lmerge_merge.dir/lmerge_merge.cc.o.d"
+  "lmerge_merge"
+  "lmerge_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmerge_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
