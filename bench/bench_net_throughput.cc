@@ -1,0 +1,207 @@
+// Networked-service throughput: elements per second through the full wire
+// path — protocol encode, loopback transport, frame reassembly, session
+// state machine, merge, fan-out — without socket or scheduler noise.
+//
+// Acceptance floor for the service layer: >= 100k elements/sec through the
+// loopback transport (items_per_second on the _batch benchmarks).
+//
+// Reported counter: published input elements per second.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "net/loopback.h"
+#include "net/server.h"
+#include "properties/runtime_stats.h"
+#include "stream/sink.h"
+
+namespace lmerge::bench {
+namespace {
+
+// Small payloads: this harness measures the wire path, not memcpy of the
+// paper's 1000-byte strings (bench_fig3 covers merge-core throughput).
+workload::GeneratorConfig NetConfig(int64_t num_inserts) {
+  workload::GeneratorConfig config = PaperConfig(num_inserts);
+  config.payload_string_bytes = 16;
+  return config;
+}
+
+const workload::LogicalHistory& History() {
+  static const workload::LogicalHistory* history = [] {
+    return new workload::LogicalHistory(
+        workload::GenerateHistory(NetConfig(20000)));
+  }();
+  return *history;
+}
+
+// Pre-encoded frames per publisher, so the timed loop measures the
+// server-side path (reassembly + session + merge + fan-out).
+std::vector<std::string> EncodeTapes(
+    const std::vector<ElementSequence>& replicas, size_t batch_size,
+    std::vector<std::vector<std::string>>* frames_out) {
+  std::vector<std::string> hellos;
+  frames_out->clear();
+  for (size_t s = 0; s < replicas.size(); ++s) {
+    // Declare the tape's observed properties, as lmerge_publish does, so
+    // the server's factory picks the cheapest safe algorithm.
+    StreamStatsCollector collector;
+    for (const StreamElement& element : replicas[s]) {
+      collector.Observe(element);
+    }
+    net::HelloMessage hello;
+    hello.role = net::PeerRole::kPublisher;
+    hello.properties = collector.ObservedProperties();
+    hello.peer_name = "bench-" + std::to_string(s);
+    hellos.push_back(net::EncodeHelloFrame(hello));
+    std::vector<std::string> frames;
+    const ElementSequence& tape = replicas[s];
+    for (size_t i = 0; i < tape.size(); i += batch_size) {
+      if (batch_size == 1) {
+        frames.push_back(net::EncodeElementFrame(tape[i]));
+      } else {
+        const ElementSequence batch(
+            tape.begin() + static_cast<ElementSequence::difference_type>(i),
+            tape.begin() + static_cast<ElementSequence::difference_type>(
+                               std::min(i + batch_size, tape.size())));
+        frames.push_back(net::EncodeElementsFrame(batch));
+      }
+    }
+    frames_out->push_back(std::move(frames));
+  }
+  return hellos;
+}
+
+void NetThroughput(benchmark::State& state, size_t batch_size,
+                   double disorder, double split_probability) {
+  const int num_publishers = static_cast<int>(state.range(0));
+  const std::vector<ElementSequence> replicas =
+      MakeReplicas(History(), num_publishers, disorder, split_probability,
+                   /*seed=*/7);
+  int64_t total_elements = 0;
+  for (const ElementSequence& tape : replicas) {
+    total_elements += static_cast<int64_t>(tape.size());
+  }
+  std::vector<std::vector<std::string>> frames;
+  const std::vector<std::string> hellos =
+      EncodeTapes(replicas, batch_size, &frames);
+
+  int64_t delivered = 0;
+  for (auto _ : state) {
+    net::MergeServer server;
+    NullSink sink;
+    server.AddOutputSink(&sink);
+    std::vector<std::unique_ptr<net::Connection>> clients;
+    std::vector<std::unique_ptr<net::Connection>> servers;
+    std::vector<int> sessions;
+    for (int s = 0; s < num_publishers; ++s) {
+      auto [client, server_end] = net::CreateLoopbackPair();
+      clients.push_back(std::move(client));
+      servers.push_back(std::move(server_end));
+      sessions.push_back(server.OnConnect(servers.back().get()));
+      const Status status =
+          server.OnBytes(sessions.back(), hellos[static_cast<size_t>(s)]);
+      LM_CHECK_MSG(status.ok(), "%s", status.ToString().c_str());
+    }
+    // Round-robin one frame per publisher, like interleaved arrivals.
+    size_t next = 0;
+    bool any = true;
+    while (any) {
+      any = false;
+      for (int s = 0; s < num_publishers; ++s) {
+        const auto& tape_frames = frames[static_cast<size_t>(s)];
+        if (next >= tape_frames.size()) continue;
+        const Status status =
+            server.OnBytes(sessions[static_cast<size_t>(s)],
+                           tape_frames[next]);
+        LM_CHECK_MSG(status.ok(), "%s", status.ToString().c_str());
+        any = true;
+      }
+      ++next;
+    }
+    delivered += total_elements;
+    // Drain response queues (WELCOME/FEEDBACK) outside the books.
+    for (auto& client : clients) {
+      std::string discard;
+      (void)client->TryReceive(&discard);
+    }
+  }
+  state.SetItemsProcessed(delivered);
+  state.counters["publishers"] = benchmark::Counter(num_publishers);
+  state.counters["batch"] = benchmark::Counter(static_cast<double>(batch_size));
+}
+
+// In-order insert-only replicas: the factory picks one of the cheap merge
+// cases, so this measures the wire path itself (the >= 100k/s floor).
+void BM_NetThroughput_InOrderBatch64(benchmark::State& state) {
+  NetThroughput(state, 64, /*disorder=*/0.0, /*split_probability=*/0.0);
+}
+BENCHMARK(BM_NetThroughput_InOrderBatch64)
+    ->DenseRange(1, 3, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NetThroughput_InOrderSingleElementFrames(benchmark::State& state) {
+  NetThroughput(state, 1, /*disorder=*/0.0, /*split_probability=*/0.0);
+}
+BENCHMARK(BM_NetThroughput_InOrderSingleElementFrames)
+    ->DenseRange(1, 3, 1)
+    ->Unit(benchmark::kMillisecond);
+
+// Divergent replicas (disorder + revisions): dominated by the general
+// merge algorithm, the wire overhead rides on top.
+void BM_NetThroughput_DisorderedBatch64(benchmark::State& state) {
+  NetThroughput(state, 64, /*disorder=*/0.2, /*split_probability=*/0.1);
+}
+BENCHMARK(BM_NetThroughput_DisorderedBatch64)
+    ->DenseRange(1, 3, 1)
+    ->Unit(benchmark::kMillisecond);
+
+// The fan-out path: one publisher, N subscribers each receiving every
+// merged element as an encoded frame.
+void BM_NetThroughput_FanOut(benchmark::State& state) {
+  const int num_subscribers = static_cast<int>(state.range(0));
+  const std::vector<ElementSequence> replicas =
+      MakeReplicas(History(), 1, 0.0, 0.0, 7);
+  std::vector<std::vector<std::string>> frames;
+  const std::vector<std::string> hellos = EncodeTapes(replicas, 64, &frames);
+
+  net::HelloMessage sub_hello;
+  sub_hello.role = net::PeerRole::kSubscriber;
+  const std::string sub_hello_frame = net::EncodeHelloFrame(sub_hello);
+
+  int64_t delivered = 0;
+  for (auto _ : state) {
+    net::MergeServer server;
+    std::vector<std::unique_ptr<net::Connection>> ends;
+    for (int s = 0; s < num_subscribers; ++s) {
+      auto [client, server_end] = net::CreateLoopbackPair();
+      const int id = server.OnConnect(server_end.get());
+      const Status status = server.OnBytes(id, sub_hello_frame);
+      LM_CHECK_MSG(status.ok(), "%s", status.ToString().c_str());
+      ends.push_back(std::move(client));
+      ends.push_back(std::move(server_end));
+    }
+    auto [client, server_end] = net::CreateLoopbackPair();
+    const int publisher = server.OnConnect(server_end.get());
+    LM_CHECK(server.OnBytes(publisher, hellos[0]).ok());
+    for (const std::string& frame : frames[0]) {
+      const Status status = server.OnBytes(publisher, frame);
+      LM_CHECK_MSG(status.ok(), "%s", status.ToString().c_str());
+      // Keep subscriber queues bounded.
+      for (size_t e = 0; e < ends.size(); e += 2) {
+        std::string discard;
+        (void)ends[e]->TryReceive(&discard);
+      }
+    }
+    delivered += static_cast<int64_t>(replicas[0].size());
+  }
+  state.SetItemsProcessed(delivered);
+  state.counters["subscribers"] = benchmark::Counter(num_subscribers);
+}
+BENCHMARK(BM_NetThroughput_FanOut)
+    ->DenseRange(0, 4, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lmerge::bench
+
+BENCHMARK_MAIN();

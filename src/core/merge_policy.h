@@ -22,6 +22,8 @@
 #ifndef LMERGE_CORE_MERGE_POLICY_H_
 #define LMERGE_CORE_MERGE_POLICY_H_
 
+#include <cstdint>
+
 namespace lmerge {
 
 enum class AdjustPolicy {

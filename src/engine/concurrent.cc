@@ -12,6 +12,36 @@ void ConcurrentMerger::Deliver(int stream, const StreamElement& element) {
   ++delivered_;
 }
 
+Status ConcurrentMerger::TryDeliver(int stream, const StreamElement& element) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stream < 0 || stream >= algorithm_->stream_count() ||
+      !algorithm_->stream_active(stream)) {
+    return Status::FailedPrecondition("delivery on inactive stream " +
+                                      std::to_string(stream));
+  }
+  const Status status = algorithm_->OnElement(stream, element);
+  if (status.ok()) ++delivered_;
+  return status;
+}
+
+int ConcurrentMerger::AddStream() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return algorithm_->AddStream();
+}
+
+void ConcurrentMerger::RemoveStream(int stream) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stream >= 0 && stream < algorithm_->stream_count() &&
+      algorithm_->stream_active(stream)) {
+    algorithm_->RemoveStream(stream);
+  }
+}
+
+Timestamp ConcurrentMerger::max_stable() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return algorithm_->max_stable();
+}
+
 void ConcurrentMerger::Run(const std::vector<ElementSequence>& inputs) {
   std::vector<std::thread> threads;
   threads.reserve(inputs.size());

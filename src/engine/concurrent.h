@@ -40,11 +40,24 @@ class ConcurrentMerger {
   // threads).
   void Deliver(int stream, const StreamElement& element);
 
+  // Like Deliver, but reports failure instead of aborting — the right entry
+  // point for *untrusted* inputs (network publishers): a malformed element
+  // tears down one session, not the process.
+  Status TryDeliver(int stream, const StreamElement& element);
+
+  // Thread-safe runtime stream registry (the paper's join/leave hooks,
+  // Sec. V-B/C), synchronized with in-flight deliveries.
+  int AddStream();
+  void RemoveStream(int stream);
+
+  // The algorithm's output stable point, read under the delivery lock.
+  Timestamp max_stable() const;
+
   int64_t delivered_count() const { return delivered_; }
 
  private:
   MergeAlgorithm* algorithm_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   int64_t delivered_ = 0;
 };
 

@@ -1,0 +1,224 @@
+#include "net/client.h"
+
+namespace lmerge::net {
+
+namespace {
+
+// Blocks on `connection` until `assembler` yields a frame, EOF, or error.
+Status ReceiveFrame(Connection* connection, FrameAssembler* assembler,
+                    Frame* frame) {
+  while (true) {
+    if (assembler->Next(frame)) return Status::Ok();
+    if (assembler->poisoned()) {
+      return Status::InvalidArgument("malformed frame stream from server");
+    }
+    char buffer[64 * 1024];
+    size_t received = 0;
+    Status status = connection->Receive(buffer, sizeof(buffer), &received);
+    if (!status.ok()) return status;
+    if (received == 0) {
+      return Status::FailedPrecondition("connection closed by server");
+    }
+    status = assembler->Feed(buffer, received);
+    if (!status.ok()) return status;
+  }
+}
+
+}  // namespace
+
+PublisherClient::PublisherClient(std::unique_ptr<Connection> connection)
+    : connection_(std::move(connection)) {
+  LM_CHECK(connection_ != nullptr);
+}
+
+PublisherClient::~PublisherClient() = default;
+
+Status PublisherClient::Handshake(const StreamProperties& properties,
+                                  Timestamp join_time,
+                                  const std::string& name,
+                                  WelcomeMessage* welcome) {
+  HelloMessage hello;
+  hello.role = PeerRole::kPublisher;
+  hello.properties = properties;
+  hello.join_time = join_time;
+  hello.peer_name = name;
+  Status status = connection_->Send(EncodeHelloFrame(hello));
+  if (!status.ok()) return status;
+  Frame frame;
+  status = ReceiveFrame(connection_.get(), &assembler_, &frame);
+  if (!status.ok()) return status;
+  if (frame.type == FrameType::kBye) {
+    ByeMessage bye;
+    (void)DecodeBye(frame.payload, &bye);
+    server_said_bye_ = true;
+    bye_reason_ = bye.reason;
+    return Status::FailedPrecondition("server rejected session: " +
+                                      bye.reason);
+  }
+  if (frame.type != FrameType::kWelcome) {
+    return Status::InvalidArgument(
+        std::string("expected WELCOME, got ") + FrameTypeName(frame.type));
+  }
+  WelcomeMessage parsed;
+  status = DecodeWelcome(frame.payload, &parsed);
+  if (!status.ok()) return status;
+  if (parsed.version != kProtocolVersion) {
+    return Status::InvalidArgument("server protocol version mismatch");
+  }
+  if (welcome != nullptr) *welcome = parsed;
+  return Status::Ok();
+}
+
+Status PublisherClient::ProcessFrame(const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kFeedback: {
+      FeedbackMessage feedback;
+      const Status status = DecodeFeedback(frame.payload, &feedback);
+      if (!status.ok()) return status;
+      feedback_horizon_ = std::max(feedback_horizon_, feedback.horizon);
+      return Status::Ok();
+    }
+    case FrameType::kBye: {
+      ByeMessage bye;
+      (void)DecodeBye(frame.payload, &bye);
+      server_said_bye_ = true;
+      bye_reason_ = bye.reason;
+      return Status::Ok();
+    }
+    default:
+      return Status::InvalidArgument(
+          std::string("unexpected frame from server: ") +
+          FrameTypeName(frame.type));
+  }
+}
+
+Status PublisherClient::DrainAssembler() {
+  Frame frame;
+  while (assembler_.Next(&frame)) {
+    const Status status = ProcessFrame(frame);
+    if (!status.ok()) return status;
+  }
+  if (assembler_.poisoned()) {
+    return Status::InvalidArgument("malformed frame stream from server");
+  }
+  return Status::Ok();
+}
+
+Status PublisherClient::Poll() {
+  std::string bytes;
+  Status status = connection_->TryReceive(&bytes);
+  if (!status.ok()) return status;
+  if (!bytes.empty()) {
+    status = assembler_.Feed(bytes);
+    if (!status.ok()) return status;
+  }
+  return DrainAssembler();
+}
+
+bool PublisherClient::ShouldSkip(const StreamElement& element) const {
+  if (element.is_stable()) return false;
+  return element.ve() < feedback_horizon_ &&
+         (!element.is_adjust() || element.v_old() < feedback_horizon_);
+}
+
+Status PublisherClient::Publish(const StreamElement& element) {
+  if (server_said_bye_) {
+    return Status::FailedPrecondition("server closed session: " +
+                                      bye_reason_);
+  }
+  return connection_->Send(EncodeElementFrame(element));
+}
+
+Status PublisherClient::PublishBatch(const ElementSequence& elements) {
+  if (server_said_bye_) {
+    return Status::FailedPrecondition("server closed session: " +
+                                      bye_reason_);
+  }
+  return connection_->Send(EncodeElementsFrame(elements));
+}
+
+Status PublisherClient::Finish(const std::string& reason) {
+  ByeMessage bye;
+  bye.reason = reason;
+  const Status status = connection_->Send(EncodeByeFrame(bye));
+  connection_->Close();
+  return status;
+}
+
+SubscriberClient::SubscriberClient(std::unique_ptr<Connection> connection)
+    : connection_(std::move(connection)) {
+  LM_CHECK(connection_ != nullptr);
+}
+
+SubscriberClient::~SubscriberClient() = default;
+
+Status SubscriberClient::Handshake(const std::string& name,
+                                   WelcomeMessage* welcome) {
+  HelloMessage hello;
+  hello.role = PeerRole::kSubscriber;
+  hello.peer_name = name;
+  Status status = connection_->Send(EncodeHelloFrame(hello));
+  if (!status.ok()) return status;
+  Frame frame;
+  status = ReceiveFrame(connection_.get(), &assembler_, &frame);
+  if (!status.ok()) return status;
+  if (frame.type != FrameType::kWelcome) {
+    return Status::InvalidArgument(
+        std::string("expected WELCOME, got ") + FrameTypeName(frame.type));
+  }
+  WelcomeMessage parsed;
+  status = DecodeWelcome(frame.payload, &parsed);
+  if (!status.ok()) return status;
+  if (welcome != nullptr) *welcome = parsed;
+  return Status::Ok();
+}
+
+Status SubscriberClient::Consume(ElementSink* sink) {
+  LM_CHECK(sink != nullptr);
+  while (true) {
+    Frame frame;
+    const Status status =
+        ReceiveFrame(connection_.get(), &assembler_, &frame);
+    if (!status.ok()) {
+      // EOF without BYE still ends the stream cleanly: the daemon may have
+      // been torn down by the transport rather than the protocol.
+      if (status.code() == StatusCode::kFailedPrecondition) {
+        return Status::Ok();
+      }
+      return status;
+    }
+    switch (frame.type) {
+      case FrameType::kElement: {
+        StreamElement element;
+        const Status decode = DecodeElementPayload(frame.payload, &element);
+        if (!decode.ok()) return decode;
+        ++elements_received_;
+        sink->OnElement(element);
+        break;
+      }
+      case FrameType::kElements: {
+        ElementSequence elements;
+        const Status decode =
+            DecodeElementsPayload(frame.payload, &elements);
+        if (!decode.ok()) return decode;
+        for (const StreamElement& element : elements) {
+          ++elements_received_;
+          sink->OnElement(element);
+        }
+        break;
+      }
+      case FrameType::kBye: {
+        ByeMessage bye;
+        (void)DecodeBye(frame.payload, &bye);
+        bye_reason_ = bye.reason;
+        return Status::Ok();
+      }
+      default:
+        return Status::InvalidArgument(
+            std::string("unexpected frame from server: ") +
+            FrameTypeName(frame.type));
+    }
+  }
+}
+
+}  // namespace lmerge::net

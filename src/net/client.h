@@ -1,0 +1,94 @@
+// Client-side session helpers: a publisher that ships a physical stream to
+// an lmerge_served instance, and a subscriber that receives the merged
+// output.  Both wrap any Connection (TCP in the tools, loopback in tests).
+
+#ifndef LMERGE_NET_CLIENT_H_
+#define LMERGE_NET_CLIENT_H_
+
+#include <memory>
+#include <string>
+
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/transport.h"
+#include "stream/sink.h"
+
+namespace lmerge::net {
+
+// One redundant input replica (Sec. II-2).  Usage:
+//   PublisherClient pub(std::move(connection));
+//   pub.Handshake(properties, join_time, "replica-a", &welcome);
+//   for (...) pub.Publish(element);     // or PublishBatch
+//   pub.Finish("done");
+//
+// Between publishes, Poll() drains server frames without blocking; FEEDBACK
+// advances feedback_horizon(), letting the caller fast-forward past
+// elements whose lifetime ended before the merged output's stable point
+// (Sec. V-D) — see ShouldSkip.
+class PublisherClient {
+ public:
+  explicit PublisherClient(std::unique_ptr<Connection> connection);
+  ~PublisherClient();
+
+  // Sends HELLO and blocks for the server's WELCOME (or BYE -> error).
+  Status Handshake(const StreamProperties& properties, Timestamp join_time,
+                   const std::string& name,
+                   WelcomeMessage* welcome = nullptr);
+
+  Status Publish(const StreamElement& element);
+  Status PublishBatch(const ElementSequence& elements);
+
+  // Drains pending server->client traffic without blocking.
+  Status Poll();
+
+  // True when `element` no longer matters to the merged output: its
+  // lifetime ends before the feedback horizon, so the server would drop it.
+  bool ShouldSkip(const StreamElement& element) const;
+
+  // Orderly close: sends BYE.  Dropping the client without Finish models a
+  // crashed replica (the server detaches the stream on EOF).
+  Status Finish(const std::string& reason = "done");
+
+  Timestamp feedback_horizon() const { return feedback_horizon_; }
+  bool server_said_bye() const { return server_said_bye_; }
+  const std::string& bye_reason() const { return bye_reason_; }
+  Connection* connection() { return connection_.get(); }
+
+ private:
+  Status ProcessFrame(const Frame& frame);
+  Status DrainAssembler();
+
+  std::unique_ptr<Connection> connection_;
+  FrameAssembler assembler_;
+  Timestamp feedback_horizon_ = kMinTimestamp;
+  bool server_said_bye_ = false;
+  std::string bye_reason_;
+};
+
+// Receives the merged output stream.
+class SubscriberClient {
+ public:
+  explicit SubscriberClient(std::unique_ptr<Connection> connection);
+  ~SubscriberClient();
+
+  Status Handshake(const std::string& name,
+                   WelcomeMessage* welcome = nullptr);
+
+  // Blocks, delivering each merged element to `sink`, until the server says
+  // BYE or closes the connection; both are a clean end of stream.
+  Status Consume(ElementSink* sink);
+
+  int64_t elements_received() const { return elements_received_; }
+  const std::string& bye_reason() const { return bye_reason_; }
+  Connection* connection() { return connection_.get(); }
+
+ private:
+  std::unique_ptr<Connection> connection_;
+  FrameAssembler assembler_;
+  int64_t elements_received_ = 0;
+  std::string bye_reason_;
+};
+
+}  // namespace lmerge::net
+
+#endif  // LMERGE_NET_CLIENT_H_

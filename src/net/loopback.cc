@@ -1,0 +1,161 @@
+#include "net/loopback.h"
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/check.h"
+
+namespace lmerge::net {
+
+namespace {
+
+// One direction of a loopback pair: a byte queue with its own lock.
+struct Pipe {
+  std::mutex mutex;
+  std::condition_variable readable;
+  std::string bytes;
+  bool closed = false;  // no further writes will arrive
+
+  void Write(const char* data, size_t size) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      bytes.append(data, size);
+    }
+    readable.notify_all();
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      closed = true;
+    }
+    readable.notify_all();
+  }
+};
+
+// Shared state of one connected pair: pipe[0] carries first->second bytes,
+// pipe[1] second->first.
+struct PairState {
+  Pipe pipe[2];
+};
+
+class LoopbackConnection : public Connection {
+ public:
+  LoopbackConnection(std::shared_ptr<PairState> state, int side,
+                     std::string name)
+      : state_(std::move(state)), side_(side), name_(std::move(name)) {}
+
+  ~LoopbackConnection() override { Close(); }
+
+  Status Send(const char* data, size_t size) override {
+    Pipe& out = state_->pipe[side_];
+    {
+      std::lock_guard<std::mutex> lock(out.mutex);
+      if (out.closed) {
+        return Status::FailedPrecondition("loopback connection closed");
+      }
+      out.bytes.append(data, size);
+    }
+    out.readable.notify_all();
+    return Status::Ok();
+  }
+
+  Status Receive(char* buffer, size_t capacity, size_t* received) override {
+    Pipe& in = state_->pipe[1 - side_];
+    std::unique_lock<std::mutex> lock(in.mutex);
+    in.readable.wait(lock, [&in] { return !in.bytes.empty() || in.closed; });
+    const size_t n = std::min(capacity, in.bytes.size());
+    std::copy(in.bytes.begin(),
+              in.bytes.begin() + static_cast<ptrdiff_t>(n), buffer);
+    in.bytes.erase(0, n);
+    *received = n;  // 0 only when closed with nothing buffered: clean EOF
+    return Status::Ok();
+  }
+
+  Status TryReceive(std::string* out) override {
+    Pipe& in = state_->pipe[1 - side_];
+    std::lock_guard<std::mutex> lock(in.mutex);
+    out->append(in.bytes);
+    in.bytes.clear();
+    if (in.closed) closed_ = true;
+    return Status::Ok();
+  }
+
+  void Close() override {
+    closed_ = true;
+    // Half-close both directions: the peer sees EOF, and our own blocked
+    // Receive (if any) wakes.
+    state_->pipe[0].Close();
+    state_->pipe[1].Close();
+  }
+
+  bool closed() const override { return closed_; }
+
+  std::string peer() const override { return name_; }
+
+ private:
+  std::shared_ptr<PairState> state_;
+  int side_;
+  std::string name_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Connection>, std::unique_ptr<Connection>>
+CreateLoopbackPair(const std::string& first_name,
+                   const std::string& second_name) {
+  auto state = std::make_shared<PairState>();
+  // Each endpoint's peer() reports the *other* side's name.
+  auto first =
+      std::make_unique<LoopbackConnection>(state, 0, second_name);
+  auto second =
+      std::make_unique<LoopbackConnection>(state, 1, first_name);
+  return {std::move(first), std::move(second)};
+}
+
+struct LoopbackListener::State {
+  std::mutex mutex;
+  std::condition_variable acceptable;
+  std::deque<std::unique_ptr<Connection>> pending;
+  bool closed = false;
+};
+
+LoopbackListener::LoopbackListener() : state_(std::make_shared<State>()) {}
+
+LoopbackListener::~LoopbackListener() { Close(); }
+
+std::unique_ptr<Connection> LoopbackListener::Connect(
+    const std::string& client_name) {
+  auto pair = CreateLoopbackPair(client_name, "loopback:server");
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (state_->closed) return nullptr;
+    state_->pending.push_back(std::move(pair.second));
+  }
+  state_->acceptable.notify_one();
+  return std::move(pair.first);
+}
+
+Status LoopbackListener::Accept(std::unique_ptr<Connection>* connection) {
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->acceptable.wait(lock, [this] {
+    return !state_->pending.empty() || state_->closed;
+  });
+  if (state_->pending.empty()) {
+    return Status::FailedPrecondition("listener closed");
+  }
+  *connection = std::move(state_->pending.front());
+  state_->pending.pop_front();
+  return Status::Ok();
+}
+
+void LoopbackListener::Close() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->closed = true;
+  }
+  state_->acceptable.notify_all();
+}
+
+}  // namespace lmerge::net

@@ -1,0 +1,164 @@
+#include "net/protocol.h"
+
+#include "common/serde.h"
+#include "stream/element_serde.h"
+
+namespace lmerge::net {
+
+namespace {
+
+// Bit positions of PropertiesToBits; kept stable across protocol versions.
+constexpr uint8_t kBitInsertOnly = 1u << 0;
+constexpr uint8_t kBitOrdered = 1u << 1;
+constexpr uint8_t kBitStrictlyIncreasing = 1u << 2;
+constexpr uint8_t kBitDeterministicTies = 1u << 3;
+constexpr uint8_t kBitVsPayloadKey = 1u << 4;
+
+Status FinishDecode(const Decoder& decoder) {
+  if (!decoder.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after message");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* PeerRoleName(PeerRole role) {
+  switch (role) {
+    case PeerRole::kPublisher:
+      return "publisher";
+    case PeerRole::kSubscriber:
+      return "subscriber";
+  }
+  return "unknown";
+}
+
+uint8_t PropertiesToBits(const StreamProperties& properties) {
+  uint8_t bits = 0;
+  if (properties.insert_only) bits |= kBitInsertOnly;
+  if (properties.ordered) bits |= kBitOrdered;
+  if (properties.strictly_increasing) bits |= kBitStrictlyIncreasing;
+  if (properties.deterministic_ties) bits |= kBitDeterministicTies;
+  if (properties.vs_payload_key) bits |= kBitVsPayloadKey;
+  return bits;
+}
+
+StreamProperties PropertiesFromBits(uint8_t bits) {
+  StreamProperties p;
+  p.insert_only = (bits & kBitInsertOnly) != 0;
+  p.ordered = (bits & kBitOrdered) != 0;
+  p.strictly_increasing = (bits & kBitStrictlyIncreasing) != 0;
+  p.deterministic_ties = (bits & kBitDeterministicTies) != 0;
+  p.vs_payload_key = (bits & kBitVsPayloadKey) != 0;
+  return p.Normalized();
+}
+
+std::string EncodeHelloFrame(const HelloMessage& hello) {
+  Encoder encoder;
+  encoder.WriteU32(hello.version);
+  encoder.WriteU8(static_cast<uint8_t>(hello.role));
+  encoder.WriteU8(PropertiesToBits(hello.properties));
+  encoder.WriteI64(hello.join_time);
+  encoder.WriteString(hello.peer_name);
+  return EncodeFrame(FrameType::kHello, encoder.TakeBytes());
+}
+
+Status DecodeHello(const std::string& payload, HelloMessage* hello) {
+  Decoder decoder(payload);
+  Status status;
+  uint8_t role = 0;
+  uint8_t bits = 0;
+  if (!(status = decoder.ReadU32(&hello->version)).ok()) return status;
+  if (!(status = decoder.ReadU8(&role)).ok()) return status;
+  if (role > static_cast<uint8_t>(PeerRole::kSubscriber)) {
+    return Status::InvalidArgument("unknown peer role " +
+                                   std::to_string(role));
+  }
+  hello->role = static_cast<PeerRole>(role);
+  if (!(status = decoder.ReadU8(&bits)).ok()) return status;
+  hello->properties = PropertiesFromBits(bits);
+  if (!(status = decoder.ReadI64(&hello->join_time)).ok()) return status;
+  if (!(status = decoder.ReadString(&hello->peer_name)).ok()) return status;
+  return FinishDecode(decoder);
+}
+
+std::string EncodeWelcomeFrame(const WelcomeMessage& welcome) {
+  Encoder encoder;
+  encoder.WriteU32(welcome.version);
+  encoder.WriteU32(static_cast<uint32_t>(welcome.stream_id));
+  encoder.WriteU8(welcome.algorithm_case);
+  encoder.WriteI64(welcome.output_stable);
+  return EncodeFrame(FrameType::kWelcome, encoder.TakeBytes());
+}
+
+Status DecodeWelcome(const std::string& payload, WelcomeMessage* welcome) {
+  Decoder decoder(payload);
+  Status status;
+  uint32_t stream_id = 0;
+  if (!(status = decoder.ReadU32(&welcome->version)).ok()) return status;
+  if (!(status = decoder.ReadU32(&stream_id)).ok()) return status;
+  welcome->stream_id = static_cast<int32_t>(stream_id);
+  if (!(status = decoder.ReadU8(&welcome->algorithm_case)).ok()) {
+    return status;
+  }
+  if (!(status = decoder.ReadI64(&welcome->output_stable)).ok()) {
+    return status;
+  }
+  return FinishDecode(decoder);
+}
+
+std::string EncodeElementFrame(const StreamElement& element) {
+  Encoder encoder;
+  EncodeElement(element, &encoder);
+  return EncodeFrame(FrameType::kElement, encoder.TakeBytes());
+}
+
+Status DecodeElementPayload(const std::string& payload,
+                            StreamElement* element) {
+  Decoder decoder(payload);
+  const Status status = DecodeElement(&decoder, element);
+  if (!status.ok()) return status;
+  return FinishDecode(decoder);
+}
+
+std::string EncodeElementsFrame(const ElementSequence& elements) {
+  Encoder encoder;
+  EncodeSequence(elements, &encoder);
+  return EncodeFrame(FrameType::kElements, encoder.TakeBytes());
+}
+
+Status DecodeElementsPayload(const std::string& payload,
+                             ElementSequence* elements) {
+  Decoder decoder(payload);
+  const Status status = DecodeSequence(&decoder, elements);
+  if (!status.ok()) return status;
+  return FinishDecode(decoder);
+}
+
+std::string EncodeFeedbackFrame(const FeedbackMessage& feedback) {
+  Encoder encoder;
+  encoder.WriteI64(feedback.horizon);
+  return EncodeFrame(FrameType::kFeedback, encoder.TakeBytes());
+}
+
+Status DecodeFeedback(const std::string& payload, FeedbackMessage* feedback) {
+  Decoder decoder(payload);
+  const Status status = decoder.ReadI64(&feedback->horizon);
+  if (!status.ok()) return status;
+  return FinishDecode(decoder);
+}
+
+std::string EncodeByeFrame(const ByeMessage& bye) {
+  Encoder encoder;
+  encoder.WriteString(bye.reason);
+  return EncodeFrame(FrameType::kBye, encoder.TakeBytes());
+}
+
+Status DecodeBye(const std::string& payload, ByeMessage* bye) {
+  Decoder decoder(payload);
+  const Status status = decoder.ReadString(&bye->reason);
+  if (!status.ok()) return status;
+  return FinishDecode(decoder);
+}
+
+}  // namespace lmerge::net

@@ -1,0 +1,97 @@
+// Typed messages of the LMerge wire protocol, one per frame type.
+//
+// Payload layouts (all via common/serde.h, little-endian, length-prefixed
+// strings; see docs/SERVICE.md for the byte-level tables):
+//
+//   HELLO     u32 version, u8 role, u8 property bits, i64 join_time,
+//             string peer_name
+//   WELCOME   u32 version, i32 stream_id (-1 for subscribers),
+//             u8 algorithm_case (kUnknownAlgorithmCase before selection),
+//             i64 output_stable
+//   ELEMENT   one EncodeElement payload (stream/element_serde.h)
+//   ELEMENTS  one EncodeSequence payload
+//   FEEDBACK  i64 horizon
+//   BYE       string reason
+//
+// Every Decode* consumes exactly one message and rejects trailing bytes, so
+// a frame is either a whole valid message or a Status error.
+
+#ifndef LMERGE_NET_PROTOCOL_H_
+#define LMERGE_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/timestamp.h"
+#include "net/frame.h"
+#include "properties/properties.h"
+#include "stream/element.h"
+
+namespace lmerge::net {
+
+inline constexpr uint32_t kProtocolVersion = 1;
+
+// WELCOME algorithm_case value when the server has not yet instantiated a
+// merge algorithm (no publisher has connected).
+inline constexpr uint8_t kUnknownAlgorithmCase = 0xff;
+
+enum class PeerRole : uint8_t {
+  kPublisher = 0,   // one redundant input replica (Sec. II-2)
+  kSubscriber = 1,  // receives the merged output stream
+};
+
+const char* PeerRoleName(PeerRole role);
+
+// Compact wire form of StreamProperties (one bit per flag).
+uint8_t PropertiesToBits(const StreamProperties& properties);
+StreamProperties PropertiesFromBits(uint8_t bits);
+
+struct HelloMessage {
+  uint32_t version = kProtocolVersion;
+  PeerRole role = PeerRole::kPublisher;
+  // Publisher: compile-time properties of the stream it will send, used for
+  // factory algorithm selection (Sec. IV-G) on the server.
+  StreamProperties properties;
+  // Publisher: the stream is a correct presentation of the logical input for
+  // every event alive at or after this time (Sec. V-B join protocol).
+  Timestamp join_time = kMinTimestamp;
+  std::string peer_name;
+};
+
+struct WelcomeMessage {
+  uint32_t version = kProtocolVersion;
+  int32_t stream_id = -1;
+  uint8_t algorithm_case = kUnknownAlgorithmCase;
+  Timestamp output_stable = kMinTimestamp;
+};
+
+struct FeedbackMessage {
+  Timestamp horizon = kMinTimestamp;
+};
+
+struct ByeMessage {
+  std::string reason;
+};
+
+// Encoders produce a complete frame (header + payload), ready to Send.
+std::string EncodeHelloFrame(const HelloMessage& hello);
+std::string EncodeWelcomeFrame(const WelcomeMessage& welcome);
+std::string EncodeElementFrame(const StreamElement& element);
+std::string EncodeElementsFrame(const ElementSequence& elements);
+std::string EncodeFeedbackFrame(const FeedbackMessage& feedback);
+std::string EncodeByeFrame(const ByeMessage& bye);
+
+// Decoders parse a frame *payload* (as yielded by FrameAssembler).
+Status DecodeHello(const std::string& payload, HelloMessage* hello);
+Status DecodeWelcome(const std::string& payload, WelcomeMessage* welcome);
+Status DecodeElementPayload(const std::string& payload,
+                            StreamElement* element);
+Status DecodeElementsPayload(const std::string& payload,
+                             ElementSequence* elements);
+Status DecodeFeedback(const std::string& payload, FeedbackMessage* feedback);
+Status DecodeBye(const std::string& payload, ByeMessage* bye);
+
+}  // namespace lmerge::net
+
+#endif  // LMERGE_NET_PROTOCOL_H_

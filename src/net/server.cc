@@ -1,0 +1,351 @@
+#include "net/server.h"
+
+#include <cstdio>
+#include <thread>
+
+namespace lmerge::net {
+
+MergeServer::MergeServer(MergeServerOptions options)
+    : options_(std::move(options)),
+      fan_out_(this),
+      met_properties_(StreamProperties::Strongest()) {}
+
+MergeServer::~MergeServer() = default;
+
+void MergeServer::FanOutSink::OnElement(const StreamElement& element) {
+  // Runs inside the merge delivery path: the server lock is already held by
+  // the OnBytes call that triggered the merge output.
+  std::string frame;
+  for (auto& [id, session] : server_->sessions_) {
+    if (session.state != SessionState::kSubscriber) continue;
+    if (frame.empty()) frame = EncodeElementFrame(element);
+    if (!session.connection->Send(frame).ok()) {
+      // A dead subscriber must not take the merge down; the transport loop
+      // will observe the broken connection and call OnDisconnect.
+      session.state = SessionState::kClosed;
+      session.connection->Close();
+    }
+  }
+  for (ElementSink* sink : server_->output_sinks_) sink->OnElement(element);
+}
+
+int MergeServer::OnConnect(Connection* connection) {
+  LM_CHECK(connection != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int id = next_session_id_++;
+  Session& session = sessions_[id];
+  session.connection = connection;
+  session.name = connection->peer();
+  if (options_.verbose) Log(session, "connected");
+  return id;
+}
+
+void MergeServer::OnDisconnect(int session_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  CloseSession(it->second, "peer disconnected", /*send_bye=*/false);
+  sessions_.erase(it);
+}
+
+Status MergeServer::OnBytes(int session_id, const char* data, size_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("unknown session " + std::to_string(session_id));
+  }
+  Session& session = it->second;
+  if (session.state == SessionState::kClosed) {
+    return Status::FailedPrecondition("session already closed");
+  }
+  Status status = session.assembler.Feed(data, size);
+  Frame frame;
+  while (status.ok() && session.assembler.Next(&frame)) {
+    status = HandleFrame(session, frame);
+    if (session.state == SessionState::kClosed) break;
+  }
+  if (status.ok() && session.assembler.poisoned()) {
+    status = Status::InvalidArgument("malformed frame stream");
+  }
+  if (!status.ok()) {
+    CloseSession(session, status.ToString(), /*send_bye=*/true);
+  }
+  return status;
+}
+
+Status MergeServer::HandleFrame(Session& session, const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kHello: {
+      if (session.state != SessionState::kAwaitHello) {
+        return Status::FailedPrecondition("duplicate HELLO");
+      }
+      HelloMessage hello;
+      Status status = DecodeHello(frame.payload, &hello);
+      if (!status.ok()) return status;
+      return HandleHello(session, hello);
+    }
+    case FrameType::kElement: {
+      if (session.state != SessionState::kPublisher) {
+        return Status::FailedPrecondition(
+            "ELEMENT from a non-publisher session");
+      }
+      StreamElement element;
+      Status status = DecodeElementPayload(frame.payload, &element);
+      if (!status.ok()) return status;
+      return DeliverElement(session, element);
+    }
+    case FrameType::kElements: {
+      if (session.state != SessionState::kPublisher) {
+        return Status::FailedPrecondition(
+            "ELEMENTS from a non-publisher session");
+      }
+      ElementSequence elements;
+      Status status = DecodeElementsPayload(frame.payload, &elements);
+      if (!status.ok()) return status;
+      for (const StreamElement& element : elements) {
+        status = DeliverElement(session, element);
+        if (!status.ok()) return status;
+      }
+      return Status::Ok();
+    }
+    case FrameType::kBye: {
+      ByeMessage bye;
+      (void)DecodeBye(frame.payload, &bye);
+      CloseSession(session, bye.reason.empty() ? "bye" : bye.reason,
+                   /*send_bye=*/false);
+      return Status::Ok();
+    }
+    case FrameType::kWelcome:
+    case FrameType::kFeedback:
+      return Status::FailedPrecondition(
+          std::string("client sent server-only frame ") +
+          FrameTypeName(frame.type));
+  }
+  return Status::Internal("unhandled frame type");
+}
+
+Status MergeServer::EnsureAlgorithm(const StreamProperties& first) {
+  if (algorithm_ != nullptr) return Status::Ok();
+  const MergeVariant variant =
+      options_.variant.has_value()
+          ? *options_.variant
+          : VariantForCase(ChooseAlgorithm(first));
+  algorithm_ =
+      CreateMergeAlgorithm(variant, /*num_streams=*/1, &fan_out_,
+                           options_.policy);
+  merger_ = std::make_unique<ConcurrentMerger>(algorithm_.get());
+  met_properties_ = first;
+  if (options_.verbose) {
+    std::fprintf(stderr, "[lmerge_served] algorithm %s (case %s) selected\n",
+                 MergeVariantName(variant),
+                 AlgorithmCaseName(algorithm_->algorithm_case()));
+  }
+  return Status::Ok();
+}
+
+Status MergeServer::HandleHello(Session& session, const HelloMessage& hello) {
+  if (hello.version != kProtocolVersion) {
+    return Status::InvalidArgument(
+        "unsupported protocol version " + std::to_string(hello.version));
+  }
+  if (!hello.peer_name.empty()) session.name = hello.peer_name;
+  WelcomeMessage welcome;
+  if (hello.role == PeerRole::kSubscriber) {
+    session.state = SessionState::kSubscriber;
+    welcome.stream_id = -1;
+  } else {
+    Status status = EnsureAlgorithm(hello.properties);
+    if (!status.ok()) return status;
+    if (publishers_seen_ == 0) {
+      // First publisher occupies the stream the algorithm was born with.
+      session.stream_id = 0;
+    } else {
+      // A weaker replica joining later must not silently break the selected
+      // algorithm's correctness preconditions (Sec. IV-G): reject it unless
+      // the operator forced a variant explicitly.
+      const StreamProperties met =
+          met_properties_.Meet(hello.properties);
+      if (!options_.variant.has_value() &&
+          ChooseAlgorithm(met) > algorithm_->algorithm_case()) {
+        return Status::FailedPrecondition(
+            std::string("stream properties require algorithm case ") +
+            AlgorithmCaseName(ChooseAlgorithm(met)) +
+            " but the server selected " +
+            AlgorithmCaseName(algorithm_->algorithm_case()));
+      }
+      met_properties_ = met;
+      session.stream_id = merger_->AddStream();
+    }
+    session.state = SessionState::kPublisher;
+    session.declared = hello.properties;
+    session.join_time = hello.join_time;
+    session.joined = merger_->max_stable() >= hello.join_time;
+    ++publishers_seen_;
+    ++active_publishers_;
+    welcome.stream_id = session.stream_id;
+  }
+  welcome.algorithm_case =
+      algorithm_ == nullptr
+          ? kUnknownAlgorithmCase
+          : static_cast<uint8_t>(algorithm_->algorithm_case());
+  welcome.output_stable =
+      merger_ == nullptr ? kMinTimestamp : merger_->max_stable();
+  if (options_.verbose) {
+    Log(session, std::string(PeerRoleName(hello.role)) + " hello, stream " +
+                     std::to_string(welcome.stream_id) + ", join time " +
+                     TimestampToString(session.join_time));
+  }
+  return session.connection->Send(EncodeWelcomeFrame(welcome));
+}
+
+Status MergeServer::DeliverElement(Session& session,
+                                   const StreamElement& element) {
+  // Progress watermarks feed the feedback policy even for held-back
+  // elements.
+  session.stats.Observe(element);
+  if (element.is_stable() && !session.joined) {
+    // The joining-stream protocol (Sec. V-B): a stream that declared join
+    // time t may miss events that died before t, so until the output stable
+    // point reaches t its stable() elements must not drive the output
+    // stable point (they could freeze the absence of those events).
+    session.joined = merger_->max_stable() >= session.join_time;
+    if (!session.joined) return Status::Ok();
+  }
+  const Status status = merger_->TryDeliver(session.stream_id, element);
+  if (!status.ok()) return status;
+  const Timestamp stable = merger_->max_stable();
+  if (stable > last_output_stable_) {
+    last_output_stable_ = stable;
+    AfterStableAdvance();
+  }
+  return Status::Ok();
+}
+
+void MergeServer::AfterStableAdvance() {
+  const Timestamp stable = last_output_stable_;
+  for (auto& [id, session] : sessions_) {
+    if (session.state != SessionState::kPublisher) continue;
+    if (!session.joined && stable >= session.join_time) {
+      session.joined = true;
+      if (options_.verbose) Log(session, "joined");
+    }
+    if (options_.feedback_enabled &&
+        session.stats.stable_point() < stable &&
+        session.last_feedback < stable) {
+      // This publisher is behind the merged output: everything it would
+      // send about events dead before `stable` will be dropped anyway, so
+      // tell it to fast-forward (Sec. V-D).
+      FeedbackMessage feedback;
+      feedback.horizon = stable;
+      if (session.connection->Send(EncodeFeedbackFrame(feedback)).ok()) {
+        session.last_feedback = stable;
+      }
+    }
+  }
+}
+
+void MergeServer::CloseSession(Session& session, const std::string& reason,
+                               bool send_bye) {
+  if (session.state == SessionState::kClosed) return;
+  if (session.state == SessionState::kPublisher) {
+    merger_->RemoveStream(session.stream_id);
+    --active_publishers_;
+  }
+  if (send_bye) {
+    ByeMessage bye;
+    bye.reason = reason;
+    (void)session.connection->Send(EncodeByeFrame(bye));
+  }
+  if (options_.verbose) Log(session, "closed: " + reason);
+  session.state = SessionState::kClosed;
+}
+
+void MergeServer::AddOutputSink(ElementSink* sink) {
+  LM_CHECK(sink != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  output_sinks_.push_back(sink);
+}
+
+Timestamp MergeServer::output_stable() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return merger_ == nullptr ? kMinTimestamp : merger_->max_stable();
+}
+
+int MergeServer::active_publishers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_publishers_;
+}
+
+int MergeServer::publishers_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return publishers_seen_;
+}
+
+int MergeServer::subscriber_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int n = 0;
+  for (const auto& [id, session] : sessions_) {
+    n += session.state == SessionState::kSubscriber ? 1 : 0;
+  }
+  return n;
+}
+
+bool MergeServer::drained() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return publishers_seen_ > 0 && active_publishers_ == 0;
+}
+
+MergeOutputStats MergeServer::merge_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return algorithm_ == nullptr ? MergeOutputStats() : algorithm_->stats();
+}
+
+const char* MergeServer::algorithm_name() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return algorithm_ == nullptr
+             ? "none"
+             : AlgorithmCaseName(algorithm_->algorithm_case());
+}
+
+void MergeServer::Log(const Session& session,
+                      const std::string& message) const {
+  std::fprintf(stderr, "[lmerge_served] %s: %s\n", session.name.c_str(),
+               message.c_str());
+}
+
+void ServeLoop(Listener* listener, MergeServer* server,
+               const ServeLoopOptions& options) {
+  std::vector<std::unique_ptr<Connection>> connections;
+  std::vector<std::thread> threads;
+  while (true) {
+    std::unique_ptr<Connection> accepted;
+    if (!listener->Accept(&accepted).ok()) break;
+    Connection* connection = accepted.get();
+    connections.push_back(std::move(accepted));
+    threads.emplace_back([server, listener, connection, options] {
+      const int id = server->OnConnect(connection);
+      char buffer[64 * 1024];
+      while (true) {
+        size_t received = 0;
+        if (!connection->Receive(buffer, sizeof(buffer), &received).ok()) {
+          break;
+        }
+        if (received == 0) break;  // EOF
+        if (!server->OnBytes(id, buffer, received).ok()) break;
+      }
+      server->OnDisconnect(id);
+      connection->Close();
+      if (options.drain_publishers > 0 &&
+          server->publishers_seen() >= options.drain_publishers &&
+          server->active_publishers() == 0) {
+        // Service drained: unblock the accept loop so ServeLoop returns.
+        listener->Close();
+      }
+    });
+  }
+  // Wake sessions still blocked in Receive (e.g. subscribers), then drain.
+  for (auto& connection : connections) connection->Close();
+  for (auto& thread : threads) thread.join();
+}
+
+}  // namespace lmerge::net

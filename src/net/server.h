@@ -1,0 +1,173 @@
+// MergeServer: the session layer of the networked LMerge service.
+//
+// Accepts N redundant publisher connections (identical query replicas on
+// physically independent machines, Sec. II-2) and any number of subscriber
+// connections.  Per session it:
+//
+//   * parses frames (net/frame.h) and enforces the handshake state machine
+//     HELLO -> WELCOME -> {ELEMENT|ELEMENTS|BYE};
+//   * instantiates the merge algorithm on the first publisher HELLO from
+//     the declared stream properties (factory selection, Sec. IV-G) unless
+//     an explicit variant is forced;
+//   * maps publisher connect/disconnect to MergeAlgorithm::AddStream /
+//     RemoveStream — the paper's joining/leaving-stream protocol
+//     (Sec. V-B/C), including holding back stable() elements from streams
+//     that have not yet reached their declared join time;
+//   * delivers elements through a ConcurrentMerger, so network threads and
+//     in-process producers share one synchronized merge;
+//   * fans the merged output out to every subscriber as ELEMENT frames and
+//     to registered in-process sinks;
+//   * pushes FEEDBACK frames carrying the output stable point to lagging
+//     publishers (Sec. V-D), judged by per-session progress watermarks from
+//     properties/runtime_stats.
+//
+// The server is transport-agnostic and passive: transports call OnConnect /
+// OnBytes / OnDisconnect.  With the loopback transport those calls are made
+// directly by tests, which makes every session behaviour deterministic;
+// ServeLoop drives the same entry points from listener/connection threads
+// for real TCP deployments.
+
+#ifndef LMERGE_NET_SERVER_H_
+#define LMERGE_NET_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "engine/concurrent.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/transport.h"
+#include "properties/runtime_stats.h"
+#include "stream/sink.h"
+
+namespace lmerge::net {
+
+struct MergeServerOptions {
+  // Forced algorithm variant; unset selects from the first publisher's
+  // declared properties.
+  std::optional<MergeVariant> variant;
+  MergePolicy policy = MergePolicy::Default();
+  // Push FEEDBACK frames to lagging publishers as the output stable point
+  // advances.
+  bool feedback_enabled = true;
+  // Log session events to stderr.
+  bool verbose = false;
+};
+
+class MergeServer {
+ public:
+  explicit MergeServer(MergeServerOptions options = MergeServerOptions());
+  ~MergeServer();
+
+  MergeServer(const MergeServer&) = delete;
+  MergeServer& operator=(const MergeServer&) = delete;
+
+  // Registers a transport connection and returns its session id.  The
+  // connection must stay valid until OnDisconnect(id) returns; the server
+  // only ever writes to it (responses, fan-out, feedback).
+  int OnConnect(Connection* connection);
+
+  // Feeds received bytes into the session.  A returned error means the
+  // session was terminated (BYE already sent when possible); the transport
+  // should drop the connection.
+  Status OnBytes(int session_id, const char* data, size_t size);
+  Status OnBytes(int session_id, const std::string& bytes) {
+    return OnBytes(session_id, bytes.data(), bytes.size());
+  }
+
+  // Connection went away (EOF, error, or after an OnBytes failure).
+  // Idempotent; detaches the publisher's stream.
+  void OnDisconnect(int session_id);
+
+  // In-process tap on the merged output (daemon --out capture, tests).
+  // Invoked under the server lock; must not call back into the server.
+  void AddOutputSink(ElementSink* sink);
+
+  // Introspection (thread-safe).
+  Timestamp output_stable() const;
+  int active_publishers() const;
+  int publishers_seen() const;
+  int subscriber_count() const;
+  // True once every publisher that ever connected has gone away again (and
+  // at least one did connect): the service has drained.
+  bool drained() const;
+  // Stats snapshot of the wrapped algorithm (zeroes before the first
+  // publisher instantiates it).
+  MergeOutputStats merge_stats() const;
+  const char* algorithm_name() const;
+
+ private:
+  enum class SessionState { kAwaitHello, kPublisher, kSubscriber, kClosed };
+
+  struct Session {
+    Connection* connection = nullptr;
+    SessionState state = SessionState::kAwaitHello;
+    FrameAssembler assembler;
+    std::string name;
+    // Publisher fields.
+    int stream_id = -1;
+    bool joined = false;
+    Timestamp join_time = kMinTimestamp;
+    StreamProperties declared;
+    StreamStatsCollector stats;  // progress watermarks for feedback
+    Timestamp last_feedback = kMinTimestamp;
+  };
+
+  // Routes merged output to subscribers + registered sinks; runs under the
+  // merge lock, which the server lock encloses.
+  class FanOutSink : public ElementSink {
+   public:
+    explicit FanOutSink(MergeServer* server) : server_(server) {}
+    void OnElement(const StreamElement& element) override;
+
+   private:
+    MergeServer* server_;
+  };
+
+  Status HandleFrame(Session& session, const Frame& frame);
+  Status HandleHello(Session& session, const HelloMessage& hello);
+  Status DeliverElement(Session& session, const StreamElement& element);
+  // Instantiates algorithm + merger for the first publisher.
+  Status EnsureAlgorithm(const StreamProperties& first_properties);
+  // Sends BYE (best effort) and releases the session's resources.
+  void CloseSession(Session& session, const std::string& reason,
+                    bool send_bye);
+  // After the output stable point advances: refresh join flags and push
+  // feedback to publishers whose own progress is behind it.
+  void AfterStableAdvance();
+  void Log(const Session& session, const std::string& message) const;
+
+  MergeServerOptions options_;
+  mutable std::mutex mutex_;
+  FanOutSink fan_out_;
+  std::unique_ptr<MergeAlgorithm> algorithm_;
+  std::unique_ptr<ConcurrentMerger> merger_;
+  StreamProperties met_properties_;  // meet over all publisher HELLOs
+  std::map<int, Session> sessions_;
+  std::vector<ElementSink*> output_sinks_;
+  int next_session_id_ = 1;
+  int publishers_seen_ = 0;
+  int active_publishers_ = 0;
+  Timestamp last_output_stable_ = kMinTimestamp;
+};
+
+// Drives a MergeServer from a Listener: accepts connections, spawns one
+// thread per session pumping Receive -> OnBytes, and returns once the
+// listener errors/closes and all session threads have drained.  When
+// `drain_publishers` > 0, the loop additionally closes the listener and
+// returns after at least that many publishers connected and all of them
+// disconnected again — the scripted-demo and test mode.
+struct ServeLoopOptions {
+  int drain_publishers = 0;
+};
+void ServeLoop(Listener* listener, MergeServer* server,
+               const ServeLoopOptions& options = ServeLoopOptions());
+
+}  // namespace lmerge::net
+
+#endif  // LMERGE_NET_SERVER_H_

@@ -1,0 +1,74 @@
+// Byte transport abstraction under the LMerge wire protocol.
+//
+// Two implementations ship with the library:
+//   * net/tcp.h      — real POSIX sockets (the deployment path);
+//   * net/loopback.h — in-process byte queues, so every session behaviour of
+//     the server is deterministically unit-testable without sockets, timing,
+//     or port allocation (tests/net/server_loopback_test.cc).
+//
+// Connections carry opaque bytes; framing is layered on top (net/frame.h).
+// All errors are Status — a transport failure tears down one session, never
+// the process.
+
+#ifndef LMERGE_NET_TRANSPORT_H_
+#define LMERGE_NET_TRANSPORT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace lmerge::net {
+
+// A bidirectional byte pipe.  Send/Receive may be called from different
+// threads; concurrent Sends from multiple threads must be externally
+// serialized (the MergeServer sends under its session lock).
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  // Writes all of `size` bytes (handling partial writes internally).
+  virtual Status Send(const char* data, size_t size) = 0;
+  Status Send(const std::string& bytes) {
+    return Send(bytes.data(), bytes.size());
+  }
+
+  // Blocks until at least one byte arrives, the peer closes, or an error
+  // occurs.  On success `*received` holds the byte count; 0 means a clean
+  // end-of-stream.
+  virtual Status Receive(char* buffer, size_t capacity, size_t* received) = 0;
+
+  // Appends whatever bytes are immediately available to `*out` without
+  // blocking (possibly none).  A peer close observed here marks the
+  // connection closed() but still returns Ok with the final bytes.
+  virtual Status TryReceive(std::string* out) = 0;
+
+  // Half-close for shutdown: wakes any blocked Receive on either end.
+  // Idempotent.
+  virtual void Close() = 0;
+  virtual bool closed() const = 0;
+
+  // Human-readable peer identity for logs ("127.0.0.1:52114", "loopback:a").
+  virtual std::string peer() const = 0;
+};
+
+// Accepts inbound connections.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  // Blocks until a connection arrives or the listener is closed (which
+  // surfaces as a Status error).
+  virtual Status Accept(std::unique_ptr<Connection>* connection) = 0;
+
+  // Unblocks pending and future Accepts.  Idempotent.
+  virtual void Close() = 0;
+
+  // Bound port for TCP listeners (useful with ephemeral port 0); -1 when
+  // the transport has no port concept.
+  virtual int port() const { return -1; }
+};
+
+}  // namespace lmerge::net
+
+#endif  // LMERGE_NET_TRANSPORT_H_

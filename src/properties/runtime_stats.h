@@ -46,6 +46,12 @@ class StreamStatsCollector {
   int64_t max_duplicates_d() const { return max_duplicates_; }
   int64_t max_same_vs_g() const { return max_same_vs_; }
 
+  // Progress watermarks of the observed stream: its own stable point and the
+  // largest insert Vs seen.  The network server reads these per publisher
+  // session to decide who is lagging the merged output (Sec. V-D feedback).
+  Timestamp stable_point() const { return stable_point_; }
+  Timestamp max_vs() const { return max_vs_; }
+
   bool saw_adjust() const { return adjusts_ > 0; }
   bool saw_vs_regression() const { return vs_regressions_ > 0; }
   bool saw_vs_tie() const { return vs_ties_ > 0; }

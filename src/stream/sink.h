@@ -7,6 +7,7 @@
 #ifndef LMERGE_STREAM_SINK_H_
 #define LMERGE_STREAM_SINK_H_
 
+#include <functional>
 #include <vector>
 
 #include "common/check.h"
@@ -63,6 +64,25 @@ class ValidatingSink : public ElementSink {
  private:
   StreamValidator validator_;
   ElementSink* next_;
+};
+
+// Invokes a callback per element; adapts lambdas (subscriber clients,
+// network fan-out) to the sink interface without a named subclass.
+class CallbackSink : public ElementSink {
+ public:
+  using Callback = std::function<void(const StreamElement&)>;
+
+  explicit CallbackSink(Callback callback)
+      : callback_(std::move(callback)) {
+    LM_CHECK(callback_ != nullptr);
+  }
+
+  void OnElement(const StreamElement& element) override {
+    callback_(element);
+  }
+
+ private:
+  Callback callback_;
 };
 
 // Counts elements by kind; the "output size" metric of Sec. VI-B.

@@ -1,0 +1,227 @@
+// Wire-protocol messages: every frame type round-trips; truncated and
+// mutated payloads fail with a Status error, never a crash (the style of
+// tests/common/serde_fuzz_test.cc applied to the network layer).
+
+#include "net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace lmerge::net {
+namespace {
+
+using ::lmerge::testing_util::Adj;
+using ::lmerge::testing_util::Ins;
+using ::lmerge::testing_util::Stb;
+
+// Strips the frame header, returning the payload for the Decode* helpers.
+std::string PayloadOf(const std::string& frame_bytes) {
+  FrameAssembler assembler;
+  EXPECT_TRUE(assembler.Feed(frame_bytes).ok());
+  Frame frame;
+  EXPECT_TRUE(assembler.Next(&frame));
+  return frame.payload;
+}
+
+TEST(ProtocolTest, PropertiesBitsRoundTrip) {
+  const StreamProperties cases[] = {
+      StreamProperties::None(), StreamProperties::Strongest(),
+      [] {
+        StreamProperties p;
+        p.insert_only = true;
+        p.ordered = true;
+        return p.Normalized();
+      }(),
+  };
+  for (const StreamProperties& p : cases) {
+    EXPECT_TRUE(PropertiesFromBits(PropertiesToBits(p)).Equals(p))
+        << p.ToString();
+  }
+}
+
+TEST(ProtocolTest, HelloRoundTrip) {
+  HelloMessage hello;
+  hello.role = PeerRole::kPublisher;
+  hello.properties = StreamProperties::Strongest();
+  hello.join_time = 12345;
+  hello.peer_name = "replica-a";
+  HelloMessage decoded;
+  ASSERT_TRUE(
+      DecodeHello(PayloadOf(EncodeHelloFrame(hello)), &decoded).ok());
+  EXPECT_EQ(decoded.version, kProtocolVersion);
+  EXPECT_EQ(decoded.role, PeerRole::kPublisher);
+  EXPECT_TRUE(decoded.properties.Equals(hello.properties));
+  EXPECT_EQ(decoded.join_time, 12345);
+  EXPECT_EQ(decoded.peer_name, "replica-a");
+}
+
+TEST(ProtocolTest, WelcomeRoundTrip) {
+  WelcomeMessage welcome;
+  welcome.stream_id = 7;
+  welcome.algorithm_case = 3;
+  welcome.output_stable = -42;
+  WelcomeMessage decoded;
+  ASSERT_TRUE(
+      DecodeWelcome(PayloadOf(EncodeWelcomeFrame(welcome)), &decoded).ok());
+  EXPECT_EQ(decoded.stream_id, 7);
+  EXPECT_EQ(decoded.algorithm_case, 3);
+  EXPECT_EQ(decoded.output_stable, -42);
+}
+
+TEST(ProtocolTest, SubscriberWelcomeCarriesMinusOne) {
+  WelcomeMessage welcome;
+  welcome.stream_id = -1;
+  WelcomeMessage decoded;
+  ASSERT_TRUE(
+      DecodeWelcome(PayloadOf(EncodeWelcomeFrame(welcome)), &decoded).ok());
+  EXPECT_EQ(decoded.stream_id, -1);
+}
+
+TEST(ProtocolTest, ElementFramesRoundTrip) {
+  const StreamElement cases[] = {
+      Ins("payload", 10, 500),
+      Adj("payload", 10, 500, 700),
+      StreamElement::Insert(Row::OfIntAndString(9, "x"), 3, kInfinity),
+      Stb(30),
+  };
+  for (const StreamElement& element : cases) {
+    StreamElement decoded;
+    ASSERT_TRUE(DecodeElementPayload(PayloadOf(EncodeElementFrame(element)),
+                                     &decoded)
+                    .ok());
+    EXPECT_EQ(decoded, element);
+  }
+}
+
+TEST(ProtocolTest, ElementsBatchRoundTrip) {
+  const ElementSequence batch = {Ins("a", 1, 5), Ins("b", 2, 6),
+                                 Adj("a", 1, 5, 9), Stb(3)};
+  ElementSequence decoded;
+  ASSERT_TRUE(
+      DecodeElementsPayload(PayloadOf(EncodeElementsFrame(batch)), &decoded)
+          .ok());
+  EXPECT_EQ(decoded, batch);
+}
+
+TEST(ProtocolTest, FeedbackAndByeRoundTrip) {
+  FeedbackMessage feedback;
+  feedback.horizon = 777;
+  FeedbackMessage feedback_decoded;
+  ASSERT_TRUE(DecodeFeedback(PayloadOf(EncodeFeedbackFrame(feedback)),
+                             &feedback_decoded)
+                  .ok());
+  EXPECT_EQ(feedback_decoded.horizon, 777);
+
+  ByeMessage bye;
+  bye.reason = "tape complete";
+  ByeMessage bye_decoded;
+  ASSERT_TRUE(DecodeBye(PayloadOf(EncodeByeFrame(bye)), &bye_decoded).ok());
+  EXPECT_EQ(bye_decoded.reason, "tape complete");
+}
+
+TEST(ProtocolTest, TrailingBytesRejectedOnEveryMessage) {
+  HelloMessage hello;
+  EXPECT_FALSE(
+      DecodeHello(PayloadOf(EncodeHelloFrame(hello)) + "x", &hello).ok());
+  WelcomeMessage welcome;
+  EXPECT_FALSE(
+      DecodeWelcome(PayloadOf(EncodeWelcomeFrame(welcome)) + "x", &welcome)
+          .ok());
+  StreamElement element;
+  EXPECT_FALSE(
+      DecodeElementPayload(PayloadOf(EncodeElementFrame(Stb(1))) + "x",
+                           &element)
+          .ok());
+  FeedbackMessage feedback;
+  EXPECT_FALSE(
+      DecodeFeedback(PayloadOf(EncodeFeedbackFrame(feedback)) + "x",
+                     &feedback)
+          .ok());
+  ByeMessage bye;
+  EXPECT_FALSE(DecodeBye(PayloadOf(EncodeByeFrame(bye)) + "x", &bye).ok());
+}
+
+TEST(ProtocolTest, BadRoleRejected) {
+  HelloMessage hello;
+  std::string payload = PayloadOf(EncodeHelloFrame(hello));
+  payload[4] = '\x07';  // role byte (after u32 version)
+  EXPECT_FALSE(DecodeHello(payload, &hello).ok());
+}
+
+// Every strict prefix of a valid payload must fail cleanly.
+TEST(ProtocolTest, TruncationsFailCleanly) {
+  HelloMessage hello;
+  hello.peer_name = "truncation-victim";
+  const std::string payloads[] = {
+      PayloadOf(EncodeHelloFrame(hello)),
+      PayloadOf(EncodeWelcomeFrame(WelcomeMessage())),
+      PayloadOf(EncodeElementFrame(Ins("abc", 1, 99))),
+      PayloadOf(EncodeElementsFrame({Ins("a", 1, 5), Stb(2)})),
+      PayloadOf(EncodeFeedbackFrame(FeedbackMessage())),
+      PayloadOf(EncodeByeFrame(ByeMessage{"reason"})),
+  };
+  for (const std::string& payload : payloads) {
+    for (size_t cut = 0; cut < payload.size(); ++cut) {
+      const std::string prefix = payload.substr(0, cut);
+      HelloMessage h;
+      WelcomeMessage w;
+      StreamElement e;
+      ElementSequence es;
+      FeedbackMessage f;
+      ByeMessage b;
+      (void)DecodeHello(prefix, &h);
+      (void)DecodeWelcome(prefix, &w);
+      (void)DecodeElementPayload(prefix, &e);
+      (void)DecodeElementsPayload(prefix, &es);
+      (void)DecodeFeedback(prefix, &f);
+      (void)DecodeBye(prefix, &b);
+    }
+  }
+}
+
+class ProtocolFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProtocolFuzzTest, MutatedPayloadsNeverCrashDecoders) {
+  Rng rng(GetParam() * 17 + 5);
+  HelloMessage hello;
+  hello.peer_name = "fuzz-me";
+  const std::string valid_payloads[] = {
+      PayloadOf(EncodeHelloFrame(hello)),
+      PayloadOf(EncodeWelcomeFrame(WelcomeMessage())),
+      PayloadOf(EncodeElementFrame(Ins("payload-string", 10, 500))),
+      PayloadOf(EncodeElementsFrame({Ins("a", 1, 5), Adj("a", 1, 5, 9)})),
+      PayloadOf(EncodeByeFrame(ByeMessage{"bye-bye"})),
+  };
+  for (int round = 0; round < 200; ++round) {
+    for (const std::string& valid : valid_payloads) {
+      std::string mutated = valid;
+      if (mutated.empty()) continue;
+      const int mutations = static_cast<int>(rng.UniformInt(1, 4));
+      for (int m = 0; m < mutations; ++m) {
+        const size_t pos = static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(mutated.size()) - 1));
+        mutated[pos] = static_cast<char>(rng.UniformInt(0, 255));
+      }
+      HelloMessage h;
+      WelcomeMessage w;
+      StreamElement e;
+      ElementSequence es;
+      FeedbackMessage f;
+      ByeMessage b;
+      (void)DecodeHello(mutated, &h);
+      (void)DecodeWelcome(mutated, &w);
+      (void)DecodeElementPayload(mutated, &e);
+      (void)DecodeElementsPayload(mutated, &es);
+      (void)DecodeFeedback(mutated, &f);
+      (void)DecodeBye(mutated, &b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace lmerge::net

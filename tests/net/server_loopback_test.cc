@@ -1,0 +1,436 @@
+// MergeServer session behaviour over the loopback transport.  Tests drive
+// bytes into MergeServer::OnBytes directly and read the server's responses
+// (WELCOME / FEEDBACK / BYE / fan-out) from the client end of a loopback
+// pair, so every scenario — handshakes, churn, joins, feedback, hostile
+// input — is deterministic.
+
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include "net/loopback.h"
+#include "stream/validate.h"
+#include "temporal/tdb.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace lmerge::net {
+namespace {
+
+using ::lmerge::testing_util::Ins;
+using ::lmerge::testing_util::Stb;
+using workload::GeneratorConfig;
+using workload::GeneratePhysicalVariant;
+using workload::GenerateHistory;
+using workload::LogicalHistory;
+using workload::RenderInOrder;
+using workload::VariantOptions;
+
+// One simulated peer: the server end is registered with the MergeServer, the
+// client end is where the test reads the server's responses.
+struct TestPeer {
+  std::unique_ptr<Connection> client;
+  std::unique_ptr<Connection> server;
+  int session_id = -1;
+  FrameAssembler assembler;
+
+  // Everything the server has sent this peer so far.
+  std::vector<Frame> DrainFrames() {
+    std::string bytes;
+    EXPECT_TRUE(client->TryReceive(&bytes).ok());
+    EXPECT_TRUE(assembler.Feed(bytes).ok());
+    std::vector<Frame> frames;
+    Frame frame;
+    while (assembler.Next(&frame)) frames.push_back(frame);
+    return frames;
+  }
+};
+
+TestPeer ConnectPeer(MergeServer* server, const std::string& name) {
+  TestPeer peer;
+  auto [client, server_end] =
+      CreateLoopbackPair("client:" + name, "server:" + name);
+  peer.client = std::move(client);
+  peer.server = std::move(server_end);
+  peer.session_id = server->OnConnect(peer.server.get());
+  return peer;
+}
+
+HelloMessage PublisherHello(const std::string& name,
+                            StreamProperties properties = StreamProperties(),
+                            Timestamp join_time = kMinTimestamp) {
+  HelloMessage hello;
+  hello.role = PeerRole::kPublisher;
+  hello.properties = properties;
+  hello.join_time = join_time;
+  hello.peer_name = name;
+  return hello;
+}
+
+// Performs a publisher handshake and returns the WELCOME.
+WelcomeMessage Handshake(MergeServer* server, TestPeer* peer,
+                         const HelloMessage& hello) {
+  EXPECT_TRUE(
+      server->OnBytes(peer->session_id, EncodeHelloFrame(hello)).ok());
+  const std::vector<Frame> frames = peer->DrainFrames();
+  EXPECT_EQ(frames.size(), 1u);
+  WelcomeMessage welcome;
+  EXPECT_EQ(frames[0].type, FrameType::kWelcome);
+  EXPECT_TRUE(DecodeWelcome(frames[0].payload, &welcome).ok());
+  return welcome;
+}
+
+TEST(ServerLoopbackTest, PublisherAndSubscriberHandshakes) {
+  MergeServer server;
+  TestPeer pub_a = ConnectPeer(&server, "a");
+  TestPeer pub_b = ConnectPeer(&server, "b");
+  TestPeer sub = ConnectPeer(&server, "sub");
+
+  const WelcomeMessage welcome_a =
+      Handshake(&server, &pub_a, PublisherHello("a"));
+  EXPECT_EQ(welcome_a.stream_id, 0);
+  EXPECT_NE(welcome_a.algorithm_case, kUnknownAlgorithmCase);
+
+  const WelcomeMessage welcome_b =
+      Handshake(&server, &pub_b, PublisherHello("b"));
+  EXPECT_EQ(welcome_b.stream_id, 1);
+
+  HelloMessage sub_hello;
+  sub_hello.role = PeerRole::kSubscriber;
+  sub_hello.peer_name = "sub";
+  const WelcomeMessage welcome_sub = Handshake(&server, &sub, sub_hello);
+  EXPECT_EQ(welcome_sub.stream_id, -1);
+
+  EXPECT_EQ(server.active_publishers(), 2);
+  EXPECT_EQ(server.publishers_seen(), 2);
+  EXPECT_EQ(server.subscriber_count(), 1);
+  EXPECT_FALSE(server.drained());
+
+  server.OnDisconnect(pub_a.session_id);
+  server.OnDisconnect(pub_b.session_id);
+  EXPECT_EQ(server.active_publishers(), 0);
+  EXPECT_TRUE(server.drained());
+}
+
+TEST(ServerLoopbackTest, ElementBeforeHelloIsRejectedWithBye) {
+  MergeServer server;
+  TestPeer peer = ConnectPeer(&server, "rogue");
+  const Status status =
+      server.OnBytes(peer.session_id, EncodeElementFrame(Ins("x", 1, 2)));
+  EXPECT_FALSE(status.ok());
+  const std::vector<Frame> frames = peer.DrainFrames();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, FrameType::kBye);
+  // The session is gone: further bytes are refused too.
+  EXPECT_FALSE(
+      server.OnBytes(peer.session_id, EncodeHelloFrame(PublisherHello("x")))
+          .ok());
+}
+
+TEST(ServerLoopbackTest, GarbageBytesTearDownOnlyThatSession) {
+  MergeServer server;
+  TestPeer good = ConnectPeer(&server, "good");
+  TestPeer evil = ConnectPeer(&server, "evil");
+  Handshake(&server, &good, PublisherHello("good"));
+
+  EXPECT_FALSE(
+      server.OnBytes(evil.session_id, "\xff\xff\xff\xff garbage").ok());
+  const std::vector<Frame> frames = evil.DrainFrames();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, FrameType::kBye);
+
+  // The good publisher is unaffected.
+  EXPECT_TRUE(server
+                  .OnBytes(good.session_id,
+                           EncodeElementFrame(Ins("still-alive", 1, 10)))
+                  .ok());
+  EXPECT_EQ(server.active_publishers(), 1);
+}
+
+TEST(ServerLoopbackTest, ClientSendingServerOnlyFrameIsRejected) {
+  MergeServer server;
+  TestPeer peer = ConnectPeer(&server, "confused");
+  Handshake(&server, &peer, PublisherHello("confused"));
+  FeedbackMessage feedback;
+  EXPECT_FALSE(
+      server.OnBytes(peer.session_id, EncodeFeedbackFrame(feedback)).ok());
+}
+
+TEST(ServerLoopbackTest, WrongProtocolVersionIsRejected) {
+  MergeServer server;
+  TestPeer peer = ConnectPeer(&server, "old");
+  HelloMessage hello = PublisherHello("old");
+  hello.version = kProtocolVersion + 1;
+  EXPECT_FALSE(
+      server.OnBytes(peer.session_id, EncodeHelloFrame(hello)).ok());
+}
+
+TEST(ServerLoopbackTest, WeakerLatePublisherIsRejectedUnlessVariantForced) {
+  MergeServer strict_server;
+  TestPeer strong = ConnectPeer(&strict_server, "strong");
+  Handshake(&strict_server, &strong,
+            PublisherHello("strong", StreamProperties::Strongest()));
+  TestPeer weak = ConnectPeer(&strict_server, "weak");
+  // A weaker replica would require a more general algorithm than the one
+  // already instantiated; the server must refuse rather than emit garbage.
+  EXPECT_FALSE(strict_server
+                   .OnBytes(weak.session_id,
+                            EncodeHelloFrame(PublisherHello(
+                                "weak", StreamProperties::None())))
+                   .ok());
+  EXPECT_EQ(strict_server.active_publishers(), 1);
+
+  // With an operator-forced general variant the same pair is accepted.
+  MergeServerOptions options;
+  options.variant = MergeVariant::kLMR4;
+  MergeServer forced_server(options);
+  TestPeer strong2 = ConnectPeer(&forced_server, "strong");
+  TestPeer weak2 = ConnectPeer(&forced_server, "weak");
+  Handshake(&forced_server, &strong2,
+            PublisherHello("strong", StreamProperties::Strongest()));
+  const WelcomeMessage welcome =
+      Handshake(&forced_server, &weak2,
+                PublisherHello("weak", StreamProperties::None()));
+  EXPECT_EQ(welcome.stream_id, 1);
+}
+
+TEST(ServerLoopbackTest, BatchedElementsReachTheMerge) {
+  MergeServer server;
+  CollectingSink merged;
+  server.AddOutputSink(&merged);
+  TestPeer pub = ConnectPeer(&server, "batcher");
+  Handshake(&server, &pub, PublisherHello("batcher"));
+  const ElementSequence batch = {Ins("a", 1, 10), Ins("b", 2, 11), Stb(5)};
+  ASSERT_TRUE(
+      server.OnBytes(pub.session_id, EncodeElementsFrame(batch)).ok());
+  EXPECT_EQ(server.output_stable(), 5);
+  EXPECT_FALSE(merged.elements().empty());
+}
+
+TEST(ServerLoopbackTest, SubscriberReceivesExactlyTheMergedOutput) {
+  MergeServer server;
+  CollectingSink merged;
+  server.AddOutputSink(&merged);
+  TestPeer sub = ConnectPeer(&server, "sub");
+  HelloMessage sub_hello;
+  sub_hello.role = PeerRole::kSubscriber;
+  Handshake(&server, &sub, sub_hello);
+
+  TestPeer pub = ConnectPeer(&server, "pub");
+  Handshake(&server, &pub, PublisherHello("pub"));
+  const ElementSequence tape = {Ins("a", 1, 10), Ins("b", 3, 12), Stb(4),
+                                Ins("c", 5, 20), Stb(30)};
+  for (const StreamElement& element : tape) {
+    ASSERT_TRUE(
+        server.OnBytes(pub.session_id, EncodeElementFrame(element)).ok());
+  }
+
+  ElementSequence received;
+  for (const Frame& frame : sub.DrainFrames()) {
+    ASSERT_EQ(frame.type, FrameType::kElement);
+    StreamElement element;
+    ASSERT_TRUE(DecodeElementPayload(frame.payload, &element).ok());
+    received.push_back(element);
+  }
+  EXPECT_EQ(received, merged.elements());
+  EXPECT_FALSE(received.empty());
+}
+
+TEST(ServerLoopbackTest, LaggingPublisherReceivesFeedback) {
+  MergeServer server;
+  TestPeer fast = ConnectPeer(&server, "fast");
+  TestPeer slow = ConnectPeer(&server, "slow");
+  Handshake(&server, &fast, PublisherHello("fast"));
+  Handshake(&server, &slow, PublisherHello("slow"));
+
+  // The slow replica has only shown progress up to vs=2 when the fast one
+  // stabilizes 50: the server must push the new horizon to the laggard.
+  ASSERT_TRUE(server
+                  .OnBytes(slow.session_id,
+                           EncodeElementFrame(Ins("early", 1, 100)))
+                  .ok());
+  ASSERT_TRUE(server
+                  .OnBytes(fast.session_id,
+                           EncodeElementFrame(Ins("early", 1, 100)))
+                  .ok());
+  ASSERT_TRUE(
+      server.OnBytes(fast.session_id, EncodeElementFrame(Stb(50))).ok());
+  ASSERT_EQ(server.output_stable(), 50);
+
+  bool got_feedback = false;
+  for (const Frame& frame : slow.DrainFrames()) {
+    if (frame.type != FrameType::kFeedback) continue;
+    FeedbackMessage feedback;
+    ASSERT_TRUE(DecodeFeedback(frame.payload, &feedback).ok());
+    EXPECT_EQ(feedback.horizon, 50);
+    got_feedback = true;
+  }
+  EXPECT_TRUE(got_feedback);
+  // The fast replica is not lagging; it must not get feedback.
+  for (const Frame& frame : fast.DrainFrames()) {
+    EXPECT_NE(frame.type, FrameType::kFeedback);
+  }
+}
+
+TEST(ServerLoopbackTest, FeedbackCanBeDisabled) {
+  MergeServerOptions options;
+  options.feedback_enabled = false;
+  MergeServer server(options);
+  TestPeer fast = ConnectPeer(&server, "fast");
+  TestPeer slow = ConnectPeer(&server, "slow");
+  Handshake(&server, &fast, PublisherHello("fast"));
+  Handshake(&server, &slow, PublisherHello("slow"));
+  ASSERT_TRUE(
+      server.OnBytes(fast.session_id, EncodeElementFrame(Stb(50))).ok());
+  for (const Frame& frame : slow.DrainFrames()) {
+    EXPECT_NE(frame.type, FrameType::kFeedback);
+  }
+}
+
+// The churn scenarios of tests/integration/churn_test.cc, replayed through
+// network sessions: replicas die (disconnect without BYE) at random points
+// and the merged output still reconstitutes the reference TDB.
+class ServerChurnTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ServerChurnTest, RandomDetachPointsNeverCorruptOutput) {
+  const uint64_t seed = GetParam();
+  GeneratorConfig config;
+  config.num_inserts = 200;
+  config.stable_freq = 0.06;
+  config.event_duration = 400;
+  config.max_gap = 15;
+  config.payload_string_bytes = 6;
+  config.seed = seed;
+  LogicalHistory history = GenerateHistory(config);
+  Timestamp max_ve = 0;
+  for (const Event& e : history.events) max_ve = std::max(max_ve, e.ve);
+  history.stable_times.push_back(max_ve + 1);
+
+  std::vector<ElementSequence> replicas;
+  for (uint64_t v = 0; v < 3; ++v) {
+    VariantOptions options;
+    options.disorder_fraction = 0.3;
+    options.split_probability = 0.3;
+    options.seed = seed * 31 + v;
+    replicas.push_back(GeneratePhysicalVariant(history, options));
+  }
+
+  MergeServer server;
+  CollectingSink merged;
+  server.AddOutputSink(&merged);
+  std::vector<TestPeer> peers;
+  for (int s = 0; s < 3; ++s) {
+    peers.push_back(ConnectPeer(&server, "replica-" + std::to_string(s)));
+    const WelcomeMessage welcome = Handshake(
+        &server, &peers.back(),
+        PublisherHello("replica-" + std::to_string(s)));
+    ASSERT_EQ(welcome.stream_id, s);
+  }
+
+  // Replicas 0 and 1 die at random points; replica 2 survives to the end.
+  Rng rng(seed * 7 + 1);
+  const size_t kill0 = static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(replicas[0].size())));
+  const size_t kill1 = static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(replicas[1].size())));
+  size_t next[3] = {0, 0, 0};
+  bool any = true;
+  while (any) {
+    any = false;
+    for (int s = 0; s < 3; ++s) {
+      const size_t limit =
+          s == 0 ? kill0 : (s == 1 ? kill1 : replicas[2].size());
+      const ElementSequence& tape = replicas[static_cast<size_t>(s)];
+      size_t& cursor = next[static_cast<size_t>(s)];
+      TestPeer& peer = peers[static_cast<size_t>(s)];
+      if (cursor < std::min(limit, tape.size())) {
+        ASSERT_TRUE(server
+                        .OnBytes(peer.session_id,
+                                 EncodeElementFrame(tape[cursor++]))
+                        .ok());
+        any = true;
+      } else if (s != 2 && peer.session_id >= 0) {
+        server.OnDisconnect(peer.session_id);  // crash: no BYE
+        peer.session_id = -1;
+      }
+    }
+  }
+
+  StreamValidator validator;
+  ASSERT_TRUE(validator.ConsumeAll(merged.elements()).ok());
+  EXPECT_TRUE(Tdb::Reconstitute(merged.elements())
+                  .Equals(Tdb::Reconstitute(RenderInOrder(history))))
+      << "seed " << seed << " kills at " << kill0 << "/" << kill1;
+}
+
+TEST_P(ServerChurnTest, MidRunJoinerCatchesUpAndTakesOver) {
+  const uint64_t seed = GetParam();
+  GeneratorConfig config;
+  config.num_inserts = 150;
+  config.stable_freq = 0.08;
+  config.event_duration = 300;
+  config.max_gap = 12;
+  config.payload_string_bytes = 6;
+  config.seed = seed + 1000;
+  LogicalHistory history = GenerateHistory(config);
+  Timestamp max_ve = 0;
+  for (const Event& e : history.events) max_ve = std::max(max_ve, e.ve);
+  history.stable_times.push_back(max_ve + 1);
+
+  VariantOptions options;
+  options.disorder_fraction = 0.25;
+  options.seed = seed * 5;
+  const ElementSequence original = GeneratePhysicalVariant(history, options);
+
+  MergeServer server;
+  CollectingSink merged;
+  server.AddOutputSink(&merged);
+
+  TestPeer first = ConnectPeer(&server, "first");
+  Handshake(&server, &first, PublisherHello("first"));
+
+  Rng rng(seed * 13 + 3);
+  const size_t handoff = static_cast<size_t>(
+      rng.UniformInt(static_cast<int64_t>(original.size()) / 4,
+                     static_cast<int64_t>(original.size()) * 3 / 4));
+  for (size_t i = 0; i < handoff; ++i) {
+    ASSERT_TRUE(server
+                    .OnBytes(first.session_id,
+                             EncodeElementFrame(original[i]))
+                    .ok());
+  }
+
+  // A fresh replica joins, declaring it is only correct from the current
+  // output stable point onward (Sec. V-B), then the original replica dies.
+  const Timestamp join_time = server.output_stable();
+  TestPeer joiner = ConnectPeer(&server, "joiner");
+  const WelcomeMessage welcome = Handshake(
+      &server, &joiner,
+      PublisherHello("joiner", StreamProperties(), join_time));
+  EXPECT_EQ(welcome.output_stable, join_time);
+  server.OnDisconnect(first.session_id);
+
+  ElementSequence replay;
+  for (const Event& e : history.events) {
+    if (e.ve >= join_time) {
+      replay.push_back(StreamElement::Insert(e.payload, e.vs, e.ve));
+    }
+  }
+  for (const Timestamp t : history.stable_times) {
+    if (t > join_time) replay.push_back(StreamElement::Stable(t));
+  }
+  ASSERT_TRUE(
+      server.OnBytes(joiner.session_id, EncodeElementsFrame(replay)).ok());
+
+  StreamValidator validator;
+  ASSERT_TRUE(validator.ConsumeAll(merged.elements()).ok());
+  EXPECT_TRUE(Tdb::Reconstitute(merged.elements())
+                  .Equals(Tdb::Reconstitute(RenderInOrder(history))))
+      << "seed " << seed << " handoff " << handoff;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServerChurnTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace lmerge::net

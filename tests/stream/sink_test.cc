@@ -52,7 +52,11 @@ TEST(SinkTest, ValidatingSinkForwardsGoodElements) {
 }
 
 TEST(SinkDeathTest, ValidatingSinkAbortsOnBadStream) {
+#ifdef GTEST_FLAG_SET
   GTEST_FLAG_SET(death_test_style, "threadsafe");
+#else
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+#endif
   ValidatingSink sink(StreamProperties::None());
   EXPECT_DEATH(sink.OnElement(Adj("ghost", 1, 5, 9)),
                "invalid output element");

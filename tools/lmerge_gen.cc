@@ -26,6 +26,7 @@ int Usage() {
       "                  [--stable-freq=F] [--duration=TICKS] [--max-gap=T]\n"
       "                  [--key-range=N] [--payload-bytes=N] [--seed=N]\n"
       "                  [--variant-seed=N] [--split=F] [--open]\n"
+      "                  [--finalize]\n"
       "                  [--ticker] [--symbols=N] [--quotes=N] [--close]\n");
   return 2;
 }
@@ -65,6 +66,18 @@ int main(int argc, char** argv) {
     config.payload_string_bytes = flags.GetInt("payload-bytes", 1000);
     config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
     history = GenerateHistory(config);
+  }
+
+  // --finalize stabilizes the whole tape (one stable past every event), so
+  // downstream merges fully converge: without it the tail beyond the last
+  // generated stable point stays provisional, and a lazy merge is free to
+  // leave it unreflected.
+  if (flags.Has("finalize")) {
+    Timestamp max_ve = kMinTimestamp;
+    for (const Event& e : history.events) {
+      if (e.ve != kInfinity) max_ve = std::max(max_ve, e.ve);
+    }
+    history.stable_times.push_back(max_ve + 1);
   }
 
   workload::VariantOptions options;

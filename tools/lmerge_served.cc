@@ -1,0 +1,133 @@
+// lmerge_served — the networked LMerge daemon: accepts redundant publisher
+// replicas and subscribers over TCP and serves the merged stream.
+//
+//   lmerge_served --port=7654 [--bind=127.0.0.1]
+//                 [--variant=auto|R0|R1|R2|R3+|R3-|R4|counting]
+//                 [--policy=lazy|eager|conservative] [--stable-lag=T]
+//                 [--no-feedback] [--out=merged.lmst]
+//                 [--drain-publishers=N] [--quiet]
+//
+// With --drain-publishers=N the daemon exits once at least N publishers
+// have connected and all publishers have disconnected again (the scripted
+// end-to-end mode; see scripts/demo_net.sh).  --out captures the merged
+// output to a stream file on exit, independent of any live subscribers.
+
+#include <cstdio>
+
+#include "core/merge_policy.h"
+#include "net/server.h"
+#include "net/tcp.h"
+#include "stream/validate.h"
+#include "tools/cli.h"
+
+using namespace lmerge;
+using namespace lmerge::tools;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: lmerge_served --port=N [--bind=ADDR] [--variant=auto|R4|...]\n"
+      "                     [--policy=lazy|eager|conservative]\n"
+      "                     [--stable-lag=T] [--no-feedback]\n"
+      "                     [--out=FILE] [--drain-publishers=N] [--quiet]\n");
+  return 2;
+}
+
+bool ParseVariant(const std::string& name, MergeVariant* variant) {
+  if (name == "R0") *variant = MergeVariant::kLMR0;
+  else if (name == "R1") *variant = MergeVariant::kLMR1;
+  else if (name == "R2") *variant = MergeVariant::kLMR2;
+  else if (name == "R3+" || name == "R3") *variant = MergeVariant::kLMR3Plus;
+  else if (name == "R3-") *variant = MergeVariant::kLMR3Minus;
+  else if (name == "R4") *variant = MergeVariant::kLMR4;
+  else if (name == "counting") *variant = MergeVariant::kCounting;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (!flags.Has("port") || !flags.positional().empty()) return Usage();
+  const int port = static_cast<int>(flags.GetInt("port", 0));
+
+  net::MergeServerOptions options;
+  options.verbose = !flags.Has("quiet");
+  options.feedback_enabled = !flags.Has("no-feedback");
+  const std::string variant_name = flags.GetString("variant", "auto");
+  if (variant_name != "auto") {
+    MergeVariant variant;
+    if (!ParseVariant(variant_name, &variant)) return Usage();
+    options.variant = variant;
+  }
+  const std::string policy_name = flags.GetString("policy", "lazy");
+  if (policy_name == "eager") {
+    options.policy = MergePolicy::Eager();
+  } else if (policy_name == "conservative") {
+    options.policy = MergePolicy::Conservative();
+  } else if (policy_name != "lazy") {
+    return Usage();
+  }
+  options.policy.stable_lag = flags.GetInt("stable-lag", 0);
+
+  net::MergeServer server(options);
+
+  CollectingSink captured;
+  const std::string out_path = flags.GetString("out", "");
+  if (!out_path.empty()) server.AddOutputSink(&captured);
+
+  std::unique_ptr<net::Listener> listener;
+  Status status =
+      net::TcpListen(port, &listener, flags.GetString("bind", "127.0.0.1"));
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[lmerge_served] listening on port %d\n",
+               listener->port());
+
+  net::ServeLoopOptions loop_options;
+  loop_options.drain_publishers =
+      static_cast<int>(flags.GetInt("drain-publishers", 0));
+  net::ServeLoop(listener.get(), &server, loop_options);
+
+  const MergeOutputStats stats = server.merge_stats();
+  std::fprintf(stderr,
+               "[lmerge_served] drained: %d publishers served, algorithm "
+               "%s\n",
+               server.publishers_seen(), server.algorithm_name());
+  std::fprintf(stderr,
+               "[lmerge_served] in: %lld ins / %lld adj / %lld stb; out: "
+               "%lld ins / %lld adj / %lld stb; dropped %lld\n",
+               static_cast<long long>(stats.inserts_in),
+               static_cast<long long>(stats.adjusts_in),
+               static_cast<long long>(stats.stables_in),
+               static_cast<long long>(stats.inserts_out),
+               static_cast<long long>(stats.adjusts_out),
+               static_cast<long long>(stats.stables_out),
+               static_cast<long long>(stats.dropped));
+
+  if (!out_path.empty()) {
+    // Sanity-check our own output before writing: the merged stream must be
+    // a valid physical stream (zero lost or duplicated events is checked
+    // end-to-end with lmerge_inspect --equiv).
+    StreamValidator validator;
+    status = validator.ConsumeAll(captured.elements());
+    if (!status.ok()) {
+      std::fprintf(stderr, "[lmerge_served] OUTPUT INVALID: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    status = WriteStreamFile(out_path, captured.elements());
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[lmerge_served] wrote %s (%zu elements)\n",
+                 out_path.c_str(), captured.elements().size());
+  }
+  return 0;
+}
