@@ -29,12 +29,34 @@ void ThroughputInOrder(benchmark::State& state, MergeVariant variant) {
   std::vector<ElementSequence> inputs(static_cast<size_t>(num_inputs),
                                       stream);
   int64_t delivered = 0;
+  int64_t state_bytes = 0;
+  LatencySampler latency;
   for (auto _ : state) {
     NullSink sink;
     auto algo = CreateMergeAlgorithm(variant, num_inputs, &sink);
-    delivered += RoundRobinDeliver(algo.get(), inputs);
+    // Same round-robin as RoundRobinDeliver, with sampled per-element
+    // latency for the --json report.
+    size_t max_len = 0;
+    for (const auto& input : inputs) max_len = std::max(max_len, input.size());
+    int64_t count = 0;
+    for (size_t i = 0; i < max_len; ++i) {
+      for (size_t s = 0; s < inputs.size(); ++s) {
+        if (i >= inputs[s].size()) continue;
+        const bool sampled = (count++ & 63) == 0;
+        const auto start = LatencySampler::Clock::now();
+        const Status status =
+            algo->OnElement(static_cast<int>(s), inputs[s][i]);
+        if (sampled) latency.Record(start, LatencySampler::Clock::now());
+        LM_CHECK_MSG(status.ok(), "%s", status.ToString().c_str());
+      }
+    }
+    delivered += count;
+    state_bytes = algo->StateBytes();
   }
   state.SetItemsProcessed(delivered);
+  latency.Publish(state);
+  state.counters["state_bytes"] =
+      benchmark::Counter(static_cast<double>(state_bytes));
   state.counters["inputs"] = benchmark::Counter(num_inputs);
 }
 
@@ -54,4 +76,6 @@ FIG3_BENCH(kLMR4, LMR4);
 }  // namespace
 }  // namespace lmerge::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return lmerge::bench::RunBenchmarksWithJson(argc, argv);
+}

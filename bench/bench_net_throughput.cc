@@ -86,6 +86,7 @@ void NetThroughput(benchmark::State& state, size_t batch_size,
       EncodeTapes(replicas, batch_size, &frames);
 
   int64_t delivered = 0;
+  LatencySampler latency;
   for (auto _ : state) {
     net::MergeServer server;
     NullSink sink;
@@ -110,14 +111,22 @@ void NetThroughput(benchmark::State& state, size_t batch_size,
       for (int s = 0; s < num_publishers; ++s) {
         const auto& tape_frames = frames[static_cast<size_t>(s)];
         if (next >= tape_frames.size()) continue;
+        const auto start = LatencySampler::Clock::now();
         const Status status =
             server.OnBytes(sessions[static_cast<size_t>(s)],
                            tape_frames[next]);
+        if ((next & 15) == 0) {
+          latency.Record(start, LatencySampler::Clock::now());
+        }
         LM_CHECK_MSG(status.ok(), "%s", status.ToString().c_str());
         any = true;
       }
       ++next;
     }
+    // The timed region must cover the merge itself, not just the enqueues —
+    // and a quiesced server tears down without touching the (already
+    // destroyed) loopback connections.
+    server.Flush();
     delivered += total_elements;
     // Drain response queues (WELCOME/FEEDBACK) outside the books.
     for (auto& client : clients) {
@@ -126,6 +135,7 @@ void NetThroughput(benchmark::State& state, size_t batch_size,
     }
   }
   state.SetItemsProcessed(delivered);
+  latency.Publish(state);
   state.counters["publishers"] = benchmark::Counter(num_publishers);
   state.counters["batch"] = benchmark::Counter(static_cast<double>(batch_size));
 }
@@ -192,6 +202,8 @@ void BM_NetThroughput_FanOut(benchmark::State& state) {
         (void)ends[e]->TryReceive(&discard);
       }
     }
+    // Quiesce inside the timed region: fan-out happens on the merge thread.
+    server.Flush();
     delivered += static_cast<int64_t>(replicas[0].size());
   }
   state.SetItemsProcessed(delivered);
@@ -204,4 +216,6 @@ BENCHMARK(BM_NetThroughput_FanOut)
 }  // namespace
 }  // namespace lmerge::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return lmerge::bench::RunBenchmarksWithJson(argc, argv);
+}

@@ -11,6 +11,11 @@
 #ifndef LMERGE_BENCH_BENCH_UTIL_H_
 #define LMERGE_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -94,6 +99,138 @@ inline int64_t RoundRobinDeliver(MergeAlgorithm* algo,
     }
   }
   return delivered;
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable results (--json) for the CI bench-smoke job.
+//
+// Benchmarks publish optional metrics through counters named "p50_us",
+// "p99_us", and "state_bytes"; RunBenchmarksWithJson tees every run into a
+// JSON array written to the path given by `--json PATH` (or `--json=PATH`)
+// alongside the normal console output.  Schema per entry:
+//   {"name", "elems_per_sec", "p50_latency_us", "p99_latency_us",
+//    "state_bytes"}
+// ---------------------------------------------------------------------------
+
+// Collects sampled per-operation durations and publishes the percentile
+// counters the JSON writer picks up.
+class LatencySampler {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  void Record(Clock::time_point start, Clock::time_point end) {
+    samples_.push_back(
+        std::chrono::duration<double, std::micro>(end - start).count());
+  }
+
+  double PercentileUs(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank =
+        p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) *
+                            (rank - static_cast<double>(lo));
+  }
+
+  void Publish(benchmark::State& state) const {
+    state.counters["p50_us"] = benchmark::Counter(PercentileUs(50));
+    state.counters["p99_us"] = benchmark::Counter(PercentileUs(99));
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+struct BenchJsonEntry {
+  std::string name;
+  double elems_per_sec = 0;
+  double p50_latency_us = 0;
+  double p99_latency_us = 0;
+  int64_t state_bytes = 0;
+};
+
+// Console output as usual, plus a copy of every run's metrics for the JSON
+// file.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      const auto counter = [&run](const char* key) {
+        const auto it = run.counters.find(key);
+        return it == run.counters.end()
+                   ? 0.0
+                   : static_cast<double>(it->second);
+      };
+      BenchJsonEntry entry;
+      entry.name = run.benchmark_name();
+      entry.elems_per_sec = counter("items_per_second");
+      entry.p50_latency_us = counter("p50_us");
+      entry.p99_latency_us = counter("p99_us");
+      entry.state_bytes = static_cast<int64_t>(counter("state_bytes"));
+      entries_.push_back(std::move(entry));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<BenchJsonEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<BenchJsonEntry> entries_;
+};
+
+inline bool WriteBenchJson(const std::string& path,
+                           const std::vector<BenchJsonEntry>& entries) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  std::fprintf(file, "[\n");
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const BenchJsonEntry& e = entries[i];
+    std::fprintf(file,
+                 "  {\"name\": \"%s\", \"elems_per_sec\": %.1f, "
+                 "\"p50_latency_us\": %.3f, \"p99_latency_us\": %.3f, "
+                 "\"state_bytes\": %lld}%s\n",
+                 e.name.c_str(), e.elems_per_sec, e.p50_latency_us,
+                 e.p99_latency_us, static_cast<long long>(e.state_bytes),
+                 i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(file, "]\n");
+  std::fclose(file);
+  return true;
+}
+
+// Drop-in replacement for BENCHMARK_MAIN(): the standard benchmark CLI plus
+// the --json flag.
+inline int RunBenchmarksWithJson(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  JsonTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty() &&
+      !WriteBenchJson(json_path, reporter.entries())) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace lmerge::bench

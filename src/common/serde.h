@@ -27,6 +27,10 @@ namespace lmerge {
 // An append-only byte buffer with typed writers.
 class Encoder {
  public:
+  // Pre-size for `n` more bytes of writes (an estimate is fine; the buffer
+  // still grows as needed).
+  void Reserve(size_t n) { bytes_.reserve(bytes_.size() + n); }
+
   void WriteU8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
   void WriteU32(uint32_t v);
   void WriteU64(uint64_t v);
@@ -48,6 +52,8 @@ class Encoder {
 class Decoder {
  public:
   explicit Decoder(const std::string& bytes) : bytes_(bytes) {}
+  // The decoder only borrows the buffer; a temporary would dangle.
+  explicit Decoder(std::string&&) = delete;
 
   Status ReadU8(uint8_t* v);
   Status ReadU32(uint32_t* v);

@@ -16,13 +16,44 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <utility>
 
 #include "common/check.h"
 
 namespace lmerge {
 
-template <typename Key, typename T, typename Compare = std::less<Key>>
+// Default augmentation policy: no per-node augmentation, zero overhead (the
+// node member is an empty [[no_unique_address]] struct).
+struct NoAugment {
+  static constexpr bool kEnabled = false;
+  struct Storage {};
+};
+
+// Min-augmentation policy: every node carries a caller-set int64_t (`self`)
+// plus the subtree minimum of those values, maintained through rotations,
+// inserts and erases.  FirstAugBelow/NextAugBelow then enumerate, in key
+// order, exactly the nodes whose `self` is below a threshold, visiting
+// O(log n) nodes per hit instead of walking the whole range.  This powers
+// the frontier-pruned stable-point scans of the LMerge in2t/in3t indexes.
+//
+// `Extra` is caller-owned per-node scratch storage (e.g. cached byte counts)
+// that rides in the same node allocation; it does not affect the tree.
+template <typename Extra = NoAugment::Storage>
+struct MinAugment {
+  static constexpr bool kEnabled = true;
+  // Identity for min(): a fresh node never matches FirstAugBelow until the
+  // caller sets a real value.
+  static constexpr int64_t kNone = std::numeric_limits<int64_t>::max();
+  struct Storage {
+    int64_t self = kNone;
+    int64_t subtree_min = kNone;
+    [[no_unique_address]] Extra extra{};
+  };
+};
+
+template <typename Key, typename T, typename Compare = std::less<Key>,
+          typename Aug = NoAugment>
 class RbTree {
  private:
   enum Color : uint8_t { kRed, kBlack };
@@ -34,6 +65,7 @@ class RbTree {
     Node* right = nullptr;
     Node* parent = nullptr;
     Color color = kRed;
+    [[no_unique_address]] typename Aug::Storage aug{};
 
     Node(Key k, T v) : key(std::move(k)), value(std::move(v)) {}
   };
@@ -195,7 +227,107 @@ class RbTree {
     LM_CHECK(count == size_);
   }
 
+  // --- Augmentation API (trees instantiated with MinAugment only) ---
+
+  // The node's caller-set augmented value.
+  int64_t AugValue(Iterator it) const { return it.node_->aug.self; }
+
+  // Caller-owned per-node scratch storage (MinAugment's Extra).
+  auto& AugExtra(Iterator it) { return it.node_->aug.extra; }
+  const auto& AugExtra(Iterator it) const { return it.node_->aug.extra; }
+
+  // Sets the node's augmented value and repairs subtree minima on the path
+  // to the root; O(log n), O(1) when the value is unchanged.
+  void SetAugValue(Iterator it, int64_t value) {
+    Node* n = it.node_;
+    if (n->aug.self == value) return;
+    n->aug.self = value;
+    for (; n != nullptr; n = n->parent) {
+      const int64_t m = SubtreeMin(n);
+      if (n->aug.subtree_min == m) break;
+      n->aug.subtree_min = m;
+    }
+  }
+
+  // First node in key order with AugValue < threshold, or end().
+  Iterator FirstAugBelow(int64_t threshold) const {
+    return Iterator(FirstAugBelowIn(root_, threshold));
+  }
+
+  // First node at or after `it` (in key order) with AugValue < threshold.
+  Iterator FirstAugBelowFrom(Iterator it, int64_t threshold) const {
+    if (it.node_ == nullptr) return end();
+    if (it.node_->aug.self < threshold) return it;
+    return NextAugBelow(it, threshold);
+  }
+
+  // Next node strictly after `it` (in key order) with AugValue < threshold.
+  // O(log n); does not read `it`'s own value, so the caller may have just
+  // changed it.
+  Iterator NextAugBelow(Iterator it, int64_t threshold) const {
+    Node* n = it.node_;
+    if (n->right != nullptr && n->right->aug.subtree_min < threshold) {
+      return Iterator(FirstAugBelowIn(n->right, threshold));
+    }
+    Node* p = n->parent;
+    while (p != nullptr) {
+      if (n == p->left) {
+        if (p->aug.self < threshold) return Iterator(p);
+        if (p->right != nullptr && p->right->aug.subtree_min < threshold) {
+          return Iterator(FirstAugBelowIn(p->right, threshold));
+        }
+      }
+      n = p;
+      p = p->parent;
+    }
+    return end();
+  }
+
+  // Recomputes every node's augmented value as fn(key, value) and rebuilds
+  // the subtree minima; O(n).  Used when an external event (stream set
+  // change, state restore) invalidates all values at once.
+  template <typename Fn>
+  void RecomputeAug(Fn&& fn) {
+    RecomputeAugSubtree(root_, fn);
+  }
+
  private:
+  static int64_t SubtreeMin(const Node* n) {
+    int64_t m = n->aug.self;
+    if (n->left != nullptr && n->left->aug.subtree_min < m) {
+      m = n->left->aug.subtree_min;
+    }
+    if (n->right != nullptr && n->right->aug.subtree_min < m) {
+      m = n->right->aug.subtree_min;
+    }
+    return m;
+  }
+
+  static void FixAug(Node* n) {
+    if constexpr (Aug::kEnabled) n->aug.subtree_min = SubtreeMin(n);
+  }
+
+  static Node* FirstAugBelowIn(Node* n, int64_t threshold) {
+    while (n != nullptr && n->aug.subtree_min < threshold) {
+      if (n->left != nullptr && n->left->aug.subtree_min < threshold) {
+        n = n->left;
+        continue;
+      }
+      if (n->aug.self < threshold) return n;
+      n = n->right;
+    }
+    return nullptr;
+  }
+
+  template <typename Fn>
+  static void RecomputeAugSubtree(Node* n, Fn& fn) {
+    if (n == nullptr) return;
+    RecomputeAugSubtree(n->left, fn);
+    RecomputeAugSubtree(n->right, fn);
+    n->aug.self = fn(static_cast<const Key&>(n->key), n->value);
+    n->aug.subtree_min = SubtreeMin(n);
+  }
+
   static Node* Minimum(Node* n) {
     if (n == nullptr) return nullptr;
     while (n->left != nullptr) n = n->left;
@@ -223,6 +355,8 @@ class RbTree {
     ReplaceChild(x, y);
     y->left = x;
     x->parent = y;
+    FixAug(x);  // x is now y's child: bottom-up order.
+    FixAug(y);
   }
 
   void RotateRight(Node* x) {
@@ -233,6 +367,8 @@ class RbTree {
     ReplaceChild(x, y);
     y->right = x;
     x->parent = y;
+    FixAug(x);
+    FixAug(y);
   }
 
   // Makes `y` occupy `x`'s position under x's parent (or the root).
@@ -328,6 +464,13 @@ class RbTree {
     delete z;
     --size_;
     if (y_original == kBlack) EraseFixup(x, x_parent);
+    if constexpr (Aug::kEnabled) {
+      // Every node whose subtree set changed (transplants above, plus any
+      // EraseFixup rotation) lies on the x_parent-to-root chain: rotations
+      // only move chain ancestors onto the chain, never off it.  One
+      // bottom-up pass repairs all minima.
+      for (Node* n = x_parent; n != nullptr; n = n->parent) FixAug(n);
+    }
   }
 
   void EraseFixup(Node* x, Node* parent) {
@@ -413,6 +556,9 @@ class RbTree {
     if (IsRed(n)) {
       LM_CHECK(!IsRed(n->left));
       LM_CHECK(!IsRed(n->right));
+    }
+    if constexpr (Aug::kEnabled) {
+      LM_CHECK(n->aug.subtree_min == SubtreeMin(n));
     }
     const int hl = ValidateSubtree(n->left, count);
     const int hr = ValidateSubtree(n->right, count);

@@ -12,6 +12,7 @@
 #define LMERGE_CORE_IN2T_H_
 
 #include <cstdint>
+#include <utility>
 
 #include "common/timestamp.h"
 #include "container/hash_table.h"
@@ -26,7 +27,15 @@ inline constexpr int32_t kOutputStream = -1;
 class In2t {
  public:
   using EndTable = HashTable<int32_t, Timestamp, IntHash>;
-  using Tree = RbTree<VsPayload, EndTable, VsPayloadLess>;
+  // Cached per-node byte accounting: the payload's deep size is computed
+  // once at AddNode (it never changes), and the bottom-tier slot bytes are
+  // re-synced after table mutations, keeping StateBytes() O(1).
+  struct NodeBytesCache {
+    int64_t payload = 0;
+    int64_t table = 0;
+  };
+  using Tree =
+      RbTree<VsPayload, EndTable, VsPayloadLess, MinAugment<NodeBytesCache>>;
   using Iterator = Tree::Iterator;
 
   // Returns the node with the element's (Vs, payload), or end().
@@ -34,23 +43,65 @@ class In2t {
     return tree_.Find(VsPayloadRef(vs, payload));
   }
 
-  // Adds a node for (vs, payload); must not already exist.
+  // Adds a node for (vs, payload); must not already exist.  The new node's
+  // frontier starts at "never actionable"; the caller sets it via
+  // SetFrontier once the bottom tier is populated.
   Iterator AddNode(Timestamp vs, const Row& payload) {
-    payload_bytes_ += payload.DeepSizeBytes();
     auto [it, inserted] = tree_.Insert(VsPayload(vs, payload), EndTable());
     LM_DCHECK(inserted);
+    NodeBytesCache& cache = tree_.AugExtra(it);
+    cache.payload = payload.DeepSizeBytes();
+    cache.table = it.value().SlotBytes();
+    payload_bytes_ += cache.payload;
+    table_bytes_ += cache.table;
     return it;
   }
 
   // Removes the node at `it`; returns the successor.
   Iterator DeleteNode(Iterator it) {
-    payload_bytes_ -= it.key().payload.DeepSizeBytes();
+    const NodeBytesCache& cache = tree_.AugExtra(it);
+    payload_bytes_ -= cache.payload;
+    table_bytes_ -= cache.table;
     return tree_.Erase(it);
+  }
+
+  // Re-syncs the cached slot bytes after the node's bottom-tier table may
+  // have grown; O(1).
+  void SyncTableBytes(Iterator it) {
+    NodeBytesCache& cache = tree_.AugExtra(it);
+    table_bytes_ += it.value().SlotBytes() - cache.table;
+    cache.table = it.value().SlotBytes();
+  }
+
+  // --- Frontier bookkeeping for the pruned half-frozen scan ---
+  //
+  // Per node, the algorithm maintains a conservative "frontier": a lower
+  // bound on the smallest stable point t for which stable-processing would
+  // act on the node (repair the output or delete it).  The scan then visits,
+  // in key order, only nodes with frontier < t; all others are provably
+  // untouched.  A frontier may be stale-LOW (extra visit, self-heals) but
+  // must never be stale-HIGH.
+
+  void SetFrontier(Iterator it, Timestamp frontier) {
+    tree_.SetAugValue(it, frontier);
+  }
+  Timestamp Frontier(Iterator it) const { return tree_.AugValue(it); }
+  Iterator FirstActionable(Timestamp t) const { return tree_.FirstAugBelow(t); }
+  Iterator FirstActionableFrom(Iterator it, Timestamp t) const {
+    return tree_.FirstAugBelowFrom(it, t);
+  }
+  Iterator NextActionable(Iterator it, Timestamp t) const {
+    return tree_.NextAugBelow(it, t);
+  }
+  // Recomputes every node's frontier as fn(key, end_table); O(n).
+  template <typename Fn>
+  void RecomputeFrontiers(Fn&& fn) {
+    tree_.RecomputeAug(std::forward<Fn>(fn));
   }
 
   // First node, in (Vs, payload) order; nodes with Vs < t are exactly the
   // ones FindHalfFrozen(t) must visit, so callers iterate from begin() while
-  // key().vs < t.
+  // key().vs < t (or use the pruned FirstActionable/NextActionable walk).
   Iterator begin() const { return tree_.begin(); }
   Iterator end() const { return tree_.end(); }
 
@@ -58,17 +109,15 @@ class In2t {
   bool empty() const { return tree_.empty(); }
 
   // Bytes held: tree nodes, shared payload copies, and bottom-tier tables.
+  // O(1): payload and slot bytes are maintained incrementally.
   int64_t StateBytes() const {
-    int64_t bytes = tree_.NodeBytes() + payload_bytes_;
-    for (auto it = tree_.begin(); it != tree_.end(); ++it) {
-      bytes += it.value().SlotBytes();
-    }
-    return bytes;
+    return tree_.NodeBytes() + payload_bytes_ + table_bytes_;
   }
 
  private:
   Tree tree_;
   int64_t payload_bytes_ = 0;
+  int64_t table_bytes_ = 0;
 };
 
 }  // namespace lmerge

@@ -10,6 +10,7 @@
 #define LMERGE_CORE_IN3T_H_
 
 #include <cstdint>
+#include <utility>
 
 #include "common/timestamp.h"
 #include "container/hash_table.h"
@@ -43,9 +44,24 @@ class VeMultiset {
   }
 
   int64_t total() const { return total_; }
+  bool empty() const { return total_ == 0; }
   int64_t CountOf(Timestamp ve) const {
     auto it = counts_.Find(ve);
     return it == counts_.end() ? 0 : it.value();
+  }
+
+  // Multiset equality; O(min distinct Ve count) with an O(1) total check
+  // first.  Used by the R4 frontier to detect uniform nodes.
+  bool Equals(const VeMultiset& other) const {
+    if (total_ != other.total_) return false;
+    auto a = counts_.begin();
+    auto b = other.counts_.begin();
+    while (a != counts_.end() && b != other.counts_.end()) {
+      if (a.key() != b.key() || a.value() != b.value()) return false;
+      ++a;
+      ++b;
+    }
+    return a == counts_.end() && b == other.counts_.end();
   }
 
   // Largest Ve present, or `fallback` when empty.
@@ -74,7 +90,15 @@ class VeMultiset {
 class In3t {
  public:
   using EndsTable = HashTable<int32_t, VeMultiset, IntHash>;
-  using Tree = RbTree<VsPayload, EndsTable, VsPayloadLess>;
+  // Cached per-node bytes: payload deep size (fixed at AddNode) and the
+  // auxiliary bottom tiers (slot bytes + per-stream multisets), re-synced
+  // after mutations so StateBytes() is O(1).
+  struct NodeBytesCache {
+    int64_t payload = 0;
+    int64_t aux = 0;
+  };
+  using Tree =
+      RbTree<VsPayload, EndsTable, VsPayloadLess, MinAugment<NodeBytesCache>>;
   using Iterator = Tree::Iterator;
 
   Iterator SameVsPayload(Timestamp vs, const Row& payload) const {
@@ -82,15 +106,48 @@ class In3t {
   }
 
   Iterator AddNode(Timestamp vs, const Row& payload) {
-    payload_bytes_ += payload.DeepSizeBytes();
     auto [it, inserted] = tree_.Insert(VsPayload(vs, payload), EndsTable());
     LM_DCHECK(inserted);
+    NodeBytesCache& cache = tree_.AugExtra(it);
+    cache.payload = payload.DeepSizeBytes();
+    cache.aux = AuxBytes(it);
+    payload_bytes_ += cache.payload;
+    aux_bytes_ += cache.aux;
     return it;
   }
 
   Iterator DeleteNode(Iterator it) {
-    payload_bytes_ -= it.key().payload.DeepSizeBytes();
+    const NodeBytesCache& cache = tree_.AugExtra(it);
+    payload_bytes_ -= cache.payload;
+    aux_bytes_ -= cache.aux;
     return tree_.Erase(it);
+  }
+
+  // Re-syncs the cached auxiliary bytes after the node's bottom tiers
+  // changed; O(streams + distinct Ve).
+  void SyncAuxBytes(Iterator it) {
+    NodeBytesCache& cache = tree_.AugExtra(it);
+    const int64_t aux = AuxBytes(it);
+    aux_bytes_ += aux - cache.aux;
+    cache.aux = aux;
+  }
+
+  // Frontier bookkeeping for the pruned stable scan; see In2t for the
+  // contract (stale-LOW allowed, stale-HIGH forbidden).
+  void SetFrontier(Iterator it, Timestamp frontier) {
+    tree_.SetAugValue(it, frontier);
+  }
+  Timestamp Frontier(Iterator it) const { return tree_.AugValue(it); }
+  Iterator FirstActionable(Timestamp t) const { return tree_.FirstAugBelow(t); }
+  Iterator FirstActionableFrom(Iterator it, Timestamp t) const {
+    return tree_.FirstAugBelowFrom(it, t);
+  }
+  Iterator NextActionable(Iterator it, Timestamp t) const {
+    return tree_.NextAugBelow(it, t);
+  }
+  template <typename Fn>
+  void RecomputeFrontiers(Fn&& fn) {
+    tree_.RecomputeAug(std::forward<Fn>(fn));
   }
 
   Iterator begin() const { return tree_.begin(); }
@@ -99,21 +156,24 @@ class In3t {
   int64_t node_count() const { return tree_.size(); }
   bool empty() const { return tree_.empty(); }
 
+  // O(1): all three tiers' bytes are maintained incrementally.
   int64_t StateBytes() const {
-    int64_t bytes = tree_.NodeBytes() + payload_bytes_;
-    for (auto it = tree_.begin(); it != tree_.end(); ++it) {
-      bytes += it.value().SlotBytes();
-      it.value().ForEach([&bytes](int32_t stream, const VeMultiset& ends) {
-        (void)stream;
-        bytes += ends.StateBytes();
-      });
-    }
-    return bytes;
+    return tree_.NodeBytes() + payload_bytes_ + aux_bytes_;
   }
 
  private:
+  static int64_t AuxBytes(Iterator it) {
+    int64_t bytes = it.value().SlotBytes();
+    it.value().ForEach([&bytes](int32_t stream, const VeMultiset& ends) {
+      (void)stream;
+      bytes += ends.StateBytes();
+    });
+    return bytes;
+  }
+
   Tree tree_;
   int64_t payload_bytes_ = 0;
+  int64_t aux_bytes_ = 0;
 };
 
 }  // namespace lmerge

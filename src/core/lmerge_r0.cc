@@ -27,4 +27,41 @@ void LMergeR0::OnStable(int stream, Timestamp t) {
   }
 }
 
+Status LMergeR0::ProcessBatch(int stream,
+                              std::span<const StreamElement> batch) {
+  LM_DCHECK(stream >= 0 && stream < stream_count());
+  LM_DCHECK(stream_active(stream));
+  // One pass merging the (sorted) run against the watermarks; identical
+  // output to per-element delivery, minus the dispatch overhead.
+  for (const StreamElement& element : batch) {
+    CountIn(element);
+    switch (element.kind()) {
+      case ElementKind::kInsert:
+        if (element.vs() > max_vs_) {
+          max_vs_ = element.vs();
+          EmitInsert(element.payload(), element.vs(), element.ve());
+        } else {
+          CountDrop();
+        }
+        break;
+      case ElementKind::kAdjust:
+        return Status::FailedPrecondition(
+            "LMergeR0 does not support adjust elements: " +
+            element.ToString());
+      case ElementKind::kStable:
+        OnStable(stream, element.stable_time());
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+Status LMergeR0::ValidateElement(const StreamElement& element) const {
+  if (element.is_adjust()) {
+    return Status::FailedPrecondition(
+        "LMergeR0 does not support adjust elements: " + element.ToString());
+  }
+  return Status::Ok();
+}
+
 }  // namespace lmerge

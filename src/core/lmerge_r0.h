@@ -21,6 +21,12 @@ class LMergeR0 : public MergeAlgorithm {
   Status OnAdjust(int stream, const StreamElement& element) override;
   void OnStable(int stream, Timestamp t) override;
 
+  // Batched run-merge: the whole batch is one tight watermark loop (the
+  // inputs are sorted runs), with no per-element virtual dispatch.
+  Status ProcessBatch(int stream,
+                      std::span<const StreamElement> batch) override;
+  Status ValidateElement(const StreamElement& element) const override;
+
   int64_t StateBytes() const override {
     return static_cast<int64_t>(sizeof(*this));
   }

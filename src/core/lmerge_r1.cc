@@ -42,4 +42,50 @@ void LMergeR1::OnStable(int stream, Timestamp t) {
   }
 }
 
+Status LMergeR1::ProcessBatch(int stream,
+                              std::span<const StreamElement> batch) {
+  LM_DCHECK(stream >= 0 && stream < stream_count());
+  LM_DCHECK(stream_active(stream));
+  int64_t& count = same_vs_count_[static_cast<size_t>(stream)];
+  for (const StreamElement& element : batch) {
+    CountIn(element);
+    switch (element.kind()) {
+      case ElementKind::kInsert:
+        if (element.vs() < max_vs_) {
+          CountDrop();
+          break;
+        }
+        if (element.vs() > max_vs_) {
+          std::fill(same_vs_count_.begin(), same_vs_count_.end(), 0);
+          max_count_ = 0;
+          max_vs_ = element.vs();
+        }
+        if (count == max_count_) {
+          EmitInsert(element.payload(), element.vs(), element.ve());
+          ++max_count_;
+        } else {
+          CountDrop();
+        }
+        ++count;
+        break;
+      case ElementKind::kAdjust:
+        return Status::FailedPrecondition(
+            "LMergeR1 does not support adjust elements: " +
+            element.ToString());
+      case ElementKind::kStable:
+        OnStable(stream, element.stable_time());
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+Status LMergeR1::ValidateElement(const StreamElement& element) const {
+  if (element.is_adjust()) {
+    return Status::FailedPrecondition(
+        "LMergeR1 does not support adjust elements: " + element.ToString());
+  }
+  return Status::Ok();
+}
+
 }  // namespace lmerge

@@ -26,6 +26,11 @@ class LMergeR1 : public MergeAlgorithm {
   Status OnAdjust(int stream, const StreamElement& element) override;
   void OnStable(int stream, Timestamp t) override;
 
+  // Batched run-merge over the sorted input run; no per-element dispatch.
+  Status ProcessBatch(int stream,
+                      std::span<const StreamElement> batch) override;
+  Status ValidateElement(const StreamElement& element) const override;
+
   int AddStream() override {
     same_vs_count_.push_back(0);
     return MergeAlgorithm::AddStream();

@@ -26,6 +26,14 @@ class LMergeR2 : public MergeAlgorithm {
   Status OnAdjust(int stream, const StreamElement& element) override;
   void OnStable(int stream, Timestamp t) override;
 
+  Status ValidateElement(const StreamElement& element) const override {
+    if (element.is_adjust()) {
+      return Status::FailedPrecondition(
+          "LMergeR2 does not support adjust elements: " + element.ToString());
+    }
+    return Status::Ok();
+  }
+
   int64_t StateBytes() const override {
     return static_cast<int64_t>(sizeof(*this)) + seen_.SlotBytes() +
            payload_bytes_;

@@ -32,12 +32,36 @@ bool LMergeR3::PolicyAllowsEmit(int stream, const In2t::EndTable& ends) const {
   return true;
 }
 
-Status LMergeR3::OnInsert(int stream, const StreamElement& element) {
+Timestamp LMergeR3::NodeFrontier(const VsPayload& key,
+                                 In2t::EndTable& ends) const {
+  const Timestamp vs = key.vs;
+  const Timestamp* out_ptr = ends.Find(kOutputStream);
+  Timestamp frontier = out_ptr != nullptr ? *out_ptr : vs;
+  int present = 0;
+  ends.ForEach([&](int32_t s, Timestamp ve) {
+    if (s == kOutputStream) return;
+    if (s >= stream_count() || !stream_active(s)) return;
+    ++present;
+    frontier = std::min(frontier, ve);
+  });
+  // An active stream with no entry views the event as the empty lifetime
+  // (Ve == Vs), so the frontier collapses to Vs.
+  if (present < active_stream_count()) frontier = vs;
+  return frontier;
+}
+
+void LMergeR3::RefreshNode(In2t::Iterator node) {
+  index_.SyncTableBytes(node);
+  index_.SetFrontier(node, NodeFrontier(node.key(), node.value()));
+}
+
+Status LMergeR3::ApplyInsert(int stream, const StreamElement& element,
+                             In2t::Iterator* node_io) {
   if (element.ve() < element.vs()) {
     return Status::InvalidArgument("insert with Ve < Vs: " +
                                    element.ToString());
   }
-  In2t::Iterator node = index_.SameVsPayload(element.vs(), element.payload());
+  In2t::Iterator node = *node_io;
   if (node == index_.end()) {
     if (element.vs() < max_stable_) {
       // The key previously existed and was fully frozen and removed, or the
@@ -46,6 +70,7 @@ Status LMergeR3::OnInsert(int stream, const StreamElement& element) {
       return Status::Ok();
     }
     node = index_.AddNode(element.vs(), element.payload());
+    *node_io = node;
   }
   In2t::EndTable& ends = node.value();
   *ends.Insert(stream, element.ve()).first = element.ve();
@@ -57,17 +82,17 @@ Status LMergeR3::OnInsert(int stream, const StreamElement& element) {
   return Status::Ok();
 }
 
-Status LMergeR3::OnAdjust(int stream, const StreamElement& element) {
+Status LMergeR3::ApplyAdjust(int stream, const StreamElement& element,
+                             In2t::Iterator* node_io) {
   if (element.ve() < element.vs()) {
     return Status::InvalidArgument("adjust with Ve < Vs: " +
                                    element.ToString());
   }
-  In2t::Iterator node = index_.SameVsPayload(element.vs(), element.payload());
-  if (node == index_.end()) {
+  if (*node_io == index_.end()) {
     CountDrop();
     return Status::Ok();
   }
-  In2t::EndTable& ends = node.value();
+  In2t::EndTable& ends = node_io->value();
   *ends.Insert(stream, element.ve()).first = element.ve();
 
   if (policy_.adjust_policy == AdjustPolicy::kEager) {
@@ -86,6 +111,95 @@ Status LMergeR3::OnAdjust(int stream, const StreamElement& element) {
   return Status::Ok();
 }
 
+Status LMergeR3::OnInsert(int stream, const StreamElement& element) {
+  In2t::Iterator node = index_.SameVsPayload(element.vs(), element.payload());
+  const Status status = ApplyInsert(stream, element, &node);
+  if (node != index_.end()) RefreshNode(node);
+  return status;
+}
+
+Status LMergeR3::OnAdjust(int stream, const StreamElement& element) {
+  In2t::Iterator node = index_.SameVsPayload(element.vs(), element.payload());
+  const Status status = ApplyAdjust(stream, element, &node);
+  if (node != index_.end()) RefreshNode(node);
+  return status;
+}
+
+Status LMergeR3::ProcessBatch(int stream,
+                              std::span<const StreamElement> batch) {
+  LM_DCHECK(stream >= 0 && stream < stream_count());
+  LM_DCHECK(stream_active(stream));
+  size_t i = 0;
+  while (i < batch.size()) {
+    const StreamElement& head = batch[i];
+    if (head.is_stable()) {
+      CountIn(head);
+      OnStable(stream, head.stable_time());
+      ++i;
+      continue;
+    }
+    // A run of insert/adjust elements sharing (Vs, payload): one index
+    // probe and one frontier/byte refresh serve the whole run.
+    In2t::Iterator node = index_.SameVsPayload(head.vs(), head.payload());
+    Status status = Status::Ok();
+    size_t j = i;
+    for (; j < batch.size(); ++j) {
+      const StreamElement& e = batch[j];
+      if (e.is_stable() || e.vs() != head.vs() ||
+          !(e.payload() == head.payload())) {
+        break;
+      }
+      CountIn(e);
+      const bool superseded =
+          e.is_adjust() && policy_.adjust_policy == AdjustPolicy::kLazy &&
+          node != index_.end() && j + 1 < batch.size() &&
+          batch[j + 1].is_adjust() && batch[j + 1].vs() == head.vs() &&
+          batch[j + 1].ve() >= batch[j + 1].vs() &&
+          batch[j + 1].payload() == head.payload();
+      if (superseded) {
+        // Under lazy reconciliation this adjust's Ve slot is overwritten by
+        // the next (valid) adjust of the run before any stable can read it;
+        // only its validation is observable.
+        status = e.ve() < e.vs()
+                     ? Status::InvalidArgument("adjust with Ve < Vs: " +
+                                               e.ToString())
+                     : Status::Ok();
+      } else {
+        status = e.is_insert() ? ApplyInsert(stream, e, &node)
+                               : ApplyAdjust(stream, e, &node);
+      }
+      if (!status.ok()) break;
+    }
+    if (node != index_.end()) RefreshNode(node);
+    if (!status.ok()) return status;
+    i = j;
+  }
+  return Status::Ok();
+}
+
+Status LMergeR3::ValidateElement(const StreamElement& element) const {
+  if (element.is_stable()) return Status::Ok();
+  if (element.ve() < element.vs()) {
+    return Status::InvalidArgument(
+        (element.is_insert() ? std::string("insert with Ve < Vs: ")
+                             : std::string("adjust with Ve < Vs: ")) +
+        element.ToString());
+  }
+  return Status::Ok();
+}
+
+int LMergeR3::AddStream() {
+  last_stable_.push_back(kMinTimestamp);
+  const int id = MergeAlgorithm::AddStream();
+  // The joiner has no entries anywhere, so every node's frontier collapses
+  // to its Vs until the new stream covers it.
+  index_.RecomputeFrontiers(
+      [this](const VsPayload& key, In2t::EndTable& ends) {
+        return NodeFrontier(key, ends);
+      });
+  return id;
+}
+
 void LMergeR3::OnStable(int stream, Timestamp t) {
   last_stable_[static_cast<size_t>(stream)] =
       std::max(last_stable_[static_cast<size_t>(stream)], t);
@@ -97,10 +211,15 @@ void LMergeR3::OnStable(int stream, Timestamp t) {
   }
   if (t <= max_stable_) return;
 
-  // Walk every node that is (or is becoming) half frozen: key.vs < t.
-  In2t::Iterator it = index_.begin();
-  while (it != index_.end() && it.key().vs < t) {
+  // Frontier-pruned half-frozen scan: of the nodes with key.vs < t, visit
+  // (in key order) only those whose frontier precedes t.  A skipped node
+  // has min(out Ve, every active stream's Ve) >= t, so the repair condition
+  // below is false for it and it is not fully frozen — the pruned walk
+  // produces byte-identical output to scanning the whole Vs < t range.
+  In2t::Iterator it = index_.FirstActionable(t);
+  while (it != index_.end()) {
     const Timestamp vs = it.key().vs;
+    LM_DCHECK(vs < t);
     In2t::EndTable& ends = it.value();
 
     // The driving stream's view of the event; absent means the event is not
@@ -139,9 +258,12 @@ void LMergeR3::OnStable(int stream, Timestamp t) {
     if (in_ve < t) {
       // Fully frozen under the new stable point: the output now matches the
       // reference stream for this key forever; drop the node.
-      it = index_.DeleteNode(it);
+      it = index_.FirstActionableFrom(index_.DeleteNode(it), t);
     } else {
-      ++it;
+      // Repairing raised the node's views; re-sync its frontier (this also
+      // self-heals frontiers left stale-low by RemoveStream).
+      RefreshNode(it);
+      it = index_.NextActionable(it, t);
     }
   }
 
@@ -197,6 +319,14 @@ Status LMergeR3::RestoreState(Decoder* decoder) {
       node.value().Insert(static_cast<int32_t>(stream), ve);
     }
   }
+  // Rebuild the incremental byte counters and scan frontiers.
+  for (auto it = index_.begin(); it != index_.end(); ++it) {
+    index_.SyncTableBytes(it);
+  }
+  index_.RecomputeFrontiers(
+      [this](const VsPayload& key, In2t::EndTable& ends) {
+        return NodeFrontier(key, ends);
+      });
   return Status::Ok();
 }
 

@@ -47,10 +47,16 @@ class LMergeR3 : public MergeAlgorithm, public Checkpointable {
   Status OnAdjust(int stream, const StreamElement& element) override;
   void OnStable(int stream, Timestamp t) override;
 
-  int AddStream() override {
-    last_stable_.push_back(kMinTimestamp);
-    return MergeAlgorithm::AddStream();
-  }
+  // Batched delivery: groups consecutive elements with the same
+  // (Vs, payload) into runs so one index probe and one frontier refresh
+  // serve the whole run; coalesces adjusts a later adjust in the same run
+  // overwrites (lazy policy only).  Output is byte-identical to
+  // element-wise delivery.
+  Status ProcessBatch(int stream,
+                      std::span<const StreamElement> batch) override;
+  Status ValidateElement(const StreamElement& element) const override;
+
+  int AddStream() override;
 
   int64_t StateBytes() const override {
     return static_cast<int64_t>(sizeof(*this)) + index_.StateBytes() +
@@ -71,6 +77,22 @@ class LMergeR3 : public MergeAlgorithm, public Checkpointable {
  private:
   // Whether the insert-emission policy allows emitting now.
   bool PolicyAllowsEmit(int stream, const In2t::EndTable& ends) const;
+
+  // Conservative per-node frontier: the smallest of the output's Ve and
+  // every active stream's Ve for the node (absent views count as Vs, the
+  // empty lifetime).  No stable(t) with t <= frontier can act on the node,
+  // so the pruned scan in OnStable may skip it.
+  Timestamp NodeFrontier(const VsPayload& key, In2t::EndTable& ends) const;
+  // Re-syncs the node's cached byte counts and frontier after mutations.
+  void RefreshNode(In2t::Iterator node);
+
+  // Core insert/adjust steps against a pre-probed node iterator (end() when
+  // the key is absent; updated if a node is created).  The caller refreshes
+  // the node's frontier afterwards — once per run in the batched path.
+  Status ApplyInsert(int stream, const StreamElement& element,
+                     In2t::Iterator* node_io);
+  Status ApplyAdjust(int stream, const StreamElement& element,
+                     In2t::Iterator* node_io);
 
   MergePolicy policy_;
   In2t index_;

@@ -34,6 +34,19 @@ class LMergeR3Minus : public MergeAlgorithm {
   Status OnAdjust(int stream, const StreamElement& element) override;
   void OnStable(int stream, Timestamp t) override;
 
+  // Deliberately keeps the default per-element ProcessBatch: LMR3- is the
+  // paper's baseline and should not gain batched-path optimizations.
+  Status ValidateElement(const StreamElement& element) const override {
+    if (element.is_stable()) return Status::Ok();
+    if (element.ve() < element.vs()) {
+      return Status::InvalidArgument(
+          (element.is_insert() ? std::string("insert with Ve < Vs: ")
+                               : std::string("adjust with Ve < Vs: ")) +
+          element.ToString());
+    }
+    return Status::Ok();
+  }
+
   int AddStream() override {
     inputs_.push_back(MakeIndex());
     return MergeAlgorithm::AddStream();

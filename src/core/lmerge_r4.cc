@@ -4,19 +4,48 @@
 
 namespace lmerge {
 
-Status LMergeR4::OnInsert(int stream, const StreamElement& element) {
+Timestamp LMergeR4::NodeFrontier(const VsPayload& key,
+                                 In3t::EndsTable& ends) const {
+  const VeMultiset* out = ends.Find(kOutputStream);
+  const bool out_empty = out == nullptr || out->empty();
+  bool divergent = false;
+  int present = 0;
+  ends.ForEach([&](int32_t s, const VeMultiset& mine) {
+    if (s == kOutputStream) return;
+    if (s >= stream_count() || !stream_active(s)) return;
+    ++present;
+    if (!divergent && (out == nullptr ? !mine.empty() : !mine.Equals(*out))) {
+      divergent = true;
+    }
+  });
+  // Active streams with no entry hold the empty multiset.
+  if (present < active_stream_count() && !out_empty) divergent = true;
+  if (divergent) return key.vs;
+  // Uniform: no reconciliation is possible until the common largest end
+  // time is about to freeze (which is also when the node becomes deletable).
+  return out == nullptr ? key.vs : out->MaxVe(key.vs);
+}
+
+void LMergeR4::RefreshNode(In3t::Iterator node) {
+  index_.SyncAuxBytes(node);
+  index_.SetFrontier(node, NodeFrontier(node.key(), node.value()));
+}
+
+Status LMergeR4::ApplyInsert(int stream, const StreamElement& element,
+                             In3t::Iterator* node_io) {
   if (element.ve() < element.vs()) {
     return Status::InvalidArgument("insert with Ve < Vs: " +
                                    element.ToString());
   }
   if (element.ve() == element.vs()) return Status::Ok();  // empty lifetime
-  In3t::Iterator node = index_.SameVsPayload(element.vs(), element.payload());
+  In3t::Iterator node = *node_io;
   if (node == index_.end()) {
     if (element.vs() < max_stable_) {
       CountDrop();
       return Status::Ok();
     }
     node = index_.AddNode(element.vs(), element.payload());
+    *node_io = node;
   }
   In3t::EndsTable& ends = node.value();
   // Materialize both entries before taking references: a robin-hood insert
@@ -39,12 +68,13 @@ Status LMergeR4::OnInsert(int stream, const StreamElement& element) {
   return Status::Ok();
 }
 
-Status LMergeR4::OnAdjust(int stream, const StreamElement& element) {
+Status LMergeR4::ApplyAdjust(int stream, const StreamElement& element,
+                             In3t::Iterator* node_io) {
   if (element.ve() < element.vs()) {
     return Status::InvalidArgument("adjust with Ve < Vs: " +
                                    element.ToString());
   }
-  In3t::Iterator node = index_.SameVsPayload(element.vs(), element.payload());
+  In3t::Iterator node = *node_io;
   if (node == index_.end()) {
     CountDrop();
     return Status::Ok();
@@ -68,6 +98,77 @@ Status LMergeR4::OnAdjust(int stream, const StreamElement& element) {
   }
   // Output reconciliation is lazy (stable() time); see ReconcileNode.
   return Status::Ok();
+}
+
+Status LMergeR4::OnInsert(int stream, const StreamElement& element) {
+  In3t::Iterator node = index_.SameVsPayload(element.vs(), element.payload());
+  const Status status = ApplyInsert(stream, element, &node);
+  if (node != index_.end()) RefreshNode(node);
+  return status;
+}
+
+Status LMergeR4::OnAdjust(int stream, const StreamElement& element) {
+  In3t::Iterator node = index_.SameVsPayload(element.vs(), element.payload());
+  const Status status = ApplyAdjust(stream, element, &node);
+  if (node != index_.end()) RefreshNode(node);
+  return status;
+}
+
+Status LMergeR4::ProcessBatch(int stream,
+                              std::span<const StreamElement> batch) {
+  LM_DCHECK(stream >= 0 && stream < stream_count());
+  LM_DCHECK(stream_active(stream));
+  size_t i = 0;
+  while (i < batch.size()) {
+    const StreamElement& head = batch[i];
+    if (head.is_stable()) {
+      CountIn(head);
+      OnStable(stream, head.stable_time());
+      ++i;
+      continue;
+    }
+    In3t::Iterator node = index_.SameVsPayload(head.vs(), head.payload());
+    Status status = Status::Ok();
+    size_t j = i;
+    for (; j < batch.size(); ++j) {
+      const StreamElement& e = batch[j];
+      if (e.is_stable() || e.vs() != head.vs() ||
+          !(e.payload() == head.payload())) {
+        break;
+      }
+      CountIn(e);
+      status = e.is_insert() ? ApplyInsert(stream, e, &node)
+                             : ApplyAdjust(stream, e, &node);
+      if (!status.ok()) break;
+    }
+    if (node != index_.end()) RefreshNode(node);
+    if (!status.ok()) return status;
+    i = j;
+  }
+  return Status::Ok();
+}
+
+Status LMergeR4::ValidateElement(const StreamElement& element) const {
+  if (element.is_stable()) return Status::Ok();
+  if (element.ve() < element.vs()) {
+    return Status::InvalidArgument(
+        (element.is_insert() ? std::string("insert with Ve < Vs: ")
+                             : std::string("adjust with Ve < Vs: ")) +
+        element.ToString());
+  }
+  return Status::Ok();
+}
+
+int LMergeR4::AddStream() {
+  const int id = MergeAlgorithm::AddStream();
+  // The joiner holds the empty multiset everywhere: every node whose output
+  // is non-empty becomes divergent (frontier Vs) until the stream catches
+  // up.
+  index_.RecomputeFrontiers(
+      [this](const VsPayload& key, In3t::EndsTable& ends) {
+        return NodeFrontier(key, ends);
+      });
+  return id;
 }
 
 void LMergeR4::ReconcileNode(In3t::Iterator it, int stream, Timestamp t) {
@@ -183,8 +284,13 @@ void LMergeR4::OnStable(int stream, Timestamp t) {
   }
   if (t <= max_stable_) return;
 
-  In3t::Iterator it = index_.begin();
-  while (it != index_.end() && it.key().vs < t) {
+  // Frontier-pruned scan: a skipped node (frontier >= t) is uniform across
+  // the output and every active stream with common MaxVe >= t, so
+  // ReconcileNode would emit nothing and the delete test below would fail —
+  // the walk's output is byte-identical to scanning the whole Vs < t range.
+  In3t::Iterator it = index_.FirstActionable(t);
+  while (it != index_.end()) {
+    LM_DCHECK(it.key().vs < t);
     ReconcileNode(it, stream, t);
     const VeMultiset* in_ptr = it.value().Find(stream);
     const Timestamp max_ve =
@@ -192,9 +298,10 @@ void LMergeR4::OnStable(int stream, Timestamp t) {
     if (max_ve < t) {
       // Every event for this key is fully frozen; the output matches the
       // reference stream for it forever.
-      it = index_.DeleteNode(it);
+      it = index_.FirstActionableFrom(index_.DeleteNode(it), t);
     } else {
-      ++it;
+      RefreshNode(it);
+      it = index_.NextActionable(it, t);
     }
   }
 
@@ -263,6 +370,14 @@ Status LMergeR4::RestoreState(Decoder* decoder) {
       node.value().Insert(static_cast<int32_t>(stream), std::move(ends));
     }
   }
+  // Rebuild the incremental byte counters and scan frontiers.
+  for (auto it = index_.begin(); it != index_.end(); ++it) {
+    index_.SyncAuxBytes(it);
+  }
+  index_.RecomputeFrontiers(
+      [this](const VsPayload& key, In3t::EndsTable& ends) {
+        return NodeFrontier(key, ends);
+      });
   return Status::Ok();
 }
 

@@ -37,6 +37,15 @@ class LMergeR4 : public MergeAlgorithm, public Checkpointable {
   Status OnAdjust(int stream, const StreamElement& element) override;
   void OnStable(int stream, Timestamp t) override;
 
+  // Batched delivery: groups consecutive same-(Vs, payload) elements into
+  // runs with one index probe and one frontier refresh each; output is
+  // byte-identical to element-wise delivery.
+  Status ProcessBatch(int stream,
+                      std::span<const StreamElement> batch) override;
+  Status ValidateElement(const StreamElement& element) const override;
+
+  int AddStream() override;
+
   int64_t StateBytes() const override {
     return static_cast<int64_t>(sizeof(*this)) + index_.StateBytes();
   }
@@ -58,6 +67,17 @@ class LMergeR4 : public MergeAlgorithm, public Checkpointable {
   // multiset ahead of propagating stable(t) — exactly, or (with
   // policy.r4_exact_match == false) only as far as compatibility demands.
   void ReconcileNode(In3t::Iterator it, int stream, Timestamp t);
+
+  // Conservative per-node frontier for the pruned stable scan: if every
+  // active stream's Ve multiset equals the output's (absent == empty) the
+  // node is uniform and untouchable until the common MaxVe freezes;
+  // otherwise it must be visited as soon as it is half frozen (Vs).
+  Timestamp NodeFrontier(const VsPayload& key, In3t::EndsTable& ends) const;
+  void RefreshNode(In3t::Iterator node);
+  Status ApplyInsert(int stream, const StreamElement& element,
+                     In3t::Iterator* node_io);
+  Status ApplyAdjust(int stream, const StreamElement& element,
+                     In3t::Iterator* node_io);
 
   MergePolicy policy_;
   In3t index_;

@@ -12,6 +12,7 @@
 #define LMERGE_CORE_MERGE_ALGORITHM_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,30 @@ class MergeAlgorithm {
     return Status::Internal("unknown element kind");
   }
 
+  // Delivers a batch of elements from one stream.  Equivalent to calling
+  // OnElement per element in order, stopping at the first failure (elements
+  // before the failing one stay applied).  Overrides amortize index probes
+  // and scan work across the batch but must produce byte-identical output
+  // and stats.
+  virtual Status ProcessBatch(int stream,
+                              std::span<const StreamElement> batch) {
+    for (const StreamElement& element : batch) {
+      const Status status = OnElement(stream, element);
+      if (!status.ok()) return status;
+    }
+    return Status::Ok();
+  }
+
+  // Pre-validation for untrusted entry points: returns exactly the error
+  // OnElement would return for this element, or Ok.  Must be STATELESS —
+  // it depends only on the element, never on mutable merge state — so
+  // concurrent producers may call it without synchronization.  An element
+  // that passes never fails asynchronously inside the merge thread.
+  virtual Status ValidateElement(const StreamElement& element) const {
+    (void)element;
+    return Status::Ok();
+  }
+
   virtual Status OnInsert(int stream, const StreamElement& element) = 0;
   virtual Status OnAdjust(int stream, const StreamElement& element) = 0;
   virtual void OnStable(int stream, Timestamp t) = 0;
@@ -133,6 +158,22 @@ class MergeAlgorithm {
     sink_->OnElement(StreamElement::Stable(t));
   }
   void CountDrop() { ++stats_.dropped; }
+
+  // Input-side stats bump for ProcessBatch overrides that bypass OnElement;
+  // keeps stats byte-identical with element-wise delivery.
+  void CountIn(const StreamElement& element) {
+    switch (element.kind()) {
+      case ElementKind::kInsert:
+        ++stats_.inserts_in;
+        break;
+      case ElementKind::kAdjust:
+        ++stats_.adjusts_in;
+        break;
+      case ElementKind::kStable:
+        ++stats_.stables_in;
+        break;
+    }
+  }
 
   Timestamp max_stable_ = kMinTimestamp;
 

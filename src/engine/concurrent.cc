@@ -1,48 +1,269 @@
 #include "engine/concurrent.h"
 
-#include <thread>
+#include <chrono>
+#include <string>
+#include <utility>
 
 namespace lmerge {
 
-void ConcurrentMerger::Deliver(int stream, const StreamElement& element) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const Status status = algorithm_->OnElement(stream, element);
-  LM_CHECK_MSG(status.ok(), "concurrent delivery failed: %s",
-               status.ToString().c_str());
-  ++delivered_;
+ConcurrentMerger::ConcurrentMerger(MergeAlgorithm* algorithm,
+                                   ConcurrentMergerOptions options)
+    : algorithm_(algorithm),
+      options_(std::move(options)),
+      max_stable_(algorithm == nullptr ? kMinTimestamp
+                                       : algorithm->max_stable()) {
+  LM_CHECK(algorithm != nullptr);
+  LM_CHECK(options_.ring_capacity >= 2);
+  LM_CHECK(options_.max_batch >= 1);
+  slots_.reserve(kMaxStreams);
+  const int n = algorithm_->stream_count();
+  LM_CHECK(static_cast<size_t>(n) <= kMaxStreams);
+  for (int s = 0; s < n; ++s) {
+    slots_.push_back(std::make_unique<InputSlot>(options_.ring_capacity));
+  }
+  slot_count_.store(n, std::memory_order_release);
+  scratch_.reserve(options_.max_batch);
+  merge_thread_ = std::thread([this] { MergeLoop(); });
 }
 
-Status ConcurrentMerger::TryDeliver(int stream, const StreamElement& element) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (stream < 0 || stream >= algorithm_->stream_count() ||
-      !algorithm_->stream_active(stream)) {
+ConcurrentMerger::~ConcurrentMerger() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+  }
+  wake_cv_.notify_all();
+  if (merge_thread_.joinable()) merge_thread_.join();
+}
+
+Status ConcurrentMerger::Precheck(int stream,
+                                  const StreamElement& element) const {
+  if (stream < 0 || stream >= slot_count_.load(std::memory_order_acquire) ||
+      !slots_[static_cast<size_t>(stream)]->active.load(
+          std::memory_order_acquire)) {
     return Status::FailedPrecondition("delivery on inactive stream " +
                                       std::to_string(stream));
   }
-  const Status status = algorithm_->OnElement(stream, element);
-  if (status.ok()) ++delivered_;
-  return status;
+  if (poisoned_.load(std::memory_order_acquire)) return error();
+  // Stateless element validation (the exact error OnElement would return),
+  // so an accepted element never fails later on the merge thread.
+  return algorithm_->ValidateElement(element);
 }
 
-int ConcurrentMerger::AddStream() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return algorithm_->AddStream();
+void ConcurrentMerger::EnqueueBlocking(int stream, StreamElement element) {
+  InputSlot& slot = *slots_[static_cast<size_t>(stream)];
+  // Commit the element to the books before it becomes visible, so pending_
+  // never transiently reads 0 while work is in flight.
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  int spins = 0;
+  while (!slot.ring.TryPush(element)) {
+    if (++spins < 64) continue;
+    WakeMerge();
+    std::unique_lock<std::mutex> lock(slot.wait_mutex);
+    slot.producer_waiting.store(true, std::memory_order_release);
+    // Timed wait: a notify can race the flag, so the timeout is the
+    // lost-wakeup backstop; backpressure latency stays bounded at ~1ms.
+    slot.wait_cv.wait_for(lock, std::chrono::milliseconds(1));
+    slot.producer_waiting.store(false, std::memory_order_release);
+  }
+  delivered_.fetch_add(1, std::memory_order_release);
+  WakeMerge();
 }
 
-void ConcurrentMerger::RemoveStream(int stream) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (stream >= 0 && stream < algorithm_->stream_count() &&
-      algorithm_->stream_active(stream)) {
-    algorithm_->RemoveStream(stream);
+void ConcurrentMerger::WakeMerge() {
+  if (merge_sleeping_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(wake_mutex_);
+    }
+    wake_cv_.notify_one();
   }
 }
 
-Timestamp ConcurrentMerger::max_stable() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return algorithm_->max_stable();
+void ConcurrentMerger::Deliver(int stream, const StreamElement& element) {
+  LM_CHECK(stream >= 0 &&
+           stream < slot_count_.load(std::memory_order_acquire));
+  EnqueueBlocking(stream, element);
+}
+
+Status ConcurrentMerger::TryDeliver(int stream, const StreamElement& element) {
+  const Status status = Precheck(stream, element);
+  if (!status.ok()) return status;
+  EnqueueBlocking(stream, element);
+  return Status::Ok();
+}
+
+Status ConcurrentMerger::TryDeliverBatch(int stream,
+                                         std::span<StreamElement> batch) {
+  for (StreamElement& element : batch) {
+    const Status status = Precheck(stream, element);
+    if (!status.ok()) return status;
+    EnqueueBlocking(stream, std::move(element));
+  }
+  return Status::Ok();
+}
+
+int ConcurrentMerger::AddStream() {
+  ControlOp op;
+  op.kind = ControlOp::kAddStream;
+  std::future<int> result = op.result.get_future();
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    control_ops_.push_back(std::move(op));
+    has_control_ops_.store(true, std::memory_order_release);
+  }
+  WakeMerge();
+  return result.get();
+}
+
+void ConcurrentMerger::RemoveStream(int stream) {
+  if (stream < 0 || stream >= slot_count_.load(std::memory_order_acquire)) {
+    return;
+  }
+  // Close the producer side first (new TryDeliver calls fail immediately);
+  // idempotent, so a second RemoveStream is a no-op.
+  if (!slots_[static_cast<size_t>(stream)]->active.exchange(false)) return;
+  ControlOp op;
+  op.kind = ControlOp::kRemoveStream;
+  op.stream = stream;
+  std::future<int> result = op.result.get_future();
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    control_ops_.push_back(std::move(op));
+    has_control_ops_.store(true, std::memory_order_release);
+  }
+  WakeMerge();
+  result.get();
+}
+
+void ConcurrentMerger::CallOnMergeThread(std::function<void()> fn) {
+  ControlOp op;
+  op.kind = ControlOp::kCall;
+  op.fn = std::move(fn);
+  std::future<int> result = op.result.get_future();
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    control_ops_.push_back(std::move(op));
+    has_control_ops_.store(true, std::memory_order_release);
+  }
+  WakeMerge();
+  result.get();
+}
+
+void ConcurrentMerger::WaitIdle() {
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  idle_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+Status ConcurrentMerger::error() const {
+  std::lock_guard<std::mutex> lock(control_mutex_);
+  return error_;
+}
+
+void ConcurrentMerger::RecordError(const Status& status) {
+  std::lock_guard<std::mutex> lock(control_mutex_);
+  if (error_.ok()) error_ = status;
+  poisoned_.store(true, std::memory_order_release);
+}
+
+size_t ConcurrentMerger::DrainRing(int stream) {
+  InputSlot& slot = *slots_[static_cast<size_t>(stream)];
+  scratch_.clear();
+  const size_t n = slot.ring.Pop(&scratch_, options_.max_batch);
+  if (n == 0) return 0;
+  if (!poisoned_.load(std::memory_order_relaxed)) {
+    const Status status = algorithm_->ProcessBatch(
+        stream, std::span<const StreamElement>(scratch_.data(), n));
+    if (!status.ok()) RecordError(status);
+    max_stable_.store(algorithm_->max_stable(), std::memory_order_release);
+    if (options_.after_batch) options_.after_batch();
+  }
+  if (slot.producer_waiting.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(slot.wait_mutex);
+    }
+    slot.wait_cv.notify_all();
+  }
+  // Notify idle waiters under the lock only when this drain emptied the
+  // books (cheap check: the fetch_sub returned exactly n).
+  if (pending_.fetch_sub(static_cast<int64_t>(n),
+                         std::memory_order_acq_rel) ==
+      static_cast<int64_t>(n)) {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    idle_cv_.notify_all();
+  }
+  return n;
+}
+
+size_t ConcurrentMerger::ProcessControlOps() {
+  if (!has_control_ops_.load(std::memory_order_acquire)) return 0;
+  std::deque<ControlOp> ops;
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    ops.swap(control_ops_);
+    has_control_ops_.store(false, std::memory_order_release);
+  }
+  for (ControlOp& op : ops) {
+    if (op.kind == ControlOp::kAddStream) {
+      const int id = algorithm_->AddStream();
+      LM_CHECK(slots_.size() < kMaxStreams);
+      slots_.push_back(std::make_unique<InputSlot>(options_.ring_capacity));
+      slot_count_.store(static_cast<int>(slots_.size()),
+                        std::memory_order_release);
+      LM_CHECK(id == static_cast<int>(slots_.size()) - 1);
+      op.result.set_value(id);
+    } else if (op.kind == ControlOp::kCall) {
+      op.fn();
+      op.result.set_value(0);
+    } else {
+      // Drain everything the departing stream already enqueued, then detach
+      // it — its elements are merged, never dropped.
+      while (DrainRing(op.stream) > 0) {
+      }
+      if (op.stream < algorithm_->stream_count() &&
+          algorithm_->stream_active(op.stream)) {
+        algorithm_->RemoveStream(op.stream);
+      }
+      op.result.set_value(0);
+    }
+  }
+  return ops.size();
+}
+
+void ConcurrentMerger::MergeLoop() {
+  int idle_rounds = 0;
+  while (true) {
+    size_t work = ProcessControlOps();
+    const int n = slot_count_.load(std::memory_order_acquire);
+    for (int s = 0; s < n; ++s) work += DrainRing(s);
+    if (work > 0) {
+      idle_rounds = 0;
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0 &&
+        !has_control_ops_.load(std::memory_order_acquire)) {
+      break;
+    }
+    // Idle backoff: spin briefly (fresh work usually arrives within a few
+    // hundred ns), then yield, then park on a 1ms timed wait — the timeout
+    // doubles as the lost-wakeup backstop for WakeMerge's unlocked check.
+    ++idle_rounds;
+    if (idle_rounds < 128) continue;
+    if (idle_rounds < 160) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    merge_sleeping_.store(true, std::memory_order_release);
+    wake_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    merge_sleeping_.store(false, std::memory_order_release);
+  }
 }
 
 void ConcurrentMerger::Run(const std::vector<ElementSequence>& inputs) {
+  LM_CHECK(static_cast<int>(inputs.size()) <=
+           slot_count_.load(std::memory_order_acquire));
   std::vector<std::thread> threads;
   threads.reserve(inputs.size());
   for (size_t s = 0; s < inputs.size(); ++s) {
@@ -53,6 +274,10 @@ void ConcurrentMerger::Run(const std::vector<ElementSequence>& inputs) {
     });
   }
   for (std::thread& thread : threads) thread.join();
+  WaitIdle();
+  const Status status = error();
+  LM_CHECK_MSG(status.ok(), "concurrent delivery failed: %s",
+               status.ToString().c_str());
 }
 
 }  // namespace lmerge

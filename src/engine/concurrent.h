@@ -1,64 +1,190 @@
 // Concurrent ingestion: one producer thread per input stream delivering
-// into a shared, internally synchronized LMerge.
+// into a batched, single-threaded LMerge core.
 //
 // The deterministic simulator (engine/simulator.h) is what the figure
 // harnesses use; this module models the deployment reality instead — each
 // replica of a query arrives on its own network/session thread ("identical
 // copies of a query running on machines with independent processor or
-// network resources", Sec. II-2).  Delivery order across streams is then
-// genuinely nondeterministic; the merge must produce a stream equivalent to
-// the logical input regardless (the concurrency stress tests assert this
-// over many runs).
+// network resources", Sec. II-2).
+//
+// Architecture: every input stream owns a bounded SPSC ring buffer; the
+// producer side (Deliver/TryDeliver/TryDeliverBatch) validates and enqueues
+// without ever touching merge state, and a single internal merge thread
+// drains the rings round-robin, handing each drained chunk to
+// MergeAlgorithm::ProcessBatch.  A full ring blocks its producer
+// (backpressure), bounding memory.  AddStream/RemoveStream are control
+// messages executed on the merge thread between batches, so join/leave is
+// ordered against in-flight deliveries; max_stable/delivered_count are
+// atomics.  Because exactly one thread runs the algorithm, delivery order
+// across streams is nondeterministic but each stream's order is preserved —
+// the same contract the old global-mutex design gave, minus the lock
+// convoy.
 
 #ifndef LMERGE_ENGINE_CONCURRENT_H_
 #define LMERGE_ENGINE_CONCURRENT_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
+#include <span>
+#include <thread>
 #include <vector>
 
 #include "core/merge_algorithm.h"
+#include "engine/spsc_ring.h"
 #include "stream/element.h"
 
 namespace lmerge {
 
+struct ConcurrentMergerOptions {
+  // Per-input ring capacity in elements (rounded up to a power of two).  A
+  // full ring blocks the producer until the merge thread catches up.
+  size_t ring_capacity = 4096;
+  // Upper bound on elements handed to ProcessBatch per drain of one ring.
+  size_t max_batch = 1024;
+  // Invoked on the merge thread after every processed batch; embedders use
+  // it to flush per-batch output buffers.
+  std::function<void()> after_batch;
+};
+
 class ConcurrentMerger {
  public:
-  // The merger does not own `algorithm`; its sink must tolerate being
-  // invoked under the merger's lock.
-  explicit ConcurrentMerger(MergeAlgorithm* algorithm)
-      : algorithm_(algorithm) {
-    LM_CHECK(algorithm != nullptr);
-  }
+  // The merger does not own `algorithm`.  The algorithm and its sink are
+  // only ever touched by the internal merge thread; the sink must therefore
+  // tolerate running on that thread.  Starts the merge thread immediately.
+  explicit ConcurrentMerger(MergeAlgorithm* algorithm,
+                            ConcurrentMergerOptions options = {});
+
+  // Drains all enqueued work, then stops and joins the merge thread.
+  ~ConcurrentMerger();
+
+  ConcurrentMerger(const ConcurrentMerger&) = delete;
+  ConcurrentMerger& operator=(const ConcurrentMerger&) = delete;
 
   // Spawns one thread per input, each delivering its sequence in order
-  // (cross-stream interleaving is up to the scheduler), and joins them.
-  // Aborts on delivery errors (inputs are trusted replicas).
+  // (cross-stream interleaving is up to the scheduler), joins them, and
+  // waits until the merge thread has processed everything.  Aborts on
+  // delivery errors (inputs are trusted replicas).
   void Run(const std::vector<ElementSequence>& inputs);
 
-  // Thread-safe single-element delivery (for callers managing their own
-  // threads).
+  // Thread-safe single-element delivery for trusted callers managing their
+  // own threads; blocks while the stream's ring is full.  At most one
+  // thread may deliver to a given stream at a time (SPSC).
   void Deliver(int stream, const StreamElement& element);
 
-  // Like Deliver, but reports failure instead of aborting — the right entry
-  // point for *untrusted* inputs (network publishers): a malformed element
-  // tears down one session, not the process.
+  // Like Deliver, but validates first and reports failure instead of
+  // aborting — the entry point for *untrusted* inputs (network publishers):
+  // a malformed element tears down one session, not the process.
+  // Enqueue-only: Ok means accepted, not yet merged (see WaitIdle).
   Status TryDeliver(int stream, const StreamElement& element);
 
+  // Batched TryDeliver: validates and enqueues the elements in order,
+  // moving them out of `batch`.  On a validation failure the elements
+  // before the failing one stay enqueued (same prefix semantics as
+  // element-wise delivery) and the error is returned.
+  Status TryDeliverBatch(int stream, std::span<StreamElement> batch);
+
   // Thread-safe runtime stream registry (the paper's join/leave hooks,
-  // Sec. V-B/C), synchronized with in-flight deliveries.
+  // Sec. V-B/C).  Both block until the merge thread has applied the change;
+  // RemoveStream first drains everything already enqueued for the stream,
+  // so its elements are never dropped.
   int AddStream();
   void RemoveStream(int stream);
 
-  // The algorithm's output stable point, read under the delivery lock.
-  Timestamp max_stable() const;
+  // Runs `fn` on the merge thread between batches and blocks until it
+  // returns — the race-free way to snapshot algorithm state (stats, state
+  // bytes) while deliveries are in flight.  `fn` must not call back into
+  // this merger.
+  void CallOnMergeThread(std::function<void()> fn);
 
-  int64_t delivered_count() const { return delivered_; }
+  // Blocks until every element enqueued so far has been merged.  On return,
+  // sink output and algorithm state reflect all prior deliveries
+  // (happens-before is established for the caller).
+  void WaitIdle();
+
+  // The merged output's stable point: a possibly slightly stale snapshot
+  // while deliveries are in flight, exact after WaitIdle().
+  Timestamp max_stable() const {
+    return max_stable_.load(std::memory_order_acquire);
+  }
+
+  int64_t delivered_count() const {
+    return delivered_.load(std::memory_order_acquire);
+  }
+
+  // First delivery error the merge thread hit asynchronously (validation
+  // misses only mis-sequenced control flow, e.g. delivery after shutdown);
+  // Ok when none.  Once set, subsequent batches are discarded.
+  Status error() const;
 
  private:
+  struct InputSlot {
+    explicit InputSlot(size_t capacity) : ring(capacity) {}
+    SpscRing<StreamElement> ring;
+    std::atomic<bool> active{true};
+    // Backpressure parking for the producer when the ring is full.
+    std::atomic<bool> producer_waiting{false};
+    std::mutex wait_mutex;
+    std::condition_variable wait_cv;
+  };
+
+  struct ControlOp {
+    enum Kind { kAddStream, kRemoveStream, kCall } kind = kAddStream;
+    int stream = -1;
+    std::function<void()> fn;
+    std::promise<int> result;
+  };
+
+  // Producer side.
+  Status Precheck(int stream, const StreamElement& element) const;
+  void EnqueueBlocking(int stream, StreamElement element);
+  void WakeMerge();
+
+  // Merge-thread side.
+  void MergeLoop();
+  size_t DrainRing(int stream);
+  size_t ProcessControlOps();
+  void RecordError(const Status& status);
+
+  // The slot vector is append-only and pre-reserved to kMaxStreams so
+  // producers may index it without locks while AddStream appends.
+  static constexpr size_t kMaxStreams = 1024;
+
   MergeAlgorithm* algorithm_;
-  mutable std::mutex mutex_;
-  int64_t delivered_ = 0;
+  ConcurrentMergerOptions options_;
+
+  std::vector<std::unique_ptr<InputSlot>> slots_;
+  std::atomic<int> slot_count_{0};
+
+  std::atomic<Timestamp> max_stable_;
+  std::atomic<int64_t> delivered_{0};
+  // Elements enqueued but not yet merged (incremented before the push so it
+  // never transiently under-counts).
+  std::atomic<int64_t> pending_{0};
+  std::atomic<bool> poisoned_{false};
+  std::atomic<bool> stop_{false};
+
+  mutable std::mutex control_mutex_;
+  std::deque<ControlOp> control_ops_;
+  std::atomic<bool> has_control_ops_{false};
+  Status error_;  // guarded by control_mutex_
+
+  // WaitIdle parking (notified by the merge thread when pending_ hits 0).
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+
+  // Merge-thread parking when idle.
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::atomic<bool> merge_sleeping_{false};
+
+  std::vector<StreamElement> scratch_;  // merge-thread drain buffer
+  std::thread merge_thread_;
 };
 
 }  // namespace lmerge

@@ -1,0 +1,80 @@
+// A bounded single-producer/single-consumer ring buffer.
+//
+// The ingestion lane of ConcurrentMerger: each input stream (one session
+// thread on the network path) owns the producer side of one ring; the single
+// merge thread owns the consumer side of all of them.  Synchronization is
+// two atomic cursors — no locks on the hot path.  Capacity is fixed at
+// construction (rounded up to a power of two), so a full ring is the
+// backpressure signal bounding ingestion memory.
+
+#ifndef LMERGE_ENGINE_SPSC_RING_H_
+#define LMERGE_ENGINE_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace lmerge {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t capacity) {
+    LM_CHECK(capacity >= 2);
+    size_t rounded = 1;
+    while (rounded < capacity) rounded <<= 1;
+    slots_.resize(rounded);
+    mask_ = rounded - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  size_t capacity() const { return slots_.size(); }
+
+  // Producer only.  Moves `item` in and returns true, or returns false with
+  // `item` untouched when the ring is full.
+  bool TryPush(T& item) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) >= slots_.size()) {
+      return false;
+    }
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer only.  Moves up to `max` items into `out` (appending); returns
+  // how many were taken.
+  size_t Pop(std::vector<T>* out, size_t max) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    const uint64_t avail = tail_.load(std::memory_order_acquire) - head;
+    const size_t n = static_cast<size_t>(avail < max ? avail : max);
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(std::move(slots_[(head + i) & mask_]));
+    }
+    head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+  // Approximate (exact from the owning side).
+  size_t size() const {
+    return static_cast<size_t>(tail_.load(std::memory_order_acquire) -
+                               head_.load(std::memory_order_acquire));
+  }
+  bool empty() const { return size() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  alignas(64) std::atomic<uint64_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<uint64_t> tail_{0};  // producer cursor
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_ENGINE_SPSC_RING_H_

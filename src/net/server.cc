@@ -1,7 +1,10 @@
 #include "net/server.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <span>
 #include <thread>
+#include <utility>
 
 namespace lmerge::net {
 
@@ -10,23 +13,34 @@ MergeServer::MergeServer(MergeServerOptions options)
       fan_out_(this),
       met_properties_(StreamProperties::Strongest()) {}
 
-MergeServer::~MergeServer() = default;
+MergeServer::~MergeServer() {
+  // Drain and join the merge thread while the fan-out registry (and the
+  // sessions that own its connections) is still alive; the default member
+  // destruction order would tear sessions_ down first.
+  merger_.reset();
+}
 
 void MergeServer::FanOutSink::OnElement(const StreamElement& element) {
-  // Runs inside the merge delivery path: the server lock is already held by
-  // the OnBytes call that triggered the merge output.
+  // Merge-thread context.  Only the leaf fanout_mutex_ may be taken here:
+  // a session thread blocked on ring backpressure holds the server lock,
+  // and it unblocks only if this thread keeps draining.
+  MergeServer* server = server_;
+  std::lock_guard<std::mutex> lock(server->fanout_mutex_);
   std::string frame;
-  for (auto& [id, session] : server_->sessions_) {
-    if (session.state != SessionState::kSubscriber) continue;
+  for (auto it = server->subscribers_.begin();
+       it != server->subscribers_.end();) {
     if (frame.empty()) frame = EncodeElementFrame(element);
-    if (!session.connection->Send(frame).ok()) {
-      // A dead subscriber must not take the merge down; the transport loop
-      // will observe the broken connection and call OnDisconnect.
-      session.state = SessionState::kClosed;
-      session.connection->Close();
+    if (it->connection->Send(frame).ok()) {
+      ++it;
+    } else {
+      // A dead subscriber must not take the merge down: unregister it here;
+      // the transport loop observes the closed connection and the eventual
+      // OnDisconnect finds it already gone from the registry.
+      it->connection->Close();
+      it = server->subscribers_.erase(it);
     }
   }
-  for (ElementSink* sink : server_->output_sinks_) sink->OnElement(element);
+  for (ElementSink* sink : server->output_sinks_) sink->OnElement(element);
 }
 
 int MergeServer::OnConnect(Connection* connection) {
@@ -34,6 +48,7 @@ int MergeServer::OnConnect(Connection* connection) {
   std::lock_guard<std::mutex> lock(mutex_);
   const int id = next_session_id_++;
   Session& session = sessions_[id];
+  session.id = id;
   session.connection = connection;
   session.name = connection->peer();
   if (options_.verbose) Log(session, "connected");
@@ -102,11 +117,7 @@ Status MergeServer::HandleFrame(Session& session, const Frame& frame) {
       ElementSequence elements;
       Status status = DecodeElementsPayload(frame.payload, &elements);
       if (!status.ok()) return status;
-      for (const StreamElement& element : elements) {
-        status = DeliverElement(session, element);
-        if (!status.ok()) return status;
-      }
-      return Status::Ok();
+      return DeliverBatch(session, std::move(elements));
     }
     case FrameType::kBye: {
       ByeMessage bye;
@@ -133,7 +144,11 @@ Status MergeServer::EnsureAlgorithm(const StreamProperties& first) {
   algorithm_ =
       CreateMergeAlgorithm(variant, /*num_streams=*/1, &fan_out_,
                            options_.policy);
-  merger_ = std::make_unique<ConcurrentMerger>(algorithm_.get());
+  ConcurrentMergerOptions merger_options;
+  merger_options.ring_capacity = options_.ring_capacity;
+  merger_options.max_batch = options_.max_batch;
+  merger_ = std::make_unique<ConcurrentMerger>(algorithm_.get(),
+                                               std::move(merger_options));
   met_properties_ = first;
   if (options_.verbose) {
     std::fprintf(stderr, "[lmerge_served] algorithm %s (case %s) selected\n",
@@ -148,6 +163,10 @@ Status MergeServer::HandleHello(Session& session, const HelloMessage& hello) {
     return Status::InvalidArgument(
         "unsupported protocol version " + std::to_string(hello.version));
   }
+  // Quiesce before answering: WELCOME's output_stable, the joiner's join
+  // decision, and a new subscriber's registration point must all reflect
+  // every delivery that happened-before this HELLO.
+  FlushLocked();
   if (!hello.peer_name.empty()) session.name = hello.peer_name;
   WelcomeMessage welcome;
   if (hello.role == PeerRole::kSubscriber) {
@@ -195,7 +214,14 @@ Status MergeServer::HandleHello(Session& session, const HelloMessage& hello) {
                      std::to_string(welcome.stream_id) + ", join time " +
                      TimestampToString(session.join_time));
   }
-  return session.connection->Send(EncodeWelcomeFrame(welcome));
+  const Status sent = session.connection->Send(EncodeWelcomeFrame(welcome));
+  if (sent.ok() && session.state == SessionState::kSubscriber) {
+    // Register only after the WELCOME is on the wire, so the subscriber
+    // never sees merged output ahead of its handshake response.
+    std::lock_guard<std::mutex> fanout_lock(fanout_mutex_);
+    subscribers_.push_back({session.id, session.connection});
+  }
+  return sent;
 }
 
 Status MergeServer::DeliverElement(Session& session,
@@ -213,12 +239,52 @@ Status MergeServer::DeliverElement(Session& session,
   }
   const Status status = merger_->TryDeliver(session.stream_id, element);
   if (!status.ok()) return status;
+  MaybeStableAdvance();
+  return Status::Ok();
+}
+
+Status MergeServer::DeliverBatch(Session& session, ElementSequence elements) {
+  // Filter in place: every element feeds the progress watermarks, held-back
+  // stables from a not-yet-joined stream are dropped (Sec. V-B, same rule
+  // as the single-element path), and the survivors reach the merge as ONE
+  // ring batch instead of per-element handoffs.
+  size_t kept = 0;
+  for (size_t i = 0; i < elements.size(); ++i) {
+    StreamElement& element = elements[i];
+    session.stats.Observe(element);
+    if (element.is_stable() && !session.joined) {
+      session.joined = merger_->max_stable() >= session.join_time;
+      if (!session.joined) continue;
+    }
+    if (kept != i) elements[kept] = std::move(element);
+    ++kept;
+  }
+  const Status status = merger_->TryDeliverBatch(
+      session.stream_id, std::span<StreamElement>(elements.data(), kept));
+  if (!status.ok()) return status;
+  MaybeStableAdvance();
+  return Status::Ok();
+}
+
+void MergeServer::MaybeStableAdvance() {
+  // max_stable() is a snapshot that may trail in-flight batches; Flush()
+  // and the flushing getters run the exact version.
   const Timestamp stable = merger_->max_stable();
   if (stable > last_output_stable_) {
     last_output_stable_ = stable;
     AfterStableAdvance();
   }
-  return Status::Ok();
+}
+
+void MergeServer::FlushLocked() {
+  if (merger_ == nullptr) return;
+  merger_->WaitIdle();
+  MaybeStableAdvance();
+}
+
+void MergeServer::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FlushLocked();
 }
 
 void MergeServer::AfterStableAdvance() {
@@ -248,8 +314,16 @@ void MergeServer::CloseSession(Session& session, const std::string& reason,
                                bool send_bye) {
   if (session.state == SessionState::kClosed) return;
   if (session.state == SessionState::kPublisher) {
+    // Blocking: drains the departing publisher's ring, then detaches the
+    // stream on the merge thread — its in-flight elements are never lost.
     merger_->RemoveStream(session.stream_id);
     --active_publishers_;
+  }
+  if (session.state == SessionState::kSubscriber) {
+    std::lock_guard<std::mutex> fanout_lock(fanout_mutex_);
+    std::erase_if(subscribers_, [&](const Subscriber& s) {
+      return s.session_id == session.id;
+    });
   }
   if (send_bye) {
     ByeMessage bye;
@@ -262,12 +336,13 @@ void MergeServer::CloseSession(Session& session, const std::string& reason,
 
 void MergeServer::AddOutputSink(ElementSink* sink) {
   LM_CHECK(sink != nullptr);
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(fanout_mutex_);
   output_sinks_.push_back(sink);
 }
 
 Timestamp MergeServer::output_stable() const {
   std::lock_guard<std::mutex> lock(mutex_);
+  const_cast<MergeServer*>(this)->FlushLocked();
   return merger_ == nullptr ? kMinTimestamp : merger_->max_stable();
 }
 
@@ -297,7 +372,13 @@ bool MergeServer::drained() const {
 
 MergeOutputStats MergeServer::merge_stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return algorithm_ == nullptr ? MergeOutputStats() : algorithm_->stats();
+  if (algorithm_ == nullptr) return MergeOutputStats();
+  const_cast<MergeServer*>(this)->FlushLocked();
+  // Snapshot on the merge thread: the only race-free reader of algorithm
+  // state while other sessions may still be delivering.
+  MergeOutputStats stats;
+  merger_->CallOnMergeThread([&] { stats = algorithm_->stats(); });
+  return stats;
 }
 
 const char* MergeServer::algorithm_name() const {

@@ -13,10 +13,13 @@
 //     RemoveStream — the paper's joining/leaving-stream protocol
 //     (Sec. V-B/C), including holding back stable() elements from streams
 //     that have not yet reached their declared join time;
-//   * delivers elements through a ConcurrentMerger, so network threads and
-//     in-process producers share one synchronized merge;
+//   * delivers elements through a ConcurrentMerger: each publisher session
+//     enqueues into its own SPSC ring (a decoded ELEMENTS frame goes in as
+//     one batch) and a single merge thread drains them through
+//     MergeAlgorithm::ProcessBatch — delivery is enqueue-only, so call
+//     Flush() (or the flushing getters) before inspecting merged output;
 //   * fans the merged output out to every subscriber as ELEMENT frames and
-//     to registered in-process sinks;
+//     to registered in-process sinks, from the merge thread;
 //   * pushes FEEDBACK frames carrying the output stable point to lagging
 //     publishers (Sec. V-D), judged by per-session progress watermarks from
 //     properties/runtime_stats.
@@ -57,6 +60,11 @@ struct MergeServerOptions {
   bool feedback_enabled = true;
   // Log session events to stderr.
   bool verbose = false;
+  // Ingestion tuning, forwarded to ConcurrentMergerOptions: per-publisher
+  // ring capacity (full ring = backpressure on that session's transport
+  // thread) and the drain batch size handed to ProcessBatch.
+  size_t ring_capacity = 4096;
+  size_t max_batch = 1024;
 };
 
 class MergeServer {
@@ -85,10 +93,18 @@ class MergeServer {
   void OnDisconnect(int session_id);
 
   // In-process tap on the merged output (daemon --out capture, tests).
-  // Invoked under the server lock; must not call back into the server.
+  // Invoked on the internal merge thread; must not call back into the
+  // server.
   void AddOutputSink(ElementSink* sink);
 
-  // Introspection (thread-safe).
+  // Quiesces the merge: blocks until every element delivered so far has
+  // been merged and fanned out, then refreshes join flags and pushes any
+  // due FEEDBACK.  Call before inspecting output in tests/benchmarks —
+  // delivery is enqueue-only, so OnBytes returning does not mean merged.
+  void Flush();
+
+  // Introspection (thread-safe).  output_stable() and merge_stats() flush
+  // first, so they reflect every delivery that happened-before the call.
   Timestamp output_stable() const;
   int active_publishers() const;
   int publishers_seen() const;
@@ -105,6 +121,7 @@ class MergeServer {
   enum class SessionState { kAwaitHello, kPublisher, kSubscriber, kClosed };
 
   struct Session {
+    int id = 0;
     Connection* connection = nullptr;
     SessionState state = SessionState::kAwaitHello;
     FrameAssembler assembler;
@@ -118,8 +135,10 @@ class MergeServer {
     Timestamp last_feedback = kMinTimestamp;
   };
 
-  // Routes merged output to subscribers + registered sinks; runs under the
-  // merge lock, which the server lock encloses.
+  // Routes merged output to subscribers + registered sinks.  Runs on the
+  // merger's internal merge thread, which must NEVER take the server lock
+  // (a producer blocked on ring backpressure may hold it) — so the fan-out
+  // targets live in their own registry under fanout_mutex_.
   class FanOutSink : public ElementSink {
    public:
     explicit FanOutSink(MergeServer* server) : server_(server) {}
@@ -129,14 +148,27 @@ class MergeServer {
     MergeServer* server_;
   };
 
+  struct Subscriber {
+    int session_id = 0;
+    Connection* connection = nullptr;
+  };
+
   Status HandleFrame(Session& session, const Frame& frame);
   Status HandleHello(Session& session, const HelloMessage& hello);
   Status DeliverElement(Session& session, const StreamElement& element);
+  // ELEMENTS path: observe watermarks, drop held-back stables, hand the
+  // survivors to the merge as one batch.
+  Status DeliverBatch(Session& session, ElementSequence elements);
   // Instantiates algorithm + merger for the first publisher.
   Status EnsureAlgorithm(const StreamProperties& first_properties);
   // Sends BYE (best effort) and releases the session's resources.
   void CloseSession(Session& session, const std::string& reason,
                     bool send_bye);
+  // Requires mutex_: WaitIdle on the merger, then run the stable-advance
+  // hooks if the output stable point moved.
+  void FlushLocked();
+  // Requires mutex_: cheap snapshot check of the merger's stable point.
+  void MaybeStableAdvance();
   // After the output stable point advances: refresh join flags and push
   // feedback to publishers whose own progress is behind it.
   void AfterStableAdvance();
@@ -149,11 +181,17 @@ class MergeServer {
   std::unique_ptr<ConcurrentMerger> merger_;
   StreamProperties met_properties_;  // meet over all publisher HELLOs
   std::map<int, Session> sessions_;
-  std::vector<ElementSink*> output_sinks_;
   int next_session_id_ = 1;
   int publishers_seen_ = 0;
   int active_publishers_ = 0;
   Timestamp last_output_stable_ = kMinTimestamp;
+
+  // Fan-out registry, shared between session threads (register/unregister)
+  // and the merge thread (emit).  Leaf lock: nothing is acquired while it
+  // is held; mutex_ -> fanout_mutex_ is the only nesting order.
+  mutable std::mutex fanout_mutex_;
+  std::vector<Subscriber> subscribers_;
+  std::vector<ElementSink*> output_sinks_;
 };
 
 // Drives a MergeServer from a Listener: accepts connections, spawns one

@@ -75,7 +75,8 @@ TEST(SerdeTest, TruncatedBufferRejected) {
   encoder.WriteRow(Row::OfIntAndString(1, "abcdef"));
   const std::string full = encoder.bytes();
   for (size_t cut = 0; cut < full.size(); ++cut) {
-    Decoder decoder_input(full.substr(0, cut));
+    const std::string truncated = full.substr(0, cut);
+    Decoder decoder_input(truncated);
     Row row;
     EXPECT_FALSE(decoder_input.ReadRow(&row).ok()) << "cut at " << cut;
   }

@@ -207,7 +207,6 @@ TEST(CheckpointTest, OperatorLevelMigration) {
 TEST(CheckpointTest, OperatorRejectsNonCheckpointableVariant) {
   LMergeOperator lm("lm", 2, MergeVariant::kCounting);
   EXPECT_FALSE(lm.SupportsCheckpoint());
-  Decoder decoder("");
   // RestoreState must fail cleanly rather than crash.
   Encoder encoder;
   encoder.WriteU32(0);

@@ -62,12 +62,41 @@ TEST(In3tTest, NodesKeyedByVsPayload) {
 }
 
 TEST(In3tTest, StateBytesGrowWithDistinctEnds) {
+  // StateBytes is O(1) and fed by cached per-node counters; callers re-sync
+  // a node after mutating its bottom tiers.
   In3t index;
   auto it = index.AddNode(5, Row::OfString("A"));
   it.value()[0].Increment(1);
+  index.SyncAuxBytes(it);
   const int64_t one = index.StateBytes();
   for (Timestamp ve = 2; ve <= 50; ++ve) it.value()[0].Increment(ve);
+  index.SyncAuxBytes(it);
   EXPECT_GT(index.StateBytes(), one);
+}
+
+TEST(In3tTest, DeleteNodeReclaimsSyncedBytes) {
+  In3t index;
+  auto it = index.AddNode(5, Row::OfString("A"));
+  for (Timestamp ve = 1; ve <= 50; ++ve) it.value()[0].Increment(ve);
+  index.SyncAuxBytes(it);
+  index.DeleteNode(index.begin());
+  EXPECT_EQ(index.StateBytes(), 0);
+}
+
+TEST(VeMultisetTest, EqualsComparesContentsNotStructure) {
+  VeMultiset a;
+  VeMultiset b;
+  EXPECT_TRUE(a.Equals(b));
+  a.Increment(10, 2);
+  a.Increment(20);
+  b.Increment(20);
+  b.Increment(10);
+  EXPECT_FALSE(a.Equals(b));  // counts differ (2 vs 1 at ve=10)
+  b.Increment(10);
+  EXPECT_TRUE(a.Equals(b));
+  b.Decrement(20);
+  b.Increment(30);
+  EXPECT_FALSE(a.Equals(b));  // same totals, different end times
 }
 
 }  // namespace

@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
+#include <thread>
+
 #include "core/factory.h"
 #include "stream/sink.h"
 #include "temporal/tdb.h"
@@ -93,8 +97,120 @@ TEST(ConcurrentMergeTest, ManualDeliverIsThreadSafeEntryPoint) {
   merger.Deliver(0, StreamElement::Insert(Row::OfString("A"), 1, 10));
   merger.Deliver(1, StreamElement::Insert(Row::OfString("A"), 1, 10));
   merger.Deliver(0, StreamElement::Stable(20));
+  merger.WaitIdle();  // delivery is enqueue-only; quiesce before reading
   EXPECT_EQ(merger.delivered_count(), 3);
+  EXPECT_EQ(merger.max_stable(), 20);
   EXPECT_EQ(Tdb::Reconstitute(merged.elements()).EventCount(), 1);
+}
+
+TEST(ConcurrentMergeTest, TryDeliverRejectsInvalidAndInactive) {
+  CollectingSink merged;
+  auto algo = CreateMergeAlgorithm(MergeVariant::kLMR3Plus, 1, &merged);
+  ConcurrentMerger merger(algo.get());
+  EXPECT_TRUE(
+      merger.TryDeliver(0, StreamElement::Insert(Row::OfString("A"), 1, 10))
+          .ok());
+  // Ve < Vs is caught at the door, before it reaches the merge thread.
+  EXPECT_FALSE(
+      merger.TryDeliver(0, StreamElement::Insert(Row::OfString("B"), 10, 1))
+          .ok());
+  EXPECT_FALSE(
+      merger.TryDeliver(7, StreamElement::Stable(5)).ok());  // out of range
+  merger.RemoveStream(0);
+  EXPECT_FALSE(merger.TryDeliver(0, StreamElement::Stable(5)).ok());
+  merger.WaitIdle();
+  EXPECT_TRUE(merger.error().ok());
+}
+
+TEST(ConcurrentMergeTest, BatchDeliveryMatchesElementWise) {
+  const LogicalHistory history = ClosedHistory(17);
+  std::vector<ElementSequence> replicas;
+  for (uint64_t v = 0; v < 3; ++v) {
+    VariantOptions options;
+    options.disorder_fraction = 0.3;
+    options.split_probability = 0.3;
+    options.seed = 101 + v;
+    replicas.push_back(GeneratePhysicalVariant(history, options));
+  }
+  const Tdb reference = Tdb::Reconstitute(RenderInOrder(history));
+
+  CollectingSink merged;
+  auto algo = CreateMergeAlgorithm(MergeVariant::kLMR3Plus, 3, &merged);
+  ConcurrentMerger merger(algo.get());
+  std::vector<std::thread> threads;
+  for (size_t s = 0; s < replicas.size(); ++s) {
+    threads.emplace_back([&, s] {
+      ElementSequence batch = replicas[s];  // TryDeliverBatch moves out
+      for (size_t i = 0; i < batch.size(); i += 64) {
+        const size_t n = std::min<size_t>(64, batch.size() - i);
+        ASSERT_TRUE(merger
+                        .TryDeliverBatch(static_cast<int>(s),
+                                         std::span(batch.data() + i, n))
+                        .ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  merger.WaitIdle();
+  EXPECT_TRUE(merger.error().ok());
+  EXPECT_TRUE(Tdb::Reconstitute(merged.elements()).Equals(reference));
+}
+
+// Satellite (c): concurrent AddStream/RemoveStream churn against live
+// deliveries.  Late joiners replay the full replica (the algorithm dedups
+// against merged output); leavers must have their enqueued tail merged
+// before detach.  The merged output must still reconstitute to the
+// reference TDB and max_stable must reach the closing stable time.
+TEST(ConcurrentMergeTest, StreamChurnUnderLoadConverges) {
+  const LogicalHistory history = ClosedHistory(23);
+  const Timestamp closing_stable = history.stable_times.back();
+  constexpr int kInitial = 2;
+  constexpr int kJoiners = 3;
+  std::vector<ElementSequence> replicas;
+  for (uint64_t v = 0; v < kInitial + kJoiners; ++v) {
+    VariantOptions options;
+    options.disorder_fraction = 0.25;
+    options.split_probability = 0.3;
+    options.seed = 7000 + v;
+    replicas.push_back(GeneratePhysicalVariant(history, options));
+  }
+  const Tdb reference = Tdb::Reconstitute(RenderInOrder(history));
+
+  for (int run = 0; run < 2; ++run) {
+    CollectingSink merged;
+    auto algo = CreateMergeAlgorithm(MergeVariant::kLMR4, kInitial, &merged);
+    ConcurrentMerger merger(algo.get());
+
+    std::vector<std::thread> threads;
+    // Initial streams deliver fully; stream 1 detaches mid-way through and
+    // stream 0 carries the run to completion.
+    threads.emplace_back([&] {
+      for (const StreamElement& e : replicas[0]) merger.Deliver(0, e);
+    });
+    threads.emplace_back([&] {
+      const size_t half = replicas[1].size() / 2;
+      for (size_t i = 0; i < half; ++i) merger.Deliver(1, replicas[1][i]);
+      merger.RemoveStream(1);
+    });
+    // Joiners register at racing times, then replay their replica in full.
+    for (int j = 0; j < kJoiners; ++j) {
+      threads.emplace_back([&, j] {
+        const int stream = merger.AddStream();
+        ASSERT_GE(stream, kInitial);
+        const ElementSequence& replica = replicas[kInitial + j];
+        for (const StreamElement& e : replica) {
+          ASSERT_TRUE(merger.TryDeliver(stream, e).ok());
+        }
+        if (j == 0) merger.RemoveStream(stream);  // join then leave again
+      });
+    }
+    for (auto& t : threads) t.join();
+    merger.WaitIdle();
+    EXPECT_TRUE(merger.error().ok());
+    EXPECT_EQ(merger.max_stable(), closing_stable);
+    EXPECT_TRUE(Tdb::Reconstitute(merged.elements()).Equals(reference))
+        << "churn run " << run;
+  }
 }
 
 }  // namespace

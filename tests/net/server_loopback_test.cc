@@ -225,6 +225,7 @@ TEST(ServerLoopbackTest, SubscriberReceivesExactlyTheMergedOutput) {
         server.OnBytes(pub.session_id, EncodeElementFrame(element)).ok());
   }
 
+  server.Flush();  // delivery is enqueue-only; quiesce before reading
   ElementSequence received;
   for (const Frame& frame : sub.DrainFrames()) {
     ASSERT_EQ(frame.type, FrameType::kElement);
@@ -356,6 +357,7 @@ TEST_P(ServerChurnTest, RandomDetachPointsNeverCorruptOutput) {
     }
   }
 
+  server.Flush();  // delivery is enqueue-only; quiesce before reading
   StreamValidator validator;
   ASSERT_TRUE(validator.ConsumeAll(merged.elements()).ok());
   EXPECT_TRUE(Tdb::Reconstitute(merged.elements())
@@ -422,6 +424,7 @@ TEST_P(ServerChurnTest, MidRunJoinerCatchesUpAndTakesOver) {
   ASSERT_TRUE(
       server.OnBytes(joiner.session_id, EncodeElementsFrame(replay)).ok());
 
+  server.Flush();  // delivery is enqueue-only; quiesce before reading
   StreamValidator validator;
   ASSERT_TRUE(validator.ConsumeAll(merged.elements()).ok());
   EXPECT_TRUE(Tdb::Reconstitute(merged.elements())

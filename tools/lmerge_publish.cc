@@ -5,6 +5,10 @@
 //                  [--join-time=T] [--batch=N] [--kill-after=N]
 //                  [--ignore-feedback]
 //
+// --batch=N (default 64) packs N elements into one ELEMENTS frame; the
+// server hands each decoded frame to the merge as a single batch, so larger
+// values amortize framing and ring-handoff overhead at the cost of delivery
+// latency (--batch=1 sends one ELEMENT frame per element).
 // --kill-after=N drops the connection (no BYE) after N elements, modelling
 // a crashed replica; re-running the tool afterwards models the rejoin
 // (Sec. V-B).  Unless --ignore-feedback is given, FEEDBACK frames from the
@@ -27,7 +31,9 @@ int Usage() {
   std::fprintf(stderr,
                "usage: lmerge_publish <host> <port> <tape.lmst> [--name=X]\n"
                "                      [--join-time=T] [--batch=N]\n"
-               "                      [--kill-after=N] [--ignore-feedback]\n");
+               "                      [--kill-after=N] [--ignore-feedback]\n"
+               "  --batch=N  elements per ELEMENTS frame (default 64);\n"
+               "             the server merges each frame as one batch\n");
   return 2;
 }
 
