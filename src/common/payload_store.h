@@ -1,0 +1,160 @@
+// PayloadStore: the process-wide interning arena behind Row handles.
+//
+// The paper's central memory argument (Sec. IV, Fig. 8) is that the R3/R4
+// indexes store each payload once across all inputs while the LMR3- baseline
+// duplicates it per input.  PayloadStore extends that idea to the whole
+// process: every payload is an immutable, ref-counted RowRep owned by a
+// sharded intern table, and a Row is just a pointer-sized handle.  Decoding
+// the same payload from N redundant publishers, enqueueing it into N rings,
+// indexing it, and fanning it out to M subscribers all reference one
+// allocation instead of materializing O(inputs x layers) deep copies.
+//
+// Concurrency: interning and eviction are guarded by per-shard mutexes
+// (shard chosen by payload hash); reference counts are atomics, so handle
+// copies between the session threads, the merge thread, and the fan-out
+// path never take a lock.  The last release of an interned rep evicts it
+// from its shard.  A rep can also live *outside* the store (store == null):
+// that is a private deep copy, used by the LMR3- baseline to keep the
+// paper's per-input duplication honest (see Row::DeepCopy).
+//
+// Tuning: shard count is fixed at construction (default 16, power of two).
+// More shards reduce intern contention with many publisher threads; the
+// per-shard maps grow on demand and shrink as payloads are evicted.
+
+#ifndef LMERGE_COMMON_PAYLOAD_STORE_H_
+#define LMERGE_COMMON_PAYLOAD_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+
+namespace lmerge {
+
+class PayloadStore;
+
+// One immutable payload: the fields, their precomputed hash, and the
+// reference count.  Never mutated after construction (only `refs` moves),
+// so concurrent readers need no synchronization.
+struct RowRep {
+  std::vector<Value> fields;
+  uint64_t hash = 0;
+  // Heap bytes attributable to this rep (sizeof(RowRep) + field storage);
+  // precomputed so accounting paths never walk the fields.
+  int64_t deep_bytes = 0;
+  // Owning store, or null for a private (non-interned) deep copy.
+  PayloadStore* store = nullptr;
+  std::atomic<int64_t> refs{1};
+};
+
+class PayloadStore {
+ public:
+  struct Options {
+    // Number of intern shards; rounded up to a power of two.
+    int shard_count = 16;
+  };
+
+  // Snapshot of the store's contents and lifetime counters.
+  struct Stats {
+    int64_t entries = 0;        // live interned payloads
+    int64_t live_refs = 0;      // sum of live entries' reference counts
+    int64_t payload_bytes = 0;  // deep bytes held, once per entry
+    int64_t intern_calls = 0;   // lifetime Intern() calls
+    int64_t hits = 0;           // calls resolved to an existing entry
+    int64_t bytes_saved = 0;    // cumulative deep bytes avoided via hits
+    int shard_count = 0;
+
+    double DedupRatio() const {
+      return intern_calls == 0
+                 ? 1.0
+                 : static_cast<double>(intern_calls) /
+                       static_cast<double>(intern_calls - hits == 0
+                                               ? 1
+                                               : intern_calls - hits);
+    }
+  };
+
+  PayloadStore() : PayloadStore(Options{}) {}
+  explicit PayloadStore(Options options);
+  ~PayloadStore();
+
+  PayloadStore(const PayloadStore&) = delete;
+  PayloadStore& operator=(const PayloadStore&) = delete;
+
+  // The process-wide store every Row interns into by default.  Leaked on
+  // purpose: handles held by statics may be released during teardown.
+  static PayloadStore& Global();
+
+  // Interns `fields` (whose combined hash is `hash`): returns the unique
+  // live rep with this content, creating it if needed.  The returned rep
+  // carries one reference owned by the caller.
+  RowRep* Intern(std::vector<Value> fields, uint64_t hash);
+
+  // Creates a private rep that is NOT in any store: equal content compares
+  // equal to interned reps but shares no storage and dies with its last
+  // handle.  The deep-copy escape hatch for the LMR3- baseline.
+  static RowRep* MakePrivate(std::vector<Value> fields, uint64_t hash);
+
+  Stats GetStats() const;
+
+  // Invokes fn(const RowRep&, int64_t refs) for every live entry, shard by
+  // shard (each shard locked while visited).  Order is unspecified.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (int i = 0; i < shard_count_; ++i) {
+      const Shard& shard = shards_[static_cast<size_t>(i)];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (const auto& [hash, rep] : shard.map) {
+        fn(static_cast<const RowRep&>(*rep),
+           rep->refs.load(std::memory_order_relaxed));
+      }
+    }
+  }
+
+  // --- Handle reference counting (used by Row) ---
+
+  static void AddRef(RowRep* rep) {
+    if (rep != nullptr) rep->refs.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Drops one reference; the last release of an interned rep evicts it from
+  // its store, the last release of a private rep deletes it.
+  static void Release(RowRep* rep);
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // hash -> rep; a multimap tolerates hash collisions between distinct
+    // payloads (content is compared on every probe).
+    std::unordered_multimap<uint64_t, RowRep*> map;
+    int64_t payload_bytes = 0;
+    int64_t intern_calls = 0;
+    int64_t hits = 0;
+    int64_t bytes_saved = 0;
+  };
+
+  Shard& ShardFor(uint64_t hash) {
+    return shards_[static_cast<size_t>(hash) & shard_mask_];
+  }
+
+  // Slow path of Release: the caller observed a count of 1, so this may be
+  // the last reference.  The decrement happens under the shard lock, which
+  // is what makes eviction race-free against concurrent revival by Intern.
+  void ReleaseMaybeLast(RowRep* rep);
+
+  static int64_t RepDeepBytes(const std::vector<Value>& fields);
+
+  std::vector<Shard> shards_;
+  size_t shard_mask_ = 0;
+  int shard_count_ = 0;
+
+  friend struct RowRep;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_COMMON_PAYLOAD_STORE_H_

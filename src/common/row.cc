@@ -5,45 +5,51 @@
 
 namespace lmerge {
 
+uint64_t Row::HashFields(const std::vector<Value>& fields) {
+  uint64_t h = kEmptyHash;
+  for (const Value& v : fields) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+Row::Row(std::vector<Value> fields) {
+  if (fields.empty()) return;  // empty row = null handle
+  const uint64_t hash = HashFields(fields);
+  rep_ = PayloadStore::Global().Intern(std::move(fields), hash);
+}
+
 Row Row::WithField(int64_t i, Value value) const {
   LM_CHECK(i >= 0 && i < field_count());
-  std::vector<Value> fields = fields_;
+  std::vector<Value> fields = this->fields();
   fields[static_cast<size_t>(i)] = std::move(value);
   return Row(std::move(fields));
 }
 
-int Row::Compare(const Row& other) const {
-  const size_t n = fields_.size() < other.fields_.size()
-                       ? fields_.size()
-                       : other.fields_.size();
-  for (size_t i = 0; i < n; ++i) {
-    const int c = fields_[i].Compare(other.fields_[i]);
-    if (c != 0) return c;
-  }
-  if (fields_.size() == other.fields_.size()) return 0;
-  return fields_.size() < other.fields_.size() ? -1 : 1;
+Row Row::DeepCopy() const {
+  if (rep_ == nullptr) return Row();
+  return Row(PayloadStore::MakePrivate(rep_->fields, rep_->hash));
 }
 
-int64_t Row::DeepSizeBytes() const {
-  int64_t bytes = static_cast<int64_t>(sizeof(Row));
-  for (const Value& v : fields_) bytes += v.DeepSizeBytes();
-  return bytes;
+int Row::CompareSlow(const Row& other) const {
+  const std::vector<Value>& a = fields();
+  const std::vector<Value>& b = other.fields();
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    const int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
 }
 
 std::string Row::ToString() const {
   std::string out = "(";
-  for (size_t i = 0; i < fields_.size(); ++i) {
+  const std::vector<Value>& fs = fields();
+  for (size_t i = 0; i < fs.size(); ++i) {
     if (i > 0) out += ", ";
-    out += fields_[i].ToString();
+    out += fs[i].ToString();
   }
   out += ")";
   return out;
-}
-
-void Row::RecomputeHash() {
-  uint64_t h = 0x51ed270b9f1c2b5dULL;
-  for (const Value& v : fields_) h = HashCombine(h, v.Hash());
-  hash_ = h;
 }
 
 }  // namespace lmerge

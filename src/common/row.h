@@ -1,8 +1,17 @@
 // Row: an event payload — a relational tuple of Values.
 //
-// Rows are value types: copyable, totally ordered, hashable.  The LMerge
-// algorithms key their indexes on (Vs, payload), so cheap comparison and
-// hashing of Rows is on the hot path; the precomputed hash is cached.
+// A Row is a pointer-sized handle onto an immutable, ref-counted payload
+// representation interned in the process-wide PayloadStore.  Copying a Row
+// copies a pointer and bumps an atomic count — never the fields — so the
+// same allocation flows from wire decode through the SPSC rings, the
+// in2t/in3t indexes, and subscriber fan-out.  Two interned rows with equal
+// content share one rep, which gives Compare/operator== an O(1)
+// compare-by-identity fast path (falling back to deep field comparison for
+// private copies or cross-store handles).
+//
+// The LMerge algorithms key their indexes on (Vs, payload), so cheap
+// comparison and hashing of Rows is on the hot path; the hash is computed
+// once at intern time and cached in the rep.
 
 #ifndef LMERGE_COMMON_ROW_H_
 #define LMERGE_COMMON_ROW_H_
@@ -10,22 +19,42 @@
 #include <cstdint>
 #include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/payload_store.h"
 #include "common/value.h"
 
 namespace lmerge {
 
 class Row {
  public:
+  // The empty row is the null handle: no allocation, no refcount traffic
+  // (important — default-constructed payloads travel inside every stable()
+  // element, and a shared empty rep would be a contended cache line).
   Row() = default;
-  explicit Row(std::vector<Value> fields) : fields_(std::move(fields)) {
-    RecomputeHash();
-  }
+  explicit Row(std::vector<Value> fields);
   Row(std::initializer_list<Value> fields)
-      : fields_(fields) {
-    RecomputeHash();
+      : Row(std::vector<Value>(fields)) {}
+
+  Row(const Row& other) : rep_(other.rep_) { PayloadStore::AddRef(rep_); }
+  Row(Row&& other) noexcept : rep_(std::exchange(other.rep_, nullptr)) {}
+  Row& operator=(const Row& other) {
+    if (rep_ != other.rep_) {
+      PayloadStore::AddRef(other.rep_);
+      PayloadStore::Release(rep_);
+      rep_ = other.rep_;
+    }
+    return *this;
   }
+  Row& operator=(Row&& other) noexcept {
+    if (this != &other) {
+      PayloadStore::Release(rep_);
+      rep_ = std::exchange(other.rep_, nullptr);
+    }
+    return *this;
+  }
+  ~Row() { PayloadStore::Release(rep_); }
 
   // Convenience factories for common payload shapes.
   static Row OfInt(int64_t v) { return Row({Value(v)}); }
@@ -35,24 +64,57 @@ class Row {
     return Row({Value(v), Value(std::move(s))});
   }
 
-  int64_t field_count() const { return static_cast<int64_t>(fields_.size()); }
-  const Value& field(int64_t i) const { return fields_[static_cast<size_t>(i)]; }
-  const std::vector<Value>& fields() const { return fields_; }
+  int64_t field_count() const {
+    return rep_ == nullptr ? 0 : static_cast<int64_t>(rep_->fields.size());
+  }
+  const Value& field(int64_t i) const {
+    return fields()[static_cast<size_t>(i)];
+  }
+  const std::vector<Value>& fields() const {
+    static const std::vector<Value> kEmpty;
+    return rep_ == nullptr ? kEmpty : rep_->fields;
+  }
 
   // Returns a new row with `value` replacing field `i`.
   Row WithField(int64_t i, Value value) const;
 
-  uint64_t hash() const { return hash_; }
+  uint64_t hash() const { return rep_ == nullptr ? kEmptyHash : rep_->hash; }
 
-  int Compare(const Row& other) const;
+  // The shared rep this handle points at.  Two handles with the same
+  // identity are equal; accounting code uses identity to charge a shared
+  // payload's bytes once per store entry instead of once per reference.
+  const void* identity() const { return rep_; }
+  // True when the rep lives in a PayloadStore (equal content is guaranteed
+  // to share); false for the empty row and for private deep copies.
+  bool interned() const { return rep_ != nullptr && rep_->store != nullptr; }
 
-  // Bytes attributable to this row for operator state accounting.
-  int64_t DeepSizeBytes() const;
+  // A private, non-interned copy of this row's content: equal by value but
+  // sharing no storage with any other handle.  The LMR3- baseline uses
+  // this so its per-input indexes really duplicate payloads the way the
+  // paper's memory comparison assumes.
+  Row DeepCopy() const;
+
+  int Compare(const Row& other) const {
+    if (rep_ == other.rep_) return 0;  // identity fast path
+    return CompareSlow(other);
+  }
+
+  // Bytes attributable to this row when charged in full: the handle plus
+  // the shared rep (header, field slots, string heap storage).
+  int64_t DeepSizeBytes() const {
+    return static_cast<int64_t>(sizeof(Row)) + SharedSizeBytes();
+  }
+  // Bytes of the shared rep alone — what a PayloadStore entry holds once no
+  // matter how many handles reference it.
+  int64_t SharedSizeBytes() const {
+    return rep_ == nullptr ? 0 : rep_->deep_bytes;
+  }
 
   std::string ToString() const;
 
   friend bool operator==(const Row& a, const Row& b) {
-    return a.hash_ == b.hash_ && a.Compare(b) == 0;
+    if (a.rep_ == b.rep_) return true;  // identity fast path
+    return a.hash() == b.hash() && a.CompareSlow(b) == 0;
   }
   friend bool operator!=(const Row& a, const Row& b) { return !(a == b); }
   friend bool operator<(const Row& a, const Row& b) {
@@ -60,10 +122,17 @@ class Row {
   }
 
  private:
-  void RecomputeHash();
+  // Hash of the empty field tuple; matches the intern-time hash seed so
+  // hashing is consistent across empty and non-empty rows.
+  static constexpr uint64_t kEmptyHash = 0x51ed270b9f1c2b5dULL;
 
-  std::vector<Value> fields_;
-  uint64_t hash_ = 0;
+  explicit Row(RowRep* adopted) : rep_(adopted) {}
+
+  int CompareSlow(const Row& other) const;
+
+  static uint64_t HashFields(const std::vector<Value>& fields);
+
+  RowRep* rep_ = nullptr;
 };
 
 struct RowHash {

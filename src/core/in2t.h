@@ -4,9 +4,13 @@
 // (not fully frozen) event key.  Bottom tier: per node, a hash table mapping
 // input-stream id -> that stream's current Ve for the event, plus one
 // distinguished entry (kOutputStream) holding the Ve last emitted on the
-// output.  The payload is stored once per node and *shared* across all input
-// streams — the key difference from the LMR3- baseline, and the reason
-// LMR3+'s memory is nearly independent of the number of inputs (Fig. 2/7).
+// output.  The payload is *shared* across all input streams — the key
+// difference from the LMR3- baseline, and the reason LMR3+'s memory is
+// nearly independent of the number of inputs (Fig. 2/7).  With interned
+// Row handles (common/payload_store.h) the key holds a pointer-sized
+// handle, and a payload recurring at many Vs keys is stored once
+// process-wide; StateBytes() charges it once per distinct rep via the
+// identity ledger.
 
 #ifndef LMERGE_CORE_IN2T_H_
 #define LMERGE_CORE_IN2T_H_
@@ -14,6 +18,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "common/payload_ledger.h"
 #include "common/timestamp.h"
 #include "container/hash_table.h"
 #include "container/rbtree.h"
@@ -27,11 +32,13 @@ inline constexpr int32_t kOutputStream = -1;
 class In2t {
  public:
   using EndTable = HashTable<int32_t, Timestamp, IntHash>;
-  // Cached per-node byte accounting: the payload's deep size is computed
-  // once at AddNode (it never changes), and the bottom-tier slot bytes are
-  // re-synced after table mutations, keeping StateBytes() O(1).
+  // Cached per-node byte accounting: the payload's duplicated (per-node)
+  // size is computed once at AddNode (the rep is immutable), and the
+  // bottom-tier slot bytes are re-synced after table mutations, keeping
+  // StateBytes() O(1).  Shared payload bytes are charged through the
+  // identity ledger — once per distinct rep, not once per node.
   struct NodeBytesCache {
-    int64_t payload = 0;
+    int64_t payload = 0;  // unshared (pre-interning) charge for this node
     int64_t table = 0;
   };
   using Tree =
@@ -52,7 +59,8 @@ class In2t {
     NodeBytesCache& cache = tree_.AugExtra(it);
     cache.payload = payload.DeepSizeBytes();
     cache.table = it.value().SlotBytes();
-    payload_bytes_ += cache.payload;
+    unshared_payload_bytes_ += cache.payload;
+    ledger_.AddRef(it.key().payload);
     table_bytes_ += cache.table;
     return it;
   }
@@ -60,7 +68,8 @@ class In2t {
   // Removes the node at `it`; returns the successor.
   Iterator DeleteNode(Iterator it) {
     const NodeBytesCache& cache = tree_.AugExtra(it);
-    payload_bytes_ -= cache.payload;
+    unshared_payload_bytes_ -= cache.payload;
+    ledger_.Release(it.key().payload);
     table_bytes_ -= cache.table;
     return tree_.Erase(it);
   }
@@ -108,15 +117,28 @@ class In2t {
   int64_t node_count() const { return tree_.size(); }
   bool empty() const { return tree_.empty(); }
 
-  // Bytes held: tree nodes, shared payload copies, and bottom-tier tables.
-  // O(1): payload and slot bytes are maintained incrementally.
+  // Bytes held: tree nodes (which embed the handle-sized keys), interned
+  // payload reps charged once per distinct rep, the bottom-tier tables, and
+  // the ledger's own bookkeeping.  O(1): all terms are maintained
+  // incrementally.
   int64_t StateBytes() const {
-    return tree_.NodeBytes() + payload_bytes_ + table_bytes_;
+    return tree_.NodeBytes() + ledger_.bytes() + ledger_.OverheadBytes() +
+           table_bytes_;
   }
+
+  // The pre-interning model: every node owns a private payload copy.  Kept
+  // for the paper's memory comparison (bench_state_bytes reports both).
+  int64_t StateBytesUnshared() const {
+    return tree_.NodeBytes() + unshared_payload_bytes_ + table_bytes_;
+  }
+
+  // Distinct payload reps currently referenced by the index.
+  int64_t distinct_payloads() const { return ledger_.distinct(); }
 
  private:
   Tree tree_;
-  int64_t payload_bytes_ = 0;
+  SharedPayloadLedger ledger_;
+  int64_t unshared_payload_bytes_ = 0;
   int64_t table_bytes_ = 0;
 };
 

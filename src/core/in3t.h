@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "common/payload_ledger.h"
 #include "common/timestamp.h"
 #include "container/hash_table.h"
 #include "container/rbtree.h"
@@ -90,11 +91,13 @@ class VeMultiset {
 class In3t {
  public:
   using EndsTable = HashTable<int32_t, VeMultiset, IntHash>;
-  // Cached per-node bytes: payload deep size (fixed at AddNode) and the
-  // auxiliary bottom tiers (slot bytes + per-stream multisets), re-synced
-  // after mutations so StateBytes() is O(1).
+  // Cached per-node bytes: the payload's duplicated (per-node) size, fixed
+  // at AddNode, and the auxiliary bottom tiers (slot bytes + per-stream
+  // multisets), re-synced after mutations so StateBytes() is O(1).  Shared
+  // payload bytes are charged through the identity ledger — once per
+  // distinct rep, not once per node.
   struct NodeBytesCache {
-    int64_t payload = 0;
+    int64_t payload = 0;  // unshared (pre-interning) charge for this node
     int64_t aux = 0;
   };
   using Tree =
@@ -111,14 +114,16 @@ class In3t {
     NodeBytesCache& cache = tree_.AugExtra(it);
     cache.payload = payload.DeepSizeBytes();
     cache.aux = AuxBytes(it);
-    payload_bytes_ += cache.payload;
+    unshared_payload_bytes_ += cache.payload;
+    ledger_.AddRef(it.key().payload);
     aux_bytes_ += cache.aux;
     return it;
   }
 
   Iterator DeleteNode(Iterator it) {
     const NodeBytesCache& cache = tree_.AugExtra(it);
-    payload_bytes_ -= cache.payload;
+    unshared_payload_bytes_ -= cache.payload;
+    ledger_.Release(it.key().payload);
     aux_bytes_ -= cache.aux;
     return tree_.Erase(it);
   }
@@ -156,10 +161,19 @@ class In3t {
   int64_t node_count() const { return tree_.size(); }
   bool empty() const { return tree_.empty(); }
 
-  // O(1): all three tiers' bytes are maintained incrementally.
+  // O(1): all three tiers' bytes are maintained incrementally; interned
+  // payload reps are charged once per distinct rep via the ledger.
   int64_t StateBytes() const {
-    return tree_.NodeBytes() + payload_bytes_ + aux_bytes_;
+    return tree_.NodeBytes() + ledger_.bytes() + ledger_.OverheadBytes() +
+           aux_bytes_;
   }
+
+  // The pre-interning model: every node owns a private payload copy.
+  int64_t StateBytesUnshared() const {
+    return tree_.NodeBytes() + unshared_payload_bytes_ + aux_bytes_;
+  }
+
+  int64_t distinct_payloads() const { return ledger_.distinct(); }
 
  private:
   static int64_t AuxBytes(Iterator it) {
@@ -172,7 +186,8 @@ class In3t {
   }
 
   Tree tree_;
-  int64_t payload_bytes_ = 0;
+  SharedPayloadLedger ledger_;
+  int64_t unshared_payload_bytes_ = 0;
   int64_t aux_bytes_ = 0;
 };
 

@@ -63,7 +63,13 @@ class LMergeR3 : public MergeAlgorithm, public Checkpointable {
            static_cast<int64_t>(last_stable_.capacity() * sizeof(Timestamp));
   }
 
+  int64_t StateBytesUnshared() const override {
+    return static_cast<int64_t>(sizeof(*this)) + index_.StateBytesUnshared() +
+           static_cast<int64_t>(last_stable_.capacity() * sizeof(Timestamp));
+  }
+
   int64_t index_node_count() const { return index_.node_count(); }
+  int64_t distinct_payloads() const { return index_.distinct_payloads(); }
   const MergePolicy& policy() const { return policy_; }
 
   // Checkpointable: snapshots MaxStable, per-stream stable points, and the

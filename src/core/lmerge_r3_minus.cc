@@ -4,9 +4,13 @@ namespace lmerge {
 
 void LMergeR3Minus::Put(Index& index, Timestamp vs, const Row& payload,
                         Timestamp ve) {
-  auto [it, inserted] = index.tree.Insert(VsPayload(vs, payload), ve);
+  // The baseline's defining cost is one private payload copy per index it
+  // appears in, so interning is deliberately bypassed: DeepCopy() gives a
+  // rep shared with no other handle, keeping the paper's memory comparison
+  // honest now that plain Row copies share storage.
+  auto [it, inserted] = index.tree.Insert(VsPayload(vs, payload.DeepCopy()), ve);
   if (inserted) {
-    index.payload_bytes += payload.DeepSizeBytes();
+    index.payload_bytes += it.key().payload.DeepSizeBytes();
   } else {
     it.value() = ve;
   }

@@ -50,7 +50,12 @@ class LMergeR4 : public MergeAlgorithm, public Checkpointable {
     return static_cast<int64_t>(sizeof(*this)) + index_.StateBytes();
   }
 
+  int64_t StateBytesUnshared() const override {
+    return static_cast<int64_t>(sizeof(*this)) + index_.StateBytesUnshared();
+  }
+
   int64_t index_node_count() const { return index_.node_count(); }
+  int64_t distinct_payloads() const { return index_.distinct_payloads(); }
   // Number of repairs skipped because inputs were mutually inconsistent
   // (zero for well-formed inputs; exposed for diagnostics and tests).
   int64_t inconsistency_count() const { return inconsistencies_; }

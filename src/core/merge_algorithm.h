@@ -130,8 +130,15 @@ class MergeAlgorithm {
   }
 
   // Bytes of state the algorithm currently holds (indexes + payloads); the
-  // memory metric of Sec. VI and Table IV.
+  // memory metric of Sec. VI and Table IV.  With interned payloads a rep
+  // referenced from many index nodes is charged once.
   virtual int64_t StateBytes() const = 0;
+
+  // The same metric under the pre-interning accounting model, where every
+  // index node owns a private payload copy.  Algorithms whose indexes share
+  // interned reps override this; for the rest (including LMR3-, which
+  // really does hold private copies) both models coincide.
+  virtual int64_t StateBytesUnshared() const { return StateBytes(); }
 
   // Non-null when the algorithm supports state snapshots (see
   // common/checkpoint.h); used by LMergeOperator for jumpstart/cutover.

@@ -62,8 +62,15 @@ Status PublisherClient::Handshake(const StreamProperties& properties,
   WelcomeMessage parsed;
   status = DecodeWelcome(frame.payload, &parsed);
   if (!status.ok()) return status;
-  if (parsed.version != kProtocolVersion) {
+  // The server answers with min(our version, its version); anything above
+  // what we offered (or below the floor) is a broken negotiation.
+  if (parsed.version < kMinProtocolVersion ||
+      parsed.version > kProtocolVersion) {
     return Status::InvalidArgument("server protocol version mismatch");
+  }
+  version_ = parsed.version;
+  if (version_ >= kPayloadDictVersion) {
+    dict_ = std::make_unique<PayloadDictEncoder>();
   }
   if (welcome != nullptr) *welcome = parsed;
   return Status::Ok();
@@ -134,6 +141,11 @@ Status PublisherClient::PublishBatch(const ElementSequence& elements) {
     return Status::FailedPrecondition("server closed session: " +
                                       bye_reason_);
   }
+  if (dict_ != nullptr) {
+    // v2: one Send carrying PAYLOAD_DEFs for first-seen payloads followed
+    // by the dictionary-coded batch.
+    return connection_->Send(EncodeElementsDictFrame(elements, dict_.get()));
+  }
   return connection_->Send(EncodeElementsFrame(elements));
 }
 
@@ -169,6 +181,14 @@ Status SubscriberClient::Handshake(const std::string& name,
   WelcomeMessage parsed;
   status = DecodeWelcome(frame.payload, &parsed);
   if (!status.ok()) return status;
+  if (parsed.version < kMinProtocolVersion ||
+      parsed.version > kProtocolVersion) {
+    return Status::InvalidArgument("server protocol version mismatch");
+  }
+  version_ = parsed.version;
+  if (version_ >= kPayloadDictVersion) {
+    dict_ = std::make_unique<PayloadDictDecoder>();
+  }
   if (welcome != nullptr) *welcome = parsed;
   return Status::Ok();
 }
@@ -200,6 +220,33 @@ Status SubscriberClient::Consume(ElementSink* sink) {
         ElementSequence elements;
         const Status decode =
             DecodeElementsPayload(frame.payload, &elements);
+        if (!decode.ok()) return decode;
+        for (const StreamElement& element : elements) {
+          ++elements_received_;
+          sink->OnElement(element);
+        }
+        break;
+      }
+      case FrameType::kPayloadDef: {
+        if (dict_ == nullptr) {
+          return Status::FailedPrecondition(
+              "PAYLOAD_DEF on a v1-negotiated session");
+        }
+        PayloadDefMessage def;
+        const Status decode = DecodePayloadDefPayload(frame.payload, &def);
+        if (!decode.ok()) return decode;
+        const Status defined = dict_->Define(def.id, std::move(def.payload));
+        if (!defined.ok()) return defined;
+        break;
+      }
+      case FrameType::kElementsDict: {
+        if (dict_ == nullptr) {
+          return Status::FailedPrecondition(
+              "ELEMENTS_DICT on a v1-negotiated session");
+        }
+        ElementSequence elements;
+        const Status decode =
+            DecodeElementsDictPayload(frame.payload, *dict_, &elements);
         if (!decode.ok()) return decode;
         for (const StreamElement& element : elements) {
           ++elements_received_;

@@ -52,6 +52,8 @@ class PublisherClient {
   Timestamp feedback_horizon() const { return feedback_horizon_; }
   bool server_said_bye() const { return server_said_bye_; }
   const std::string& bye_reason() const { return bye_reason_; }
+  // Version agreed in the WELCOME; kMinProtocolVersion before Handshake.
+  uint32_t negotiated_version() const { return version_; }
   Connection* connection() { return connection_.get(); }
 
  private:
@@ -63,6 +65,10 @@ class PublisherClient {
   Timestamp feedback_horizon_ = kMinTimestamp;
   bool server_said_bye_ = false;
   std::string bye_reason_;
+  uint32_t version_ = kMinProtocolVersion;
+  // Outbound payload dictionary; non-null once a v2 session is negotiated.
+  // PublishBatch then ships repeated payloads as 4-byte ids.
+  std::unique_ptr<PayloadDictEncoder> dict_;
 };
 
 // Receives the merged output stream.
@@ -80,6 +86,7 @@ class SubscriberClient {
 
   int64_t elements_received() const { return elements_received_; }
   const std::string& bye_reason() const { return bye_reason_; }
+  uint32_t negotiated_version() const { return version_; }
   Connection* connection() { return connection_.get(); }
 
  private:
@@ -87,6 +94,9 @@ class SubscriberClient {
   FrameAssembler assembler_;
   int64_t elements_received_ = 0;
   std::string bye_reason_;
+  uint32_t version_ = kMinProtocolVersion;
+  // Inbound payload dictionary for v2 sessions, fed by PAYLOAD_DEF frames.
+  std::unique_ptr<PayloadDictDecoder> dict_;
 };
 
 }  // namespace lmerge::net

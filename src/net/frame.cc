@@ -18,13 +18,17 @@ const char* FrameTypeName(FrameType type) {
       return "FEEDBACK";
     case FrameType::kBye:
       return "BYE";
+    case FrameType::kPayloadDef:
+      return "PAYLOAD_DEF";
+    case FrameType::kElementsDict:
+      return "ELEMENTS_DICT";
   }
   return "UNKNOWN";
 }
 
 bool IsKnownFrameType(uint8_t tag) {
   return tag >= static_cast<uint8_t>(FrameType::kHello) &&
-         tag <= static_cast<uint8_t>(FrameType::kBye);
+         tag <= static_cast<uint8_t>(FrameType::kElementsDict);
 }
 
 void AppendFrame(FrameType type, const std::string& payload,

@@ -29,6 +29,11 @@ enum class FrameType : uint8_t {
   kElements = 4,  // a batched element sequence (same direction as kElement)
   kFeedback = 5,  // server -> publisher: stable-point horizon (Sec. V-D)
   kBye = 6,       // either direction: orderly close with a reason
+  // Protocol v2 payload dictionary (docs/SERVICE.md): a session-scoped,
+  // per-direction mapping id -> payload, so repeated payloads cross the
+  // wire as 4-byte ids instead of full rows.
+  kPayloadDef = 7,     // defines one (id, payload) dictionary entry
+  kElementsDict = 8,   // batched sequence with dictionary-coded payloads
 };
 
 const char* FrameTypeName(FrameType type);

@@ -161,4 +161,42 @@ Status DecodeBye(const std::string& payload, ByeMessage* bye) {
   return FinishDecode(decoder);
 }
 
+std::string EncodePayloadDefFrame(const PayloadDefMessage& def) {
+  Encoder encoder;
+  EncodePayloadDef(def.id, def.payload, &encoder);
+  return EncodeFrame(FrameType::kPayloadDef, encoder.TakeBytes());
+}
+
+std::string EncodeElementsDictFrame(const ElementSequence& elements,
+                                    PayloadDictEncoder* dict) {
+  Encoder body;
+  std::vector<std::pair<uint32_t, Row>> new_defs;
+  EncodeSequenceDict(elements, dict, &new_defs, &body);
+  std::string out;
+  for (const auto& [id, payload] : new_defs) {
+    Encoder def;
+    EncodePayloadDef(id, payload, &def);
+    AppendFrame(FrameType::kPayloadDef, def.TakeBytes(), &out);
+  }
+  AppendFrame(FrameType::kElementsDict, body.TakeBytes(), &out);
+  return out;
+}
+
+Status DecodePayloadDefPayload(const std::string& payload,
+                               PayloadDefMessage* def) {
+  Decoder decoder(payload);
+  const Status status = DecodePayloadDef(&decoder, &def->id, &def->payload);
+  if (!status.ok()) return status;
+  return FinishDecode(decoder);
+}
+
+Status DecodeElementsDictPayload(const std::string& payload,
+                                 const PayloadDictDecoder& dict,
+                                 ElementSequence* elements) {
+  Decoder decoder(payload);
+  const Status status = DecodeSequenceDict(&decoder, dict, elements);
+  if (!status.ok()) return status;
+  return FinishDecode(decoder);
+}
+
 }  // namespace lmerge::net

@@ -12,6 +12,14 @@
 //   ELEMENTS  one EncodeSequence payload
 //   FEEDBACK  i64 horizon
 //   BYE       string reason
+//   PAYLOAD_DEF    u32 id, row          (v2; defines a dictionary entry)
+//   ELEMENTS_DICT  one EncodeSequenceDict payload (v2)
+//
+// Version negotiation: HELLO carries the client's highest supported
+// version; WELCOME answers with min(client, server).  The negotiated
+// version governs the session: dictionary frames (PAYLOAD_DEF /
+// ELEMENTS_DICT) may only be sent on v2 sessions; v1 peers keep the inline
+// ELEMENTS encoding, so old and new binaries interoperate.
 //
 // Every Decode* consumes exactly one message and rejects trailing bytes, so
 // a frame is either a whole valid message or a Status error.
@@ -27,10 +35,16 @@
 #include "net/frame.h"
 #include "properties/properties.h"
 #include "stream/element.h"
+#include "stream/element_serde.h"
 
 namespace lmerge::net {
 
-inline constexpr uint32_t kProtocolVersion = 1;
+// v2 added the session payload dictionary (PAYLOAD_DEF / ELEMENTS_DICT).
+inline constexpr uint32_t kProtocolVersion = 2;
+// Oldest version this build still speaks (inline-only encoding).
+inline constexpr uint32_t kMinProtocolVersion = 1;
+// First version allowed to carry dictionary frames.
+inline constexpr uint32_t kPayloadDictVersion = 2;
 
 // WELCOME algorithm_case value when the server has not yet instantiated a
 // merge algorithm (no publisher has connected).
@@ -74,6 +88,11 @@ struct ByeMessage {
   std::string reason;
 };
 
+struct PayloadDefMessage {
+  uint32_t id = 0;
+  Row payload;
+};
+
 // Encoders produce a complete frame (header + payload), ready to Send.
 std::string EncodeHelloFrame(const HelloMessage& hello);
 std::string EncodeWelcomeFrame(const WelcomeMessage& welcome);
@@ -81,6 +100,14 @@ std::string EncodeElementFrame(const StreamElement& element);
 std::string EncodeElementsFrame(const ElementSequence& elements);
 std::string EncodeFeedbackFrame(const FeedbackMessage& feedback);
 std::string EncodeByeFrame(const ByeMessage& bye);
+std::string EncodePayloadDefFrame(const PayloadDefMessage& def);
+
+// Dictionary-encodes `elements` against `dict`, emitting any PAYLOAD_DEF
+// frames for newly seen payloads followed by one ELEMENTS_DICT frame —
+// all concatenated into one buffer so a single Send keeps definitions
+// ordered before the first reference.  v2 sessions only.
+std::string EncodeElementsDictFrame(const ElementSequence& elements,
+                                    PayloadDictEncoder* dict);
 
 // Decoders parse a frame *payload* (as yielded by FrameAssembler).
 Status DecodeHello(const std::string& payload, HelloMessage* hello);
@@ -91,6 +118,11 @@ Status DecodeElementsPayload(const std::string& payload,
                              ElementSequence* elements);
 Status DecodeFeedback(const std::string& payload, FeedbackMessage* feedback);
 Status DecodeBye(const std::string& payload, ByeMessage* bye);
+Status DecodePayloadDefPayload(const std::string& payload,
+                               PayloadDefMessage* def);
+Status DecodeElementsDictPayload(const std::string& payload,
+                                 const PayloadDictDecoder& dict,
+                                 ElementSequence* elements);
 
 }  // namespace lmerge::net
 

@@ -26,11 +26,23 @@ void MergeServer::FanOutSink::OnElement(const StreamElement& element) {
   // and it unblocks only if this thread keeps draining.
   MergeServer* server = server_;
   std::lock_guard<std::mutex> lock(server->fanout_mutex_);
-  std::string frame;
+  std::string inline_frame;  // shared by all v1 subscribers
   for (auto it = server->subscribers_.begin();
        it != server->subscribers_.end();) {
-    if (frame.empty()) frame = EncodeElementFrame(element);
-    if (it->connection->Send(frame).ok()) {
+    Status sent;
+    if (it->dict != nullptr) {
+      // v2: dictionary-coded — after warm-up a repeated payload costs one
+      // u32 on the wire, and the payload Row handle is shared with the
+      // index rather than re-serialized per subscriber.
+      scratch_.clear();
+      scratch_.push_back(element);
+      sent = it->connection->Send(
+          EncodeElementsDictFrame(scratch_, it->dict.get()));
+    } else {
+      if (inline_frame.empty()) inline_frame = EncodeElementFrame(element);
+      sent = it->connection->Send(inline_frame);
+    }
+    if (sent.ok()) {
       ++it;
     } else {
       // A dead subscriber must not take the merge down: unregister it here;
@@ -119,6 +131,43 @@ Status MergeServer::HandleFrame(Session& session, const Frame& frame) {
       if (!status.ok()) return status;
       return DeliverBatch(session, std::move(elements));
     }
+    case FrameType::kPayloadDef: {
+      if (session.state != SessionState::kPublisher) {
+        return Status::FailedPrecondition(
+            "PAYLOAD_DEF from a non-publisher session");
+      }
+      if (session.version < kPayloadDictVersion) {
+        return Status::FailedPrecondition(
+            "PAYLOAD_DEF on a v1-negotiated session");
+      }
+      PayloadDefMessage def;
+      Status status = DecodePayloadDefPayload(frame.payload, &def);
+      if (!status.ok()) return status;
+      if (session.dict_in == nullptr) {
+        session.dict_in =
+            std::make_unique<PayloadDictDecoder>(options_.dict_capacity);
+      }
+      return session.dict_in->Define(def.id, std::move(def.payload));
+    }
+    case FrameType::kElementsDict: {
+      if (session.state != SessionState::kPublisher) {
+        return Status::FailedPrecondition(
+            "ELEMENTS_DICT from a non-publisher session");
+      }
+      if (session.version < kPayloadDictVersion) {
+        return Status::FailedPrecondition(
+            "ELEMENTS_DICT on a v1-negotiated session");
+      }
+      if (session.dict_in == nullptr) {
+        session.dict_in =
+            std::make_unique<PayloadDictDecoder>(options_.dict_capacity);
+      }
+      ElementSequence elements;
+      Status status = DecodeElementsDictPayload(frame.payload,
+                                                *session.dict_in, &elements);
+      if (!status.ok()) return status;
+      return DeliverBatch(session, std::move(elements));
+    }
     case FrameType::kBye: {
       ByeMessage bye;
       (void)DecodeBye(frame.payload, &bye);
@@ -159,10 +208,13 @@ Status MergeServer::EnsureAlgorithm(const StreamProperties& first) {
 }
 
 Status MergeServer::HandleHello(Session& session, const HelloMessage& hello) {
-  if (hello.version != kProtocolVersion) {
+  if (hello.version < kMinProtocolVersion) {
     return Status::InvalidArgument(
         "unsupported protocol version " + std::to_string(hello.version));
   }
+  // Negotiate down to the highest version both sides speak; the WELCOME
+  // echoes it and the session sticks to that encoding from then on.
+  session.version = std::min(hello.version, kProtocolVersion);
   // Quiesce before answering: WELCOME's output_stable, the joiner's join
   // decision, and a new subscriber's registration point must all reflect
   // every delivery that happened-before this HELLO.
@@ -203,6 +255,7 @@ Status MergeServer::HandleHello(Session& session, const HelloMessage& hello) {
     ++active_publishers_;
     welcome.stream_id = session.stream_id;
   }
+  welcome.version = session.version;
   welcome.algorithm_case =
       algorithm_ == nullptr
           ? kUnknownAlgorithmCase
@@ -218,8 +271,16 @@ Status MergeServer::HandleHello(Session& session, const HelloMessage& hello) {
   if (sent.ok() && session.state == SessionState::kSubscriber) {
     // Register only after the WELCOME is on the wire, so the subscriber
     // never sees merged output ahead of its handshake response.
+    Subscriber subscriber;
+    subscriber.session_id = session.id;
+    subscriber.connection = session.connection;
+    subscriber.version = session.version;
+    if (session.version >= kPayloadDictVersion) {
+      subscriber.dict =
+          std::make_unique<PayloadDictEncoder>(options_.dict_capacity);
+    }
     std::lock_guard<std::mutex> fanout_lock(fanout_mutex_);
-    subscribers_.push_back({session.id, session.connection});
+    subscribers_.push_back(std::move(subscriber));
   }
   return sent;
 }

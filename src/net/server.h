@@ -65,6 +65,9 @@ struct MergeServerOptions {
   // thread) and the drain batch size handed to ProcessBatch.
   size_t ring_capacity = 4096;
   size_t max_batch = 1024;
+  // Cap on payload-dictionary entries per v2 session direction; bounds the
+  // per-session decoder memory and the per-subscriber encoder pin set.
+  uint32_t dict_capacity = kDefaultPayloadDictCapacity;
 };
 
 class MergeServer {
@@ -126,6 +129,11 @@ class MergeServer {
     SessionState state = SessionState::kAwaitHello;
     FrameAssembler assembler;
     std::string name;
+    // Negotiated protocol version: min(peer HELLO, kProtocolVersion).
+    uint32_t version = kProtocolVersion;
+    // Inbound payload dictionary (v2 publishers), built by PAYLOAD_DEF
+    // frames; created on first use.
+    std::unique_ptr<PayloadDictDecoder> dict_in;
     // Publisher fields.
     int stream_id = -1;
     bool joined = false;
@@ -146,11 +154,18 @@ class MergeServer {
 
    private:
     MergeServer* server_;
+    // Merge-thread scratch for single-element dictionary batches (avoids a
+    // vector allocation per element per v2 subscriber).
+    ElementSequence scratch_;
   };
 
   struct Subscriber {
     int session_id = 0;
     Connection* connection = nullptr;
+    uint32_t version = kMinProtocolVersion;
+    // Outbound payload dictionary, one per v2 subscriber (ids are session
+    // scoped).  Guarded by fanout_mutex_ like the registry itself.
+    std::unique_ptr<PayloadDictEncoder> dict;
   };
 
   Status HandleFrame(Session& session, const Frame& frame);

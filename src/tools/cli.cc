@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/hash.h"
+#include "container/hash_table.h"
 #include "stream/element_serde.h"
 
 namespace lmerge::tools {
@@ -79,6 +81,63 @@ Status ReadStreamFile(const std::string& path, ElementSequence* elements) {
   }
   return DeserializeSequence(bytes.substr(sizeof(kStreamFileMagic)),
                              elements);
+}
+
+PayloadStatsReport ComputePayloadStats(const ElementSequence& elements) {
+  PayloadStatsReport report;
+  struct IdentityHash {
+    uint64_t operator()(const void* p) const {
+      return Mix64(reinterpret_cast<uint64_t>(p));
+    }
+  };
+  HashTable<const void*, bool, IdentityHash> seen;
+  for (const StreamElement& element : elements) {
+    if (element.is_stable()) continue;
+    const Row& payload = element.payload();
+    if (payload.identity() == nullptr) continue;
+    ++report.payload_refs;
+    report.deep_bytes += payload.DeepSizeBytes();
+    if (seen.Insert(payload.identity(), true).second) {
+      ++report.distinct_payloads;
+      report.shared_bytes += payload.SharedSizeBytes();
+    }
+  }
+  return report;
+}
+
+std::string FormatPayloadStats(const PayloadStatsReport& report,
+                               const PayloadStore::Stats& store) {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "  payloads: %lld references -> %lld distinct "
+                "(dedup %.2fx)\n",
+                static_cast<long long>(report.payload_refs),
+                static_cast<long long>(report.distinct_payloads),
+                report.DedupRatio());
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  bytes: %lld shared vs %lld copied (%lld saved)\n",
+                static_cast<long long>(report.shared_bytes),
+                static_cast<long long>(report.deep_bytes),
+                static_cast<long long>(report.BytesSaved()));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  store: %lld entries, %lld live refs, %lld bytes, "
+                "%d shards\n",
+                static_cast<long long>(store.entries),
+                static_cast<long long>(store.live_refs),
+                static_cast<long long>(store.payload_bytes),
+                store.shard_count);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  store lifetime: %lld interns, %lld hits "
+                "(dedup %.2fx), %lld bytes saved\n",
+                static_cast<long long>(store.intern_calls),
+                static_cast<long long>(store.hits), store.DedupRatio(),
+                static_cast<long long>(store.bytes_saved));
+  out += line;
+  return out;
 }
 
 }  // namespace lmerge::tools

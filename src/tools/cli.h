@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/payload_store.h"
 #include "common/status.h"
 #include "stream/element.h"
 
@@ -45,6 +46,33 @@ Status WriteStreamFile(const std::string& path,
 
 // Reads a stream file written by WriteStreamFile.
 Status ReadStreamFile(const std::string& path, ElementSequence* elements);
+
+// --- Payload interning statistics (lmerge_inspect --payload-stats) ---
+
+// Dedup summary over one tape's insert/adjust payloads: how many handles
+// reference how many distinct interned reps, and what that sharing saves
+// relative to the private-copy model.
+struct PayloadStatsReport {
+  int64_t payload_refs = 0;       // insert/adjust elements carrying payloads
+  int64_t distinct_payloads = 0;  // distinct rep identities among them
+  int64_t deep_bytes = 0;         // bytes if every reference owned a copy
+  int64_t shared_bytes = 0;       // bytes actually held, once per rep
+
+  double DedupRatio() const {
+    return distinct_payloads == 0
+               ? 1.0
+               : static_cast<double>(payload_refs) /
+                     static_cast<double>(distinct_payloads);
+  }
+  int64_t BytesSaved() const { return deep_bytes - shared_bytes; }
+};
+
+PayloadStatsReport ComputePayloadStats(const ElementSequence& elements);
+
+// Renders the report plus the process-wide store's counters as the text
+// block lmerge_inspect prints (unit-testable; tests/tools/cli_test.cc).
+std::string FormatPayloadStats(const PayloadStatsReport& report,
+                               const PayloadStore::Stats& store);
 
 }  // namespace lmerge::tools
 

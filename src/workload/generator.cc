@@ -20,6 +20,15 @@ std::string RandomBlob(Rng* rng, int64_t bytes) {
 LogicalHistory GenerateHistory(const GeneratorConfig& config) {
   LM_CHECK(config.num_inserts > 0);
   Rng rng(config.seed);
+  std::vector<Row> pool;
+  if (config.payload_pool_size > 0) {
+    pool.reserve(static_cast<size_t>(config.payload_pool_size));
+    for (int64_t i = 0; i < config.payload_pool_size; ++i) {
+      pool.push_back(
+          Row::OfIntAndString(rng.UniformInt(0, config.key_range),
+                              RandomBlob(&rng, config.payload_string_bytes)));
+    }
+  }
   LogicalHistory history;
   history.events.reserve(static_cast<size_t>(config.num_inserts));
   Timestamp now = 0;
@@ -32,9 +41,13 @@ LogicalHistory GenerateHistory(const GeneratorConfig& config) {
                                  config.duration_jitter);
     }
     if (duration < 1) duration = 1;
-    Row payload = Row::OfIntAndString(
-        rng.UniformInt(0, config.key_range),
-        RandomBlob(&rng, config.payload_string_bytes));
+    Row payload =
+        pool.empty()
+            ? Row::OfIntAndString(
+                  rng.UniformInt(0, config.key_range),
+                  RandomBlob(&rng, config.payload_string_bytes))
+            : pool[static_cast<size_t>(
+                  rng.UniformInt(0, config.payload_pool_size - 1))];
     history.events.emplace_back(std::move(payload), now, now + duration);
     insert_since_stable = true;
     if (insert_since_stable && rng.Bernoulli(config.stable_freq)) {

@@ -41,6 +41,13 @@ struct GeneratorConfig {
   int64_t max_disorder_elements = 64;     // how far a late element slips
   int64_t key_range = 400;
   int64_t payload_string_bytes = 1000;
+  // When > 0, whole payload rows (int + blob) are drawn from a pool of this
+  // many pre-generated rows instead of being unique per event — the
+  // dictionary-compressible shape of real feeds (ticker symbols, device
+  // ids, status strings), and the workload where payload interning pays.
+  // (Vs, payload) stays a key because Vs is strictly increasing.  0 keeps
+  // every payload unique.
+  int64_t payload_pool_size = 0;
   bool open_lifetimes = false;            // emit Ve=inf then adjust later
   uint64_t seed = 42;
 };

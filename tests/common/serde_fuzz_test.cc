@@ -72,6 +72,154 @@ TEST_P(SerdeFuzzTest, MutatedValidBuffersFailCleanly) {
   }
 }
 
+TEST_P(SerdeFuzzTest, RandomBytesNeverCrashDictDecoders) {
+  Rng rng(GetParam() * 131 + 17);
+  PayloadDictDecoder dict;
+  // Pre-define a few ids so some random buffers can resolve references.
+  ASSERT_TRUE(dict.Define(0, Row::OfString("zero")).ok());
+  ASSERT_TRUE(dict.Define(1, Row::OfInt(1)).ok());
+  for (int round = 0; round < 200; ++round) {
+    std::string bytes;
+    const int64_t len = rng.UniformInt(0, 128);
+    for (int64_t i = 0; i < len; ++i) {
+      bytes.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+    }
+    {
+      Decoder decoder(bytes);
+      uint32_t id = 0;
+      Row payload;
+      (void)DecodePayloadDef(&decoder, &id, &payload);
+    }
+    {
+      Decoder decoder(bytes);
+      ElementSequence elements;
+      (void)DecodeSequenceDict(&decoder, dict, &elements);
+    }
+  }
+}
+
+TEST_P(SerdeFuzzTest, MutatedDictBuffersFailCleanly) {
+  Rng rng(GetParam() * 1009 + 7);
+  // Build a valid dictionary-coded buffer with repeats (so it actually
+  // carries ids) plus an inline escape (the empty payload of Stb).
+  PayloadDictEncoder encoder;
+  std::vector<std::pair<uint32_t, Row>> defs;
+  const ElementSequence original = {
+      Ins("dict-payload", 10, 500),   Adj("dict-payload", 10, 500, 700),
+      Ins("dict-payload", 20, 600),   Ins("other", 30, 700),
+      Stb(40),
+  };
+  Encoder body;
+  EncodeSequenceDict(original, &encoder, &defs, &body);
+  const std::string valid = body.TakeBytes();
+
+  // The matching decoder state: apply the defs the encoder emitted.
+  PayloadDictDecoder dict;
+  for (const auto& [id, payload] : defs) {
+    ASSERT_TRUE(dict.Define(id, payload).ok());
+  }
+  {
+    // Sanity: the unmutated buffer round-trips.
+    Decoder decoder(valid);
+    ElementSequence elements;
+    ASSERT_TRUE(DecodeSequenceDict(&decoder, dict, &elements).ok());
+    EXPECT_EQ(elements, original);
+  }
+
+  for (int round = 0; round < 300; ++round) {
+    std::string mutated = valid;
+    const int mutations = static_cast<int>(rng.UniformInt(1, 4));
+    for (int m = 0; m < mutations; ++m) {
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+      mutated[pos] = static_cast<char>(rng.UniformInt(0, 255));
+    }
+    Decoder decoder(mutated);
+    ElementSequence elements;
+    const Status status = DecodeSequenceDict(&decoder, dict, &elements);
+    if (status.ok()) {
+      for (const StreamElement& e : elements) (void)e.ToString();
+    }
+  }
+}
+
+TEST_P(SerdeFuzzTest, TruncatedDictBuffersReturnStatus) {
+  PayloadDictEncoder encoder;
+  std::vector<std::pair<uint32_t, Row>> defs;
+  const ElementSequence original = {Ins("trunc-me", 1, 10),
+                                    Ins("trunc-me", 2, 20), Stb(3)};
+  Encoder body;
+  EncodeSequenceDict(original, &encoder, &defs, &body);
+  const std::string valid = body.TakeBytes();
+  PayloadDictDecoder dict;
+  for (const auto& [id, payload] : defs) {
+    ASSERT_TRUE(dict.Define(id, payload).ok());
+  }
+  // Every strict prefix must fail with a Status (count mismatch or short
+  // read), never crash and never succeed.
+  for (size_t len = 0; len < valid.size(); ++len) {
+    const std::string prefix = valid.substr(0, len);
+    Decoder decoder(prefix);
+    ElementSequence elements;
+    Status status = DecodeSequenceDict(&decoder, dict, &elements);
+    // A prefix may decode fewer elements without error only if the decoder
+    // cannot tell (it can: the count is explicit), so require failure.
+    EXPECT_FALSE(status.ok()) << "prefix length " << len;
+  }
+  // Same for PAYLOAD_DEF payloads.
+  Encoder def_encoder;
+  EncodePayloadDef(7, Row::OfIntAndString(9, "def"), &def_encoder);
+  const std::string def_bytes = def_encoder.TakeBytes();
+  for (size_t len = 0; len < def_bytes.size(); ++len) {
+    const std::string prefix = def_bytes.substr(0, len);
+    Decoder decoder(prefix);
+    uint32_t id = 0;
+    Row payload;
+    EXPECT_FALSE(DecodePayloadDef(&decoder, &id, &payload).ok())
+        << "prefix length " << len;
+  }
+}
+
+TEST(PayloadDictTest, UnknownIdIsAnErrorNotACrash) {
+  PayloadDictDecoder dict;
+  Row out;
+  const Status status = dict.Resolve(12345, &out);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("12345"), std::string::npos);
+}
+
+TEST(PayloadDictTest, DuplicateAndReservedDefsRejected) {
+  PayloadDictDecoder dict;
+  ASSERT_TRUE(dict.Define(3, Row::OfString("first")).ok());
+  EXPECT_FALSE(dict.Define(3, Row::OfString("second")).ok());
+  EXPECT_FALSE(dict.Define(kInlinePayloadId, Row::OfString("nope")).ok());
+  // The original binding survives the rejected redefinition.
+  Row out;
+  ASSERT_TRUE(dict.Resolve(3, &out).ok());
+  EXPECT_EQ(out, Row::OfString("first"));
+}
+
+TEST(PayloadDictTest, CapacityOverflowFallsBackToInline) {
+  // A capacity-2 encoder interns two payloads, then escapes the third
+  // inline; the decoder side needs no entry for inline payloads.
+  PayloadDictEncoder encoder(/*capacity=*/2);
+  std::vector<std::pair<uint32_t, Row>> defs;
+  const ElementSequence elements = {Ins("a", 1, 10), Ins("b", 2, 20),
+                                    Ins("c", 3, 30), Ins("a", 4, 40)};
+  Encoder body;
+  EncodeSequenceDict(elements, &encoder, &defs, &body);
+  EXPECT_EQ(defs.size(), 2u);  // "c" overflowed to inline
+  PayloadDictDecoder dict(/*capacity=*/2);
+  for (const auto& [id, payload] : defs) {
+    ASSERT_TRUE(dict.Define(id, payload).ok());
+  }
+  const std::string bytes = body.TakeBytes();
+  Decoder decoder(bytes);
+  ElementSequence got;
+  ASSERT_TRUE(DecodeSequenceDict(&decoder, dict, &got).ok());
+  EXPECT_EQ(got, elements);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, SerdeFuzzTest,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
 

@@ -181,6 +181,108 @@ TEST(ProtocolTest, TruncationsFailCleanly) {
   }
 }
 
+TEST(ProtocolTest, PayloadDefFrameRoundTrip) {
+  PayloadDefMessage def;
+  def.id = 42;
+  def.payload = Row::OfIntAndString(7, "defined-once");
+  PayloadDefMessage decoded;
+  ASSERT_TRUE(
+      DecodePayloadDefPayload(PayloadOf(EncodePayloadDefFrame(def)), &decoded)
+          .ok());
+  EXPECT_EQ(decoded.id, 42u);
+  EXPECT_EQ(decoded.payload, def.payload);
+  // Trailing bytes rejected, like every other message.
+  EXPECT_FALSE(DecodePayloadDefPayload(
+                   PayloadOf(EncodePayloadDefFrame(def)) + "x", &decoded)
+                   .ok());
+}
+
+// The dictionary path must be byte-equivalent to the inline path after one
+// full encode -> frame -> assemble -> decode cycle, including the defs the
+// encoder emits ahead of the first referencing batch.
+TEST(ProtocolTest, ElementsDictFrameRoundTripMatchesInline) {
+  const ElementSequence batch1 = {Ins("hot", 1, 10), Ins("cold", 2, 20),
+                                  Adj("hot", 1, 10, 30), Stb(3)};
+  const ElementSequence batch2 = {Ins("hot", 4, 40), Ins("hot", 5, 50)};
+
+  PayloadDictEncoder encoder;
+  PayloadDictDecoder decoder_dict;
+  FrameAssembler assembler;
+  ElementSequence got;
+  int def_frames = 0;
+  int dict_frames = 0;
+  for (const ElementSequence* batch : {&batch1, &batch2}) {
+    ASSERT_TRUE(
+        assembler.Feed(EncodeElementsDictFrame(*batch, &encoder)).ok());
+    Frame frame;
+    while (assembler.Next(&frame)) {
+      if (frame.type == FrameType::kPayloadDef) {
+        ++def_frames;
+        PayloadDefMessage def;
+        ASSERT_TRUE(DecodePayloadDefPayload(frame.payload, &def).ok());
+        ASSERT_TRUE(decoder_dict.Define(def.id, def.payload).ok());
+      } else {
+        ASSERT_EQ(frame.type, FrameType::kElementsDict);
+        ++dict_frames;
+        ElementSequence decoded;
+        ASSERT_TRUE(
+            DecodeElementsDictPayload(frame.payload, decoder_dict, &decoded)
+                .ok());
+        got.insert(got.end(), decoded.begin(), decoded.end());
+      }
+    }
+  }
+  // Two distinct payloads -> two defs, emitted exactly once despite "hot"
+  // recurring in both batches; one ELEMENTS_DICT frame per Send.
+  EXPECT_EQ(def_frames, 2);
+  EXPECT_EQ(dict_frames, 2);
+  ElementSequence expected = batch1;
+  expected.insert(expected.end(), batch2.begin(), batch2.end());
+  EXPECT_EQ(got, expected);
+  // Interned payloads mean the decoded handles share reps with the
+  // originals — the whole point of the end-to-end refactor.
+  EXPECT_EQ(got[0].payload().identity(), batch1[0].payload().identity());
+}
+
+TEST(ProtocolTest, ElementsDictPayloadWithUnknownIdFails) {
+  // Encode against one dictionary, decode against an empty one: the ids in
+  // the body are undefined on the receiving side.
+  PayloadDictEncoder encoder;
+  const ElementSequence batch = {Ins("known-only-to-sender", 1, 10),
+                                 Ins("known-only-to-sender", 2, 20)};
+  FrameAssembler assembler;
+  ASSERT_TRUE(assembler.Feed(EncodeElementsDictFrame(batch, &encoder)).ok());
+  Frame frame;
+  std::string dict_payload;
+  while (assembler.Next(&frame)) {
+    if (frame.type == FrameType::kElementsDict) dict_payload = frame.payload;
+  }
+  ASSERT_FALSE(dict_payload.empty());
+  const PayloadDictDecoder empty_dict;
+  ElementSequence decoded;
+  const Status status =
+      DecodeElementsDictPayload(dict_payload, empty_dict, &decoded);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("undefined payload id"),
+            std::string::npos);
+}
+
+TEST(ProtocolTest, VersionNegotiationBounds) {
+  // The wire preserves whatever version the sender claims — negotiation is
+  // the server's min() against its own version, so decode must not clamp.
+  HelloMessage hello;
+  hello.version = 99;
+  HelloMessage decoded;
+  ASSERT_TRUE(
+      DecodeHello(PayloadOf(EncodeHelloFrame(hello)), &decoded).ok());
+  EXPECT_EQ(decoded.version, 99u);
+  // A default-constructed HELLO advertises the compiled-in version.
+  EXPECT_EQ(HelloMessage().version, kProtocolVersion);
+  static_assert(kMinProtocolVersion <= kProtocolVersion);
+  static_assert(kPayloadDictVersion <= kProtocolVersion,
+                "dictionary frames must be within the advertised version");
+}
+
 class ProtocolFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ProtocolFuzzTest, MutatedPayloadsNeverCrashDecoders) {

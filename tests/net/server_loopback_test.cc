@@ -156,13 +156,48 @@ TEST(ServerLoopbackTest, ClientSendingServerOnlyFrameIsRejected) {
       server.OnBytes(peer.session_id, EncodeFeedbackFrame(feedback)).ok());
 }
 
-TEST(ServerLoopbackTest, WrongProtocolVersionIsRejected) {
+TEST(ServerLoopbackTest, TooOldProtocolVersionIsRejected) {
   MergeServer server;
-  TestPeer peer = ConnectPeer(&server, "old");
-  HelloMessage hello = PublisherHello("old");
-  hello.version = kProtocolVersion + 1;
+  TestPeer peer = ConnectPeer(&server, "ancient");
+  HelloMessage hello = PublisherHello("ancient");
+  hello.version = kMinProtocolVersion - 1;
   EXPECT_FALSE(
       server.OnBytes(peer.session_id, EncodeHelloFrame(hello)).ok());
+}
+
+TEST(ServerLoopbackTest, NewerPeerIsNegotiatedDownToServerVersion) {
+  // A client from the future offers a higher version; the server answers
+  // with its own (the min), and the session proceeds normally.
+  MergeServer server;
+  TestPeer peer = ConnectPeer(&server, "future");
+  HelloMessage hello = PublisherHello("future");
+  hello.version = kProtocolVersion + 7;
+  const WelcomeMessage welcome = Handshake(&server, &peer, hello);
+  EXPECT_EQ(welcome.version, kProtocolVersion);
+  EXPECT_TRUE(server
+                  .OnBytes(peer.session_id,
+                           EncodeElementFrame(Ins("hello", 1, 10)))
+                  .ok());
+}
+
+TEST(ServerLoopbackTest, V1PeerIsNegotiatedDownAndDictFramesRejected) {
+  MergeServer server;
+  TestPeer peer = ConnectPeer(&server, "v1");
+  HelloMessage hello = PublisherHello("v1");
+  hello.version = 1;
+  const WelcomeMessage welcome = Handshake(&server, &peer, hello);
+  EXPECT_EQ(welcome.version, 1u);
+  // Inline frames still work...
+  EXPECT_TRUE(server
+                  .OnBytes(peer.session_id,
+                           EncodeElementFrame(Ins("inline", 1, 10)))
+                  .ok());
+  // ...but v2 dictionary frames on a v1 session are a protocol violation.
+  PayloadDefMessage def;
+  def.id = 0;
+  def.payload = Row::OfString("sneaky");
+  EXPECT_FALSE(
+      server.OnBytes(peer.session_id, EncodePayloadDefFrame(def)).ok());
 }
 
 TEST(ServerLoopbackTest, WeakerLatePublisherIsRejectedUnlessVariantForced) {
@@ -226,6 +261,49 @@ TEST(ServerLoopbackTest, SubscriberReceivesExactlyTheMergedOutput) {
   }
 
   server.Flush();  // delivery is enqueue-only; quiesce before reading
+  // A default (v2) subscriber receives dictionary-coded output: PAYLOAD_DEF
+  // frames defining each first-seen payload, then ELEMENTS_DICT batches.
+  PayloadDictDecoder dict;
+  ElementSequence received;
+  for (const Frame& frame : sub.DrainFrames()) {
+    if (frame.type == FrameType::kPayloadDef) {
+      PayloadDefMessage def;
+      ASSERT_TRUE(DecodePayloadDefPayload(frame.payload, &def).ok());
+      ASSERT_TRUE(dict.Define(def.id, std::move(def.payload)).ok());
+      continue;
+    }
+    ASSERT_EQ(frame.type, FrameType::kElementsDict);
+    ElementSequence batch;
+    ASSERT_TRUE(
+        DecodeElementsDictPayload(frame.payload, dict, &batch).ok());
+    for (StreamElement& element : batch) {
+      received.push_back(std::move(element));
+    }
+  }
+  EXPECT_EQ(received, merged.elements());
+  EXPECT_FALSE(received.empty());
+}
+
+TEST(ServerLoopbackTest, V1SubscriberReceivesInlineElementFrames) {
+  MergeServer server;
+  CollectingSink merged;
+  server.AddOutputSink(&merged);
+  TestPeer sub = ConnectPeer(&server, "old-sub");
+  HelloMessage sub_hello;
+  sub_hello.role = PeerRole::kSubscriber;
+  sub_hello.version = 1;
+  Handshake(&server, &sub, sub_hello);
+
+  TestPeer pub = ConnectPeer(&server, "pub");
+  Handshake(&server, &pub, PublisherHello("pub"));
+  const ElementSequence tape = {Ins("a", 1, 10), Stb(4), Ins("a", 5, 20),
+                                Stb(30)};
+  for (const StreamElement& element : tape) {
+    ASSERT_TRUE(
+        server.OnBytes(pub.session_id, EncodeElementFrame(element)).ok());
+  }
+
+  server.Flush();
   ElementSequence received;
   for (const Frame& frame : sub.DrainFrames()) {
     ASSERT_EQ(frame.type, FrameType::kElement);

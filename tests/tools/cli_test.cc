@@ -91,5 +91,57 @@ TEST(StreamFileTest, EmptySequenceIsFine) {
   std::remove(path.c_str());
 }
 
+TEST(PayloadStatsTest, CountsDistinctRepsAndSharedBytes) {
+  // Three references to "dup" (which all intern to one rep), one to "uniq",
+  // and a stable element that carries no payload.
+  const ElementSequence elements = {Ins("dup", 1, 10), Adj("dup", 1, 10, 20),
+                                    Ins("dup", 2, 10), Ins("uniq", 3, 10),
+                                    Stb(5)};
+  const PayloadStatsReport report = ComputePayloadStats(elements);
+  EXPECT_EQ(report.payload_refs, 4);
+  EXPECT_EQ(report.distinct_payloads, 2);
+  EXPECT_DOUBLE_EQ(report.DedupRatio(), 2.0);
+  // Four deep copies cost more than two shared reps plus four handles.
+  EXPECT_GT(report.deep_bytes, report.shared_bytes);
+  const Row dup = Row::OfString("dup");
+  const Row uniq = Row::OfString("uniq");
+  EXPECT_EQ(report.shared_bytes,
+            dup.SharedSizeBytes() + uniq.SharedSizeBytes());
+  EXPECT_EQ(report.deep_bytes,
+            3 * dup.DeepSizeBytes() + uniq.DeepSizeBytes());
+}
+
+TEST(PayloadStatsTest, EmptyTapeReportsNoPayloads) {
+  const PayloadStatsReport report = ComputePayloadStats({Stb(1), Stb(2)});
+  EXPECT_EQ(report.payload_refs, 0);
+  EXPECT_EQ(report.distinct_payloads, 0);
+  EXPECT_DOUBLE_EQ(report.DedupRatio(), 1.0);
+  EXPECT_EQ(report.BytesSaved(), 0);
+}
+
+TEST(PayloadStatsTest, FormatMentionsEveryCounter) {
+  PayloadStatsReport report;
+  report.payload_refs = 40;
+  report.distinct_payloads = 10;
+  report.deep_bytes = 4000;
+  report.shared_bytes = 1000;
+  PayloadStore::Stats store;
+  store.entries = 10;
+  store.live_refs = 40;
+  store.payload_bytes = 1000;
+  store.intern_calls = 40;
+  store.hits = 30;
+  store.bytes_saved = 3000;
+  store.shard_count = 16;
+  const std::string text = FormatPayloadStats(report, store);
+  EXPECT_NE(text.find("40 references -> 10 distinct"), std::string::npos);
+  EXPECT_NE(text.find("dedup 4.00x"), std::string::npos);
+  EXPECT_NE(text.find("1000 shared vs 4000 copied (3000 saved)"),
+            std::string::npos);
+  EXPECT_NE(text.find("10 entries"), std::string::npos);
+  EXPECT_NE(text.find("40 interns, 30 hits"), std::string::npos);
+  EXPECT_NE(text.find("16 shards"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace lmerge::tools

@@ -24,7 +24,8 @@ int Usage() {
       stderr,
       "usage: lmerge_gen <out.lmst> [--inserts=N] [--disorder=F]\n"
       "                  [--stable-freq=F] [--duration=TICKS] [--max-gap=T]\n"
-      "                  [--key-range=N] [--payload-bytes=N] [--seed=N]\n"
+      "                  [--key-range=N] [--payload-bytes=N] [--pool=N]\n"
+      "                  [--seed=N]\n"
       "                  [--variant-seed=N] [--split=F] [--open]\n"
       "                  [--finalize]\n"
       "                  [--ticker] [--symbols=N] [--quotes=N] [--close]\n");
@@ -64,6 +65,7 @@ int main(int argc, char** argv) {
     config.max_gap = flags.GetInt("max-gap", 20);
     config.key_range = flags.GetInt("key-range", 400);
     config.payload_string_bytes = flags.GetInt("payload-bytes", 1000);
+    config.payload_pool_size = flags.GetInt("pool", 0);
     config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
     history = GenerateHistory(config);
   }

@@ -1,10 +1,15 @@
 // lmerge_inspect — examine a stream file: validate it, summarize its
-// logical content, optionally dump elements or compare with another tape.
+// logical content, optionally dump elements, payload-interning statistics,
+// or compare with another tape.
 //
-//   lmerge_inspect tape.lmst [--dump[=N]] [--equiv=other.lmst]
+//   lmerge_inspect tape.lmst [--dump[=N]] [--payload-stats[=N]]
+//                  [--equiv=other.lmst]
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
+#include "common/payload_store.h"
 #include "stream/validate.h"
 #include "temporal/tdb.h"
 #include "tools/cli.h"
@@ -17,7 +22,7 @@ int main(int argc, char** argv) {
   if (flags.positional().size() != 1) {
     std::fprintf(stderr,
                  "usage: lmerge_inspect <tape.lmst> [--dump[=N]] "
-                 "[--equiv=other.lmst]\n");
+                 "[--payload-stats[=N]] [--equiv=other.lmst]\n");
     return 2;
   }
   ElementSequence elements;
@@ -80,6 +85,52 @@ int main(int argc, char** argv) {
     if (static_cast<int64_t>(elements.size()) > limit) {
       std::printf("  ... (%zu more)\n",
                   elements.size() - static_cast<size_t>(limit));
+    }
+  }
+
+  if (flags.Has("payload-stats")) {
+    // Decoding the tape interned every payload into the global store, so
+    // the tape summary and the store counters describe the same rows.
+    std::printf("payload interning:\n");
+    const PayloadStatsReport report = ComputePayloadStats(elements);
+    PayloadStore& store = PayloadStore::Global();
+    std::printf("%s", FormatPayloadStats(report, store.GetStats()).c_str());
+
+    // The most-shared entries, by live reference count.
+    struct EntryLine {
+      int64_t refs;
+      int64_t bytes;
+      std::string preview;
+    };
+    std::vector<EntryLine> entries;
+    store.ForEach([&entries](const RowRep& rep, int64_t refs) {
+      // Format from the raw fields: constructing a Row here would intern
+      // under the shard lock ForEach already holds.
+      std::string preview = "(";
+      for (size_t i = 0; i < rep.fields.size(); ++i) {
+        if (i > 0) preview += ", ";
+        preview += rep.fields[i].ToString();
+      }
+      preview += ")";
+      if (preview.size() > 48) preview = preview.substr(0, 45) + "...";
+      entries.push_back({refs, rep.deep_bytes, std::move(preview)});
+    });
+    std::sort(entries.begin(), entries.end(),
+              [](const EntryLine& a, const EntryLine& b) {
+                return a.refs > b.refs;
+              });
+    const int64_t limit = flags.GetInt("payload-stats", 10);
+    int64_t shown = 0;
+    for (const EntryLine& entry : entries) {
+      if (shown++ >= limit) break;
+      std::printf("  %6lld refs  %8lld bytes  %s\n",
+                  static_cast<long long>(entry.refs),
+                  static_cast<long long>(entry.bytes),
+                  entry.preview.c_str());
+    }
+    if (static_cast<int64_t>(entries.size()) > limit) {
+      std::printf("  ... (%zu more entries)\n",
+                  entries.size() - static_cast<size_t>(limit));
     }
   }
 
