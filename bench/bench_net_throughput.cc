@@ -87,6 +87,12 @@ void NetThroughput(benchmark::State& state, size_t batch_size,
 
   int64_t delivered = 0;
   LatencySampler latency;
+  // Registry counters accumulate across iterations (and across benchmarks
+  // in the same process), so wire-path totals are published as the delta
+  // over the timed loop — the registry replaces the ad-hoc tallies this
+  // harness used to keep by hand.
+  const obs::MetricsSnapshot before =
+      obs::MetricsRegistry::Global().Snapshot();
   for (auto _ : state) {
     net::MergeServer server;
     NullSink sink;
@@ -138,6 +144,16 @@ void NetThroughput(benchmark::State& state, size_t batch_size,
   latency.Publish(state);
   state.counters["publishers"] = benchmark::Counter(num_publishers);
   state.counters["batch"] = benchmark::Counter(static_cast<double>(batch_size));
+  const obs::MetricsSnapshot after =
+      obs::MetricsRegistry::Global().Snapshot();
+  const auto delta = [&](const std::string& name) {
+    return static_cast<double>(after.Value(name) - before.Value(name));
+  };
+  state.counters["rx_frames"] = benchmark::Counter(delta("net.rx.frames"));
+  state.counters["rx_bytes"] = benchmark::Counter(delta("net.rx.bytes"));
+  state.counters["stalls"] =
+      benchmark::Counter(delta("engine.backpressure_stalls"));
+  state.counters["merge_batches"] = benchmark::Counter(delta("engine.batches"));
 }
 
 // In-order insert-only replicas: the factory picks one of the cheap merge

@@ -19,7 +19,10 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "core/factory.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stream/element.h"
 #include "workload/generator.h"
 
@@ -182,30 +185,46 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
   std::vector<BenchJsonEntry> entries_;
 };
 
+// Benchmark names are user-controlled (template args, Args() values), so
+// the document goes through JsonWriter: names with quotes/backslashes stay
+// valid JSON and keys always appear in this fixed order.
 inline bool WriteBenchJson(const std::string& path,
                            const std::vector<BenchJsonEntry>& entries) {
+  JsonWriter writer;
+  writer.BeginArray();
+  for (const BenchJsonEntry& e : entries) {
+    writer.BeginObject();
+    writer.Key("name");
+    writer.String(e.name);
+    writer.Key("elems_per_sec");
+    writer.Double(e.elems_per_sec);
+    writer.Key("p50_latency_us");
+    writer.Double(e.p50_latency_us);
+    writer.Key("p99_latency_us");
+    writer.Double(e.p99_latency_us);
+    writer.Key("state_bytes");
+    writer.Int(e.state_bytes);
+    writer.EndObject();
+  }
+  writer.EndArray();
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) return false;
-  std::fprintf(file, "[\n");
-  for (size_t i = 0; i < entries.size(); ++i) {
-    const BenchJsonEntry& e = entries[i];
-    std::fprintf(file,
-                 "  {\"name\": \"%s\", \"elems_per_sec\": %.1f, "
-                 "\"p50_latency_us\": %.3f, \"p99_latency_us\": %.3f, "
-                 "\"state_bytes\": %lld}%s\n",
-                 e.name.c_str(), e.elems_per_sec, e.p50_latency_us,
-                 e.p99_latency_us, static_cast<long long>(e.state_bytes),
-                 i + 1 < entries.size() ? "," : "");
-  }
-  std::fprintf(file, "]\n");
+  const std::string json = writer.Take();
+  std::fprintf(file, "%s\n", json.c_str());
   std::fclose(file);
   return true;
 }
 
 // Drop-in replacement for BENCHMARK_MAIN(): the standard benchmark CLI plus
-// the --json flag.
+//   --json=PATH       tee per-run metrics into a JSON array
+//   --obs=on|off|trace  metrics registry on (default), off (the overhead
+//                     A/B baseline used by the CI bench-obs-smoke job), or
+//                     on with span tracing as well
+//   --trace-out=PATH  dump the recorded spans as Chrome trace JSON on exit
 inline int RunBenchmarksWithJson(int argc, char** argv) {
   std::string json_path;
+  std::string obs_mode = "on";
+  std::string trace_path;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -213,10 +232,21 @@ inline int RunBenchmarksWithJson(int argc, char** argv) {
       json_path = arg.substr(7);
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg.rfind("--obs=", 0) == 0) {
+      obs_mode = arg.substr(6);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_path = arg.substr(12);
     } else {
       args.push_back(argv[i]);
     }
   }
+  if (obs_mode != "on" && obs_mode != "off" && obs_mode != "trace") {
+    std::fprintf(stderr, "--obs must be on, off, or trace\n");
+    return 1;
+  }
+  obs::MetricsRegistry::set_enabled(obs_mode != "off");
+  obs::TraceRecorder::Global().set_enabled(obs_mode == "trace" ||
+                                           !trace_path.empty());
   int filtered_argc = static_cast<int>(args.size());
   benchmark::Initialize(&filtered_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
@@ -229,6 +259,17 @@ inline int RunBenchmarksWithJson(int argc, char** argv) {
       !WriteBenchJson(json_path, reporter.entries())) {
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
     return 1;
+  }
+  if (!trace_path.empty()) {
+    std::FILE* file = std::fopen(trace_path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+      return 1;
+    }
+    const std::string trace =
+        obs::TraceRecorder::Global().DumpChromeTraceJson();
+    std::fprintf(file, "%s\n", trace.c_str());
+    std::fclose(file);
   }
   return 0;
 }

@@ -1,0 +1,150 @@
+// Minimal JSON emission: correct string escaping and deterministic key
+// order, nothing else.
+//
+// Consumers are the machine-readable outputs scattered across the repo —
+// BENCH_*.json (bench/bench_util.h), metrics snapshots
+// (obs/metrics.h ToJson), `lmerge_served --metrics-out` — which are parsed
+// by the CI python steps and embedded into each other.  Hand-rolled
+// fprintf-style emission broke both guarantees (benchmark names containing
+// quotes or backslashes corrupted the document, and map-driven sections
+// serialized in hash order), so every JSON byte the repo writes now goes
+// through this writer.  Emission only; parsing stays in python.
+
+#ifndef LMERGE_COMMON_JSON_H_
+#define LMERGE_COMMON_JSON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace lmerge {
+
+// Escapes `s` for use inside a JSON string literal (quotes not included).
+// Control characters, quotes, and backslashes become escape sequences;
+// everything else (including UTF-8 bytes) passes through untouched.
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Streaming writer for objects/arrays: handles commas and escaping; the
+// caller supplies keys in the order it wants them to appear (emit sorted
+// keys for deterministic documents).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() {
+    Prefix();
+    out_ += '{';
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& EndObject() {
+    out_ += '}';
+    fresh_ = false;
+    return *this;
+  }
+  JsonWriter& BeginArray() {
+    Prefix();
+    out_ += '[';
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& EndArray() {
+    out_ += ']';
+    fresh_ = false;
+    return *this;
+  }
+
+  // Emits the key and leaves the writer expecting its value next.
+  JsonWriter& Key(const std::string& key) {
+    Prefix();
+    out_ += '"';
+    out_ += JsonEscape(key);
+    out_ += "\":";
+    fresh_ = true;  // the value must not get a comma
+    return *this;
+  }
+
+  JsonWriter& String(const std::string& value) {
+    Prefix();
+    out_ += '"';
+    out_ += JsonEscape(value);
+    out_ += '"';
+    return *this;
+  }
+  JsonWriter& Int(int64_t value) {
+    Prefix();
+    out_ += std::to_string(value);
+    return *this;
+  }
+  JsonWriter& Double(double value) {
+    Prefix();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& Bool(bool value) {
+    Prefix();
+    out_ += value ? "true" : "false";
+    return *this;
+  }
+  // Splices an already-serialized JSON value (e.g. a nested document from
+  // another writer) in as-is.  The caller vouches for its validity.
+  JsonWriter& Raw(const std::string& json) {
+    Prefix();
+    out_ += json;
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Prefix() {
+    if (!fresh_) out_ += ',';
+    fresh_ = false;
+  }
+
+  std::string out_;
+  bool fresh_ = true;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_COMMON_JSON_H_

@@ -34,7 +34,7 @@ Status LMergeR0::ProcessBatch(int stream,
   // One pass merging the (sorted) run against the watermarks; identical
   // output to per-element delivery, minus the dispatch overhead.
   for (const StreamElement& element : batch) {
-    CountIn(element);
+    CountIn(stream, element);
     switch (element.kind()) {
       case ElementKind::kInsert:
         if (element.vs() > max_vs_) {

@@ -48,7 +48,7 @@ Status LMergeR1::ProcessBatch(int stream,
   LM_DCHECK(stream_active(stream));
   int64_t& count = same_vs_count_[static_cast<size_t>(stream)];
   for (const StreamElement& element : batch) {
-    CountIn(element);
+    CountIn(stream, element);
     switch (element.kind()) {
       case ElementKind::kInsert:
         if (element.vs() < max_vs_) {

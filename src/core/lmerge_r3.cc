@@ -112,6 +112,7 @@ Status LMergeR3::ApplyAdjust(int stream, const StreamElement& element,
 }
 
 Status LMergeR3::OnInsert(int stream, const StreamElement& element) {
+  CountIndexProbe();
   In2t::Iterator node = index_.SameVsPayload(element.vs(), element.payload());
   const Status status = ApplyInsert(stream, element, &node);
   if (node != index_.end()) RefreshNode(node);
@@ -119,6 +120,7 @@ Status LMergeR3::OnInsert(int stream, const StreamElement& element) {
 }
 
 Status LMergeR3::OnAdjust(int stream, const StreamElement& element) {
+  CountIndexProbe();
   In2t::Iterator node = index_.SameVsPayload(element.vs(), element.payload());
   const Status status = ApplyAdjust(stream, element, &node);
   if (node != index_.end()) RefreshNode(node);
@@ -133,13 +135,14 @@ Status LMergeR3::ProcessBatch(int stream,
   while (i < batch.size()) {
     const StreamElement& head = batch[i];
     if (head.is_stable()) {
-      CountIn(head);
+      CountIn(stream, head);
       OnStable(stream, head.stable_time());
       ++i;
       continue;
     }
     // A run of insert/adjust elements sharing (Vs, payload): one index
     // probe and one frontier/byte refresh serve the whole run.
+    CountIndexProbe();
     In2t::Iterator node = index_.SameVsPayload(head.vs(), head.payload());
     Status status = Status::Ok();
     size_t j = i;
@@ -149,7 +152,7 @@ Status LMergeR3::ProcessBatch(int stream,
           !(e.payload() == head.payload())) {
         break;
       }
-      CountIn(e);
+      CountIn(stream, e);
       const bool superseded =
           e.is_adjust() && policy_.adjust_policy == AdjustPolicy::kLazy &&
           node != index_.end() && j + 1 < batch.size() &&

@@ -101,6 +101,7 @@ Status LMergeR4::ApplyAdjust(int stream, const StreamElement& element,
 }
 
 Status LMergeR4::OnInsert(int stream, const StreamElement& element) {
+  CountIndexProbe();
   In3t::Iterator node = index_.SameVsPayload(element.vs(), element.payload());
   const Status status = ApplyInsert(stream, element, &node);
   if (node != index_.end()) RefreshNode(node);
@@ -108,6 +109,7 @@ Status LMergeR4::OnInsert(int stream, const StreamElement& element) {
 }
 
 Status LMergeR4::OnAdjust(int stream, const StreamElement& element) {
+  CountIndexProbe();
   In3t::Iterator node = index_.SameVsPayload(element.vs(), element.payload());
   const Status status = ApplyAdjust(stream, element, &node);
   if (node != index_.end()) RefreshNode(node);
@@ -122,11 +124,12 @@ Status LMergeR4::ProcessBatch(int stream,
   while (i < batch.size()) {
     const StreamElement& head = batch[i];
     if (head.is_stable()) {
-      CountIn(head);
+      CountIn(stream, head);
       OnStable(stream, head.stable_time());
       ++i;
       continue;
     }
+    CountIndexProbe();
     In3t::Iterator node = index_.SameVsPayload(head.vs(), head.payload());
     Status status = Status::Ok();
     size_t j = i;
@@ -136,7 +139,7 @@ Status LMergeR4::ProcessBatch(int stream,
           !(e.payload() == head.payload())) {
         break;
       }
-      CountIn(e);
+      CountIn(stream, e);
       status = e.is_insert() ? ApplyInsert(stream, e, &node)
                              : ApplyAdjust(stream, e, &node);
       if (!status.ok()) break;

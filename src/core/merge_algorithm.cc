@@ -1,0 +1,42 @@
+#include "core/merge_algorithm.h"
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace lmerge {
+
+void MergeAlgorithm::ExportMetrics(obs::MetricsRegistry* registry) const {
+  registry->GetGauge("merge.in.inserts")->Set(stats_.inserts_in);
+  registry->GetGauge("merge.in.adjusts")->Set(stats_.adjusts_in);
+  registry->GetGauge("merge.in.stables")->Set(stats_.stables_in);
+  registry->GetGauge("merge.out.inserts")->Set(stats_.inserts_out);
+  registry->GetGauge("merge.out.adjusts")->Set(stats_.adjusts_out);
+  registry->GetGauge("merge.out.stables")->Set(stats_.stables_out);
+  registry->GetGauge("merge.dropped")->Set(stats_.dropped);
+  registry->GetGauge("merge.index_probes")->Set(index_probes_);
+  registry->GetGauge("merge.state_bytes")->Set(StateBytes());
+  registry->GetGauge("merge.streams")->Set(stream_count());
+  registry->GetGauge("merge.streams_active")->Set(active_stream_count());
+  // kMinTimestamp (no output stable yet) is exported verbatim; consumers
+  // render it as "-inf" (see Timestamp docs).
+  registry->GetGauge("merge.stable")->Set(max_stable_);
+
+  for (int s = 0; s < stream_count(); ++s) {
+    const PerInputStats& in = per_input_[static_cast<size_t>(s)];
+    const std::string prefix = "merge.input." + std::to_string(s) + ".";
+    registry->GetGauge(prefix + "inserts_in")->Set(in.inserts_in);
+    registry->GetGauge(prefix + "adjusts_in")->Set(in.adjusts_in);
+    registry->GetGauge(prefix + "stables_in")->Set(in.stables_in);
+    registry->GetGauge(prefix + "elements_in")->Set(in.elements_in());
+    registry->GetGauge(prefix + "dropped")->Set(in.dropped);
+    registry->GetGauge(prefix + "contributed")->Set(in.contributed);
+    registry->GetGauge(prefix + "adjusts_contributed")
+        ->Set(in.adjusts_contributed);
+    registry->GetGauge(prefix + "stable_point")->Set(in.stable_point);
+    registry->GetGauge(prefix + "active")
+        ->Set(stream_active(s) ? 1 : 0);
+  }
+}
+
+}  // namespace lmerge

@@ -27,6 +27,10 @@ namespace lmerge {
 
 class Checkpointable;
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 // Counts of elements emitted by the algorithm; the paper's "output size"
 // metric and the quantity bounded by Theorem 1.
 struct MergeOutputStats {
@@ -42,10 +46,31 @@ struct MergeOutputStats {
   int64_t dropped = 0;
 };
 
+// Per-input-stream view of the same counters, attributed to the stream
+// whose element was being processed.  `contributed` counts output inserts
+// caused by this input's elements (first-delivery wins), so the sum over
+// all inputs equals stats().inserts_out — the merged output TDB size.
+struct PerInputStats {
+  int64_t inserts_in = 0;
+  int64_t adjusts_in = 0;
+  int64_t stables_in = 0;
+  int64_t dropped = 0;
+  int64_t contributed = 0;          // output inserts this input triggered
+  int64_t adjusts_contributed = 0;  // output adjusts this input triggered
+  // Highest stable point this input has announced (kMinTimestamp before the
+  // first stable).  Output lag for the input = max over inputs of this,
+  // minus this (DBLog-style per-source progress watermark).
+  Timestamp stable_point = kMinTimestamp;
+
+  int64_t elements_in() const { return inserts_in + adjusts_in + stables_in; }
+};
+
 class MergeAlgorithm {
  public:
   MergeAlgorithm(int num_streams, ElementSink* sink)
-      : sink_(sink), active_(static_cast<size_t>(num_streams), true) {
+      : sink_(sink),
+        active_(static_cast<size_t>(num_streams), true),
+        per_input_(static_cast<size_t>(num_streams)) {
     LM_CHECK(num_streams >= 1);
     LM_CHECK(sink != nullptr);
   }
@@ -61,15 +86,13 @@ class MergeAlgorithm {
   Status OnElement(int stream, const StreamElement& element) {
     LM_DCHECK(stream >= 0 && stream < stream_count());
     LM_DCHECK(active_[static_cast<size_t>(stream)]);
+    CountIn(stream, element);
     switch (element.kind()) {
       case ElementKind::kInsert:
-        ++stats_.inserts_in;
         return OnInsert(stream, element);
       case ElementKind::kAdjust:
-        ++stats_.adjusts_in;
         return OnAdjust(stream, element);
       case ElementKind::kStable:
-        ++stats_.stables_in;
         OnStable(stream, element.stable_time());
         return Status::Ok();
     }
@@ -109,6 +132,7 @@ class MergeAlgorithm {
   // point onward (Sec. V-B).
   virtual int AddStream() {
     active_.push_back(true);
+    per_input_.emplace_back();
     return stream_count() - 1;
   }
 
@@ -149,35 +173,70 @@ class MergeAlgorithm {
 
   Timestamp max_stable() const { return max_stable_; }
   const MergeOutputStats& stats() const { return stats_; }
+  const std::vector<PerInputStats>& per_input_stats() const {
+    return per_input_;
+  }
+  // Index-structure probes issued (R3/R4 SameVsPayload and actionable-scan
+  // lookups); the work term behind the Sec. VI runtime curves.
+  int64_t index_probes() const { return index_probes_; }
+
+  // Publishes stats(), per_input_stats(), index_probes(), and max_stable()
+  // as "merge."-prefixed gauges (see docs/OBSERVABILITY.md for the
+  // catalog).  Call from the merge thread (e.g. via
+  // ConcurrentMerger::CallOnMergeThread): reads the same plain counters the
+  // hot path mutates.
+  void ExportMetrics(obs::MetricsRegistry* registry) const;
 
  protected:
   void EmitInsert(const Row& payload, Timestamp vs, Timestamp ve) {
     ++stats_.inserts_out;
+    if (current_stream_ >= 0) {
+      ++per_input_[static_cast<size_t>(current_stream_)].contributed;
+    }
     sink_->OnElement(StreamElement::Insert(payload, vs, ve));
   }
   void EmitAdjust(const Row& payload, Timestamp vs, Timestamp v_old,
                   Timestamp ve) {
     ++stats_.adjusts_out;
+    if (current_stream_ >= 0) {
+      ++per_input_[static_cast<size_t>(current_stream_)].adjusts_contributed;
+    }
     sink_->OnElement(StreamElement::Adjust(payload, vs, v_old, ve));
   }
   void EmitStable(Timestamp t) {
     ++stats_.stables_out;
     sink_->OnElement(StreamElement::Stable(t));
   }
-  void CountDrop() { ++stats_.dropped; }
+  void CountDrop() {
+    ++stats_.dropped;
+    if (current_stream_ >= 0) {
+      ++per_input_[static_cast<size_t>(current_stream_)].dropped;
+    }
+  }
+  void CountIndexProbe() { ++index_probes_; }
 
   // Input-side stats bump for ProcessBatch overrides that bypass OnElement;
-  // keeps stats byte-identical with element-wise delivery.
-  void CountIn(const StreamElement& element) {
+  // keeps stats byte-identical with element-wise delivery.  Also anchors
+  // attribution: emissions and drops between this call and the next are
+  // credited to `stream` (see EmitInsert/CountDrop).
+  void CountIn(int stream, const StreamElement& element) {
+    current_stream_ = stream;
+    PerInputStats& in = per_input_[static_cast<size_t>(stream)];
     switch (element.kind()) {
       case ElementKind::kInsert:
         ++stats_.inserts_in;
+        ++in.inserts_in;
         break;
       case ElementKind::kAdjust:
         ++stats_.adjusts_in;
+        ++in.adjusts_in;
         break;
       case ElementKind::kStable:
         ++stats_.stables_in;
+        ++in.stables_in;
+        if (element.stable_time() > in.stable_point) {
+          in.stable_point = element.stable_time();
+        }
         break;
     }
   }
@@ -188,6 +247,11 @@ class MergeAlgorithm {
   ElementSink* sink_;
   std::vector<bool> active_;
   MergeOutputStats stats_;
+  std::vector<PerInputStats> per_input_;
+  int64_t index_probes_ = 0;
+  // The input whose element is being processed; -1 outside delivery (e.g.
+  // emissions from RestoreState are unattributed).
+  int current_stream_ = -1;
 };
 
 }  // namespace lmerge

@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace lmerge {
 
 ConcurrentMerger::ConcurrentMerger(MergeAlgorithm* algorithm,
@@ -15,6 +17,13 @@ ConcurrentMerger::ConcurrentMerger(MergeAlgorithm* algorithm,
   LM_CHECK(algorithm != nullptr);
   LM_CHECK(options_.ring_capacity >= 2);
   LM_CHECK(options_.max_batch >= 1);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  stalls_metric_ = registry.GetCounter("engine.backpressure_stalls");
+  batches_metric_ = registry.GetCounter("engine.batches");
+  busy_us_metric_ = registry.GetCounter("engine.merge.busy_us");
+  idle_us_metric_ = registry.GetCounter("engine.merge.idle_us");
+  batch_size_metric_ = registry.GetHistogram("engine.batch_size");
+  ring_occupancy_metric_ = registry.GetHistogram("engine.ring_occupancy");
   slots_.reserve(kMaxStreams);
   const int n = algorithm_->stream_count();
   LM_CHECK(static_cast<size_t>(n) <= kMaxStreams);
@@ -57,6 +66,7 @@ void ConcurrentMerger::EnqueueBlocking(int stream, StreamElement element) {
   int spins = 0;
   while (!slot.ring.TryPush(element)) {
     if (++spins < 64) continue;
+    if (spins == 64) stalls_metric_->Increment();
     WakeMerge();
     std::unique_lock<std::mutex> lock(slot.wait_mutex);
     slot.producer_waiting.store(true, std::memory_order_release);
@@ -160,6 +170,22 @@ Status ConcurrentMerger::error() const {
   return error_;
 }
 
+obs::MetricsSnapshot ConcurrentMerger::MetricsSnapshot() {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  // The algorithm's counters are plain ints owned by the merge thread;
+  // export them from there so the snapshot is a consistent point between
+  // batches.
+  CallOnMergeThread([this, &registry] {
+    algorithm_->ExportMetrics(&registry);
+  });
+  registry.GetGauge("engine.delivered")->Set(delivered_count());
+  registry.GetGauge("engine.pending")
+      ->Set(pending_.load(std::memory_order_acquire));
+  registry.GetGauge("engine.streams")
+      ->Set(slot_count_.load(std::memory_order_acquire));
+  return registry.Snapshot();
+}
+
 void ConcurrentMerger::RecordError(const Status& status) {
   std::lock_guard<std::mutex> lock(control_mutex_);
   if (error_.ok()) error_ = status;
@@ -169,9 +195,15 @@ void ConcurrentMerger::RecordError(const Status& status) {
 size_t ConcurrentMerger::DrainRing(int stream) {
   InputSlot& slot = *slots_[static_cast<size_t>(stream)];
   scratch_.clear();
+  // Occupancy sampled before the pop: what the producer side had built up.
+  const size_t occupied = slot.ring.size();
   const size_t n = slot.ring.Pop(&scratch_, options_.max_batch);
   if (n == 0) return 0;
+  ring_occupancy_metric_->Record(static_cast<int64_t>(occupied));
+  batch_size_metric_->Record(static_cast<int64_t>(n));
+  batches_metric_->Increment();
   if (!poisoned_.load(std::memory_order_relaxed)) {
+    LMERGE_TRACE_SPAN("merge_batch", "engine");
     const Status status = algorithm_->ProcessBatch(
         stream, std::span<const StreamElement>(scratch_.data(), n));
     if (!status.ok()) RecordError(status);
@@ -231,12 +263,24 @@ size_t ConcurrentMerger::ProcessControlOps() {
 }
 
 void ConcurrentMerger::MergeLoop() {
+  using Clock = std::chrono::steady_clock;
+  const auto elapsed_us = [](Clock::time_point since) {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - since)
+        .count();
+  };
   int idle_rounds = 0;
   while (true) {
+    // Busy/idle accounting is gated on the metrics switch so the metrics-off
+    // baseline pays no clock reads in this loop.
+    const bool timed = obs::MetricsRegistry::enabled();
+    Clock::time_point round_start;
+    if (timed) round_start = Clock::now();
     size_t work = ProcessControlOps();
     const int n = slot_count_.load(std::memory_order_acquire);
     for (int s = 0; s < n; ++s) work += DrainRing(s);
     if (work > 0) {
+      if (timed) busy_us_metric_->Add(elapsed_us(round_start));
       idle_rounds = 0;
       continue;
     }
@@ -254,10 +298,15 @@ void ConcurrentMerger::MergeLoop() {
       std::this_thread::yield();
       continue;
     }
-    std::unique_lock<std::mutex> lock(wake_mutex_);
-    merge_sleeping_.store(true, std::memory_order_release);
-    wake_cv_.wait_for(lock, std::chrono::milliseconds(1));
-    merge_sleeping_.store(false, std::memory_order_release);
+    Clock::time_point park_start;
+    if (timed) park_start = Clock::now();
+    {
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      merge_sleeping_.store(true, std::memory_order_release);
+      wake_cv_.wait_for(lock, std::chrono::milliseconds(1));
+      merge_sleeping_.store(false, std::memory_order_release);
+    }
+    if (timed) idle_us_metric_->Add(elapsed_us(park_start));
   }
 }
 

@@ -37,6 +37,7 @@
 
 #include "core/merge_algorithm.h"
 #include "engine/spsc_ring.h"
+#include "obs/metrics.h"
 #include "stream/element.h"
 
 namespace lmerge {
@@ -122,6 +123,11 @@ class ConcurrentMerger {
   // Ok when none.  Once set, subsequent batches are discarded.
   Status error() const;
 
+  // Exports the algorithm's stats (on the merge thread, race-free) plus the
+  // engine's own gauges into the global registry and returns its snapshot.
+  // Safe to call from any thread while deliveries are in flight.
+  obs::MetricsSnapshot MetricsSnapshot();
+
  private:
   struct InputSlot {
     explicit InputSlot(size_t capacity) : ring(capacity) {}
@@ -184,6 +190,16 @@ class ConcurrentMerger {
   std::atomic<bool> merge_sleeping_{false};
 
   std::vector<StreamElement> scratch_;  // merge-thread drain buffer
+
+  // Cached instrument handles (obs/metrics.h); shared by name across
+  // mergers, so values aggregate process-wide.
+  obs::Counter* stalls_metric_;
+  obs::Counter* batches_metric_;
+  obs::Counter* busy_us_metric_;
+  obs::Counter* idle_us_metric_;
+  obs::Histogram* batch_size_metric_;
+  obs::Histogram* ring_occupancy_metric_;
+
   std::thread merge_thread_;
 };
 

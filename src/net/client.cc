@@ -153,6 +153,90 @@ Status PublisherClient::Finish(const std::string& reason) {
   ByeMessage bye;
   bye.reason = reason;
   const Status status = connection_->Send(EncodeByeFrame(bye));
+  if (status.ok()) {
+    // Drain whatever the server pushed (FEEDBACK, a BYE reply) until it
+    // closes the session in response to our BYE.  Closing with unread
+    // receive data would RST the connection, and the reset discards our
+    // own still-in-flight elements on the server side.
+    char buffer[4096];
+    size_t received = 0;
+    while (connection_->Receive(buffer, sizeof(buffer), &received).ok() &&
+           received > 0) {
+    }
+  }
+  connection_->Close();
+  return status;
+}
+
+StatsClient::StatsClient(std::unique_ptr<Connection> connection)
+    : connection_(std::move(connection)) {
+  LM_CHECK(connection_ != nullptr);
+}
+
+StatsClient::~StatsClient() = default;
+
+Status StatsClient::Handshake(const std::string& name,
+                              WelcomeMessage* welcome) {
+  HelloMessage hello;
+  hello.role = PeerRole::kMonitor;
+  hello.peer_name = name;
+  Status status = connection_->Send(EncodeHelloFrame(hello));
+  if (!status.ok()) return status;
+  Frame frame;
+  status = ReceiveFrame(connection_.get(), &assembler_, &frame);
+  if (!status.ok()) return status;
+  if (frame.type == FrameType::kBye) {
+    // Pre-v3 servers (or ones built without stats) reject the monitor role
+    // with a BYE; surface their reason instead of a generic decode error.
+    ByeMessage bye;
+    (void)DecodeBye(frame.payload, &bye);
+    bye_reason_ = bye.reason;
+    return Status::FailedPrecondition("server rejected monitor session: " +
+                                      bye.reason);
+  }
+  if (frame.type != FrameType::kWelcome) {
+    return Status::InvalidArgument(
+        std::string("expected WELCOME, got ") + FrameTypeName(frame.type));
+  }
+  WelcomeMessage parsed;
+  status = DecodeWelcome(frame.payload, &parsed);
+  if (!status.ok()) return status;
+  if (parsed.version < kStatsVersion || parsed.version > kProtocolVersion) {
+    return Status::InvalidArgument(
+        "server negotiated v" + std::to_string(parsed.version) +
+        "; STATS needs v" + std::to_string(kStatsVersion));
+  }
+  version_ = parsed.version;
+  if (welcome != nullptr) *welcome = parsed;
+  return Status::Ok();
+}
+
+Status StatsClient::PollStats(StatsResponseMessage* stats) {
+  LM_CHECK(stats != nullptr);
+  Status status = connection_->Send(EncodeStatsRequestFrame());
+  if (!status.ok()) return status;
+  Frame frame;
+  status = ReceiveFrame(connection_.get(), &assembler_, &frame);
+  if (!status.ok()) return status;
+  if (frame.type == FrameType::kBye) {
+    ByeMessage bye;
+    (void)DecodeBye(frame.payload, &bye);
+    bye_reason_ = bye.reason;
+    return Status::FailedPrecondition("server closed session: " +
+                                      bye.reason);
+  }
+  if (frame.type != FrameType::kStatsResponse) {
+    return Status::InvalidArgument(
+        std::string("expected STATS_RESPONSE, got ") +
+        FrameTypeName(frame.type));
+  }
+  return DecodeStatsResponse(frame.payload, stats);
+}
+
+Status StatsClient::Finish(const std::string& reason) {
+  ByeMessage bye;
+  bye.reason = reason;
+  const Status status = connection_->Send(EncodeByeFrame(bye));
   connection_->Close();
   return status;
 }

@@ -71,6 +71,39 @@ class PublisherClient {
   std::unique_ptr<PayloadDictEncoder> dict_;
 };
 
+// v3 monitor session: polls the server's live stats (per-input merge
+// counters + metrics-registry snapshot) without joining the element flow.
+// What lmerge_stats is built on.  Usage:
+//   StatsClient mon(std::move(connection));
+//   mon.Handshake("dashboard");
+//   StatsResponseMessage stats;
+//   while (...) mon.PollStats(&stats);   // blocking request/response
+class StatsClient {
+ public:
+  explicit StatsClient(std::unique_ptr<Connection> connection);
+  ~StatsClient();
+
+  // Sends HELLO with the monitor role; fails (with the server's BYE reason)
+  // against pre-v3 servers, which cannot answer STATS_REQUEST.
+  Status Handshake(const std::string& name,
+                   WelcomeMessage* welcome = nullptr);
+
+  // One STATS_REQUEST -> STATS_RESPONSE round trip; blocks for the reply.
+  Status PollStats(StatsResponseMessage* stats);
+
+  Status Finish(const std::string& reason = "done");
+
+  const std::string& bye_reason() const { return bye_reason_; }
+  uint32_t negotiated_version() const { return version_; }
+  Connection* connection() { return connection_.get(); }
+
+ private:
+  std::unique_ptr<Connection> connection_;
+  FrameAssembler assembler_;
+  std::string bye_reason_;
+  uint32_t version_ = kMinProtocolVersion;
+};
+
 // Receives the merged output stream.
 class SubscriberClient {
  public:

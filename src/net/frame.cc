@@ -22,13 +22,17 @@ const char* FrameTypeName(FrameType type) {
       return "PAYLOAD_DEF";
     case FrameType::kElementsDict:
       return "ELEMENTS_DICT";
+    case FrameType::kStatsRequest:
+      return "STATS_REQUEST";
+    case FrameType::kStatsResponse:
+      return "STATS_RESPONSE";
   }
   return "UNKNOWN";
 }
 
 bool IsKnownFrameType(uint8_t tag) {
   return tag >= static_cast<uint8_t>(FrameType::kHello) &&
-         tag <= static_cast<uint8_t>(FrameType::kElementsDict);
+         tag <= static_cast<uint8_t>(FrameType::kStatsResponse);
 }
 
 void AppendFrame(FrameType type, const std::string& payload,

@@ -34,6 +34,10 @@ enum class FrameType : uint8_t {
   // wire as 4-byte ids instead of full rows.
   kPayloadDef = 7,     // defines one (id, payload) dictionary entry
   kElementsDict = 8,   // batched sequence with dictionary-coded payloads
+  // Protocol v3 live stats (docs/OBSERVABILITY.md): a monitor or any
+  // connected peer polls the server's metrics registry over the session.
+  kStatsRequest = 9,   // client -> server: ask for a stats snapshot
+  kStatsResponse = 10, // server -> client: server state + metrics snapshot
 };
 
 const char* FrameTypeName(FrameType type);

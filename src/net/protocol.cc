@@ -29,6 +29,8 @@ const char* PeerRoleName(PeerRole role) {
       return "publisher";
     case PeerRole::kSubscriber:
       return "subscriber";
+    case PeerRole::kMonitor:
+      return "monitor";
   }
   return "unknown";
 }
@@ -70,7 +72,7 @@ Status DecodeHello(const std::string& payload, HelloMessage* hello) {
   uint8_t bits = 0;
   if (!(status = decoder.ReadU32(&hello->version)).ok()) return status;
   if (!(status = decoder.ReadU8(&role)).ok()) return status;
-  if (role > static_cast<uint8_t>(PeerRole::kSubscriber)) {
+  if (role > static_cast<uint8_t>(PeerRole::kMonitor)) {
     return Status::InvalidArgument("unknown peer role " +
                                    std::to_string(role));
   }
@@ -196,6 +198,90 @@ Status DecodeElementsDictPayload(const std::string& payload,
   Decoder decoder(payload);
   const Status status = DecodeSequenceDict(&decoder, dict, elements);
   if (!status.ok()) return status;
+  return FinishDecode(decoder);
+}
+
+std::string EncodeStatsRequestFrame() {
+  return EncodeFrame(FrameType::kStatsRequest, std::string());
+}
+
+Status DecodeStatsRequest(const std::string& payload) {
+  if (!payload.empty()) {
+    return Status::InvalidArgument("STATS_REQUEST carries no payload");
+  }
+  return Status::Ok();
+}
+
+std::string EncodeStatsResponseFrame(const StatsResponseMessage& stats) {
+  Encoder encoder;
+  encoder.WriteU8(stats.algorithm_case);
+  encoder.WriteI64(stats.output_stable);
+  encoder.WriteI64(stats.output_inserts);
+  encoder.WriteI64(stats.output_adjusts);
+  encoder.WriteU32(static_cast<uint32_t>(stats.publishers));
+  encoder.WriteU32(static_cast<uint32_t>(stats.subscribers));
+  encoder.WriteU32(static_cast<uint32_t>(stats.inputs.size()));
+  for (const StatsInputRow& row : stats.inputs) {
+    encoder.WriteU32(static_cast<uint32_t>(row.stream_id));
+    encoder.WriteString(row.peer_name);
+    encoder.WriteU8(static_cast<uint8_t>((row.connected ? 1 : 0) |
+                                         (row.active ? 2 : 0)));
+    encoder.WriteI64(row.inserts_in);
+    encoder.WriteI64(row.adjusts_in);
+    encoder.WriteI64(row.stables_in);
+    encoder.WriteI64(row.dropped);
+    encoder.WriteI64(row.contributed);
+    encoder.WriteI64(row.stable_point);
+  }
+  obs::EncodeMetricsSnapshot(stats.metrics, &encoder);
+  return EncodeFrame(FrameType::kStatsResponse, encoder.TakeBytes());
+}
+
+Status DecodeStatsResponse(const std::string& payload,
+                           StatsResponseMessage* stats) {
+  Decoder decoder(payload);
+  Status status;
+  if (!(status = decoder.ReadU8(&stats->algorithm_case)).ok()) return status;
+  if (!(status = decoder.ReadI64(&stats->output_stable)).ok()) return status;
+  if (!(status = decoder.ReadI64(&stats->output_inserts)).ok()) return status;
+  if (!(status = decoder.ReadI64(&stats->output_adjusts)).ok()) return status;
+  uint32_t publishers = 0;
+  uint32_t subscribers = 0;
+  uint32_t input_count = 0;
+  if (!(status = decoder.ReadU32(&publishers)).ok()) return status;
+  if (!(status = decoder.ReadU32(&subscribers)).ok()) return status;
+  stats->publishers = static_cast<int32_t>(publishers);
+  stats->subscribers = static_cast<int32_t>(subscribers);
+  if (!(status = decoder.ReadU32(&input_count)).ok()) return status;
+  // Each row is at least 4 + 4 + 1 + 6*8 bytes; reject counts the buffer
+  // cannot hold (hostile-input bound, same pattern as the serde decoders).
+  if (input_count > decoder.remaining() / 57 + 1) {
+    return Status::InvalidArgument("stats input row count too large");
+  }
+  stats->inputs.clear();
+  stats->inputs.reserve(input_count);
+  for (uint32_t i = 0; i < input_count; ++i) {
+    StatsInputRow row;
+    uint32_t stream_id = 0;
+    uint8_t flags = 0;
+    if (!(status = decoder.ReadU32(&stream_id)).ok()) return status;
+    row.stream_id = static_cast<int32_t>(stream_id);
+    if (!(status = decoder.ReadString(&row.peer_name)).ok()) return status;
+    if (!(status = decoder.ReadU8(&flags)).ok()) return status;
+    row.connected = (flags & 1) != 0;
+    row.active = (flags & 2) != 0;
+    if (!(status = decoder.ReadI64(&row.inserts_in)).ok()) return status;
+    if (!(status = decoder.ReadI64(&row.adjusts_in)).ok()) return status;
+    if (!(status = decoder.ReadI64(&row.stables_in)).ok()) return status;
+    if (!(status = decoder.ReadI64(&row.dropped)).ok()) return status;
+    if (!(status = decoder.ReadI64(&row.contributed)).ok()) return status;
+    if (!(status = decoder.ReadI64(&row.stable_point)).ok()) return status;
+    stats->inputs.push_back(std::move(row));
+  }
+  if (!(status = obs::DecodeMetricsSnapshot(&decoder, &stats->metrics))
+           .ok()) {
+    return status;
+  }
   return FinishDecode(decoder);
 }
 

@@ -14,12 +14,15 @@
 //   BYE       string reason
 //   PAYLOAD_DEF    u32 id, row          (v2; defines a dictionary entry)
 //   ELEMENTS_DICT  one EncodeSequenceDict payload (v2)
+//   STATS_REQUEST  (empty)              (v3; poll the server's stats)
+//   STATS_RESPONSE server summary + per-input table + metrics snapshot (v3)
 //
 // Version negotiation: HELLO carries the client's highest supported
 // version; WELCOME answers with min(client, server).  The negotiated
 // version governs the session: dictionary frames (PAYLOAD_DEF /
-// ELEMENTS_DICT) may only be sent on v2 sessions; v1 peers keep the inline
-// ELEMENTS encoding, so old and new binaries interoperate.
+// ELEMENTS_DICT) may only be sent on v2 sessions; STATS frames and the
+// monitor role require v3.  v1 peers keep the inline ELEMENTS encoding and
+// v2 peers never see a STATS frame, so old and new binaries interoperate.
 //
 // Every Decode* consumes exactly one message and rejects trailing bytes, so
 // a frame is either a whole valid message or a Status error.
@@ -30,21 +33,27 @@
 #include <cstdint>
 #include <string>
 
+#include <vector>
+
 #include "common/status.h"
 #include "common/timestamp.h"
 #include "net/frame.h"
+#include "obs/metrics.h"
 #include "properties/properties.h"
 #include "stream/element.h"
 #include "stream/element_serde.h"
 
 namespace lmerge::net {
 
-// v2 added the session payload dictionary (PAYLOAD_DEF / ELEMENTS_DICT).
-inline constexpr uint32_t kProtocolVersion = 2;
+// v2 added the session payload dictionary (PAYLOAD_DEF / ELEMENTS_DICT);
+// v3 added STATS_REQUEST / STATS_RESPONSE and the monitor role.
+inline constexpr uint32_t kProtocolVersion = 3;
 // Oldest version this build still speaks (inline-only encoding).
 inline constexpr uint32_t kMinProtocolVersion = 1;
 // First version allowed to carry dictionary frames.
 inline constexpr uint32_t kPayloadDictVersion = 2;
+// First version allowed to carry STATS frames (and the monitor role).
+inline constexpr uint32_t kStatsVersion = 3;
 
 // WELCOME algorithm_case value when the server has not yet instantiated a
 // merge algorithm (no publisher has connected).
@@ -53,6 +62,9 @@ inline constexpr uint8_t kUnknownAlgorithmCase = 0xff;
 enum class PeerRole : uint8_t {
   kPublisher = 0,   // one redundant input replica (Sec. II-2)
   kSubscriber = 1,  // receives the merged output stream
+  // v3: observes stats only — no elements flow in either direction, so a
+  // dashboard never competes with subscribers for fan-out bandwidth.
+  kMonitor = 2,
 };
 
 const char* PeerRoleName(PeerRole role);
@@ -93,6 +105,33 @@ struct PayloadDefMessage {
   Row payload;
 };
 
+// One input stream's row in a STATS_RESPONSE: the merge algorithm's
+// per-input counters joined with the server's session registry.
+struct StatsInputRow {
+  int32_t stream_id = -1;
+  std::string peer_name;  // empty when the publisher has disconnected
+  bool connected = false;
+  bool active = false;  // still attached to the merge algorithm
+  int64_t inserts_in = 0;
+  int64_t adjusts_in = 0;
+  int64_t stables_in = 0;
+  int64_t dropped = 0;
+  int64_t contributed = 0;  // output inserts this input triggered
+  Timestamp stable_point = kMinTimestamp;
+};
+
+struct StatsResponseMessage {
+  uint8_t algorithm_case = kUnknownAlgorithmCase;
+  Timestamp output_stable = kMinTimestamp;
+  int64_t output_inserts = 0;  // merged output TDB event count
+  int64_t output_adjusts = 0;
+  int32_t publishers = 0;   // connected publisher sessions
+  int32_t subscribers = 0;  // connected subscriber sessions
+  std::vector<StatsInputRow> inputs;
+  // Full registry snapshot (engine/net/payload instruments and more).
+  obs::MetricsSnapshot metrics;
+};
+
 // Encoders produce a complete frame (header + payload), ready to Send.
 std::string EncodeHelloFrame(const HelloMessage& hello);
 std::string EncodeWelcomeFrame(const WelcomeMessage& welcome);
@@ -101,6 +140,8 @@ std::string EncodeElementsFrame(const ElementSequence& elements);
 std::string EncodeFeedbackFrame(const FeedbackMessage& feedback);
 std::string EncodeByeFrame(const ByeMessage& bye);
 std::string EncodePayloadDefFrame(const PayloadDefMessage& def);
+std::string EncodeStatsRequestFrame();
+std::string EncodeStatsResponseFrame(const StatsResponseMessage& stats);
 
 // Dictionary-encodes `elements` against `dict`, emitting any PAYLOAD_DEF
 // frames for newly seen payloads followed by one ELEMENTS_DICT frame —
@@ -123,6 +164,9 @@ Status DecodePayloadDefPayload(const std::string& payload,
 Status DecodeElementsDictPayload(const std::string& payload,
                                  const PayloadDictDecoder& dict,
                                  ElementSequence* elements);
+Status DecodeStatsRequest(const std::string& payload);
+Status DecodeStatsResponse(const std::string& payload,
+                           StatsResponseMessage* stats);
 
 }  // namespace lmerge::net
 

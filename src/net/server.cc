@@ -6,12 +6,25 @@
 #include <thread>
 #include <utility>
 
+#include "common/payload_store.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+
 namespace lmerge::net {
 
 MergeServer::MergeServer(MergeServerOptions options)
     : options_(std::move(options)),
       fan_out_(this),
-      met_properties_(StreamProperties::Strongest()) {}
+      met_properties_(StreamProperties::Strongest()) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  rx_bytes_metric_ = registry.GetCounter("net.rx.bytes");
+  rx_frames_metric_ = registry.GetCounter("net.rx.frames");
+  tx_fanout_frames_metric_ = registry.GetCounter("net.tx.fanout.frames");
+  tx_fanout_bytes_metric_ = registry.GetCounter("net.tx.fanout.bytes");
+  tx_feedback_metric_ = registry.GetCounter("net.tx.feedback.frames");
+  decode_errors_metric_ = registry.GetCounter("net.decode_errors");
+  stats_requests_metric_ = registry.GetCounter("net.stats_requests");
+}
 
 MergeServer::~MergeServer() {
   // Drain and join the merge thread while the fan-out registry (and the
@@ -24,25 +37,33 @@ void MergeServer::FanOutSink::OnElement(const StreamElement& element) {
   // Merge-thread context.  Only the leaf fanout_mutex_ may be taken here:
   // a session thread blocked on ring backpressure holds the server lock,
   // and it unblocks only if this thread keeps draining.
+  LMERGE_TRACE_SPAN("fanout", "net");
   MergeServer* server = server_;
   std::lock_guard<std::mutex> lock(server->fanout_mutex_);
   std::string inline_frame;  // shared by all v1 subscribers
   for (auto it = server->subscribers_.begin();
        it != server->subscribers_.end();) {
     Status sent;
+    size_t frame_bytes = 0;
     if (it->dict != nullptr) {
       // v2: dictionary-coded — after warm-up a repeated payload costs one
       // u32 on the wire, and the payload Row handle is shared with the
       // index rather than re-serialized per subscriber.
       scratch_.clear();
       scratch_.push_back(element);
-      sent = it->connection->Send(
-          EncodeElementsDictFrame(scratch_, it->dict.get()));
+      const std::string frame =
+          EncodeElementsDictFrame(scratch_, it->dict.get());
+      frame_bytes = frame.size();
+      sent = it->connection->Send(frame);
     } else {
       if (inline_frame.empty()) inline_frame = EncodeElementFrame(element);
+      frame_bytes = inline_frame.size();
       sent = it->connection->Send(inline_frame);
     }
     if (sent.ok()) {
+      server->tx_fanout_frames_metric_->Increment();
+      server->tx_fanout_bytes_metric_->Add(
+          static_cast<int64_t>(frame_bytes));
       ++it;
     } else {
       // A dead subscriber must not take the merge down: unregister it here;
@@ -85,9 +106,11 @@ Status MergeServer::OnBytes(int session_id, const char* data, size_t size) {
   if (session.state == SessionState::kClosed) {
     return Status::FailedPrecondition("session already closed");
   }
+  rx_bytes_metric_->Add(static_cast<int64_t>(size));
   Status status = session.assembler.Feed(data, size);
   Frame frame;
   while (status.ok() && session.assembler.Next(&frame)) {
+    rx_frames_metric_->Increment();
     status = HandleFrame(session, frame);
     if (session.state == SessionState::kClosed) break;
   }
@@ -95,6 +118,7 @@ Status MergeServer::OnBytes(int session_id, const char* data, size_t size) {
     status = Status::InvalidArgument("malformed frame stream");
   }
   if (!status.ok()) {
+    decode_errors_metric_->Increment();
     CloseSession(session, status.ToString(), /*send_bye=*/true);
   }
   return status;
@@ -168,6 +192,20 @@ Status MergeServer::HandleFrame(Session& session, const Frame& frame) {
       if (!status.ok()) return status;
       return DeliverBatch(session, std::move(elements));
     }
+    case FrameType::kStatsRequest: {
+      if (session.state == SessionState::kAwaitHello) {
+        return Status::FailedPrecondition("STATS_REQUEST before HELLO");
+      }
+      if (session.version < kStatsVersion) {
+        return Status::FailedPrecondition(
+            "STATS_REQUEST on a pre-v3 session");
+      }
+      Status status = DecodeStatsRequest(frame.payload);
+      if (!status.ok()) return status;
+      stats_requests_metric_->Increment();
+      return session.connection->Send(
+          EncodeStatsResponseFrame(BuildStatsResponseLocked()));
+    }
     case FrameType::kBye: {
       ByeMessage bye;
       (void)DecodeBye(frame.payload, &bye);
@@ -177,6 +215,7 @@ Status MergeServer::HandleFrame(Session& session, const Frame& frame) {
     }
     case FrameType::kWelcome:
     case FrameType::kFeedback:
+    case FrameType::kStatsResponse:
       return Status::FailedPrecondition(
           std::string("client sent server-only frame ") +
           FrameTypeName(frame.type));
@@ -221,7 +260,17 @@ Status MergeServer::HandleHello(Session& session, const HelloMessage& hello) {
   FlushLocked();
   if (!hello.peer_name.empty()) session.name = hello.peer_name;
   WelcomeMessage welcome;
-  if (hello.role == PeerRole::kSubscriber) {
+  if (hello.role == PeerRole::kMonitor) {
+    // Monitors only exchange STATS frames; old clients can never have sent
+    // this role (it post-dates v3), so a pre-v3 HELLO carrying it is a
+    // protocol violation rather than something to negotiate down.
+    if (session.version < kStatsVersion) {
+      return Status::InvalidArgument(
+          "monitor role requires protocol v3");
+    }
+    session.state = SessionState::kMonitor;
+    welcome.stream_id = -1;
+  } else if (hello.role == PeerRole::kSubscriber) {
     session.state = SessionState::kSubscriber;
     welcome.stream_id = -1;
   } else {
@@ -253,6 +302,7 @@ Status MergeServer::HandleHello(Session& session, const HelloMessage& hello) {
     session.joined = merger_->max_stable() >= hello.join_time;
     ++publishers_seen_;
     ++active_publishers_;
+    stream_names_[session.stream_id] = session.name;
     welcome.stream_id = session.stream_id;
   }
   welcome.version = session.version;
@@ -366,6 +416,7 @@ void MergeServer::AfterStableAdvance() {
       feedback.horizon = stable;
       if (session.connection->Send(EncodeFeedbackFrame(feedback)).ok()) {
         session.last_feedback = stable;
+        tx_feedback_metric_->Increment();
       }
     }
   }
@@ -393,6 +444,12 @@ void MergeServer::CloseSession(Session& session, const std::string& reason,
   }
   if (options_.verbose) Log(session, "closed: " + reason);
   session.state = SessionState::kClosed;
+  // Actively close the transport: an orderly peer drains its receive side
+  // until this EOF before closing its own end (see PublisherClient::Finish)
+  // — closing with unread data (e.g. FEEDBACK pushes) would RST the
+  // connection and discard the peer's own in-flight bytes.  Also unblocks
+  // the ServeLoop read thread for this session.
+  session.connection->Close();
 }
 
 void MergeServer::AddOutputSink(ElementSink* sink) {
@@ -447,6 +504,99 @@ const char* MergeServer::algorithm_name() const {
   return algorithm_ == nullptr
              ? "none"
              : AlgorithmCaseName(algorithm_->algorithm_case());
+}
+
+obs::MetricsSnapshot MergeServer::MetricsSnapshotLocked() {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::ExportPayloadStoreMetrics(PayloadStore::Global(), &registry);
+  {
+    std::lock_guard<std::mutex> fanout_lock(fanout_mutex_);
+    int64_t dict_entries = 0;
+    for (const Subscriber& subscriber : subscribers_) {
+      if (subscriber.dict != nullptr) {
+        dict_entries += subscriber.dict->entries();
+      }
+    }
+    registry.GetGauge("net.subscribers")
+        ->Set(static_cast<int64_t>(subscribers_.size()));
+    registry.GetGauge("net.tx.dict.entries")->Set(dict_entries);
+  }
+  if (merger_ != nullptr) {
+    // Exports the algorithm's counters on the merge thread, then snapshots.
+    return merger_->MetricsSnapshot();
+  }
+  return registry.Snapshot();
+}
+
+obs::MetricsSnapshot MergeServer::MetricsSnapshot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return MetricsSnapshotLocked();
+}
+
+StatsResponseMessage MergeServer::BuildStatsResponseLocked() {
+  StatsResponseMessage stats;
+  stats.output_stable =
+      merger_ == nullptr ? kMinTimestamp : merger_->max_stable();
+  if (algorithm_ != nullptr) {
+    stats.algorithm_case =
+        static_cast<uint8_t>(algorithm_->algorithm_case());
+  }
+  for (const auto& [id, session] : sessions_) {
+    if (session.state == SessionState::kPublisher) ++stats.publishers;
+    if (session.state == SessionState::kSubscriber) ++stats.subscribers;
+  }
+  stats.metrics = MetricsSnapshotLocked();
+  if (merger_ != nullptr) {
+    // Per-input counters, copied on the merge thread (race-free against
+    // in-flight deliveries), then joined with the session registry.
+    std::vector<PerInputStats> per_input;
+    std::vector<bool> active;
+    MergeOutputStats totals;
+    merger_->CallOnMergeThread([&] {
+      per_input = algorithm_->per_input_stats();
+      active.resize(per_input.size());
+      for (size_t s = 0; s < per_input.size(); ++s) {
+        active[s] = algorithm_->stream_active(static_cast<int>(s));
+      }
+      totals = algorithm_->stats();
+    });
+    stats.output_inserts = totals.inserts_out;
+    stats.output_adjusts = totals.adjusts_out;
+    stats.inputs.reserve(per_input.size());
+    for (size_t s = 0; s < per_input.size(); ++s) {
+      StatsInputRow row;
+      row.stream_id = static_cast<int32_t>(s);
+      // Departed publishers keep their name (the live-session join below
+      // only flips `connected` back on).
+      const auto name = stream_names_.find(static_cast<int>(s));
+      if (name != stream_names_.end()) row.peer_name = name->second;
+      row.active = active[s];
+      row.inserts_in = per_input[s].inserts_in;
+      row.adjusts_in = per_input[s].adjusts_in;
+      row.stables_in = per_input[s].stables_in;
+      row.dropped = per_input[s].dropped;
+      row.contributed = per_input[s].contributed;
+      row.stable_point = per_input[s].stable_point;
+      stats.inputs.push_back(std::move(row));
+    }
+    for (const auto& [id, session] : sessions_) {
+      if (session.state != SessionState::kPublisher) continue;
+      if (session.stream_id < 0 ||
+          session.stream_id >= static_cast<int>(stats.inputs.size())) {
+        continue;
+      }
+      StatsInputRow& row =
+          stats.inputs[static_cast<size_t>(session.stream_id)];
+      row.peer_name = session.name;
+      row.connected = true;
+    }
+  }
+  return stats;
+}
+
+StatsResponseMessage MergeServer::StatsSnapshot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return BuildStatsResponseLocked();
 }
 
 void MergeServer::Log(const Session& session,

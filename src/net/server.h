@@ -120,8 +120,25 @@ class MergeServer {
   MergeOutputStats merge_stats() const;
   const char* algorithm_name() const;
 
+  // The STATS_RESPONSE payload: server summary, per-input table (merge
+  // counters joined with session names), and the full metrics-registry
+  // snapshot.  A live view — it does NOT quiesce the pipeline; call Flush()
+  // first when exactness matters (e.g. after drain).
+  StatsResponseMessage StatsSnapshot();
+
+  // Refreshes the registry (algorithm export on the merge thread + payload
+  // store gauges) and returns its snapshot; what `--metrics-interval`
+  // serializes.  Same liveness caveat as StatsSnapshot().
+  obs::MetricsSnapshot MetricsSnapshot();
+
  private:
-  enum class SessionState { kAwaitHello, kPublisher, kSubscriber, kClosed };
+  enum class SessionState {
+    kAwaitHello,
+    kPublisher,
+    kSubscriber,
+    kMonitor,
+    kClosed,
+  };
 
   struct Session {
     int id = 0;
@@ -170,6 +187,10 @@ class MergeServer {
 
   Status HandleFrame(Session& session, const Frame& frame);
   Status HandleHello(Session& session, const HelloMessage& hello);
+  // Requires mutex_: assembles the STATS_RESPONSE message.
+  StatsResponseMessage BuildStatsResponseLocked();
+  // Requires mutex_: refreshes registry-exported state and snapshots it.
+  obs::MetricsSnapshot MetricsSnapshotLocked();
   Status DeliverElement(Session& session, const StreamElement& element);
   // ELEMENTS path: observe watermarks, drop held-back stables, hand the
   // survivors to the merge as one batch.
@@ -196,6 +217,9 @@ class MergeServer {
   std::unique_ptr<ConcurrentMerger> merger_;
   StreamProperties met_properties_;  // meet over all publisher HELLOs
   std::map<int, Session> sessions_;
+  // Publisher name per merge input, kept after the session is gone so
+  // STATS rows for crashed/departed replicas stay attributable.
+  std::map<int, std::string> stream_names_;
   int next_session_id_ = 1;
   int publishers_seen_ = 0;
   int active_publishers_ = 0;
@@ -207,6 +231,15 @@ class MergeServer {
   mutable std::mutex fanout_mutex_;
   std::vector<Subscriber> subscribers_;
   std::vector<ElementSink*> output_sinks_;
+
+  // Cached instrument handles (obs/metrics.h); see docs/OBSERVABILITY.md.
+  obs::Counter* rx_bytes_metric_;
+  obs::Counter* rx_frames_metric_;
+  obs::Counter* tx_fanout_frames_metric_;
+  obs::Counter* tx_fanout_bytes_metric_;
+  obs::Counter* tx_feedback_metric_;
+  obs::Counter* decode_errors_metric_;
+  obs::Counter* stats_requests_metric_;
 };
 
 // Drives a MergeServer from a Listener: accepts connections, spawns one

@@ -1,0 +1,44 @@
+#include "obs/export.h"
+
+#include <cstdint>
+
+#include "common/payload_ledger.h"
+#include "common/payload_store.h"
+#include "obs/metrics.h"
+
+namespace lmerge {
+namespace obs {
+
+void ExportPayloadStoreMetrics(const PayloadStore& store,
+                               MetricsRegistry* registry) {
+  const PayloadStore::Stats stats = store.GetStats();
+  registry->GetGauge("payload.entries")->Set(stats.entries);
+  registry->GetGauge("payload.live_refs")->Set(stats.live_refs);
+  registry->GetGauge("payload.payload_bytes")->Set(stats.payload_bytes);
+  registry->GetGauge("payload.intern_calls")->Set(stats.intern_calls);
+  registry->GetGauge("payload.hits")->Set(stats.hits);
+  registry->GetGauge("payload.misses")
+      ->Set(stats.intern_calls - stats.hits);
+  // Evictions = payloads created minus payloads still live; every miss
+  // created an entry, and entries not present anymore were evicted on their
+  // last release.
+  registry->GetGauge("payload.evictions")
+      ->Set(stats.intern_calls - stats.hits - stats.entries);
+  registry->GetGauge("payload.bytes_saved")->Set(stats.bytes_saved);
+
+  // Live sharing: charge each live rep once through the ledger (the same
+  // accounting `lmerge_inspect --payload-stats` performs over a tape), then
+  // compare against the per-reference deep-copy cost.
+  SharedPayloadLedger ledger;
+  int64_t deep_if_copied = 0;
+  store.ForEach([&](const RowRep& rep, int64_t refs) {
+    ledger.AddRefIdentity(&rep, rep.deep_bytes);
+    deep_if_copied += rep.deep_bytes * refs;
+  });
+  registry->GetGauge("payload.bytes_held")->Set(ledger.bytes());
+  registry->GetGauge("payload.bytes_shared")
+      ->Set(deep_if_copied - ledger.bytes());
+}
+
+}  // namespace obs
+}  // namespace lmerge

@@ -1,0 +1,32 @@
+// Exporters that publish state owned by other subsystems into the metrics
+// registry at snapshot time.
+//
+// The payload store keeps its own counters (common/payload_store.h Stats);
+// rather than double-bookkeeping on the intern hot path, the obs layer
+// re-derives the registry view from the store on demand.  Byte accounting
+// goes through SharedPayloadLedger::AddRefIdentity — the same path
+// `lmerge_inspect --payload-stats` uses — so the two reports agree by
+// construction.
+
+#ifndef LMERGE_OBS_EXPORT_H_
+#define LMERGE_OBS_EXPORT_H_
+
+namespace lmerge {
+
+class PayloadStore;
+
+namespace obs {
+
+class MetricsRegistry;
+
+// Publishes the store's stats as gauges under "payload." (entries,
+// live_refs, payload_bytes, intern_calls, hits, evictions, bytes_saved,
+// bytes_shared).  `bytes_shared` is ledger-derived: the bytes the live refs
+// would occupy if deep-copied, minus the bytes actually held.
+void ExportPayloadStoreMetrics(const PayloadStore& store,
+                               MetricsRegistry* registry);
+
+}  // namespace obs
+}  // namespace lmerge
+
+#endif  // LMERGE_OBS_EXPORT_H_

@@ -1,0 +1,326 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/json.h"
+#include "common/serde.h"
+#include "common/status.h"
+
+namespace lmerge {
+namespace obs {
+
+const char* InstrumentKindName(InstrumentKind kind) {
+  switch (kind) {
+    case InstrumentKind::kCounter:
+      return "counter";
+    case InstrumentKind::kGauge:
+      return "gauge";
+    case InstrumentKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+namespace internal {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+namespace {
+std::atomic<int> g_next_shard{0};
+}  // namespace
+
+int ThreadShard() {
+  thread_local const int shard =
+      g_next_shard.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+}  // namespace internal
+
+int HistogramBucketIndex(int64_t value) {
+  const uint64_t u = static_cast<uint64_t>(value < 0 ? 0 : value);
+  if (u < 8) return static_cast<int>(u);
+  // Highest set bit >= 3 here.  The octave [2^msb, 2^(msb+1)) is split into
+  // 4 linear sub-buckets selected by the two bits below the msb.
+  const int msb = 63 - __builtin_clzll(u);
+  const int sub = static_cast<int>((u >> (msb - kHistogramSubBits)) &
+                                   ((1 << kHistogramSubBits) - 1));
+  const int index = (msb - kHistogramSubBits + 1) * (1 << kHistogramSubBits) +
+                    sub;
+  return index < kHistogramBuckets ? index : kHistogramBuckets - 1;
+}
+
+int64_t HistogramBucketLowerBound(int index) {
+  LM_CHECK(index >= 0 && index < kHistogramBuckets);
+  if (index < 8) return index;
+  const int octave = index / (1 << kHistogramSubBits) - 1;
+  const int sub = index % (1 << kHistogramSubBits);
+  return static_cast<int64_t>(
+      (static_cast<uint64_t>((1 << kHistogramSubBits) + sub)) << octave);
+}
+
+int64_t HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Rank of the target observation, 1-based.
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(p / 100.0 * static_cast<double>(count) + 0.5));
+  int64_t seen = 0;
+  for (const auto& [bound, n] : buckets) {
+    seen += n;
+    if (seen >= rank) {
+      // Clamp to the observed extremes so p0/p100 are exact.
+      return std::min(std::max(bound, min), max);
+    }
+  }
+  return max;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  count += other.count;
+  // Merge two sorted sparse bucket lists.
+  std::vector<std::pair<int64_t, int64_t>> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  size_t i = 0, j = 0;
+  while (i < buckets.size() || j < other.buckets.size()) {
+    if (j == other.buckets.size() ||
+        (i < buckets.size() && buckets[i].first < other.buckets[j].first)) {
+      merged.push_back(buckets[i++]);
+    } else if (i == buckets.size() ||
+               other.buckets[j].first < buckets[i].first) {
+      merged.push_back(other.buckets[j++]);
+    } else {
+      merged.emplace_back(buckets[i].first,
+                          buckets[i].second + other.buckets[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  buckets = std::move(merged);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  int64_t totals[kHistogramBuckets] = {};
+  int64_t min_seen = INT64_MAX;
+  int64_t max_seen = INT64_MIN;
+  for (const Shard& shard : shards_) {
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      totals[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+    min_seen = std::min(min_seen, shard.min.load(std::memory_order_relaxed));
+    max_seen = std::max(max_seen, shard.max.load(std::memory_order_relaxed));
+  }
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    if (totals[b] == 0) continue;
+    snap.count += totals[b];
+    snap.buckets.emplace_back(HistogramBucketLowerBound(b), totals[b]);
+  }
+  if (snap.count != 0) {
+    // The exact extremes can lag the bucket totals under concurrent writers;
+    // fall back to bucket bounds if a racing Record hasn't stored them yet.
+    snap.min = min_seen == INT64_MAX ? snap.buckets.front().first : min_seen;
+    snap.max = max_seen == INT64_MIN ? snap.buckets.back().first : max_seen;
+  }
+  return snap;
+}
+
+const MetricValue* MetricsSnapshot::Find(const std::string& name) const {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), name,
+      [](const MetricValue& e, const std::string& n) { return e.name < n; });
+  if (it == entries.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+int64_t MetricsSnapshot::Value(const std::string& name,
+                               int64_t fallback) const {
+  const MetricValue* entry = Find(name);
+  return entry == nullptr ? fallback : entry->value;
+}
+
+std::vector<const MetricValue*> MetricsSnapshot::WithPrefix(
+    const std::string& prefix) const {
+  std::vector<const MetricValue*> out;
+  for (const MetricValue& entry : entries) {
+    if (entry.name.compare(0, prefix.size(), prefix) == 0) {
+      out.push_back(&entry);
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  for (const MetricValue& entry : entries) {
+    w.Key(entry.name);
+    if (entry.kind == InstrumentKind::kHistogram) {
+      const HistogramSnapshot& h = entry.histogram;
+      w.BeginObject();
+      w.Key("count").Int(h.count);
+      w.Key("sum").Int(h.sum);
+      w.Key("min").Int(h.min);
+      w.Key("max").Int(h.max);
+      w.Key("mean").Double(h.Mean());
+      w.Key("p50").Int(h.Percentile(50));
+      w.Key("p90").Int(h.Percentile(90));
+      w.Key("p99").Int(h.Percentile(99));
+      w.EndObject();
+    } else {
+      w.Int(entry.value);
+    }
+  }
+  w.EndObject();
+  return w.Take();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Instrument& inst = instruments_[name];
+  if (inst.counter == nullptr) {
+    LM_CHECK(inst.gauge == nullptr && inst.histogram == nullptr);
+    inst.kind = InstrumentKind::kCounter;
+    inst.counter = std::make_unique<Counter>();
+  }
+  return inst.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Instrument& inst = instruments_[name];
+  if (inst.gauge == nullptr) {
+    LM_CHECK(inst.counter == nullptr && inst.histogram == nullptr);
+    inst.kind = InstrumentKind::kGauge;
+    inst.gauge = std::make_unique<Gauge>();
+  }
+  return inst.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Instrument& inst = instruments_[name];
+  if (inst.histogram == nullptr) {
+    LM_CHECK(inst.counter == nullptr && inst.gauge == nullptr);
+    inst.kind = InstrumentKind::kHistogram;
+    inst.histogram = std::make_unique<Histogram>();
+  }
+  return inst.histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.entries.reserve(instruments_.size());
+  // std::map iterates in name order, which is the snapshot's sort contract.
+  for (const auto& [name, inst] : instruments_) {
+    MetricValue value;
+    value.name = name;
+    value.kind = inst.kind;
+    switch (inst.kind) {
+      case InstrumentKind::kCounter:
+        value.value = inst.counter->Sum();
+        break;
+      case InstrumentKind::kGauge:
+        value.value = inst.gauge->Get();
+        break;
+      case InstrumentKind::kHistogram:
+        value.histogram = inst.histogram->Snapshot();
+        value.value = value.histogram.count;
+        break;
+    }
+    snap.entries.push_back(std::move(value));
+  }
+  return snap;
+}
+
+// Wire form: u32 entry count, then per entry: string name, u8 kind,
+// i64 value, and for histograms: i64 count/sum/min/max + u32 bucket count +
+// (i64 bound, i64 count) pairs.
+void EncodeMetricsSnapshot(const MetricsSnapshot& snapshot, Encoder* encoder) {
+  encoder->WriteU32(static_cast<uint32_t>(snapshot.entries.size()));
+  for (const MetricValue& entry : snapshot.entries) {
+    encoder->WriteString(entry.name);
+    encoder->WriteU8(static_cast<uint8_t>(entry.kind));
+    encoder->WriteI64(entry.value);
+    if (entry.kind != InstrumentKind::kHistogram) continue;
+    const HistogramSnapshot& h = entry.histogram;
+    encoder->WriteI64(h.count);
+    encoder->WriteI64(h.sum);
+    encoder->WriteI64(h.min);
+    encoder->WriteI64(h.max);
+    encoder->WriteU32(static_cast<uint32_t>(h.buckets.size()));
+    for (const auto& [bound, n] : h.buckets) {
+      encoder->WriteI64(bound);
+      encoder->WriteI64(n);
+    }
+  }
+}
+
+Status DecodeMetricsSnapshot(Decoder* decoder, MetricsSnapshot* snapshot) {
+  snapshot->entries.clear();
+  uint32_t n = 0;
+  Status s = decoder->ReadU32(&n);
+  if (!s.ok()) return s;
+  // Each entry is at least name-len(4) + kind(1) + value(8) bytes: bound the
+  // claimed count by what the buffer could possibly hold.
+  if (n > decoder->remaining() / 13 + 1) {
+    return Status::InvalidArgument("metrics snapshot entry count too large");
+  }
+  snapshot->entries.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MetricValue entry;
+    s = decoder->ReadString(&entry.name);
+    if (!s.ok()) return s;
+    uint8_t kind = 0;
+    s = decoder->ReadU8(&kind);
+    if (!s.ok()) return s;
+    if (kind > static_cast<uint8_t>(InstrumentKind::kHistogram)) {
+      return Status::InvalidArgument("metrics snapshot: bad instrument kind");
+    }
+    entry.kind = static_cast<InstrumentKind>(kind);
+    s = decoder->ReadI64(&entry.value);
+    if (!s.ok()) return s;
+    if (entry.kind == InstrumentKind::kHistogram) {
+      HistogramSnapshot& h = entry.histogram;
+      if (!(s = decoder->ReadI64(&h.count)).ok()) return s;
+      if (!(s = decoder->ReadI64(&h.sum)).ok()) return s;
+      if (!(s = decoder->ReadI64(&h.min)).ok()) return s;
+      if (!(s = decoder->ReadI64(&h.max)).ok()) return s;
+      uint32_t nb = 0;
+      if (!(s = decoder->ReadU32(&nb)).ok()) return s;
+      if (nb > decoder->remaining() / 16) {
+        return Status::InvalidArgument(
+            "metrics snapshot: bucket count too large");
+      }
+      h.buckets.reserve(nb);
+      for (uint32_t b = 0; b < nb; ++b) {
+        int64_t bound = 0, cnt = 0;
+        if (!(s = decoder->ReadI64(&bound)).ok()) return s;
+        if (!(s = decoder->ReadI64(&cnt)).ok()) return s;
+        h.buckets.emplace_back(bound, cnt);
+      }
+    }
+    snapshot->entries.push_back(std::move(entry));
+  }
+  return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace lmerge

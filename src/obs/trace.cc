@@ -1,0 +1,92 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "common/json.h"
+
+namespace lmerge {
+namespace obs {
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* const recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::Ring* TraceRecorder::RingForThisThread() {
+  thread_local Ring* ring = nullptr;
+  if (ring == nullptr) {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    ring = new Ring(next_tid_++);
+    rings_.push_back(ring);
+  }
+  return ring;
+}
+
+void TraceRecorder::Record(const char* name, const char* category,
+                           int64_t start_us, int64_t duration_us) {
+  Ring* ring = RingForThisThread();
+  std::lock_guard<std::mutex> lock(ring->mutex);
+  TraceEvent& slot = ring->events[ring->next];
+  slot.name = name;
+  slot.category = category;
+  slot.start_us = start_us;
+  slot.duration_us = duration_us;
+  slot.tid = ring->tid;
+  ring->next = (ring->next + 1) % kTraceRingCapacity;
+  if (ring->count < kTraceRingCapacity) ++ring->count;
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string TraceRecorder::DumpChromeTraceJson() const {
+  // Collect a stable copy of every ring first so JSON emission doesn't hold
+  // any ring mutex longer than a memcpy.
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+    for (Ring* ring : rings_) {
+      std::lock_guard<std::mutex> ring_lock(ring->mutex);
+      const size_t start =
+          ring->count < kTraceRingCapacity ? 0 : ring->next;
+      for (size_t i = 0; i < ring->count; ++i) {
+        events.push_back(
+            ring->events[(start + i) % kTraceRingCapacity]);
+      }
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_us < b.start_us;
+            });
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const TraceEvent& e : events) {
+    w.BeginObject();
+    w.Key("name").String(e.name == nullptr ? "" : e.name);
+    w.Key("cat").String(e.category == nullptr ? "" : e.category);
+    w.Key("ph").String("X");
+    w.Key("ts").Int(e.start_us);
+    w.Key("dur").Int(e.duration_us);
+    w.Key("pid").Int(1);
+    w.Key("tid").Int(e.tid);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("displayTimeUnit").String("ms");
+  w.EndObject();
+  return w.Take();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  for (Ring* ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    ring->next = 0;
+    ring->count = 0;
+  }
+}
+
+}  // namespace obs
+}  // namespace lmerge

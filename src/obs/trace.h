@@ -1,0 +1,151 @@
+// Scoped-span trace recorder with per-thread ring buffers, dumped as Chrome
+// trace_event JSON (load the file in Perfetto / chrome://tracing).
+//
+// A span is recorded at scope exit as a complete "X" event: {name, category,
+// start microseconds, duration}.  Each thread appends to its own fixed-size
+// ring buffer, so recording is lock-free with respect to other threads; when
+// a ring wraps, the oldest spans are overwritten (tracing keeps the *recent*
+// window, which is what you want when a stall finally happens after an hour
+// of traffic).
+//
+// Two gates, cheapest first:
+//   - Compile-time: build with -DLMERGE_TRACING_ENABLED=0 and
+//     LMERGE_TRACE_SPAN compiles to nothing.
+//   - Runtime: TraceRecorder::Global().set_enabled(false) (the default) makes
+//     an enabled build's span constructor one relaxed load + branch.
+//
+// Span names and categories must be string literals (or otherwise outlive
+// the recorder): events store the pointers, not copies.
+
+#ifndef LMERGE_OBS_TRACE_H_
+#define LMERGE_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef LMERGE_TRACING_ENABLED
+#define LMERGE_TRACING_ENABLED 1
+#endif
+
+namespace lmerge {
+namespace obs {
+
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  int64_t start_us = 0;  // steady-clock microseconds (process-relative)
+  int64_t duration_us = 0;
+  int tid = 0;  // recorder-assigned dense thread id
+};
+
+// Spans retained per thread before the ring wraps.
+inline constexpr size_t kTraceRingCapacity = 1 << 14;
+
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  // Appends one complete span for the calling thread.
+  void Record(const char* name, const char* category, int64_t start_us,
+              int64_t duration_us);
+
+  // Microseconds since the recorder was created (steady clock).
+  int64_t NowMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  // All retained events from every thread's ring, in one Chrome trace_event
+  // JSON document ({"traceEvents":[...]}).  Safe to call while other threads
+  // record; spans written during the dump may or may not appear.
+  std::string DumpChromeTraceJson() const;
+
+  // Drops all retained events (rings stay registered).
+  void Clear();
+
+  // Total spans recorded since creation (monotone, includes overwritten).
+  int64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Ring {
+    explicit Ring(int tid_in) : tid(tid_in) {
+      events.resize(kTraceRingCapacity);
+    }
+    // Guards the ring against a concurrent dump; uncontended in steady
+    // state, so the fast path is one cheap lock on the thread's own mutex.
+    std::mutex mutex;
+    std::vector<TraceEvent> events;
+    size_t next = 0;
+    size_t count = 0;  // saturates at capacity
+    int tid;
+  };
+
+  TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+  Ring* RingForThisThread();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<int64_t> recorded_{0};
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex registry_mutex_;
+  std::vector<Ring*> rings_;  // owned; leaked with the recorder
+  int next_tid_ = 0;
+};
+
+// RAII span: measures construction→destruction and records it.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* category)
+      : name_(name), category_(category) {
+    TraceRecorder& recorder = TraceRecorder::Global();
+    if (recorder.enabled()) {
+      start_us_ = recorder.NowMicros();
+    }
+  }
+  ~TraceSpan() {
+    if (start_us_ < 0) return;
+    TraceRecorder& recorder = TraceRecorder::Global();
+    if (!recorder.enabled()) return;
+    recorder.Record(name_, category_, start_us_,
+                    recorder.NowMicros() - start_us_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  int64_t start_us_ = -1;
+};
+
+#if LMERGE_TRACING_ENABLED
+#define LMERGE_TRACE_CONCAT_INNER(a, b) a##b
+#define LMERGE_TRACE_CONCAT(a, b) LMERGE_TRACE_CONCAT_INNER(a, b)
+// Records a span covering the rest of the enclosing scope.  `name` and
+// `category` must be string literals.
+#define LMERGE_TRACE_SPAN(name, category)                 \
+  ::lmerge::obs::TraceSpan LMERGE_TRACE_CONCAT(           \
+      lmerge_trace_span_, __LINE__)((name), (category))
+#else
+#define LMERGE_TRACE_SPAN(name, category) \
+  do {                                    \
+  } while (false)
+#endif
+
+}  // namespace obs
+}  // namespace lmerge
+
+#endif  // LMERGE_OBS_TRACE_H_

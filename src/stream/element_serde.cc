@@ -1,5 +1,7 @@
 #include "stream/element_serde.h"
 
+#include "obs/metrics.h"
+
 namespace lmerge {
 
 void EncodeElement(const StreamElement& element, Encoder* encoder) {
@@ -89,9 +91,19 @@ Status DecodeSequence(Decoder* decoder, ElementSequence* elements) {
 
 uint32_t PayloadDictEncoder::Intern(
     const Row& payload, std::vector<std::pair<uint32_t, Row>>* new_defs) {
+  // Process-wide dictionary hit-rate instruments; the hit rate is what
+  // tells an operator whether v2 payload coding is earning its keep.
+  static obs::Counter* const lookups =
+      obs::MetricsRegistry::Global().GetCounter("net.dict.lookups");
+  static obs::Counter* const hits =
+      obs::MetricsRegistry::Global().GetCounter("net.dict.hits");
   if (payload.identity() == nullptr) return kInlinePayloadId;  // empty row
+  lookups->Increment();
   auto [slot, inserted] = ids_.Insert(payload.identity(), 0);
-  if (!inserted) return *slot;
+  if (!inserted) {
+    hits->Increment();
+    return *slot;
+  }
   if (pinned_.size() >= capacity_) {
     // Dictionary full: fall back to inline forever for this payload.  The
     // placeholder slot is removed so the table does not grow unboundedly

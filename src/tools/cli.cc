@@ -3,8 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "common/hash.h"
-#include "container/hash_table.h"
+#include "common/payload_ledger.h"
 #include "stream/element_serde.h"
 
 namespace lmerge::tools {
@@ -84,24 +83,22 @@ Status ReadStreamFile(const std::string& path, ElementSequence* elements) {
 }
 
 PayloadStatsReport ComputePayloadStats(const ElementSequence& elements) {
+  // One SharedPayloadLedger replay over the tape: the same accounting path
+  // the obs payload exporter uses (AddRef charges a rep's shared bytes
+  // exactly once), so this report and the registry's payload.* gauges can
+  // never disagree on what sharing saves.
   PayloadStatsReport report;
-  struct IdentityHash {
-    uint64_t operator()(const void* p) const {
-      return Mix64(reinterpret_cast<uint64_t>(p));
-    }
-  };
-  HashTable<const void*, bool, IdentityHash> seen;
+  SharedPayloadLedger ledger;
   for (const StreamElement& element : elements) {
     if (element.is_stable()) continue;
     const Row& payload = element.payload();
     if (payload.identity() == nullptr) continue;
     ++report.payload_refs;
     report.deep_bytes += payload.DeepSizeBytes();
-    if (seen.Insert(payload.identity(), true).second) {
-      ++report.distinct_payloads;
-      report.shared_bytes += payload.SharedSizeBytes();
-    }
+    ledger.AddRef(payload);
   }
+  report.distinct_payloads = ledger.distinct();
+  report.shared_bytes = ledger.bytes();
   return report;
 }
 

@@ -283,6 +283,103 @@ TEST(ProtocolTest, VersionNegotiationBounds) {
                 "dictionary frames must be within the advertised version");
 }
 
+TEST(ProtocolTest, StatsRequestIsEmptyAndStrict) {
+  ASSERT_TRUE(DecodeStatsRequest(PayloadOf(EncodeStatsRequestFrame())).ok());
+  EXPECT_FALSE(DecodeStatsRequest("x").ok());
+}
+
+StatsResponseMessage SampleStats() {
+  StatsResponseMessage stats;
+  stats.algorithm_case = 3;
+  stats.output_stable = 777;
+  stats.output_inserts = 1000;
+  stats.output_adjusts = 12;
+  stats.publishers = 3;
+  stats.subscribers = 2;
+  for (int s = 0; s < 3; ++s) {
+    StatsInputRow row;
+    row.stream_id = s;
+    row.peer_name = s == 2 ? "" : "replica-" + std::to_string(s);
+    row.connected = s != 2;
+    row.active = true;
+    row.inserts_in = 400 + s;
+    row.adjusts_in = 5 * s;
+    row.stables_in = 40;
+    row.dropped = s;
+    row.contributed = 333 + s;
+    row.stable_point = 700 + s;
+    stats.inputs.push_back(std::move(row));
+  }
+  obs::MetricValue metric;
+  metric.name = "net.rx.frames";
+  metric.kind = obs::InstrumentKind::kCounter;
+  metric.value = 9001;
+  stats.metrics.entries.push_back(std::move(metric));
+  return stats;
+}
+
+TEST(ProtocolTest, StatsResponseRoundTrip) {
+  const StatsResponseMessage stats = SampleStats();
+  StatsResponseMessage decoded;
+  ASSERT_TRUE(DecodeStatsResponse(PayloadOf(EncodeStatsResponseFrame(stats)),
+                                  &decoded)
+                  .ok());
+  EXPECT_EQ(decoded.algorithm_case, 3);
+  EXPECT_EQ(decoded.output_stable, 777);
+  EXPECT_EQ(decoded.output_inserts, 1000);
+  EXPECT_EQ(decoded.output_adjusts, 12);
+  EXPECT_EQ(decoded.publishers, 3);
+  EXPECT_EQ(decoded.subscribers, 2);
+  ASSERT_EQ(decoded.inputs.size(), 3u);
+  EXPECT_EQ(decoded.inputs[0].peer_name, "replica-0");
+  EXPECT_TRUE(decoded.inputs[0].connected);
+  EXPECT_FALSE(decoded.inputs[2].connected);
+  EXPECT_TRUE(decoded.inputs[2].active);
+  EXPECT_EQ(decoded.inputs[1].inserts_in, 401);
+  EXPECT_EQ(decoded.inputs[1].contributed, 334);
+  EXPECT_EQ(decoded.inputs[2].stable_point, 702);
+  EXPECT_EQ(decoded.metrics.Value("net.rx.frames"), 9001);
+}
+
+TEST(ProtocolTest, StatsResponseTruncationsFailCleanly) {
+  const std::string payload =
+      PayloadOf(EncodeStatsResponseFrame(SampleStats()));
+  for (size_t len = 0; len < payload.size(); ++len) {
+    const std::string prefix = payload.substr(0, len);
+    StatsResponseMessage decoded;
+    EXPECT_FALSE(DecodeStatsResponse(prefix, &decoded).ok())
+        << "truncated to " << len;
+  }
+}
+
+TEST(ProtocolTest, StatsResponseHostileRowCountRejected) {
+  // A count the buffer cannot possibly hold must fail before any
+  // allocation, not OOM (same bound style as the serde decoders).
+  Encoder encoder;
+  encoder.WriteU8(0);
+  encoder.WriteI64(0);
+  encoder.WriteI64(0);
+  encoder.WriteI64(0);
+  encoder.WriteU32(0);
+  encoder.WriteU32(0);
+  encoder.WriteU32(0x7fffffff);  // claimed input rows
+  StatsResponseMessage decoded;
+  const Status status = DecodeStatsResponse(encoder.bytes(), &decoded);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("row count"), std::string::npos);
+}
+
+TEST(ProtocolTest, StatsConstantsGateTheFeature) {
+  // STATS frames are a v3 feature: a v2-negotiated session must never carry
+  // them, which the server enforces against kStatsVersion.
+  static_assert(kStatsVersion <= kProtocolVersion);
+  static_assert(kPayloadDictVersion < kStatsVersion,
+                "dictionary support predates stats");
+  EXPECT_STREQ(FrameTypeName(FrameType::kStatsRequest), "STATS_REQUEST");
+  EXPECT_STREQ(FrameTypeName(FrameType::kStatsResponse), "STATS_RESPONSE");
+  EXPECT_STREQ(PeerRoleName(PeerRole::kMonitor), "monitor");
+}
+
 class ProtocolFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ProtocolFuzzTest, MutatedPayloadsNeverCrashDecoders) {
@@ -295,6 +392,7 @@ TEST_P(ProtocolFuzzTest, MutatedPayloadsNeverCrashDecoders) {
       PayloadOf(EncodeElementFrame(Ins("payload-string", 10, 500))),
       PayloadOf(EncodeElementsFrame({Ins("a", 1, 5), Adj("a", 1, 5, 9)})),
       PayloadOf(EncodeByeFrame(ByeMessage{"bye-bye"})),
+      PayloadOf(EncodeStatsResponseFrame(SampleStats())),
   };
   for (int round = 0; round < 200; ++round) {
     for (const std::string& valid : valid_payloads) {
@@ -312,12 +410,14 @@ TEST_P(ProtocolFuzzTest, MutatedPayloadsNeverCrashDecoders) {
       ElementSequence es;
       FeedbackMessage f;
       ByeMessage b;
+      StatsResponseMessage sr;
       (void)DecodeHello(mutated, &h);
       (void)DecodeWelcome(mutated, &w);
       (void)DecodeElementPayload(mutated, &e);
       (void)DecodeElementsPayload(mutated, &es);
       (void)DecodeFeedback(mutated, &f);
       (void)DecodeBye(mutated, &b);
+      (void)DecodeStatsResponse(mutated, &sr);
     }
   }
 }

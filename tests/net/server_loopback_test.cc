@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
+#include "net/client.h"
 #include "net/loopback.h"
 #include "stream/validate.h"
 #include "temporal/tdb.h"
@@ -198,6 +201,148 @@ TEST(ServerLoopbackTest, V1PeerIsNegotiatedDownAndDictFramesRejected) {
   def.payload = Row::OfString("sneaky");
   EXPECT_FALSE(
       server.OnBytes(peer.session_id, EncodePayloadDefFrame(def)).ok());
+}
+
+HelloMessage MonitorHello(const std::string& name) {
+  HelloMessage hello;
+  hello.role = PeerRole::kMonitor;
+  hello.peer_name = name;
+  return hello;
+}
+
+TEST(ServerLoopbackTest, MonitorHandshakeAndStatsRoundTrip) {
+  MergeServer server;
+  // Two publishers feed a few elements so the stats carry real counters.
+  TestPeer pub_a = ConnectPeer(&server, "a");
+  TestPeer pub_b = ConnectPeer(&server, "b");
+  Handshake(&server, &pub_a, PublisherHello("replica-a"));
+  Handshake(&server, &pub_b, PublisherHello("replica-b"));
+  ASSERT_TRUE(server
+                  .OnBytes(pub_a.session_id,
+                           EncodeElementsFrame({Ins("x", 1, 10),
+                                                Ins("y", 2, 11), Stb(5)}))
+                  .ok());
+  ASSERT_TRUE(server
+                  .OnBytes(pub_b.session_id,
+                           EncodeElementsFrame({Ins("x", 1, 10), Stb(2)}))
+                  .ok());
+  server.Flush();
+
+  TestPeer monitor = ConnectPeer(&server, "mon");
+  const WelcomeMessage welcome =
+      Handshake(&server, &monitor, MonitorHello("dashboard"));
+  EXPECT_EQ(welcome.version, kProtocolVersion);
+  EXPECT_EQ(welcome.stream_id, -1);
+
+  ASSERT_TRUE(
+      server.OnBytes(monitor.session_id, EncodeStatsRequestFrame()).ok());
+  const std::vector<Frame> frames = monitor.DrainFrames();
+  ASSERT_EQ(frames.size(), 1u);
+  ASSERT_EQ(frames[0].type, FrameType::kStatsResponse);
+  StatsResponseMessage stats;
+  ASSERT_TRUE(DecodeStatsResponse(frames[0].payload, &stats).ok());
+
+  EXPECT_EQ(stats.publishers, 2);
+  EXPECT_EQ(stats.subscribers, 0);
+  // Replicas are redundant copies, so the merged output is stable to the
+  // MAX of the replicas' stable points (5), not the min.
+  EXPECT_EQ(stats.output_stable, 5);
+  ASSERT_EQ(stats.inputs.size(), 2u);
+  EXPECT_EQ(stats.inputs[0].peer_name, "replica-a");
+  EXPECT_EQ(stats.inputs[1].peer_name, "replica-b");
+  EXPECT_TRUE(stats.inputs[0].connected);
+  EXPECT_EQ(stats.inputs[0].inserts_in, 2);
+  EXPECT_EQ(stats.inputs[0].stables_in, 1);
+  EXPECT_EQ(stats.inputs[1].inserts_in, 1);
+  EXPECT_EQ(stats.inputs[0].stable_point, 5);
+  EXPECT_EQ(stats.inputs[1].stable_point, 2);
+  // Redundant delivery: replica-b's copy of "x" was merged away, and the
+  // per-input contributions sum to the merged output TDB size.
+  EXPECT_EQ(stats.inputs[0].contributed + stats.inputs[1].contributed,
+            stats.output_inserts);
+  // The embedded registry snapshot carries the wire-layer counters.
+  EXPECT_GT(stats.metrics.Value("net.rx.frames"), 0);
+  EXPECT_GT(stats.metrics.Value("engine.batches"), 0);
+}
+
+TEST(ServerLoopbackTest, StatsBeforeAnyPublisherIsEmptyButValid) {
+  MergeServer server;
+  TestPeer monitor = ConnectPeer(&server, "early");
+  Handshake(&server, &monitor, MonitorHello("early"));
+  ASSERT_TRUE(
+      server.OnBytes(monitor.session_id, EncodeStatsRequestFrame()).ok());
+  const std::vector<Frame> frames = monitor.DrainFrames();
+  ASSERT_EQ(frames.size(), 1u);
+  StatsResponseMessage stats;
+  ASSERT_TRUE(DecodeStatsResponse(frames[0].payload, &stats).ok());
+  EXPECT_EQ(stats.algorithm_case, kUnknownAlgorithmCase);
+  EXPECT_EQ(stats.publishers, 0);
+  EXPECT_TRUE(stats.inputs.empty());
+  EXPECT_EQ(stats.output_stable, kMinTimestamp);
+}
+
+TEST(ServerLoopbackTest, V2PeerNeverSeesStatsAndMonitorNeedsV3) {
+  MergeServer server;
+  // A v2 publisher negotiates down and must not be able to poll stats.
+  TestPeer v2 = ConnectPeer(&server, "v2");
+  HelloMessage hello = PublisherHello("v2-replica");
+  hello.version = 2;
+  const WelcomeMessage welcome = Handshake(&server, &v2, hello);
+  EXPECT_EQ(welcome.version, 2u);
+  EXPECT_FALSE(
+      server.OnBytes(v2.session_id, EncodeStatsRequestFrame()).ok());
+
+  // A monitor HELLO claiming v2 is a protocol violation, not a downgrade.
+  TestPeer old_monitor = ConnectPeer(&server, "old-mon");
+  HelloMessage mon_hello = MonitorHello("old-dashboard");
+  mon_hello.version = 2;
+  EXPECT_FALSE(
+      server.OnBytes(old_monitor.session_id, EncodeHelloFrame(mon_hello))
+          .ok());
+  // The protocol violation cost the v2 publisher its session, and the
+  // rejected monitor never became a peer of any kind.
+  EXPECT_EQ(server.active_publishers(), 0);
+  EXPECT_EQ(server.subscriber_count(), 0);
+}
+
+TEST(ServerLoopbackTest, StatsClientPollsOverLoopback) {
+  // The StatsClient handshake needs a live responder on the server end of
+  // the loopback pair, so pump its bytes into the server from a thread.
+  MergeServer server;
+  TestPeer pub = ConnectPeer(&server, "p");
+  Handshake(&server, &pub, PublisherHello("replica"));
+  ASSERT_TRUE(server
+                  .OnBytes(pub.session_id,
+                           EncodeElementsFrame({Ins("a", 1, 10), Stb(3)}))
+                  .ok());
+  server.Flush();
+
+  auto [client_end, server_end] = CreateLoopbackPair("mon-c", "mon-s");
+  const int session = server.OnConnect(server_end.get());
+  Connection* server_conn = server_end.get();
+  std::thread pump([&server, server_conn, session] {
+    // Forward everything the client sends until it closes — the same
+    // Receive -> OnBytes loop ServeLoop runs per session.
+    while (true) {
+      char buffer[4096];
+      size_t received = 0;
+      if (!server_conn->Receive(buffer, sizeof(buffer), &received).ok() ||
+          received == 0) {
+        break;
+      }
+      if (!server.OnBytes(session, buffer, received).ok()) break;
+    }
+  });
+
+  StatsClient stats_client(std::move(client_end));
+  ASSERT_TRUE(stats_client.Handshake("poller").ok());
+  StatsResponseMessage stats;
+  ASSERT_TRUE(stats_client.PollStats(&stats).ok());
+  EXPECT_EQ(stats.publishers, 1);
+  ASSERT_EQ(stats.inputs.size(), 1u);
+  EXPECT_EQ(stats.inputs[0].peer_name, "replica");
+  (void)stats_client.Finish();
+  pump.join();
 }
 
 TEST(ServerLoopbackTest, WeakerLatePublisherIsRejectedUnlessVariantForced) {

@@ -1,0 +1,223 @@
+// Metrics registry: sharded instruments under concurrent writers (the TSan
+// job runs this test), log-linear bucket math, snapshot/merge semantics,
+// wire round-trip, and deterministic escaped JSON.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/serde.h"
+
+namespace lmerge::obs {
+namespace {
+
+// Each test gets a private registry: the global one accumulates state from
+// other tests in the same binary.
+TEST(MetricsTest, CounterSumsAcrossThreads) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.adds");
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kAddsPerThread; ++i) counter->Add(3);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter->Sum(), int64_t{3} * kThreads * kAddsPerThread);
+}
+
+TEST(MetricsTest, GetIsIdempotentByName) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.GetCounter("same"), registry.GetCounter("same"));
+  EXPECT_EQ(registry.GetGauge("g"), registry.GetGauge("g"));
+  EXPECT_EQ(registry.GetHistogram("h"), registry.GetHistogram("h"));
+}
+
+TEST(MetricsTest, KillSwitchFreezesUpdates) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("frozen");
+  counter->Add(5);
+  MetricsRegistry::set_enabled(false);
+  counter->Add(100);
+  MetricsRegistry::set_enabled(true);
+  EXPECT_EQ(counter->Sum(), 5);
+}
+
+TEST(MetricsTest, BucketIndexIsMonotoneAndBounded) {
+  int previous = -1;
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{7}, int64_t{8},
+                    int64_t{9}, int64_t{100}, int64_t{1000}, int64_t{1} << 20,
+                    int64_t{1} << 40, INT64_MAX}) {
+    const int index = HistogramBucketIndex(v);
+    ASSERT_GE(index, previous) << "value " << v;
+    ASSERT_LT(index, kHistogramBuckets);
+    // The bucket's lower bound must not exceed the value it holds, and the
+    // next bucket must start above it.
+    EXPECT_LE(HistogramBucketLowerBound(index), v);
+    if (index + 1 < kHistogramBuckets) {
+      // Past the top of the representable range the next bound overflows
+      // (negative); only check buckets whose successor is representable.
+      const int64_t next = HistogramBucketLowerBound(index + 1);
+      if (next >= 0) EXPECT_GT(next, v);
+    }
+    previous = index;
+  }
+  // Exact buckets below 8.
+  for (int64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(HistogramBucketIndex(v), static_cast<int>(v));
+    EXPECT_EQ(HistogramBucketLowerBound(static_cast<int>(v)), v);
+  }
+}
+
+TEST(MetricsTest, EveryBucketLowerBoundMapsToItsOwnBucket) {
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    const int64_t bound = HistogramBucketLowerBound(i);
+    if (bound < 0) break;  // past the representable range
+    EXPECT_EQ(HistogramBucketIndex(bound), i) << "bound " << bound;
+  }
+}
+
+TEST(MetricsTest, HistogramSnapshotUnderConcurrentWriters) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("test.latency");
+  constexpr int kThreads = 8;
+  constexpr int kRecordsPerThread = 20000;
+  std::atomic<bool> stop{false};
+  // One reader thread snapshots continuously while writers hammer the
+  // shards: TSan verifies the relaxed-atomic protocol, and every observed
+  // snapshot must be internally coherent (count == bucket total).
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const HistogramSnapshot snap = histogram->Snapshot();
+      int64_t bucket_total = 0;
+      for (const auto& [bound, count] : snap.buckets) bucket_total += count;
+      EXPECT_EQ(snap.count, bucket_total);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([histogram, t] {
+      for (int i = 0; i < kRecordsPerThread; ++i) {
+        histogram->Record((t + 1) * 100 + (i & 63));
+      }
+    });
+  }
+  for (std::thread& thread : writers) thread.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const HistogramSnapshot snap = histogram->Snapshot();
+  EXPECT_EQ(snap.count, int64_t{kThreads} * kRecordsPerThread);
+  EXPECT_GE(snap.min, 100);
+  EXPECT_LE(snap.max, kThreads * 100 + 63);
+  EXPECT_GT(snap.sum, 0);
+}
+
+TEST(MetricsTest, HistogramPercentilesFromBuckets) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("p");
+  for (int i = 0; i < 100; ++i) histogram->Record(i < 90 ? 10 : 100000);
+  const HistogramSnapshot snap = histogram->Snapshot();
+  EXPECT_EQ(snap.count, 100);
+  EXPECT_EQ(snap.Percentile(50), 10);
+  // p99 lands in the 100000 bucket; log-linear bounds are <= the value.
+  EXPECT_GT(snap.Percentile(99), 10);
+  EXPECT_LE(snap.Percentile(99), 100000);
+}
+
+TEST(MetricsTest, SnapshotMergeAccumulates) {
+  MetricsRegistry registry;
+  Histogram* a = registry.GetHistogram("a");
+  Histogram* b = registry.GetHistogram("b");
+  for (int i = 0; i < 10; ++i) a->Record(5);
+  for (int i = 0; i < 20; ++i) b->Record(500);
+  HistogramSnapshot merged = a->Snapshot();
+  merged.Merge(b->Snapshot());
+  EXPECT_EQ(merged.count, 30);
+  EXPECT_EQ(merged.sum, 10 * 5 + 20 * 500);
+  EXPECT_EQ(merged.min, 5);
+  EXPECT_EQ(merged.max, 500);
+  int64_t bucket_total = 0;
+  for (const auto& [bound, count] : merged.buckets) bucket_total += count;
+  EXPECT_EQ(bucket_total, 30);
+}
+
+TEST(MetricsTest, SnapshotIsSortedAndQueryable) {
+  MetricsRegistry registry;
+  registry.GetCounter("z.last")->Add(1);
+  registry.GetGauge("a.first")->Set(42);
+  registry.GetCounter("m.middle")->Add(7);
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.entries.size(), 3u);
+  EXPECT_EQ(snap.entries[0].name, "a.first");
+  EXPECT_EQ(snap.entries[1].name, "m.middle");
+  EXPECT_EQ(snap.entries[2].name, "z.last");
+  EXPECT_EQ(snap.Value("a.first"), 42);
+  EXPECT_EQ(snap.Value("missing", -1), -1);
+  EXPECT_EQ(snap.WithPrefix("m.").size(), 1u);
+  EXPECT_EQ(snap.Find("z.last")->kind, InstrumentKind::kCounter);
+}
+
+TEST(MetricsTest, WireRoundTrip) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Add(123);
+  registry.GetGauge("g")->Set(-5);
+  Histogram* histogram = registry.GetHistogram("h");
+  histogram->Record(1);
+  histogram->Record(1000);
+  const MetricsSnapshot snap = registry.Snapshot();
+
+  Encoder encoder;
+  EncodeMetricsSnapshot(snap, &encoder);
+  Decoder decoder(encoder.bytes());
+  MetricsSnapshot decoded;
+  ASSERT_TRUE(DecodeMetricsSnapshot(&decoder, &decoded).ok());
+  ASSERT_TRUE(decoder.AtEnd());
+
+  ASSERT_EQ(decoded.entries.size(), snap.entries.size());
+  EXPECT_EQ(decoded.Value("c"), 123);
+  EXPECT_EQ(decoded.Value("g"), -5);
+  const MetricValue* h = decoded.Find("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->histogram.count, 2);
+  EXPECT_EQ(h->histogram.sum, 1001);
+  EXPECT_EQ(h->histogram.min, 1);
+  EXPECT_EQ(h->histogram.max, 1000);
+}
+
+TEST(MetricsTest, WireTruncationFailsCleanly) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Add(1);
+  registry.GetHistogram("h")->Record(9);
+  Encoder encoder;
+  EncodeMetricsSnapshot(registry.Snapshot(), &encoder);
+  const std::string bytes = encoder.bytes();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    const std::string prefix = bytes.substr(0, len);
+    Decoder decoder(prefix);
+    MetricsSnapshot decoded;
+    EXPECT_FALSE(DecodeMetricsSnapshot(&decoder, &decoded).ok())
+        << "truncated to " << len;
+  }
+}
+
+TEST(MetricsTest, JsonIsEscapedAndDeterministic) {
+  MetricsRegistry registry;
+  registry.GetCounter("weird\"name\\with\ncontrol")->Add(1);
+  registry.GetGauge("plain")->Set(2);
+  const std::string json = registry.Snapshot().ToJson();
+  // The raw specials must not appear unescaped inside the document.
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\ncontrol"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"plain\":2"), std::string::npos) << json;
+  EXPECT_EQ(json, registry.Snapshot().ToJson());
+}
+
+}  // namespace
+}  // namespace lmerge::obs

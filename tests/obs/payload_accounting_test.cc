@@ -1,0 +1,97 @@
+// Regression: `lmerge_inspect --payload-stats` (ComputePayloadStats) and
+// the obs payload exporter charge shared payload bytes through the SAME
+// SharedPayloadLedger path, so their bytes-saved figures agree on the same
+// set of live payloads.  This test binary holds the only live Rows in the
+// process, which makes the store-wide gauges directly comparable to the
+// tape-level report.
+
+#include <gtest/gtest.h>
+
+#include "common/payload_ledger.h"
+#include "common/payload_store.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "test_util.h"
+#include "tools/cli.h"
+
+namespace lmerge {
+namespace {
+
+using ::lmerge::testing_util::Adj;
+using ::lmerge::testing_util::Ins;
+using ::lmerge::testing_util::Stb;
+
+// Three replicas of the same logical content: payloads "A".."D" interned
+// once each no matter how many elements reference them.
+ElementSequence MakeTape() {
+  ElementSequence tape;
+  for (int replica = 0; replica < 3; ++replica) {
+    tape.push_back(Ins("A", 10, 100));
+    tape.push_back(Ins("B", 20, 100));
+    tape.push_back(Adj("A", 10, 100, 200));
+    tape.push_back(Ins("C", 30, 100));
+    tape.push_back(Stb(40));
+    tape.push_back(Ins("D", 50, 100));
+  }
+  return tape;
+}
+
+TEST(PayloadAccountingTest, ReportAndRegistryAgreeOnSharedBytes) {
+  const ElementSequence tape = MakeTape();
+  const tools::PayloadStatsReport report = tools::ComputePayloadStats(tape);
+
+  // 15 payload-carrying elements (5 per replica), 4 distinct contents.
+  EXPECT_EQ(report.payload_refs, 15);
+  EXPECT_EQ(report.distinct_payloads, 4);
+  EXPECT_GT(report.shared_bytes, 0);
+  EXPECT_GT(report.deep_bytes, report.shared_bytes);
+
+  obs::MetricsRegistry registry;
+  obs::ExportPayloadStoreMetrics(PayloadStore::Global(), &registry);
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+
+  // The tape holds the only live handles, so the store's live entries are
+  // exactly the report's distinct payloads and the ledger-charged bytes
+  // match (the report's shared_bytes counts the reps once each, without
+  // the per-handle sizeof(Row) that deep_bytes adds).
+  EXPECT_EQ(snapshot.Value("payload.entries"), report.distinct_payloads);
+  EXPECT_EQ(snapshot.Value("payload.bytes_held"), report.shared_bytes);
+  // Live sharing: every extra reference beyond the first would have cost a
+  // deep copy of its rep.
+  EXPECT_GT(snapshot.Value("payload.bytes_shared"), 0);
+  EXPECT_GE(snapshot.Value("payload.live_refs"),
+            snapshot.Value("payload.entries"));
+}
+
+TEST(PayloadAccountingTest, ExporterTracksReleases) {
+  obs::MetricsRegistry registry;
+  {
+    const ElementSequence tape = MakeTape();
+    obs::ExportPayloadStoreMetrics(PayloadStore::Global(), &registry);
+    EXPECT_EQ(registry.Snapshot().Value("payload.entries"), 4);
+  }
+  // Tape destroyed: last releases evicted the reps, and a re-export must
+  // see an empty store (gauges overwrite, they don't accumulate).
+  obs::ExportPayloadStoreMetrics(PayloadStore::Global(), &registry);
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.Value("payload.entries"), 0);
+  EXPECT_EQ(snapshot.Value("payload.bytes_held"), 0);
+  EXPECT_EQ(snapshot.Value("payload.bytes_shared"), 0);
+  EXPECT_EQ(snapshot.Value("payload.live_refs"), 0);
+}
+
+TEST(PayloadAccountingTest, LedgerChargesOncePerIdentity) {
+  SharedPayloadLedger ledger;
+  const Row row = Row::OfString("shared-payload");
+  const Row same = row;  // second handle, same rep
+  EXPECT_GT(ledger.AddRef(row), 0);
+  EXPECT_EQ(ledger.AddRef(same), 0);
+  EXPECT_EQ(ledger.distinct(), 1);
+  EXPECT_EQ(ledger.bytes(), row.SharedSizeBytes());
+  EXPECT_EQ(ledger.Release(row), 0);
+  EXPECT_EQ(ledger.Release(same), same.SharedSizeBytes());
+  EXPECT_EQ(ledger.bytes(), 0);
+}
+
+}  // namespace
+}  // namespace lmerge

@@ -6,17 +6,33 @@
 //                 [--policy=lazy|eager|conservative] [--stable-lag=T]
 //                 [--no-feedback] [--out=merged.lmst]
 //                 [--drain-publishers=N] [--quiet]
+//                 [--metrics-interval=SEC] [--metrics-out=FILE]
+//                 [--trace-out=FILE] [--no-metrics]
 //
 // With --drain-publishers=N the daemon exits once at least N publishers
 // have connected and all publishers have disconnected again (the scripted
 // end-to-end mode; see scripts/demo_net.sh).  --out captures the merged
 // output to a stream file on exit, independent of any live subscribers.
+//
+// Observability (docs/OBSERVABILITY.md): --metrics-interval periodically
+// snapshots the metrics registry as one JSON object — to --metrics-out
+// (rewritten in place each tick, plus a final post-drain snapshot) or as
+// stderr lines.  --trace-out enables the span recorder and dumps a Chrome
+// trace_event file on exit (load in Perfetto).  --no-metrics flips the
+// process-wide kill switch, the A/B baseline for overhead measurements.
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <thread>
 
 #include "core/merge_policy.h"
 #include "net/server.h"
 #include "net/tcp.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stream/validate.h"
 #include "tools/cli.h"
 
@@ -31,8 +47,23 @@ int Usage() {
       "usage: lmerge_served --port=N [--bind=ADDR] [--variant=auto|R4|...]\n"
       "                     [--policy=lazy|eager|conservative]\n"
       "                     [--stable-lag=T] [--no-feedback]\n"
-      "                     [--out=FILE] [--drain-publishers=N] [--quiet]\n");
+      "                     [--out=FILE] [--drain-publishers=N] [--quiet]\n"
+      "                     [--metrics-interval=SEC] [--metrics-out=FILE]\n"
+      "                     [--trace-out=FILE] [--no-metrics]\n");
   return 2;
+}
+
+// Writes `text` to `path` via rename, so a concurrent reader sees either
+// the previous snapshot or the new one, never a torn file.
+bool WriteTextFile(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) return false;
+    out << text << "\n";
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
 }
 
 bool ParseVariant(const std::string& name, MergeVariant* variant) {
@@ -73,11 +104,45 @@ int main(int argc, char** argv) {
   }
   options.policy.stable_lag = flags.GetInt("stable-lag", 0);
 
+  if (flags.Has("no-metrics")) obs::MetricsRegistry::set_enabled(false);
+  const std::string trace_path = flags.GetString("trace-out", "");
+  if (!trace_path.empty()) obs::TraceRecorder::Global().set_enabled(true);
+  const std::string metrics_path = flags.GetString("metrics-out", "");
+  const int64_t metrics_interval = flags.GetInt("metrics-interval", 0);
+
   net::MergeServer server(options);
 
   CollectingSink captured;
   const std::string out_path = flags.GetString("out", "");
   if (!out_path.empty()) server.AddOutputSink(&captured);
+
+  // Periodic metrics snapshots: one thread, woken early on shutdown.  Each
+  // tick is a live (non-quiescing) registry snapshot — exactness comes from
+  // the final post-drain snapshot written below.
+  std::mutex metrics_mutex;
+  std::condition_variable metrics_cv;
+  bool metrics_stop = false;
+  std::thread metrics_thread;
+  if (metrics_interval > 0) {
+    metrics_thread = std::thread([&] {
+      std::unique_lock<std::mutex> lock(metrics_mutex);
+      while (!metrics_stop) {
+        if (metrics_cv.wait_for(lock,
+                                std::chrono::seconds(metrics_interval),
+                                [&] { return metrics_stop; })) {
+          break;
+        }
+        lock.unlock();
+        const std::string json = server.MetricsSnapshot().ToJson();
+        if (!metrics_path.empty()) {
+          WriteTextFile(metrics_path, json);
+        } else {
+          std::fprintf(stderr, "[lmerge_served] metrics %s\n", json.c_str());
+        }
+        lock.lock();
+      }
+    });
+  }
 
   std::unique_ptr<net::Listener> listener;
   Status status =
@@ -93,6 +158,15 @@ int main(int argc, char** argv) {
   loop_options.drain_publishers =
       static_cast<int>(flags.GetInt("drain-publishers", 0));
   net::ServeLoop(listener.get(), &server, loop_options);
+
+  if (metrics_thread.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(metrics_mutex);
+      metrics_stop = true;
+    }
+    metrics_cv.notify_all();
+    metrics_thread.join();
+  }
 
   const MergeOutputStats stats = server.merge_stats();
   std::fprintf(stderr,
@@ -128,6 +202,30 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "[lmerge_served] wrote %s (%zu elements)\n",
                  out_path.c_str(), captured.elements().size());
+  }
+
+  // Final snapshot after the drain + flush above (merge_stats() quiesces),
+  // so per-input counters here are exact — what demo_net.sh asserts on.
+  if (!metrics_path.empty()) {
+    if (WriteTextFile(metrics_path, server.MetricsSnapshot().ToJson())) {
+      std::fprintf(stderr, "[lmerge_served] wrote metrics %s\n",
+                   metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+  }
+  if (!trace_path.empty()) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+    if (WriteTextFile(trace_path, recorder.DumpChromeTraceJson())) {
+      std::fprintf(stderr,
+                   "[lmerge_served] wrote trace %s (%lld spans recorded)\n",
+                   trace_path.c_str(),
+                   static_cast<long long>(recorder.recorded()));
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
   }
   return 0;
 }
