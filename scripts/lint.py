@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""LMerge project lint: repo-specific invariants clang-tidy cannot express.
+
+Rules (each with a machine-readable id, enforced over comment-stripped
+source so documentation may mention the forbidden names):
+
+  raw-mutex          No raw std::mutex / std::lock_guard / std::unique_lock /
+                     std::scoped_lock / std::condition_variable / std::
+                     shared_mutex (or their includes) in src/ or tools/.
+                     Every lock must be an annotated lmerge::Mutex
+                     (src/common/mutex.h) so the Clang thread-safety build
+                     can see it.
+
+  deep-copy          Row::DeepCopy() only in the Row implementation, the
+                     LMR3- baseline (whose per-input duplication is the
+                     paper's comparison point), and tests.  Everything else
+                     must share interned reps through the PayloadStore.
+
+  registry-mutation  MetricsRegistry::Global() / TraceRecorder::Global()
+                     only from the blessed instrumentation sites in src/.
+                     Ad-hoc registry access invents unreviewed metric names
+                     and bypasses the cached-handle hot-path discipline
+                     (docs/OBSERVABILITY.md).
+
+Exceptions live in scripts/lint_allowlist.json (paths or fnmatch globs).
+Exit status: 0 clean, 1 violations, 2 usage/config error.
+
+  scripts/lint.py                 lint the repo
+  scripts/lint.py --self-test     verify each rule rejects a seeded
+                                  violation and honors its allowlist
+"""
+
+import argparse
+import fnmatch
+import json
+import os
+import re
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# (rule id, compiled pattern, scanned top-level dirs, human message)
+RULES = [
+    (
+        "raw-mutex",
+        re.compile(
+            r"std::(mutex|timed_mutex|recursive_mutex|shared_mutex|"
+            r"lock_guard|unique_lock|scoped_lock|condition_variable)\b"
+            r"|#\s*include\s*<(mutex|shared_mutex|condition_variable)>"
+        ),
+        ("src", "tools"),
+        "raw standard-library lock primitive; use lmerge::Mutex / MutexLock "
+        "/ CondVar from src/common/mutex.h so the clang -Wthread-safety "
+        "build can check the locking discipline",
+    ),
+    (
+        "deep-copy",
+        re.compile(r"\bDeepCopy\s*\("),
+        ("src", "tools", "bench"),
+        "Row::DeepCopy duplicates the payload per call; outside the LMR3- "
+        "baseline (and tests) payloads must stay interned in the "
+        "PayloadStore",
+    ),
+    (
+        "registry-mutation",
+        re.compile(r"\b(MetricsRegistry|TraceRecorder)::Global\s*\("),
+        ("src",),
+        "direct obs registry access outside the blessed instrumentation "
+        "sites; cache instrument handles at an allowlisted site or extend "
+        "obs/export.h",
+    ),
+]
+
+SOURCE_EXTENSIONS = (".cc", ".h")
+
+LINE_COMMENT = re.compile(r"//[^\n]*")
+BLOCK_COMMENT = re.compile(r"/\*.*?\*/", re.DOTALL)
+STRING_LITERAL = re.compile(r'"(?:[^"\\\n]|\\.)*"')
+
+
+def strip_comments(text):
+    """Blanks comments and string literals, preserving line numbers."""
+
+    def blank(match):
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    text = BLOCK_COMMENT.sub(blank, text)
+    text = LINE_COMMENT.sub(blank, text)
+    return STRING_LITERAL.sub(blank, text)
+
+
+def load_allowlist(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"lint.py: cannot read allowlist {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    known = {rule_id for rule_id, _, _, _ in RULES}
+    unknown = set(data) - known - {"_comment"}
+    if unknown:
+        print(
+            f"lint.py: allowlist names unknown rules: {sorted(unknown)}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    return data
+
+
+def allowed(rel_path, patterns):
+    rel_path = rel_path.replace(os.sep, "/")
+    for pattern in patterns:
+        if rel_path == pattern or fnmatch.fnmatch(rel_path, pattern):
+            return True
+        # `dir/**` should also match direct children on Pythons where
+        # fnmatch treats ** like *.
+        if pattern.endswith("/**") and rel_path.startswith(pattern[:-2]):
+            return True
+    return False
+
+
+def iter_sources(root, top_dirs):
+    for top in top_dirs:
+        base = os.path.join(root, top)
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTENSIONS):
+                    yield os.path.join(dirpath, name)
+
+
+def run_lint(root, allowlist):
+    violations = []
+    for rule_id, pattern, top_dirs, message in RULES:
+        rule_allow = allowlist.get(rule_id, [])
+        for path in iter_sources(root, top_dirs):
+            rel = os.path.relpath(path, root)
+            if allowed(rel, rule_allow):
+                continue
+            try:
+                with open(path, encoding="utf-8") as f:
+                    text = f.read()
+            except OSError as e:
+                print(f"lint.py: cannot read {rel}: {e}", file=sys.stderr)
+                sys.exit(2)
+            stripped = strip_comments(text)
+            for match in pattern.finditer(stripped):
+                line = stripped.count("\n", 0, match.start()) + 1
+                violations.append((rule_id, rel, line, message))
+    return violations
+
+
+def report(violations):
+    for rule_id, rel, line, message in violations:
+        print(f"{rel}:{line}: [{rule_id}] {message}")
+    if violations:
+        print(
+            f"lint.py: {len(violations)} violation(s).  Legitimate "
+            "exceptions go in scripts/lint_allowlist.json (with review); "
+            "see docs/STATIC_ANALYSIS.md.",
+            file=sys.stderr,
+        )
+
+
+# --- Self-test: each rule must reject a seeded violation ------------------
+
+NEGATIVE_FIXTURES = {
+    "raw-mutex": (
+        "src/negative_fixture.cc",
+        "#include <mutex>\nstd::mutex bad_lock;\n",
+    ),
+    "deep-copy": (
+        "src/core/negative_fixture.cc",
+        "void F(Row& row) { auto copy = row.DeepCopy(); }\n",
+    ),
+    "registry-mutation": (
+        "src/core/negative_fixture.cc",
+        "void G() { obs::MetricsRegistry::Global(); }\n",
+    ),
+}
+
+
+def self_test(allowlist_path):
+    allowlist = load_allowlist(allowlist_path)
+    failures = []
+    for rule_id, _, _, _ in RULES:
+        rel, body = NEGATIVE_FIXTURES[rule_id]
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(body)
+            hits = [v for v in run_lint(tmp, allowlist) if v[0] == rule_id]
+            if not hits:
+                failures.append(f"{rule_id}: seeded violation NOT rejected")
+            # The same content inside a comment must not fire.
+            commented = "".join(f"// {line}\n" for line in body.splitlines())
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(commented)
+            hits = [v for v in run_lint(tmp, allowlist) if v[0] == rule_id]
+            if hits:
+                failures.append(f"{rule_id}: fired inside a comment")
+            # And an allowlisted copy must pass.
+            allow_rel = next(
+                (p for p in allowlist.get(rule_id, []) if "*" not in p), None
+            )
+            if allow_rel is not None:
+                allow_path = os.path.join(tmp, allow_rel)
+                os.makedirs(os.path.dirname(allow_path), exist_ok=True)
+                with open(allow_path, "w", encoding="utf-8") as f:
+                    f.write(body)
+                hits = [
+                    v
+                    for v in run_lint(tmp, allowlist)
+                    if v[0] == rule_id and v[1].replace(os.sep, "/") == allow_rel
+                ]
+                if hits:
+                    failures.append(f"{rule_id}: allowlist not honored")
+    if failures:
+        for failure in failures:
+            print(f"lint.py self-test FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(f"lint.py self-test OK ({len(RULES)} rules verified)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=REPO_ROOT)
+    parser.add_argument(
+        "--allowlist",
+        default=os.path.join(REPO_ROOT, "scripts", "lint_allowlist.json"),
+    )
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test(args.allowlist))
+
+    violations = run_lint(args.root, load_allowlist(args.allowlist))
+    report(violations)
+    sys.exit(1 if violations else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+// Annotated mutex / condition-variable wrappers: the only lock primitives
+// this codebase uses.
+//
+// lmerge::Mutex is a std::mutex carrying the Clang thread-safety capability
+// attribute, so members can be declared LM_GUARDED_BY(mu_) and functions
+// LM_REQUIRES(mu_), and `clang++ -Wthread-safety -Werror=thread-safety`
+// rejects any access that does not provably hold the lock
+// (common/thread_annotations.h).  Raw std::mutex / std::lock_guard /
+// std::condition_variable are banned outside this header by
+// scripts/lint.py (rule `raw-mutex`) precisely so no lock can exist that
+// the analysis cannot see.
+//
+// MutexLock is the RAII guard (scoped capability).  It is relockable:
+// Unlock()/Lock() are annotated, so early-release idioms (drop the shard
+// lock before a delete) stay visible to the analysis.
+//
+// CondVar wraps std::condition_variable.  Wait/WaitFor take the MutexLock;
+// as in every annotated-mutex library (absl::Mutex included), the analysis
+// treats the capability as held across the wait even though it is
+// physically released and reacquired — guarded reads in the wait loop are
+// exactly the accesses the lock protects on wakeup.  Write wait loops as
+// explicit `while (!predicate) cv.Wait(lock);` so the predicate's guarded
+// reads are analyzed in the locked scope (a predicate lambda would be
+// analyzed as a separate, lock-free function).
+
+#ifndef LMERGE_COMMON_MUTEX_H_
+#define LMERGE_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace lmerge {
+
+class CondVar;
+
+class LM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() LM_ACQUIRE() { mu_.lock(); }
+  void Unlock() LM_RELEASE() { mu_.unlock(); }
+  bool TryLock() LM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+// RAII guard over an lmerge::Mutex.  Construction acquires, destruction
+// releases (if still held).  Unlock()/Lock() allow annotated early release
+// and reacquisition within the scope.
+class LM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LM_ACQUIRE(mu) : lock_(mu.mu_) {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // The member unique_lock releases (when still held) after the body runs.
+  ~MutexLock() LM_RELEASE() {}
+
+  // Early release / reacquire (e.g. unlink under the lock, delete outside).
+  void Unlock() LM_RELEASE() { lock_.unlock(); }
+  void Lock() LM_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+// Condition variable bound to MutexLock-guarded waits.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Blocks until notified (spurious wakeups possible: always wait in a
+  // `while (!predicate)` loop).  `lock` must hold the mutex guarding the
+  // predicate state.
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  // Timed wait; returns false on timeout.  Used as a lost-wakeup backstop
+  // by the engine's parking paths.
+  template <typename Rep, typename Period>
+  bool WaitFor(MutexLock& lock,
+               const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.lock_, timeout) == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace lmerge
+
+#endif  // LMERGE_COMMON_MUTEX_H_

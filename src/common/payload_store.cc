@@ -1,6 +1,7 @@
 #include "common/payload_store.h"
 
 #include "common/check.h"
+#include "common/mutex.h"
 
 namespace lmerge {
 
@@ -17,7 +18,7 @@ PayloadStore::~PayloadStore() {
   // last Release does not touch the dead store.  (The global store is
   // leaked and never gets here; per-test stores destroy after their rows.)
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (auto& [hash, rep] : shard.map) rep->store = nullptr;
     shard.map.clear();
   }
@@ -39,7 +40,7 @@ int64_t PayloadStore::RepDeepBytes(const std::vector<Value>& fields) {
 
 RowRep* PayloadStore::Intern(std::vector<Value> fields, uint64_t hash) {
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   ++shard.intern_calls;
   auto [begin, end] = shard.map.equal_range(hash);
   for (auto it = begin; it != end; ++it) {
@@ -97,7 +98,7 @@ void PayloadStore::Release(RowRep* rep) {
 
 void PayloadStore::ReleaseMaybeLast(RowRep* rep) {
   Shard& shard = ShardFor(rep->hash);
-  std::unique_lock<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   if (rep->refs.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
   // The count hit zero while we hold the shard lock; Intern revives under
   // the same lock, so nobody can resurrect this rep anymore — unlink it.
@@ -109,7 +110,7 @@ void PayloadStore::ReleaseMaybeLast(RowRep* rep) {
     }
   }
   shard.payload_bytes -= rep->deep_bytes;
-  lock.unlock();
+  lock.Unlock();
   delete rep;
 }
 
@@ -117,7 +118,7 @@ PayloadStore::Stats PayloadStore::GetStats() const {
   Stats stats;
   stats.shard_count = shard_count_;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     stats.entries += static_cast<int64_t>(shard.map.size());
     stats.payload_bytes += shard.payload_bytes;
     stats.intern_calls += shard.intern_calls;

@@ -10,7 +10,8 @@
 // allocation instead of materializing O(inputs x layers) deep copies.
 //
 // Concurrency: interning and eviction are guarded by per-shard mutexes
-// (shard chosen by payload hash); reference counts are atomics, so handle
+// (shard chosen by payload hash; compile-time enforced via LM_GUARDED_BY,
+// see common/thread_annotations.h); reference counts are atomics, so handle
 // copies between the session threads, the merge thread, and the fan-out
 // path never take a lock.  The last release of an interned rep evicts it
 // from its shard.  A rep can also live *outside* the store (store == null):
@@ -26,11 +27,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/value.h"
 
 namespace lmerge {
@@ -107,7 +109,7 @@ class PayloadStore {
   void ForEach(Fn&& fn) const {
     for (int i = 0; i < shard_count_; ++i) {
       const Shard& shard = shards_[static_cast<size_t>(i)];
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       for (const auto& [hash, rep] : shard.map) {
         fn(static_cast<const RowRep&>(*rep),
            rep->refs.load(std::memory_order_relaxed));
@@ -127,14 +129,14 @@ class PayloadStore {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
+    mutable Mutex mu;
     // hash -> rep; a multimap tolerates hash collisions between distinct
     // payloads (content is compared on every probe).
-    std::unordered_multimap<uint64_t, RowRep*> map;
-    int64_t payload_bytes = 0;
-    int64_t intern_calls = 0;
-    int64_t hits = 0;
-    int64_t bytes_saved = 0;
+    std::unordered_multimap<uint64_t, RowRep*> map LM_GUARDED_BY(mu);
+    int64_t payload_bytes LM_GUARDED_BY(mu) = 0;
+    int64_t intern_calls LM_GUARDED_BY(mu) = 0;
+    int64_t hits LM_GUARDED_BY(mu) = 0;
+    int64_t bytes_saved LM_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(uint64_t hash) {

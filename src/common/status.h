@@ -23,7 +23,14 @@ enum class StatusCode {
 };
 
 // A success-or-error result; cheap to copy on the success path.
-class Status {
+//
+// [[nodiscard]]: every producer of a Status (decoders, transports, delivery
+// paths) reports failures the caller must either handle or *visibly* waive.
+// Silently dropping one hides exactly the errors the merge-correctness story
+// depends on surfacing (a lost FEEDBACK push, a fire-and-forget Send).  The
+// build treats discards as errors (-Werror=unused-result); waive with a
+// `(void)` cast plus a comment saying why best-effort is correct there.
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -38,9 +38,9 @@ ConcurrentMerger::ConcurrentMerger(MergeAlgorithm* algorithm,
 ConcurrentMerger::~ConcurrentMerger() {
   stop_.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(wake_mutex_);
+    MutexLock lock(wake_mutex_);
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   if (merge_thread_.joinable()) merge_thread_.join();
 }
 
@@ -68,11 +68,11 @@ void ConcurrentMerger::EnqueueBlocking(int stream, StreamElement element) {
     if (++spins < 64) continue;
     if (spins == 64) stalls_metric_->Increment();
     WakeMerge();
-    std::unique_lock<std::mutex> lock(slot.wait_mutex);
+    MutexLock lock(slot.wait_mutex);
     slot.producer_waiting.store(true, std::memory_order_release);
     // Timed wait: a notify can race the flag, so the timeout is the
     // lost-wakeup backstop; backpressure latency stays bounded at ~1ms.
-    slot.wait_cv.wait_for(lock, std::chrono::milliseconds(1));
+    (void)slot.wait_cv.WaitFor(lock, std::chrono::milliseconds(1));
     slot.producer_waiting.store(false, std::memory_order_release);
   }
   delivered_.fetch_add(1, std::memory_order_release);
@@ -82,9 +82,9 @@ void ConcurrentMerger::EnqueueBlocking(int stream, StreamElement element) {
 void ConcurrentMerger::WakeMerge() {
   if (merge_sleeping_.load(std::memory_order_acquire)) {
     {
-      std::lock_guard<std::mutex> lock(wake_mutex_);
+      MutexLock lock(wake_mutex_);
     }
-    wake_cv_.notify_one();
+    wake_cv_.NotifyOne();
   }
 }
 
@@ -116,7 +116,7 @@ int ConcurrentMerger::AddStream() {
   op.kind = ControlOp::kAddStream;
   std::future<int> result = op.result.get_future();
   {
-    std::lock_guard<std::mutex> lock(control_mutex_);
+    MutexLock lock(control_mutex_);
     control_ops_.push_back(std::move(op));
     has_control_ops_.store(true, std::memory_order_release);
   }
@@ -136,7 +136,7 @@ void ConcurrentMerger::RemoveStream(int stream) {
   op.stream = stream;
   std::future<int> result = op.result.get_future();
   {
-    std::lock_guard<std::mutex> lock(control_mutex_);
+    MutexLock lock(control_mutex_);
     control_ops_.push_back(std::move(op));
     has_control_ops_.store(true, std::memory_order_release);
   }
@@ -150,7 +150,7 @@ void ConcurrentMerger::CallOnMergeThread(std::function<void()> fn) {
   op.fn = std::move(fn);
   std::future<int> result = op.result.get_future();
   {
-    std::lock_guard<std::mutex> lock(control_mutex_);
+    MutexLock lock(control_mutex_);
     control_ops_.push_back(std::move(op));
     has_control_ops_.store(true, std::memory_order_release);
   }
@@ -159,14 +159,14 @@ void ConcurrentMerger::CallOnMergeThread(std::function<void()> fn) {
 }
 
 void ConcurrentMerger::WaitIdle() {
-  std::unique_lock<std::mutex> lock(idle_mutex_);
-  idle_cv_.wait(lock, [this] {
-    return pending_.load(std::memory_order_acquire) == 0;
-  });
+  MutexLock lock(idle_mutex_);
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    idle_cv_.Wait(lock);
+  }
 }
 
 Status ConcurrentMerger::error() const {
-  std::lock_guard<std::mutex> lock(control_mutex_);
+  MutexLock lock(control_mutex_);
   return error_;
 }
 
@@ -187,7 +187,7 @@ obs::MetricsSnapshot ConcurrentMerger::MetricsSnapshot() {
 }
 
 void ConcurrentMerger::RecordError(const Status& status) {
-  std::lock_guard<std::mutex> lock(control_mutex_);
+  MutexLock lock(control_mutex_);
   if (error_.ok()) error_ = status;
   poisoned_.store(true, std::memory_order_release);
 }
@@ -212,17 +212,17 @@ size_t ConcurrentMerger::DrainRing(int stream) {
   }
   if (slot.producer_waiting.load(std::memory_order_acquire)) {
     {
-      std::lock_guard<std::mutex> lock(slot.wait_mutex);
+      MutexLock lock(slot.wait_mutex);
     }
-    slot.wait_cv.notify_all();
+    slot.wait_cv.NotifyAll();
   }
   // Notify idle waiters under the lock only when this drain emptied the
   // books (cheap check: the fetch_sub returned exactly n).
   if (pending_.fetch_sub(static_cast<int64_t>(n),
                          std::memory_order_acq_rel) ==
       static_cast<int64_t>(n)) {
-    std::lock_guard<std::mutex> lock(idle_mutex_);
-    idle_cv_.notify_all();
+    MutexLock lock(idle_mutex_);
+    idle_cv_.NotifyAll();
   }
   return n;
 }
@@ -231,7 +231,7 @@ size_t ConcurrentMerger::ProcessControlOps() {
   if (!has_control_ops_.load(std::memory_order_acquire)) return 0;
   std::deque<ControlOp> ops;
   {
-    std::lock_guard<std::mutex> lock(control_mutex_);
+    MutexLock lock(control_mutex_);
     ops.swap(control_ops_);
     has_control_ops_.store(false, std::memory_order_release);
   }
@@ -301,9 +301,9 @@ void ConcurrentMerger::MergeLoop() {
     Clock::time_point park_start;
     if (timed) park_start = Clock::now();
     {
-      std::unique_lock<std::mutex> lock(wake_mutex_);
+      MutexLock lock(wake_mutex_);
       merge_sleeping_.store(true, std::memory_order_release);
-      wake_cv_.wait_for(lock, std::chrono::milliseconds(1));
+      (void)wake_cv_.WaitFor(lock, std::chrono::milliseconds(1));
       merge_sleeping_.store(false, std::memory_order_release);
     }
     if (timed) idle_us_metric_->Add(elapsed_us(park_start));

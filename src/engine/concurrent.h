@@ -24,17 +24,17 @@
 #define LMERGE_ENGINE_CONCURRENT_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/merge_algorithm.h"
 #include "engine/spsc_ring.h"
 #include "obs/metrics.h"
@@ -133,10 +133,12 @@ class ConcurrentMerger {
     explicit InputSlot(size_t capacity) : ring(capacity) {}
     SpscRing<StreamElement> ring;
     std::atomic<bool> active{true};
-    // Backpressure parking for the producer when the ring is full.
+    // Backpressure parking for the producer when the ring is full.  The
+    // mutex guards no data (ring and flag are atomic); it only sequences
+    // the park/notify handshake.
     std::atomic<bool> producer_waiting{false};
-    std::mutex wait_mutex;
-    std::condition_variable wait_cv;
+    Mutex wait_mutex;
+    CondVar wait_cv;
   };
 
   struct ControlOp {
@@ -175,18 +177,19 @@ class ConcurrentMerger {
   std::atomic<bool> poisoned_{false};
   std::atomic<bool> stop_{false};
 
-  mutable std::mutex control_mutex_;
-  std::deque<ControlOp> control_ops_;
+  mutable Mutex control_mutex_;
+  std::deque<ControlOp> control_ops_ LM_GUARDED_BY(control_mutex_);
   std::atomic<bool> has_control_ops_{false};
-  Status error_;  // guarded by control_mutex_
+  Status error_ LM_GUARDED_BY(control_mutex_);
 
-  // WaitIdle parking (notified by the merge thread when pending_ hits 0).
-  std::mutex idle_mutex_;
-  std::condition_variable idle_cv_;
+  // WaitIdle parking (notified by the merge thread when pending_ hits 0;
+  // the mutex guards no data, pending_ is atomic).
+  Mutex idle_mutex_;
+  CondVar idle_cv_;
 
   // Merge-thread parking when idle.
-  std::mutex wake_mutex_;
-  std::condition_variable wake_cv_;
+  Mutex wake_mutex_;
+  CondVar wake_cv_;
   std::atomic<bool> merge_sleeping_{false};
 
   std::vector<StreamElement> scratch_;  // merge-thread drain buffer

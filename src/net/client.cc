@@ -49,6 +49,8 @@ Status PublisherClient::Handshake(const StreamProperties& properties,
   if (!status.ok()) return status;
   if (frame.type == FrameType::kBye) {
     ByeMessage bye;
+    // Best effort: a BYE that fails to decode just yields an empty
+    // reason; the session outcome is the same either way.
     (void)DecodeBye(frame.payload, &bye);
     server_said_bye_ = true;
     bye_reason_ = bye.reason;
@@ -87,6 +89,8 @@ Status PublisherClient::ProcessFrame(const Frame& frame) {
     }
     case FrameType::kBye: {
       ByeMessage bye;
+      // Best effort: a BYE that fails to decode just yields an empty
+      // reason; the session outcome is the same either way.
       (void)DecodeBye(frame.payload, &bye);
       server_said_bye_ = true;
       bye_reason_ = bye.reason;
@@ -189,6 +193,8 @@ Status StatsClient::Handshake(const std::string& name,
     // Pre-v3 servers (or ones built without stats) reject the monitor role
     // with a BYE; surface their reason instead of a generic decode error.
     ByeMessage bye;
+    // Best effort: a BYE that fails to decode just yields an empty
+    // reason; the session outcome is the same either way.
     (void)DecodeBye(frame.payload, &bye);
     bye_reason_ = bye.reason;
     return Status::FailedPrecondition("server rejected monitor session: " +
@@ -220,6 +226,8 @@ Status StatsClient::PollStats(StatsResponseMessage* stats) {
   if (!status.ok()) return status;
   if (frame.type == FrameType::kBye) {
     ByeMessage bye;
+    // Best effort: a BYE that fails to decode just yields an empty
+    // reason; the session outcome is the same either way.
     (void)DecodeBye(frame.payload, &bye);
     bye_reason_ = bye.reason;
     return Status::FailedPrecondition("server closed session: " +
@@ -340,6 +348,8 @@ Status SubscriberClient::Consume(ElementSink* sink) {
       }
       case FrameType::kBye: {
         ByeMessage bye;
+        // Best effort: a BYE that fails to decode just yields an empty
+        // reason; the session outcome is the same either way.
         (void)DecodeBye(frame.payload, &bye);
         bye_reason_ = bye.reason;
         return Status::Ok();

@@ -1,9 +1,10 @@
 #include "net/loopback.h"
 
-#include <condition_variable>
-#include <mutex>
+#include <atomic>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace lmerge::net {
 
@@ -11,25 +12,25 @@ namespace {
 
 // One direction of a loopback pair: a byte queue with its own lock.
 struct Pipe {
-  std::mutex mutex;
-  std::condition_variable readable;
-  std::string bytes;
-  bool closed = false;  // no further writes will arrive
+  Mutex mutex;
+  CondVar readable;
+  std::string bytes LM_GUARDED_BY(mutex);
+  bool closed LM_GUARDED_BY(mutex) = false;  // no further writes will arrive
 
-  void Write(const char* data, size_t size) {
+  void Write(const char* data, size_t size) LM_EXCLUDES(mutex) {
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       bytes.append(data, size);
     }
-    readable.notify_all();
+    readable.NotifyAll();
   }
 
-  void Close() {
+  void Close() LM_EXCLUDES(mutex) {
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       closed = true;
     }
-    readable.notify_all();
+    readable.NotifyAll();
   }
 };
 
@@ -50,20 +51,20 @@ class LoopbackConnection : public Connection {
   Status Send(const char* data, size_t size) override {
     Pipe& out = state_->pipe[side_];
     {
-      std::lock_guard<std::mutex> lock(out.mutex);
+      MutexLock lock(out.mutex);
       if (out.closed) {
         return Status::FailedPrecondition("loopback connection closed");
       }
       out.bytes.append(data, size);
     }
-    out.readable.notify_all();
+    out.readable.NotifyAll();
     return Status::Ok();
   }
 
   Status Receive(char* buffer, size_t capacity, size_t* received) override {
     Pipe& in = state_->pipe[1 - side_];
-    std::unique_lock<std::mutex> lock(in.mutex);
-    in.readable.wait(lock, [&in] { return !in.bytes.empty() || in.closed; });
+    MutexLock lock(in.mutex);
+    while (in.bytes.empty() && !in.closed) in.readable.Wait(lock);
     const size_t n = std::min(capacity, in.bytes.size());
     std::copy(in.bytes.begin(),
               in.bytes.begin() + static_cast<ptrdiff_t>(n), buffer);
@@ -74,22 +75,24 @@ class LoopbackConnection : public Connection {
 
   Status TryReceive(std::string* out) override {
     Pipe& in = state_->pipe[1 - side_];
-    std::lock_guard<std::mutex> lock(in.mutex);
+    MutexLock lock(in.mutex);
     out->append(in.bytes);
     in.bytes.clear();
-    if (in.closed) closed_ = true;
+    if (in.closed) closed_.store(true, std::memory_order_relaxed);
     return Status::Ok();
   }
 
   void Close() override {
-    closed_ = true;
+    closed_.store(true, std::memory_order_relaxed);
     // Half-close both directions: the peer sees EOF, and our own blocked
     // Receive (if any) wakes.
     state_->pipe[0].Close();
     state_->pipe[1].Close();
   }
 
-  bool closed() const override { return closed_; }
+  bool closed() const override {
+    return closed_.load(std::memory_order_relaxed);
+  }
 
   std::string peer() const override { return name_; }
 
@@ -97,7 +100,9 @@ class LoopbackConnection : public Connection {
   std::shared_ptr<PairState> state_;
   int side_;
   std::string name_;
-  bool closed_ = false;
+  // Atomic: the server tears a session down (Close) from its own thread
+  // while the peer's transport thread polls closed()/TryReceive.
+  std::atomic<bool> closed_{false};
 };
 
 }  // namespace
@@ -115,10 +120,10 @@ CreateLoopbackPair(const std::string& first_name,
 }
 
 struct LoopbackListener::State {
-  std::mutex mutex;
-  std::condition_variable acceptable;
-  std::deque<std::unique_ptr<Connection>> pending;
-  bool closed = false;
+  Mutex mutex;
+  CondVar acceptable;
+  std::deque<std::unique_ptr<Connection>> pending LM_GUARDED_BY(mutex);
+  bool closed LM_GUARDED_BY(mutex) = false;
 };
 
 LoopbackListener::LoopbackListener() : state_(std::make_shared<State>()) {}
@@ -129,19 +134,19 @@ std::unique_ptr<Connection> LoopbackListener::Connect(
     const std::string& client_name) {
   auto pair = CreateLoopbackPair(client_name, "loopback:server");
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     if (state_->closed) return nullptr;
     state_->pending.push_back(std::move(pair.second));
   }
-  state_->acceptable.notify_one();
+  state_->acceptable.NotifyOne();
   return std::move(pair.first);
 }
 
 Status LoopbackListener::Accept(std::unique_ptr<Connection>* connection) {
-  std::unique_lock<std::mutex> lock(state_->mutex);
-  state_->acceptable.wait(lock, [this] {
-    return !state_->pending.empty() || state_->closed;
-  });
+  MutexLock lock(state_->mutex);
+  while (state_->pending.empty() && !state_->closed) {
+    state_->acceptable.Wait(lock);
+  }
   if (state_->pending.empty()) {
     return Status::FailedPrecondition("listener closed");
   }
@@ -152,10 +157,10 @@ Status LoopbackListener::Accept(std::unique_ptr<Connection>* connection) {
 
 void LoopbackListener::Close() {
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     state_->closed = true;
   }
-  state_->acceptable.notify_all();
+  state_->acceptable.NotifyAll();
 }
 
 }  // namespace lmerge::net

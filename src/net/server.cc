@@ -39,7 +39,7 @@ void MergeServer::FanOutSink::OnElement(const StreamElement& element) {
   // and it unblocks only if this thread keeps draining.
   LMERGE_TRACE_SPAN("fanout", "net");
   MergeServer* server = server_;
-  std::lock_guard<std::mutex> lock(server->fanout_mutex_);
+  MutexLock lock(server->fanout_mutex_);
   std::string inline_frame;  // shared by all v1 subscribers
   for (auto it = server->subscribers_.begin();
        it != server->subscribers_.end();) {
@@ -78,7 +78,7 @@ void MergeServer::FanOutSink::OnElement(const StreamElement& element) {
 
 int MergeServer::OnConnect(Connection* connection) {
   LM_CHECK(connection != nullptr);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const int id = next_session_id_++;
   Session& session = sessions_[id];
   session.id = id;
@@ -89,15 +89,15 @@ int MergeServer::OnConnect(Connection* connection) {
 }
 
 void MergeServer::OnDisconnect(int session_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sessions_.find(session_id);
   if (it == sessions_.end()) return;
-  CloseSession(it->second, "peer disconnected", /*send_bye=*/false);
+  CloseSessionLocked(it->second, "peer disconnected", /*send_bye=*/false);
   sessions_.erase(it);
 }
 
 Status MergeServer::OnBytes(int session_id, const char* data, size_t size) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sessions_.find(session_id);
   if (it == sessions_.end()) {
     return Status::NotFound("unknown session " + std::to_string(session_id));
@@ -111,7 +111,7 @@ Status MergeServer::OnBytes(int session_id, const char* data, size_t size) {
   Frame frame;
   while (status.ok() && session.assembler.Next(&frame)) {
     rx_frames_metric_->Increment();
-    status = HandleFrame(session, frame);
+    status = HandleFrameLocked(session, frame);
     if (session.state == SessionState::kClosed) break;
   }
   if (status.ok() && session.assembler.poisoned()) {
@@ -119,12 +119,12 @@ Status MergeServer::OnBytes(int session_id, const char* data, size_t size) {
   }
   if (!status.ok()) {
     decode_errors_metric_->Increment();
-    CloseSession(session, status.ToString(), /*send_bye=*/true);
+    CloseSessionLocked(session, status.ToString(), /*send_bye=*/true);
   }
   return status;
 }
 
-Status MergeServer::HandleFrame(Session& session, const Frame& frame) {
+Status MergeServer::HandleFrameLocked(Session& session, const Frame& frame) {
   switch (frame.type) {
     case FrameType::kHello: {
       if (session.state != SessionState::kAwaitHello) {
@@ -133,7 +133,7 @@ Status MergeServer::HandleFrame(Session& session, const Frame& frame) {
       HelloMessage hello;
       Status status = DecodeHello(frame.payload, &hello);
       if (!status.ok()) return status;
-      return HandleHello(session, hello);
+      return HandleHelloLocked(session, hello);
     }
     case FrameType::kElement: {
       if (session.state != SessionState::kPublisher) {
@@ -143,7 +143,7 @@ Status MergeServer::HandleFrame(Session& session, const Frame& frame) {
       StreamElement element;
       Status status = DecodeElementPayload(frame.payload, &element);
       if (!status.ok()) return status;
-      return DeliverElement(session, element);
+      return DeliverElementLocked(session, element);
     }
     case FrameType::kElements: {
       if (session.state != SessionState::kPublisher) {
@@ -153,7 +153,7 @@ Status MergeServer::HandleFrame(Session& session, const Frame& frame) {
       ElementSequence elements;
       Status status = DecodeElementsPayload(frame.payload, &elements);
       if (!status.ok()) return status;
-      return DeliverBatch(session, std::move(elements));
+      return DeliverBatchLocked(session, std::move(elements));
     }
     case FrameType::kPayloadDef: {
       if (session.state != SessionState::kPublisher) {
@@ -190,7 +190,7 @@ Status MergeServer::HandleFrame(Session& session, const Frame& frame) {
       Status status = DecodeElementsDictPayload(frame.payload,
                                                 *session.dict_in, &elements);
       if (!status.ok()) return status;
-      return DeliverBatch(session, std::move(elements));
+      return DeliverBatchLocked(session, std::move(elements));
     }
     case FrameType::kStatsRequest: {
       if (session.state == SessionState::kAwaitHello) {
@@ -208,8 +208,10 @@ Status MergeServer::HandleFrame(Session& session, const Frame& frame) {
     }
     case FrameType::kBye: {
       ByeMessage bye;
+      // Best effort: a BYE that fails to decode just yields an empty
+      // reason; the session outcome is the same either way.
       (void)DecodeBye(frame.payload, &bye);
-      CloseSession(session, bye.reason.empty() ? "bye" : bye.reason,
+      CloseSessionLocked(session, bye.reason.empty() ? "bye" : bye.reason,
                    /*send_bye=*/false);
       return Status::Ok();
     }
@@ -223,7 +225,7 @@ Status MergeServer::HandleFrame(Session& session, const Frame& frame) {
   return Status::Internal("unhandled frame type");
 }
 
-Status MergeServer::EnsureAlgorithm(const StreamProperties& first) {
+Status MergeServer::EnsureAlgorithmLocked(const StreamProperties& first) {
   if (algorithm_ != nullptr) return Status::Ok();
   const MergeVariant variant =
       options_.variant.has_value()
@@ -246,7 +248,7 @@ Status MergeServer::EnsureAlgorithm(const StreamProperties& first) {
   return Status::Ok();
 }
 
-Status MergeServer::HandleHello(Session& session, const HelloMessage& hello) {
+Status MergeServer::HandleHelloLocked(Session& session, const HelloMessage& hello) {
   if (hello.version < kMinProtocolVersion) {
     return Status::InvalidArgument(
         "unsupported protocol version " + std::to_string(hello.version));
@@ -274,7 +276,7 @@ Status MergeServer::HandleHello(Session& session, const HelloMessage& hello) {
     session.state = SessionState::kSubscriber;
     welcome.stream_id = -1;
   } else {
-    Status status = EnsureAlgorithm(hello.properties);
+    Status status = EnsureAlgorithmLocked(hello.properties);
     if (!status.ok()) return status;
     if (publishers_seen_ == 0) {
       // First publisher occupies the stream the algorithm was born with.
@@ -329,13 +331,13 @@ Status MergeServer::HandleHello(Session& session, const HelloMessage& hello) {
       subscriber.dict =
           std::make_unique<PayloadDictEncoder>(options_.dict_capacity);
     }
-    std::lock_guard<std::mutex> fanout_lock(fanout_mutex_);
+    MutexLock fanout_lock(fanout_mutex_);
     subscribers_.push_back(std::move(subscriber));
   }
   return sent;
 }
 
-Status MergeServer::DeliverElement(Session& session,
+Status MergeServer::DeliverElementLocked(Session& session,
                                    const StreamElement& element) {
   // Progress watermarks feed the feedback policy even for held-back
   // elements.
@@ -350,11 +352,11 @@ Status MergeServer::DeliverElement(Session& session,
   }
   const Status status = merger_->TryDeliver(session.stream_id, element);
   if (!status.ok()) return status;
-  MaybeStableAdvance();
+  MaybeStableAdvanceLocked();
   return Status::Ok();
 }
 
-Status MergeServer::DeliverBatch(Session& session, ElementSequence elements) {
+Status MergeServer::DeliverBatchLocked(Session& session, ElementSequence elements) {
   // Filter in place: every element feeds the progress watermarks, held-back
   // stables from a not-yet-joined stream are dropped (Sec. V-B, same rule
   // as the single-element path), and the survivors reach the merge as ONE
@@ -373,32 +375,32 @@ Status MergeServer::DeliverBatch(Session& session, ElementSequence elements) {
   const Status status = merger_->TryDeliverBatch(
       session.stream_id, std::span<StreamElement>(elements.data(), kept));
   if (!status.ok()) return status;
-  MaybeStableAdvance();
+  MaybeStableAdvanceLocked();
   return Status::Ok();
 }
 
-void MergeServer::MaybeStableAdvance() {
+void MergeServer::MaybeStableAdvanceLocked() {
   // max_stable() is a snapshot that may trail in-flight batches; Flush()
   // and the flushing getters run the exact version.
   const Timestamp stable = merger_->max_stable();
   if (stable > last_output_stable_) {
     last_output_stable_ = stable;
-    AfterStableAdvance();
+    AfterStableAdvanceLocked();
   }
 }
 
 void MergeServer::FlushLocked() {
   if (merger_ == nullptr) return;
   merger_->WaitIdle();
-  MaybeStableAdvance();
+  MaybeStableAdvanceLocked();
 }
 
 void MergeServer::Flush() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   FlushLocked();
 }
 
-void MergeServer::AfterStableAdvance() {
+void MergeServer::AfterStableAdvanceLocked() {
   const Timestamp stable = last_output_stable_;
   for (auto& [id, session] : sessions_) {
     if (session.state != SessionState::kPublisher) continue;
@@ -422,7 +424,7 @@ void MergeServer::AfterStableAdvance() {
   }
 }
 
-void MergeServer::CloseSession(Session& session, const std::string& reason,
+void MergeServer::CloseSessionLocked(Session& session, const std::string& reason,
                                bool send_bye) {
   if (session.state == SessionState::kClosed) return;
   if (session.state == SessionState::kPublisher) {
@@ -432,7 +434,7 @@ void MergeServer::CloseSession(Session& session, const std::string& reason,
     --active_publishers_;
   }
   if (session.state == SessionState::kSubscriber) {
-    std::lock_guard<std::mutex> fanout_lock(fanout_mutex_);
+    MutexLock fanout_lock(fanout_mutex_);
     std::erase_if(subscribers_, [&](const Subscriber& s) {
       return s.session_id == session.id;
     });
@@ -440,6 +442,8 @@ void MergeServer::CloseSession(Session& session, const std::string& reason,
   if (send_bye) {
     ByeMessage bye;
     bye.reason = reason;
+    // Best effort: the session is being torn down regardless; a peer that
+    // already vanished simply misses its goodbye.
     (void)session.connection->Send(EncodeByeFrame(bye));
   }
   if (options_.verbose) Log(session, "closed: " + reason);
@@ -454,28 +458,32 @@ void MergeServer::CloseSession(Session& session, const std::string& reason,
 
 void MergeServer::AddOutputSink(ElementSink* sink) {
   LM_CHECK(sink != nullptr);
-  std::lock_guard<std::mutex> lock(fanout_mutex_);
+  MutexLock lock(fanout_mutex_);
   output_sinks_.push_back(sink);
 }
 
 Timestamp MergeServer::output_stable() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const_cast<MergeServer*>(this)->FlushLocked();
-  return merger_ == nullptr ? kMinTimestamp : merger_->max_stable();
+  // The flushing getters mutate (FlushLocked advances join/feedback state),
+  // so they run on a non-const view; the lock discipline is identical.
+  MergeServer* self = const_cast<MergeServer*>(this);
+  MutexLock lock(self->mutex_);
+  self->FlushLocked();
+  return self->merger_ == nullptr ? kMinTimestamp
+                                  : self->merger_->max_stable();
 }
 
 int MergeServer::active_publishers() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return active_publishers_;
 }
 
 int MergeServer::publishers_seen() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return publishers_seen_;
 }
 
 int MergeServer::subscriber_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   int n = 0;
   for (const auto& [id, session] : sessions_) {
     n += session.state == SessionState::kSubscriber ? 1 : 0;
@@ -484,23 +492,27 @@ int MergeServer::subscriber_count() const {
 }
 
 bool MergeServer::drained() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return publishers_seen_ > 0 && active_publishers_ == 0;
 }
 
 MergeOutputStats MergeServer::merge_stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (algorithm_ == nullptr) return MergeOutputStats();
-  const_cast<MergeServer*>(this)->FlushLocked();
+  MergeServer* self = const_cast<MergeServer*>(this);
+  MutexLock lock(self->mutex_);
+  if (self->algorithm_ == nullptr) return MergeOutputStats();
+  self->FlushLocked();
   // Snapshot on the merge thread: the only race-free reader of algorithm
-  // state while other sessions may still be delivering.
+  // state while other sessions may still be delivering.  The lambda runs
+  // without the session lock held (it is analyzed as its own function), so
+  // it touches the algorithm only through the captured raw pointer.
   MergeOutputStats stats;
-  merger_->CallOnMergeThread([&] { stats = algorithm_->stats(); });
+  MergeAlgorithm* algorithm = self->algorithm_.get();
+  self->merger_->CallOnMergeThread([&] { stats = algorithm->stats(); });
   return stats;
 }
 
 const char* MergeServer::algorithm_name() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return algorithm_ == nullptr
              ? "none"
              : AlgorithmCaseName(algorithm_->algorithm_case());
@@ -510,7 +522,7 @@ obs::MetricsSnapshot MergeServer::MetricsSnapshotLocked() {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   obs::ExportPayloadStoreMetrics(PayloadStore::Global(), &registry);
   {
-    std::lock_guard<std::mutex> fanout_lock(fanout_mutex_);
+    MutexLock fanout_lock(fanout_mutex_);
     int64_t dict_entries = 0;
     for (const Subscriber& subscriber : subscribers_) {
       if (subscriber.dict != nullptr) {
@@ -529,7 +541,7 @@ obs::MetricsSnapshot MergeServer::MetricsSnapshotLocked() {
 }
 
 obs::MetricsSnapshot MergeServer::MetricsSnapshot() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return MetricsSnapshotLocked();
 }
 
@@ -552,13 +564,16 @@ StatsResponseMessage MergeServer::BuildStatsResponseLocked() {
     std::vector<PerInputStats> per_input;
     std::vector<bool> active;
     MergeOutputStats totals;
+    // The lambda is analyzed lock-free: reach the algorithm through a
+    // captured raw pointer, not the mutex_-guarded member.
+    MergeAlgorithm* algorithm = algorithm_.get();
     merger_->CallOnMergeThread([&] {
-      per_input = algorithm_->per_input_stats();
+      per_input = algorithm->per_input_stats();
       active.resize(per_input.size());
       for (size_t s = 0; s < per_input.size(); ++s) {
-        active[s] = algorithm_->stream_active(static_cast<int>(s));
+        active[s] = algorithm->stream_active(static_cast<int>(s));
       }
-      totals = algorithm_->stats();
+      totals = algorithm->stats();
     });
     stats.output_inserts = totals.inserts_out;
     stats.output_adjusts = totals.adjusts_out;
@@ -595,7 +610,7 @@ StatsResponseMessage MergeServer::BuildStatsResponseLocked() {
 }
 
 StatsResponseMessage MergeServer::StatsSnapshot() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return BuildStatsResponseLocked();
 }
 

@@ -35,11 +35,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/factory.h"
 #include "engine/concurrent.h"
 #include "net/frame.h"
@@ -185,52 +186,67 @@ class MergeServer {
     std::unique_ptr<PayloadDictEncoder> dict;
   };
 
-  Status HandleFrame(Session& session, const Frame& frame);
-  Status HandleHello(Session& session, const HelloMessage& hello);
-  // Requires mutex_: assembles the STATS_RESPONSE message.
-  StatsResponseMessage BuildStatsResponseLocked();
-  // Requires mutex_: refreshes registry-exported state and snapshots it.
-  obs::MetricsSnapshot MetricsSnapshotLocked();
-  Status DeliverElement(Session& session, const StreamElement& element);
+  // Session-lock protocol: every `...Locked()` method runs with mutex_
+  // held (compiler-enforced via LM_REQUIRES); the public entry points
+  // acquire it.  See DESIGN.md "Lock order" for the mutex_ -> fanout_mutex_
+  // discipline.
+  Status HandleFrameLocked(Session& session, const Frame& frame)
+      LM_REQUIRES(mutex_);
+  Status HandleHelloLocked(Session& session, const HelloMessage& hello)
+      LM_REQUIRES(mutex_);
+  // Assembles the STATS_RESPONSE message.
+  StatsResponseMessage BuildStatsResponseLocked() LM_REQUIRES(mutex_);
+  // Refreshes registry-exported state and snapshots it.
+  obs::MetricsSnapshot MetricsSnapshotLocked() LM_REQUIRES(mutex_);
+  Status DeliverElementLocked(Session& session, const StreamElement& element)
+      LM_REQUIRES(mutex_);
   // ELEMENTS path: observe watermarks, drop held-back stables, hand the
   // survivors to the merge as one batch.
-  Status DeliverBatch(Session& session, ElementSequence elements);
+  Status DeliverBatchLocked(Session& session, ElementSequence elements)
+      LM_REQUIRES(mutex_);
   // Instantiates algorithm + merger for the first publisher.
-  Status EnsureAlgorithm(const StreamProperties& first_properties);
+  Status EnsureAlgorithmLocked(const StreamProperties& first_properties)
+      LM_REQUIRES(mutex_);
   // Sends BYE (best effort) and releases the session's resources.
-  void CloseSession(Session& session, const std::string& reason,
-                    bool send_bye);
-  // Requires mutex_: WaitIdle on the merger, then run the stable-advance
-  // hooks if the output stable point moved.
-  void FlushLocked();
-  // Requires mutex_: cheap snapshot check of the merger's stable point.
-  void MaybeStableAdvance();
+  void CloseSessionLocked(Session& session, const std::string& reason,
+                          bool send_bye) LM_REQUIRES(mutex_);
+  // WaitIdle on the merger, then run the stable-advance hooks if the
+  // output stable point moved.
+  void FlushLocked() LM_REQUIRES(mutex_);
+  // Cheap snapshot check of the merger's stable point.
+  void MaybeStableAdvanceLocked() LM_REQUIRES(mutex_);
   // After the output stable point advances: refresh join flags and push
   // feedback to publishers whose own progress is behind it.
-  void AfterStableAdvance();
+  void AfterStableAdvanceLocked() LM_REQUIRES(mutex_);
   void Log(const Session& session, const std::string& message) const;
 
   MergeServerOptions options_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   FanOutSink fan_out_;
-  std::unique_ptr<MergeAlgorithm> algorithm_;
-  std::unique_ptr<ConcurrentMerger> merger_;
-  StreamProperties met_properties_;  // meet over all publisher HELLOs
-  std::map<int, Session> sessions_;
+  // The pointers are guarded by mutex_; the pointees (algorithm state) are
+  // owned by the merger's internal merge thread — snapshot them via
+  // CallOnMergeThread, never directly.
+  std::unique_ptr<MergeAlgorithm> algorithm_ LM_GUARDED_BY(mutex_);
+  std::unique_ptr<ConcurrentMerger> merger_ LM_GUARDED_BY(mutex_);
+  // Meet over all publisher HELLOs.
+  StreamProperties met_properties_ LM_GUARDED_BY(mutex_);
+  std::map<int, Session> sessions_ LM_GUARDED_BY(mutex_);
   // Publisher name per merge input, kept after the session is gone so
   // STATS rows for crashed/departed replicas stay attributable.
-  std::map<int, std::string> stream_names_;
-  int next_session_id_ = 1;
-  int publishers_seen_ = 0;
-  int active_publishers_ = 0;
-  Timestamp last_output_stable_ = kMinTimestamp;
+  std::map<int, std::string> stream_names_ LM_GUARDED_BY(mutex_);
+  int next_session_id_ LM_GUARDED_BY(mutex_) = 1;
+  int publishers_seen_ LM_GUARDED_BY(mutex_) = 0;
+  int active_publishers_ LM_GUARDED_BY(mutex_) = 0;
+  Timestamp last_output_stable_ LM_GUARDED_BY(mutex_) = kMinTimestamp;
 
   // Fan-out registry, shared between session threads (register/unregister)
   // and the merge thread (emit).  Leaf lock: nothing is acquired while it
-  // is held; mutex_ -> fanout_mutex_ is the only nesting order.
-  mutable std::mutex fanout_mutex_;
-  std::vector<Subscriber> subscribers_;
-  std::vector<ElementSink*> output_sinks_;
+  // is held; mutex_ -> fanout_mutex_ is the only nesting order (see
+  // DESIGN.md "Lock order"), declared so the analysis' -beta lock-order
+  // checks can verify it.
+  mutable Mutex fanout_mutex_ LM_ACQUIRED_AFTER(mutex_);
+  std::vector<Subscriber> subscribers_ LM_GUARDED_BY(fanout_mutex_);
+  std::vector<ElementSink*> output_sinks_ LM_GUARDED_BY(fanout_mutex_);
 
   // Cached instrument handles (obs/metrics.h); see docs/OBSERVABILITY.md.
   obs::Counter* rx_bytes_metric_;

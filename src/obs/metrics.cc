@@ -192,7 +192,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Instrument& inst = instruments_[name];
   if (inst.counter == nullptr) {
     LM_CHECK(inst.gauge == nullptr && inst.histogram == nullptr);
@@ -203,7 +203,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Instrument& inst = instruments_[name];
   if (inst.gauge == nullptr) {
     LM_CHECK(inst.counter == nullptr && inst.histogram == nullptr);
@@ -214,7 +214,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Instrument& inst = instruments_[name];
   if (inst.histogram == nullptr) {
     LM_CHECK(inst.counter == nullptr && inst.gauge == nullptr);
@@ -225,7 +225,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   MetricsSnapshot snap;
   snap.entries.reserve(instruments_.size());
   // std::map iterates in name order, which is the snapshot's sort contract.

@@ -28,10 +28,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace lmerge {
 
@@ -241,8 +243,10 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Instrument> instruments_;
+  // Cold path only (instrument registration + snapshots); hot-path updates
+  // go through the returned instrument pointers, which are lock-free.
+  mutable Mutex mutex_;
+  std::map<std::string, Instrument> instruments_ LM_GUARDED_BY(mutex_);
 };
 
 // --- Wire form (STATS frames, net/protocol.h) ---

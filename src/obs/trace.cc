@@ -15,7 +15,7 @@ TraceRecorder& TraceRecorder::Global() {
 TraceRecorder::Ring* TraceRecorder::RingForThisThread() {
   thread_local Ring* ring = nullptr;
   if (ring == nullptr) {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    MutexLock lock(registry_mutex_);
     ring = new Ring(next_tid_++);
     rings_.push_back(ring);
   }
@@ -25,7 +25,7 @@ TraceRecorder::Ring* TraceRecorder::RingForThisThread() {
 void TraceRecorder::Record(const char* name, const char* category,
                            int64_t start_us, int64_t duration_us) {
   Ring* ring = RingForThisThread();
-  std::lock_guard<std::mutex> lock(ring->mutex);
+  MutexLock lock(ring->mutex);
   TraceEvent& slot = ring->events[ring->next];
   slot.name = name;
   slot.category = category;
@@ -42,9 +42,9 @@ std::string TraceRecorder::DumpChromeTraceJson() const {
   // any ring mutex longer than a memcpy.
   std::vector<TraceEvent> events;
   {
-    std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+    MutexLock registry_lock(registry_mutex_);
     for (Ring* ring : rings_) {
-      std::lock_guard<std::mutex> ring_lock(ring->mutex);
+      MutexLock ring_lock(ring->mutex);
       const size_t start =
           ring->count < kTraceRingCapacity ? 0 : ring->next;
       for (size_t i = 0; i < ring->count; ++i) {
@@ -80,9 +80,9 @@ std::string TraceRecorder::DumpChromeTraceJson() const {
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  MutexLock registry_lock(registry_mutex_);
   for (Ring* ring : rings_) {
-    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    MutexLock ring_lock(ring->mutex);
     ring->next = 0;
     ring->count = 0;
   }

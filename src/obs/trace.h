@@ -23,9 +23,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 #ifndef LMERGE_TRACING_ENABLED
 #define LMERGE_TRACING_ENABLED 1
@@ -85,11 +87,11 @@ class TraceRecorder {
     }
     // Guards the ring against a concurrent dump; uncontended in steady
     // state, so the fast path is one cheap lock on the thread's own mutex.
-    std::mutex mutex;
-    std::vector<TraceEvent> events;
-    size_t next = 0;
-    size_t count = 0;  // saturates at capacity
-    int tid;
+    Mutex mutex;
+    std::vector<TraceEvent> events LM_GUARDED_BY(mutex);
+    size_t next LM_GUARDED_BY(mutex) = 0;
+    size_t count LM_GUARDED_BY(mutex) = 0;  // saturates at capacity
+    const int tid;  // immutable after construction
   };
 
   TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
@@ -100,9 +102,11 @@ class TraceRecorder {
   std::atomic<int64_t> recorded_{0};
   const std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex registry_mutex_;
-  std::vector<Ring*> rings_;  // owned; leaked with the recorder
-  int next_tid_ = 0;
+  mutable Mutex registry_mutex_;
+  // Owned; leaked with the recorder.  The vector is guarded; each pointed-to
+  // Ring carries its own lock.
+  std::vector<Ring*> rings_ LM_GUARDED_BY(registry_mutex_);
+  int next_tid_ LM_GUARDED_BY(registry_mutex_) = 0;
 };
 
 // RAII span: measures construction→destruction and records it.

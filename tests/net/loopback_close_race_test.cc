@@ -1,0 +1,64 @@
+// Regression test for a data race the thread-safety conversion surfaced:
+// LoopbackConnection::closed_ was a plain bool written by Close() on the
+// server's session-teardown thread while the peer's transport thread read
+// it through closed() and set it from TryReceive().  It is now a
+// std::atomic<bool>; this test drives exactly that write/read overlap so
+// the TSan job (see .github/workflows/ci.yml) would flag a reintroduction.
+
+#include "net/loopback.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "gtest/gtest.h"
+
+namespace lmerge::net {
+namespace {
+
+TEST(LoopbackCloseRaceTest, ConcurrentCloseAndClosedPolling) {
+  constexpr int kRounds = 200;
+  for (int round = 0; round < kRounds; ++round) {
+    auto [client, server] = CreateLoopbackPair("client", "server");
+
+    std::atomic<bool> observed_closed{false};
+    // Transport-thread side: poll closed() and drain TryReceive on the
+    // server endpoint, exactly like MergeServer's session loop does
+    // between frames.
+    std::thread poller([&] {
+      std::string sink;
+      while (!server->closed()) {
+        ASSERT_TRUE(server->TryReceive(&sink).ok());
+      }
+      observed_closed.store(true);
+    });
+    // Teardown side: CloseSession runs on a different thread and closes
+    // the SAME endpoint the transport thread is polling — this is the
+    // write/read overlap on closed_ that used to race.
+    std::thread closer([&] { server->Close(); });
+
+    closer.join();
+    poller.join();
+    EXPECT_TRUE(observed_closed.load());
+
+    // After the close, sends on either end must fail cleanly rather than
+    // buffer into a dead pipe.
+    EXPECT_FALSE(client->Send("x", 1).ok());
+  }
+}
+
+TEST(LoopbackCloseRaceTest, CloseWakesBlockedReceiveAsCleanEof) {
+  auto [client, server] = CreateLoopbackPair("client", "server");
+  char buffer[16];
+  size_t received = 999;
+  std::thread reader([&] {
+    ASSERT_TRUE(server->Receive(buffer, sizeof(buffer), &received).ok());
+  });
+  client->Close();
+  reader.join();
+  EXPECT_EQ(received, 0u);  // closed with nothing buffered: clean EOF
+}
+
+}  // namespace
+}  // namespace lmerge::net

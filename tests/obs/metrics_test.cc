@@ -64,7 +64,9 @@ TEST(MetricsTest, BucketIndexIsMonotoneAndBounded) {
       // Past the top of the representable range the next bound overflows
       // (negative); only check buckets whose successor is representable.
       const int64_t next = HistogramBucketLowerBound(index + 1);
-      if (next >= 0) EXPECT_GT(next, v);
+      if (next >= 0) {
+        EXPECT_GT(next, v);
+      }
     }
     previous = index;
   }

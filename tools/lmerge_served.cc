@@ -22,12 +22,11 @@
 // process-wide kill switch, the A/B baseline for overhead measurements.
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <fstream>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.h"
 #include "core/merge_policy.h"
 #include "net/server.h"
 #include "net/tcp.h"
@@ -119,27 +118,26 @@ int main(int argc, char** argv) {
   // Periodic metrics snapshots: one thread, woken early on shutdown.  Each
   // tick is a live (non-quiescing) registry snapshot — exactness comes from
   // the final post-drain snapshot written below.
-  std::mutex metrics_mutex;
-  std::condition_variable metrics_cv;
-  bool metrics_stop = false;
+  Mutex metrics_mutex;
+  CondVar metrics_cv;
+  bool metrics_stop = false;  // guarded by metrics_mutex
   std::thread metrics_thread;
   if (metrics_interval > 0) {
     metrics_thread = std::thread([&] {
-      std::unique_lock<std::mutex> lock(metrics_mutex);
+      MutexLock lock(metrics_mutex);
       while (!metrics_stop) {
-        if (metrics_cv.wait_for(lock,
-                                std::chrono::seconds(metrics_interval),
-                                [&] { return metrics_stop; })) {
-          break;
-        }
-        lock.unlock();
+        // Timed park; a spurious wake just emits one snapshot early.
+        (void)metrics_cv.WaitFor(lock,
+                                 std::chrono::seconds(metrics_interval));
+        if (metrics_stop) break;
+        lock.Unlock();
         const std::string json = server.MetricsSnapshot().ToJson();
         if (!metrics_path.empty()) {
           WriteTextFile(metrics_path, json);
         } else {
           std::fprintf(stderr, "[lmerge_served] metrics %s\n", json.c_str());
         }
-        lock.lock();
+        lock.Lock();
       }
     });
   }
@@ -161,10 +159,10 @@ int main(int argc, char** argv) {
 
   if (metrics_thread.joinable()) {
     {
-      std::lock_guard<std::mutex> lock(metrics_mutex);
+      MutexLock lock(metrics_mutex);
       metrics_stop = true;
     }
-    metrics_cv.notify_all();
+    metrics_cv.NotifyAll();
     metrics_thread.join();
   }
 

@@ -199,6 +199,8 @@ int main(int argc, char** argv) {
                             row.stables_in);
     }
   }
+  // Best effort: the polling loop already rendered every snapshot; a
+  // failed goodbye cannot change the exit code.
   (void)monitor.Finish("done");
   return 0;
 }
