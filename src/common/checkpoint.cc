@@ -1,0 +1,162 @@
+#include "common/checkpoint.h"
+
+#include "common/check.h"
+
+namespace lmerge {
+
+namespace {
+
+// Reads and validates the magic + version prefix shared by all formats.
+Status ReadHeader(Decoder* decoder, uint32_t* version) {
+  uint32_t magic = 0;
+  Status status = decoder->ReadU32(&magic);
+  if (!status.ok()) return status;
+  if (magic != kCheckpointMagic) {
+    return Status::InvalidArgument("not a checkpoint (bad magic)");
+  }
+  status = decoder->ReadU32(version);
+  if (!status.ok()) return status;
+  if (*version != kCheckpointVersionV1 && *version != kCheckpointVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(*version));
+  }
+  return Status::Ok();
+}
+
+// Reads the v2 sections following the header.  Any output may be null when
+// the caller does not need it.
+Status ReadV2Sections(Decoder* decoder, uint8_t* flags_out,
+                      std::string* cut_certificate, std::string* pool_section,
+                      std::string* body) {
+  uint8_t flags = 0;
+  Status status = decoder->ReadU8(&flags);
+  if (!status.ok()) return status;
+  if ((flags & ~kCheckpointFlagCutCertificate) != 0) {
+    return Status::InvalidArgument("unknown checkpoint flags " +
+                                   std::to_string(flags));
+  }
+  if (flags_out != nullptr) *flags_out = flags;
+  std::string cut;
+  if ((flags & kCheckpointFlagCutCertificate) != 0) {
+    if (!(status = decoder->ReadString(&cut)).ok()) return status;
+  }
+  if (cut_certificate != nullptr) *cut_certificate = std::move(cut);
+  std::string pool;
+  if (!(status = decoder->ReadString(&pool)).ok()) return status;
+  if (pool_section != nullptr) *pool_section = std::move(pool);
+  std::string state;
+  if (!(status = decoder->ReadString(&state)).ok()) return status;
+  if (body != nullptr) *body = std::move(state);
+  if (!decoder->AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after checkpoint");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string SaveCheckpoint(const Checkpointable& target, uint32_t version,
+                           const std::string& cut_certificate) {
+  LM_CHECK(version == kCheckpointVersionV1 || version == kCheckpointVersion);
+  if (version == kCheckpointVersionV1) {
+    LM_CHECK(cut_certificate.empty());
+    Encoder encoder;
+    encoder.WriteU32(kCheckpointMagic);
+    encoder.WriteU32(kCheckpointVersionV1);
+    target.SaveState(&encoder);
+    return encoder.TakeBytes();
+  }
+  // Two-phase encode: the body first (interning payloads into the pool as
+  // WriteRowRef encounters them), then the assembled blob with the pool
+  // section ahead of the body so restore can resolve references in one pass.
+  RowPoolEncoder pool;
+  Encoder body;
+  body.set_row_pool(&pool);
+  target.SaveState(&body);
+  Encoder pool_section;
+  pool.EncodeTo(&pool_section);
+
+  Encoder out;
+  out.Reserve(body.bytes().size() + pool_section.bytes().size() + 32);
+  out.WriteU32(kCheckpointMagic);
+  out.WriteU32(kCheckpointVersion);
+  const uint8_t flags =
+      cut_certificate.empty() ? 0 : kCheckpointFlagCutCertificate;
+  out.WriteU8(flags);
+  if (!cut_certificate.empty()) out.WriteString(cut_certificate);
+  out.WriteString(pool_section.bytes());
+  out.WriteString(body.bytes());
+  return out.TakeBytes();
+}
+
+Status LoadCheckpoint(const std::string& bytes, Checkpointable* target,
+                      std::string* cut_certificate) {
+  if (cut_certificate != nullptr) cut_certificate->clear();
+  Decoder decoder(bytes);
+  uint32_t version = 0;
+  Status status = ReadHeader(&decoder, &version);
+  if (!status.ok()) return status;
+
+  if (version == kCheckpointVersionV1) {
+    status = target->RestoreState(&decoder);
+    if (!status.ok()) return status;
+    if (!decoder.AtEnd()) {
+      return Status::InvalidArgument("trailing bytes after checkpoint");
+    }
+    return Status::Ok();
+  }
+
+  std::string pool_section;
+  std::string body;
+  status = ReadV2Sections(&decoder, nullptr, cut_certificate, &pool_section,
+                          &body);
+  if (!status.ok()) return status;
+
+  RowPoolDecoder pool;
+  {
+    Decoder pool_decoder(pool_section);
+    status = pool.DecodeFrom(&pool_decoder);
+    if (!status.ok()) return status;
+    if (!pool_decoder.AtEnd()) {
+      return Status::InvalidArgument("trailing bytes after row pool");
+    }
+  }
+  Decoder body_decoder(body);
+  body_decoder.set_row_pool(&pool);
+  status = target->RestoreState(&body_decoder);
+  if (!status.ok()) return status;
+  if (!body_decoder.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after checkpoint");
+  }
+  return Status::Ok();
+}
+
+Status InspectCheckpoint(const std::string& bytes, CheckpointInfo* info) {
+  *info = CheckpointInfo();
+  info->total_bytes = bytes.size();
+  Decoder decoder(bytes);
+  Status status = ReadHeader(&decoder, &info->version);
+  if (!status.ok()) return status;
+
+  if (info->version == kCheckpointVersionV1) {
+    info->body_bytes = decoder.remaining();
+    return Status::Ok();
+  }
+
+  std::string cut;
+  std::string pool_section;
+  std::string body;
+  status = ReadV2Sections(&decoder, &info->flags, &cut, &pool_section, &body);
+  if (!status.ok()) return status;
+  info->cut_certificate_bytes = cut.size();
+  info->cut_certificate = std::move(cut);
+  info->pool_bytes = pool_section.size();
+  info->body_bytes = body.size();
+
+  Decoder pool_decoder(pool_section);
+  status = pool_decoder.ReadU32(&info->pool_entries);
+  if (!status.ok()) return status;
+  return Status::Ok();
+}
+
+}  // namespace lmerge

@@ -2,9 +2,22 @@
 //
 // Backs query jumpstart and cutover (Sec. II-4/5): a running query's
 // operator state is serialized, shipped (e.g., to a new machine in a cloud
-// migration), and restored into a fresh instance that continues exactly
-// where the original stood.  Checkpoints carry a magic and version so stale
-// or foreign blobs are rejected rather than misinterpreted.
+// migration or to a hot standby over the wire), and restored into a fresh
+// instance that continues exactly where the original stood.  Checkpoints
+// carry a magic and version so stale or foreign blobs are rejected rather
+// than misinterpreted.
+//
+// Format v1:  u32 magic, u32 version, SaveState bytes (payload rows inline
+//             per index entry).
+// Format v2:  u32 magic, u32 version, u8 flags,
+//             [string cut_certificate]   (iff flags bit 0)
+//             string pool_section        (u32 count, rows in id order)
+//             string body                (SaveState bytes with WriteRowRef
+//                                         emitting u32 pool references)
+// v2 writes each distinct interned rep exactly once: index entries carry
+// 4-byte references into the pool section instead of a full row each — the
+// shared-ledger ratio of BENCH_state_bytes.json, applied to snapshots.
+// Both versions load; SaveCheckpoint can still emit v1 for old consumers.
 
 #ifndef LMERGE_COMMON_CHECKPOINT_H_
 #define LMERGE_COMMON_CHECKPOINT_H_
@@ -28,41 +41,40 @@ class Checkpointable {
 };
 
 inline constexpr uint32_t kCheckpointMagic = 0x4c4d4347;  // "LMCG"
-inline constexpr uint32_t kCheckpointVersion = 1;
+inline constexpr uint32_t kCheckpointVersionV1 = 1;
+inline constexpr uint32_t kCheckpointVersion = 2;
 
-// Wraps SaveState with a header.
-inline std::string SaveCheckpoint(const Checkpointable& target) {
-  Encoder encoder;
-  encoder.WriteU32(kCheckpointMagic);
-  encoder.WriteU32(kCheckpointVersion);
-  target.SaveState(&encoder);
-  return encoder.TakeBytes();
-}
+// v2 flags byte: bit 0 marks an embedded cut-certificate section (the
+// replication subsystem's virtual-cut descriptor, src/replica/).
+inline constexpr uint8_t kCheckpointFlagCutCertificate = 1u << 0;
 
-// Verifies the header and restores.
-inline Status LoadCheckpoint(const std::string& bytes,
-                             Checkpointable* target) {
-  Decoder decoder(bytes);
-  uint32_t magic = 0;
+// Wraps SaveState with a header.  `version` selects the format;
+// `cut_certificate`, when non-empty, is embedded as an opaque section
+// (v2 only — the caller must not pass one with a v1 version).
+std::string SaveCheckpoint(const Checkpointable& target,
+                           uint32_t version = kCheckpointVersion,
+                           const std::string& cut_certificate = std::string());
+
+// Verifies the header and restores either format.  When `cut_certificate`
+// is non-null it receives the embedded section (empty if absent).
+Status LoadCheckpoint(const std::string& bytes, Checkpointable* target,
+                      std::string* cut_certificate = nullptr);
+
+// Parsed header and section sizes of a checkpoint blob, computed without
+// restoring any state — what `lmerge_inspect --checkpoint` prints.
+struct CheckpointInfo {
   uint32_t version = 0;
-  Status status = decoder.ReadU32(&magic);
-  if (!status.ok()) return status;
-  if (magic != kCheckpointMagic) {
-    return Status::InvalidArgument("not a checkpoint (bad magic)");
-  }
-  status = decoder.ReadU32(&version);
-  if (!status.ok()) return status;
-  if (version != kCheckpointVersion) {
-    return Status::InvalidArgument("unsupported checkpoint version " +
-                                   std::to_string(version));
-  }
-  status = target->RestoreState(&decoder);
-  if (!status.ok()) return status;
-  if (!decoder.AtEnd()) {
-    return Status::InvalidArgument("trailing bytes after checkpoint");
-  }
-  return Status::Ok();
-}
+  uint8_t flags = 0;
+  size_t total_bytes = 0;
+  size_t cut_certificate_bytes = 0;  // embedded cut cert section (v2)
+  size_t pool_bytes = 0;             // payload pool section (v2; 0 for v1)
+  size_t body_bytes = 0;             // SaveState body
+  uint32_t pool_entries = 0;         // distinct pooled payload reps (v2)
+  // The embedded cut-certificate section verbatim (empty when absent), so
+  // inspectors can decode it without restoring any operator state.
+  std::string cut_certificate;
+};
+Status InspectCheckpoint(const std::string& bytes, CheckpointInfo* info);
 
 }  // namespace lmerge
 

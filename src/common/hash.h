@@ -42,6 +42,14 @@ inline uint64_t HashString(std::string_view s) {
   return HashBytes(s.data(), s.size());
 }
 
+// Identity (pointer-equality) hash for interned rep pointers; shared by the
+// payload ledger, the wire payload dictionary, and the checkpoint row pool.
+struct PointerIdentityHash {
+  uint64_t operator()(const void* p) const {
+    return Mix64(reinterpret_cast<uint64_t>(p));
+  }
+};
+
 }  // namespace lmerge
 
 #endif  // LMERGE_COMMON_HASH_H_

@@ -22,11 +22,9 @@
 
 namespace lmerge {
 
-struct PayloadIdentityHash {
-  uint64_t operator()(const void* p) const {
-    return Mix64(reinterpret_cast<uint64_t>(p));
-  }
-};
+// Historical name; the functor itself lives in common/hash.h so serde's
+// checkpoint row pool can share it without depending on the ledger.
+using PayloadIdentityHash = PointerIdentityHash;
 
 class SharedPayloadLedger {
  public:

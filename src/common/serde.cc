@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/check.h"
+
 namespace lmerge {
 
 void Encoder::WriteU32(uint32_t v) {
@@ -148,6 +150,70 @@ Status Decoder::ReadValue(Value* value) {
     }
   }
   return Status::InvalidArgument("unknown value tag " + std::to_string(tag));
+}
+
+void Encoder::WriteRowRef(const Row& row) {
+  if (row_pool_ == nullptr) {
+    WriteRow(row);
+    return;
+  }
+  if (row.identity() == nullptr) {
+    WriteU32(kInlineRowRef);
+    WriteRow(row);
+    return;
+  }
+  WriteU32(row_pool_->Intern(row));
+}
+
+Status Decoder::ReadRowRef(Row* row) {
+  if (row_pool_ == nullptr) return ReadRow(row);
+  uint32_t id = 0;
+  Status status = ReadU32(&id);
+  if (!status.ok()) return status;
+  if (id == kInlineRowRef) return ReadRow(row);
+  return row_pool_->Resolve(id, row);
+}
+
+uint32_t RowPoolEncoder::Intern(const Row& row) {
+  LM_DCHECK(row.identity() != nullptr);
+  const auto [id, inserted] =
+      ids_.Insert(row.identity(), static_cast<uint32_t>(rows_.size()));
+  if (inserted) rows_.push_back(row);
+  return *id;
+}
+
+void RowPoolEncoder::EncodeTo(Encoder* encoder) const {
+  encoder->WriteU32(static_cast<uint32_t>(rows_.size()));
+  for (const Row& row : rows_) encoder->WriteRow(row);
+}
+
+Status RowPoolDecoder::DecodeFrom(Decoder* decoder) {
+  uint32_t count = 0;
+  Status status = decoder->ReadU32(&count);
+  if (!status.ok()) return status;
+  // Each pooled row takes at least its 4-byte field count; reject counts
+  // the buffer cannot hold (hostile-input bound).
+  if (count > decoder->remaining() / 4 + 1) {
+    return Status::InvalidArgument("row pool count exceeds buffer");
+  }
+  rows_.clear();
+  rows_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Row row;
+    status = decoder->ReadRow(&row);
+    if (!status.ok()) return status;
+    rows_.push_back(std::move(row));
+  }
+  return Status::Ok();
+}
+
+Status RowPoolDecoder::Resolve(uint32_t id, Row* row) const {
+  if (id >= rows_.size()) {
+    return Status::InvalidArgument("row pool reference " + std::to_string(id) +
+                                   " out of range");
+  }
+  *row = rows_[id];
+  return Status::Ok();
 }
 
 Status Decoder::ReadRow(Row* row) {

@@ -17,12 +17,21 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/row.h"
 #include "common/status.h"
 #include "common/timestamp.h"
 #include "common/value.h"
+#include "container/hash_table.h"
 
 namespace lmerge {
+
+class RowPoolEncoder;
+class RowPoolDecoder;
+
+// Sentinel id on the wire for a row written inline after the reference
+// (rows without a rep identity — the empty row — cannot be pooled).
+inline constexpr uint32_t kInlineRowRef = 0xffffffffu;
 
 // An append-only byte buffer with typed writers.
 class Encoder {
@@ -41,11 +50,21 @@ class Encoder {
   void WriteValue(const Value& value);
   void WriteRow(const Row& row);
 
+  // Pooled row references (checkpoint format v2): with a pool attached,
+  // WriteRowRef emits a u32 — the row's pool id, or kInlineRowRef followed
+  // by the row inline when it has no rep identity.  Each distinct rep is
+  // then serialized exactly once, in the pool section, no matter how many
+  // index entries reference it.  Without a pool it degrades to WriteRow,
+  // so the same SaveState code produces the v1 encoding unchanged.
+  void set_row_pool(RowPoolEncoder* pool) { row_pool_ = pool; }
+  void WriteRowRef(const Row& row);
+
   const std::string& bytes() const { return bytes_; }
   std::string TakeBytes() { return std::move(bytes_); }
 
  private:
   std::string bytes_;
+  RowPoolEncoder* row_pool_ = nullptr;
 };
 
 // A bounds-checked reader over a byte span.
@@ -67,6 +86,12 @@ class Decoder {
   Status ReadValue(Value* value);
   Status ReadRow(Row* row);
 
+  // Counterpart of Encoder::WriteRowRef.  With a pool attached, resolves
+  // u32 references against it (kInlineRowRef reads the row inline); without
+  // one it degrades to ReadRow, matching the poolless encoding.
+  void set_row_pool(const RowPoolDecoder* pool) { row_pool_ = pool; }
+  Status ReadRowRef(Row* row);
+
   bool AtEnd() const { return offset_ == bytes_.size(); }
   size_t remaining() const { return bytes_.size() - offset_; }
 
@@ -75,6 +100,40 @@ class Decoder {
 
   const std::string& bytes_;
   size_t offset_ = 0;
+  const RowPoolDecoder* row_pool_ = nullptr;
+};
+
+// Deduplicating row pool for WriteRowRef.  Intern() keys on the rep
+// identity (pointer equality, like the payload ledger) and holds a Row
+// handle per entry so reps stay alive until the pool is encoded.
+class RowPoolEncoder {
+ public:
+  // Returns the pool id for `row`, interning it on first sight.  The row
+  // must have a rep identity (callers route identity-less rows inline).
+  uint32_t Intern(const Row& row);
+
+  int64_t entries() const { return static_cast<int64_t>(rows_.size()); }
+
+  // The pool section: u32 entry count, then each row inline in id order.
+  void EncodeTo(Encoder* encoder) const;
+
+ private:
+  HashTable<const void*, uint32_t, PointerIdentityHash> ids_;
+  std::vector<Row> rows_;
+};
+
+class RowPoolDecoder {
+ public:
+  // Parses a pool section as written by RowPoolEncoder::EncodeTo.
+  Status DecodeFrom(Decoder* decoder);
+
+  // Resolves a pool id from a row reference; fails on out-of-range ids.
+  Status Resolve(uint32_t id, Row* row) const;
+
+  int64_t entries() const { return static_cast<int64_t>(rows_.size()); }
+
+ private:
+  std::vector<Row> rows_;
 };
 
 }  // namespace lmerge

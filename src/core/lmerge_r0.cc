@@ -64,4 +64,21 @@ Status LMergeR0::ValidateElement(const StreamElement& element) const {
   return Status::Ok();
 }
 
+void LMergeR0::SaveState(Encoder* encoder) const {
+  encoder->WriteU32(static_cast<uint32_t>(stream_count()));
+  encoder->WriteI64(max_stable_);
+  encoder->WriteI64(max_vs_);
+}
+
+Status LMergeR0::RestoreState(Decoder* decoder) {
+  uint32_t streams = 0;
+  Status status = decoder->ReadU32(&streams);
+  if (!status.ok()) return status;
+  while (stream_count() < static_cast<int>(streams)) {
+    MergeAlgorithm::AddStream();
+  }
+  if (!(status = decoder->ReadI64(&max_stable_)).ok()) return status;
+  return decoder->ReadI64(&max_vs_);
+}
+
 }  // namespace lmerge

@@ -6,11 +6,12 @@
 #ifndef LMERGE_CORE_LMERGE_R0_H_
 #define LMERGE_CORE_LMERGE_R0_H_
 
+#include "common/checkpoint.h"
 #include "core/merge_algorithm.h"
 
 namespace lmerge {
 
-class LMergeR0 : public MergeAlgorithm {
+class LMergeR0 : public MergeAlgorithm, public Checkpointable {
  public:
   LMergeR0(int num_streams, ElementSink* sink)
       : MergeAlgorithm(num_streams, sink) {}
@@ -30,6 +31,10 @@ class LMergeR0 : public MergeAlgorithm {
   int64_t StateBytes() const override {
     return static_cast<int64_t>(sizeof(*this));
   }
+
+  Checkpointable* checkpointable() override { return this; }
+  void SaveState(Encoder* encoder) const override;
+  Status RestoreState(Decoder* decoder) override;
 
   Timestamp max_vs() const { return max_vs_; }
 

@@ -10,11 +10,12 @@
 
 #include <vector>
 
+#include "common/checkpoint.h"
 #include "core/merge_algorithm.h"
 
 namespace lmerge {
 
-class LMergeR1 : public MergeAlgorithm {
+class LMergeR1 : public MergeAlgorithm, public Checkpointable {
  public:
   LMergeR1(int num_streams, ElementSink* sink)
       : MergeAlgorithm(num_streams, sink),
@@ -35,6 +36,18 @@ class LMergeR1 : public MergeAlgorithm {
     same_vs_count_.push_back(0);
     return MergeAlgorithm::AddStream();
   }
+
+  // A stream continuing the snapshot's own output has, by definition,
+  // already presented every element emitted for the current Vs.
+  Status AdoptOutputView(int stream) override {
+    LM_DCHECK(stream >= 0 && stream < stream_count());
+    same_vs_count_[static_cast<size_t>(stream)] = max_count_;
+    return Status::Ok();
+  }
+
+  Checkpointable* checkpointable() override { return this; }
+  void SaveState(Encoder* encoder) const override;
+  Status RestoreState(Decoder* decoder) override;
 
   int64_t StateBytes() const override {
     return static_cast<int64_t>(sizeof(*this)) +

@@ -37,4 +37,39 @@ void LMergeR2::OnStable(int stream, Timestamp t) {
   }
 }
 
+void LMergeR2::SaveState(Encoder* encoder) const {
+  encoder->WriteU32(static_cast<uint32_t>(stream_count()));
+  encoder->WriteI64(max_stable_);
+  encoder->WriteI64(max_vs_);
+  encoder->WriteU32(static_cast<uint32_t>(seen_.size()));
+  seen_.ForEach([encoder](const Row& payload, char) {
+    encoder->WriteRowRef(payload);
+  });
+}
+
+Status LMergeR2::RestoreState(Decoder* decoder) {
+  uint32_t streams = 0;
+  Status status = decoder->ReadU32(&streams);
+  if (!status.ok()) return status;
+  while (stream_count() < static_cast<int>(streams)) {
+    MergeAlgorithm::AddStream();
+  }
+  if (!(status = decoder->ReadI64(&max_stable_)).ok()) return status;
+  if (!(status = decoder->ReadI64(&max_vs_)).ok()) return status;
+  uint32_t count = 0;
+  if (!(status = decoder->ReadU32(&count)).ok()) return status;
+  if (count > decoder->remaining() / 4 + 1) {
+    return Status::InvalidArgument("seen-set count exceeds buffer");
+  }
+  seen_.Clear();
+  payload_bytes_ = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    Row payload;
+    if (!(status = decoder->ReadRowRef(&payload)).ok()) return status;
+    const auto [unused, inserted] = seen_.Insert(payload, 0);
+    if (inserted) payload_bytes_ += payload.DeepSizeBytes();
+  }
+  return Status::Ok();
+}
+
 }  // namespace lmerge

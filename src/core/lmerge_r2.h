@@ -10,12 +10,13 @@
 #ifndef LMERGE_CORE_LMERGE_R2_H_
 #define LMERGE_CORE_LMERGE_R2_H_
 
+#include "common/checkpoint.h"
 #include "container/hash_table.h"
 #include "core/merge_algorithm.h"
 
 namespace lmerge {
 
-class LMergeR2 : public MergeAlgorithm {
+class LMergeR2 : public MergeAlgorithm, public Checkpointable {
  public:
   LMergeR2(int num_streams, ElementSink* sink)
       : MergeAlgorithm(num_streams, sink) {}
@@ -38,6 +39,10 @@ class LMergeR2 : public MergeAlgorithm {
     return static_cast<int64_t>(sizeof(*this)) + seen_.SlotBytes() +
            payload_bytes_;
   }
+
+  Checkpointable* checkpointable() override { return this; }
+  void SaveState(Encoder* encoder) const override;
+  Status RestoreState(Decoder* decoder) override;
 
   Timestamp max_vs() const { return max_vs_; }
 

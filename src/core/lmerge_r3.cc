@@ -191,6 +191,24 @@ Status LMergeR3::ValidateElement(const StreamElement& element) const {
   return Status::Ok();
 }
 
+Status LMergeR3::AdoptOutputView(int stream) {
+  LM_DCHECK(stream >= 0 && stream < stream_count());
+  // The adopting stream continues the snapshot's output: every node the
+  // output has emitted is viewed by the new stream at the output's Ve.
+  // Nodes without an output entry stay absent for the stream too — the
+  // output never presented them.
+  for (auto it = index_.begin(); it != index_.end(); ++it) {
+    In2t::EndTable& ends = it.value();
+    const Timestamp* out_ptr = ends.Find(kOutputStream);
+    if (out_ptr != nullptr) {
+      const Timestamp out_ve = *out_ptr;
+      *ends.Insert(stream, out_ve).first = out_ve;
+    }
+    RefreshNode(it);
+  }
+  return Status::Ok();
+}
+
 int LMergeR3::AddStream() {
   last_stable_.push_back(kMinTimestamp);
   const int id = MergeAlgorithm::AddStream();
@@ -281,7 +299,7 @@ void LMergeR3::SaveState(Encoder* encoder) const {
   encoder->WriteU32(static_cast<uint32_t>(index_.node_count()));
   for (auto it = index_.begin(); it != index_.end(); ++it) {
     encoder->WriteI64(it.key().vs);
-    encoder->WriteRow(it.key().payload);
+    encoder->WriteRowRef(it.key().payload);
     encoder->WriteU32(static_cast<uint32_t>(it.value().size()));
     it.value().ForEach([encoder](int32_t stream, Timestamp ve) {
       encoder->WriteU32(static_cast<uint32_t>(stream));
@@ -310,7 +328,7 @@ Status LMergeR3::RestoreState(Decoder* decoder) {
     int64_t vs = 0;
     Row payload;
     if (!(status = decoder->ReadI64(&vs)).ok()) return status;
-    if (!(status = decoder->ReadRow(&payload)).ok()) return status;
+    if (!(status = decoder->ReadRowRef(&payload)).ok()) return status;
     In2t::Iterator node = index_.AddNode(vs, payload);
     uint32_t entries = 0;
     if (!(status = decoder->ReadU32(&entries)).ok()) return status;

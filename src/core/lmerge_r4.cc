@@ -162,6 +162,27 @@ Status LMergeR4::ValidateElement(const StreamElement& element) const {
   return Status::Ok();
 }
 
+Status LMergeR4::AdoptOutputView(int stream) {
+  LM_DCHECK(stream >= 0 && stream < stream_count());
+  // The adopting stream continues the snapshot's output: it holds a copy of
+  // the output's Ve multiset at every node.  Nodes with no (or an empty)
+  // output entry stay empty for the stream too.
+  for (auto it = index_.begin(); it != index_.end(); ++it) {
+    In3t::EndsTable& ends = it.value();
+    const VeMultiset* out = ends.Find(kOutputStream);
+    if (out != nullptr && !out->empty()) {
+      VeMultiset copy;
+      out->ForEach([&copy](Timestamp ve, int64_t count) {
+        copy.Increment(ve, count);
+      });
+      // Insert may displace `out`; the copy is built before it runs.
+      ends.Insert(stream, std::move(copy));
+    }
+    RefreshNode(it);
+  }
+  return Status::Ok();
+}
+
 int LMergeR4::AddStream() {
   const int id = MergeAlgorithm::AddStream();
   // The joiner holds the empty multiset everywhere: every node whose output
@@ -319,7 +340,7 @@ void LMergeR4::SaveState(Encoder* encoder) const {
   encoder->WriteU32(static_cast<uint32_t>(index_.node_count()));
   for (auto it = index_.begin(); it != index_.end(); ++it) {
     encoder->WriteI64(it.key().vs);
-    encoder->WriteRow(it.key().payload);
+    encoder->WriteRowRef(it.key().payload);
     encoder->WriteU32(static_cast<uint32_t>(it.value().size()));
     it.value().ForEach([encoder](int32_t stream, const VeMultiset& ends) {
       encoder->WriteU32(static_cast<uint32_t>(stream));
@@ -350,7 +371,7 @@ Status LMergeR4::RestoreState(Decoder* decoder) {
     int64_t vs = 0;
     Row payload;
     if (!(status = decoder->ReadI64(&vs)).ok()) return status;
-    if (!(status = decoder->ReadRow(&payload)).ok()) return status;
+    if (!(status = decoder->ReadRowRef(&payload)).ok()) return status;
     In3t::Iterator node = index_.AddNode(vs, payload);
     uint32_t entries = 0;
     if (!(status = decoder->ReadU32(&entries)).ok()) return status;

@@ -45,6 +45,7 @@ class LMergeR4 : public MergeAlgorithm, public Checkpointable {
   Status ValidateElement(const StreamElement& element) const override;
 
   int AddStream() override;
+  Status AdoptOutputView(int stream) override;
 
   int64_t StateBytes() const override {
     return static_cast<int64_t>(sizeof(*this)) + index_.StateBytes();

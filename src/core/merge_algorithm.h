@@ -143,6 +143,21 @@ class MergeAlgorithm {
     active_[static_cast<size_t>(stream)] = false;
   }
 
+  // Seeds stream `stream`'s per-input view from the output's own view.  The
+  // merged output is itself a valid physical presentation (Sec. II-4/5), so
+  // a replica that restores a checkpoint and then consumes the original's
+  // merged output as an input must treat that input as the *continuation*
+  // of the snapshot's output stream: wherever the snapshot recorded an
+  // output-side view, the feed stream implicitly stands at the same view —
+  // not at the empty one, which would make the first stable() retract
+  // still-alive pre-cut events.  Default: nothing to seed (algorithms whose
+  // state carries no per-stream views).
+  virtual Status AdoptOutputView(int stream) {
+    LM_DCHECK(stream >= 0 && stream < stream_count());
+    (void)stream;
+    return Status::Ok();
+  }
+
   int stream_count() const { return static_cast<int>(active_.size()); }
   bool stream_active(int stream) const {
     return active_[static_cast<size_t>(stream)];

@@ -2,9 +2,6 @@
 
 namespace lmerge::net {
 
-namespace {
-
-// Blocks on `connection` until `assembler` yields a frame, EOF, or error.
 Status ReceiveFrame(Connection* connection, FrameAssembler* assembler,
                     Frame* frame) {
   while (true) {
@@ -23,8 +20,6 @@ Status ReceiveFrame(Connection* connection, FrameAssembler* assembler,
     if (!status.ok()) return status;
   }
 }
-
-}  // namespace
 
 PublisherClient::PublisherClient(std::unique_ptr<Connection> connection)
     : connection_(std::move(connection)) {

@@ -15,6 +15,12 @@
 
 namespace lmerge::net {
 
+// Blocks on `connection` until `assembler` yields a frame, EOF, or error.
+// The building block of every client below, exported for sessions with
+// bespoke frame flows (the standby replica's checkpoint transfer).
+Status ReceiveFrame(Connection* connection, FrameAssembler* assembler,
+                    Frame* frame);
+
 // One redundant input replica (Sec. II-2).  Usage:
 //   PublisherClient pub(std::move(connection));
 //   pub.Handshake(properties, join_time, "replica-a", &welcome);

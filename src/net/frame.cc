@@ -26,13 +26,19 @@ const char* FrameTypeName(FrameType type) {
       return "STATS_REQUEST";
     case FrameType::kStatsResponse:
       return "STATS_RESPONSE";
+    case FrameType::kCheckpointRequest:
+      return "CHECKPOINT_REQUEST";
+    case FrameType::kCheckpointChunk:
+      return "CHECKPOINT_CHUNK";
+    case FrameType::kCutCert:
+      return "CUT_CERT";
   }
   return "UNKNOWN";
 }
 
 bool IsKnownFrameType(uint8_t tag) {
   return tag >= static_cast<uint8_t>(FrameType::kHello) &&
-         tag <= static_cast<uint8_t>(FrameType::kStatsResponse);
+         tag <= static_cast<uint8_t>(FrameType::kCutCert);
 }
 
 void AppendFrame(FrameType type, const std::string& payload,

@@ -38,6 +38,12 @@ enum class FrameType : uint8_t {
   // connected peer polls the server's metrics registry over the session.
   kStatsRequest = 9,   // client -> server: ask for a stats snapshot
   kStatsResponse = 10, // server -> client: server state + metrics snapshot
+  // Protocol v4 replication (docs/REPLICATION.md): a standby subscribes,
+  // streams the primary's checkpoint under live traffic, and replays its
+  // feed from the certified cut.
+  kCheckpointRequest = 11,  // standby -> server: ask for checkpoint + cut
+  kCheckpointChunk = 12,    // server -> standby: one checkpoint blob chunk
+  kCutCert = 13,            // server -> standby: cut certificate + framing
 };
 
 const char* FrameTypeName(FrameType type);

@@ -31,6 +31,8 @@ const char* PeerRoleName(PeerRole role) {
       return "subscriber";
     case PeerRole::kMonitor:
       return "monitor";
+    case PeerRole::kStandby:
+      return "standby";
   }
   return "unknown";
 }
@@ -72,7 +74,7 @@ Status DecodeHello(const std::string& payload, HelloMessage* hello) {
   uint8_t bits = 0;
   if (!(status = decoder.ReadU32(&hello->version)).ok()) return status;
   if (!(status = decoder.ReadU8(&role)).ok()) return status;
-  if (role > static_cast<uint8_t>(PeerRole::kMonitor)) {
+  if (role > static_cast<uint8_t>(PeerRole::kStandby)) {
     return Status::InvalidArgument("unknown peer role " +
                                    std::to_string(role));
   }
@@ -281,6 +283,65 @@ Status DecodeStatsResponse(const std::string& payload,
   if (!(status = obs::DecodeMetricsSnapshot(&decoder, &stats->metrics))
            .ok()) {
     return status;
+  }
+  return FinishDecode(decoder);
+}
+
+std::string EncodeCheckpointRequestFrame() {
+  return EncodeFrame(FrameType::kCheckpointRequest, std::string());
+}
+
+Status DecodeCheckpointRequest(const std::string& payload) {
+  if (!payload.empty()) {
+    return Status::InvalidArgument("CHECKPOINT_REQUEST carries no payload");
+  }
+  return Status::Ok();
+}
+
+std::string EncodeCheckpointChunkFrame(const CheckpointChunkMessage& chunk) {
+  Encoder encoder;
+  encoder.Reserve(chunk.bytes.size() + 16);
+  encoder.WriteU32(chunk.index);
+  encoder.WriteString(chunk.bytes);
+  return EncodeFrame(FrameType::kCheckpointChunk, encoder.TakeBytes());
+}
+
+Status DecodeCheckpointChunk(const std::string& payload,
+                             CheckpointChunkMessage* chunk) {
+  Decoder decoder(payload);
+  Status status;
+  if (!(status = decoder.ReadU32(&chunk->index)).ok()) return status;
+  if (!(status = decoder.ReadString(&chunk->bytes)).ok()) return status;
+  return FinishDecode(decoder);
+}
+
+std::string EncodeCutCertFrame(const CutCertMessage& cut) {
+  Encoder encoder;
+  encoder.WriteU8(cut.has_state ? 1 : 0);
+  encoder.WriteU64(cut.checkpoint_bytes);
+  encoder.WriteU32(cut.chunk_count);
+  replica::EncodeCutCertificate(cut.cert, &encoder);
+  return EncodeFrame(FrameType::kCutCert, encoder.TakeBytes());
+}
+
+Status DecodeCutCert(const std::string& payload, CutCertMessage* cut) {
+  Decoder decoder(payload);
+  Status status;
+  uint8_t has_state = 0;
+  if (!(status = decoder.ReadU8(&has_state)).ok()) return status;
+  cut->has_state = has_state != 0;
+  if (!(status = decoder.ReadU64(&cut->checkpoint_bytes)).ok()) return status;
+  if (!(status = decoder.ReadU32(&cut->chunk_count)).ok()) return status;
+  if (!(status = replica::DecodeCutCertificate(&decoder, &cut->cert)).ok()) {
+    return status;
+  }
+  if (!cut->has_state && (cut->checkpoint_bytes != 0 || cut->chunk_count != 0)) {
+    return Status::InvalidArgument(
+        "CUT_CERT announces chunks without checkpoint state");
+  }
+  if (cut->checkpoint_bytes >
+      static_cast<uint64_t>(cut->chunk_count) * kMaxFramePayload) {
+    return Status::InvalidArgument("CUT_CERT checkpoint size exceeds chunks");
   }
   return FinishDecode(decoder);
 }

@@ -16,13 +16,18 @@
 //   ELEMENTS_DICT  one EncodeSequenceDict payload (v2)
 //   STATS_REQUEST  (empty)              (v3; poll the server's stats)
 //   STATS_RESPONSE server summary + per-input table + metrics snapshot (v3)
+//   CHECKPOINT_REQUEST  (empty)         (v4; standby asks for a snapshot)
+//   CHECKPOINT_CHUNK    u32 index, string bytes (v4; one blob chunk)
+//   CUT_CERT       u8 has_state, u64 checkpoint_bytes, u32 chunk_count,
+//                  cut certificate (src/replica/cut_certificate.h)   (v4)
 //
 // Version negotiation: HELLO carries the client's highest supported
 // version; WELCOME answers with min(client, server).  The negotiated
 // version governs the session: dictionary frames (PAYLOAD_DEF /
 // ELEMENTS_DICT) may only be sent on v2 sessions; STATS frames and the
-// monitor role require v3.  v1 peers keep the inline ELEMENTS encoding and
-// v2 peers never see a STATS frame, so old and new binaries interoperate.
+// monitor role require v3; CHECKPOINT_* / CUT_CERT frames and the standby
+// role require v4.  v1 peers keep the inline ELEMENTS encoding and v2
+// peers never see a STATS frame, so old and new binaries interoperate.
 //
 // Every Decode* consumes exactly one message and rejects trailing bytes, so
 // a frame is either a whole valid message or a Status error.
@@ -40,20 +45,31 @@
 #include "net/frame.h"
 #include "obs/metrics.h"
 #include "properties/properties.h"
+#include "replica/cut_certificate.h"
 #include "stream/element.h"
 #include "stream/element_serde.h"
 
 namespace lmerge::net {
 
 // v2 added the session payload dictionary (PAYLOAD_DEF / ELEMENTS_DICT);
-// v3 added STATS_REQUEST / STATS_RESPONSE and the monitor role.
-inline constexpr uint32_t kProtocolVersion = 3;
+// v3 added STATS_REQUEST / STATS_RESPONSE and the monitor role;
+// v4 added CHECKPOINT_REQUEST / CHECKPOINT_CHUNK / CUT_CERT and the standby
+// role (docs/REPLICATION.md).
+inline constexpr uint32_t kProtocolVersion = 4;
 // Oldest version this build still speaks (inline-only encoding).
 inline constexpr uint32_t kMinProtocolVersion = 1;
 // First version allowed to carry dictionary frames.
 inline constexpr uint32_t kPayloadDictVersion = 2;
 // First version allowed to carry STATS frames (and the monitor role).
 inline constexpr uint32_t kStatsVersion = 3;
+// First version allowed to carry CHECKPOINT_* / CUT_CERT frames (and the
+// standby role).
+inline constexpr uint32_t kReplicationVersion = 4;
+
+// Checkpoint blobs are streamed in chunks of this size so live ELEMENT
+// fan-out interleaves with the transfer instead of stalling behind one
+// multi-megabyte frame.
+inline constexpr size_t kCheckpointChunkBytes = 256 * 1024;
 
 // WELCOME algorithm_case value when the server has not yet instantiated a
 // merge algorithm (no publisher has connected).
@@ -65,6 +81,9 @@ enum class PeerRole : uint8_t {
   // v3: observes stats only — no elements flow in either direction, so a
   // dashboard never competes with subscribers for fan-out bandwidth.
   kMonitor = 2,
+  // v4: a subscriber that may additionally request the server's checkpoint
+  // and cut certificate to jumpstart a hot replica (docs/REPLICATION.md).
+  kStandby = 3,
 };
 
 const char* PeerRoleName(PeerRole role);
@@ -120,6 +139,28 @@ struct StatsInputRow {
   Timestamp stable_point = kMinTimestamp;
 };
 
+// One chunk of a checkpoint blob in flight to a standby.  Chunks carry a
+// dense index so reassembly can verify none was lost or reordered.
+struct CheckpointChunkMessage {
+  uint32_t index = 0;
+  std::string bytes;
+};
+
+// Answer to CHECKPOINT_REQUEST, sent *before* the chunks: the cut
+// certificate plus the framing the standby needs to reassemble the blob.
+// The certificate is also embedded in the blob itself (checkpoint v2 flags
+// bit 0); the wire copy lets the standby validate the transfer and learn
+// its dedup horizon without waiting for the last chunk.
+struct CutCertMessage {
+  // False when the server has no checkpointable state to offer (no
+  // algorithm yet, or a variant without snapshot support); no chunks follow
+  // and the standby simply subscribes from scratch.
+  bool has_state = false;
+  uint64_t checkpoint_bytes = 0;
+  uint32_t chunk_count = 0;
+  replica::CutCertificate cert;
+};
+
 struct StatsResponseMessage {
   uint8_t algorithm_case = kUnknownAlgorithmCase;
   Timestamp output_stable = kMinTimestamp;
@@ -142,6 +183,9 @@ std::string EncodeByeFrame(const ByeMessage& bye);
 std::string EncodePayloadDefFrame(const PayloadDefMessage& def);
 std::string EncodeStatsRequestFrame();
 std::string EncodeStatsResponseFrame(const StatsResponseMessage& stats);
+std::string EncodeCheckpointRequestFrame();
+std::string EncodeCheckpointChunkFrame(const CheckpointChunkMessage& chunk);
+std::string EncodeCutCertFrame(const CutCertMessage& cut);
 
 // Dictionary-encodes `elements` against `dict`, emitting any PAYLOAD_DEF
 // frames for newly seen payloads followed by one ELEMENTS_DICT frame —
@@ -167,6 +211,10 @@ Status DecodeElementsDictPayload(const std::string& payload,
 Status DecodeStatsRequest(const std::string& payload);
 Status DecodeStatsResponse(const std::string& payload,
                            StatsResponseMessage* stats);
+Status DecodeCheckpointRequest(const std::string& payload);
+Status DecodeCheckpointChunk(const std::string& payload,
+                             CheckpointChunkMessage* chunk);
+Status DecodeCutCert(const std::string& payload, CutCertMessage* cut);
 
 }  // namespace lmerge::net
 

@@ -24,6 +24,11 @@ MergeServer::MergeServer(MergeServerOptions options)
   tx_feedback_metric_ = registry.GetCounter("net.tx.feedback.frames");
   decode_errors_metric_ = registry.GetCounter("net.decode_errors");
   stats_requests_metric_ = registry.GetCounter("net.stats_requests");
+  checkpoint_requests_metric_ =
+      registry.GetCounter("net.checkpoint.requests");
+  checkpoint_tx_bytes_metric_ = registry.GetCounter("net.checkpoint.tx.bytes");
+  checkpoint_tx_chunks_metric_ =
+      registry.GetCounter("net.checkpoint.tx.chunks");
 }
 
 MergeServer::~MergeServer() {
@@ -64,6 +69,7 @@ void MergeServer::FanOutSink::OnElement(const StreamElement& element) {
       server->tx_fanout_frames_metric_->Increment();
       server->tx_fanout_bytes_metric_->Add(
           static_cast<int64_t>(frame_bytes));
+      ++it->elements_sent;
       ++it;
     } else {
       // A dead subscriber must not take the merge down: unregister it here;
@@ -206,6 +212,16 @@ Status MergeServer::HandleFrameLocked(Session& session, const Frame& frame) {
       return session.connection->Send(
           EncodeStatsResponseFrame(BuildStatsResponseLocked()));
     }
+    case FrameType::kCheckpointRequest: {
+      if (session.state != SessionState::kStandby) {
+        return Status::FailedPrecondition(
+            "CHECKPOINT_REQUEST from a non-standby session");
+      }
+      Status status = DecodeCheckpointRequest(frame.payload);
+      if (!status.ok()) return status;
+      checkpoint_requests_metric_->Increment();
+      return SendCheckpointLocked(session);
+    }
     case FrameType::kBye: {
       ByeMessage bye;
       // Best effort: a BYE that fails to decode just yields an empty
@@ -218,6 +234,8 @@ Status MergeServer::HandleFrameLocked(Session& session, const Frame& frame) {
     case FrameType::kWelcome:
     case FrameType::kFeedback:
     case FrameType::kStatsResponse:
+    case FrameType::kCheckpointChunk:
+    case FrameType::kCutCert:
       return Status::FailedPrecondition(
           std::string("client sent server-only frame ") +
           FrameTypeName(frame.type));
@@ -231,6 +249,7 @@ Status MergeServer::EnsureAlgorithmLocked(const StreamProperties& first) {
       options_.variant.has_value()
           ? *options_.variant
           : VariantForCase(ChooseAlgorithm(first));
+  variant_ = variant;
   algorithm_ =
       CreateMergeAlgorithm(variant, /*num_streams=*/1, &fan_out_,
                            options_.policy);
@@ -272,13 +291,21 @@ Status MergeServer::HandleHelloLocked(Session& session, const HelloMessage& hell
     }
     session.state = SessionState::kMonitor;
     welcome.stream_id = -1;
+  } else if (hello.role == PeerRole::kStandby) {
+    // Like monitors, the standby role post-dates its version gate: a
+    // pre-v4 HELLO carrying it is a protocol violation.
+    if (session.version < kReplicationVersion) {
+      return Status::InvalidArgument("standby role requires protocol v4");
+    }
+    session.state = SessionState::kStandby;
+    welcome.stream_id = -1;
   } else if (hello.role == PeerRole::kSubscriber) {
     session.state = SessionState::kSubscriber;
     welcome.stream_id = -1;
   } else {
     Status status = EnsureAlgorithmLocked(hello.properties);
     if (!status.ok()) return status;
-    if (publishers_seen_ == 0) {
+    if (publishers_seen_ == 0 && !adopted_) {
       // First publisher occupies the stream the algorithm was born with.
       session.stream_id = 0;
     } else {
@@ -297,6 +324,20 @@ Status MergeServer::HandleHelloLocked(Session& session, const HelloMessage& hell
       }
       met_properties_ = met;
       session.stream_id = merger_->AddStream();
+      if (adopt_output_pending_) {
+        // Standby jumpstart: this first post-restore stream carries the
+        // dead primary's merged output, i.e. the continuation of the
+        // snapshot's own output stream — seed its per-input views from the
+        // output's (docs/REPLICATION.md).  On the merge thread, through
+        // captured raw pointers: the lambda is analyzed lock-free.
+        adopt_output_pending_ = false;
+        MergeAlgorithm* algorithm = algorithm_.get();
+        const int stream = session.stream_id;
+        Status adopt_status = Status::Ok();
+        merger_->CallOnMergeThread(
+            [&] { adopt_status = algorithm->AdoptOutputView(stream); });
+        if (!adopt_status.ok()) return adopt_status;
+      }
     }
     session.state = SessionState::kPublisher;
     session.declared = hello.properties;
@@ -320,7 +361,8 @@ Status MergeServer::HandleHelloLocked(Session& session, const HelloMessage& hell
                      TimestampToString(session.join_time));
   }
   const Status sent = session.connection->Send(EncodeWelcomeFrame(welcome));
-  if (sent.ok() && session.state == SessionState::kSubscriber) {
+  if (sent.ok() && (session.state == SessionState::kSubscriber ||
+                    session.state == SessionState::kStandby)) {
     // Register only after the WELCOME is on the wire, so the subscriber
     // never sees merged output ahead of its handshake response.
     Subscriber subscriber;
@@ -335,6 +377,134 @@ Status MergeServer::HandleHelloLocked(Session& session, const HelloMessage& hell
     subscribers_.push_back(std::move(subscriber));
   }
   return sent;
+}
+
+Status MergeServer::SendCheckpointLocked(Session& session) {
+  CutCertMessage cut;
+  std::string blob;
+  if (algorithm_ != nullptr) {
+    // Snapshot on the merge thread: between two elements, so the state, the
+    // per-input frontiers, and the subscription's sent count all describe
+    // the SAME cut.  The lambda is analyzed lock-free (its own function):
+    // it reaches everything through captured raw pointers/copies, and the
+    // only lock it takes is the leaf fanout_mutex_ — which the merge thread
+    // already takes for every fan-out, never while holding another lock.
+    MergeAlgorithm* algorithm = algorithm_.get();
+    MergeServer* server = this;
+    const MergeVariant variant = variant_;
+    const MergePolicy policy = options_.policy;
+    const int session_id = session.id;
+    merger_->CallOnMergeThread([&, algorithm, server, variant, policy,
+                                session_id] {
+      Checkpointable* checkpointable = algorithm->checkpointable();
+      if (checkpointable == nullptr) return;  // variant without snapshots
+      cut.has_state = true;
+      cut.cert.variant = variant;
+      cut.cert.policy = policy;
+      cut.cert.output_stable = algorithm->max_stable();
+      const std::vector<PerInputStats>& per_input =
+          algorithm->per_input_stats();
+      cut.cert.inputs.reserve(per_input.size());
+      for (size_t s = 0; s < per_input.size(); ++s) {
+        replica::CutInputState in;
+        in.stream_id = static_cast<int32_t>(s);
+        in.active = algorithm->stream_active(static_cast<int>(s));
+        in.stable_point = per_input[s].stable_point;
+        in.elements_in = per_input[s].elements_in();
+        cut.cert.inputs.push_back(in);
+      }
+      {
+        MutexLock fanout_lock(server->fanout_mutex_);
+        for (const Subscriber& subscriber : server->subscribers_) {
+          if (subscriber.session_id == session_id) {
+            cut.cert.elements_sent_at_cut = subscriber.elements_sent;
+            break;
+          }
+        }
+      }
+      blob = SaveCheckpoint(*checkpointable, kCheckpointVersion,
+                            replica::SerializeCutCertificate(cut.cert));
+    });
+  }
+  cut.checkpoint_bytes = blob.size();
+  cut.chunk_count = static_cast<uint32_t>(
+      (blob.size() + kCheckpointChunkBytes - 1) / kCheckpointChunkBytes);
+  // CUT_CERT and every chunk go out under fanout_mutex_ so the merge
+  // thread's live ELEMENT fan-out interleaves between frames, never inside
+  // one (mutex_ -> fanout_mutex_ is the declared lock order).
+  Status sent;
+  {
+    MutexLock fanout_lock(fanout_mutex_);
+    sent = session.connection->Send(EncodeCutCertFrame(cut));
+  }
+  if (!sent.ok()) return sent;
+  for (uint32_t i = 0; i < cut.chunk_count; ++i) {
+    CheckpointChunkMessage chunk;
+    chunk.index = i;
+    chunk.bytes = blob.substr(
+        static_cast<size_t>(i) * kCheckpointChunkBytes, kCheckpointChunkBytes);
+    checkpoint_tx_chunks_metric_->Increment();
+    checkpoint_tx_bytes_metric_->Add(static_cast<int64_t>(chunk.bytes.size()));
+    MutexLock fanout_lock(fanout_mutex_);
+    sent = session.connection->Send(EncodeCheckpointChunkFrame(chunk));
+    if (!sent.ok()) return sent;
+  }
+  if (options_.verbose) {
+    Log(session, "checkpoint sent: " + std::to_string(blob.size()) +
+                     " bytes in " + std::to_string(cut.chunk_count) +
+                     " chunks");
+  }
+  return Status::Ok();
+}
+
+Status MergeServer::AdoptCheckpoint(const std::string& blob,
+                                    const replica::CutCertificate& cert) {
+  MutexLock lock(mutex_);
+  if (algorithm_ != nullptr || publishers_seen_ > 0) {
+    return Status::FailedPrecondition(
+        "AdoptCheckpoint on a server that is already merging");
+  }
+  std::unique_ptr<MergeAlgorithm> algorithm = CreateMergeAlgorithm(
+      cert.variant, /*num_streams=*/1, &fan_out_, cert.policy);
+  Checkpointable* checkpointable = algorithm->checkpointable();
+  if (checkpointable == nullptr) {
+    return Status::InvalidArgument(
+        std::string("variant ") + MergeVariantName(cert.variant) +
+        " does not support checkpoints");
+  }
+  // No merge thread exists yet, so restoring directly is race-free; the
+  // merger constructed below sizes its rings and seeds its stable point
+  // from the restored state.
+  Status status = LoadCheckpoint(blob, checkpointable);
+  if (!status.ok()) return status;
+  if (algorithm->max_stable() != cert.output_stable) {
+    return Status::InvalidArgument(
+        "checkpoint stable point " + TimestampToString(algorithm->max_stable()) +
+        " does not match cut certificate " +
+        TimestampToString(cert.output_stable));
+  }
+  // The snapshot's input streams belong to the primary's publishers, which
+  // this server will never hear from; detach them all.  The feed stream
+  // (the primary's merged output) joins as a NEW stream and adopts the
+  // output's views on its first HELLO.
+  for (int s = 0; s < algorithm->stream_count(); ++s) {
+    if (algorithm->stream_active(s)) algorithm->RemoveStream(s);
+  }
+  // Pin variant + policy so later publishers cannot re-select an algorithm
+  // incompatible with the restored state.
+  options_.variant = cert.variant;
+  options_.policy = cert.policy;
+  variant_ = cert.variant;
+  algorithm_ = std::move(algorithm);
+  ConcurrentMergerOptions merger_options;
+  merger_options.ring_capacity = options_.ring_capacity;
+  merger_options.max_batch = options_.max_batch;
+  merger_ = std::make_unique<ConcurrentMerger>(algorithm_.get(),
+                                               std::move(merger_options));
+  last_output_stable_ = merger_->max_stable();
+  adopted_ = true;
+  adopt_output_pending_ = true;
+  return Status::Ok();
 }
 
 Status MergeServer::DeliverElementLocked(Session& session,
@@ -433,7 +603,8 @@ void MergeServer::CloseSessionLocked(Session& session, const std::string& reason
     merger_->RemoveStream(session.stream_id);
     --active_publishers_;
   }
-  if (session.state == SessionState::kSubscriber) {
+  if (session.state == SessionState::kSubscriber ||
+      session.state == SessionState::kStandby) {
     MutexLock fanout_lock(fanout_mutex_);
     std::erase_if(subscribers_, [&](const Subscriber& s) {
       return s.session_id == session.id;
@@ -486,7 +657,10 @@ int MergeServer::subscriber_count() const {
   MutexLock lock(mutex_);
   int n = 0;
   for (const auto& [id, session] : sessions_) {
-    n += session.state == SessionState::kSubscriber ? 1 : 0;
+    n += session.state == SessionState::kSubscriber ||
+                 session.state == SessionState::kStandby
+             ? 1
+             : 0;
   }
   return n;
 }
@@ -555,7 +729,10 @@ StatsResponseMessage MergeServer::BuildStatsResponseLocked() {
   }
   for (const auto& [id, session] : sessions_) {
     if (session.state == SessionState::kPublisher) ++stats.publishers;
-    if (session.state == SessionState::kSubscriber) ++stats.subscribers;
+    if (session.state == SessionState::kSubscriber ||
+        session.state == SessionState::kStandby) {
+      ++stats.subscribers;
+    }
   }
   stats.metrics = MetricsSnapshotLocked();
   if (merger_ != nullptr) {

@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "common/checkpoint.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "core/factory.h"
@@ -132,12 +133,24 @@ class MergeServer {
   // serializes.  Same liveness caveat as StatsSnapshot().
   obs::MetricsSnapshot MetricsSnapshot();
 
+  // Seeds this server from another server's checkpoint: reconstructs the
+  // certified variant + policy, restores the blob into it, detaches the
+  // snapshot's input streams (their publishers live on the dead primary),
+  // and starts the merger on the restored state.  The first publisher to
+  // connect afterwards additionally adopts the snapshot's *output* views
+  // (MergeAlgorithm::AdoptOutputView) — the standby jumpstart wiring, which
+  // feeds the primary's merged output in as that first stream
+  // (docs/REPLICATION.md).  Must be called before any publisher connects.
+  Status AdoptCheckpoint(const std::string& blob,
+                         const replica::CutCertificate& cert);
+
  private:
   enum class SessionState {
     kAwaitHello,
     kPublisher,
     kSubscriber,
     kMonitor,
+    kStandby,
     kClosed,
   };
 
@@ -184,6 +197,9 @@ class MergeServer {
     // Outbound payload dictionary, one per v2 subscriber (ids are session
     // scoped).  Guarded by fanout_mutex_ like the registry itself.
     std::unique_ptr<PayloadDictEncoder> dict;
+    // Output elements successfully sent on this subscription; the standby's
+    // dedup horizon when a cut certificate is taken mid-stream.
+    int64_t elements_sent = 0;
   };
 
   // Session-lock protocol: every `...Locked()` method runs with mutex_
@@ -207,6 +223,10 @@ class MergeServer {
   // Instantiates algorithm + merger for the first publisher.
   Status EnsureAlgorithmLocked(const StreamProperties& first_properties)
       LM_REQUIRES(mutex_);
+  // Snapshots the merge state on the merge thread (a consistent cut between
+  // elements), then streams CUT_CERT + CHECKPOINT_CHUNK frames to the
+  // standby session's connection.
+  Status SendCheckpointLocked(Session& session) LM_REQUIRES(mutex_);
   // Sends BYE (best effort) and releases the session's resources.
   void CloseSessionLocked(Session& session, const std::string& reason,
                           bool send_bye) LM_REQUIRES(mutex_);
@@ -238,6 +258,12 @@ class MergeServer {
   int publishers_seen_ LM_GUARDED_BY(mutex_) = 0;
   int active_publishers_ LM_GUARDED_BY(mutex_) = 0;
   Timestamp last_output_stable_ LM_GUARDED_BY(mutex_) = kMinTimestamp;
+  // Variant actually instantiated (what a cut certificate must certify).
+  MergeVariant variant_ LM_GUARDED_BY(mutex_) = MergeVariant::kLMR4;
+  // Set by AdoptCheckpoint: the algorithm was restored from a snapshot, and
+  // the next publisher stream must adopt the snapshot's output views.
+  bool adopted_ LM_GUARDED_BY(mutex_) = false;
+  bool adopt_output_pending_ LM_GUARDED_BY(mutex_) = false;
 
   // Fan-out registry, shared between session threads (register/unregister)
   // and the merge thread (emit).  Leaf lock: nothing is acquired while it
@@ -256,6 +282,9 @@ class MergeServer {
   obs::Counter* tx_feedback_metric_;
   obs::Counter* decode_errors_metric_;
   obs::Counter* stats_requests_metric_;
+  obs::Counter* checkpoint_requests_metric_;
+  obs::Counter* checkpoint_tx_bytes_metric_;
+  obs::Counter* checkpoint_tx_chunks_metric_;
 };
 
 // Drives a MergeServer from a Listener: accepts connections, spawns one

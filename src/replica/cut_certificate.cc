@@ -1,0 +1,111 @@
+#include "replica/cut_certificate.h"
+
+namespace lmerge::replica {
+
+namespace {
+
+// Encoded size of one CutInputState: u32 + u8 + i64 + i64.
+constexpr size_t kInputStateBytes = 21;
+
+bool ValidVariant(uint8_t v) {
+  return v <= static_cast<uint8_t>(MergeVariant::kCounting);
+}
+
+}  // namespace
+
+void EncodeCutCertificate(const CutCertificate& cert, Encoder* encoder) {
+  encoder->WriteU8(static_cast<uint8_t>(cert.variant));
+  encoder->WriteU8(static_cast<uint8_t>(cert.policy.adjust_policy));
+  encoder->WriteU8(static_cast<uint8_t>(cert.policy.insert_policy));
+  encoder->WriteDouble(cert.policy.insert_fraction);
+  encoder->WriteI64(cert.policy.stable_lag);
+  encoder->WriteU8(cert.policy.r4_exact_match ? 1 : 0);
+  encoder->WriteI64(cert.output_stable);
+  encoder->WriteI64(cert.elements_sent_at_cut);
+  encoder->WriteU32(static_cast<uint32_t>(cert.inputs.size()));
+  for (const CutInputState& in : cert.inputs) {
+    encoder->WriteU32(static_cast<uint32_t>(in.stream_id));
+    encoder->WriteU8(in.active ? 1 : 0);
+    encoder->WriteI64(in.stable_point);
+    encoder->WriteI64(in.elements_in);
+  }
+}
+
+Status DecodeCutCertificate(Decoder* decoder, CutCertificate* cert) {
+  *cert = CutCertificate();
+  uint8_t variant = 0;
+  Status status = decoder->ReadU8(&variant);
+  if (!status.ok()) return status;
+  if (!ValidVariant(variant)) {
+    return Status::InvalidArgument("unknown merge variant " +
+                                   std::to_string(variant));
+  }
+  cert->variant = static_cast<MergeVariant>(variant);
+  uint8_t adjust = 0;
+  if (!(status = decoder->ReadU8(&adjust)).ok()) return status;
+  if (adjust > static_cast<uint8_t>(AdjustPolicy::kEager)) {
+    return Status::InvalidArgument("unknown adjust policy " +
+                                   std::to_string(adjust));
+  }
+  cert->policy.adjust_policy = static_cast<AdjustPolicy>(adjust);
+  uint8_t insert = 0;
+  if (!(status = decoder->ReadU8(&insert)).ok()) return status;
+  if (insert > static_cast<uint8_t>(InsertPolicy::kFractionThreshold)) {
+    return Status::InvalidArgument("unknown insert policy " +
+                                   std::to_string(insert));
+  }
+  cert->policy.insert_policy = static_cast<InsertPolicy>(insert);
+  if (!(status = decoder->ReadDouble(&cert->policy.insert_fraction)).ok()) {
+    return status;
+  }
+  if (!(status = decoder->ReadI64(&cert->policy.stable_lag)).ok()) {
+    return status;
+  }
+  uint8_t exact = 0;
+  if (!(status = decoder->ReadU8(&exact)).ok()) return status;
+  cert->policy.r4_exact_match = exact != 0;
+  if (!(status = decoder->ReadI64(&cert->output_stable)).ok()) return status;
+  if (!(status = decoder->ReadI64(&cert->elements_sent_at_cut)).ok()) {
+    return status;
+  }
+  if (cert->elements_sent_at_cut < 0) {
+    return Status::InvalidArgument("negative elements_sent_at_cut");
+  }
+  uint32_t count = 0;
+  if (!(status = decoder->ReadU32(&count)).ok()) return status;
+  if (count > decoder->remaining() / kInputStateBytes + 1) {
+    return Status::InvalidArgument("cut certificate input count too large");
+  }
+  cert->inputs.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    CutInputState in;
+    uint32_t stream = 0;
+    if (!(status = decoder->ReadU32(&stream)).ok()) return status;
+    in.stream_id = static_cast<int32_t>(stream);
+    uint8_t active = 0;
+    if (!(status = decoder->ReadU8(&active)).ok()) return status;
+    in.active = active != 0;
+    if (!(status = decoder->ReadI64(&in.stable_point)).ok()) return status;
+    if (!(status = decoder->ReadI64(&in.elements_in)).ok()) return status;
+    cert->inputs.push_back(in);
+  }
+  return Status::Ok();
+}
+
+std::string SerializeCutCertificate(const CutCertificate& cert) {
+  Encoder encoder;
+  EncodeCutCertificate(cert, &encoder);
+  return encoder.TakeBytes();
+}
+
+Status ParseCutCertificate(const std::string& bytes, CutCertificate* cert) {
+  Decoder decoder(bytes);
+  Status status = DecodeCutCertificate(&decoder, cert);
+  if (!status.ok()) return status;
+  if (!decoder.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after cut certificate");
+  }
+  return Status::Ok();
+}
+
+}  // namespace lmerge::replica

@@ -1,0 +1,68 @@
+// CutCertificate: the descriptor of the virtual cut at which a standby's
+// checkpoint was taken (docs/REPLICATION.md).
+//
+// A primary serving a standby snapshots its merge state on the merge thread,
+// between two elements — a consistent cut.  The certificate pins that cut:
+// which algorithm variant and policy the state belongs to, the output stable
+// point at the cut, how many output elements the requesting standby's
+// subscription had been sent when the cut was taken (its dedup horizon for
+// replaying the live feed), and each input's delivered frontier.  Because
+// the merged output is itself a valid physical presentation of the same TDB
+// (Sec. II-4/5), the standby can treat the primary's post-cut output as one
+// more input stream and continue the merge from the restored state.
+//
+// The certificate is embedded in checkpoint v2 blobs (flags bit 0) and sent
+// on the wire inside the CUT_CERT frame; both use the same encoding.
+
+#ifndef LMERGE_REPLICA_CUT_CERTIFICATE_H_
+#define LMERGE_REPLICA_CUT_CERTIFICATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/status.h"
+#include "common/timestamp.h"
+#include "core/factory.h"
+#include "core/merge_policy.h"
+
+namespace lmerge::replica {
+
+// One input stream's position at the cut, as the primary delivered it.
+struct CutInputState {
+  int32_t stream_id = 0;
+  bool active = false;
+  // Highest stable point the input had announced (kMinTimestamp if none).
+  Timestamp stable_point = kMinTimestamp;
+  // Elements the merge had consumed from this input (inserts + adjusts +
+  // stables).
+  int64_t elements_in = 0;
+};
+
+struct CutCertificate {
+  // What the checkpointed state is: the standby must reconstruct the same
+  // algorithm with the same policy or the state bytes are meaningless.
+  MergeVariant variant = MergeVariant::kLMR4;
+  MergePolicy policy;
+  // Output stable point at the cut == restored algorithm's max_stable().
+  Timestamp output_stable = kMinTimestamp;
+  // Output elements already sent to the requesting standby's subscription
+  // when the cut was taken.  The standby skips exactly this many elements
+  // of its live feed: everything before is covered by the state, everything
+  // after is the post-cut continuation.
+  int64_t elements_sent_at_cut = 0;
+  std::vector<CutInputState> inputs;
+};
+
+void EncodeCutCertificate(const CutCertificate& cert, Encoder* encoder);
+Status DecodeCutCertificate(Decoder* decoder, CutCertificate* cert);
+
+// Whole-buffer forms (the checkpoint's embedded section and the CUT_CERT
+// frame body both hold exactly one certificate).
+std::string SerializeCutCertificate(const CutCertificate& cert);
+Status ParseCutCertificate(const std::string& bytes, CutCertificate* cert);
+
+}  // namespace lmerge::replica
+
+#endif  // LMERGE_REPLICA_CUT_CERTIFICATE_H_

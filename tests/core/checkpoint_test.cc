@@ -6,9 +6,13 @@
 #include <gtest/gtest.h>
 
 #include "core/lmerge_operator.h"
+#include "core/lmerge_r0.h"
+#include "core/lmerge_r1.h"
+#include "core/lmerge_r2.h"
 #include "core/lmerge_r3.h"
 #include "core/lmerge_r4.h"
 #include "operators/aggregate.h"
+#include "replica/cut_certificate.h"
 #include "temporal/tdb.h"
 #include "test_util.h"
 #include "workload/generator.h"
@@ -274,6 +278,241 @@ TEST(CheckpointTest, JumpstartSeedsFromCheckpointBlob) {
   }
   const Tdb out = Tdb::Reconstitute(consumer_view);
   EXPECT_EQ(out.CountOf(Event(Row::OfString("proc-1"), 100, 9000)), 1);
+}
+
+TEST(CheckpointTest, V2PoolsSharedPayloadsAtLeastTwiceSmaller) {
+  // Many index entries sharing one interned payload: v2 writes the rep once
+  // in the pool section and 4-byte references per entry, v1 writes the full
+  // row per entry.  The pooled blob must be at least 2x smaller.
+  CollectingSink sink;
+  LMergeR3 merge(2, &sink);
+  const std::string payload(64, 'p');
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(
+        merge.OnElement(0, Ins(payload, i + 1, i + 100000)).ok());
+  }
+  const std::string v2 = SaveCheckpoint(merge);
+  const std::string v1 = SaveCheckpoint(merge, kCheckpointVersionV1);
+  EXPECT_GE(v1.size(), 2 * v2.size())
+      << "v1=" << v1.size() << " bytes, v2=" << v2.size() << " bytes";
+
+  // Both formats restore to the same state.
+  CollectingSink sink_v1;
+  CollectingSink sink_v2;
+  LMergeR3 from_v1(2, &sink_v1);
+  LMergeR3 from_v2(2, &sink_v2);
+  ASSERT_TRUE(LoadCheckpoint(v1, &from_v1).ok());
+  ASSERT_TRUE(LoadCheckpoint(v2, &from_v2).ok());
+  EXPECT_EQ(from_v1.index_node_count(), merge.index_node_count());
+  EXPECT_EQ(from_v2.index_node_count(), merge.index_node_count());
+  EXPECT_EQ(from_v1.StateBytes(), from_v2.StateBytes());
+}
+
+TEST(CheckpointTest, V1FormatStillRoundTrips) {
+  // Old consumers keep working: a v1 blob (inline payloads) written by this
+  // build restores and the instance continues identically.
+  auto feed_prefix = [](LMergeR3* merge) {
+    LM_CHECK(merge->OnElement(0, Ins("A", 5, 50)).ok());
+    LM_CHECK(merge->OnElement(1, Ins("B", 7, kInfinity)).ok());
+    LM_CHECK(merge->OnElement(0, Stb(10)).ok());
+  };
+  auto feed_suffix = [](LMergeR3* merge) {
+    LM_CHECK(merge->OnElement(1, Ins("A", 5, 50)).ok());
+    LM_CHECK(merge->OnElement(0, Adj("B", 7, kInfinity, 90)).ok());
+    LM_CHECK(merge->OnElement(1, Stb(200)).ok());
+  };
+  CollectingSink reference;
+  LMergeR3 uninterrupted(2, &reference);
+  feed_prefix(&uninterrupted);
+  feed_suffix(&uninterrupted);
+
+  CollectingSink first_half;
+  LMergeR3 original(2, &first_half);
+  feed_prefix(&original);
+  const std::string blob = SaveCheckpoint(original, kCheckpointVersionV1);
+  CollectingSink second_half;
+  LMergeR3 restored(2, &second_half);
+  ASSERT_TRUE(LoadCheckpoint(blob, &restored).ok());
+  EXPECT_EQ(restored.StateBytes(), original.StateBytes());
+  feed_suffix(&restored);
+
+  ElementSequence combined = first_half.elements();
+  for (const StreamElement& e : second_half.elements()) {
+    combined.push_back(e);
+  }
+  EXPECT_EQ(combined, reference.elements());
+}
+
+TEST(CheckpointTest, EmbeddedCutCertificateRoundTrips) {
+  replica::CutCertificate cert;
+  cert.variant = MergeVariant::kLMR3Plus;
+  cert.policy = MergePolicy::Eager();
+  cert.output_stable = 123;
+  cert.elements_sent_at_cut = 42;
+  cert.inputs.push_back({0, true, 100, 17});
+  cert.inputs.push_back({1, false, kMinTimestamp, 0});
+
+  CollectingSink sink;
+  LMergeR3 merge(2, &sink);
+  ASSERT_TRUE(merge.OnElement(0, Ins("A", 5, 50)).ok());
+  const std::string blob = SaveCheckpoint(
+      merge, kCheckpointVersion, replica::SerializeCutCertificate(cert));
+
+  CollectingSink sink2;
+  LMergeR3 restored(2, &sink2);
+  std::string embedded;
+  ASSERT_TRUE(LoadCheckpoint(blob, &restored, &embedded).ok());
+  replica::CutCertificate parsed;
+  ASSERT_TRUE(replica::ParseCutCertificate(embedded, &parsed).ok());
+  EXPECT_EQ(parsed.variant, MergeVariant::kLMR3Plus);
+  EXPECT_EQ(parsed.policy.adjust_policy, AdjustPolicy::kEager);
+  EXPECT_EQ(parsed.output_stable, 123);
+  EXPECT_EQ(parsed.elements_sent_at_cut, 42);
+  ASSERT_EQ(parsed.inputs.size(), 2u);
+  EXPECT_EQ(parsed.inputs[0].stream_id, 0);
+  EXPECT_TRUE(parsed.inputs[0].active);
+  EXPECT_EQ(parsed.inputs[0].stable_point, 100);
+  EXPECT_EQ(parsed.inputs[0].elements_in, 17);
+  EXPECT_FALSE(parsed.inputs[1].active);
+}
+
+TEST(CheckpointTest, InspectReportsSectionsWithoutRestoring) {
+  replica::CutCertificate cert;
+  cert.variant = MergeVariant::kLMR3Plus;
+  cert.output_stable = 10;
+  CollectingSink sink;
+  LMergeR3 merge(1, &sink);
+  ASSERT_TRUE(merge.OnElement(0, Ins("A", 5, 50)).ok());
+  ASSERT_TRUE(merge.OnElement(0, Ins("B", 6, 60)).ok());
+  const std::string v2 = SaveCheckpoint(
+      merge, kCheckpointVersion, replica::SerializeCutCertificate(cert));
+
+  CheckpointInfo info;
+  ASSERT_TRUE(InspectCheckpoint(v2, &info).ok());
+  EXPECT_EQ(info.version, kCheckpointVersion);
+  EXPECT_EQ(info.flags, kCheckpointFlagCutCertificate);
+  EXPECT_EQ(info.total_bytes, v2.size());
+  EXPECT_EQ(info.pool_entries, 2u);
+  EXPECT_GT(info.pool_bytes, 0u);
+  EXPECT_GT(info.body_bytes, 0u);
+  replica::CutCertificate parsed;
+  ASSERT_TRUE(
+      replica::ParseCutCertificate(info.cut_certificate, &parsed).ok());
+  EXPECT_EQ(parsed.output_stable, 10);
+
+  const std::string v1 = SaveCheckpoint(merge, kCheckpointVersionV1);
+  ASSERT_TRUE(InspectCheckpoint(v1, &info).ok());
+  EXPECT_EQ(info.version, kCheckpointVersionV1);
+  EXPECT_EQ(info.pool_entries, 0u);
+  EXPECT_GT(info.body_bytes, 0u);
+  EXPECT_TRUE(info.cut_certificate.empty());
+
+  std::string bad = v2;
+  bad[0] = 'X';
+  EXPECT_FALSE(InspectCheckpoint(bad, &info).ok());
+}
+
+TEST(CheckpointTest, LMergeR0MidMergeRoundTrip) {
+  auto feed_prefix = [](LMergeR0* merge) {
+    LM_CHECK(merge->OnElement(0, Ins("A", 5, 50)).ok());
+    LM_CHECK(merge->OnElement(1, Ins("B", 7, 70)).ok());
+    LM_CHECK(merge->OnElement(0, Stb(10)).ok());
+  };
+  auto feed_suffix = [](LMergeR0* merge) {
+    LM_CHECK(merge->OnElement(1, Ins("C", 12, 80)).ok());
+    LM_CHECK(merge->OnElement(1, Stb(20)).ok());
+    LM_CHECK(merge->OnElement(0, Stb(30)).ok());
+  };
+  CollectingSink reference;
+  LMergeR0 uninterrupted(2, &reference);
+  feed_prefix(&uninterrupted);
+  feed_suffix(&uninterrupted);
+
+  CollectingSink first_half;
+  LMergeR0 original(2, &first_half);
+  feed_prefix(&original);
+  const std::string blob = SaveCheckpoint(original);
+  CollectingSink second_half;
+  LMergeR0 restored(2, &second_half);
+  ASSERT_TRUE(LoadCheckpoint(blob, &restored).ok());
+  EXPECT_EQ(restored.max_stable(), original.max_stable());
+  feed_suffix(&restored);
+
+  ElementSequence combined = first_half.elements();
+  for (const StreamElement& e : second_half.elements()) {
+    combined.push_back(e);
+  }
+  EXPECT_EQ(combined, reference.elements());
+}
+
+TEST(CheckpointTest, LMergeR1MidMergeRoundTrip) {
+  // R1's per-stream same-Vs counters must survive: the duplicate in the
+  // suffix is only absorbed if the restored counters match.
+  auto feed_prefix = [](LMergeR1* merge) {
+    LM_CHECK(merge->OnElement(0, Ins("A", 5, 50)).ok());
+    LM_CHECK(merge->OnElement(0, Ins("B", 5, 60)).ok());
+    LM_CHECK(merge->OnElement(1, Ins("A", 5, 50)).ok());
+  };
+  auto feed_suffix = [](LMergeR1* merge) {
+    LM_CHECK(merge->OnElement(1, Ins("B", 5, 60)).ok());
+    LM_CHECK(merge->OnElement(0, Stb(100)).ok());
+    LM_CHECK(merge->OnElement(1, Stb(100)).ok());
+  };
+  CollectingSink reference;
+  LMergeR1 uninterrupted(2, &reference);
+  feed_prefix(&uninterrupted);
+  feed_suffix(&uninterrupted);
+
+  CollectingSink first_half;
+  LMergeR1 original(2, &first_half);
+  feed_prefix(&original);
+  const std::string blob = SaveCheckpoint(original);
+  CollectingSink second_half;
+  LMergeR1 restored(2, &second_half);
+  ASSERT_TRUE(LoadCheckpoint(blob, &restored).ok());
+  feed_suffix(&restored);
+
+  ElementSequence combined = first_half.elements();
+  for (const StreamElement& e : second_half.elements()) {
+    combined.push_back(e);
+  }
+  EXPECT_EQ(combined, reference.elements());
+}
+
+TEST(CheckpointTest, LMergeR2MidMergeRoundTrip) {
+  // R2's seen-set (with pooled payload rows in v2) must survive: the
+  // suffix replays prefix payloads, which only dedup against restored state.
+  auto feed_prefix = [](LMergeR2* merge) {
+    LM_CHECK(merge->OnElement(0, Ins("A", 5, 50)).ok());
+    LM_CHECK(merge->OnElement(0, Ins("B", 7, 70)).ok());
+    LM_CHECK(merge->OnElement(1, Ins("A", 5, 50)).ok());
+  };
+  auto feed_suffix = [](LMergeR2* merge) {
+    LM_CHECK(merge->OnElement(1, Ins("B", 7, 70)).ok());
+    LM_CHECK(merge->OnElement(1, Ins("C", 9, 90)).ok());
+    LM_CHECK(merge->OnElement(0, Stb(100)).ok());
+    LM_CHECK(merge->OnElement(1, Stb(100)).ok());
+  };
+  CollectingSink reference;
+  LMergeR2 uninterrupted(2, &reference);
+  feed_prefix(&uninterrupted);
+  feed_suffix(&uninterrupted);
+
+  CollectingSink first_half;
+  LMergeR2 original(2, &first_half);
+  feed_prefix(&original);
+  const std::string blob = SaveCheckpoint(original);
+  CollectingSink second_half;
+  LMergeR2 restored(2, &second_half);
+  ASSERT_TRUE(LoadCheckpoint(blob, &restored).ok());
+  EXPECT_EQ(restored.StateBytes(), original.StateBytes());
+  feed_suffix(&restored);
+
+  ElementSequence combined = first_half.elements();
+  for (const StreamElement& e : second_half.elements()) {
+    combined.push_back(e);
+  }
+  EXPECT_EQ(combined, reference.elements());
 }
 
 }  // namespace

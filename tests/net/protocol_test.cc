@@ -425,5 +425,122 @@ TEST_P(ProtocolFuzzTest, MutatedPayloadsNeverCrashDecoders) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzzTest,
                          ::testing::Values(1u, 2u, 3u, 4u));
 
+// --- v4 replication frames (CHECKPOINT_REQUEST / CHECKPOINT_CHUNK /
+// CUT_CERT) ---
+
+replica::CutCertificate SampleCert() {
+  replica::CutCertificate cert;
+  cert.variant = MergeVariant::kLMR4;
+  cert.policy = MergePolicy::Conservative();
+  cert.output_stable = 777;
+  cert.elements_sent_at_cut = 31;
+  cert.inputs.push_back({0, true, 700, 120});
+  cert.inputs.push_back({2, false, kMinTimestamp, 5});
+  return cert;
+}
+
+TEST(ProtocolTest, CheckpointRequestIsEmptyAndStrict) {
+  EXPECT_TRUE(
+      DecodeCheckpointRequest(PayloadOf(EncodeCheckpointRequestFrame()))
+          .ok());
+  EXPECT_FALSE(DecodeCheckpointRequest("x").ok());
+}
+
+TEST(ProtocolTest, CheckpointChunkRoundTrip) {
+  CheckpointChunkMessage chunk;
+  chunk.index = 3;
+  chunk.bytes = std::string("blob-bytes\x00with-nul", 19);
+  CheckpointChunkMessage decoded;
+  ASSERT_TRUE(DecodeCheckpointChunk(
+                  PayloadOf(EncodeCheckpointChunkFrame(chunk)), &decoded)
+                  .ok());
+  EXPECT_EQ(decoded.index, 3u);
+  EXPECT_EQ(decoded.bytes, chunk.bytes);
+  EXPECT_FALSE(DecodeCheckpointChunk(
+                   PayloadOf(EncodeCheckpointChunkFrame(chunk)) + "x",
+                   &decoded)
+                   .ok());
+}
+
+TEST(ProtocolTest, CutCertFrameRoundTrip) {
+  CutCertMessage cut;
+  cut.has_state = true;
+  cut.checkpoint_bytes = 1000;
+  cut.chunk_count = 4;
+  cut.cert = SampleCert();
+  CutCertMessage decoded;
+  ASSERT_TRUE(
+      DecodeCutCert(PayloadOf(EncodeCutCertFrame(cut)), &decoded).ok());
+  EXPECT_TRUE(decoded.has_state);
+  EXPECT_EQ(decoded.checkpoint_bytes, 1000u);
+  EXPECT_EQ(decoded.chunk_count, 4u);
+  EXPECT_EQ(decoded.cert.variant, MergeVariant::kLMR4);
+  EXPECT_EQ(decoded.cert.output_stable, 777);
+  EXPECT_EQ(decoded.cert.elements_sent_at_cut, 31);
+  ASSERT_EQ(decoded.cert.inputs.size(), 2u);
+  EXPECT_EQ(decoded.cert.inputs[0].elements_in, 120);
+  EXPECT_EQ(decoded.cert.inputs[1].stream_id, 2);
+  EXPECT_FALSE(decoded.cert.inputs[1].active);
+  EXPECT_FALSE(
+      DecodeCutCert(PayloadOf(EncodeCutCertFrame(cut)) + "x", &decoded)
+          .ok());
+}
+
+TEST(ProtocolTest, CutCertFramingValidated) {
+  // No state but chunks announced: inconsistent.
+  CutCertMessage cut;
+  cut.has_state = false;
+  cut.chunk_count = 2;
+  CutCertMessage decoded;
+  EXPECT_FALSE(
+      DecodeCutCert(PayloadOf(EncodeCutCertFrame(cut)), &decoded).ok());
+  // More bytes than the chunks could possibly carry: inconsistent.
+  cut.has_state = true;
+  cut.chunk_count = 1;
+  cut.checkpoint_bytes = static_cast<uint64_t>(kMaxFramePayload) + 1;
+  EXPECT_FALSE(
+      DecodeCutCert(PayloadOf(EncodeCutCertFrame(cut)), &decoded).ok());
+}
+
+TEST(ProtocolTest, ReplicationTruncationsFailCleanly) {
+  CheckpointChunkMessage chunk;
+  chunk.index = 1;
+  chunk.bytes = "chunk-payload-bytes";
+  CutCertMessage cut;
+  cut.has_state = true;
+  cut.checkpoint_bytes = 64;
+  cut.chunk_count = 1;
+  cut.cert = SampleCert();
+  const std::string chunk_payload =
+      PayloadOf(EncodeCheckpointChunkFrame(chunk));
+  for (size_t len = 0; len < chunk_payload.size(); ++len) {
+    CheckpointChunkMessage c;
+    EXPECT_FALSE(DecodeCheckpointChunk(chunk_payload.substr(0, len), &c).ok())
+        << "prefix length " << len;
+  }
+  const std::string cut_payload = PayloadOf(EncodeCutCertFrame(cut));
+  for (size_t len = 0; len < cut_payload.size(); ++len) {
+    CutCertMessage m;
+    EXPECT_FALSE(DecodeCutCert(cut_payload.substr(0, len), &m).ok())
+        << "prefix length " << len;
+  }
+}
+
+TEST(ProtocolTest, ReplicationConstantsGateTheFeature) {
+  EXPECT_EQ(kReplicationVersion, 4u);
+  EXPECT_GE(kProtocolVersion, kReplicationVersion);
+  EXPECT_TRUE(IsKnownFrameType(
+      static_cast<uint8_t>(FrameType::kCheckpointRequest)));
+  EXPECT_TRUE(
+      IsKnownFrameType(static_cast<uint8_t>(FrameType::kCheckpointChunk)));
+  EXPECT_TRUE(IsKnownFrameType(static_cast<uint8_t>(FrameType::kCutCert)));
+  EXPECT_STREQ(FrameTypeName(FrameType::kCutCert), "CUT_CERT");
+  EXPECT_STREQ(FrameTypeName(FrameType::kCheckpointRequest),
+               "CHECKPOINT_REQUEST");
+  EXPECT_STREQ(FrameTypeName(FrameType::kCheckpointChunk),
+               "CHECKPOINT_CHUNK");
+  EXPECT_STREQ(PeerRoleName(PeerRole::kStandby), "standby");
+}
+
 }  // namespace
 }  // namespace lmerge::net

@@ -1,0 +1,289 @@
+// v4 standby session behaviour on the MergeServer, driven byte-by-byte
+// over loopback pairs: role gating, checkpoint serving, chunked transfer
+// under live traffic, and the cut certificate's dedup horizon.
+
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include "common/checkpoint.h"
+#include "core/lmerge_r4.h"
+#include "net/loopback.h"
+#include "net/protocol.h"
+#include "replica/cut_certificate.h"
+#include "test_util.h"
+
+namespace lmerge::net {
+namespace {
+
+using ::lmerge::testing_util::Ins;
+using ::lmerge::testing_util::Stb;
+
+struct TestPeer {
+  std::unique_ptr<Connection> client;
+  std::unique_ptr<Connection> server;
+  int session_id = -1;
+  FrameAssembler assembler;
+
+  std::vector<Frame> DrainFrames() {
+    std::string bytes;
+    EXPECT_TRUE(client->TryReceive(&bytes).ok());
+    EXPECT_TRUE(assembler.Feed(bytes).ok());
+    std::vector<Frame> frames;
+    Frame frame;
+    while (assembler.Next(&frame)) frames.push_back(frame);
+    return frames;
+  }
+};
+
+TestPeer ConnectPeer(MergeServer* server, const std::string& name) {
+  TestPeer peer;
+  auto [client, server_end] =
+      CreateLoopbackPair("client:" + name, "server:" + name);
+  peer.client = std::move(client);
+  peer.server = std::move(server_end);
+  peer.session_id = server->OnConnect(peer.server.get());
+  return peer;
+}
+
+HelloMessage StandbyHello(const std::string& name,
+                          uint32_t version = kProtocolVersion) {
+  HelloMessage hello;
+  hello.version = version;
+  hello.role = PeerRole::kStandby;
+  hello.peer_name = name;
+  return hello;
+}
+
+HelloMessage PublisherHello(const std::string& name) {
+  HelloMessage hello;
+  hello.role = PeerRole::kPublisher;
+  hello.peer_name = name;
+  return hello;
+}
+
+// Decodes the element-bearing frames in `frames` (maintaining `dict` from
+// PAYLOAD_DEF frames) and returns the element count.
+int64_t CountElements(const std::vector<Frame>& frames,
+                      PayloadDictDecoder* dict) {
+  int64_t count = 0;
+  for (const Frame& frame : frames) {
+    switch (frame.type) {
+      case FrameType::kElement: {
+        StreamElement element;
+        EXPECT_TRUE(DecodeElementPayload(frame.payload, &element).ok());
+        ++count;
+        break;
+      }
+      case FrameType::kElements: {
+        ElementSequence elements;
+        EXPECT_TRUE(DecodeElementsPayload(frame.payload, &elements).ok());
+        count += static_cast<int64_t>(elements.size());
+        break;
+      }
+      case FrameType::kPayloadDef: {
+        PayloadDefMessage def;
+        EXPECT_TRUE(DecodePayloadDefPayload(frame.payload, &def).ok());
+        EXPECT_TRUE(dict->Define(def.id, std::move(def.payload)).ok());
+        break;
+      }
+      case FrameType::kElementsDict: {
+        ElementSequence elements;
+        EXPECT_TRUE(
+            DecodeElementsDictPayload(frame.payload, *dict, &elements).ok());
+        count += static_cast<int64_t>(elements.size());
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return count;
+}
+
+TEST(CheckpointWireTest, StandbyRoleRequiresV4) {
+  MergeServer server;
+  TestPeer standby = ConnectPeer(&server, "old-standby");
+  const Status status = server.OnBytes(
+      standby.session_id,
+      EncodeHelloFrame(StandbyHello("old-standby", /*version=*/3)));
+  EXPECT_FALSE(status.ok());
+  const std::vector<Frame> frames = standby.DrainFrames();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, FrameType::kBye);
+  ByeMessage bye;
+  ASSERT_TRUE(DecodeBye(frames[0].payload, &bye).ok());
+  EXPECT_NE(bye.reason.find("v4"), std::string::npos);
+}
+
+TEST(CheckpointWireTest, CheckpointRequestFromNonStandbyRejected) {
+  MergeServer server;
+  TestPeer sub = ConnectPeer(&server, "sub");
+  HelloMessage hello;
+  hello.role = PeerRole::kSubscriber;
+  hello.peer_name = "sub";
+  ASSERT_TRUE(
+      server.OnBytes(sub.session_id, EncodeHelloFrame(hello)).ok());
+  (void)sub.DrainFrames();  // WELCOME
+  const Status status =
+      server.OnBytes(sub.session_id, EncodeCheckpointRequestFrame());
+  EXPECT_FALSE(status.ok());
+  const std::vector<Frame> frames = sub.DrainFrames();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, FrameType::kBye);
+}
+
+TEST(CheckpointWireTest, NoStateYieldsEmptyCutCert) {
+  // A standby asking before any publisher exists gets has_state=false and
+  // no chunks — it simply subscribes from scratch.
+  MergeServer server;
+  TestPeer standby = ConnectPeer(&server, "standby");
+  ASSERT_TRUE(server
+                  .OnBytes(standby.session_id,
+                           EncodeHelloFrame(StandbyHello("standby")))
+                  .ok());
+  std::vector<Frame> frames = standby.DrainFrames();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, FrameType::kWelcome);
+
+  ASSERT_TRUE(
+      server.OnBytes(standby.session_id, EncodeCheckpointRequestFrame())
+          .ok());
+  frames = standby.DrainFrames();
+  ASSERT_EQ(frames.size(), 1u);
+  ASSERT_EQ(frames[0].type, FrameType::kCutCert);
+  CutCertMessage cut;
+  ASSERT_TRUE(DecodeCutCert(frames[0].payload, &cut).ok());
+  EXPECT_FALSE(cut.has_state);
+  EXPECT_EQ(cut.chunk_count, 0u);
+  EXPECT_EQ(cut.checkpoint_bytes, 0u);
+}
+
+TEST(CheckpointWireTest, ServedCheckpointRestoresAndCertifiesTheCut) {
+  // Publisher state flows in; the standby's transfer must reassemble into a
+  // loadable v2 blob whose certificate matches the server's state and the
+  // standby's own subscription ("elements sent at cut" == what the standby
+  // had received before the CUT_CERT frame).
+  MergeServerOptions options;
+  options.variant = MergeVariant::kLMR4;
+  MergeServer server(options);
+
+  TestPeer standby = ConnectPeer(&server, "standby");
+  ASSERT_TRUE(server
+                  .OnBytes(standby.session_id,
+                           EncodeHelloFrame(StandbyHello("standby")))
+                  .ok());
+  (void)standby.DrainFrames();  // WELCOME
+
+  TestPeer pub = ConnectPeer(&server, "pub");
+  ASSERT_TRUE(server
+                  .OnBytes(pub.session_id,
+                           EncodeHelloFrame(PublisherHello("pub")))
+                  .ok());
+  (void)pub.DrainFrames();  // WELCOME
+
+  // Enough distinct payloads that the blob spans several chunks.
+  constexpr int kBatch = 500;
+  constexpr int kBatches = 12;
+  int64_t sent = 0;
+  for (int b = 0; b < kBatches; ++b) {
+    ElementSequence batch;
+    for (int i = 0; i < kBatch; ++i) {
+      const int64_t vs = b * kBatch + i + 1;
+      batch.push_back(Ins("payload-" + std::to_string(vs) +
+                              std::string(64, 'x'),
+                          vs, vs + 1000000));
+    }
+    sent += kBatch;
+    ASSERT_TRUE(
+        server.OnBytes(pub.session_id, EncodeElementsFrame(batch)).ok());
+  }
+  server.Flush();
+
+  ASSERT_TRUE(
+      server.OnBytes(standby.session_id, EncodeCheckpointRequestFrame())
+          .ok());
+  const std::vector<Frame> frames = standby.DrainFrames();
+
+  // Split the drained frames at the CUT_CERT: everything before is live
+  // fan-out the certificate must account for.
+  PayloadDictDecoder dict;
+  std::vector<Frame> before_cut;
+  CutCertMessage cut;
+  bool have_cert = false;
+  std::string blob;
+  uint32_t chunks = 0;
+  for (const Frame& frame : frames) {
+    if (frame.type == FrameType::kCutCert) {
+      ASSERT_FALSE(have_cert);
+      ASSERT_TRUE(DecodeCutCert(frame.payload, &cut).ok());
+      have_cert = true;
+      continue;
+    }
+    if (frame.type == FrameType::kCheckpointChunk) {
+      ASSERT_TRUE(have_cert);
+      CheckpointChunkMessage chunk;
+      ASSERT_TRUE(DecodeCheckpointChunk(frame.payload, &chunk).ok());
+      ASSERT_EQ(chunk.index, chunks);
+      blob.append(chunk.bytes);
+      ++chunks;
+      continue;
+    }
+    ASSERT_FALSE(have_cert) << "element frames after the last chunk";
+    before_cut.push_back(frame);
+  }
+  ASSERT_TRUE(have_cert);
+  EXPECT_TRUE(cut.has_state);
+  EXPECT_GE(cut.chunk_count, 2u) << "blob too small to test chunking";
+  EXPECT_EQ(chunks, cut.chunk_count);
+  EXPECT_EQ(blob.size(), cut.checkpoint_bytes);
+
+  // The dedup horizon is exactly what this subscription saw pre-cut.
+  const int64_t received_before_cut = CountElements(before_cut, &dict);
+  EXPECT_EQ(cut.cert.elements_sent_at_cut, received_before_cut);
+  EXPECT_EQ(received_before_cut, sent);  // R4 forwards all distinct inserts
+
+  EXPECT_EQ(cut.cert.variant, MergeVariant::kLMR4);
+  ASSERT_EQ(cut.cert.inputs.size(), 1u);
+  EXPECT_TRUE(cut.cert.inputs[0].active);
+  EXPECT_EQ(cut.cert.inputs[0].elements_in, sent);
+
+  // The reassembled blob is a loadable v2 checkpoint with the same
+  // certificate embedded.
+  CheckpointInfo info;
+  ASSERT_TRUE(InspectCheckpoint(blob, &info).ok());
+  EXPECT_EQ(info.version, kCheckpointVersion);
+  EXPECT_EQ(info.flags, kCheckpointFlagCutCertificate);
+  replica::CutCertificate embedded;
+  ASSERT_TRUE(
+      replica::ParseCutCertificate(info.cut_certificate, &embedded).ok());
+  EXPECT_EQ(embedded.elements_sent_at_cut, cut.cert.elements_sent_at_cut);
+  EXPECT_EQ(embedded.output_stable, cut.cert.output_stable);
+
+  CollectingSink sink;
+  LMergeR4 restored(1, &sink);
+  ASSERT_TRUE(LoadCheckpoint(blob, &restored).ok());
+  EXPECT_EQ(restored.max_stable(), cut.cert.output_stable);
+}
+
+TEST(CheckpointWireTest, AdoptCheckpointRefusedAfterPublishers) {
+  // AdoptCheckpoint is a pre-flight operation: once a publisher shaped the
+  // algorithm, adopting someone else's state would corrupt the merge.
+  MergeServer server;
+  TestPeer pub = ConnectPeer(&server, "pub");
+  ASSERT_TRUE(server
+                  .OnBytes(pub.session_id,
+                           EncodeHelloFrame(PublisherHello("pub")))
+                  .ok());
+  replica::CutCertificate cert;
+  cert.variant = MergeVariant::kLMR4;
+  CollectingSink sink;
+  LMergeR4 donor(1, &sink);
+  const std::string blob =
+      SaveCheckpoint(donor, kCheckpointVersion,
+                     replica::SerializeCutCertificate(cert));
+  EXPECT_FALSE(server.AdoptCheckpoint(blob, cert).ok());
+}
+
+}  // namespace
+}  // namespace lmerge::net

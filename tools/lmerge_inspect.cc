@@ -1,15 +1,22 @@
 // lmerge_inspect — examine a stream file: validate it, summarize its
 // logical content, optionally dump elements, payload-interning statistics,
-// or compare with another tape.
+// or compare with another tape.  With --checkpoint, examine a checkpoint
+// blob instead: header, section sizes, pool entry count, and the embedded
+// cut certificate.
 //
 //   lmerge_inspect tape.lmst [--dump[=N]] [--payload-stats[=N]]
 //                  [--equiv=other.lmst]
+//   lmerge_inspect --checkpoint=state.ckpt
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <vector>
 
+#include "common/checkpoint.h"
 #include "common/payload_store.h"
+#include "replica/cut_certificate.h"
 #include "stream/validate.h"
 #include "temporal/tdb.h"
 #include "tools/cli.h"
@@ -17,12 +24,82 @@
 using namespace lmerge;
 using namespace lmerge::tools;
 
+namespace {
+
+int InspectCheckpointFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+
+  CheckpointInfo info;
+  Status status = InspectCheckpoint(bytes, &info);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: checkpoint v%u (magic LMCG), %zu bytes\n", path.c_str(),
+              info.version, info.total_bytes);
+  if (info.version == kCheckpointVersionV1) {
+    std::printf("  body: %zu bytes (payloads inline)\n", info.body_bytes);
+    return 0;
+  }
+  std::printf("  flags: 0x%02x%s\n", info.flags,
+              (info.flags & kCheckpointFlagCutCertificate) != 0
+                  ? " (cut certificate)"
+                  : "");
+  std::printf("  sections: cut cert %zu bytes, payload pool %zu bytes "
+              "(%u entries), body %zu bytes\n",
+              info.cut_certificate_bytes, info.pool_bytes, info.pool_entries,
+              info.body_bytes);
+  if (info.cut_certificate.empty()) return 0;
+
+  replica::CutCertificate cert;
+  status = replica::ParseCutCertificate(info.cut_certificate, &cert);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: bad cut certificate: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("  cut: %s, output stable %s, dedup horizon %lld elements\n",
+              MergeVariantName(cert.variant),
+              TimestampToString(cert.output_stable).c_str(),
+              static_cast<long long>(cert.elements_sent_at_cut));
+  for (const replica::CutInputState& input : cert.inputs) {
+    std::printf("    input %d: %s, stable to %s, %lld elements in\n",
+                input.stream_id, input.active ? "active" : "detached",
+                TimestampToString(input.stable_point).c_str(),
+                static_cast<long long>(input.elements_in));
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  if (flags.Has("checkpoint")) {
+    std::string path = flags.GetString("checkpoint", "");
+    // Bare `--checkpoint <file>` parses as the flag's implicit "true" plus a
+    // positional; accept both spellings.
+    if ((path.empty() || path == "true") && !flags.positional().empty()) {
+      path = flags.positional()[0];
+    }
+    if (path.empty()) {
+      std::fprintf(stderr, "usage: lmerge_inspect --checkpoint=<file>\n");
+      return 2;
+    }
+    return InspectCheckpointFile(path);
+  }
   if (flags.positional().size() != 1) {
     std::fprintf(stderr,
                  "usage: lmerge_inspect <tape.lmst> [--dump[=N]] "
-                 "[--payload-stats[=N]] [--equiv=other.lmst]\n");
+                 "[--payload-stats[=N]] [--equiv=other.lmst] | "
+                 "--checkpoint=<file>\n");
     return 2;
   }
   ElementSequence elements;
