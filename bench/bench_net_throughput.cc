@@ -72,8 +72,8 @@ std::vector<std::string> EncodeTapes(
 }
 
 void NetThroughput(benchmark::State& state, size_t batch_size,
-                   double disorder, double split_probability) {
-  const int num_publishers = static_cast<int>(state.range(0));
+                   double disorder, double split_probability,
+                   int num_publishers, int merge_threads = 1) {
   const std::vector<ElementSequence> replicas =
       MakeReplicas(History(), num_publishers, disorder, split_probability,
                    /*seed=*/7);
@@ -94,7 +94,9 @@ void NetThroughput(benchmark::State& state, size_t batch_size,
   const obs::MetricsSnapshot before =
       obs::MetricsRegistry::Global().Snapshot();
   for (auto _ : state) {
-    net::MergeServer server;
+    net::MergeServerOptions server_options;
+    server_options.merge_threads = merge_threads;
+    net::MergeServer server(server_options);
     NullSink sink;
     server.AddOutputSink(&sink);
     std::vector<std::unique_ptr<net::Connection>> clients;
@@ -144,6 +146,8 @@ void NetThroughput(benchmark::State& state, size_t batch_size,
   latency.Publish(state);
   state.counters["publishers"] = benchmark::Counter(num_publishers);
   state.counters["batch"] = benchmark::Counter(static_cast<double>(batch_size));
+  state.counters["merge_threads"] =
+      benchmark::Counter(static_cast<double>(merge_threads));
   const obs::MetricsSnapshot after =
       obs::MetricsRegistry::Global().Snapshot();
   const auto delta = [&](const std::string& name) {
@@ -159,14 +163,16 @@ void NetThroughput(benchmark::State& state, size_t batch_size,
 // In-order insert-only replicas: the factory picks one of the cheap merge
 // cases, so this measures the wire path itself (the >= 100k/s floor).
 void BM_NetThroughput_InOrderBatch64(benchmark::State& state) {
-  NetThroughput(state, 64, /*disorder=*/0.0, /*split_probability=*/0.0);
+  NetThroughput(state, 64, /*disorder=*/0.0, /*split_probability=*/0.0,
+                static_cast<int>(state.range(0)));
 }
 BENCHMARK(BM_NetThroughput_InOrderBatch64)
     ->DenseRange(1, 3, 1)
     ->Unit(benchmark::kMillisecond);
 
 void BM_NetThroughput_InOrderSingleElementFrames(benchmark::State& state) {
-  NetThroughput(state, 1, /*disorder=*/0.0, /*split_probability=*/0.0);
+  NetThroughput(state, 1, /*disorder=*/0.0, /*split_probability=*/0.0,
+                static_cast<int>(state.range(0)));
 }
 BENCHMARK(BM_NetThroughput_InOrderSingleElementFrames)
     ->DenseRange(1, 3, 1)
@@ -175,10 +181,29 @@ BENCHMARK(BM_NetThroughput_InOrderSingleElementFrames)
 // Divergent replicas (disorder + revisions): dominated by the general
 // merge algorithm, the wire overhead rides on top.
 void BM_NetThroughput_DisorderedBatch64(benchmark::State& state) {
-  NetThroughput(state, 64, /*disorder=*/0.2, /*split_probability=*/0.1);
+  NetThroughput(state, 64, /*disorder=*/0.2, /*split_probability=*/0.1,
+                static_cast<int>(state.range(0)));
 }
 BENCHMARK(BM_NetThroughput_DisorderedBatch64)
     ->DenseRange(1, 3, 1)
+    ->Unit(benchmark::kMillisecond);
+
+// Partitioned merge sweep (--merge-threads = range(0)): the merge-heavy
+// disordered workload over two divergent publishers, the shape where
+// sharding the merge core can pay.  merge_threads=1 is the single-threaded
+// ConcurrentMerger baseline.  Speedup needs real cores: on a single-core
+// host the shard threads time-slice and the sweep only measures the
+// partitioning overhead (see BENCH_throughput.json notes).
+void BM_NetThroughput_MergeThreads(benchmark::State& state) {
+  NetThroughput(state, 64, /*disorder=*/0.2, /*split_probability=*/0.1,
+                /*num_publishers=*/2,
+                /*merge_threads=*/static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_NetThroughput_MergeThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 // The fan-out path: one publisher, N subscribers each receiving every

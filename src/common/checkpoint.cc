@@ -159,4 +159,60 @@ Status InspectCheckpoint(const std::string& bytes, CheckpointInfo* info) {
   return Status::Ok();
 }
 
+bool IsPartitionedCheckpoint(const std::string& bytes) {
+  Decoder decoder(bytes);
+  uint32_t magic = 0;
+  return decoder.ReadU32(&magic).ok() && magic == kPartitionedCheckpointMagic;
+}
+
+std::string CombinePartitionedCheckpoint(
+    const std::vector<std::string>& shard_blobs) {
+  LM_CHECK(!shard_blobs.empty());
+  size_t total = 16;
+  for (const std::string& blob : shard_blobs) total += blob.size() + 8;
+  Encoder out;
+  out.Reserve(total);
+  out.WriteU32(kPartitionedCheckpointMagic);
+  out.WriteU32(kPartitionedCheckpointVersion);
+  out.WriteU32(static_cast<uint32_t>(shard_blobs.size()));
+  for (const std::string& blob : shard_blobs) out.WriteString(blob);
+  return out.TakeBytes();
+}
+
+Status SplitPartitionedCheckpoint(const std::string& bytes,
+                                  std::vector<std::string>* shard_blobs) {
+  shard_blobs->clear();
+  Decoder decoder(bytes);
+  uint32_t magic = 0;
+  Status status = decoder.ReadU32(&magic);
+  if (!status.ok()) return status;
+  if (magic != kPartitionedCheckpointMagic) {
+    return Status::InvalidArgument(
+        "not a partitioned checkpoint (bad magic)");
+  }
+  uint32_t version = 0;
+  if (!(status = decoder.ReadU32(&version)).ok()) return status;
+  if (version != kPartitionedCheckpointVersion) {
+    return Status::InvalidArgument(
+        "unsupported partitioned checkpoint version " +
+        std::to_string(version));
+  }
+  uint32_t shard_count = 0;
+  if (!(status = decoder.ReadU32(&shard_count)).ok()) return status;
+  if (shard_count == 0 || shard_count > decoder.remaining() + 1) {
+    return Status::InvalidArgument("partitioned shard count invalid");
+  }
+  shard_blobs->reserve(shard_count);
+  for (uint32_t i = 0; i < shard_count; ++i) {
+    std::string blob;
+    if (!(status = decoder.ReadString(&blob)).ok()) return status;
+    shard_blobs->push_back(std::move(blob));
+  }
+  if (!decoder.AtEnd()) {
+    return Status::InvalidArgument(
+        "trailing bytes after partitioned checkpoint");
+  }
+  return Status::Ok();
+}
+
 }  // namespace lmerge

@@ -23,6 +23,7 @@
 #define LMERGE_COMMON_CHECKPOINT_H_
 
 #include <string>
+#include <vector>
 
 #include "common/serde.h"
 #include "common/status.h"
@@ -75,6 +76,39 @@ struct CheckpointInfo {
   std::string cut_certificate;
 };
 Status InspectCheckpoint(const std::string& bytes, CheckpointInfo* info);
+
+// ---------------------------------------------------------------------------
+// Partitioned checkpoint container (engine/partitioned.h).
+//
+// A partitioned merge's state is N independent shard algorithms; its
+// checkpoint is N ordinary blobs (one per shard, each in the v1/v2 format
+// above) wrapped in a container:
+//
+//   u32 magic "LMPC", u32 version, u32 shard_count,
+//   string shard_blob[0] ... string shard_blob[shard_count-1]
+//
+// The cut certificate is embedded in shard_blob[0] exactly as in the
+// single-threaded case; its shard_stables section records every shard's
+// stable frontier at the barrier.  Shard routing is deterministic and
+// unseeded (PartitionedMerger::RouteShard), so a restore with the recorded
+// shard count reproduces the exact per-shard key partition.
+// ---------------------------------------------------------------------------
+
+inline constexpr uint32_t kPartitionedCheckpointMagic = 0x4c4d5043;  // "LMPC"
+inline constexpr uint32_t kPartitionedCheckpointVersion = 1;
+
+// True when `bytes` starts with the partitioned container magic — how
+// AdoptCheckpoint dispatches between the single and partitioned restore
+// paths without a separate wire signal.
+bool IsPartitionedCheckpoint(const std::string& bytes);
+
+// Wraps per-shard checkpoint blobs (shard order) into one container.
+std::string CombinePartitionedCheckpoint(
+    const std::vector<std::string>& shard_blobs);
+
+// Unwraps a container into its per-shard blobs.
+Status SplitPartitionedCheckpoint(const std::string& bytes,
+                                  std::vector<std::string>* shard_blobs);
 
 }  // namespace lmerge
 

@@ -269,6 +269,38 @@ class MergeAlgorithm {
   int current_stream_ = -1;
 };
 
+// ---------------------------------------------------------------------------
+// Aggregated views over a partitioned merge's shard algorithm instances
+// (engine/partitioned.h).  Each input element is routed to exactly one shard
+// except stable() elements, which are broadcast to every shard — so routed
+// counters (inserts/adjusts in, drops, contributions, emissions) SUM across
+// shards while broadcast counters (stables_in, stable_point) take the MIN:
+// the value every shard has applied.  The min is the replay-safe reading —
+// a cut certificate must not claim a stable point some shard has not
+// consumed yet — and at quiesce all shards have applied every stable, so
+// the min equals the single-threaded value.  The output stable count
+// belongs to the aggregator, not any shard.
+// Every shard must have the same stream registry (the router fans AddStream
+// and RemoveStream to all of them).
+// ---------------------------------------------------------------------------
+
+// Output totals across shards.  `stables_out` is the aggregator's own
+// emitted-stable count (shard-emitted stables are swallowed by the
+// min-frontier aggregation and never reach the output).
+MergeOutputStats AggregateShardStats(std::span<MergeAlgorithm* const> shards,
+                                     int64_t stables_out);
+
+// Per-input table across shards, same sum/min rules per row.
+std::vector<PerInputStats> AggregateShardPerInputStats(
+    std::span<MergeAlgorithm* const> shards);
+
+// The partitioned counterpart of MergeAlgorithm::ExportMetrics: publishes
+// the aggregated "merge."-prefixed gauges.  `output_stable` is the
+// aggregator's min-across-frontiers stable point.
+void ExportAggregatedMergeMetrics(std::span<MergeAlgorithm* const> shards,
+                                  int64_t stables_out, Timestamp output_stable,
+                                  obs::MetricsRegistry* registry);
+
 }  // namespace lmerge
 
 #endif  // LMERGE_CORE_MERGE_ALGORITHM_H_

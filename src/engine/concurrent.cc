@@ -18,12 +18,13 @@ ConcurrentMerger::ConcurrentMerger(MergeAlgorithm* algorithm,
   LM_CHECK(options_.ring_capacity >= 2);
   LM_CHECK(options_.max_batch >= 1);
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
-  stalls_metric_ = registry.GetCounter("engine.backpressure_stalls");
-  batches_metric_ = registry.GetCounter("engine.batches");
-  busy_us_metric_ = registry.GetCounter("engine.merge.busy_us");
-  idle_us_metric_ = registry.GetCounter("engine.merge.idle_us");
-  batch_size_metric_ = registry.GetHistogram("engine.batch_size");
-  ring_occupancy_metric_ = registry.GetHistogram("engine.ring_occupancy");
+  const std::string& scope = options_.metrics_scope;
+  stalls_metric_ = registry.GetCounter(scope + ".backpressure_stalls");
+  batches_metric_ = registry.GetCounter(scope + ".batches");
+  busy_us_metric_ = registry.GetCounter(scope + ".busy_us");
+  idle_us_metric_ = registry.GetCounter(scope + ".idle_us");
+  batch_size_metric_ = registry.GetHistogram(scope + ".batch_size");
+  ring_occupancy_metric_ = registry.GetHistogram(scope + ".ring_occupancy");
   slots_.reserve(kMaxStreams);
   const int n = algorithm_->stream_count();
   LM_CHECK(static_cast<size_t>(n) <= kMaxStreams);
@@ -111,6 +112,15 @@ Status ConcurrentMerger::TryDeliverBatch(int stream,
   return Status::Ok();
 }
 
+void ConcurrentMerger::DeliverBatch(int stream,
+                                    std::span<StreamElement> batch) {
+  LM_CHECK(stream >= 0 &&
+           stream < slot_count_.load(std::memory_order_acquire));
+  for (StreamElement& element : batch) {
+    EnqueueBlocking(stream, std::move(element));
+  }
+}
+
 int ConcurrentMerger::AddStream() {
   ControlOp op;
   op.kind = ControlOp::kAddStream;
@@ -145,6 +155,11 @@ void ConcurrentMerger::RemoveStream(int stream) {
 }
 
 void ConcurrentMerger::CallOnMergeThread(std::function<void()> fn) {
+  CallOnMergeThreadAsync(std::move(fn)).get();
+}
+
+std::future<int> ConcurrentMerger::CallOnMergeThreadAsync(
+    std::function<void()> fn) {
   ControlOp op;
   op.kind = ControlOp::kCall;
   op.fn = std::move(fn);
@@ -155,7 +170,7 @@ void ConcurrentMerger::CallOnMergeThread(std::function<void()> fn) {
     has_control_ops_.store(true, std::memory_order_release);
   }
   WakeMerge();
-  result.get();
+  return result;
 }
 
 void ConcurrentMerger::WaitIdle() {
@@ -310,23 +325,38 @@ void ConcurrentMerger::MergeLoop() {
   }
 }
 
-void ConcurrentMerger::Run(const std::vector<ElementSequence>& inputs) {
-  LM_CHECK(static_cast<int>(inputs.size()) <=
-           slot_count_.load(std::memory_order_acquire));
-  std::vector<std::thread> threads;
-  threads.reserve(inputs.size());
-  for (size_t s = 0; s < inputs.size(); ++s) {
-    threads.emplace_back([this, s, &inputs] {
-      for (const StreamElement& element : inputs[s]) {
-        Deliver(static_cast<int>(s), element);
-      }
-    });
-  }
-  for (std::thread& thread : threads) thread.join();
-  WaitIdle();
-  const Status status = error();
-  LM_CHECK_MSG(status.ok(), "concurrent delivery failed: %s",
-               status.ToString().c_str());
+void ConcurrentMerger::CallAtBarrier(
+    std::function<void(std::span<MergeAlgorithm* const>)> fn) {
+  CallOnMergeThread([this, &fn] {
+    MergeAlgorithm* algorithm = algorithm_;
+    fn(std::span<MergeAlgorithm* const>(&algorithm, 1));
+  });
+}
+
+Status ConcurrentMerger::AdoptOutputView(int stream) {
+  Status status = Status::Ok();
+  CallOnMergeThread(
+      [this, stream, &status] { status = algorithm_->AdoptOutputView(stream); });
+  return status;
+}
+
+MergeOutputStats ConcurrentMerger::StatsSnapshot() {
+  MergeOutputStats stats;
+  CallOnMergeThread([this, &stats] { stats = algorithm_->stats(); });
+  return stats;
+}
+
+MergerInputSnapshot ConcurrentMerger::InputSnapshot() {
+  MergerInputSnapshot snapshot;
+  CallOnMergeThread([this, &snapshot] {
+    snapshot.per_input = algorithm_->per_input_stats();
+    snapshot.active.resize(snapshot.per_input.size());
+    for (size_t s = 0; s < snapshot.per_input.size(); ++s) {
+      snapshot.active[s] = algorithm_->stream_active(static_cast<int>(s));
+    }
+    snapshot.totals = algorithm_->stats();
+  });
+  return snapshot;
 }
 
 }  // namespace lmerge

@@ -36,6 +36,7 @@
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "core/merge_algorithm.h"
+#include "engine/merger.h"
 #include "engine/spsc_ring.h"
 #include "obs/metrics.h"
 #include "stream/element.h"
@@ -51,9 +52,14 @@ struct ConcurrentMergerOptions {
   // Invoked on the merge thread after every processed batch; embedders use
   // it to flush per-batch output buffers.
   std::function<void()> after_batch;
+  // Instrument-name scope: metrics register as "<scope>.batches",
+  // "<scope>.busy_us", ... — "engine" for the process-wide single merger,
+  // "merge.shard.N" for a PartitionedMerger's per-shard mergers so skew is
+  // visible per shard (docs/OBSERVABILITY.md).
+  std::string metrics_scope = "engine";
 };
 
-class ConcurrentMerger {
+class ConcurrentMerger : public Merger {
  public:
   // The merger does not own `algorithm`.  The algorithm and its sink are
   // only ever touched by the internal merge thread; the sink must therefore
@@ -62,40 +68,41 @@ class ConcurrentMerger {
                             ConcurrentMergerOptions options = {});
 
   // Drains all enqueued work, then stops and joins the merge thread.
-  ~ConcurrentMerger();
+  ~ConcurrentMerger() override;
 
   ConcurrentMerger(const ConcurrentMerger&) = delete;
   ConcurrentMerger& operator=(const ConcurrentMerger&) = delete;
 
-  // Spawns one thread per input, each delivering its sequence in order
-  // (cross-stream interleaving is up to the scheduler), joins them, and
-  // waits until the merge thread has processed everything.  Aborts on
-  // delivery errors (inputs are trusted replicas).
-  void Run(const std::vector<ElementSequence>& inputs);
-
   // Thread-safe single-element delivery for trusted callers managing their
   // own threads; blocks while the stream's ring is full.  At most one
   // thread may deliver to a given stream at a time (SPSC).
-  void Deliver(int stream, const StreamElement& element);
+  void Deliver(int stream, const StreamElement& element) override;
 
   // Like Deliver, but validates first and reports failure instead of
   // aborting — the entry point for *untrusted* inputs (network publishers):
   // a malformed element tears down one session, not the process.
   // Enqueue-only: Ok means accepted, not yet merged (see WaitIdle).
-  Status TryDeliver(int stream, const StreamElement& element);
+  Status TryDeliver(int stream, const StreamElement& element) override;
 
   // Batched TryDeliver: validates and enqueues the elements in order,
   // moving them out of `batch`.  On a validation failure the elements
   // before the failing one stay enqueued (same prefix semantics as
   // element-wise delivery) and the error is returned.
-  Status TryDeliverBatch(int stream, std::span<StreamElement> batch);
+  Status TryDeliverBatch(int stream, std::span<StreamElement> batch) override;
+
+  // Trusted batched delivery: enqueues every element of `batch` (moved out)
+  // without re-validating.  The PartitionedMerger routing path uses this
+  // after validating a publisher batch once up front, so split sub-batches
+  // keep the exact prefix-on-error semantics without paying validation per
+  // shard.
+  void DeliverBatch(int stream, std::span<StreamElement> batch);
 
   // Thread-safe runtime stream registry (the paper's join/leave hooks,
   // Sec. V-B/C).  Both block until the merge thread has applied the change;
   // RemoveStream first drains everything already enqueued for the stream,
   // so its elements are never dropped.
-  int AddStream();
-  void RemoveStream(int stream);
+  int AddStream() override;
+  void RemoveStream(int stream) override;
 
   // Runs `fn` on the merge thread between batches and blocks until it
   // returns — the race-free way to snapshot algorithm state (stats, state
@@ -103,30 +110,59 @@ class ConcurrentMerger {
   // this merger.
   void CallOnMergeThread(std::function<void()> fn);
 
+  // Like CallOnMergeThread but returns immediately; waiting on the future
+  // observes completion.  The PartitionedMerger barrier posts one parked fn
+  // per shard this way — a blocking post per shard would deadlock the
+  // barrier against itself.
+  std::future<int> CallOnMergeThreadAsync(std::function<void()> fn);
+
   // Blocks until every element enqueued so far has been merged.  On return,
   // sink output and algorithm state reflect all prior deliveries
   // (happens-before is established for the caller).
-  void WaitIdle();
+  void WaitIdle() override;
 
   // The merged output's stable point: a possibly slightly stale snapshot
   // while deliveries are in flight, exact after WaitIdle().
-  Timestamp max_stable() const {
+  Timestamp max_stable() const override {
     return max_stable_.load(std::memory_order_acquire);
   }
 
-  int64_t delivered_count() const {
+  int64_t delivered_count() const override {
     return delivered_.load(std::memory_order_acquire);
+  }
+
+  // Elements enqueued but not yet merged; the partitioned merger sums this
+  // across shards for the "engine.pending" gauge.
+  int64_t pending_count() const {
+    return pending_.load(std::memory_order_acquire);
   }
 
   // First delivery error the merge thread hit asynchronously (validation
   // misses only mis-sequenced control flow, e.g. delivery after shutdown);
   // Ok when none.  Once set, subsequent batches are discarded.
-  Status error() const;
+  Status error() const override;
+
+  // Cheap poisoned probe (no lock): true once an asynchronous error is
+  // recorded.  The partitioned router prechecks this per delivery.
+  bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
+
+  int shard_count() const override { return 1; }
+  AlgorithmCase algorithm_case() const override {
+    return algorithm_->algorithm_case();
+  }
+
+  // Merger barrier/snapshot surface; all run `fn`/the copy on the merge
+  // thread via CallOnMergeThread (span of exactly one algorithm).
+  void CallAtBarrier(
+      std::function<void(std::span<MergeAlgorithm* const>)> fn) override;
+  Status AdoptOutputView(int stream) override;
+  MergeOutputStats StatsSnapshot() override;
+  MergerInputSnapshot InputSnapshot() override;
 
   // Exports the algorithm's stats (on the merge thread, race-free) plus the
   // engine's own gauges into the global registry and returns its snapshot.
   // Safe to call from any thread while deliveries are in flight.
-  obs::MetricsSnapshot MetricsSnapshot();
+  obs::MetricsSnapshot MetricsSnapshot() override;
 
  private:
   struct InputSlot {

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/payload_store.h"
+#include "engine/partitioned.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 
@@ -244,25 +245,48 @@ Status MergeServer::HandleFrameLocked(Session& session, const Frame& frame) {
 }
 
 Status MergeServer::EnsureAlgorithmLocked(const StreamProperties& first) {
-  if (algorithm_ != nullptr) return Status::Ok();
+  if (merger_ != nullptr) return Status::Ok();
   const MergeVariant variant =
       options_.variant.has_value()
           ? *options_.variant
           : VariantForCase(ChooseAlgorithm(first));
   variant_ = variant;
-  algorithm_ =
-      CreateMergeAlgorithm(variant, /*num_streams=*/1, &fan_out_,
-                           options_.policy);
-  ConcurrentMergerOptions merger_options;
-  merger_options.ring_capacity = options_.ring_capacity;
-  merger_options.max_batch = options_.max_batch;
-  merger_ = std::make_unique<ConcurrentMerger>(algorithm_.get(),
-                                               std::move(merger_options));
+  if (options_.merge_threads <= 1) {
+    // Single-threaded path: the exact pre-partitioned pipeline (and
+    // byte-identical output, see tests/net/partitioned_server_test.cc).
+    algorithm_ =
+        CreateMergeAlgorithm(variant, /*num_streams=*/1, &fan_out_,
+                             options_.policy);
+    ConcurrentMergerOptions merger_options;
+    merger_options.ring_capacity = options_.ring_capacity;
+    merger_options.max_batch = options_.max_batch;
+    merger_ = std::make_unique<ConcurrentMerger>(algorithm_.get(),
+                                                 std::move(merger_options));
+  } else {
+    // Partitioned path: merge_threads shard algorithms behind the
+    // min-frontier aggregator.  The shard instances are owned by the
+    // merger (algorithm_ stays null); every inspection goes through the
+    // Merger interface.
+    PartitionedMergerOptions merger_options;
+    merger_options.shards = options_.merge_threads;
+    merger_options.ring_capacity = options_.ring_capacity;
+    merger_options.max_batch = options_.max_batch;
+    const MergePolicy policy = options_.policy;
+    merger_ = std::make_unique<PartitionedMerger>(
+        [variant, policy](int /*shard*/, ElementSink* sink) {
+          return CreateMergeAlgorithm(variant, /*num_streams=*/1, sink,
+                                      policy);
+        },
+        &fan_out_, std::move(merger_options));
+  }
   met_properties_ = first;
   if (options_.verbose) {
-    std::fprintf(stderr, "[lmerge_served] algorithm %s (case %s) selected\n",
+    std::fprintf(stderr,
+                 "[lmerge_served] algorithm %s (case %s) selected, "
+                 "%d merge thread(s)\n",
                  MergeVariantName(variant),
-                 AlgorithmCaseName(algorithm_->algorithm_case()));
+                 AlgorithmCaseName(merger_->algorithm_case()),
+                 merger_->shard_count());
   }
   return Status::Ok();
 }
@@ -315,12 +339,12 @@ Status MergeServer::HandleHelloLocked(Session& session, const HelloMessage& hell
       const StreamProperties met =
           met_properties_.Meet(hello.properties);
       if (!options_.variant.has_value() &&
-          ChooseAlgorithm(met) > algorithm_->algorithm_case()) {
+          ChooseAlgorithm(met) > merger_->algorithm_case()) {
         return Status::FailedPrecondition(
             std::string("stream properties require algorithm case ") +
             AlgorithmCaseName(ChooseAlgorithm(met)) +
             " but the server selected " +
-            AlgorithmCaseName(algorithm_->algorithm_case()));
+            AlgorithmCaseName(merger_->algorithm_case()));
       }
       met_properties_ = met;
       session.stream_id = merger_->AddStream();
@@ -328,14 +352,10 @@ Status MergeServer::HandleHelloLocked(Session& session, const HelloMessage& hell
         // Standby jumpstart: this first post-restore stream carries the
         // dead primary's merged output, i.e. the continuation of the
         // snapshot's own output stream — seed its per-input views from the
-        // output's (docs/REPLICATION.md).  On the merge thread, through
-        // captured raw pointers: the lambda is analyzed lock-free.
+        // output's (docs/REPLICATION.md), on every shard at one barrier.
         adopt_output_pending_ = false;
-        MergeAlgorithm* algorithm = algorithm_.get();
-        const int stream = session.stream_id;
-        Status adopt_status = Status::Ok();
-        merger_->CallOnMergeThread(
-            [&] { adopt_status = algorithm->AdoptOutputView(stream); });
+        const Status adopt_status =
+            merger_->AdoptOutputView(session.stream_id);
         if (!adopt_status.ok()) return adopt_status;
       }
     }
@@ -350,9 +370,9 @@ Status MergeServer::HandleHelloLocked(Session& session, const HelloMessage& hell
   }
   welcome.version = session.version;
   welcome.algorithm_case =
-      algorithm_ == nullptr
+      merger_ == nullptr
           ? kUnknownAlgorithmCase
-          : static_cast<uint8_t>(algorithm_->algorithm_case());
+          : static_cast<uint8_t>(merger_->algorithm_case());
   welcome.output_stable =
       merger_ == nullptr ? kMinTimestamp : merger_->max_stable();
   if (options_.verbose) {
@@ -382,33 +402,54 @@ Status MergeServer::HandleHelloLocked(Session& session, const HelloMessage& hell
 Status MergeServer::SendCheckpointLocked(Session& session) {
   CutCertMessage cut;
   std::string blob;
-  if (algorithm_ != nullptr) {
-    // Snapshot on the merge thread: between two elements, so the state, the
-    // per-input frontiers, and the subscription's sent count all describe
-    // the SAME cut.  The lambda is analyzed lock-free (its own function):
-    // it reaches everything through captured raw pointers/copies, and the
-    // only lock it takes is the leaf fanout_mutex_ — which the merge thread
-    // already takes for every fan-out, never while holding another lock.
-    MergeAlgorithm* algorithm = algorithm_.get();
+  if (merger_ != nullptr) {
+    // Snapshot at a barrier: every shard stands between two elements of ONE
+    // cut (for merge_threads == 1 this is the familiar merge-thread call),
+    // so the state, the per-input frontiers, the per-shard stable
+    // frontiers, and the subscription's sent count all describe the SAME
+    // cut.  The lambda is analyzed lock-free (its own function): it reaches
+    // everything through captured raw pointers/copies, and the only lock it
+    // takes is the leaf fanout_mutex_ — which the fan-out thread already
+    // takes for every emission, never while holding another lock.
     MergeServer* server = this;
     const MergeVariant variant = variant_;
     const MergePolicy policy = options_.policy;
     const int session_id = session.id;
-    merger_->CallOnMergeThread([&, algorithm, server, variant, policy,
-                                session_id] {
-      Checkpointable* checkpointable = algorithm->checkpointable();
-      if (checkpointable == nullptr) return;  // variant without snapshots
+    merger_->CallAtBarrier([&, server, variant, policy, session_id](
+                               std::span<MergeAlgorithm* const> shards) {
+      for (MergeAlgorithm* shard : shards) {
+        if (shard->checkpointable() == nullptr) {
+          return;  // variant without snapshots
+        }
+      }
       cut.has_state = true;
       cut.cert.variant = variant;
       cut.cert.policy = policy;
-      cut.cert.output_stable = algorithm->max_stable();
-      const std::vector<PerInputStats>& per_input =
-          algorithm->per_input_stats();
+      if (shards.size() == 1) {
+        cut.cert.output_stable = shards[0]->max_stable();
+      } else {
+        // With the aggregator quiesced each shard's frontier equals its
+        // algorithm's max_stable(); the output stable point is their min,
+        // and the certificate records every frontier so a restore can
+        // verify each shard individually.
+        Timestamp min_stable = shards[0]->max_stable();
+        cut.cert.shard_stables.reserve(shards.size());
+        for (MergeAlgorithm* shard : shards) {
+          cut.cert.shard_stables.push_back(shard->max_stable());
+          min_stable = std::min(min_stable, shard->max_stable());
+        }
+        cut.cert.output_stable = min_stable;
+      }
+      // Per-input frontiers aggregated with the sum/min rules: the recorded
+      // stable_point is the min across shards — the replay-safe frontier no
+      // shard has run ahead of (core/merge_algorithm.h).
+      const std::vector<PerInputStats> per_input =
+          AggregateShardPerInputStats(shards);
       cut.cert.inputs.reserve(per_input.size());
       for (size_t s = 0; s < per_input.size(); ++s) {
         replica::CutInputState in;
         in.stream_id = static_cast<int32_t>(s);
-        in.active = algorithm->stream_active(static_cast<int>(s));
+        in.active = shards[0]->stream_active(static_cast<int>(s));
         in.stable_point = per_input[s].stable_point;
         in.elements_in = per_input[s].elements_in();
         cut.cert.inputs.push_back(in);
@@ -422,8 +463,23 @@ Status MergeServer::SendCheckpointLocked(Session& session) {
           }
         }
       }
-      blob = SaveCheckpoint(*checkpointable, kCheckpointVersion,
-                            replica::SerializeCutCertificate(cut.cert));
+      const std::string cert_bytes =
+          replica::SerializeCutCertificate(cut.cert);
+      if (shards.size() == 1) {
+        blob = SaveCheckpoint(*shards[0]->checkpointable(),
+                              kCheckpointVersion, cert_bytes);
+      } else {
+        // One ordinary blob per shard, wrapped in the LMPC container; the
+        // certificate rides in shard 0's blob (common/checkpoint.h).
+        std::vector<std::string> shard_blobs;
+        shard_blobs.reserve(shards.size());
+        for (size_t k = 0; k < shards.size(); ++k) {
+          shard_blobs.push_back(SaveCheckpoint(
+              *shards[k]->checkpointable(), kCheckpointVersion,
+              k == 0 ? cert_bytes : std::string()));
+        }
+        blob = CombinePartitionedCheckpoint(shard_blobs);
+      }
     });
   }
   cut.checkpoint_bytes = blob.size();
@@ -460,9 +516,12 @@ Status MergeServer::SendCheckpointLocked(Session& session) {
 Status MergeServer::AdoptCheckpoint(const std::string& blob,
                                     const replica::CutCertificate& cert) {
   MutexLock lock(mutex_);
-  if (algorithm_ != nullptr || publishers_seen_ > 0) {
+  if (merger_ != nullptr || publishers_seen_ > 0) {
     return Status::FailedPrecondition(
         "AdoptCheckpoint on a server that is already merging");
+  }
+  if (IsPartitionedCheckpoint(blob)) {
+    return AdoptPartitionedCheckpointLocked(blob, cert);
   }
   std::unique_ptr<MergeAlgorithm> algorithm = CreateMergeAlgorithm(
       cert.variant, /*num_streams=*/1, &fan_out_, cert.policy);
@@ -501,6 +560,86 @@ Status MergeServer::AdoptCheckpoint(const std::string& blob,
   merger_options.max_batch = options_.max_batch;
   merger_ = std::make_unique<ConcurrentMerger>(algorithm_.get(),
                                                std::move(merger_options));
+  last_output_stable_ = merger_->max_stable();
+  adopted_ = true;
+  adopt_output_pending_ = true;
+  return Status::Ok();
+}
+
+Status MergeServer::AdoptPartitionedCheckpointLocked(
+    const std::string& blob, const replica::CutCertificate& cert) {
+  std::vector<std::string> shard_blobs;
+  Status status = SplitPartitionedCheckpoint(blob, &shard_blobs);
+  if (!status.ok()) return status;
+  if (!cert.shard_stables.empty() &&
+      cert.shard_stables.size() != shard_blobs.size()) {
+    return Status::InvalidArgument(
+        "cut certificate names " +
+        std::to_string(cert.shard_stables.size()) +
+        " shards but the checkpoint holds " +
+        std::to_string(shard_blobs.size()));
+  }
+  // Each shard restores inside its factory call: the shard's own merge
+  // thread does not exist yet at that point, and nothing is delivered until
+  // the constructor returns, so the restore is race-free.  Restore failures
+  // are latched and checked after construction (the factory signature
+  // cannot return a Status).
+  Status restore_status = Status::Ok();
+  std::vector<Timestamp> restored_stables(shard_blobs.size(), kMinTimestamp);
+  PartitionedMergerOptions merger_options;
+  merger_options.shards = static_cast<int>(shard_blobs.size());
+  merger_options.ring_capacity = options_.ring_capacity;
+  merger_options.max_batch = options_.max_batch;
+  auto merger = std::make_unique<PartitionedMerger>(
+      [&](int shard, ElementSink* sink) {
+        std::unique_ptr<MergeAlgorithm> algorithm = CreateMergeAlgorithm(
+            cert.variant, /*num_streams=*/1, sink, cert.policy);
+        if (!restore_status.ok()) return algorithm;
+        Checkpointable* checkpointable = algorithm->checkpointable();
+        if (checkpointable == nullptr) {
+          restore_status = Status::InvalidArgument(
+              std::string("variant ") + MergeVariantName(cert.variant) +
+              " does not support checkpoints");
+          return algorithm;
+        }
+        restore_status = LoadCheckpoint(
+            shard_blobs[static_cast<size_t>(shard)], checkpointable);
+        restored_stables[static_cast<size_t>(shard)] =
+            algorithm->max_stable();
+        return algorithm;
+      },
+      &fan_out_, std::move(merger_options));
+  if (!restore_status.ok()) return restore_status;
+  Timestamp min_stable = restored_stables[0];
+  for (size_t k = 0; k < restored_stables.size(); ++k) {
+    min_stable = std::min(min_stable, restored_stables[k]);
+    if (!cert.shard_stables.empty() &&
+        restored_stables[k] != cert.shard_stables[k]) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(k) + " restored stable point " +
+          TimestampToString(restored_stables[k]) +
+          " does not match cut certificate " +
+          TimestampToString(cert.shard_stables[k]));
+    }
+  }
+  if (min_stable != cert.output_stable) {
+    return Status::InvalidArgument(
+        "checkpoint stable point " + TimestampToString(min_stable) +
+        " does not match cut certificate " +
+        TimestampToString(cert.output_stable));
+  }
+  // As on the single-threaded path: the snapshot's input streams belong to
+  // the dead primary's publishers — detach them all (a fan-out barrier per
+  // stream), and pin variant + policy so later publishers cannot re-select.
+  const MergerInputSnapshot snapshot = merger->InputSnapshot();
+  for (size_t s = 0; s < snapshot.active.size(); ++s) {
+    if (snapshot.active[s]) merger->RemoveStream(static_cast<int>(s));
+  }
+  options_.variant = cert.variant;
+  options_.policy = cert.policy;
+  options_.merge_threads = static_cast<int>(shard_blobs.size());
+  variant_ = cert.variant;
+  merger_ = std::move(merger);
   last_output_stable_ = merger_->max_stable();
   adopted_ = true;
   adopt_output_pending_ = true;
@@ -673,23 +812,19 @@ bool MergeServer::drained() const {
 MergeOutputStats MergeServer::merge_stats() const {
   MergeServer* self = const_cast<MergeServer*>(this);
   MutexLock lock(self->mutex_);
-  if (self->algorithm_ == nullptr) return MergeOutputStats();
+  if (self->merger_ == nullptr) return MergeOutputStats();
   self->FlushLocked();
-  // Snapshot on the merge thread: the only race-free reader of algorithm
-  // state while other sessions may still be delivering.  The lambda runs
-  // without the session lock held (it is analyzed as its own function), so
-  // it touches the algorithm only through the captured raw pointer.
-  MergeOutputStats stats;
-  MergeAlgorithm* algorithm = self->algorithm_.get();
-  self->merger_->CallOnMergeThread([&] { stats = algorithm->stats(); });
-  return stats;
+  // Snapshot at a barrier: the only race-free reader of algorithm state
+  // while other sessions may still be delivering; for a partitioned merge
+  // the totals are aggregated across shards with the sum/min rules.
+  return self->merger_->StatsSnapshot();
 }
 
 const char* MergeServer::algorithm_name() const {
   MutexLock lock(mutex_);
-  return algorithm_ == nullptr
+  return merger_ == nullptr
              ? "none"
-             : AlgorithmCaseName(algorithm_->algorithm_case());
+             : AlgorithmCaseName(merger_->algorithm_case());
 }
 
 obs::MetricsSnapshot MergeServer::MetricsSnapshotLocked() {
@@ -723,9 +858,9 @@ StatsResponseMessage MergeServer::BuildStatsResponseLocked() {
   StatsResponseMessage stats;
   stats.output_stable =
       merger_ == nullptr ? kMinTimestamp : merger_->max_stable();
-  if (algorithm_ != nullptr) {
+  if (merger_ != nullptr) {
     stats.algorithm_case =
-        static_cast<uint8_t>(algorithm_->algorithm_case());
+        static_cast<uint8_t>(merger_->algorithm_case());
   }
   for (const auto& [id, session] : sessions_) {
     if (session.state == SessionState::kPublisher) ++stats.publishers;
@@ -736,39 +871,27 @@ StatsResponseMessage MergeServer::BuildStatsResponseLocked() {
   }
   stats.metrics = MetricsSnapshotLocked();
   if (merger_ != nullptr) {
-    // Per-input counters, copied on the merge thread (race-free against
-    // in-flight deliveries), then joined with the session registry.
-    std::vector<PerInputStats> per_input;
-    std::vector<bool> active;
-    MergeOutputStats totals;
-    // The lambda is analyzed lock-free: reach the algorithm through a
-    // captured raw pointer, not the mutex_-guarded member.
-    MergeAlgorithm* algorithm = algorithm_.get();
-    merger_->CallOnMergeThread([&] {
-      per_input = algorithm->per_input_stats();
-      active.resize(per_input.size());
-      for (size_t s = 0; s < per_input.size(); ++s) {
-        active[s] = algorithm->stream_active(static_cast<int>(s));
-      }
-      totals = algorithm->stats();
-    });
-    stats.output_inserts = totals.inserts_out;
-    stats.output_adjusts = totals.adjusts_out;
-    stats.inputs.reserve(per_input.size());
-    for (size_t s = 0; s < per_input.size(); ++s) {
+    // Per-input counters, copied at a barrier (race-free against in-flight
+    // deliveries, one consistent cut across shards), then joined with the
+    // session registry.
+    const MergerInputSnapshot snapshot = merger_->InputSnapshot();
+    stats.output_inserts = snapshot.totals.inserts_out;
+    stats.output_adjusts = snapshot.totals.adjusts_out;
+    stats.inputs.reserve(snapshot.per_input.size());
+    for (size_t s = 0; s < snapshot.per_input.size(); ++s) {
       StatsInputRow row;
       row.stream_id = static_cast<int32_t>(s);
       // Departed publishers keep their name (the live-session join below
       // only flips `connected` back on).
       const auto name = stream_names_.find(static_cast<int>(s));
       if (name != stream_names_.end()) row.peer_name = name->second;
-      row.active = active[s];
-      row.inserts_in = per_input[s].inserts_in;
-      row.adjusts_in = per_input[s].adjusts_in;
-      row.stables_in = per_input[s].stables_in;
-      row.dropped = per_input[s].dropped;
-      row.contributed = per_input[s].contributed;
-      row.stable_point = per_input[s].stable_point;
+      row.active = snapshot.active[s];
+      row.inserts_in = snapshot.per_input[s].inserts_in;
+      row.adjusts_in = snapshot.per_input[s].adjusts_in;
+      row.stables_in = snapshot.per_input[s].stables_in;
+      row.dropped = snapshot.per_input[s].dropped;
+      row.contributed = snapshot.per_input[s].contributed;
+      row.stable_point = snapshot.per_input[s].stable_point;
       stats.inputs.push_back(std::move(row));
     }
     for (const auto& [id, session] : sessions_) {

@@ -13,11 +13,15 @@
 //     RemoveStream — the paper's joining/leaving-stream protocol
 //     (Sec. V-B/C), including holding back stable() elements from streams
 //     that have not yet reached their declared join time;
-//   * delivers elements through a ConcurrentMerger: each publisher session
-//     enqueues into its own SPSC ring (a decoded ELEMENTS frame goes in as
-//     one batch) and a single merge thread drains them through
+//   * delivers elements through a Merger: each publisher session enqueues
+//     into its own SPSC ring (a decoded ELEMENTS frame goes in as one
+//     batch) and merge threads drain them through
 //     MergeAlgorithm::ProcessBatch — delivery is enqueue-only, so call
-//     Flush() (or the flushing getters) before inspecting merged output;
+//     Flush() (or the flushing getters) before inspecting merged output.
+//     With merge_threads == 1 this is the single-threaded ConcurrentMerger
+//     (byte-identical to the pre-partitioned server); with more it is a
+//     PartitionedMerger sharding the algorithm across that many threads
+//     behind a min-frontier stable-point aggregator (engine/partitioned.h);
 //   * fans the merged output out to every subscriber as ELEMENT frames and
 //     to registered in-process sinks, from the merge thread;
 //   * pushes FEEDBACK frames carrying the output stable point to lagging
@@ -44,6 +48,7 @@
 #include "common/thread_annotations.h"
 #include "core/factory.h"
 #include "engine/concurrent.h"
+#include "engine/merger.h"
 #include "net/frame.h"
 #include "net/protocol.h"
 #include "net/transport.h"
@@ -67,6 +72,12 @@ struct MergeServerOptions {
   // thread) and the drain batch size handed to ProcessBatch.
   size_t ring_capacity = 4096;
   size_t max_batch = 1024;
+  // Merge threads.  1 (the default) runs the single-threaded
+  // ConcurrentMerger, byte-identical to the pre-partitioned server; N > 1
+  // shards the merge algorithm N ways by (payload, Vs) key hash behind a
+  // min-frontier stable-point aggregator (engine/partitioned.h).  The
+  // merged output is TDB-equivalent at every stable point either way.
+  int merge_threads = 1;
   // Cap on payload-dictionary entries per v2 session direction; bounds the
   // per-session decoder memory and the per-subscriber encoder pin set.
   uint32_t dict_capacity = kDefaultPayloadDictCapacity;
@@ -175,9 +186,10 @@ class MergeServer {
   };
 
   // Routes merged output to subscribers + registered sinks.  Runs on the
-  // merger's internal merge thread, which must NEVER take the server lock
-  // (a producer blocked on ring backpressure may hold it) — so the fan-out
-  // targets live in their own registry under fanout_mutex_.
+  // merger's output thread (the merge thread for merge_threads == 1, the
+  // aggregator thread for a partitioned merge), which must NEVER take the
+  // server lock (a producer blocked on ring backpressure may hold it) — so
+  // the fan-out targets live in their own registry under fanout_mutex_.
   class FanOutSink : public ElementSink {
    public:
     explicit FanOutSink(MergeServer* server) : server_(server) {}
@@ -223,10 +235,16 @@ class MergeServer {
   // Instantiates algorithm + merger for the first publisher.
   Status EnsureAlgorithmLocked(const StreamProperties& first_properties)
       LM_REQUIRES(mutex_);
-  // Snapshots the merge state on the merge thread (a consistent cut between
-  // elements), then streams CUT_CERT + CHECKPOINT_CHUNK frames to the
-  // standby session's connection.
+  // Snapshots the merge state at a barrier (a consistent cut between
+  // elements on every shard), then streams CUT_CERT + CHECKPOINT_CHUNK
+  // frames to the standby session's connection.
   Status SendCheckpointLocked(Session& session) LM_REQUIRES(mutex_);
+  // AdoptCheckpoint's restore path for an LMPC container: reconstructs a
+  // PartitionedMerger with the blob's shard count, loads each shard's
+  // state, and verifies the restored frontiers against the certificate.
+  Status AdoptPartitionedCheckpointLocked(const std::string& blob,
+                                          const replica::CutCertificate& cert)
+      LM_REQUIRES(mutex_);
   // Sends BYE (best effort) and releases the session's resources.
   void CloseSessionLocked(Session& session, const std::string& reason,
                           bool send_bye) LM_REQUIRES(mutex_);
@@ -244,10 +262,13 @@ class MergeServer {
   mutable Mutex mutex_;
   FanOutSink fan_out_;
   // The pointers are guarded by mutex_; the pointees (algorithm state) are
-  // owned by the merger's internal merge thread — snapshot them via
-  // CallOnMergeThread, never directly.
+  // owned by the merger's internal merge thread(s) — snapshot them via
+  // Merger::CallAtBarrier / the snapshot helpers, never directly.
+  // algorithm_ is only set on the single-threaded path (merge_threads == 1);
+  // a PartitionedMerger owns its shard algorithms itself, so all access
+  // goes through the Merger interface.
   std::unique_ptr<MergeAlgorithm> algorithm_ LM_GUARDED_BY(mutex_);
-  std::unique_ptr<ConcurrentMerger> merger_ LM_GUARDED_BY(mutex_);
+  std::unique_ptr<Merger> merger_ LM_GUARDED_BY(mutex_);
   // Meet over all publisher HELLOs.
   StreamProperties met_properties_ LM_GUARDED_BY(mutex_);
   std::map<int, Session> sessions_ LM_GUARDED_BY(mutex_);

@@ -29,6 +29,12 @@ void EncodeCutCertificate(const CutCertificate& cert, Encoder* encoder) {
     encoder->WriteI64(in.stable_point);
     encoder->WriteI64(in.elements_in);
   }
+  // Optional trailing section: only partitioned cuts write it, so
+  // single-shard certificates keep the original byte layout.
+  if (!cert.shard_stables.empty()) {
+    encoder->WriteU32(static_cast<uint32_t>(cert.shard_stables.size()));
+    for (const Timestamp t : cert.shard_stables) encoder->WriteI64(t);
+  }
 }
 
 Status DecodeCutCertificate(Decoder* decoder, CutCertificate* cert) {
@@ -88,6 +94,24 @@ Status DecodeCutCertificate(Decoder* decoder, CutCertificate* cert) {
     if (!(status = decoder->ReadI64(&in.stable_point)).ok()) return status;
     if (!(status = decoder->ReadI64(&in.elements_in)).ok()) return status;
     cert->inputs.push_back(in);
+  }
+  // Pre-partitioned certificates end here; a partitioned cut appends its
+  // per-shard stable frontier.  The certificate is always the last section
+  // of its container (CUT_CERT frame, checkpoint embed), so remaining bytes
+  // unambiguously belong to it.
+  if (!decoder->AtEnd()) {
+    uint32_t shard_count = 0;
+    if (!(status = decoder->ReadU32(&shard_count)).ok()) return status;
+    if (shard_count == 0 ||
+        shard_count > decoder->remaining() / sizeof(int64_t) + 1) {
+      return Status::InvalidArgument("cut certificate shard count invalid");
+    }
+    cert->shard_stables.reserve(shard_count);
+    for (uint32_t i = 0; i < shard_count; ++i) {
+      Timestamp t = kMinTimestamp;
+      if (!(status = decoder->ReadI64(&t)).ok()) return status;
+      cert->shard_stables.push_back(t);
+    }
   }
   return Status::Ok();
 }

@@ -53,6 +53,13 @@ struct CutCertificate {
   // after is the post-cut continuation.
   int64_t elements_sent_at_cut = 0;
   std::vector<CutInputState> inputs;
+  // Partitioned merge only (engine/partitioned.h): each shard algorithm's
+  // max_stable() at the barrier, in shard order.  output_stable is their
+  // minimum.  Empty for a single-threaded cut — and an empty vector is not
+  // encoded at all, so single-shard certificates stay byte-identical to the
+  // pre-partitioned format (the decoder reads the section only when bytes
+  // remain).
+  std::vector<Timestamp> shard_stables;
 };
 
 void EncodeCutCertificate(const CutCertificate& cert, Encoder* encoder);

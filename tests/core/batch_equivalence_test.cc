@@ -8,9 +8,12 @@
 
 #include <algorithm>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/factory.h"
+#include "engine/partitioned.h"
+#include "temporal/freeze.h"
 #include "temporal/tdb.h"
 #include "test_util.h"
 #include "workload/generator.h"
@@ -163,6 +166,115 @@ INSTANTIATE_TEST_SUITE_P(
                                          MergeVariant::kLMR3Minus,
                                          MergeVariant::kLMR4),
                        ::testing::Values(1u, 2u, 3u, 4u, 5u)));
+
+// ---------------------------------------------------------------------------
+// Partitioned TDB-equivalence (engine/partitioned.h): sharding the merge by
+// (payload, Vs) key behind the min-frontier stable-point aggregator must be
+// semantically invisible.  Delivery interleavings differ across shard
+// threads, so exact output-byte equality with the single-threaded merge is
+// not the contract — TDB equivalence at every stable point is:
+//   1. the recombined output is a valid physical stream (Tdb::Apply accepts
+//      every element — an insert behind the output stable point would fail);
+//   2. at every stable(t) the partitioned output emits, the fully-frozen
+//      events of its reconstituted prefix equal the ground truth's fully
+//      frozen events at t (that set is final once stable(t) is out);
+//   3. the final TDB, stable point, and input-side stats match the
+//      single-threaded merge of the same tapes.
+// ---------------------------------------------------------------------------
+
+std::vector<std::pair<Event, int64_t>> FullyFrozenEvents(const Tdb& tdb,
+                                                         Timestamp stable) {
+  std::vector<std::pair<Event, int64_t>> frozen;
+  tdb.ForEach([&](const Event& event, int64_t count) {
+    if (ClassifyFreeze(event.vs, event.ve, stable) ==
+        FreezeStatus::kFullyFrozen) {
+      frozen.emplace_back(event, count);
+    }
+  });
+  return frozen;
+}
+
+class PartitionedEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<MergeVariant, uint64_t, int>> {};
+
+TEST_P(PartitionedEquivalence, ShardingIsSemanticallyInvisible) {
+  const auto [variant, seed, shards] = GetParam();
+  const LogicalHistory history = ClosedHistory(seed);
+  const int num_streams = 3;
+  const std::vector<ElementSequence> tapes =
+      MakeTapes(variant, history, seed, num_streams);
+  const Tdb ground_truth = Tdb::Reconstitute(RenderInOrder(history));
+
+  for (const MergePolicy& policy :
+       {MergePolicy::Default(), MergePolicy::Eager()}) {
+    // Single-threaded reference over the same tapes (deterministic
+    // schedule; any schedule yields the same TDB at each stable point).
+    CollectingSink single_out;
+    auto single =
+        CreateMergeAlgorithm(variant, num_streams, &single_out, policy);
+    for (const Chunk& chunk : MakeSchedule(tapes, seed * 71 + 5)) {
+      const ElementSequence& tape = tapes[static_cast<size_t>(chunk.stream)];
+      ASSERT_TRUE(single
+                      ->ProcessBatch(chunk.stream,
+                                     std::span<const StreamElement>(
+                                         tape.data() + chunk.begin,
+                                         chunk.length))
+                      .ok());
+    }
+
+    // Partitioned merge, genuinely threaded (one producer per tape, N
+    // shard threads, the aggregator thread).
+    CollectingSink partitioned_out;
+    PartitionedMergerOptions options;
+    options.shards = shards;
+    PartitionedMerger merger(
+        [&](int, ElementSink* sink) {
+          return CreateMergeAlgorithm(variant, num_streams, sink, policy);
+        },
+        &partitioned_out, options);
+    merger.Run(tapes);
+
+    // (1) validity + (2) frozen-prefix equivalence at every stable point.
+    Tdb prefix;
+    for (const StreamElement& element : partitioned_out.elements()) {
+      ASSERT_TRUE(prefix.Apply(element).ok())
+          << MergeVariantName(variant) << " seed " << seed << " shards "
+          << shards << ": " << element.ToString();
+      if (element.is_stable()) {
+        ASSERT_EQ(FullyFrozenEvents(prefix, element.stable_time()),
+                  FullyFrozenEvents(ground_truth, element.stable_time()))
+            << MergeVariantName(variant) << " seed " << seed << " shards "
+            << shards << " at stable " << element.stable_time();
+      }
+    }
+
+    // (3) final-state equivalence with the single-threaded merge.
+    EXPECT_EQ(merger.max_stable(), single->max_stable());
+    EXPECT_TRUE(prefix.Equals(Tdb::Reconstitute(single_out.elements())));
+    EXPECT_TRUE(prefix.Equals(ground_truth))
+        << MergeVariantName(variant) << " seed " << seed << " shards "
+        << shards;
+    const MergeOutputStats stats = merger.StatsSnapshot();
+    EXPECT_EQ(stats.inserts_in, single->stats().inserts_in);
+    EXPECT_EQ(stats.adjusts_in, single->stats().adjusts_in);
+    EXPECT_EQ(stats.stables_in, single->stats().stables_in);
+    // First-delivery-wins dedup is interleaving-independent per key, so
+    // even the emitted insert count matches the single-threaded merge.
+    EXPECT_EQ(stats.inserts_out, single->stats().inserts_out);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsSeedsShards, PartitionedEquivalence,
+    ::testing::Combine(::testing::Values(MergeVariant::kLMR0,
+                                         MergeVariant::kLMR1,
+                                         MergeVariant::kLMR2,
+                                         MergeVariant::kLMR3Plus,
+                                         MergeVariant::kLMR3Minus,
+                                         MergeVariant::kLMR4),
+                       ::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(2, 4)));
 
 // A batch whose tail element is invalid must apply the valid prefix and
 // surface the tail's error — same observable behaviour as element-wise

@@ -119,9 +119,10 @@ void Publish(net::MergeServer* server, Publisher* pub,
 // the standby jumpstarts at ~half the stream, the primary dies at ~80%,
 // and the surviving publishers replay their full streams to the promoted
 // standby (the Sec. V-B join protocol dedups everything pre-delivered).
-void RunFailover(MergeVariant variant, uint64_t seed) {
+void RunFailover(MergeVariant variant, uint64_t seed, int merge_threads = 1) {
   SCOPED_TRACE(::testing::Message()
-               << "variant=" << static_cast<int>(variant) << " seed=" << seed);
+               << "variant=" << static_cast<int>(variant) << " seed=" << seed
+               << " merge_threads=" << merge_threads);
   const LogicalHistory history = ClosedHistory(seed);
   std::vector<ElementSequence> inputs;
   for (uint64_t v = 0; v < 2; ++v) {
@@ -142,6 +143,7 @@ void RunFailover(MergeVariant variant, uint64_t seed) {
 
   net::MergeServerOptions primary_options;
   primary_options.variant = variant;
+  primary_options.merge_threads = merge_threads;
   net::MergeServer primary(primary_options);
 
   // Standby attaches to the primary over a loopback connection.
@@ -220,6 +222,16 @@ TEST(FailoverTest, R2Seed1) { RunFailover(MergeVariant::kLMR2, 1); }
 TEST(FailoverTest, R2Seed2) { RunFailover(MergeVariant::kLMR2, 2); }
 TEST(FailoverTest, R4Seed1) { RunFailover(MergeVariant::kLMR4, 1); }
 TEST(FailoverTest, R4Seed2) { RunFailover(MergeVariant::kLMR4, 2); }
+
+// Partitioned primary: the cut snapshots every shard at one barrier, the
+// LMPC blob carries the shard count, and the promoted standby reconstructs
+// the same partitioned topology — all through the unchanged standby path.
+TEST(FailoverTest, PartitionedR4Seed1) {
+  RunFailover(MergeVariant::kLMR4, 1, /*merge_threads=*/4);
+}
+TEST(FailoverTest, PartitionedR3PlusSeed2) {
+  RunFailover(MergeVariant::kLMR3Plus, 2, /*merge_threads=*/3);
+}
 
 TEST(FailoverTest, JumpstartBeforeFirstPublisher) {
   // A standby that attaches before the primary has any state simply

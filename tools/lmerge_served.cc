@@ -4,10 +4,15 @@
 //   lmerge_served --port=7654 [--bind=127.0.0.1]
 //                 [--variant=auto|R0|R1|R2|R3+|R3-|R4|counting]
 //                 [--policy=lazy|eager|conservative] [--stable-lag=T]
+//                 [--merge-threads=N]
 //                 [--no-feedback] [--out=merged.lmst]
 //                 [--drain-publishers=N] [--quiet]
 //                 [--metrics-interval=SEC] [--metrics-out=FILE]
 //                 [--trace-out=FILE] [--no-metrics]
+//
+// --merge-threads=N (default 1) shards the merge core across N threads by
+// (payload, Vs) key hash behind a min-frontier stable-point aggregator
+// (engine/partitioned.h); N=1 is the byte-identical single-threaded path.
 //
 // With --drain-publishers=N the daemon exits once at least N publishers
 // have connected and all publishers have disconnected again (the scripted
@@ -45,7 +50,8 @@ int Usage() {
       stderr,
       "usage: lmerge_served --port=N [--bind=ADDR] [--variant=auto|R4|...]\n"
       "                     [--policy=lazy|eager|conservative]\n"
-      "                     [--stable-lag=T] [--no-feedback]\n"
+      "                     [--stable-lag=T] [--merge-threads=N]\n"
+      "                     [--no-feedback]\n"
       "                     [--out=FILE] [--drain-publishers=N] [--quiet]\n"
       "                     [--metrics-interval=SEC] [--metrics-out=FILE]\n"
       "                     [--trace-out=FILE] [--no-metrics]\n");
@@ -102,6 +108,9 @@ int main(int argc, char** argv) {
     return Usage();
   }
   options.policy.stable_lag = flags.GetInt("stable-lag", 0);
+  options.merge_threads =
+      static_cast<int>(flags.GetInt("merge-threads", 1));
+  if (options.merge_threads < 1) return Usage();
 
   if (flags.Has("no-metrics")) obs::MetricsRegistry::set_enabled(false);
   const std::string trace_path = flags.GetString("trace-out", "");

@@ -12,6 +12,7 @@
 // plus the server's full metrics-registry snapshot — instead of the text
 // table, for scripting (scripts/demo_net.sh asserts on it).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -94,6 +95,31 @@ void PrintTable(const net::StatsResponseMessage& stats,
                 static_cast<long long>(row.contributed),
                 static_cast<long long>(row.dropped), lag.c_str(),
                 rate.c_str());
+  }
+  // Partitioned merge (--merge-threads > 1): summarize how evenly the
+  // (Vs, payload) hash spread the work.  A hot shard means a skewed key
+  // distribution — the merge degrades toward single-threaded throughput.
+  const int64_t shards = stats.metrics.Value("merge.shards", 0);
+  if (shards > 1) {
+    int64_t total = 0;
+    int64_t busiest = 0;
+    int64_t quietest = -1;
+    for (int64_t k = 0; k < shards; ++k) {
+      const int64_t elements = stats.metrics.Value(
+          "merge.shard." + std::to_string(k) + ".elements", 0);
+      total += elements;
+      busiest = std::max(busiest, elements);
+      if (quietest < 0 || elements < quietest) quietest = elements;
+    }
+    const double even = static_cast<double>(total) /
+                        static_cast<double>(shards);
+    std::printf("  shards %lld  elements %lld  busiest %lld  quietest %lld"
+                "  skew %.2fx\n",
+                static_cast<long long>(shards),
+                static_cast<long long>(total),
+                static_cast<long long>(busiest),
+                static_cast<long long>(quietest),
+                even > 0 ? static_cast<double>(busiest) / even : 1.0);
   }
 }
 
