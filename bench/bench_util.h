@@ -153,6 +153,10 @@ struct BenchJsonEntry {
   double p50_latency_us = 0;
   double p99_latency_us = 0;
   int64_t state_bytes = 0;
+  // Fan-out accounting (bench_fanout_scale): bytes the server serialized
+  // once per merged batch vs. bytes actually sent across all subscribers.
+  int64_t encoded_bytes = 0;
+  int64_t tx_fanout_bytes = 0;
 };
 
 // Console output as usual, plus a copy of every run's metrics for the JSON
@@ -174,6 +178,9 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
       entry.p50_latency_us = counter("p50_us");
       entry.p99_latency_us = counter("p99_us");
       entry.state_bytes = static_cast<int64_t>(counter("state_bytes"));
+      entry.encoded_bytes = static_cast<int64_t>(counter("encoded_bytes"));
+      entry.tx_fanout_bytes =
+          static_cast<int64_t>(counter("tx_fanout_bytes"));
       entries_.push_back(std::move(entry));
     }
     benchmark::ConsoleReporter::ReportRuns(runs);
@@ -204,6 +211,10 @@ inline bool WriteBenchJson(const std::string& path,
     writer.Double(e.p99_latency_us);
     writer.Key("state_bytes");
     writer.Int(e.state_bytes);
+    writer.Key("encoded_bytes");
+    writer.Int(e.encoded_bytes);
+    writer.Key("tx_fanout_bytes");
+    writer.Int(e.tx_fanout_bytes);
     writer.EndObject();
   }
   writer.EndArray();

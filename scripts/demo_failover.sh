@@ -28,7 +28,7 @@ WORK=$(mktemp -d /tmp/lmerge_failover.XXXXXX)
 trap 'kill $(jobs -p) 2>/dev/null; rm -rf "$WORK"' EXIT
 
 for tool in lmerge_gen lmerge_served lmerge_standby lmerge_publish \
-            lmerge_inspect; do
+            lmerge_inspect lmerge_stats; do
   [ -x "$TOOLS/$tool" ] || {
     echo "error: $TOOLS/$tool not built (cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -47,19 +47,25 @@ echo "== starting the primary on port $PRIMARY_PORT =="
 "$TOOLS/lmerge_served" --port="$PRIMARY_PORT" \
     --drain-publishers=99 --quiet &
 PRIMARY_PID=$!
-sleep 0.3
 
 echo "== standby attaches, shadows, and jumpstarts mid-stream =="
-# The delay lets the publishers make progress first, so the jumpstart
+# The jumpstart delay lets the publishers make progress first, so it
 # exercises a real snapshot + non-zero dedup horizon instead of an empty
-# from-scratch start.
+# from-scratch start.  --retry rides out the primary still binding its
+# port: no startup sleep.
 "$TOOLS/lmerge_standby" --primary-port="$PRIMARY_PORT" \
     --port="$STANDBY_PORT" --out="$WORK/standby.lmst" \
     --checkpoint-out="$WORK/snapshot.lmck" \
     --metrics-out="$WORK/standby_metrics.json" \
-    --jumpstart-delay-ms=1200 --drain-publishers=2 --quiet &
+    --jumpstart-delay-ms=1200 --drain-publishers=2 --quiet \
+    --retry=40 --connect-timeout-ms=500 &
 STANDBY_PID=$!
-sleep 0.3
+# Gate on the primary actually reporting the standby's session, so the
+# shadow feed covers the whole merged stream before any publisher starts.
+until "$TOOLS/lmerge_stats" 127.0.0.1 "$PRIMARY_PORT" --count=1 --json \
+      2>/dev/null | grep -q '"subscribers": *[1-9]'; do
+  sleep 0.05
+done
 
 echo "== publishers stream their tapes to the primary =="
 "$TOOLS/lmerge_publish" 127.0.0.1 "$PRIMARY_PORT" "$WORK/a.lmst" \
@@ -68,6 +74,11 @@ A_PID=$!
 "$TOOLS/lmerge_publish" 127.0.0.1 "$PRIMARY_PORT" "$WORK/b.lmst" \
     --name=replica-b
 wait "$A_PID"
+# The standby archives the checkpoint right after its jumpstart completes;
+# gate the kill on that file so the snapshot transfer is never cut off
+# (the event-loop stack finishes both tapes well inside the 1200ms
+# jumpstart delay, so a fixed sleep would race it).
+until [ -s "$WORK/snapshot.lmck" ]; do sleep 0.05; done
 sleep 0.5   # let the primary's fan-out drain to the standby
 
 echo "== killing the primary (SIGKILL) =="
@@ -76,13 +87,13 @@ wait "$PRIMARY_PID" 2>/dev/null || true
 
 echo "== survivors reconnect to the promoted standby on port $STANDBY_PORT =="
 # The replayed tapes are redundant presentations of everything the standby
-# already merged; the restored state absorbs the duplicates.
-sleep 0.3
+# already merged; the restored state absorbs the duplicates.  --retry rides
+# out the promotion window instead of a fixed sleep.
 "$TOOLS/lmerge_publish" 127.0.0.1 "$STANDBY_PORT" "$WORK/a.lmst" \
-    --name=replica-a &
+    --name=replica-a --retry=40 --connect-timeout-ms=500 &
 A2_PID=$!
 "$TOOLS/lmerge_publish" 127.0.0.1 "$STANDBY_PORT" "$WORK/b.lmst" \
-    --name=replica-b
+    --name=replica-b --retry=40 --connect-timeout-ms=500
 wait "$A2_PID"
 wait "$STANDBY_PID"
 

@@ -44,11 +44,11 @@ echo "== starting lmerge_served on port $PORT =="
     --metrics-out="$WORK/metrics.json" \
     --drain-publishers=4 --quiet &
 SERVER_PID=$!
-sleep 0.3
 
 echo "== subscriber attaches for the live merged stream =="
+# --retry rides out the server still binding its port: no startup sleep.
 "$TOOLS/lmerge_subscribe" 127.0.0.1 "$PORT" "$WORK/subscribed.lmst" \
-    --validate &
+    --validate --retry=40 --connect-timeout-ms=500 &
 SUBSCRIBER_PID=$!
 
 echo "== lmerge_stats monitor polls the live server in the background =="
@@ -59,7 +59,13 @@ echo "== lmerge_stats monitor polls the live server in the background =="
     sleep 0.05
   done ) &
 POLLER_PID=$!
-sleep 0.2
+# Gate on the server actually reporting the subscriber session, so the
+# capture covers the whole merged stream (instead of sleeping and hoping
+# the handshake won the race against the publishers below).
+until "$TOOLS/lmerge_stats" 127.0.0.1 "$PORT" --count=1 --json 2>/dev/null \
+      | grep -q '"subscribers": *[1-9]'; do
+  sleep 0.05
+done
 
 echo "== publishing: replica-b is killed mid-stream, then rejoins =="
 "$TOOLS/lmerge_publish" 127.0.0.1 "$PORT" "$WORK/a.lmst" --name=replica-a &
@@ -74,6 +80,15 @@ sleep 0.2
     > "$WORK/stats_after_crash.json"
 "$TOOLS/lmerge_publish" 127.0.0.1 "$PORT" "$WORK/b.lmst" \
     --name=replica-b-rejoin &
+# The event-loop transport serves a replayed (fully fast-forwarded) tape
+# faster than the 50ms poll cadence, so deterministically record one poll
+# that saw the fresh input before moving on (inputs persist in the stats
+# table, so this converges as soon as the rejoin handshake lands).
+until "$TOOLS/lmerge_stats" 127.0.0.1 "$PORT" --count=1 --json \
+      > "$WORK/poll_rejoin.json" 2>/dev/null && \
+      grep -q '"peer": *"replica-b-rejoin"' "$WORK/poll_rejoin.json"; do
+  sleep 0.02
+done
 "$TOOLS/lmerge_publish" 127.0.0.1 "$PORT" "$WORK/c.lmst" --name=replica-c
 
 wait "$SERVER_PID"

@@ -270,6 +270,10 @@ size_t ConcurrentMerger::ProcessControlOps() {
       if (op.stream < algorithm_->stream_count() &&
           algorithm_->stream_active(op.stream)) {
         algorithm_->RemoveStream(op.stream);
+        // RemoveStream can release buffered elements into the sink; flush
+        // them like any batch so a buffering sink never holds them past
+        // the departure barrier.
+        if (options_.after_batch) options_.after_batch();
       }
       op.result.set_value(0);
     }

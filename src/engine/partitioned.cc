@@ -399,6 +399,14 @@ size_t PartitionedMerger::DrainShardOutput(int shard,
     for (size_t i = 0; i < n; ++i) ForwardElement(shard, (*scratch)[i]);
   }
   if (options_.after_batch) options_.after_batch();
+  // Decrement only after after_batch so WaitIdle/barrier waiters observe a
+  // flushed sink, not just delivered-to-a-buffer elements.
+  if (out_pending_.fetch_sub(static_cast<int64_t>(n),
+                             std::memory_order_acq_rel) ==
+      static_cast<int64_t>(n)) {
+    MutexLock lock(out_idle_mutex_);
+    out_idle_cv_.NotifyAll();
+  }
   if (s.producer_waiting.load(std::memory_order_acquire)) {
     {
       MutexLock lock(s.wait_mutex);
@@ -428,12 +436,8 @@ void PartitionedMerger::ForwardElement(int shard, StreamElement& element) {
   } else {
     sink_->OnElement(element);
   }
-  // Decrement strictly after the element's full effect (forward or stable
-  // emission) so WaitIdle/barrier waiters observe a complete output.
-  if (out_pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    MutexLock lock(out_idle_mutex_);
-    out_idle_cv_.NotifyAll();
-  }
+  // out_pending_ is decremented by the caller (DrainShardOutput) after the
+  // whole chunk and its after_batch flush, so idle waiters see flushed data.
 }
 
 }  // namespace lmerge

@@ -1,0 +1,171 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+
+namespace lmerge::net {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  LM_CHECK(epoll_fd_ >= 0);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  LM_CHECK(wake_fd_ >= 0);
+  epoll_event event;
+  std::memset(&event, 0, sizeof(event));
+  event.events = EPOLLIN;
+  event.data.fd = wake_fd_;
+  LM_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event) == 0);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  wakeups_metric_ = registry.GetCounter("net.loop.wakeups");
+  dispatches_metric_ = registry.GetCounter("net.loop.dispatches");
+  posted_metric_ = registry.GetCounter("net.loop.posted");
+}
+
+EventLoop::~EventLoop() {
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+Status EventLoop::Add(int fd, uint32_t events, Callback callback) {
+  {
+    MutexLock lock(mutex_);
+    callbacks_[fd] = std::move(callback);
+  }
+  epoll_event event;
+  std::memset(&event, 0, sizeof(event));
+  event.events = events;
+  event.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+    MutexLock lock(mutex_);
+    callbacks_.erase(fd);
+    return Status::Internal(std::string("epoll_ctl add: ") +
+                            std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status EventLoop::Interest(int fd, uint32_t events) {
+  epoll_event event;
+  std::memset(&event, 0, sizeof(event));
+  event.events = events;
+  event.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) != 0) {
+    return Status::Internal(std::string("epoll_ctl mod: ") +
+                            std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+void EventLoop::Remove(int fd) {
+  // Deregister from the kernel first so no further events can surface,
+  // then drop the callback.
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  MutexLock lock(mutex_);
+  callbacks_.erase(fd);
+}
+
+void EventLoop::Post(std::function<void()> task) {
+  {
+    MutexLock lock(mutex_);
+    posted_.push_back(std::move(task));
+  }
+  posted_metric_->Increment();
+  Wake();
+}
+
+void EventLoop::Stop() {
+  {
+    MutexLock lock(mutex_);
+    stop_ = true;
+  }
+  Wake();
+}
+
+int EventLoop::registered() const {
+  MutexLock lock(mutex_);
+  return static_cast<int>(callbacks_.size());
+}
+
+void EventLoop::Wake() {
+  const uint64_t one = 1;
+  // The eventfd counter saturating (EAGAIN) still leaves it readable, so a
+  // failed write cannot lose the wakeup.
+  (void)!::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::RunPosted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    MutexLock lock(mutex_);
+    tasks.swap(posted_);
+  }
+  for (auto& task : tasks) task();
+}
+
+void EventLoop::Run() { Run(/*tick_interval_ms=*/-1, nullptr); }
+
+void EventLoop::Run(int tick_interval_ms, std::function<void()> tick) {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point next_tick;
+  if (tick_interval_ms > 0) {
+    next_tick = Clock::now() + std::chrono::milliseconds(tick_interval_ms);
+  }
+  epoll_event events[64];
+  while (true) {
+    {
+      MutexLock lock(mutex_);
+      if (stop_) break;
+    }
+    int timeout_ms = -1;
+    if (tick_interval_ms > 0) {
+      const auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+          next_tick - Clock::now());
+      timeout_ms = static_cast<int>(std::max<int64_t>(0, until.count()));
+    }
+    const int n = ::epoll_wait(epoll_fd_, events,
+                               static_cast<int>(std::size(events)),
+                               timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd itself is broken; nothing recoverable
+    }
+    wakeups_metric_->Increment();
+    if (tick_interval_ms > 0 && Clock::now() >= next_tick) {
+      next_tick = Clock::now() + std::chrono::milliseconds(tick_interval_ms);
+      if (tick) tick();
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drained;
+        (void)!::read(wake_fd_, &drained, sizeof(drained));
+        continue;
+      }
+      // Look the callback up per event: an earlier callback in this same
+      // round may have Remove()d this fd (e.g. a session teardown closing
+      // a peer), and a stale dispatch must not fire.  The copy keeps the
+      // lock out of the callback itself.
+      Callback callback;
+      {
+        MutexLock lock(mutex_);
+        auto it = callbacks_.find(fd);
+        if (it == callbacks_.end()) continue;
+        callback = it->second;
+      }
+      dispatches_metric_->Increment();
+      callback(events[i].events);
+    }
+    RunPosted();
+  }
+  RunPosted();
+}
+
+}  // namespace lmerge::net

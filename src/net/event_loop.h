@@ -1,0 +1,96 @@
+// A non-blocking epoll event loop: one thread owning many file
+// descriptors, the substrate of the multiplexed ServeLoop (net/server.h).
+//
+// The loop is level-triggered.  Each registered fd carries a callback that
+// fires with the ready epoll event mask; callbacks run on the loop thread,
+// one at a time, so per-connection state touched only from callbacks needs
+// no lock.  Cross-thread work is injected with Post() (an eventfd wakes the
+// loop), and Interest() re-arms a registered fd's event mask — the
+// writability dance of a connection with queued output: EPOLLOUT is armed
+// only while a backlog exists, so an idle socket costs nothing per tick.
+//
+// Why epoll and not a thread per connection: a million-user deployment
+// means thousands of subscribers per server, and a pump thread each burns
+// ~8 MiB of stack and a scheduler slot apiece for sessions that are idle
+// almost always.  One loop thread multiplexes them all; --io-threads=N
+// shards connections across N loops when one core of syscall work is not
+// enough (tools/lmerge_served).
+//
+// Instrumented under net.loop.* (docs/OBSERVABILITY.md): wakeups, events
+// dispatched, posted tasks, registered fds.
+
+#ifndef LMERGE_NET_EVENT_LOOP_H_
+#define LMERGE_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+
+namespace lmerge::net {
+
+class EventLoop {
+ public:
+  // Ready-event callback: `events` is the epoll event mask (EPOLLIN,
+  // EPOLLOUT, EPOLLHUP, ...).  Runs on the loop thread.
+  using Callback = std::function<void(uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Registers `fd` with the given interest mask.  The callback stays
+  // registered until Remove(fd).  Any thread.
+  Status Add(int fd, uint32_t events, Callback callback);
+
+  // Re-arms the interest mask of a registered fd.  Any thread; epoll_ctl
+  // is atomic with respect to a concurrent epoll_wait.
+  Status Interest(int fd, uint32_t events);
+
+  // Unregisters `fd`.  Must not be called from another thread while the
+  // loop may still be dispatching this fd's callback — in practice:
+  // callbacks remove their own fd, and foreign threads Post() the removal.
+  void Remove(int fd);
+
+  // Runs `task` on the loop thread before the next dispatch round.  The
+  // only way for non-loop threads to touch loop-owned state.
+  void Post(std::function<void()> task);
+
+  // Dispatches until Stop().  `tick` (and `tick_interval_ms` > 0) adds a
+  // periodic timer callback on the loop thread — the idle-timeout sweep.
+  void Run();
+  void Run(int tick_interval_ms, std::function<void()> tick);
+
+  // Signals Run() to return after the current dispatch round.  Any thread.
+  void Stop();
+
+  // Registered fd count (excluding the internal wake eventfd).
+  int registered() const;
+
+ private:
+  void Wake();
+  void RunPosted();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: Post()/Stop() wake a blocked epoll_wait
+
+  mutable Mutex mutex_;
+  std::map<int, Callback> callbacks_ LM_GUARDED_BY(mutex_);
+  std::vector<std::function<void()>> posted_ LM_GUARDED_BY(mutex_);
+  bool stop_ LM_GUARDED_BY(mutex_) = false;
+
+  obs::Counter* wakeups_metric_;
+  obs::Counter* dispatches_metric_;
+  obs::Counter* posted_metric_;
+};
+
+}  // namespace lmerge::net
+
+#endif  // LMERGE_NET_EVENT_LOOP_H_

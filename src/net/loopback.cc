@@ -1,6 +1,10 @@
 #include "net/loopback.h"
 
+#include <sys/eventfd.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cstdint>
 
 #include "common/check.h"
 #include "common/mutex.h"
@@ -10,12 +14,29 @@ namespace lmerge::net {
 
 namespace {
 
-// One direction of a loopback pair: a byte queue with its own lock.
+// Signals an eventfd (saturating add; a full counter still polls readable).
+void SignalEvent(int fd) {
+  const uint64_t one = 1;
+  (void)!::write(fd, &one, sizeof(one));
+}
+
+// One direction of a loopback pair: a byte queue with its own lock.  The
+// eventfd mirrors "bytes or close pending" so an epoll loop can multiplex
+// loopback connections exactly like sockets (readers clear it FIRST, then
+// drain bytes, so a write between the two steps re-signals and is never
+// lost).
 struct Pipe {
   Mutex mutex;
   CondVar readable;
   std::string bytes LM_GUARDED_BY(mutex);
   bool closed LM_GUARDED_BY(mutex) = false;  // no further writes will arrive
+  int event_fd = -1;
+
+  Pipe() {
+    event_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    LM_CHECK(event_fd >= 0);
+  }
+  ~Pipe() { ::close(event_fd); }
 
   void Write(const char* data, size_t size) LM_EXCLUDES(mutex) {
     {
@@ -23,6 +44,7 @@ struct Pipe {
       bytes.append(data, size);
     }
     readable.NotifyAll();
+    SignalEvent(event_fd);
   }
 
   void Close() LM_EXCLUDES(mutex) {
@@ -31,6 +53,13 @@ struct Pipe {
       closed = true;
     }
     readable.NotifyAll();
+    SignalEvent(event_fd);
+  }
+
+  // Clears the eventfd; call before draining bytes under the lock.
+  void ClearEvent() {
+    uint64_t drained;
+    (void)!::read(event_fd, &drained, sizeof(drained));
   }
 };
 
@@ -58,6 +87,7 @@ class LoopbackConnection : public Connection {
       out.bytes.append(data, size);
     }
     out.readable.NotifyAll();
+    SignalEvent(out.event_fd);
     return Status::Ok();
   }
 
@@ -75,11 +105,18 @@ class LoopbackConnection : public Connection {
 
   Status TryReceive(std::string* out) override {
     Pipe& in = state_->pipe[1 - side_];
+    // Clear-then-drain: a Write landing between the two steps re-signals
+    // the eventfd, so the next epoll round still sees it.
+    in.ClearEvent();
     MutexLock lock(in.mutex);
     out->append(in.bytes);
     in.bytes.clear();
     if (in.closed) closed_.store(true, std::memory_order_relaxed);
     return Status::Ok();
+  }
+
+  int readable_fd() const override {
+    return state_->pipe[1 - side_].event_fd;
   }
 
   void Close() override {
@@ -124,6 +161,13 @@ struct LoopbackListener::State {
   CondVar acceptable;
   std::deque<std::unique_ptr<Connection>> pending LM_GUARDED_BY(mutex);
   bool closed LM_GUARDED_BY(mutex) = false;
+  int event_fd = -1;  // signalled on Connect and Close, cleared in TryAccept
+
+  State() {
+    event_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    LM_CHECK(event_fd >= 0);
+  }
+  ~State() { ::close(event_fd); }
 };
 
 LoopbackListener::LoopbackListener() : state_(std::make_shared<State>()) {}
@@ -139,6 +183,7 @@ std::unique_ptr<Connection> LoopbackListener::Connect(
     state_->pending.push_back(std::move(pair.second));
   }
   state_->acceptable.NotifyOne();
+  SignalEvent(state_->event_fd);
   return std::move(pair.first);
 }
 
@@ -155,12 +200,32 @@ Status LoopbackListener::Accept(std::unique_ptr<Connection>* connection) {
   return Status::Ok();
 }
 
+Status LoopbackListener::TryAccept(std::unique_ptr<Connection>* connection) {
+  connection->reset();
+  // Clear-then-drain, mirroring LoopbackConnection::TryReceive.
+  uint64_t drained;
+  (void)!::read(state_->event_fd, &drained, sizeof(drained));
+  MutexLock lock(state_->mutex);
+  if (!state_->pending.empty()) {
+    *connection = std::move(state_->pending.front());
+    state_->pending.pop_front();
+    // More pending: keep the fd readable for the next round.
+    if (!state_->pending.empty()) SignalEvent(state_->event_fd);
+    return Status::Ok();
+  }
+  if (state_->closed) return Status::FailedPrecondition("listener closed");
+  return Status::Ok();
+}
+
+int LoopbackListener::pollable_fd() const { return state_->event_fd; }
+
 void LoopbackListener::Close() {
   {
     MutexLock lock(state_->mutex);
     state_->closed = true;
   }
   state_->acceptable.NotifyAll();
+  SignalEvent(state_->event_fd);
 }
 
 }  // namespace lmerge::net

@@ -38,6 +38,8 @@ class LoopbackListener : public Listener {
   std::unique_ptr<Connection> Connect(const std::string& client_name);
 
   Status Accept(std::unique_ptr<Connection>* connection) override;
+  Status TryAccept(std::unique_ptr<Connection>* connection) override;
+  int pollable_fd() const override;
   void Close() override;
 
  private:

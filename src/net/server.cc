@@ -1,13 +1,20 @@
 #include "net/server.h"
 
+#include <sys/epoll.h>
+
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <deque>
+#include <memory>
 #include <span>
 #include <thread>
 #include <utility>
 
 #include "common/payload_store.h"
 #include "engine/partitioned.h"
+#include "net/event_loop.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 
@@ -30,6 +37,11 @@ MergeServer::MergeServer(MergeServerOptions options)
   checkpoint_tx_bytes_metric_ = registry.GetCounter("net.checkpoint.tx.bytes");
   checkpoint_tx_chunks_metric_ =
       registry.GetCounter("net.checkpoint.tx.chunks");
+  fanout_encoded_bytes_metric_ =
+      registry.GetCounter("net.fanout.encoded_bytes");
+  fanout_encoded_frames_metric_ =
+      registry.GetCounter("net.fanout.encoded_frames");
+  fanout_batches_metric_ = registry.GetCounter("net.fanout.batches");
 }
 
 MergeServer::~MergeServer() {
@@ -40,47 +52,99 @@ MergeServer::~MergeServer() {
 }
 
 void MergeServer::FanOutSink::OnElement(const StreamElement& element) {
-  // Merge-thread context.  Only the leaf fanout_mutex_ may be taken here:
-  // a session thread blocked on ring backpressure holds the server lock,
-  // and it unblocks only if this thread keeps draining.
+  // Merger-output-thread context; the buffer is thread-local to it.  The
+  // merger's after_batch hook flushes at every batch boundary — this size
+  // trip only bounds memory when one ProcessBatch emits a huge output.
+  batch_.push_back(element);
+  if (batch_.size() >= server_->options_.max_batch) Flush();
+}
+
+void MergeServer::FanOutSink::Flush() {
+  // Only the leaf fanout_mutex_ may be taken here: a session thread blocked
+  // on ring backpressure holds the server lock, and it unblocks only if
+  // this thread keeps draining.
+  if (batch_.empty()) return;
   LMERGE_TRACE_SPAN("fanout", "net");
   MergeServer* server = server_;
   MutexLock lock(server->fanout_mutex_);
-  std::string inline_frame;  // shared by all v1 subscribers
-  for (auto it = server->subscribers_.begin();
-       it != server->subscribers_.end();) {
-    Status sent;
-    size_t frame_bytes = 0;
-    if (it->dict != nullptr) {
-      // v2: dictionary-coded — after warm-up a repeated payload costs one
-      // u32 on the wire, and the payload Row handle is shared with the
-      // index rather than re-serialized per subscriber.
-      scratch_.clear();
-      scratch_.push_back(element);
-      const std::string frame =
-          EncodeElementsDictFrame(scratch_, it->dict.get());
-      frame_bytes = frame.size();
-      sent = it->connection->Send(frame);
+  server->FanOutBatchLocked(batch_);
+  batch_.clear();
+}
+
+void MergeServer::FanOutBatchLocked(const ElementSequence& batch) {
+  for (ElementSink* sink : output_sinks_) {
+    for (const StreamElement& element : batch) sink->OnElement(element);
+  }
+  if (subscribers_.empty()) return;
+  fanout_batches_metric_->Increment();
+  // Serialize once per protocol class, share by refcount: every v1
+  // subscriber pins the same inline buffer, every v2+ subscriber the same
+  // dictionary buffer.  Encode cost is flat in subscriber count; only the
+  // send loop below scales with it.
+  std::shared_ptr<const std::string> inline_frame;
+  std::shared_ptr<const std::string> dict_frame;
+  for (auto it = subscribers_.begin(); it != subscribers_.end();) {
+    std::shared_ptr<const std::string> frame;
+    if (it->version >= kPayloadDictVersion) {
+      if (dict_frame == nullptr) {
+        dict_frame = EncodeDictBatchLocked(batch);
+        fanout_encoded_frames_metric_->Increment();
+        fanout_encoded_bytes_metric_->Add(
+            static_cast<int64_t>(dict_frame->size()));
+      }
+      frame = dict_frame;
     } else {
-      if (inline_frame.empty()) inline_frame = EncodeElementFrame(element);
-      frame_bytes = inline_frame.size();
-      sent = it->connection->Send(inline_frame);
+      if (inline_frame == nullptr) {
+        inline_frame = std::make_shared<const std::string>(
+            batch.size() == 1 ? EncodeElementFrame(batch[0])
+                              : EncodeElementsFrame(batch));
+        fanout_encoded_frames_metric_->Increment();
+        fanout_encoded_bytes_metric_->Add(
+            static_cast<int64_t>(inline_frame->size()));
+      }
+      frame = inline_frame;
     }
+    const size_t frame_bytes = frame->size();
+    const Status sent = it->connection->SendShared(std::move(frame));
     if (sent.ok()) {
-      server->tx_fanout_frames_metric_->Increment();
-      server->tx_fanout_bytes_metric_->Add(
-          static_cast<int64_t>(frame_bytes));
-      ++it->elements_sent;
+      tx_fanout_frames_metric_->Increment();
+      tx_fanout_bytes_metric_->Add(static_cast<int64_t>(frame_bytes));
+      it->elements_sent += static_cast<int64_t>(batch.size());
       ++it;
     } else {
-      // A dead subscriber must not take the merge down: unregister it here;
-      // the transport loop observes the closed connection and the eventual
-      // OnDisconnect finds it already gone from the registry.
+      // A dead (or slow-consumer-disconnected) subscriber must not take
+      // the merge down: unregister it here; the transport loop observes
+      // the closed connection and the eventual OnDisconnect finds it
+      // already gone from the registry.
       it->connection->Close();
-      it = server->subscribers_.erase(it);
+      it = subscribers_.erase(it);
     }
   }
-  for (ElementSink* sink : server->output_sinks_) sink->OnElement(element);
+}
+
+std::shared_ptr<const std::string> MergeServer::EncodeDictBatchLocked(
+    const ElementSequence& batch) {
+  if (broadcast_dict_ == nullptr) {
+    broadcast_dict_ =
+        std::make_unique<PayloadDictEncoder>(options_.dict_capacity);
+  }
+  Encoder body;
+  std::vector<std::pair<uint32_t, Row>> new_defs;
+  EncodeSequenceDict(batch, broadcast_dict_.get(), &new_defs, &body);
+  auto out = std::make_shared<std::string>();
+  for (const auto& [id, payload] : new_defs) {
+    Encoder def;
+    EncodePayloadDef(id, payload, &def);
+    const size_t mark = out->size();
+    AppendFrame(FrameType::kPayloadDef, def.TakeBytes(), out.get());
+    // The tape records every def ever broadcast, in order: replaying it
+    // into a fresh decoder of the same capacity reproduces the broadcast
+    // dictionary state exactly (including evictions), which is what makes
+    // a late v2+ joiner decodable against the shared id space.
+    defs_tape_.append(*out, mark, out->size() - mark);
+  }
+  AppendFrame(FrameType::kElementsDict, body.TakeBytes(), out.get());
+  return out;
 }
 
 int MergeServer::OnConnect(Connection* connection) {
@@ -260,6 +324,7 @@ Status MergeServer::EnsureAlgorithmLocked(const StreamProperties& first) {
     ConcurrentMergerOptions merger_options;
     merger_options.ring_capacity = options_.ring_capacity;
     merger_options.max_batch = options_.max_batch;
+    merger_options.after_batch = [this] { fan_out_.Flush(); };
     merger_ = std::make_unique<ConcurrentMerger>(algorithm_.get(),
                                                  std::move(merger_options));
   } else {
@@ -271,6 +336,7 @@ Status MergeServer::EnsureAlgorithmLocked(const StreamProperties& first) {
     merger_options.shards = options_.merge_threads;
     merger_options.ring_capacity = options_.ring_capacity;
     merger_options.max_batch = options_.max_batch;
+    merger_options.after_batch = [this] { fan_out_.Flush(); };
     const MergePolicy policy = options_.policy;
     merger_ = std::make_unique<PartitionedMerger>(
         [variant, policy](int /*shard*/, ElementSink* sink) {
@@ -389,11 +455,14 @@ Status MergeServer::HandleHelloLocked(Session& session, const HelloMessage& hell
     subscriber.session_id = session.id;
     subscriber.connection = session.connection;
     subscriber.version = session.version;
-    if (session.version >= kPayloadDictVersion) {
-      subscriber.dict =
-          std::make_unique<PayloadDictEncoder>(options_.dict_capacity);
-    }
     MutexLock fanout_lock(fanout_mutex_);
+    if (session.version >= kPayloadDictVersion && !defs_tape_.empty()) {
+      // Catch the joiner up on the broadcast dictionary before it can see
+      // a dict-coded batch referencing ids defined before it arrived.
+      // Under fanout_mutex_, so no fan-out interleaves mid-replay.
+      const Status replay = session.connection->Send(defs_tape_);
+      if (!replay.ok()) return replay;
+    }
     subscribers_.push_back(std::move(subscriber));
   }
   return sent;
@@ -549,6 +618,9 @@ Status MergeServer::AdoptCheckpoint(const std::string& blob,
   for (int s = 0; s < algorithm->stream_count(); ++s) {
     if (algorithm->stream_active(s)) algorithm->RemoveStream(s);
   }
+  // Anything those detaches released goes out now; no merge thread exists
+  // yet, so this is the only flush point for them.
+  fan_out_.Flush();
   // Pin variant + policy so later publishers cannot re-select an algorithm
   // incompatible with the restored state.
   options_.variant = cert.variant;
@@ -558,6 +630,7 @@ Status MergeServer::AdoptCheckpoint(const std::string& blob,
   ConcurrentMergerOptions merger_options;
   merger_options.ring_capacity = options_.ring_capacity;
   merger_options.max_batch = options_.max_batch;
+  merger_options.after_batch = [this] { fan_out_.Flush(); };
   merger_ = std::make_unique<ConcurrentMerger>(algorithm_.get(),
                                                std::move(merger_options));
   last_output_stable_ = merger_->max_stable();
@@ -590,6 +663,7 @@ Status MergeServer::AdoptPartitionedCheckpointLocked(
   merger_options.shards = static_cast<int>(shard_blobs.size());
   merger_options.ring_capacity = options_.ring_capacity;
   merger_options.max_batch = options_.max_batch;
+  merger_options.after_batch = [this] { fan_out_.Flush(); };
   auto merger = std::make_unique<PartitionedMerger>(
       [&](int shard, ElementSink* sink) {
         std::unique_ptr<MergeAlgorithm> algorithm = CreateMergeAlgorithm(
@@ -804,6 +878,13 @@ int MergeServer::subscriber_count() const {
   return n;
 }
 
+bool MergeServer::SessionMidFrame(int session_id) const {
+  MutexLock lock(mutex_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return false;
+  return it->second.assembler.pending_bytes() > 0;
+}
+
 bool MergeServer::drained() const {
   MutexLock lock(mutex_);
   return publishers_seen_ > 0 && active_publishers_ == 0;
@@ -832,15 +913,13 @@ obs::MetricsSnapshot MergeServer::MetricsSnapshotLocked() {
   obs::ExportPayloadStoreMetrics(PayloadStore::Global(), &registry);
   {
     MutexLock fanout_lock(fanout_mutex_);
-    int64_t dict_entries = 0;
-    for (const Subscriber& subscriber : subscribers_) {
-      if (subscriber.dict != nullptr) {
-        dict_entries += subscriber.dict->entries();
-      }
-    }
     registry.GetGauge("net.subscribers")
         ->Set(static_cast<int64_t>(subscribers_.size()));
-    registry.GetGauge("net.tx.dict.entries")->Set(dict_entries);
+    // One broadcast dictionary now serves every v2+ subscriber.
+    registry.GetGauge("net.tx.dict.entries")
+        ->Set(broadcast_dict_ == nullptr
+                  ? 0
+                  : static_cast<int64_t>(broadcast_dict_->entries()));
   }
   if (merger_ != nullptr) {
     // Exports the algorithm's counters on the merge thread, then snapshots.
@@ -920,39 +999,338 @@ void MergeServer::Log(const Session& session,
                message.c_str());
 }
 
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// A connection owned by an event loop.  Every write funnels through an
+// outbound queue of refcounted frame buffers: Send (handshake, feedback,
+// checkpoint frames — callers that must not fail spuriously) enqueues
+// without bound, SendShared (fan-out) enforces max_outbound_bytes and
+// disconnects the peer on overflow — the slow-consumer policy.  Both
+// opportunistically flush through the transport's non-blocking TrySend;
+// EPOLLOUT is armed only while a backlog exists, so an idle connection
+// costs the loop nothing.
+//
+// The queue mutex is a LEAF below every other lock (DESIGN.md "Lock
+// order"): the merge thread reaches it via fanout_mutex_ -> SendShared,
+// the IO thread via its dispatch (no lock), and neither path acquires
+// anything under it.
+class IoConnection : public Connection {
+ public:
+  IoConnection(std::unique_ptr<Connection> inner, EventLoop* loop,
+               size_t max_outbound_bytes, obs::Counter* slow_disconnects)
+      : inner_(std::move(inner)),
+        loop_(loop),
+        max_outbound_bytes_(max_outbound_bytes),
+        slow_disconnects_(slow_disconnects) {}
+
+  // Called once after the fd is registered with the loop; until then
+  // Interest() would fail with ENOENT, so arming is suppressed.
+  void set_registered() {
+    registered_.store(true, std::memory_order_release);
+  }
+
+  Status Send(const char* data, size_t size) override {
+    return Enqueue(std::make_shared<const std::string>(data, size),
+                   /*bounded=*/false);
+  }
+
+  Status SendShared(std::shared_ptr<const std::string> frame) override {
+    return Enqueue(std::move(frame), /*bounded=*/true);
+  }
+
+  Status Receive(char* buffer, size_t capacity, size_t* received) override {
+    return inner_->Receive(buffer, capacity, received);
+  }
+
+  Status TryReceive(std::string* out) override {
+    return inner_->TryReceive(out);
+  }
+
+  int readable_fd() const override { return inner_->readable_fd(); }
+  void Close() override { inner_->Close(); }
+  bool closed() const override { return inner_->closed(); }
+  std::string peer() const override { return inner_->peer(); }
+
+  // EPOLLOUT dispatch: drain as much backlog as the transport accepts.
+  void HandleWritable() {
+    MutexLock lock(mutex_);
+    (void)FlushLocked();
+  }
+
+ private:
+  Status Enqueue(std::shared_ptr<const std::string> frame, bool bounded) {
+    bool overflow = false;
+    Status status;
+    {
+      MutexLock lock(mutex_);
+      if (send_failed_) {
+        return Status::FailedPrecondition("connection closed");
+      }
+      if (bounded && queued_bytes_ + frame->size() > max_outbound_bytes_) {
+        overflow = true;
+        send_failed_ = true;
+      } else {
+        queued_bytes_ += frame->size();
+        queue_.push_back(std::move(frame));
+        status = FlushLocked();
+      }
+    }
+    if (overflow) {
+      slow_disconnects_->Increment();
+      // Close outside the queue lock; the IO thread observes the closed
+      // transport and tears the session down.
+      inner_->Close();
+      return Status::Internal("slow consumer: outbound queue would exceed " +
+                              std::to_string(max_outbound_bytes_) + " bytes");
+    }
+    return status;
+  }
+
+  Status FlushLocked() LM_REQUIRES(mutex_) {
+    while (!queue_.empty()) {
+      const std::string& front = *queue_.front();
+      size_t sent = 0;
+      const Status status = inner_->TrySend(
+          front.data() + front_offset_, front.size() - front_offset_, &sent);
+      if (!status.ok()) {
+        send_failed_ = true;
+        queue_.clear();
+        queued_bytes_ = 0;
+        front_offset_ = 0;
+        UpdateInterestLocked();
+        return status;
+      }
+      front_offset_ += sent;
+      queued_bytes_ -= sent;
+      if (front_offset_ < front.size()) break;  // transport full for now
+      queue_.pop_front();
+      front_offset_ = 0;
+    }
+    UpdateInterestLocked();
+    return Status::Ok();
+  }
+
+  void UpdateInterestLocked() LM_REQUIRES(mutex_) {
+    if (!registered_.load(std::memory_order_acquire)) return;
+    const bool want_out = !queue_.empty() && !send_failed_;
+    if (want_out == epollout_armed_) return;
+    const int fd = inner_->readable_fd();
+    if (fd < 0) return;
+    const uint32_t events =
+        EPOLLIN | (want_out ? static_cast<uint32_t>(EPOLLOUT) : 0);
+    if (loop_->Interest(fd, events).ok()) epollout_armed_ = want_out;
+  }
+
+  std::unique_ptr<Connection> inner_;
+  EventLoop* loop_;
+  const size_t max_outbound_bytes_;
+  obs::Counter* slow_disconnects_;
+  std::atomic<bool> registered_{false};
+
+  mutable Mutex mutex_;
+  std::deque<std::shared_ptr<const std::string>> queue_ LM_GUARDED_BY(mutex_);
+  size_t queued_bytes_ LM_GUARDED_BY(mutex_) = 0;
+  // Bytes of queue_.front() already written to the transport.
+  size_t front_offset_ LM_GUARDED_BY(mutex_) = 0;
+  bool send_failed_ LM_GUARDED_BY(mutex_) = false;
+  bool epollout_armed_ LM_GUARDED_BY(mutex_) = false;
+};
+
+// One served connection: the event callbacks and the idle sweep both hold
+// a shared_ptr, so the IoConnection outlives whichever path tears it down.
+struct ServedSession {
+  int id = 0;
+  std::unique_ptr<IoConnection> connection;
+  EventLoop* loop = nullptr;
+  int loop_index = 0;
+  int fd = -1;
+  std::atomic<int64_t> last_rx_ms{0};
+};
+
+// Session registry shared between the accept path (loop 0), each session's
+// owning loop (teardown), and the idle sweeps.
+struct ServeState {
+  Mutex mutex;
+  std::map<int, std::shared_ptr<ServedSession>> sessions
+      LM_GUARDED_BY(mutex);
+};
+
+}  // namespace
+
 void ServeLoop(Listener* listener, MergeServer* server,
                const ServeLoopOptions& options) {
-  std::vector<std::unique_ptr<Connection>> connections;
-  std::vector<std::thread> threads;
-  while (true) {
-    std::unique_ptr<Connection> accepted;
-    if (!listener->Accept(&accepted).ok()) break;
-    Connection* connection = accepted.get();
-    connections.push_back(std::move(accepted));
-    threads.emplace_back([server, listener, connection, options] {
-      const int id = server->OnConnect(connection);
-      char buffer[64 * 1024];
-      while (true) {
-        size_t received = 0;
-        if (!connection->Receive(buffer, sizeof(buffer), &received).ok()) {
-          break;
+  // The event-loop transport requires pollable endpoints; both shipped
+  // transports (tcp, loopback) are.
+  LM_CHECK(listener->pollable_fd() >= 0);
+  const int io_threads = std::max(1, options.io_threads);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter* slow_disconnects =
+      registry.GetCounter("net.loop.slow_consumer_disconnects");
+  obs::Counter* idle_timeouts = registry.GetCounter("net.loop.idle_timeouts");
+  registry.GetGauge("net.loop.io_threads")->Set(io_threads);
+
+  std::vector<std::unique_ptr<EventLoop>> loops;
+  loops.reserve(static_cast<size_t>(io_threads));
+  for (int i = 0; i < io_threads; ++i) {
+    loops.push_back(std::make_unique<EventLoop>());
+  }
+  auto state = std::make_shared<ServeState>();
+
+  const auto stop_all = [&loops] {
+    for (auto& loop : loops) loop->Stop();
+  };
+
+  // Tears one session down.  Runs on the session's owning loop thread (its
+  // read callback or its loop's idle sweep), or on the ServeLoop thread
+  // after every loop has stopped — never concurrently with a dispatch for
+  // the same fd.
+  const auto teardown = [server, listener, state,
+                         &options](const std::shared_ptr<ServedSession>&
+                                       session) {
+    {
+      MutexLock lock(state->mutex);
+      if (state->sessions.erase(session->id) == 0) return;  // already down
+    }
+    session->loop->Remove(session->fd);
+    server->OnDisconnect(session->id);
+    session->connection->Close();
+    if (options.drain_publishers > 0 &&
+        server->publishers_seen() >= options.drain_publishers &&
+        server->active_publishers() == 0) {
+      // Service drained: poke the accept callback (loop 0), which stops
+      // every loop so ServeLoop returns.
+      listener->Close();
+    }
+  };
+
+  const auto on_conn_event = [server, teardown](
+                                 const std::shared_ptr<ServedSession>& session,
+                                 uint32_t events) {
+    IoConnection* connection = session->connection.get();
+    if ((events & EPOLLOUT) != 0) connection->HandleWritable();
+    bool dead = false;
+    std::string bytes;
+    if (!connection->TryReceive(&bytes).ok()) dead = true;
+    if (!bytes.empty()) {
+      session->last_rx_ms.store(NowMs(), std::memory_order_relaxed);
+      if (!server->OnBytes(session->id, bytes).ok()) dead = true;
+    }
+    if (connection->closed()) dead = true;  // EOF or error observed
+    if (dead) teardown(session);
+  };
+
+  // Accept path, on loop 0.  `next_loop` is callback-local state: the
+  // accept callback only ever runs on loop 0's thread.
+  auto next_loop = std::make_shared<int>(0);
+  const auto on_accept = [listener, server, state, &loops, &options,
+                          io_threads, next_loop, slow_disconnects,
+                          on_conn_event, teardown, stop_all](uint32_t) {
+    while (true) {
+      std::unique_ptr<Connection> accepted;
+      if (!listener->TryAccept(&accepted).ok()) {
+        // Listener closed (drain or external shutdown): stop every loop.
+        stop_all();
+        return;
+      }
+      if (accepted == nullptr) return;  // nothing pending right now
+      const int loop_index = *next_loop;
+      *next_loop = (*next_loop + 1) % io_threads;
+      EventLoop* loop = loops[static_cast<size_t>(loop_index)].get();
+      auto session = std::make_shared<ServedSession>();
+      session->connection = std::make_unique<IoConnection>(
+          std::move(accepted), loop, options.max_outbound_bytes,
+          slow_disconnects);
+      session->loop = loop;
+      session->loop_index = loop_index;
+      session->fd = session->connection->readable_fd();
+      if (session->fd < 0) {
+        // Non-pollable connection from a pollable listener: cannot serve.
+        session->connection->Close();
+        continue;
+      }
+      session->last_rx_ms.store(NowMs(), std::memory_order_relaxed);
+      session->id = server->OnConnect(session->connection.get());
+      {
+        MutexLock lock(state->mutex);
+        state->sessions[session->id] = session;
+      }
+      const Status added =
+          loop->Add(session->fd, EPOLLIN, [session, on_conn_event](
+                                              uint32_t events) {
+            on_conn_event(session, events);
+          });
+      if (!added.ok()) {
+        teardown(session);
+        continue;
+      }
+      session->connection->set_registered();
+    }
+  };
+  LM_CHECK(loops[0]->Add(listener->pollable_fd(), EPOLLIN, on_accept).ok());
+
+  // Idle sweep: each loop ticks over ITS sessions and kills peers that have
+  // been silent past the timeout while mid-frame.  Quiet but frame-aligned
+  // sessions (an idle subscriber, a paused publisher between batches) are
+  // never touched.
+  const auto make_tick = [state, server, idle_timeouts, teardown,
+                          &options](int loop_index) {
+    return [state, server, idle_timeouts, teardown, &options, loop_index] {
+      const int64_t cutoff = NowMs() - options.idle_timeout_ms;
+      std::vector<std::shared_ptr<ServedSession>> quiet;
+      {
+        MutexLock lock(state->mutex);
+        for (const auto& [id, session] : state->sessions) {
+          if (session->loop_index != loop_index) continue;
+          if (session->last_rx_ms.load(std::memory_order_relaxed) <=
+              cutoff) {
+            quiet.push_back(session);
+          }
         }
-        if (received == 0) break;  // EOF
-        if (!server->OnBytes(id, buffer, received).ok()) break;
       }
-      server->OnDisconnect(id);
-      connection->Close();
-      if (options.drain_publishers > 0 &&
-          server->publishers_seen() >= options.drain_publishers &&
-          server->active_publishers() == 0) {
-        // Service drained: unblock the accept loop so ServeLoop returns.
-        listener->Close();
+      for (const auto& session : quiet) {
+        if (server->SessionMidFrame(session->id)) {
+          idle_timeouts->Increment();
+          teardown(session);
+        }
       }
+    };
+  };
+
+  // Loop 0 runs on the calling thread; extra IO threads only when asked
+  // for — the whole transport costs io_threads threads, not one per
+  // session.
+  const int tick_ms =
+      options.idle_timeout_ms > 0
+          ? std::max(1, std::min(options.idle_timeout_ms / 4, 50))
+          : -1;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(io_threads - 1));
+  for (int i = 1; i < io_threads; ++i) {
+    EventLoop* loop = loops[static_cast<size_t>(i)].get();
+    threads.emplace_back([loop, tick_ms, tick = make_tick(i)] {
+      loop->Run(tick_ms, tick_ms > 0 ? tick : std::function<void()>());
     });
   }
-  // Wake sessions still blocked in Receive (e.g. subscribers), then drain.
-  for (auto& connection : connections) connection->Close();
+  loops[0]->Run(tick_ms,
+                tick_ms > 0 ? make_tick(0) : std::function<void()>());
   for (auto& thread : threads) thread.join();
+
+  // Every loop has stopped; tear down whatever sessions remain (typically
+  // subscribers at drain — their peers see EOF, as before).
+  std::vector<std::shared_ptr<ServedSession>> leftover;
+  {
+    MutexLock lock(state->mutex);
+    for (const auto& [id, session] : state->sessions) {
+      leftover.push_back(session);
+    }
+  }
+  for (const auto& session : leftover) teardown(session);
 }
 
 }  // namespace lmerge::net

@@ -22,8 +22,13 @@
 //     (byte-identical to the pre-partitioned server); with more it is a
 //     PartitionedMerger sharding the algorithm across that many threads
 //     behind a min-frontier stable-point aggregator (engine/partitioned.h);
-//   * fans the merged output out to every subscriber as ELEMENT frames and
-//     to registered in-process sinks, from the merge thread;
+//   * fans the merged output out to every subscriber and to registered
+//     in-process sinks.  Fan-out is serialize-once: the merger's output
+//     thread buffers each batch and flushes it (after_batch) as ONE encoded
+//     frame buffer per protocol class — a v1 ELEMENT/ELEMENTS frame and a
+//     v2+ dictionary frame built against a server-wide broadcast dictionary
+//     — shared by reference with every same-class subscriber, so encode
+//     cost is independent of subscriber count (PERFORMANCE.md);
 //   * pushes FEEDBACK frames carrying the output stable point to lagging
 //     publishers (Sec. V-D), judged by per-session progress watermarks from
 //     properties/runtime_stats.
@@ -133,6 +138,12 @@ class MergeServer {
   MergeOutputStats merge_stats() const;
   const char* algorithm_name() const;
 
+  // True when the session's frame assembler holds a partial frame — the
+  // peer stopped mid-frame.  The ServeLoop idle sweep uses this to
+  // distinguish a stalled peer (kill after idle_timeout_ms) from one that
+  // is merely quiet between complete frames (fine forever).
+  bool SessionMidFrame(int session_id) const;
+
   // The STATS_RESPONSE payload: server summary, per-input table (merge
   // counters joined with session names), and the full metrics-registry
   // snapshot.  A live view — it does NOT quiesce the pipeline; call Flush()
@@ -185,30 +196,31 @@ class MergeServer {
     Timestamp last_feedback = kMinTimestamp;
   };
 
-  // Routes merged output to subscribers + registered sinks.  Runs on the
-  // merger's output thread (the merge thread for merge_threads == 1, the
-  // aggregator thread for a partitioned merge), which must NEVER take the
-  // server lock (a producer blocked on ring backpressure may hold it) — so
-  // the fan-out targets live in their own registry under fanout_mutex_.
+  // Buffers merged output on the merger's output thread (the merge thread
+  // for merge_threads == 1, the aggregator thread for a partitioned merge)
+  // and flushes it as whole batches through FanOutBatchLocked.  That thread
+  // must NEVER take the server lock (a producer blocked on ring
+  // backpressure may hold it) — Flush takes only the leaf fanout_mutex_.
+  // The buffer itself is output-thread-only state and needs no lock; the
+  // merger invokes Flush via its after_batch hook before any idle/barrier
+  // waiter is released, so MergeServer::Flush() implies fanned-out.
   class FanOutSink : public ElementSink {
    public:
     explicit FanOutSink(MergeServer* server) : server_(server) {}
     void OnElement(const StreamElement& element) override;
+    // Encodes the buffered batch once per protocol class and hands the
+    // shared buffers to every subscriber (and sinks).  No-op when empty.
+    void Flush();
 
    private:
     MergeServer* server_;
-    // Merge-thread scratch for single-element dictionary batches (avoids a
-    // vector allocation per element per v2 subscriber).
-    ElementSequence scratch_;
+    ElementSequence batch_;  // output-thread-only
   };
 
   struct Subscriber {
     int session_id = 0;
     Connection* connection = nullptr;
     uint32_t version = kMinProtocolVersion;
-    // Outbound payload dictionary, one per v2 subscriber (ids are session
-    // scoped).  Guarded by fanout_mutex_ like the registry itself.
-    std::unique_ptr<PayloadDictEncoder> dict;
     // Output elements successfully sent on this subscription; the standby's
     // dedup horizon when a cut certificate is taken mid-stream.
     int64_t elements_sent = 0;
@@ -245,6 +257,17 @@ class MergeServer {
   Status AdoptPartitionedCheckpointLocked(const std::string& blob,
                                           const replica::CutCertificate& cert)
       LM_REQUIRES(mutex_);
+  // Delivers one flushed output batch: in-process sinks per element, then
+  // each subscriber gets the shared once-encoded frame buffer for its
+  // protocol class (built lazily — a v1-only server never touches the
+  // dictionary and vice versa).  Dead subscribers are unregistered inline.
+  void FanOutBatchLocked(const ElementSequence& batch)
+      LM_REQUIRES(fanout_mutex_);
+  // Encodes `batch` against the server-wide broadcast dictionary; new
+  // PAYLOAD_DEF frames are prepended to the returned buffer AND appended to
+  // defs_tape_ so later v2+ joiners can be replayed into sync.
+  std::shared_ptr<const std::string> EncodeDictBatchLocked(
+      const ElementSequence& batch) LM_REQUIRES(fanout_mutex_);
   // Sends BYE (best effort) and releases the session's resources.
   void CloseSessionLocked(Session& session, const std::string& reason,
                           bool send_bye) LM_REQUIRES(mutex_);
@@ -294,6 +317,16 @@ class MergeServer {
   mutable Mutex fanout_mutex_ LM_ACQUIRED_AFTER(mutex_);
   std::vector<Subscriber> subscribers_ LM_GUARDED_BY(fanout_mutex_);
   std::vector<ElementSink*> output_sinks_ LM_GUARDED_BY(fanout_mutex_);
+  // Server-wide outbound payload dictionary: PAYLOAD_DEF interning is paid
+  // once per new payload, not once per subscriber.  All v2+ subscribers
+  // decode against the same id space, which is sound because every one of
+  // them receives the same frame sequence — late joiners first get
+  // defs_tape_ (every def broadcast so far, in order) replayed at
+  // registration, which reconstructs the dictionary state a from-the-start
+  // subscriber would hold (same capacity, same eviction order).
+  std::unique_ptr<PayloadDictEncoder> broadcast_dict_
+      LM_GUARDED_BY(fanout_mutex_);
+  std::string defs_tape_ LM_GUARDED_BY(fanout_mutex_);
 
   // Cached instrument handles (obs/metrics.h); see docs/OBSERVABILITY.md.
   obs::Counter* rx_bytes_metric_;
@@ -306,16 +339,36 @@ class MergeServer {
   obs::Counter* checkpoint_requests_metric_;
   obs::Counter* checkpoint_tx_bytes_metric_;
   obs::Counter* checkpoint_tx_chunks_metric_;
+  // Serialize-once instrumentation: encoded_bytes/frames count each fan-out
+  // encode ONCE regardless of subscriber count (the invariant CI asserts),
+  // while tx.fanout.bytes above still counts per-subscriber wire bytes.
+  obs::Counter* fanout_encoded_bytes_metric_;
+  obs::Counter* fanout_encoded_frames_metric_;
+  obs::Counter* fanout_batches_metric_;
 };
 
-// Drives a MergeServer from a Listener: accepts connections, spawns one
-// thread per session pumping Receive -> OnBytes, and returns once the
-// listener errors/closes and all session threads have drained.  When
-// `drain_publishers` > 0, the loop additionally closes the listener and
-// returns after at least that many publishers connected and all of them
-// disconnected again — the scripted-demo and test mode.
+// Drives a MergeServer from a Listener on a small pool of epoll event
+// loops (net/event_loop.h): the listener and every connection register
+// with a loop, reads dispatch TryReceive -> OnBytes, and writes drain
+// bounded per-connection outbound queues on writability.  No per-session
+// threads — 256 subscribers cost io_threads + merge threads total.
+// Returns once the listener errors/closes and every loop has stopped.
+// When `drain_publishers` > 0, the loop additionally closes the listener
+// and returns after at least that many publishers connected and all of
+// them disconnected again — the scripted-demo and test mode.
 struct ServeLoopOptions {
   int drain_publishers = 0;
+  // IO threads sharing the connection population (round-robin).  1 is
+  // right until a single core of syscall work saturates.
+  int io_threads = 1;
+  // Per-subscriber outbound queue bound.  A subscriber whose unsent
+  // backlog would exceed it is disconnected (slow-consumer policy,
+  // net.loop.slow_consumer_disconnects) rather than allowed to grow the
+  // queue without limit or stall the merge.
+  size_t max_outbound_bytes = 64 * 1024 * 1024;
+  // Kill sessions that stall mid-frame for longer than this (0 disables).
+  // Complete-frame-aligned quiet is never a timeout.
+  int idle_timeout_ms = 0;
 };
 void ServeLoop(Listener* listener, MergeServer* server,
                const ServeLoopOptions& options = ServeLoopOptions());

@@ -1,15 +1,19 @@
 #include "net/tcp.h"
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace lmerge::net {
 
@@ -93,6 +97,24 @@ class TcpConnection : public Connection {
     }
   }
 
+  Status TrySend(const char* data, size_t size, size_t* sent) override {
+    *sent = 0;
+    while (*sent < size) {
+      const ssize_t n = ::send(fd_, data + *sent, size - *sent,
+                               MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::Ok();
+        closed_.store(true, std::memory_order_relaxed);
+        return Status::Internal(ErrnoMessage("send"));
+      }
+      *sent += static_cast<size_t>(n);
+    }
+    return Status::Ok();
+  }
+
+  int readable_fd() const override { return fd_; }
+
   void Close() override {
     closed_.store(true, std::memory_order_relaxed);
     // closed_ may already be set by a Send/Receive error; the shutdown flag
@@ -132,6 +154,15 @@ class TcpListener : public Listener {
           ::accept(fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
       if (fd < 0) {
         if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          // The listen fd went non-blocking (a TryAccept user also calls
+          // the blocking API, e.g. in tests): park on poll until ready.
+          pollfd pfd{fd_, POLLIN, 0};
+          if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) {
+            return Status::Internal(ErrnoMessage("poll"));
+          }
+          continue;
+        }
         return Status::Internal(ErrnoMessage("accept"));
       }
       SetNoDelay(fd);
@@ -140,6 +171,33 @@ class TcpListener : public Listener {
       return Status::Ok();
     }
   }
+
+  Status TryAccept(std::unique_ptr<Connection>* connection) override {
+    connection->reset();
+    // Flip the listen fd non-blocking on first use; the blocking Accept
+    // above handles the resulting EAGAINs via poll.
+    if (!nonblocking_.exchange(true, std::memory_order_relaxed)) {
+      const int flags = ::fcntl(fd_, F_GETFL, 0);
+      (void)::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    }
+    sockaddr_storage addr;
+    socklen_t addr_len = sizeof(addr);
+    while (true) {
+      const int fd =
+          ::accept(fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::Ok();
+        return Status::Internal(ErrnoMessage("accept"));
+      }
+      SetNoDelay(fd);
+      *connection = std::make_unique<TcpConnection>(
+          fd, SockaddrToString(addr));
+      return Status::Ok();
+    }
+  }
+
+  int pollable_fd() const override { return fd_; }
 
   void Close() override {
     if (!closed_.exchange(true, std::memory_order_relaxed)) {
@@ -154,6 +212,7 @@ class TcpListener : public Listener {
   int fd_;
   int port_;
   std::atomic<bool> closed_{false};
+  std::atomic<bool> nonblocking_{false};
 };
 
 Status Resolve(const std::string& host, int port, bool passive,
@@ -216,8 +275,46 @@ Status TcpListen(int port, std::unique_ptr<Listener>* listener,
   return status;
 }
 
-Status TcpConnect(const std::string& host, int port,
-                  std::unique_ptr<Connection>* connection) {
+namespace {
+
+// connect() with an optional per-attempt timeout: non-blocking connect,
+// park on poll(POLLOUT), then read SO_ERROR for the real outcome.  The fd
+// is restored to blocking mode on success.
+Status ConnectFd(int fd, const sockaddr* addr, socklen_t addr_len,
+                 int timeout_ms) {
+  if (timeout_ms <= 0) {
+    if (::connect(fd, addr, addr_len) != 0) {
+      return Status::Internal(ErrnoMessage("connect"));
+    }
+    return Status::Ok();
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  if (::connect(fd, addr, addr_len) != 0) {
+    if (errno != EINPROGRESS) {
+      return Status::Internal(ErrnoMessage("connect"));
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) return Status::Internal(ErrnoMessage("poll"));
+    if (ready == 0) {
+      return Status::Internal("connect timed out after " +
+                              std::to_string(timeout_ms) + " ms");
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    (void)getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len);
+    if (err != 0) {
+      return Status::Internal(std::string("connect: ") +
+                              std::strerror(err));
+    }
+  }
+  (void)::fcntl(fd, F_SETFL, flags);
+  return Status::Ok();
+}
+
+Status TcpConnectOnce(const std::string& host, int port, int timeout_ms,
+                      std::unique_ptr<Connection>* connection) {
   addrinfo* addrs = nullptr;
   Status status = Resolve(host, port, /*passive=*/false, &addrs);
   if (!status.ok()) return status;
@@ -228,10 +325,11 @@ Status TcpConnect(const std::string& host, int port,
       status = Status::Internal(ErrnoMessage("socket"));
       continue;
     }
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
+    status = ConnectFd(fd, ai->ai_addr, ai->ai_addrlen, timeout_ms);
+    if (!status.ok()) {
       status = Status::Internal("connect " + host + ":" +
                                 std::to_string(port) + ": " +
-                                std::strerror(errno));
+                                status.message());
       ::close(fd);
       continue;
     }
@@ -247,6 +345,30 @@ Status TcpConnect(const std::string& host, int port,
     break;
   }
   freeaddrinfo(addrs);
+  return status;
+}
+
+}  // namespace
+
+Status TcpConnect(const std::string& host, int port,
+                  std::unique_ptr<Connection>* connection) {
+  return TcpConnectOnce(host, port, /*timeout_ms=*/0, connection);
+}
+
+Status TcpConnect(const std::string& host, int port,
+                  const TcpConnectOptions& options,
+                  std::unique_ptr<Connection>* connection) {
+  Status status;
+  int backoff_ms = options.backoff_initial_ms;
+  for (int attempt = 0; attempt <= options.retries; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, options.backoff_max_ms);
+    }
+    status = TcpConnectOnce(host, port, options.connect_timeout_ms,
+                            connection);
+    if (status.ok()) return status;
+  }
   return status;
 }
 

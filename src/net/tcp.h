@@ -27,6 +27,22 @@ Status TcpListen(int port, std::unique_ptr<Listener>* listener,
 Status TcpConnect(const std::string& host, int port,
                   std::unique_ptr<Connection>* connection);
 
+// Client-side connect tuning for tools/scripts that race server startup
+// (scripts/demo_net.sh): a per-attempt timeout plus retries with
+// exponential backoff replaces "sleep and hope".
+struct TcpConnectOptions {
+  // Per-attempt connect timeout; <= 0 uses the OS default (blocking).
+  int connect_timeout_ms = 0;
+  // Additional attempts after a failed first one.  Backoff starts at
+  // backoff_initial_ms and doubles per retry, capped at backoff_max_ms.
+  int retries = 0;
+  int backoff_initial_ms = 100;
+  int backoff_max_ms = 2000;
+};
+Status TcpConnect(const std::string& host, int port,
+                  const TcpConnectOptions& options,
+                  std::unique_ptr<Connection>* connection);
+
 }  // namespace lmerge::net
 
 #endif  // LMERGE_NET_TCP_H_

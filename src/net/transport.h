@@ -15,6 +15,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "common/status.h"
 
@@ -43,6 +44,34 @@ class Connection {
   // connection closed() but still returns Ok with the final bytes.
   virtual Status TryReceive(std::string* out) = 0;
 
+  // Sends a refcounted immutable frame buffer.  The default copies through
+  // the blocking Send; the event-loop connection (net/server.cc) overrides
+  // it to enqueue the shared buffer on a bounded outbound queue instead —
+  // the serialize-once fan-out path, where one encoded batch is pinned by
+  // every subscriber's queue rather than copied per subscriber.  A
+  // non-blocking overrider returns an error (and closes) when the bound is
+  // exceeded: the slow-consumer policy.
+  virtual Status SendShared(std::shared_ptr<const std::string> frame) {
+    return Send(frame->data(), frame->size());
+  }
+
+  // Writes as many of `size` bytes as the transport accepts right now
+  // without blocking; `*sent` may be 0 when the peer's receive window is
+  // full.  The default forwards to the blocking Send — transports that can
+  // really short-write (TCP) override it; the event loop re-arms on
+  // writability for the remainder.
+  virtual Status TrySend(const char* data, size_t size, size_t* sent) {
+    const Status status = Send(data, size);
+    *sent = status.ok() ? size : 0;
+    return status;
+  }
+
+  // A file descriptor that polls readable (epoll/poll) whenever Receive
+  // or TryReceive would make progress — the socket itself for TCP, an
+  // eventfd signalled on writes for loopback.  -1 when the transport is
+  // not pollable (such a connection needs a pump thread).
+  virtual int readable_fd() const { return -1; }
+
   // Half-close for shutdown: wakes any blocked Receive on either end.
   // Idempotent.
   virtual void Close() = 0;
@@ -60,6 +89,18 @@ class Listener {
   // Blocks until a connection arrives or the listener is closed (which
   // surfaces as a Status error).
   virtual Status Accept(std::unique_ptr<Connection>* connection) = 0;
+
+  // Non-blocking accept: on Ok, `*connection` holds the new connection or
+  // stays null when none is pending right now.  An error means the
+  // listener is closed.  Only meaningful on pollable listeners.
+  virtual Status TryAccept(std::unique_ptr<Connection>* connection) {
+    connection->reset();
+    return Status::FailedPrecondition("listener is not pollable");
+  }
+
+  // Polls readable whenever TryAccept would yield a connection (or the
+  // listener closed); -1 when not pollable.
+  virtual int pollable_fd() const { return -1; }
 
   // Unblocks pending and future Accepts.  Idempotent.
   virtual void Close() = 0;

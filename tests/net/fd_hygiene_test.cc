@@ -1,0 +1,143 @@
+// FD and thread hygiene under session churn: the event-loop ServeLoop owns
+// every connection on a fixed pool of IO threads, so serving hundreds of
+// short-lived sessions must leave the process with exactly the file
+// descriptors and threads it started with.  A leak of even one fd per
+// session turns a long-lived daemon into an EMFILE outage; this is the
+// regression net for that whole class of bug.
+
+#include <dirent.h>
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "net/client.h"
+#include "net/loopback.h"
+#include "net/server.h"
+#include "net/tcp.h"
+#include "stream/sink.h"
+#include "test_util.h"
+
+namespace lmerge::net {
+namespace {
+
+using ::lmerge::testing_util::Ins;
+using ::lmerge::testing_util::Stb;
+
+// Counts entries in a /proc/self directory (fd or task).  Counting fds
+// opens one fd for the directory stream itself, but that bias is identical
+// in the before and after measurements.
+int CountProcEntries(const char* path) {
+  DIR* dir = opendir(path);
+  if (dir == nullptr) return -1;
+  int count = 0;
+  while (struct dirent* entry = readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    ++count;
+  }
+  closedir(dir);
+  return count;
+}
+
+int OpenFds() { return CountProcEntries("/proc/self/fd"); }
+int Threads() { return CountProcEntries("/proc/self/task"); }
+
+ElementSequence TinyTape(int seed) {
+  ElementSequence tape;
+  for (int i = 0; i < 4; ++i) {
+    tape.push_back(Ins("churn-" + std::to_string(seed) + "-" +
+                           std::to_string(i),
+                       i + 1, i + 100));
+  }
+  tape.push_back(Stb(50));
+  return tape;
+}
+
+// 200 sequential publisher sessions over real TCP sockets through the
+// event-loop ServeLoop, then the server drains: every socket, epoll
+// instance, eventfd, and IO thread must be gone.
+TEST(FdHygieneTest, TcpSessionChurnReturnsToBaseline) {
+  const int baseline_fds = OpenFds();
+  const int baseline_threads = Threads();
+  ASSERT_GT(baseline_fds, 0);
+  ASSERT_GT(baseline_threads, 0);
+
+  constexpr int kSessions = 200;
+  {
+    MergeServer server;
+    NullSink sink;
+    server.AddOutputSink(&sink);
+    std::unique_ptr<Listener> listener;
+    ASSERT_TRUE(TcpListen(0, &listener).ok());
+    const int port = listener->port();
+
+    ServeLoopOptions loop_options;
+    loop_options.drain_publishers = kSessions;
+    loop_options.io_threads = 2;
+    std::thread serve(
+        [&] { ServeLoop(listener.get(), &server, loop_options); });
+
+    for (int s = 0; s < kSessions; ++s) {
+      std::unique_ptr<Connection> conn;
+      ASSERT_TRUE(TcpConnect("127.0.0.1", port, &conn).ok());
+      PublisherClient publisher(std::move(conn));
+      WelcomeMessage welcome;
+      ASSERT_TRUE(publisher
+                      .Handshake(StreamProperties(), kMinTimestamp,
+                                 "churn-" + std::to_string(s), &welcome)
+                      .ok());
+      ASSERT_TRUE(publisher.PublishBatch(TinyTape(s)).ok());
+      ASSERT_TRUE(publisher.Finish("done").ok());
+    }
+    serve.join();
+    EXPECT_EQ(server.publishers_seen(), kSessions);
+  }
+
+  EXPECT_EQ(OpenFds(), baseline_fds);
+  EXPECT_EQ(Threads(), baseline_threads);
+}
+
+// Same churn over the loopback transport: its pollability is built from
+// eventfds, which are just as leakable as sockets.
+TEST(FdHygieneTest, LoopbackSessionChurnReturnsToBaseline) {
+  const int baseline_fds = OpenFds();
+  const int baseline_threads = Threads();
+  ASSERT_GT(baseline_fds, 0);
+  ASSERT_GT(baseline_threads, 0);
+
+  constexpr int kSessions = 200;
+  {
+    MergeServer server;
+    NullSink sink;
+    server.AddOutputSink(&sink);
+    LoopbackListener listener;
+
+    ServeLoopOptions loop_options;
+    loop_options.drain_publishers = kSessions;
+    std::thread serve([&] { ServeLoop(&listener, &server, loop_options); });
+
+    for (int s = 0; s < kSessions; ++s) {
+      std::unique_ptr<Connection> conn =
+          listener.Connect("churn-" + std::to_string(s));
+      ASSERT_NE(conn, nullptr);
+      PublisherClient publisher(std::move(conn));
+      WelcomeMessage welcome;
+      ASSERT_TRUE(publisher
+                      .Handshake(StreamProperties(), kMinTimestamp,
+                                 "churn-" + std::to_string(s), &welcome)
+                      .ok());
+      ASSERT_TRUE(publisher.PublishBatch(TinyTape(s)).ok());
+      ASSERT_TRUE(publisher.Finish("done").ok());
+    }
+    serve.join();
+    EXPECT_EQ(server.publishers_seen(), kSessions);
+  }
+
+  EXPECT_EQ(OpenFds(), baseline_fds);
+  EXPECT_EQ(Threads(), baseline_threads);
+}
+
+}  // namespace
+}  // namespace lmerge::net

@@ -451,10 +451,18 @@ TEST(ServerLoopbackTest, V1SubscriberReceivesInlineElementFrames) {
   server.Flush();
   ElementSequence received;
   for (const Frame& frame : sub.DrainFrames()) {
-    ASSERT_EQ(frame.type, FrameType::kElement);
-    StreamElement element;
-    ASSERT_TRUE(DecodeElementPayload(frame.payload, &element).ok());
-    received.push_back(element);
+    // v1 fan-out is batched: a flush of one element goes out as ELEMENT,
+    // anything larger as one ELEMENTS frame — never dictionary frames.
+    if (frame.type == FrameType::kElement) {
+      StreamElement element;
+      ASSERT_TRUE(DecodeElementPayload(frame.payload, &element).ok());
+      received.push_back(element);
+    } else {
+      ASSERT_EQ(frame.type, FrameType::kElements);
+      ElementSequence batch;
+      ASSERT_TRUE(DecodeElementsPayload(frame.payload, &batch).ok());
+      received.insert(received.end(), batch.begin(), batch.end());
+    }
   }
   EXPECT_EQ(received, merged.elements());
   EXPECT_FALSE(received.empty());

@@ -4,6 +4,12 @@
 //   lmerge_publish <host> <port> <tape.lmst> [--name=replica-a]
 //                  [--join-time=T] [--batch=N] [--kill-after=N]
 //                  [--ignore-feedback]
+//                  [--connect-timeout-ms=N] [--retry=N]
+//
+// --retry=N retries a failed connect up to N times with exponential
+// backoff (100ms doubling to 2s), with --connect-timeout-ms bounding each
+// attempt — so scripts start publisher and server concurrently instead of
+// sleeping and hoping (scripts/demo_net.sh).
 //
 // --batch=N (default 64) packs N elements into one ELEMENTS frame; the
 // server hands each decoded frame to the merge as a single batch, so larger
@@ -32,6 +38,7 @@ int Usage() {
                "usage: lmerge_publish <host> <port> <tape.lmst> [--name=X]\n"
                "                      [--join-time=T] [--batch=N]\n"
                "                      [--kill-after=N] [--ignore-feedback]\n"
+               "                      [--connect-timeout-ms=N] [--retry=N]\n"
                "  --batch=N  elements per ELEMENTS frame (default 64);\n"
                "             the server merges each frame as one batch\n");
   return 2;
@@ -63,7 +70,11 @@ int main(int argc, char** argv) {
   const StreamProperties properties = collector.ObservedProperties();
 
   std::unique_ptr<net::Connection> connection;
-  status = net::TcpConnect(host, port, &connection);
+  net::TcpConnectOptions connect_options;
+  connect_options.connect_timeout_ms =
+      static_cast<int>(flags.GetInt("connect-timeout-ms", 0));
+  connect_options.retries = static_cast<int>(flags.GetInt("retry", 0));
+  status = net::TcpConnect(host, port, connect_options, &connection);
   if (!status.ok()) return Fail(status);
 
   net::PublisherClient publisher(std::move(connection));

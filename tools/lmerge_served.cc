@@ -4,7 +4,8 @@
 //   lmerge_served --port=7654 [--bind=127.0.0.1]
 //                 [--variant=auto|R0|R1|R2|R3+|R3-|R4|counting]
 //                 [--policy=lazy|eager|conservative] [--stable-lag=T]
-//                 [--merge-threads=N]
+//                 [--merge-threads=N] [--io-threads=N]
+//                 [--max-outbound-mb=N] [--idle-timeout-ms=N]
 //                 [--no-feedback] [--out=merged.lmst]
 //                 [--drain-publishers=N] [--quiet]
 //                 [--metrics-interval=SEC] [--metrics-out=FILE]
@@ -13,6 +14,13 @@
 // --merge-threads=N (default 1) shards the merge core across N threads by
 // (payload, Vs) key hash behind a min-frontier stable-point aggregator
 // (engine/partitioned.h); N=1 is the byte-identical single-threaded path.
+//
+// --io-threads=N (default 1) sizes the epoll event-loop pool owning every
+// connection (net/event_loop.h) — there are no per-session threads, so the
+// whole transport costs N threads regardless of subscriber count.
+// --max-outbound-mb bounds each subscriber's unsent backlog (overflow
+// disconnects the slow consumer); --idle-timeout-ms kills peers that stall
+// mid-frame (docs/SERVICE.md "Event-loop transport").
 //
 // With --drain-publishers=N the daemon exits once at least N publishers
 // have connected and all publishers have disconnected again (the scripted
@@ -51,7 +59,8 @@ int Usage() {
       "usage: lmerge_served --port=N [--bind=ADDR] [--variant=auto|R4|...]\n"
       "                     [--policy=lazy|eager|conservative]\n"
       "                     [--stable-lag=T] [--merge-threads=N]\n"
-      "                     [--no-feedback]\n"
+      "                     [--io-threads=N] [--max-outbound-mb=N]\n"
+      "                     [--idle-timeout-ms=N] [--no-feedback]\n"
       "                     [--out=FILE] [--drain-publishers=N] [--quiet]\n"
       "                     [--metrics-interval=SEC] [--metrics-out=FILE]\n"
       "                     [--trace-out=FILE] [--no-metrics]\n");
@@ -164,6 +173,14 @@ int main(int argc, char** argv) {
   net::ServeLoopOptions loop_options;
   loop_options.drain_publishers =
       static_cast<int>(flags.GetInt("drain-publishers", 0));
+  loop_options.io_threads = static_cast<int>(flags.GetInt("io-threads", 1));
+  if (loop_options.io_threads < 1) return Usage();
+  const int64_t max_outbound_mb = flags.GetInt("max-outbound-mb", 64);
+  if (max_outbound_mb < 1) return Usage();
+  loop_options.max_outbound_bytes =
+      static_cast<size_t>(max_outbound_mb) * 1024 * 1024;
+  loop_options.idle_timeout_ms =
+      static_cast<int>(flags.GetInt("idle-timeout-ms", 0));
   net::ServeLoop(listener.get(), &server, loop_options);
 
   if (metrics_thread.joinable()) {

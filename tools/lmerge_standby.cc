@@ -5,6 +5,7 @@
 //                  [--primary-host=127.0.0.1] [--bind=127.0.0.1]
 //                  [--out=merged.lmst] [--drain-publishers=N] [--quiet]
 //                  [--metrics-interval=SEC] [--metrics-out=FILE]
+//                  [--connect-timeout-ms=N] [--retry=N]
 //
 // Connects to the primary as a v4 standby, jumpstarts from its checkpoint
 // (CHECKPOINT_REQUEST -> CUT_CERT -> chunks, under live traffic), then
@@ -47,7 +48,8 @@ int Usage() {
       "                      [--primary-host=ADDR] [--bind=ADDR]\n"
       "                      [--out=FILE] [--drain-publishers=N] [--quiet]\n"
       "                      [--metrics-interval=SEC] [--metrics-out=FILE]\n"
-      "                      [--jumpstart-delay-ms=N] [--checkpoint-out=FILE]\n");
+      "                      [--jumpstart-delay-ms=N] [--checkpoint-out=FILE]\n"
+      "                      [--connect-timeout-ms=N] [--retry=N]\n");
   return 2;
 }
 
@@ -105,9 +107,14 @@ int main(int argc, char** argv) {
                listener->port());
 
   std::unique_ptr<net::Connection> primary;
+  net::TcpConnectOptions connect_options;
+  connect_options.connect_timeout_ms =
+      static_cast<int>(flags.GetInt("connect-timeout-ms", 0));
+  connect_options.retries = static_cast<int>(flags.GetInt("retry", 0));
   status = net::TcpConnect(
       flags.GetString("primary-host", "127.0.0.1"),
-      static_cast<int>(flags.GetInt("primary-port", 0)), &primary);
+      static_cast<int>(flags.GetInt("primary-port", 0)), connect_options,
+      &primary);
   if (status.ok()) status = standby.Connect(std::move(primary));
   // An optional shadowing window before the jumpstart: output the primary
   // produces meanwhile queues on the subscription and is accounted by the

@@ -2,8 +2,12 @@
 // merged output stream to a stream file.
 //
 //   lmerge_subscribe <host> <port> <out.lmst> [--name=X] [--validate]
+//                    [--connect-timeout-ms=N] [--retry=N]
 //
 // Receives until the server says BYE or closes, then writes the file.
+// --retry=N retries a failed connect with exponential backoff and
+// --connect-timeout-ms bounds each attempt, so scripts can start the
+// subscriber alongside the server without sleeping first.
 // --validate additionally re-validates the received stream and fails if the
 // server ever emitted an illegal physical stream.  Note a subscriber only
 // sees output from its subscription point onward; subscribe before the
@@ -24,7 +28,9 @@ int main(int argc, char** argv) {
   if (flags.positional().size() != 3) {
     std::fprintf(stderr,
                  "usage: lmerge_subscribe <host> <port> <out.lmst> "
-                 "[--name=X] [--validate]\n");
+                 "[--name=X] [--validate]\n"
+                 "                        [--connect-timeout-ms=N] "
+                 "[--retry=N]\n");
     return 2;
   }
   const std::string host = flags.positional()[0];
@@ -32,7 +38,11 @@ int main(int argc, char** argv) {
   const std::string out_path = flags.positional()[2];
 
   std::unique_ptr<net::Connection> connection;
-  Status status = net::TcpConnect(host, port, &connection);
+  net::TcpConnectOptions connect_options;
+  connect_options.connect_timeout_ms =
+      static_cast<int>(flags.GetInt("connect-timeout-ms", 0));
+  connect_options.retries = static_cast<int>(flags.GetInt("retry", 0));
+  Status status = net::TcpConnect(host, port, connect_options, &connection);
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;
