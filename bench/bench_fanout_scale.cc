@@ -23,6 +23,7 @@
 #include "net/loopback.h"
 #include "net/protocol.h"
 #include "net/server.h"
+#include "obs/latency.h"
 #include "properties/runtime_stats.h"
 
 namespace lmerge::bench {
@@ -70,7 +71,8 @@ void BM_FanOutScale(benchmark::State& state) {
         tape.begin() + static_cast<ElementSequence::difference_type>(i),
         tape.begin() + static_cast<ElementSequence::difference_type>(
                            std::min(i + kBatch, tape.size())));
-    frames.push_back(net::EncodeElementsFrame(batch));
+    // v5 sessions expect the trailing origin stamp on batch frames.
+    frames.push_back(net::EncodeElementsFrame(batch, obs::MonotonicMicros()));
   }
 
   int64_t delivered = 0;

@@ -10,14 +10,21 @@
 #   * lmerge_stats monitors the live server throughout: the crashed
 #     replica's lag must spike while it is down and recover via the rejoin,
 #     and the per-input contributions must sum to the merged output TDB
-#     size (checked against both the final metrics snapshot and the tape).
+#     size (checked against both the final metrics snapshot and the tape);
+#   * the HTTP endpoint is scraped mid-run: /healthz and /readyz answer,
+#     /metrics parses as OpenMetrics with nonzero end-to-end latency
+#     samples, and /metrics.json reports the live publish->fanout
+#     p50/p99;
+#   * the subscriber measures publish->delivery latency externally from
+#     the v5 wire stamps (--latency).
 #
-# Usage: scripts/demo_net.sh [build-dir] [port]
+# Usage: scripts/demo_net.sh [build-dir] [port] [http-port]
 
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
 PORT=${2:-7654}
+HTTP_PORT=${3:-$((PORT + 1))}
 TOOLS="$BUILD_DIR/tools"
 WORK=$(mktemp -d /tmp/lmerge_demo.XXXXXX)
 trap 'kill $(jobs -p) 2>/dev/null; rm -rf "$WORK"' EXIT
@@ -41,14 +48,15 @@ echo "== generating 3 divergent physical presentations of one stream =="
 echo "== starting lmerge_served on port $PORT =="
 # 4 publisher sessions total: a, b (crashes), b's rejoin, c.
 "$TOOLS/lmerge_served" --port="$PORT" --out="$WORK/merged.lmst" \
-    --metrics-out="$WORK/metrics.json" \
+    --metrics-out="$WORK/metrics.json" --http-port="$HTTP_PORT" \
     --drain-publishers=4 --quiet &
 SERVER_PID=$!
 
 echo "== subscriber attaches for the live merged stream =="
 # --retry rides out the server still binding its port: no startup sleep.
 "$TOOLS/lmerge_subscribe" 127.0.0.1 "$PORT" "$WORK/subscribed.lmst" \
-    --validate --retry=40 --connect-timeout-ms=500 &
+    --validate --latency --retry=40 --connect-timeout-ms=500 \
+    2> "$WORK/subscriber.log" &
 SUBSCRIBER_PID=$!
 
 echo "== lmerge_stats monitor polls the live server in the background =="
@@ -89,6 +97,37 @@ until "$TOOLS/lmerge_stats" 127.0.0.1 "$PORT" --count=1 --json \
       grep -q '"peer": *"replica-b-rejoin"' "$WORK/poll_rejoin.json"; do
   sleep 0.02
 done
+echo "== scraping the live HTTP metrics/health endpoints =="
+python3 - "$HTTP_PORT" <<'EOF'
+import json, re, sys, urllib.request
+
+base = f"http://127.0.0.1:{sys.argv[1]}"
+
+health = urllib.request.urlopen(f"{base}/healthz", timeout=5).read().decode()
+assert health.strip() == "ok", health
+ready = urllib.request.urlopen(f"{base}/readyz", timeout=5).read().decode()
+assert ready.strip() == "ready", ready
+
+text = urllib.request.urlopen(f"{base}/metrics", timeout=5).read().decode()
+assert text.rstrip("\n").endswith("# EOF"), "missing OpenMetrics terminator"
+line_re = re.compile(
+    r"^(# TYPE [a-zA-Z_][a-zA-Z0-9_]* (counter|gauge|histogram)"
+    r"|[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})? -?[0-9]+"
+    r"|# EOF)$")
+for line in text.rstrip("\n").split("\n"):
+    assert line_re.match(line), f"unparseable OpenMetrics line: {line!r}"
+count = int(re.search(r"^latency_publish_to_fanout_us_count (\d+)$",
+                      text, re.M).group(1))
+assert count > 0, "no end-to-end latency samples in the live scrape"
+
+snap = json.load(urllib.request.urlopen(f"{base}/metrics.json", timeout=5))
+e2e = snap["latency.publish_to_fanout_us"]
+for stage in ("latency.rx_to_merge_us", "latency.merge_us",
+              "latency.merge_to_fanout_us", "latency.fanout_us"):
+    assert snap[stage]["count"] > 0, f"{stage} recorded nothing"
+print(f"   live /metrics: {count} end-to-end samples, publish->fanout "
+      f"p50={e2e['p50']}us p99={e2e['p99']}us")
+EOF
 "$TOOLS/lmerge_publish" 127.0.0.1 "$PORT" "$WORK/c.lmst" --name=replica-c
 
 wait "$SERVER_PID"
@@ -149,7 +188,11 @@ print(f"   rejoin: {len(polls)} live polls; lag recovered, only the dead "
       f"input remains behind (stable {stable})")
 EOF
 
+echo "== subscriber-side publish->delivery latency (v5 wire stamps) =="
+grep "publish->delivery" "$WORK/subscriber.log"
+
 echo "DEMO PASSED: merged stream is valid and logically equivalent (no"
 echo "events lost or duplicated despite the mid-stream crash + rejoin),"
 echo "and the live stats told the same story: contributions sum to the"
-echo "merged TDB size, lag spiked at the crash and recovered on rejoin."
+echo "merged TDB size, lag spiked at the crash and recovered on rejoin;"
+echo "the HTTP endpoint served health and end-to-end latency live."

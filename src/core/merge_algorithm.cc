@@ -8,14 +8,14 @@
 namespace lmerge {
 
 void MergeAlgorithm::ExportMetrics(obs::MetricsRegistry* registry) const {
-  registry->GetGauge("merge.in.inserts")->Set(stats_.inserts_in);
-  registry->GetGauge("merge.in.adjusts")->Set(stats_.adjusts_in);
-  registry->GetGauge("merge.in.stables")->Set(stats_.stables_in);
-  registry->GetGauge("merge.out.inserts")->Set(stats_.inserts_out);
-  registry->GetGauge("merge.out.adjusts")->Set(stats_.adjusts_out);
-  registry->GetGauge("merge.out.stables")->Set(stats_.stables_out);
-  registry->GetGauge("merge.dropped")->Set(stats_.dropped);
-  registry->GetGauge("merge.index_probes")->Set(index_probes_);
+  registry->GetExportedCounter("merge.in.inserts")->Set(stats_.inserts_in);
+  registry->GetExportedCounter("merge.in.adjusts")->Set(stats_.adjusts_in);
+  registry->GetExportedCounter("merge.in.stables")->Set(stats_.stables_in);
+  registry->GetExportedCounter("merge.out.inserts")->Set(stats_.inserts_out);
+  registry->GetExportedCounter("merge.out.adjusts")->Set(stats_.adjusts_out);
+  registry->GetExportedCounter("merge.out.stables")->Set(stats_.stables_out);
+  registry->GetExportedCounter("merge.dropped")->Set(stats_.dropped);
+  registry->GetExportedCounter("merge.index_probes")->Set(index_probes_);
   registry->GetGauge("merge.state_bytes")->Set(StateBytes());
   registry->GetGauge("merge.streams")->Set(stream_count());
   registry->GetGauge("merge.streams_active")->Set(active_stream_count());
@@ -26,13 +26,13 @@ void MergeAlgorithm::ExportMetrics(obs::MetricsRegistry* registry) const {
   for (int s = 0; s < stream_count(); ++s) {
     const PerInputStats& in = per_input_[static_cast<size_t>(s)];
     const std::string prefix = "merge.input." + std::to_string(s) + ".";
-    registry->GetGauge(prefix + "inserts_in")->Set(in.inserts_in);
-    registry->GetGauge(prefix + "adjusts_in")->Set(in.adjusts_in);
-    registry->GetGauge(prefix + "stables_in")->Set(in.stables_in);
-    registry->GetGauge(prefix + "elements_in")->Set(in.elements_in());
-    registry->GetGauge(prefix + "dropped")->Set(in.dropped);
-    registry->GetGauge(prefix + "contributed")->Set(in.contributed);
-    registry->GetGauge(prefix + "adjusts_contributed")
+    registry->GetExportedCounter(prefix + "inserts_in")->Set(in.inserts_in);
+    registry->GetExportedCounter(prefix + "adjusts_in")->Set(in.adjusts_in);
+    registry->GetExportedCounter(prefix + "stables_in")->Set(in.stables_in);
+    registry->GetExportedCounter(prefix + "elements_in")->Set(in.elements_in());
+    registry->GetExportedCounter(prefix + "dropped")->Set(in.dropped);
+    registry->GetExportedCounter(prefix + "contributed")->Set(in.contributed);
+    registry->GetExportedCounter(prefix + "adjusts_contributed")
         ->Set(in.adjusts_contributed);
     registry->GetGauge(prefix + "stable_point")->Set(in.stable_point);
     registry->GetGauge(prefix + "active")
@@ -85,20 +85,20 @@ void ExportAggregatedMergeMetrics(std::span<MergeAlgorithm* const> shards,
                                   obs::MetricsRegistry* registry) {
   LM_CHECK(!shards.empty());
   const MergeOutputStats total = AggregateShardStats(shards, stables_out);
-  registry->GetGauge("merge.in.inserts")->Set(total.inserts_in);
-  registry->GetGauge("merge.in.adjusts")->Set(total.adjusts_in);
-  registry->GetGauge("merge.in.stables")->Set(total.stables_in);
-  registry->GetGauge("merge.out.inserts")->Set(total.inserts_out);
-  registry->GetGauge("merge.out.adjusts")->Set(total.adjusts_out);
-  registry->GetGauge("merge.out.stables")->Set(total.stables_out);
-  registry->GetGauge("merge.dropped")->Set(total.dropped);
+  registry->GetExportedCounter("merge.in.inserts")->Set(total.inserts_in);
+  registry->GetExportedCounter("merge.in.adjusts")->Set(total.adjusts_in);
+  registry->GetExportedCounter("merge.in.stables")->Set(total.stables_in);
+  registry->GetExportedCounter("merge.out.inserts")->Set(total.inserts_out);
+  registry->GetExportedCounter("merge.out.adjusts")->Set(total.adjusts_out);
+  registry->GetExportedCounter("merge.out.stables")->Set(total.stables_out);
+  registry->GetExportedCounter("merge.dropped")->Set(total.dropped);
   int64_t probes = 0;
   int64_t state_bytes = 0;
   for (const MergeAlgorithm* shard : shards) {
     probes += shard->index_probes();
     state_bytes += shard->StateBytes();
   }
-  registry->GetGauge("merge.index_probes")->Set(probes);
+  registry->GetExportedCounter("merge.index_probes")->Set(probes);
   registry->GetGauge("merge.state_bytes")->Set(state_bytes);
   registry->GetGauge("merge.streams")->Set(shards[0]->stream_count());
   registry->GetGauge("merge.streams_active")
@@ -112,13 +112,13 @@ void ExportAggregatedMergeMetrics(std::span<MergeAlgorithm* const> shards,
   for (size_t s = 0; s < per_input.size(); ++s) {
     const PerInputStats& in = per_input[s];
     const std::string prefix = "merge.input." + std::to_string(s) + ".";
-    registry->GetGauge(prefix + "inserts_in")->Set(in.inserts_in);
-    registry->GetGauge(prefix + "adjusts_in")->Set(in.adjusts_in);
-    registry->GetGauge(prefix + "stables_in")->Set(in.stables_in);
-    registry->GetGauge(prefix + "elements_in")->Set(in.elements_in());
-    registry->GetGauge(prefix + "dropped")->Set(in.dropped);
-    registry->GetGauge(prefix + "contributed")->Set(in.contributed);
-    registry->GetGauge(prefix + "adjusts_contributed")
+    registry->GetExportedCounter(prefix + "inserts_in")->Set(in.inserts_in);
+    registry->GetExportedCounter(prefix + "adjusts_in")->Set(in.adjusts_in);
+    registry->GetExportedCounter(prefix + "stables_in")->Set(in.stables_in);
+    registry->GetExportedCounter(prefix + "elements_in")->Set(in.elements_in());
+    registry->GetExportedCounter(prefix + "dropped")->Set(in.dropped);
+    registry->GetExportedCounter(prefix + "contributed")->Set(in.contributed);
+    registry->GetExportedCounter(prefix + "adjusts_contributed")
         ->Set(in.adjusts_contributed);
     registry->GetGauge(prefix + "stable_point")->Set(in.stable_point);
     registry->GetGauge(prefix + "active")

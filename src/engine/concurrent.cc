@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/latency.h"
 #include "obs/trace.h"
 
 namespace lmerge {
@@ -25,6 +26,8 @@ ConcurrentMerger::ConcurrentMerger(MergeAlgorithm* algorithm,
   idle_us_metric_ = registry.GetCounter(scope + ".idle_us");
   batch_size_metric_ = registry.GetHistogram(scope + ".batch_size");
   ring_occupancy_metric_ = registry.GetHistogram(scope + ".ring_occupancy");
+  rx_to_merge_metric_ = registry.GetHistogram("latency.rx_to_merge_us");
+  merge_us_metric_ = registry.GetHistogram("latency.merge_us");
   slots_.reserve(kMaxStreams);
   const int n = algorithm_->stream_count();
   LM_CHECK(static_cast<size_t>(n) <= kMaxStreams);
@@ -76,8 +79,21 @@ void ConcurrentMerger::EnqueueBlocking(int stream, StreamElement element) {
     (void)slot.wait_cv.WaitFor(lock, std::chrono::milliseconds(1));
     slot.producer_waiting.store(false, std::memory_order_release);
   }
+  slot.enqueued_count += 1;
   delivered_.fetch_add(1, std::memory_order_release);
   WakeMerge();
+}
+
+void ConcurrentMerger::PushStamp(int stream, size_t count,
+                                 const obs::IngestStamp& stamp) {
+  InputSlot& slot = *slots_[static_cast<size_t>(stream)];
+  BatchStamp entry;
+  entry.begin_count = slot.enqueued_count - count;
+  entry.end_count = slot.enqueued_count;
+  entry.stamp = stamp;
+  // Full ring: drop the stamp.  Latency samples are best-effort; elements
+  // never are.
+  (void)slot.stamp_ring.TryPush(entry);
 }
 
 void ConcurrentMerger::WakeMerge() {
@@ -112,6 +128,20 @@ Status ConcurrentMerger::TryDeliverBatch(int stream,
   return Status::Ok();
 }
 
+Status ConcurrentMerger::TryDeliverBatch(int stream,
+                                         std::span<StreamElement> batch,
+                                         const obs::IngestStamp& stamp) {
+  const size_t count = batch.size();
+  const Status status = TryDeliverBatch(stream, batch);
+  // Stamp only a fully-enqueued batch: a validation failure tears the
+  // session down anyway, and a stamp whose range overshoots the elements
+  // actually enqueued would pin the stamp ring forever.
+  if (status.ok() && count > 0 && !stamp.empty()) {
+    PushStamp(stream, count, stamp);
+  }
+  return status;
+}
+
 void ConcurrentMerger::DeliverBatch(int stream,
                                     std::span<StreamElement> batch) {
   LM_CHECK(stream >= 0 &&
@@ -119,6 +149,14 @@ void ConcurrentMerger::DeliverBatch(int stream,
   for (StreamElement& element : batch) {
     EnqueueBlocking(stream, std::move(element));
   }
+}
+
+void ConcurrentMerger::DeliverBatch(int stream,
+                                    std::span<StreamElement> batch,
+                                    const obs::IngestStamp& stamp) {
+  const size_t count = batch.size();
+  DeliverBatch(stream, batch);
+  if (count > 0 && !stamp.empty()) PushStamp(stream, count, stamp);
 }
 
 int ConcurrentMerger::AddStream() {
@@ -193,7 +231,7 @@ obs::MetricsSnapshot ConcurrentMerger::MetricsSnapshot() {
   CallOnMergeThread([this, &registry] {
     algorithm_->ExportMetrics(&registry);
   });
-  registry.GetGauge("engine.delivered")->Set(delivered_count());
+  registry.GetExportedCounter("engine.delivered")->Set(delivered_count());
   registry.GetGauge("engine.pending")
       ->Set(pending_.load(std::memory_order_acquire));
   registry.GetGauge("engine.streams")
@@ -217,10 +255,33 @@ size_t ConcurrentMerger::DrainRing(int stream) {
   ring_occupancy_metric_->Record(static_cast<int64_t>(occupied));
   batch_size_metric_->Record(static_cast<int64_t>(n));
   batches_metric_->Increment();
+  // Fold every stamp covering this drain and republish it thread-locally
+  // for same-thread consumers (the fan-out sink reads it per element).
+  // Always runs — even with metrics off the wire-carried origin must keep
+  // flowing so `lmerge_subscribe --latency` works against a bare server.
+  // A stamp straddling the drain boundary stays queued for the next batch.
+  slot.drained_count += n;
+  obs::IngestStamp batch_stamp;
+  while (BatchStamp* entry = slot.stamp_ring.Peek()) {
+    if (entry->begin_count >= slot.drained_count) break;
+    batch_stamp.FoldOldest(entry->stamp);
+    if (entry->end_count > slot.drained_count) break;
+    slot.stamp_ring.PopFront();
+  }
+  obs::SetCurrentIngestStamp(batch_stamp);
+  const bool timed = obs::MetricsRegistry::enabled();
+  if (timed && batch_stamp.rx_us != 0) {
+    const int64_t wait_us = obs::MonotonicMicros() - batch_stamp.rx_us;
+    rx_to_merge_metric_->Record(wait_us > 0 ? wait_us : 0);
+  }
   if (!poisoned_.load(std::memory_order_relaxed)) {
     LMERGE_TRACE_SPAN("merge_batch", "engine");
+    const int64_t merge_start = timed ? obs::MonotonicMicros() : 0;
     const Status status = algorithm_->ProcessBatch(
         stream, std::span<const StreamElement>(scratch_.data(), n));
+    if (timed) {
+      merge_us_metric_->Record(obs::MonotonicMicros() - merge_start);
+    }
     if (!status.ok()) RecordError(status);
     max_stable_.store(algorithm_->max_stable(), std::memory_order_release);
     if (options_.after_batch) options_.after_batch();
@@ -348,6 +409,15 @@ MergeOutputStats ConcurrentMerger::StatsSnapshot() {
   MergeOutputStats stats;
   CallOnMergeThread([this, &stats] { stats = algorithm_->stats(); });
   return stats;
+}
+
+bool ConcurrentMerger::Responsive(std::chrono::milliseconds timeout) {
+  // The no-op only runs once the merge thread reaches its control-op point
+  // between batches; a wedged ProcessBatch or dead thread times out.  An
+  // abandoned future is harmless — the parked op completes (or never runs)
+  // against a promise this merger still owns.
+  std::future<int> done = CallOnMergeThreadAsync([] {});
+  return done.wait_for(timeout) == std::future_status::ready;
 }
 
 MergerInputSnapshot ConcurrentMerger::InputSnapshot() {

@@ -24,6 +24,7 @@
 #define LMERGE_ENGINE_CONCURRENT_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -38,6 +39,7 @@
 #include "core/merge_algorithm.h"
 #include "engine/merger.h"
 #include "engine/spsc_ring.h"
+#include "obs/latency.h"
 #include "obs/metrics.h"
 #include "stream/element.h"
 
@@ -90,12 +92,24 @@ class ConcurrentMerger : public Merger {
   // element-wise delivery) and the error is returned.
   Status TryDeliverBatch(int stream, std::span<StreamElement> batch) override;
 
+  // Stamped TryDeliverBatch for the latency pipeline: on success, the
+  // batch's ingest stamp rides a per-stream side ring keyed by element
+  // counts, so the merge thread can attribute drain batches back to their
+  // arrival times without widening StreamElement.  A full stamp ring drops
+  // the stamp (a lost latency sample), never the elements.
+  Status TryDeliverBatch(int stream, std::span<StreamElement> batch,
+                         const obs::IngestStamp& stamp) override;
+
   // Trusted batched delivery: enqueues every element of `batch` (moved out)
   // without re-validating.  The PartitionedMerger routing path uses this
   // after validating a publisher batch once up front, so split sub-batches
   // keep the exact prefix-on-error semantics without paying validation per
   // shard.
   void DeliverBatch(int stream, std::span<StreamElement> batch);
+
+  // Stamped trusted delivery, same contract plus the stamp side-channel.
+  void DeliverBatch(int stream, std::span<StreamElement> batch,
+                    const obs::IngestStamp& stamp);
 
   // Thread-safe runtime stream registry (the paper's join/leave hooks,
   // Sec. V-B/C).  Both block until the merge thread has applied the change;
@@ -164,10 +178,34 @@ class ConcurrentMerger : public Merger {
   // Safe to call from any thread while deliveries are in flight.
   obs::MetricsSnapshot MetricsSnapshot() override;
 
+  // /readyz probe: posts a no-op control op and waits up to `timeout` for
+  // the merge thread to run it.  False means the thread is wedged or dead.
+  bool Responsive(std::chrono::milliseconds timeout) override;
+
  private:
+  // An ingest stamp covering the elements enqueued in slot positions
+  // [begin_count, end_count) — cumulative counts, so the merge thread can
+  // match stamps to drain batches without the stamp living inside
+  // StreamElement.
+  struct BatchStamp {
+    uint64_t begin_count = 0;
+    uint64_t end_count = 0;
+    obs::IngestStamp stamp;
+  };
+
   struct InputSlot {
-    explicit InputSlot(size_t capacity) : ring(capacity) {}
+    explicit InputSlot(size_t capacity)
+        : ring(capacity), stamp_ring(kStampRingCapacity) {}
     SpscRing<StreamElement> ring;
+    // Latency side-channel beside the element ring: one entry per stamped
+    // publisher batch.  Much smaller than the element ring — overflow drops
+    // the stamp (a lost sample), never blocks the producer.
+    SpscRing<BatchStamp> stamp_ring;
+    // Cumulative elements ever enqueued (producer-thread-only) / drained
+    // (merge-thread-only); their difference in stamp ranges is the matching
+    // key, so neither needs to be atomic.
+    uint64_t enqueued_count = 0;
+    uint64_t drained_count = 0;
     std::atomic<bool> active{true};
     // Backpressure parking for the producer when the ring is full.  The
     // mutex guards no data (ring and flag are atomic); it only sequences
@@ -187,6 +225,7 @@ class ConcurrentMerger : public Merger {
   // Producer side.
   Status Precheck(int stream, const StreamElement& element) const;
   void EnqueueBlocking(int stream, StreamElement element);
+  void PushStamp(int stream, size_t count, const obs::IngestStamp& stamp);
   void WakeMerge();
 
   // Merge-thread side.
@@ -198,6 +237,9 @@ class ConcurrentMerger : public Merger {
   // The slot vector is append-only and pre-reserved to kMaxStreams so
   // producers may index it without locks while AddStream appends.
   static constexpr size_t kMaxStreams = 1024;
+  // Stamp entries per input: one per publisher batch in flight, so far
+  // fewer than ring_capacity elements ever need.
+  static constexpr size_t kStampRingCapacity = 256;
 
   MergeAlgorithm* algorithm_;
   ConcurrentMergerOptions options_;
@@ -238,6 +280,9 @@ class ConcurrentMerger : public Merger {
   obs::Counter* idle_us_metric_;
   obs::Histogram* batch_size_metric_;
   obs::Histogram* ring_occupancy_metric_;
+  // Latency-pipeline stages (unscoped names: shards aggregate process-wide).
+  obs::Histogram* rx_to_merge_metric_;
+  obs::Histogram* merge_us_metric_;
 
   std::thread merge_thread_;
 };

@@ -17,6 +17,7 @@
 #ifndef LMERGE_ENGINE_MERGER_H_
 #define LMERGE_ENGINE_MERGER_H_
 
+#include <chrono>
 #include <functional>
 #include <span>
 #include <thread>
@@ -25,6 +26,7 @@
 #include "common/check.h"
 #include "common/status.h"
 #include "core/merge_algorithm.h"
+#include "obs/latency.h"
 #include "obs/metrics.h"
 #include "stream/element.h"
 
@@ -58,6 +60,18 @@ class Merger {
   // failing one stay enqueued (prefix semantics) and the error is returned.
   virtual Status TryDeliverBatch(int stream,
                                  std::span<StreamElement> batch) = 0;
+
+  // Stamped delivery: like TryDeliverBatch, additionally attaching the
+  // batch's ingest stamp for the latency pipeline
+  // (docs/OBSERVABILITY.md).  The stamp is observability side-channel
+  // data: implementations may drop it under pressure (a lost latency
+  // sample), never the elements.  The default ignores it, so mergers
+  // without latency plumbing stay correct.
+  virtual Status TryDeliverBatch(int stream, std::span<StreamElement> batch,
+                                 const obs::IngestStamp& stamp) {
+    (void)stamp;
+    return TryDeliverBatch(stream, batch);
+  }
 
   // Runtime stream registry (the paper's join/leave hooks, Sec. V-B/C).
   // Both block until every shard has applied the change; RemoveStream first
@@ -107,6 +121,16 @@ class Merger {
   // Exports algorithm + engine instruments into the global registry and
   // returns its snapshot.  Safe to call while deliveries are in flight.
   virtual obs::MetricsSnapshot MetricsSnapshot() = 0;
+
+  // Liveness probe for /readyz: posts a no-op onto every merge thread and
+  // waits up to `timeout` for all of them to run it.  False means some
+  // thread did not come around — wedged in a batch, deadlocked, or dead —
+  // while true means each one reached its control-op point.  The default
+  // (no threads to probe) is trivially responsive.
+  virtual bool Responsive(std::chrono::milliseconds timeout) {
+    (void)timeout;
+    return true;
+  }
 
   // Spawns one thread per input, each delivering its sequence in order
   // (cross-stream interleaving is up to the scheduler), joins them, and

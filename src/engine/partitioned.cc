@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <future>
 #include <string>
 #include <utility>
 
+#include "obs/latency.h"
 #include "obs/trace.h"
 
 namespace lmerge {
@@ -135,8 +137,28 @@ Status PartitionedMerger::TryDeliverBatch(int stream,
   return failure;
 }
 
+Status PartitionedMerger::TryDeliverBatch(int stream,
+                                          std::span<StreamElement> batch,
+                                          const obs::IngestStamp& stamp) {
+  // Same valid-prefix routing as the unstamped overload, with the stamp
+  // attached to every shard sub-batch.
+  size_t valid = batch.size();
+  Status failure = Status::Ok();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Status status = Precheck(stream, batch[i]);
+    if (!status.ok()) {
+      valid = i;
+      failure = status;
+      break;
+    }
+  }
+  RouteBatch(stream, batch.subspan(0, valid), stamp);
+  return failure;
+}
+
 void PartitionedMerger::RouteBatch(int stream,
-                                   std::span<StreamElement> batch) {
+                                   std::span<StreamElement> batch,
+                                   const obs::IngestStamp& stamp) {
   if (batch.empty()) return;
   // Stack-local split buffers: concurrent producers (one per stream) each
   // route independently; per-stream order is preserved inside every
@@ -168,7 +190,7 @@ void PartitionedMerger::RouteBatch(int stream,
     shard.elements_metric->Add(static_cast<int64_t>(sub.size()));
     shard.routed_batch_metric->Record(static_cast<int64_t>(sub.size()));
     shard.merger->DeliverBatch(
-        stream, std::span<StreamElement>(sub.data(), sub.size()));
+        stream, std::span<StreamElement>(sub.data(), sub.size()), stamp);
   }
 }
 
@@ -319,15 +341,44 @@ obs::MetricsSnapshot PartitionedMerger::MetricsSnapshot() {
   for (const std::unique_ptr<Shard>& shard : shards_) {
     pending += shard->merger->pending_count();
   }
-  registry.GetGauge("engine.delivered")->Set(delivered_count());
+  registry.GetExportedCounter("engine.delivered")->Set(delivered_count());
   registry.GetGauge("engine.pending")->Set(pending);
   registry.GetGauge("engine.streams")
       ->Set(stream_count_.load(std::memory_order_acquire));
   return registry.Snapshot();
 }
 
+bool PartitionedMerger::Responsive(std::chrono::milliseconds timeout) {
+  // One concurrent ping per shard against a shared deadline, so the probe
+  // costs max(shard latencies), not their sum.
+  std::vector<std::future<int>> pings;
+  pings.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    pings.push_back(shard->merger->CallOnMergeThreadAsync([] {}));
+  }
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (std::future<int>& ping : pings) {
+    if (ping.wait_until(deadline) != std::future_status::ready) return false;
+  }
+  return true;
+}
+
 void PartitionedMerger::EnqueueOutput(int shard, const StreamElement& element) {
   Shard& s = *shards_[static_cast<size_t>(shard)];
+  // Stamp relay, shard half: the shard's merge thread republishes its
+  // input batch's stamp thread-locally (engine/concurrent.cc); record it
+  // into the side ring whenever it changes, keyed by the cumulative output
+  // position, so the aggregator can re-derive "which stamp was in force"
+  // for each drained element.  A full side ring drops the change (lost
+  // sample) and retries at the next change.
+  const obs::IngestStamp& current = obs::CurrentIngestStamp();
+  if (!(current == s.out_last_stamp)) {
+    OutStamp entry;
+    entry.begin_count = s.out_enqueued;
+    entry.stamp = current;
+    if (s.out_stamp_ring.TryPush(entry)) s.out_last_stamp = current;
+  }
+  s.out_enqueued += 1;
   // Commit to the books before the push so out_pending_ never transiently
   // reads 0 while output is in flight (same protocol as
   // ConcurrentMerger::EnqueueBlocking).
@@ -394,6 +445,20 @@ size_t PartitionedMerger::DrainShardOutput(int shard,
   const size_t n = s.out_ring.Pop(scratch, options_.max_batch);
   if (n == 0) return 0;
   agg_batches_metric_->Increment();
+  // Stamp relay, aggregator half: elements drained here carry the stamp in
+  // force at their position.  Fold the carried-over stamp with every relay
+  // entry that began inside this chunk (the chunk is charged its oldest
+  // element) and republish thread-locally for the downstream sink; the last
+  // entry stays in force for the next chunk.
+  s.out_drained += n;
+  obs::IngestStamp chunk_stamp = s.agg_stamp;
+  while (OutStamp* entry = s.out_stamp_ring.Peek()) {
+    if (entry->begin_count >= s.out_drained) break;
+    s.agg_stamp = entry->stamp;
+    chunk_stamp.FoldOldest(entry->stamp);
+    s.out_stamp_ring.PopFront();
+  }
+  obs::SetCurrentIngestStamp(chunk_stamp);
   {
     LMERGE_TRACE_SPAN("agg_batch", "engine");
     for (size_t i = 0; i < n; ++i) ForwardElement(shard, (*scratch)[i]);

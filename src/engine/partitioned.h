@@ -36,6 +36,7 @@
 #define LMERGE_ENGINE_PARTITIONED_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -51,6 +52,7 @@
 #include "engine/concurrent.h"
 #include "engine/merger.h"
 #include "engine/spsc_ring.h"
+#include "obs/latency.h"
 #include "obs/metrics.h"
 #include "stream/element.h"
 #include "stream/sink.h"
@@ -121,6 +123,13 @@ class PartitionedMerger : public Merger {
   Status TryDeliver(int stream, const StreamElement& element) override;
   Status TryDeliverBatch(int stream, std::span<StreamElement> batch) override;
 
+  // Stamped delivery: the batch's ingest stamp follows each routed
+  // sub-batch into its shard merger, and from there across the aggregator
+  // to the recombined output (see the stamp relay comment on
+  // EnqueueOutput).
+  Status TryDeliverBatch(int stream, std::span<StreamElement> batch,
+                         const obs::IngestStamp& stamp) override;
+
   // Fan-out registry changes, serialized so every shard applies them in the
   // same order and the per-shard stream ids stay aligned.
   int AddStream() override;
@@ -160,6 +169,11 @@ class PartitionedMerger : public Merger {
   MergerInputSnapshot InputSnapshot() override;
   obs::MetricsSnapshot MetricsSnapshot() override;
 
+  // /readyz probe: pings every shard's merge thread against one shared
+  // deadline.  A wedged aggregator is caught transitively — its full output
+  // rings block the shards mid-batch, so their pings time out too.
+  bool Responsive(std::chrono::milliseconds timeout) override;
+
   // Output stables emitted by the aggregator (shard-emitted stables are
   // swallowed by the min-frontier aggregation and never reach the output).
   int64_t stables_out() const {
@@ -182,12 +196,34 @@ class PartitionedMerger : public Merger {
     int shard_ = 0;
   };
 
+  // Stamp relay entry: "output elements from cumulative position
+  // `begin_count` on carry `stamp`, until a later entry supersedes it."
+  // Pushed by the shard merge thread only when its thread-local stamp
+  // changes, so the ring stays tiny relative to the element ring.
+  struct OutStamp {
+    uint64_t begin_count = 0;
+    obs::IngestStamp stamp;
+  };
+
   struct Shard {
-    explicit Shard(size_t out_capacity) : out_ring(out_capacity) {}
+    explicit Shard(size_t out_capacity)
+        : out_ring(out_capacity), out_stamp_ring(kOutStampRingCapacity) {}
     ShardOutput sink;
     std::unique_ptr<MergeAlgorithm> algorithm;  // fed only by `merger`
     std::unique_ptr<ConcurrentMerger> merger;
     SpscRing<StreamElement> out_ring;  // shard merge thread -> aggregator
+    // Latency side-channel beside the output ring (shard merge thread ->
+    // aggregator); overflow drops stamps, never elements.
+    SpscRing<OutStamp> out_stamp_ring;
+    // Cumulative outputs enqueued (shard-merge-thread-only) / drained
+    // (aggregator-only) — the matching key for OutStamp ranges.
+    uint64_t out_enqueued = 0;
+    uint64_t out_drained = 0;
+    // Last stamp pushed into the relay (shard-merge-thread-only): push only
+    // on change.
+    obs::IngestStamp out_last_stamp;
+    // The stamp in force for the next drained element (aggregator-only).
+    obs::IngestStamp agg_stamp;
     // Parking for the shard merge thread when the output ring is full
     // (mirrors ConcurrentMerger::InputSlot backpressure; the mutex guards
     // no data, it only sequences the park/notify handshake).
@@ -206,8 +242,10 @@ class PartitionedMerger : public Merger {
   Status Precheck(int stream, const StreamElement& element) const;
   bool AnyShardPoisoned() const;
   // Splits `batch` per shard (stables appended to every shard) and hands
-  // the sub-batches to the shard mergers' trusted DeliverBatch.
-  void RouteBatch(int stream, std::span<StreamElement> batch);
+  // the sub-batches to the shard mergers' trusted DeliverBatch, attaching
+  // `stamp` to each sub-batch (empty = unstamped).
+  void RouteBatch(int stream, std::span<StreamElement> batch,
+                  const obs::IngestStamp& stamp = obs::IngestStamp());
 
   // Shard-thread side.
   void EnqueueOutput(int shard, const StreamElement& element);
@@ -229,6 +267,8 @@ class PartitionedMerger : public Merger {
   // vector is append-only and pre-reserved so producers index it without
   // locks while AddStream appends).
   static constexpr size_t kMaxStreams = 1024;
+  // Stamp relay entries per shard (see OutStamp).
+  static constexpr size_t kOutStampRingCapacity = 256;
   std::vector<std::unique_ptr<std::atomic<bool>>> active_;
   std::atomic<int> stream_count_{0};
 

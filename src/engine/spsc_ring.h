@@ -61,6 +61,22 @@ class SpscRing {
     return n;
   }
 
+  // Consumer only.  Oldest item without consuming it; nullptr when empty.
+  // The pointer stays valid until the consumer's next PopFront.
+  T* Peek() {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == head) return nullptr;
+    return &slots_[head & mask_];
+  }
+
+  // Consumer only.  Discards the oldest item, which must exist (see Peek).
+  void PopFront() {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    LM_CHECK(tail_.load(std::memory_order_acquire) != head);
+    slots_[head & mask_] = T();
+    head_.store(head + 1, std::memory_order_release);
+  }
+
   // Approximate (exact from the owning side).
   size_t size() const {
     return static_cast<size_t>(tail_.load(std::memory_order_acquire) -

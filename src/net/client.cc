@@ -1,5 +1,7 @@
 #include "net/client.h"
 
+#include "obs/latency.h"
+
 namespace lmerge::net {
 
 Status ReceiveFrame(Connection* connection, FrameAssembler* assembler,
@@ -139,6 +141,17 @@ Status PublisherClient::PublishBatch(const ElementSequence& elements) {
   if (server_said_bye_) {
     return Status::FailedPrecondition("server closed session: " +
                                       bye_reason_);
+  }
+  if (version_ >= kLatencyVersion) {
+    // v5: the batch carries its origin stamp (our steady clock at send);
+    // the server folds it into the end-to-end latency histograms and
+    // forwards it to --latency subscribers.
+    const int64_t origin_us = obs::MonotonicMicros();
+    if (dict_ != nullptr) {
+      return connection_->Send(
+          EncodeElementsDictFrame(elements, dict_.get(), origin_us));
+    }
+    return connection_->Send(EncodeElementsFrame(elements, origin_us));
   }
   if (dict_ != nullptr) {
     // v2: one Send carrying PAYLOAD_DEFs for first-seen payloads followed
@@ -280,6 +293,12 @@ Status SubscriberClient::Handshake(const std::string& name,
   return Status::Ok();
 }
 
+void SubscriberClient::NoteBatchStamp(int64_t origin_us, size_t count) {
+  if (stamp_observer_ && origin_us != 0 && count > 0) {
+    stamp_observer_(origin_us, count);
+  }
+}
+
 Status SubscriberClient::Consume(ElementSink* sink) {
   LM_CHECK(sink != nullptr);
   while (true) {
@@ -305,9 +324,13 @@ Status SubscriberClient::Consume(ElementSink* sink) {
       }
       case FrameType::kElements: {
         ElementSequence elements;
+        int64_t origin_us = 0;
         const Status decode =
-            DecodeElementsPayload(frame.payload, &elements);
+            version_ >= kLatencyVersion
+                ? DecodeElementsPayload(frame.payload, &elements, &origin_us)
+                : DecodeElementsPayload(frame.payload, &elements);
         if (!decode.ok()) return decode;
+        NoteBatchStamp(origin_us, elements.size());
         for (const StreamElement& element : elements) {
           ++elements_received_;
           sink->OnElement(element);
@@ -332,9 +355,14 @@ Status SubscriberClient::Consume(ElementSink* sink) {
               "ELEMENTS_DICT on a v1-negotiated session");
         }
         ElementSequence elements;
+        int64_t origin_us = 0;
         const Status decode =
-            DecodeElementsDictPayload(frame.payload, *dict_, &elements);
+            version_ >= kLatencyVersion
+                ? DecodeElementsDictPayload(frame.payload, *dict_, &elements,
+                                            &origin_us)
+                : DecodeElementsDictPayload(frame.payload, *dict_, &elements);
         if (!decode.ok()) return decode;
+        NoteBatchStamp(origin_us, elements.size());
         for (const StreamElement& element : elements) {
           ++elements_received_;
           sink->OnElement(element);

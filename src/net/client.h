@@ -5,6 +5,7 @@
 #ifndef LMERGE_NET_CLIENT_H_
 #define LMERGE_NET_CLIENT_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -119,6 +120,15 @@ class SubscriberClient {
   Status Handshake(const std::string& name,
                    WelcomeMessage* welcome = nullptr);
 
+  // Called once per stamped batch (v5 sessions; origin_us != 0), before the
+  // batch's elements reach the sink.  `origin_us` is the publisher's steady
+  // clock at send: on the same host, now - origin_us is the end-to-end
+  // publish->delivery latency (what lmerge_subscribe --latency reports).
+  void set_stamp_observer(
+      std::function<void(int64_t origin_us, size_t count)> observer) {
+    stamp_observer_ = std::move(observer);
+  }
+
   // Blocks, delivering each merged element to `sink`, until the server says
   // BYE or closes the connection; both are a clean end of stream.
   Status Consume(ElementSink* sink);
@@ -129,6 +139,8 @@ class SubscriberClient {
   Connection* connection() { return connection_.get(); }
 
  private:
+  void NoteBatchStamp(int64_t origin_us, size_t count);
+
   std::unique_ptr<Connection> connection_;
   FrameAssembler assembler_;
   int64_t elements_received_ = 0;
@@ -136,6 +148,7 @@ class SubscriberClient {
   uint32_t version_ = kMinProtocolVersion;
   // Inbound payload dictionary for v2 sessions, fed by PAYLOAD_DEF frames.
   std::unique_ptr<PayloadDictDecoder> dict_;
+  std::function<void(int64_t, size_t)> stamp_observer_;
 };
 
 }  // namespace lmerge::net

@@ -131,11 +131,28 @@ std::string EncodeElementsFrame(const ElementSequence& elements) {
   return EncodeFrame(FrameType::kElements, encoder.TakeBytes());
 }
 
+std::string EncodeElementsFrame(const ElementSequence& elements,
+                                int64_t origin_us) {
+  Encoder encoder;
+  EncodeSequence(elements, &encoder);
+  encoder.WriteI64(origin_us);
+  return EncodeFrame(FrameType::kElements, encoder.TakeBytes());
+}
+
 Status DecodeElementsPayload(const std::string& payload,
                              ElementSequence* elements) {
   Decoder decoder(payload);
   const Status status = DecodeSequence(&decoder, elements);
   if (!status.ok()) return status;
+  return FinishDecode(decoder);
+}
+
+Status DecodeElementsPayload(const std::string& payload,
+                             ElementSequence* elements, int64_t* origin_us) {
+  Decoder decoder(payload);
+  Status status = DecodeSequence(&decoder, elements);
+  if (!status.ok()) return status;
+  if (!(status = decoder.ReadI64(origin_us)).ok()) return status;
   return FinishDecode(decoder);
 }
 
@@ -171,18 +188,38 @@ std::string EncodePayloadDefFrame(const PayloadDefMessage& def) {
   return EncodeFrame(FrameType::kPayloadDef, encoder.TakeBytes());
 }
 
-std::string EncodeElementsDictFrame(const ElementSequence& elements,
+DictBatchParts EncodeDictBatchParts(const ElementSequence& elements,
                                     PayloadDictEncoder* dict) {
   Encoder body;
   std::vector<std::pair<uint32_t, Row>> new_defs;
   EncodeSequenceDict(elements, dict, &new_defs, &body);
-  std::string out;
+  DictBatchParts parts;
   for (const auto& [id, payload] : new_defs) {
     Encoder def;
     EncodePayloadDef(id, payload, &def);
-    AppendFrame(FrameType::kPayloadDef, def.TakeBytes(), &out);
+    AppendFrame(FrameType::kPayloadDef, def.TakeBytes(), &parts.defs);
   }
-  AppendFrame(FrameType::kElementsDict, body.TakeBytes(), &out);
+  parts.body = body.TakeBytes();
+  return parts;
+}
+
+std::string EncodeElementsDictFrame(const ElementSequence& elements,
+                                    PayloadDictEncoder* dict) {
+  DictBatchParts parts = EncodeDictBatchParts(elements, dict);
+  std::string out = std::move(parts.defs);
+  AppendFrame(FrameType::kElementsDict, parts.body, &out);
+  return out;
+}
+
+std::string EncodeElementsDictFrame(const ElementSequence& elements,
+                                    PayloadDictEncoder* dict,
+                                    int64_t origin_us) {
+  DictBatchParts parts = EncodeDictBatchParts(elements, dict);
+  Encoder stamp;
+  stamp.WriteI64(origin_us);
+  parts.body += stamp.TakeBytes();
+  std::string out = std::move(parts.defs);
+  AppendFrame(FrameType::kElementsDict, parts.body, &out);
   return out;
 }
 
@@ -203,6 +240,17 @@ Status DecodeElementsDictPayload(const std::string& payload,
   return FinishDecode(decoder);
 }
 
+Status DecodeElementsDictPayload(const std::string& payload,
+                                 const PayloadDictDecoder& dict,
+                                 ElementSequence* elements,
+                                 int64_t* origin_us) {
+  Decoder decoder(payload);
+  Status status = DecodeSequenceDict(&decoder, dict, elements);
+  if (!status.ok()) return status;
+  if (!(status = decoder.ReadI64(origin_us)).ok()) return status;
+  return FinishDecode(decoder);
+}
+
 std::string EncodeStatsRequestFrame() {
   return EncodeFrame(FrameType::kStatsRequest, std::string());
 }
@@ -214,7 +262,8 @@ Status DecodeStatsRequest(const std::string& payload) {
   return Status::Ok();
 }
 
-std::string EncodeStatsResponseFrame(const StatsResponseMessage& stats) {
+std::string EncodeStatsResponseFrame(const StatsResponseMessage& stats,
+                                     uint32_t version) {
   Encoder encoder;
   encoder.WriteU8(stats.algorithm_case);
   encoder.WriteI64(stats.output_stable);
@@ -236,6 +285,10 @@ std::string EncodeStatsResponseFrame(const StatsResponseMessage& stats) {
     encoder.WriteI64(row.stable_point);
   }
   obs::EncodeMetricsSnapshot(stats.metrics, &encoder);
+  if (version >= kLatencyVersion) {
+    encoder.WriteI64(stats.metrics.captured_wall_ms);
+    encoder.WriteI64(stats.metrics.captured_mono_us);
+  }
   return EncodeFrame(FrameType::kStatsResponse, encoder.TakeBytes());
 }
 
@@ -283,6 +336,16 @@ Status DecodeStatsResponse(const std::string& payload,
   if (!(status = obs::DecodeMetricsSnapshot(&decoder, &stats->metrics))
            .ok()) {
     return status;
+  }
+  // v5 sessions append the snapshot capture timestamps; a v3/v4 response
+  // ends here.  Anything else is trailing garbage either way.
+  if (!decoder.AtEnd()) {
+    if (!(status = decoder.ReadI64(&stats->metrics.captured_wall_ms)).ok()) {
+      return status;
+    }
+    if (!(status = decoder.ReadI64(&stats->metrics.captured_mono_us)).ok()) {
+      return status;
+    }
   }
   return FinishDecode(decoder);
 }

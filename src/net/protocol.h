@@ -54,8 +54,15 @@ namespace lmerge::net {
 // v2 added the session payload dictionary (PAYLOAD_DEF / ELEMENTS_DICT);
 // v3 added STATS_REQUEST / STATS_RESPONSE and the monitor role;
 // v4 added CHECKPOINT_REQUEST / CHECKPOINT_CHUNK / CUT_CERT and the standby
-// role (docs/REPLICATION.md).
-inline constexpr uint32_t kProtocolVersion = 4;
+// role (docs/REPLICATION.md);
+// v5 added the per-batch origin timestamp: on a v5 session every ELEMENTS /
+// ELEMENTS_DICT payload ends with `i64 origin_us` (the sender's steady
+// clock in microseconds at serialization; 0 = unknown), and STATS_RESPONSE
+// ends with the snapshot capture timestamps (`i64 captured_wall_ms`,
+// `i64 captured_mono_us`).  Single-ELEMENT frames stay unstamped at every
+// version.  v4-and-older peers negotiate down and the stamp never appears
+// on their sessions (docs/OBSERVABILITY.md "Latency pipeline").
+inline constexpr uint32_t kProtocolVersion = 5;
 // Oldest version this build still speaks (inline-only encoding).
 inline constexpr uint32_t kMinProtocolVersion = 1;
 // First version allowed to carry dictionary frames.
@@ -65,6 +72,8 @@ inline constexpr uint32_t kStatsVersion = 3;
 // First version allowed to carry CHECKPOINT_* / CUT_CERT frames (and the
 // standby role).
 inline constexpr uint32_t kReplicationVersion = 4;
+// First version whose batch frames carry the origin timestamp.
+inline constexpr uint32_t kLatencyVersion = 5;
 
 // Checkpoint blobs are streamed in chunks of this size so live ELEMENT
 // fan-out interleaves with the transfer instead of stalling behind one
@@ -178,11 +187,19 @@ std::string EncodeHelloFrame(const HelloMessage& hello);
 std::string EncodeWelcomeFrame(const WelcomeMessage& welcome);
 std::string EncodeElementFrame(const StreamElement& element);
 std::string EncodeElementsFrame(const ElementSequence& elements);
+// v5 form: the payload ends with the i64 origin stamp.
+std::string EncodeElementsFrame(const ElementSequence& elements,
+                                int64_t origin_us);
 std::string EncodeFeedbackFrame(const FeedbackMessage& feedback);
 std::string EncodeByeFrame(const ByeMessage& bye);
 std::string EncodePayloadDefFrame(const PayloadDefMessage& def);
 std::string EncodeStatsRequestFrame();
-std::string EncodeStatsResponseFrame(const StatsResponseMessage& stats);
+// `version` is the session's negotiated protocol version: at
+// kLatencyVersion and above the frame carries the metrics snapshot's
+// capture timestamps after the snapshot; older sessions get the v3 layout
+// byte-for-byte.
+std::string EncodeStatsResponseFrame(const StatsResponseMessage& stats,
+                                     uint32_t version = kProtocolVersion);
 std::string EncodeCheckpointRequestFrame();
 std::string EncodeCheckpointChunkFrame(const CheckpointChunkMessage& chunk);
 std::string EncodeCutCertFrame(const CutCertMessage& cut);
@@ -193,6 +210,23 @@ std::string EncodeCutCertFrame(const CutCertMessage& cut);
 // ordered before the first reference.  v2 sessions only.
 std::string EncodeElementsDictFrame(const ElementSequence& elements,
                                     PayloadDictEncoder* dict);
+// v5 form: the ELEMENTS_DICT payload ends with the i64 origin stamp.
+std::string EncodeElementsDictFrame(const ElementSequence& elements,
+                                    PayloadDictEncoder* dict,
+                                    int64_t origin_us);
+
+// The shared pieces of one dictionary-coded batch, for senders that must
+// assemble several protocol classes of the same batch (the serialize-once
+// fan-out): exactly one intern pass against `dict` produces the PAYLOAD_DEF
+// frames and the ELEMENTS_DICT payload bytes; v2..v4 and v5 frames are then
+// built from the same parts without re-interning (a second pass would see
+// every payload as already defined and emit no PAYLOAD_DEFs).
+struct DictBatchParts {
+  std::string defs;  // zero or more complete PAYLOAD_DEF frames
+  std::string body;  // ELEMENTS_DICT payload bytes, unstamped, no header
+};
+DictBatchParts EncodeDictBatchParts(const ElementSequence& elements,
+                                    PayloadDictEncoder* dict);
 
 // Decoders parse a frame *payload* (as yielded by FrameAssembler).
 Status DecodeHello(const std::string& payload, HelloMessage* hello);
@@ -201,6 +235,10 @@ Status DecodeElementPayload(const std::string& payload,
                             StreamElement* element);
 Status DecodeElementsPayload(const std::string& payload,
                              ElementSequence* elements);
+// v5 form: the trailing i64 origin stamp is mandatory on the wire (the
+// session version, not sniffing, decides which decoder runs).
+Status DecodeElementsPayload(const std::string& payload,
+                             ElementSequence* elements, int64_t* origin_us);
 Status DecodeFeedback(const std::string& payload, FeedbackMessage* feedback);
 Status DecodeBye(const std::string& payload, ByeMessage* bye);
 Status DecodePayloadDefPayload(const std::string& payload,
@@ -208,6 +246,11 @@ Status DecodePayloadDefPayload(const std::string& payload,
 Status DecodeElementsDictPayload(const std::string& payload,
                                  const PayloadDictDecoder& dict,
                                  ElementSequence* elements);
+// v5 form: the trailing i64 origin stamp is mandatory on the wire.
+Status DecodeElementsDictPayload(const std::string& payload,
+                                 const PayloadDictDecoder& dict,
+                                 ElementSequence* elements,
+                                 int64_t* origin_us);
 Status DecodeStatsRequest(const std::string& payload);
 Status DecodeStatsResponse(const std::string& payload,
                            StatsResponseMessage* stats);

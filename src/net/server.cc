@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdio>
 #include <deque>
+#include <future>
 #include <memory>
 #include <span>
 #include <thread>
@@ -42,6 +43,11 @@ MergeServer::MergeServer(MergeServerOptions options)
   fanout_encoded_frames_metric_ =
       registry.GetCounter("net.fanout.encoded_frames");
   fanout_batches_metric_ = registry.GetCounter("net.fanout.batches");
+  merge_to_fanout_metric_ =
+      registry.GetHistogram("latency.merge_to_fanout_us");
+  fanout_us_metric_ = registry.GetHistogram("latency.fanout_us");
+  publish_to_fanout_metric_ =
+      registry.GetHistogram("latency.publish_to_fanout_us");
 }
 
 MergeServer::~MergeServer() {
@@ -55,6 +61,12 @@ void MergeServer::FanOutSink::OnElement(const StreamElement& element) {
   // Merger-output-thread context; the buffer is thread-local to it.  The
   // merger's after_batch hook flushes at every batch boundary — this size
   // trip only bounds memory when one ProcessBatch emits a huge output.
+  if (batch_.empty() && obs::MetricsRegistry::enabled()) {
+    first_append_us_ = obs::MonotonicMicros();
+  }
+  // Fold the producing thread's current batch stamp; always, so the origin
+  // keeps flowing to v5 subscribers even with metrics off.
+  batch_stamp_.FoldOldest(obs::CurrentIngestStamp());
   batch_.push_back(element);
   if (batch_.size() >= server_->options_.max_batch) Flush();
 }
@@ -66,33 +78,77 @@ void MergeServer::FanOutSink::Flush() {
   if (batch_.empty()) return;
   LMERGE_TRACE_SPAN("fanout", "net");
   MergeServer* server = server_;
-  MutexLock lock(server->fanout_mutex_);
-  server->FanOutBatchLocked(batch_);
+  const bool timed = obs::MetricsRegistry::enabled();
+  int64_t flush_start = 0;
+  if (timed) {
+    flush_start = obs::MonotonicMicros();
+    if (first_append_us_ != 0) {
+      // Age of the oldest buffered element: how long merged output sat in
+      // this buffer before the flush.
+      server->merge_to_fanout_metric_->Record(flush_start - first_append_us_);
+    }
+  }
+  {
+    MutexLock lock(server->fanout_mutex_);
+    server->FanOutBatchLocked(batch_, batch_stamp_.origin_us);
+  }
+  if (timed) {
+    const int64_t flush_end = obs::MonotonicMicros();
+    server->fanout_us_metric_->Record(flush_end - flush_start);
+    if (batch_stamp_.origin_us != 0) {
+      // End-to-end inside the server: publisher serialization to fan-out
+      // completion.  Same-host clocks only (obs/latency.h).
+      const int64_t e2e = flush_end - batch_stamp_.origin_us;
+      server->publish_to_fanout_metric_->Record(e2e > 0 ? e2e : 0);
+    }
+  }
   batch_.clear();
+  batch_stamp_ = obs::IngestStamp();
+  first_append_us_ = 0;
 }
 
-void MergeServer::FanOutBatchLocked(const ElementSequence& batch) {
+void MergeServer::FanOutBatchLocked(const ElementSequence& batch,
+                                    int64_t origin_us) {
   for (ElementSink* sink : output_sinks_) {
     for (const StreamElement& element : batch) sink->OnElement(element);
   }
   if (subscribers_.empty()) return;
   fanout_batches_metric_->Increment();
   // Serialize once per protocol class, share by refcount: every v1
-  // subscriber pins the same inline buffer, every v2+ subscriber the same
-  // dictionary buffer.  Encode cost is flat in subscriber count; only the
-  // send loop below scales with it.
+  // subscriber pins the same inline buffer, every v2..v4 subscriber the
+  // same dictionary buffer, every v5+ subscriber the same stamped
+  // dictionary buffer.  The two dictionary classes share ONE intern pass
+  // (EncodeDictBatchPartsLocked) — only the final frame assembly differs —
+  // so encode cost stays flat in subscriber count and the v5 stamp costs
+  // eight bytes, not a second encoding.
   std::shared_ptr<const std::string> inline_frame;
   std::shared_ptr<const std::string> dict_frame;
+  std::shared_ptr<const std::string> dict_frame_v5;
+  bool parts_built = false;
+  DictBatchParts parts;
   for (auto it = subscribers_.begin(); it != subscribers_.end();) {
     std::shared_ptr<const std::string> frame;
     if (it->version >= kPayloadDictVersion) {
-      if (dict_frame == nullptr) {
-        dict_frame = EncodeDictBatchLocked(batch);
-        fanout_encoded_frames_metric_->Increment();
-        fanout_encoded_bytes_metric_->Add(
-            static_cast<int64_t>(dict_frame->size()));
+      if (!parts_built) {
+        parts = EncodeDictBatchPartsLocked(batch);
+        parts_built = true;
       }
-      frame = dict_frame;
+      std::shared_ptr<const std::string>& slot =
+          it->version >= kLatencyVersion ? dict_frame_v5 : dict_frame;
+      if (slot == nullptr) {
+        std::string body = parts.body;
+        if (it->version >= kLatencyVersion) {
+          Encoder stamp;
+          stamp.WriteI64(origin_us);
+          body += stamp.TakeBytes();
+        }
+        auto built = std::make_shared<std::string>(parts.defs);
+        AppendFrame(FrameType::kElementsDict, body, built.get());
+        slot = std::move(built);
+        fanout_encoded_frames_metric_->Increment();
+        fanout_encoded_bytes_metric_->Add(static_cast<int64_t>(slot->size()));
+      }
+      frame = slot;
     } else {
       if (inline_frame == nullptr) {
         inline_frame = std::make_shared<const std::string>(
@@ -122,29 +178,19 @@ void MergeServer::FanOutBatchLocked(const ElementSequence& batch) {
   }
 }
 
-std::shared_ptr<const std::string> MergeServer::EncodeDictBatchLocked(
+DictBatchParts MergeServer::EncodeDictBatchPartsLocked(
     const ElementSequence& batch) {
   if (broadcast_dict_ == nullptr) {
     broadcast_dict_ =
         std::make_unique<PayloadDictEncoder>(options_.dict_capacity);
   }
-  Encoder body;
-  std::vector<std::pair<uint32_t, Row>> new_defs;
-  EncodeSequenceDict(batch, broadcast_dict_.get(), &new_defs, &body);
-  auto out = std::make_shared<std::string>();
-  for (const auto& [id, payload] : new_defs) {
-    Encoder def;
-    EncodePayloadDef(id, payload, &def);
-    const size_t mark = out->size();
-    AppendFrame(FrameType::kPayloadDef, def.TakeBytes(), out.get());
-    // The tape records every def ever broadcast, in order: replaying it
-    // into a fresh decoder of the same capacity reproduces the broadcast
-    // dictionary state exactly (including evictions), which is what makes
-    // a late v2+ joiner decodable against the shared id space.
-    defs_tape_.append(*out, mark, out->size() - mark);
-  }
-  AppendFrame(FrameType::kElementsDict, body.TakeBytes(), out.get());
-  return out;
+  DictBatchParts parts = EncodeDictBatchParts(batch, broadcast_dict_.get());
+  // The tape records every def ever broadcast, in order: replaying it
+  // into a fresh decoder of the same capacity reproduces the broadcast
+  // dictionary state exactly (including evictions), which is what makes
+  // a late v2+ joiner decodable against the shared id space.
+  defs_tape_ += parts.defs;
+  return parts;
 }
 
 int MergeServer::OnConnect(Connection* connection) {
@@ -178,6 +224,10 @@ Status MergeServer::OnBytes(int session_id, const char* data, size_t size) {
     return Status::FailedPrecondition("session already closed");
   }
   rx_bytes_metric_->Add(static_cast<int64_t>(size));
+  // Stamp receive time once per socket read (one steady-clock call), before
+  // frame reassembly: every batch decoded from these bytes is charged this
+  // rx instant.  Unconditional — v4 peers still get rx-relative latencies.
+  session.last_rx_us = obs::MonotonicMicros();
   Status status = session.assembler.Feed(data, size);
   Frame frame;
   while (status.ok() && session.assembler.Next(&frame)) {
@@ -222,9 +272,13 @@ Status MergeServer::HandleFrameLocked(Session& session, const Frame& frame) {
             "ELEMENTS from a non-publisher session");
       }
       ElementSequence elements;
-      Status status = DecodeElementsPayload(frame.payload, &elements);
+      int64_t origin_us = 0;
+      Status status =
+          session.version >= kLatencyVersion
+              ? DecodeElementsPayload(frame.payload, &elements, &origin_us)
+              : DecodeElementsPayload(frame.payload, &elements);
       if (!status.ok()) return status;
-      return DeliverBatchLocked(session, std::move(elements));
+      return DeliverBatchLocked(session, std::move(elements), origin_us);
     }
     case FrameType::kPayloadDef: {
       if (session.state != SessionState::kPublisher) {
@@ -258,10 +312,15 @@ Status MergeServer::HandleFrameLocked(Session& session, const Frame& frame) {
             std::make_unique<PayloadDictDecoder>(options_.dict_capacity);
       }
       ElementSequence elements;
-      Status status = DecodeElementsDictPayload(frame.payload,
-                                                *session.dict_in, &elements);
+      int64_t origin_us = 0;
+      Status status =
+          session.version >= kLatencyVersion
+              ? DecodeElementsDictPayload(frame.payload, *session.dict_in,
+                                          &elements, &origin_us)
+              : DecodeElementsDictPayload(frame.payload, *session.dict_in,
+                                          &elements);
       if (!status.ok()) return status;
-      return DeliverBatchLocked(session, std::move(elements));
+      return DeliverBatchLocked(session, std::move(elements), origin_us);
     }
     case FrameType::kStatsRequest: {
       if (session.state == SessionState::kAwaitHello) {
@@ -274,8 +333,8 @@ Status MergeServer::HandleFrameLocked(Session& session, const Frame& frame) {
       Status status = DecodeStatsRequest(frame.payload);
       if (!status.ok()) return status;
       stats_requests_metric_->Increment();
-      return session.connection->Send(
-          EncodeStatsResponseFrame(BuildStatsResponseLocked()));
+      return session.connection->Send(EncodeStatsResponseFrame(
+          BuildStatsResponseLocked(), session.version));
     }
     case FrameType::kCheckpointRequest: {
       if (session.state != SessionState::kStandby) {
@@ -735,11 +794,14 @@ Status MergeServer::DeliverElementLocked(Session& session,
   }
   const Status status = merger_->TryDeliver(session.stream_id, element);
   if (!status.ok()) return status;
+  NoteProgressLocked(session);
   MaybeStableAdvanceLocked();
   return Status::Ok();
 }
 
-Status MergeServer::DeliverBatchLocked(Session& session, ElementSequence elements) {
+Status MergeServer::DeliverBatchLocked(Session& session,
+                                       ElementSequence elements,
+                                       int64_t origin_us) {
   // Filter in place: every element feeds the progress watermarks, held-back
   // stables from a not-yet-joined stream are dropped (Sec. V-B, same rule
   // as the single-element path), and the survivors reach the merge as ONE
@@ -755,11 +817,62 @@ Status MergeServer::DeliverBatchLocked(Session& session, ElementSequence element
     if (kept != i) elements[kept] = std::move(element);
     ++kept;
   }
+  obs::IngestStamp stamp;
+  stamp.origin_us = origin_us;
+  stamp.rx_us = session.last_rx_us;
   const Status status = merger_->TryDeliverBatch(
-      session.stream_id, std::span<StreamElement>(elements.data(), kept));
+      session.stream_id, std::span<StreamElement>(elements.data(), kept),
+      stamp);
   if (!status.ok()) return status;
+  NoteProgressLocked(session);
   MaybeStableAdvanceLocked();
   return Status::Ok();
+}
+
+void MergeServer::NoteProgressLocked(Session& session) {
+  if (!obs::MetricsRegistry::enabled()) return;
+  const Timestamp watermark = session.stats.stable_point();
+  if (!session.progress_marks.empty() &&
+      watermark <= session.progress_marks.back().watermark) {
+    return;
+  }
+  WatermarkMark mark;
+  mark.watermark = watermark;
+  mark.mono_ms = obs::MonotonicMicros() / 1000;
+  session.progress_marks.push_back(mark);
+  if (session.progress_marks.size() > kWatermarkWindow) {
+    session.progress_marks.pop_front();
+  }
+}
+
+int64_t MergeServer::StableLagMsLocked() {
+  if (merger_ == nullptr) return 0;
+  // How stale is the merged output relative to its *leading* input?  For
+  // each publisher, the earliest retained moment its watermark already
+  // covered the current output stable point S bounds when the output
+  // could first have reached S; the oldest such moment across publishers
+  // is when the *merge* (not any one input) started owing S.  The gauge is
+  // the age of that moment — 0 when no publisher's window covers S yet.
+  const Timestamp stable = merger_->max_stable();
+  const int64_t now_ms = obs::MonotonicMicros() / 1000;
+  int64_t earliest_covering_ms = 0;
+  for (auto& [id, session] : sessions_) {
+    if (session.state != SessionState::kPublisher) continue;
+    auto& marks = session.progress_marks;
+    // Marks below the (monotone) output stable point can never cover a
+    // future S either; drop them so the window holds only useful history.
+    while (!marks.empty() && marks.front().watermark < stable) {
+      marks.pop_front();
+    }
+    if (marks.empty()) continue;
+    const int64_t covered_ms = marks.front().mono_ms;
+    if (earliest_covering_ms == 0 || covered_ms < earliest_covering_ms) {
+      earliest_covering_ms = covered_ms;
+    }
+  }
+  if (earliest_covering_ms == 0) return 0;
+  const int64_t lag = now_ms - earliest_covering_ms;
+  return lag > 0 ? lag : 0;
 }
 
 void MergeServer::MaybeStableAdvanceLocked() {
@@ -922,6 +1035,7 @@ obs::MetricsSnapshot MergeServer::MetricsSnapshotLocked() {
                   : static_cast<int64_t>(broadcast_dict_->entries()));
   }
   if (merger_ != nullptr) {
+    registry.GetGauge("merge.stable_lag_ms")->Set(StableLagMsLocked());
     // Exports the algorithm's counters on the merge thread, then snapshots.
     return merger_->MetricsSnapshot();
   }
@@ -931,6 +1045,16 @@ obs::MetricsSnapshot MergeServer::MetricsSnapshotLocked() {
 obs::MetricsSnapshot MergeServer::MetricsSnapshot() {
   MutexLock lock(mutex_);
   return MetricsSnapshotLocked();
+}
+
+bool MergeServer::Ready(std::chrono::milliseconds timeout) {
+  // Posts a no-op onto the merge thread and waits: a wedged merge (or, for
+  // the partitioned engine, any wedged shard or aggregator) misses the
+  // deadline.  The merge thread never takes mutex_, so holding it here
+  // cannot deadlock with the probe.
+  MutexLock lock(mutex_);
+  if (merger_ == nullptr) return true;
+  return merger_->Responsive(timeout);
 }
 
 StatsResponseMessage MergeServer::BuildStatsResponseLocked() {
@@ -1163,6 +1287,40 @@ struct ServeState {
 
 }  // namespace
 
+void LoopPingRegistry::Set(std::vector<EventLoop*> loops) {
+  MutexLock lock(mutex_);
+  loops_ = std::move(loops);
+}
+
+void LoopPingRegistry::Clear() {
+  MutexLock lock(mutex_);
+  loops_.clear();
+}
+
+bool LoopPingRegistry::Ping(std::chrono::milliseconds timeout) {
+  // Holds the mutex across the whole probe so Clear() (ServeLoop teardown)
+  // cannot invalidate a loop pointer mid-ping; Clear then blocks until the
+  // probe finishes, which is bounded by `timeout`.
+  MutexLock lock(mutex_);
+  if (loops_.empty()) return true;
+  std::vector<std::future<void>> done;
+  done.reserve(loops_.size());
+  for (EventLoop* loop : loops_) {
+    auto signal = std::make_shared<std::promise<void>>();
+    done.push_back(signal->get_future());
+    loop->Post([signal] { signal->set_value(); });
+  }
+  // One shared deadline: a loop that is busy-but-alive borrows slack from
+  // the loops that answered instantly.
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (auto& future : done) {
+    if (future.wait_until(deadline) != std::future_status::ready) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void ServeLoop(Listener* listener, MergeServer* server,
                const ServeLoopOptions& options) {
   // The event-loop transport requires pollable endpoints; both shipped
@@ -1179,6 +1337,12 @@ void ServeLoop(Listener* listener, MergeServer* server,
   loops.reserve(static_cast<size_t>(io_threads));
   for (int i = 0; i < io_threads; ++i) {
     loops.push_back(std::make_unique<EventLoop>());
+  }
+  if (options.loop_pings != nullptr) {
+    std::vector<EventLoop*> raw;
+    raw.reserve(loops.size());
+    for (auto& loop : loops) raw.push_back(loop.get());
+    options.loop_pings->Set(std::move(raw));
   }
   auto state = std::make_shared<ServeState>();
 
@@ -1320,6 +1484,11 @@ void ServeLoop(Listener* listener, MergeServer* server,
   loops[0]->Run(tick_ms,
                 tick_ms > 0 ? make_tick(0) : std::function<void()>());
   for (auto& thread : threads) thread.join();
+
+  // Unpublish the loops before destroying them: a concurrent readiness
+  // Ping() either finishes against live loops first (Clear blocks on its
+  // mutex) or sees the empty registry.
+  if (options.loop_pings != nullptr) options.loop_pings->Clear();
 
   // Every loop has stopped; tear down whatever sessions remain (typically
   // subscribers at drain — their peers see EOF, as before).

@@ -42,6 +42,8 @@
 #ifndef LMERGE_NET_SERVER_H_
 #define LMERGE_NET_SERVER_H_
 
+#include <chrono>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -57,10 +59,13 @@
 #include "net/frame.h"
 #include "net/protocol.h"
 #include "net/transport.h"
+#include "obs/latency.h"
 #include "properties/runtime_stats.h"
 #include "stream/sink.h"
 
 namespace lmerge::net {
+
+class EventLoop;
 
 struct MergeServerOptions {
   // Forced algorithm variant; unset selects from the first publisher's
@@ -155,6 +160,14 @@ class MergeServer {
   // serializes.  Same liveness caveat as StatsSnapshot().
   obs::MetricsSnapshot MetricsSnapshot();
 
+  // Readiness probe for /readyz: true when the merge pipeline answers a
+  // posted no-op within `timeout` (Merger::Responsive on every merge
+  // thread), or trivially when no publisher has instantiated a merger yet.
+  // Briefly holds the session lock, so a server wedged behind it also
+  // (correctly) reports unready once the lock wait exceeds the caller's
+  // patience.
+  bool Ready(std::chrono::milliseconds timeout);
+
   // Seeds this server from another server's checkpoint: reconstructs the
   // certified variant + policy, restores the blob into it, detaches the
   // snapshot's input streams (their publishers live on the dead primary),
@@ -176,6 +189,15 @@ class MergeServer {
     kClosed,
   };
 
+  // When a publisher's stable point first reached `watermark` (monotonic
+  // ms).  A short per-session history of these marks is what prices the
+  // merge.stable_lag_ms gauge: the output stable point S is as old as the
+  // moment the leading input first covered S.
+  struct WatermarkMark {
+    Timestamp watermark = kMinTimestamp;
+    int64_t mono_ms = 0;
+  };
+
   struct Session {
     int id = 0;
     Connection* connection = nullptr;
@@ -187,6 +209,9 @@ class MergeServer {
     // Inbound payload dictionary (v2 publishers), built by PAYLOAD_DEF
     // frames; created on first use.
     std::unique_ptr<PayloadDictDecoder> dict_in;
+    // Monotonic µs when the transport last handed this session bytes — the
+    // rx half of the batch ingest stamp (obs/latency.h).
+    int64_t last_rx_us = 0;
     // Publisher fields.
     int stream_id = -1;
     bool joined = false;
@@ -194,6 +219,9 @@ class MergeServer {
     StreamProperties declared;
     StreamStatsCollector stats;  // progress watermarks for feedback
     Timestamp last_feedback = kMinTimestamp;
+    // Stable-lag history, appended per batch while metrics are on; bounded
+    // (kWatermarkWindow), oldest marks fall off.
+    std::deque<WatermarkMark> progress_marks;
   };
 
   // Buffers merged output on the merger's output thread (the merge thread
@@ -210,11 +238,18 @@ class MergeServer {
     void OnElement(const StreamElement& element) override;
     // Encodes the buffered batch once per protocol class and hands the
     // shared buffers to every subscriber (and sinks).  No-op when empty.
+    // Records the fan-out stages of the latency pipeline
+    // (latency.{merge_to_fanout,fanout,publish_to_fanout}_us).
     void Flush();
 
    private:
     MergeServer* server_;
     ElementSequence batch_;  // output-thread-only
+    // Oldest ingest stamp folded over the buffered batch (read per element
+    // from the merge/aggregator thread-local, obs/latency.h) and the
+    // monotonic µs of the first buffered element; both output-thread-only.
+    obs::IngestStamp batch_stamp_;
+    int64_t first_append_us_ = 0;
   };
 
   struct Subscriber {
@@ -241,9 +276,10 @@ class MergeServer {
   Status DeliverElementLocked(Session& session, const StreamElement& element)
       LM_REQUIRES(mutex_);
   // ELEMENTS path: observe watermarks, drop held-back stables, hand the
-  // survivors to the merge as one batch.
-  Status DeliverBatchLocked(Session& session, ElementSequence elements)
-      LM_REQUIRES(mutex_);
+  // survivors to the merge as one batch carrying its ingest stamp
+  // (origin_us from a v5 frame, 0 otherwise; rx from the session).
+  Status DeliverBatchLocked(Session& session, ElementSequence elements,
+                            int64_t origin_us) LM_REQUIRES(mutex_);
   // Instantiates algorithm + merger for the first publisher.
   Status EnsureAlgorithmLocked(const StreamProperties& first_properties)
       LM_REQUIRES(mutex_);
@@ -259,15 +295,20 @@ class MergeServer {
       LM_REQUIRES(mutex_);
   // Delivers one flushed output batch: in-process sinks per element, then
   // each subscriber gets the shared once-encoded frame buffer for its
-  // protocol class (built lazily — a v1-only server never touches the
-  // dictionary and vice versa).  Dead subscribers are unregistered inline.
-  void FanOutBatchLocked(const ElementSequence& batch)
+  // protocol class — v1 inline, v2..v4 dictionary, v5 dictionary + origin
+  // stamp — built lazily (a v1-only server never touches the dictionary
+  // and vice versa).  `origin_us` is the batch's folded origin stamp (0 =
+  // unknown), re-broadcast on every v5 subscriber frame so downstream
+  // `lmerge_subscribe --latency` can price publish→delivery.  Dead
+  // subscribers are unregistered inline.
+  void FanOutBatchLocked(const ElementSequence& batch, int64_t origin_us)
       LM_REQUIRES(fanout_mutex_);
-  // Encodes `batch` against the server-wide broadcast dictionary; new
-  // PAYLOAD_DEF frames are prepended to the returned buffer AND appended to
-  // defs_tape_ so later v2+ joiners can be replayed into sync.
-  std::shared_ptr<const std::string> EncodeDictBatchLocked(
-      const ElementSequence& batch) LM_REQUIRES(fanout_mutex_);
+  // Dictionary-encodes `batch` against the server-wide broadcast dictionary
+  // in ONE intern pass; new PAYLOAD_DEF frames land in the returned parts
+  // AND on defs_tape_ so later v2+ joiners can be replayed into sync.  The
+  // caller assembles the v2..v4 and v5 frame classes from the same parts.
+  DictBatchParts EncodeDictBatchPartsLocked(const ElementSequence& batch)
+      LM_REQUIRES(fanout_mutex_);
   // Sends BYE (best effort) and releases the session's resources.
   void CloseSessionLocked(Session& session, const std::string& reason,
                           bool send_bye) LM_REQUIRES(mutex_);
@@ -279,7 +320,16 @@ class MergeServer {
   // After the output stable point advances: refresh join flags and push
   // feedback to publishers whose own progress is behind it.
   void AfterStableAdvanceLocked() LM_REQUIRES(mutex_);
+  // Appends a {stable point, now} mark to the session's progress history
+  // when its stable point advanced (metrics on only).
+  void NoteProgressLocked(Session& session) LM_REQUIRES(mutex_);
+  // Prices merge.stable_lag_ms: now minus the moment the leading publisher
+  // first covered the current output stable point (0 when uncovered).
+  int64_t StableLagMsLocked() LM_REQUIRES(mutex_);
   void Log(const Session& session, const std::string& message) const;
+
+  // Stable-lag history bound per session (see WatermarkMark).
+  static constexpr size_t kWatermarkWindow = 64;
 
   MergeServerOptions options_;
   mutable Mutex mutex_;
@@ -345,6 +395,27 @@ class MergeServer {
   obs::Counter* fanout_encoded_bytes_metric_;
   obs::Counter* fanout_encoded_frames_metric_;
   obs::Counter* fanout_batches_metric_;
+  // Latency-pipeline fan-out stages (docs/OBSERVABILITY.md).
+  obs::Histogram* merge_to_fanout_metric_;
+  obs::Histogram* fanout_us_metric_;
+  obs::Histogram* publish_to_fanout_metric_;
+};
+
+// Lets /readyz ping the serve loops: ServeLoop registers its event loops
+// here (when given a registry) and clears them before teardown.  Ping posts
+// a no-op to every registered loop and reports whether all of them ran it
+// within the deadline — a wedged or stopped loop times out.  The mutex is
+// held for the whole ping so Clear() (and the loop teardown behind it)
+// cannot race a ping in flight.
+class LoopPingRegistry {
+ public:
+  void Set(std::vector<EventLoop*> loops);
+  void Clear();
+  bool Ping(std::chrono::milliseconds timeout);
+
+ private:
+  mutable Mutex mutex_;
+  std::vector<EventLoop*> loops_ LM_GUARDED_BY(mutex_);
 };
 
 // Drives a MergeServer from a Listener on a small pool of epoll event
@@ -369,6 +440,10 @@ struct ServeLoopOptions {
   // Kill sessions that stall mid-frame for longer than this (0 disables).
   // Complete-frame-aligned quiet is never a timeout.
   int idle_timeout_ms = 0;
+  // When set, ServeLoop registers its event loops here on startup and
+  // clears them before returning, so an HTTP /readyz probe can ping the IO
+  // plane (see LoopPingRegistry).
+  LoopPingRegistry* loop_pings = nullptr;
 };
 void ServeLoop(Listener* listener, MergeServer* server,
                const ServeLoopOptions& options = ServeLoopOptions());

@@ -15,16 +15,16 @@ void ExportPayloadStoreMetrics(const PayloadStore& store,
   registry->GetGauge("payload.entries")->Set(stats.entries);
   registry->GetGauge("payload.live_refs")->Set(stats.live_refs);
   registry->GetGauge("payload.payload_bytes")->Set(stats.payload_bytes);
-  registry->GetGauge("payload.intern_calls")->Set(stats.intern_calls);
-  registry->GetGauge("payload.hits")->Set(stats.hits);
-  registry->GetGauge("payload.misses")
+  registry->GetExportedCounter("payload.intern_calls")->Set(stats.intern_calls);
+  registry->GetExportedCounter("payload.hits")->Set(stats.hits);
+  registry->GetExportedCounter("payload.misses")
       ->Set(stats.intern_calls - stats.hits);
   // Evictions = payloads created minus payloads still live; every miss
   // created an entry, and entries not present anymore were evicted on their
   // last release.
-  registry->GetGauge("payload.evictions")
+  registry->GetExportedCounter("payload.evictions")
       ->Set(stats.intern_calls - stats.hits - stats.entries);
-  registry->GetGauge("payload.bytes_saved")->Set(stats.bytes_saved);
+  registry->GetExportedCounter("payload.bytes_saved")->Set(stats.bytes_saved);
 
   // Live sharing: charge each live rep once through the ledger (the same
   // accounting `lmerge_inspect --payload-stats` performs over a tape), then

@@ -1,0 +1,105 @@
+// A minimal HTTP endpoint exposing the process's observability surface for
+// scrapers and orchestrators — the pull half of the obs story, next to the
+// push paths (STATS frames, --metrics-out snapshots):
+//
+//   GET /metrics       OpenMetrics text exposition rendered from
+//                      MetricsRegistry::Snapshot() (Prometheus-scrapeable;
+//                      instrument names have '.' mapped to '_').
+//   GET /metrics.json  the same snapshot as MetricsSnapshot::ToJson().
+//   GET /healthz       liveness: 200 while the exporter thread serves.
+//   GET /readyz        readiness: runs the configured probe (merge thread
+//                      responsive + no wedged IO loop, via posted pings
+//                      with a deadline); 200 "ready" or 503 "unready".
+//
+// The exporter runs one EventLoop of its own on a dedicated thread — scrape
+// traffic never shares a loop with the merge fan-out, so a slow scraper
+// cannot wedge the data plane and a wedged data plane stays observable.
+// It speaks just enough HTTP/1.x for curl and Prometheus: GET only, one
+// request per connection, `Connection: close`.
+
+#ifndef LMERGE_OBS_HTTP_EXPORTER_H_
+#define LMERGE_OBS_HTTP_EXPORTER_H_
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "net/event_loop.h"
+#include "net/transport.h"
+#include "obs/metrics.h"
+
+namespace lmerge {
+namespace obs {
+
+// Renders a snapshot in OpenMetrics text format (exposed for tests and any
+// future push-gateway path).  Counters get the `_total` sample suffix,
+// histograms the cumulative `_bucket{le=...}` / `_sum` / `_count` triple;
+// the document ends with `# EOF`.
+std::string RenderOpenMetrics(const MetricsSnapshot& snapshot);
+
+// Prometheus-legal sample name for an instrument: '.' and every other
+// illegal character become '_'.
+std::string OpenMetricsName(const std::string& name);
+
+struct HttpExporterOptions {
+  int port = 0;  // 0 picks an ephemeral port; see HttpExporter::port()
+  std::string bind_address = "127.0.0.1";
+  // Readiness probe for /readyz, called on the exporter thread with the
+  // deadline it may spend.  Null = always ready.
+  std::function<bool(std::chrono::milliseconds)> ready_check;
+  std::chrono::milliseconds ready_deadline{250};
+  // Snapshot source for /metrics and /metrics.json.  Null = the global
+  // registry.
+  std::function<MetricsSnapshot()> snapshot_source;
+};
+
+class HttpExporter {
+ public:
+  // Binds the port and starts the serving thread.
+  static Status Start(const HttpExporterOptions& options,
+                      std::unique_ptr<HttpExporter>* exporter);
+
+  ~HttpExporter();
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  // Stops the loop and joins the serving thread.  Idempotent.
+  void Stop();
+
+  int port() const { return port_; }
+
+ private:
+  // One in-flight request: bytes accumulate until the header block is
+  // complete, then the response is written and the connection closed.
+  struct Client {
+    std::unique_ptr<net::Connection> connection;
+    std::string request;
+  };
+
+  HttpExporter() = default;
+
+  // All on the loop thread:
+  void OnAccept();
+  void OnClient(int fd, uint32_t events);
+  void Respond(Client* client);
+  std::string HandleRequest(const std::string& method,
+                            const std::string& target, int* status_code,
+                            std::string* content_type);
+
+  HttpExporterOptions options_;
+  std::unique_ptr<net::Listener> listener_;
+  net::EventLoop loop_;
+  std::thread thread_;
+  int port_ = -1;
+  bool stopped_ = false;
+  std::map<int, Client> clients_;  // loop-thread-only
+};
+
+}  // namespace obs
+}  // namespace lmerge
+
+#endif  // LMERGE_OBS_HTTP_EXPORTER_H_

@@ -1,0 +1,17 @@
+#include "obs/latency.h"
+
+namespace lmerge {
+namespace obs {
+
+namespace {
+thread_local IngestStamp t_current_stamp;
+}  // namespace
+
+void SetCurrentIngestStamp(const IngestStamp& stamp) {
+  t_current_stamp = stamp;
+}
+
+const IngestStamp& CurrentIngestStamp() { return t_current_stamp; }
+
+}  // namespace obs
+}  // namespace lmerge

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/check.h"
 #include "common/json.h"
@@ -164,6 +165,10 @@ std::vector<const MetricValue*> MetricsSnapshot::WithPrefix(
 std::string MetricsSnapshot::ToJson() const {
   JsonWriter w;
   w.BeginObject();
+  if (captured_wall_ms != 0 || captured_mono_us != 0) {
+    w.Key("snapshot.captured_wall_ms").Int(captured_wall_ms);
+    w.Key("snapshot.captured_mono_us").Int(captured_mono_us);
+  }
   for (const MetricValue& entry : entries) {
     w.Key(entry.name);
     if (entry.kind == InstrumentKind::kHistogram) {
@@ -210,6 +215,9 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
     inst.kind = InstrumentKind::kGauge;
     inst.gauge = std::make_unique<Gauge>();
   }
+  // A gauge-backed instrument registered via GetExportedCounter is a
+  // *counter* to every consumer; asking for it as a gauge is kind drift.
+  LM_CHECK(inst.kind == InstrumentKind::kGauge);
   return inst.gauge.get();
 }
 
@@ -224,9 +232,30 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   return inst.histogram.get();
 }
 
+Gauge* MetricsRegistry::GetExportedCounter(const std::string& name) {
+  MutexLock lock(mutex_);
+  Instrument& inst = instruments_[name];
+  if (inst.gauge == nullptr) {
+    LM_CHECK(inst.counter == nullptr && inst.histogram == nullptr);
+    inst.kind = InstrumentKind::kCounter;
+    inst.gauge = std::make_unique<Gauge>();
+  }
+  // A plain-gauge registration under the same name is still kind drift.
+  LM_CHECK(inst.kind == InstrumentKind::kCounter);
+  return inst.gauge.get();
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MutexLock lock(mutex_);
   MetricsSnapshot snap;
+  snap.captured_wall_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  snap.captured_mono_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
   snap.entries.reserve(instruments_.size());
   // std::map iterates in name order, which is the snapshot's sort contract.
   for (const auto& [name, inst] : instruments_) {
@@ -235,7 +264,9 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     value.kind = inst.kind;
     switch (inst.kind) {
       case InstrumentKind::kCounter:
-        value.value = inst.counter->Sum();
+        // Exported counters (GetExportedCounter) are gauge-backed.
+        value.value =
+            inst.counter != nullptr ? inst.counter->Sum() : inst.gauge->Get();
         break;
       case InstrumentKind::kGauge:
         value.value = inst.gauge->Get();

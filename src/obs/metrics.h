@@ -195,6 +195,12 @@ struct MetricValue {
 // stable order every serialization emits).
 struct MetricsSnapshot {
   std::vector<MetricValue> entries;
+  // When the snapshot was captured: wall clock (ms since the Unix epoch,
+  // for humans and absolute alignment) and the monotonic clock (µs, for
+  // honest rate math between two snapshots of the same process — wall time
+  // can step, the monotonic clock cannot).  0 = unknown (pre-v5 wire peer).
+  int64_t captured_wall_ms = 0;
+  int64_t captured_mono_us = 0;
 
   const MetricValue* Find(const std::string& name) const;
   // Counter/gauge value by name; `fallback` when absent.
@@ -204,7 +210,8 @@ struct MetricsSnapshot {
 
   // Deterministic JSON object: {"name": value, ...} with histograms as
   // {"count":..,"sum":..,"min":..,"max":..,"p50":..,"p99":..}.  Keys are
-  // escaped and emitted in sorted order (common/json.h).
+  // escaped and emitted in sorted order (common/json.h); the capture
+  // timestamps lead as "snapshot.captured_wall_ms"/"snapshot.captured_mono_us".
   std::string ToJson() const;
 };
 
@@ -225,6 +232,14 @@ class MetricsRegistry {
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
+
+  // A monotone total that is *exported* (Set whole, from one thread at a
+  // time) rather than accumulated with striped Adds — the shape of the
+  // barrier-exported merge totals, whose authoritative counts live in
+  // algorithm state and are copied out under quiescence.  Mechanically a
+  // Gauge, but registered as InstrumentKind::kCounter so snapshots and the
+  // OpenMetrics exposition report the truth: a monotone counter.
+  Gauge* GetExportedCounter(const std::string& name);
 
   MetricsSnapshot Snapshot() const;
 

@@ -64,6 +64,7 @@ Status StandbyReplica::Connect(std::unique_ptr<net::Connection> primary) {
         "; standby needs v" + std::to_string(net::kReplicationVersion));
   }
   dict_ = std::make_unique<PayloadDictDecoder>();
+  version_ = welcome.version;
   connected_ = true;
   Log("connected to primary (v" + std::to_string(welcome.version) + ")");
   return Status::Ok();
@@ -86,7 +87,12 @@ Status StandbyReplica::DecodeFeedFrame(const net::Frame& frame,
       // The payload decoders replace their output; decode into a scratch
       // and append so callers can accumulate across frames.
       ElementSequence decoded;
-      const Status status = net::DecodeElementsPayload(frame.payload, &decoded);
+      int64_t origin_us = 0;
+      const Status status =
+          version_ >= net::kLatencyVersion
+              ? net::DecodeElementsPayload(frame.payload, &decoded,
+                                           &origin_us)
+              : net::DecodeElementsPayload(frame.payload, &decoded);
       if (!status.ok()) return status;
       out->insert(out->end(), decoded.begin(), decoded.end());
       return Status::Ok();
@@ -100,8 +106,13 @@ Status StandbyReplica::DecodeFeedFrame(const net::Frame& frame,
     }
     case net::FrameType::kElementsDict: {
       ElementSequence decoded;
+      int64_t origin_us = 0;
       const Status status =
-          net::DecodeElementsDictPayload(frame.payload, *dict_, &decoded);
+          version_ >= net::kLatencyVersion
+              ? net::DecodeElementsDictPayload(frame.payload, *dict_,
+                                               &decoded, &origin_us)
+              : net::DecodeElementsDictPayload(frame.payload, *dict_,
+                                               &decoded);
       if (!status.ok()) return status;
       out->insert(out->end(), decoded.begin(), decoded.end());
       return Status::Ok();
@@ -332,8 +343,11 @@ Status StandbyReplica::ForwardToFeed(const ElementSequence& elements) {
     ElementSequence batch(
         elements.begin() + static_cast<ptrdiff_t>(offset),
         elements.begin() + static_cast<ptrdiff_t>(offset + take));
+    // Replayed elements lost their original ingest moment; an unknown (0)
+    // origin keeps them out of the latency histograms instead of charging
+    // them the failover gap.
     const Status status = server_.OnBytes(
-        feed_session_id_, net::EncodeElementsFrame(batch));
+        feed_session_id_, net::EncodeElementsFrame(batch, /*origin_us=*/0));
     if (!status.ok()) return status;
     offset += take;
     {

@@ -150,6 +150,9 @@ class StandbyReplica {
   net::FrameAssembler assembler_;
   std::unique_ptr<PayloadDictDecoder> dict_;
   bool connected_ = false;
+  // Version negotiated with the primary; v5 feed frames carry a trailing
+  // origin stamp the standby must strip (it replays, it does not measure).
+  uint32_t version_ = net::kMinProtocolVersion;
   bool jumpstarted_ = false;
   bool promoted_ = false;
   ElementSequence pre_cut_;

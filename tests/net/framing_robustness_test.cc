@@ -57,7 +57,7 @@ ElementSequence PublishFragmented(
         tape.begin() + static_cast<ElementSequence::difference_type>(i),
         tape.begin() + static_cast<ElementSequence::difference_type>(
                            std::min(i + 8, tape.size())));
-    bytes += EncodeElementsFrame(batch);
+    bytes += EncodeElementsFrame(batch, /*origin_us=*/1000);
   }
 
   size_t offset = 0;

@@ -96,7 +96,10 @@ void PublishAll(MergeServer* server, TestPeer* peer,
     ElementSequence batch(tape.begin() + i,
                           tape.begin() + std::min(tape.size(), i + chunk));
     ASSERT_TRUE(
-        server->OnBytes(peer->session_id, EncodeElementsFrame(batch)).ok());
+        server
+            ->OnBytes(peer->session_id,
+                      EncodeElementsFrame(batch, /*origin_us=*/1000))
+            .ok());
     std::string drained;
     ASSERT_TRUE(peer->client->TryReceive(&drained).ok());  // feedback
   }
@@ -184,7 +187,7 @@ TEST(PartitionedServerTest, PartitionedServerConvergesAcrossPublishers) {
                             tape.begin() + static_cast<int64_t>(end));
       ASSERT_TRUE(server
                       .OnBytes(peers[static_cast<size_t>(s)].session_id,
-                               EncodeElementsFrame(batch))
+                               EncodeElementsFrame(batch, /*origin_us=*/1000))
                       .ok());
       i = end;
       any = true;
@@ -271,8 +274,10 @@ TEST(PartitionedServerTest, PartitionedSubscriberSeesExactlyTheMergedOutput) {
       }
       case FrameType::kElementsDict: {
         ElementSequence batch;
+        int64_t origin_us = 0;
         ASSERT_TRUE(
-            DecodeElementsDictPayload(frame.payload, dict, &batch).ok());
+            DecodeElementsDictPayload(frame.payload, dict, &batch, &origin_us)
+                .ok());
         for (StreamElement& element : batch) {
           received.push_back(std::move(element));
         }

@@ -344,9 +344,19 @@ TEST(ProtocolTest, StatsResponseRoundTrip) {
 TEST(ProtocolTest, StatsResponseTruncationsFailCleanly) {
   const std::string payload =
       PayloadOf(EncodeStatsResponseFrame(SampleStats()));
+  // The v5 payload is a v4 payload plus a 16-byte capture-timestamp
+  // trailer; truncating exactly the trailer yields a well-formed v4
+  // payload, which MUST keep decoding (that is the interop contract).
+  const size_t v4_len = payload.size() - 16;
   for (size_t len = 0; len < payload.size(); ++len) {
     const std::string prefix = payload.substr(0, len);
     StatsResponseMessage decoded;
+    if (len == v4_len) {
+      EXPECT_TRUE(DecodeStatsResponse(prefix, &decoded).ok());
+      EXPECT_EQ(decoded.metrics.captured_wall_ms, 0);
+      EXPECT_EQ(decoded.metrics.captured_mono_us, 0);
+      continue;
+    }
     EXPECT_FALSE(DecodeStatsResponse(prefix, &decoded).ok())
         << "truncated to " << len;
   }
@@ -540,6 +550,113 @@ TEST(ProtocolTest, ReplicationConstantsGateTheFeature) {
   EXPECT_STREQ(FrameTypeName(FrameType::kCheckpointChunk),
                "CHECKPOINT_CHUNK");
   EXPECT_STREQ(PeerRoleName(PeerRole::kStandby), "standby");
+}
+
+TEST(ProtocolTest, LatencyConstantsGateTheFeature) {
+  EXPECT_EQ(kLatencyVersion, 5u);
+  EXPECT_GE(kProtocolVersion, kLatencyVersion);
+}
+
+TEST(ProtocolTest, StampedElementsRoundTrip) {
+  const ElementSequence batch = {Ins("a", 1, 5), Adj("a", 1, 5, 9), Stb(3)};
+  ElementSequence decoded;
+  int64_t origin_us = 0;
+  ASSERT_TRUE(DecodeElementsPayload(
+                  PayloadOf(EncodeElementsFrame(batch, /*origin_us=*/123456)),
+                  &decoded, &origin_us)
+                  .ok());
+  EXPECT_EQ(decoded, batch);
+  EXPECT_EQ(origin_us, 123456);
+}
+
+TEST(ProtocolTest, StampedElementsDictRoundTrip) {
+  const ElementSequence batch = {Ins("hot", 1, 10), Ins("hot", 2, 20)};
+  PayloadDictEncoder encoder;
+  PayloadDictDecoder decoder_dict;
+  FrameAssembler assembler;
+  ASSERT_TRUE(assembler
+                  .Feed(EncodeElementsDictFrame(batch, &encoder,
+                                                /*origin_us=*/987654))
+                  .ok());
+  Frame frame;
+  ElementSequence decoded;
+  int64_t origin_us = 0;
+  while (assembler.Next(&frame)) {
+    if (frame.type == FrameType::kPayloadDef) {
+      PayloadDefMessage def;
+      ASSERT_TRUE(DecodePayloadDefPayload(frame.payload, &def).ok());
+      ASSERT_TRUE(decoder_dict.Define(def.id, def.payload).ok());
+      continue;
+    }
+    ASSERT_EQ(frame.type, FrameType::kElementsDict);
+    ASSERT_TRUE(DecodeElementsDictPayload(frame.payload, decoder_dict,
+                                          &decoded, &origin_us)
+                    .ok());
+  }
+  EXPECT_EQ(decoded, batch);
+  EXPECT_EQ(origin_us, 987654);
+}
+
+TEST(ProtocolTest, StampedDecodersRejectUnstampedPayloads) {
+  // On a v5 wire the trailing stamp is mandatory: the session version picks
+  // the decoder, the decoder never sniffs.  A v4-shaped (unstamped) payload
+  // handed to the stamped decoder must fail cleanly, and vice versa the
+  // unstamped decoder must reject the 8 trailing stamp bytes.
+  const ElementSequence batch = {Ins("a", 1, 5), Stb(3)};
+  ElementSequence decoded;
+  int64_t origin_us = 0;
+  EXPECT_FALSE(DecodeElementsPayload(PayloadOf(EncodeElementsFrame(batch)),
+                                     &decoded, &origin_us)
+                   .ok());
+  EXPECT_FALSE(DecodeElementsPayload(
+                   PayloadOf(EncodeElementsFrame(batch, /*origin_us=*/7)),
+                   &decoded)
+                   .ok());
+}
+
+TEST(ProtocolTest, StampedElementsTruncationsFailCleanly) {
+  const std::string payload = PayloadOf(
+      EncodeElementsFrame({Ins("a", 1, 5), Stb(3)}, /*origin_us=*/4242));
+  // Dropping exactly the 8-byte stamp yields the valid v4 payload; every
+  // other prefix must fail.
+  const size_t v4_len = payload.size() - 8;
+  for (size_t len = 0; len < payload.size(); ++len) {
+    ElementSequence decoded;
+    int64_t origin_us = 0;
+    EXPECT_FALSE(DecodeElementsPayload(payload.substr(0, len), &decoded,
+                                       &origin_us)
+                     .ok())
+        << "truncated to " << len;
+    if (len != v4_len) {
+      EXPECT_FALSE(
+          DecodeElementsPayload(payload.substr(0, len), &decoded).ok())
+          << "truncated to " << len;
+    }
+  }
+}
+
+TEST(ProtocolTest, StatsResponseCarriesCaptureTimestamps) {
+  StatsResponseMessage stats = SampleStats();
+  stats.metrics.captured_wall_ms = 1700000000123;
+  stats.metrics.captured_mono_us = 55667788;
+  StatsResponseMessage decoded;
+  ASSERT_TRUE(DecodeStatsResponse(PayloadOf(EncodeStatsResponseFrame(stats)),
+                                  &decoded)
+                  .ok());
+  EXPECT_EQ(decoded.metrics.captured_wall_ms, 1700000000123);
+  EXPECT_EQ(decoded.metrics.captured_mono_us, 55667788);
+
+  // A v4-negotiated session gets the v4 encoding: no trailer, and the
+  // decoder reports the timestamps as unknown.
+  StatsResponseMessage v4_decoded;
+  ASSERT_TRUE(
+      DecodeStatsResponse(
+          PayloadOf(EncodeStatsResponseFrame(stats, /*version=*/4)),
+          &v4_decoded)
+          .ok());
+  EXPECT_EQ(v4_decoded.metrics.captured_wall_ms, 0);
+  EXPECT_EQ(v4_decoded.metrics.captured_mono_us, 0);
+  EXPECT_EQ(v4_decoded.publishers, decoded.publishers);
 }
 
 }  // namespace

@@ -220,11 +220,13 @@ TEST(ServerLoopbackTest, MonitorHandshakeAndStatsRoundTrip) {
   ASSERT_TRUE(server
                   .OnBytes(pub_a.session_id,
                            EncodeElementsFrame({Ins("x", 1, 10),
-                                                Ins("y", 2, 11), Stb(5)}))
+                                                Ins("y", 2, 11), Stb(5)},
+                                               /*origin_us=*/1000))
                   .ok());
   ASSERT_TRUE(server
                   .OnBytes(pub_b.session_id,
-                           EncodeElementsFrame({Ins("x", 1, 10), Stb(2)}))
+                           EncodeElementsFrame({Ins("x", 1, 10), Stb(2)},
+                                               /*origin_us=*/1000))
                   .ok());
   server.Flush();
 
@@ -313,7 +315,8 @@ TEST(ServerLoopbackTest, StatsClientPollsOverLoopback) {
   Handshake(&server, &pub, PublisherHello("replica"));
   ASSERT_TRUE(server
                   .OnBytes(pub.session_id,
-                           EncodeElementsFrame({Ins("a", 1, 10), Stb(3)}))
+                           EncodeElementsFrame({Ins("a", 1, 10), Stb(3)},
+                                               /*origin_us=*/1000))
                   .ok());
   server.Flush();
 
@@ -382,7 +385,9 @@ TEST(ServerLoopbackTest, BatchedElementsReachTheMerge) {
   Handshake(&server, &pub, PublisherHello("batcher"));
   const ElementSequence batch = {Ins("a", 1, 10), Ins("b", 2, 11), Stb(5)};
   ASSERT_TRUE(
-      server.OnBytes(pub.session_id, EncodeElementsFrame(batch)).ok());
+      server.OnBytes(pub.session_id,
+                     EncodeElementsFrame(batch, /*origin_us=*/1000))
+          .ok());
   EXPECT_EQ(server.output_stable(), 5);
   EXPECT_FALSE(merged.elements().empty());
 }
@@ -419,8 +424,13 @@ TEST(ServerLoopbackTest, SubscriberReceivesExactlyTheMergedOutput) {
     }
     ASSERT_EQ(frame.type, FrameType::kElementsDict);
     ElementSequence batch;
+    int64_t origin_us = -1;
     ASSERT_TRUE(
-        DecodeElementsDictPayload(frame.payload, dict, &batch).ok());
+        DecodeElementsDictPayload(frame.payload, dict, &batch, &origin_us)
+            .ok());
+    // The publisher sent unstamped single-ELEMENT frames, so the v5
+    // fan-out carries the stamp trailer with an unknown (0) origin.
+    EXPECT_EQ(origin_us, 0);
     for (StreamElement& element : batch) {
       received.push_back(std::move(element));
     }
@@ -653,7 +663,10 @@ TEST_P(ServerChurnTest, MidRunJoinerCatchesUpAndTakesOver) {
     if (t > join_time) replay.push_back(StreamElement::Stable(t));
   }
   ASSERT_TRUE(
-      server.OnBytes(joiner.session_id, EncodeElementsFrame(replay)).ok());
+      server
+          .OnBytes(joiner.session_id,
+                   EncodeElementsFrame(replay, /*origin_us=*/1000))
+          .ok());
 
   server.Flush();  // delivery is enqueue-only; quiesce before reading
   StreamValidator validator;

@@ -1,0 +1,192 @@
+// HTTP metrics endpoint: ephemeral-port startup, the four routes
+// (/metrics, /metrics.json, /healthz, /readyz), OpenMetrics rendering
+// (including the exported-counter kind fix), and error paths — all over
+// real sockets with a raw HTTP/1.1 client so the test exercises the same
+// byte stream curl and Prometheus produce.
+
+#include "obs/http_exporter.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "net/tcp.h"
+#include "obs/metrics.h"
+
+namespace lmerge::obs {
+namespace {
+
+// One-shot HTTP exchange: connect, write the request, read to EOF (the
+// exporter closes after each response).
+std::string HttpExchange(int port, const std::string& request) {
+  std::unique_ptr<net::Connection> connection;
+  net::TcpConnectOptions options;
+  options.connect_timeout_ms = 2000;
+  options.retries = 3;
+  Status status = net::TcpConnect("127.0.0.1", port, options, &connection);
+  EXPECT_TRUE(status.ok()) << status.message();
+  if (!status.ok()) return "";
+  EXPECT_TRUE(connection->Send(request).ok());
+  std::string response;
+  char buffer[4096];
+  size_t received = 0;
+  do {
+    status = connection->Receive(buffer, sizeof(buffer), &received);
+    EXPECT_TRUE(status.ok()) << status.message();
+    if (!status.ok()) break;
+    response.append(buffer, received);
+  } while (received > 0);
+  connection->Close();
+  return response;
+}
+
+std::string HttpGet(int port, const std::string& target) {
+  return HttpExchange(
+      port, "GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n");
+}
+
+// A private registry keeps these tests independent of whatever the rest of
+// the test binary pushed into the global one.
+class HttpExporterTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MetricsRegistry::set_enabled(true); }
+  void TearDown() override { MetricsRegistry::set_enabled(false); }
+
+  MetricsRegistry registry_;
+
+  HttpExporterOptions OptionsForRegistry() {
+    HttpExporterOptions options;
+    options.port = 0;
+    options.snapshot_source = [this] { return registry_.Snapshot(); };
+    return options;
+  }
+};
+
+TEST_F(HttpExporterTest, OpenMetricsNameMapsIllegalCharacters) {
+  EXPECT_EQ(OpenMetricsName("latency.rx_to_merge_us"),
+            "latency_rx_to_merge_us");
+  EXPECT_EQ(OpenMetricsName("in.0.elements_in"), "in_0_elements_in");
+  EXPECT_EQ(OpenMetricsName("plain"), "plain");
+}
+
+TEST_F(HttpExporterTest, RenderOpenMetricsEmitsAllKinds) {
+  registry_.GetCounter("demo.adds")->Add(7);
+  registry_.GetGauge("demo.level")->Set(42);
+  // The barrier-exported totals must surface as counters, not gauges —
+  // that is the whole point of GetExportedCounter.
+  registry_.GetExportedCounter("demo.exported")->Set(13);
+  Histogram* histogram = registry_.GetHistogram("demo.lat_us");
+  histogram->Record(10);
+  histogram->Record(1000);
+
+  const std::string text = RenderOpenMetrics(registry_.Snapshot());
+  EXPECT_NE(text.find("# TYPE demo_adds counter"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("demo_adds_total 7"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE demo_level gauge"), std::string::npos);
+  EXPECT_NE(text.find("demo_level 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE demo_exported counter"), std::string::npos)
+      << "exported-monotone instruments must expose as counters";
+  EXPECT_NE(text.find("demo_exported_total 13"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE demo_lat_us histogram"), std::string::npos);
+  EXPECT_NE(text.find("demo_lat_us_bucket{le=\"+Inf\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("demo_lat_us_sum 1010"), std::string::npos);
+  EXPECT_NE(text.find("demo_lat_us_count 2"), std::string::npos);
+  // OpenMetrics requires the terminator.
+  EXPECT_NE(text.find("# EOF"), std::string::npos);
+}
+
+TEST_F(HttpExporterTest, ServesMetricsOnEphemeralPort) {
+  registry_.GetCounter("scrape.me")->Add(3);
+  std::unique_ptr<HttpExporter> exporter;
+  ASSERT_TRUE(HttpExporter::Start(OptionsForRegistry(), &exporter).ok());
+  ASSERT_GT(exporter->port(), 0);
+
+  const std::string response = HttpGet(exporter->port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos) << response;
+  EXPECT_NE(response.find("scrape_me_total 3"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("# EOF"), std::string::npos);
+  exporter->Stop();
+}
+
+TEST_F(HttpExporterTest, ServesJsonSnapshot) {
+  registry_.GetGauge("json.gauge")->Set(5);
+  std::unique_ptr<HttpExporter> exporter;
+  ASSERT_TRUE(HttpExporter::Start(OptionsForRegistry(), &exporter).ok());
+
+  const std::string response = HttpGet(exporter->port(), "/metrics.json");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos) << response;
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  EXPECT_NE(response.find("\"json.gauge\":5"), std::string::npos)
+      << response;
+  exporter->Stop();
+}
+
+TEST_F(HttpExporterTest, HealthzIsAliveWhileServing) {
+  std::unique_ptr<HttpExporter> exporter;
+  ASSERT_TRUE(HttpExporter::Start(OptionsForRegistry(), &exporter).ok());
+  const std::string response = HttpGet(exporter->port(), "/healthz");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos) << response;
+  EXPECT_NE(response.find("ok"), std::string::npos);
+  exporter->Stop();
+}
+
+TEST_F(HttpExporterTest, ReadyzReflectsTheProbe) {
+  std::atomic<bool> ready{true};
+  HttpExporterOptions options = OptionsForRegistry();
+  options.ready_check = [&ready](std::chrono::milliseconds deadline) {
+    EXPECT_GT(deadline.count(), 0);
+    return ready.load();
+  };
+  std::unique_ptr<HttpExporter> exporter;
+  ASSERT_TRUE(HttpExporter::Start(options, &exporter).ok());
+
+  std::string response = HttpGet(exporter->port(), "/readyz");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos) << response;
+  EXPECT_NE(response.find("ready"), std::string::npos);
+
+  ready.store(false);
+  response = HttpGet(exporter->port(), "/readyz");
+  EXPECT_NE(response.find("HTTP/1.1 503"), std::string::npos) << response;
+  EXPECT_NE(response.find("unready"), std::string::npos);
+  exporter->Stop();
+}
+
+TEST_F(HttpExporterTest, UnknownPathAndMethodAreRejected) {
+  std::unique_ptr<HttpExporter> exporter;
+  ASSERT_TRUE(HttpExporter::Start(OptionsForRegistry(), &exporter).ok());
+
+  const std::string missing = HttpGet(exporter->port(), "/nope");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos) << missing;
+
+  const std::string post = HttpExchange(
+      exporter->port(),
+      "POST /metrics HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_NE(post.find("HTTP/1.1 405"), std::string::npos) << post;
+  exporter->Stop();
+}
+
+TEST_F(HttpExporterTest, StopIsIdempotentAndDestructorStops) {
+  std::unique_ptr<HttpExporter> exporter;
+  ASSERT_TRUE(HttpExporter::Start(OptionsForRegistry(), &exporter).ok());
+  const int port = exporter->port();
+  exporter->Stop();
+  exporter->Stop();
+  exporter.reset();  // must not hang or double-join
+
+  // The port is released: a fresh exporter can bind a new ephemeral port
+  // and serve again.
+  std::unique_ptr<HttpExporter> second;
+  ASSERT_TRUE(HttpExporter::Start(OptionsForRegistry(), &second).ok());
+  EXPECT_GT(second->port(), 0);
+  (void)port;
+  second->Stop();
+}
+
+}  // namespace
+}  // namespace lmerge::obs

@@ -213,12 +213,20 @@ TEST(MetricsTest, JsonIsEscapedAndDeterministic) {
   MetricsRegistry registry;
   registry.GetCounter("weird\"name\\with\ncontrol")->Add(1);
   registry.GetGauge("plain")->Set(2);
-  const std::string json = registry.Snapshot().ToJson();
+  // Capture timestamps advance between Snapshot() calls by design; pin
+  // them so the comparison below exercises only value determinism.
+  const auto normalized = [&registry] {
+    MetricsSnapshot snapshot = registry.Snapshot();
+    snapshot.captured_wall_ms = 0;
+    snapshot.captured_mono_us = 0;
+    return snapshot.ToJson();
+  };
+  const std::string json = normalized();
   // The raw specials must not appear unescaped inside the document.
   EXPECT_NE(json.find("weird\\\"name\\\\with\\ncontrol"), std::string::npos)
       << json;
   EXPECT_NE(json.find("\"plain\":2"), std::string::npos) << json;
-  EXPECT_EQ(json, registry.Snapshot().ToJson());
+  EXPECT_EQ(json, normalized());
 }
 
 }  // namespace

@@ -73,6 +73,66 @@ TEST_F(TraceTest, RingWrapKeepsTheRecentWindow) {
       std::string::npos);
 }
 
+TEST_F(TraceTest, WrappedDumpIsBoundedValidJsonWithMonotoneTimestamps) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  // Overfill the calling thread's ring half over capacity with strictly
+  // increasing timestamps.
+  const size_t total = kTraceRingCapacity + kTraceRingCapacity / 2;
+  for (size_t i = 0; i < total; ++i) {
+    recorder.Record("wrap", "test", static_cast<int64_t>(i), 1);
+  }
+  const std::string json = recorder.DumpChromeTraceJson();
+
+  // Exactly one ring of events — the overwritten prefix must not leak into
+  // the dump as duplicated or phantom entries.
+  size_t events = 0;
+  for (size_t at = json.find("\"ph\":\"X\""); at != std::string::npos;
+       at = json.find("\"ph\":\"X\"", at + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, kTraceRingCapacity);
+
+  // Structurally valid JSON: balanced braces/brackets outside strings.
+  // (A full parser is overkill; unbalanced nesting is how a torn ring
+  // window would surface.)
+  int64_t braces = 0;
+  int64_t brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{') ++braces;
+    else if (c == '}') --braces;
+    else if (c == '[') ++brackets;
+    else if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+
+  // The retained window is exactly the newest kTraceRingCapacity spans,
+  // emitted with per-thread monotone microsecond timestamps.
+  std::vector<int64_t> ts;
+  for (size_t at = json.find("\"ts\":"); at != std::string::npos;
+       at = json.find("\"ts\":", at + 1)) {
+    ts.push_back(std::stoll(json.substr(at + 5)));
+  }
+  ASSERT_EQ(ts.size(), kTraceRingCapacity);
+  for (size_t i = 1; i < ts.size(); ++i) {
+    EXPECT_LT(ts[i - 1], ts[i]) << "timestamps not monotone at " << i;
+  }
+  EXPECT_EQ(ts.front(),
+            static_cast<int64_t>(total - kTraceRingCapacity));
+  EXPECT_EQ(ts.back(), static_cast<int64_t>(total - 1));
+}
+
 TEST_F(TraceTest, ConcurrentRecordingAndDumpIsSafe) {
   TraceRecorder& recorder = TraceRecorder::Global();
   std::atomic<bool> stop{false};

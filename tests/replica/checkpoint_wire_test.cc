@@ -89,8 +89,10 @@ int64_t CountElements(const std::vector<Frame>& frames,
       }
       case FrameType::kElementsDict: {
         ElementSequence elements;
-        EXPECT_TRUE(
-            DecodeElementsDictPayload(frame.payload, *dict, &elements).ok());
+        int64_t origin_us = 0;
+        EXPECT_TRUE(DecodeElementsDictPayload(frame.payload, *dict,
+                                              &elements, &origin_us)
+                        .ok());
         count += static_cast<int64_t>(elements.size());
         break;
       }
@@ -196,7 +198,10 @@ TEST(CheckpointWireTest, ServedCheckpointRestoresAndCertifiesTheCut) {
     }
     sent += kBatch;
     ASSERT_TRUE(
-        server.OnBytes(pub.session_id, EncodeElementsFrame(batch)).ok());
+        server
+            .OnBytes(pub.session_id,
+                     EncodeElementsFrame(batch, /*origin_us=*/1000))
+            .ok());
   }
   server.Flush();
 

@@ -108,7 +108,8 @@ void Publish(net::MergeServer* server, Publisher* pub,
     ElementSequence batch(elements.begin() + i,
                           elements.begin() + std::min(end, i + kBatch));
     ASSERT_TRUE(
-        server->OnBytes(pub->session_id, net::EncodeElementsFrame(batch))
+        server->OnBytes(pub->session_id,
+                        net::EncodeElementsFrame(batch, /*origin_us=*/1000))
             .ok());
     std::string drained;
     ASSERT_TRUE(pub->client->TryReceive(&drained).ok());  // feedback

@@ -1,7 +1,7 @@
 // lmerge_served — the networked LMerge daemon: accepts redundant publisher
 // replicas and subscribers over TCP and serves the merged stream.
 //
-//   lmerge_served --port=7654 [--bind=127.0.0.1]
+//   lmerge_served --port=7654 [--bind=127.0.0.1] [--http-port=N]
 //                 [--variant=auto|R0|R1|R2|R3+|R3-|R4|counting]
 //                 [--policy=lazy|eager|conservative] [--stable-lag=T]
 //                 [--merge-threads=N] [--io-threads=N]
@@ -33,6 +33,12 @@
 // stderr lines.  --trace-out enables the span recorder and dumps a Chrome
 // trace_event file on exit (load in Perfetto).  --no-metrics flips the
 // process-wide kill switch, the A/B baseline for overhead measurements.
+//
+// --http-port=N serves GET /metrics (OpenMetrics text), /metrics.json,
+// /healthz, and /readyz on its own event loop (obs/http_exporter.h);
+// /readyz pings the merge thread AND every IO event loop against a
+// deadline, so a wedged pipeline turns the probe 503.  Port 0 picks an
+// ephemeral port (logged at startup).
 
 #include <chrono>
 #include <cstdio>
@@ -43,6 +49,7 @@
 #include "core/merge_policy.h"
 #include "net/server.h"
 #include "net/tcp.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stream/validate.h"
@@ -56,7 +63,8 @@ namespace {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: lmerge_served --port=N [--bind=ADDR] [--variant=auto|R4|...]\n"
+      "usage: lmerge_served --port=N [--bind=ADDR] [--http-port=N]\n"
+      "                     [--variant=auto|R4|...]\n"
       "                     [--policy=lazy|eager|conservative]\n"
       "                     [--stable-lag=T] [--merge-threads=N]\n"
       "                     [--io-threads=N] [--max-outbound-mb=N]\n"
@@ -170,6 +178,31 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "[lmerge_served] listening on port %d\n",
                listener->port());
 
+  net::LoopPingRegistry loop_pings;
+  std::unique_ptr<obs::HttpExporter> http;
+  if (flags.Has("http-port")) {
+    obs::HttpExporterOptions http_options;
+    http_options.port = static_cast<int>(flags.GetInt("http-port", 0));
+    http_options.bind_address = flags.GetString("bind", "127.0.0.1");
+    http_options.snapshot_source = [&server] {
+      return server.MetricsSnapshot();
+    };
+    // Readiness = merge thread responsive AND every IO loop responsive,
+    // each probed with half the deadline (two sequential waits).
+    http_options.ready_check = [&server,
+                                &loop_pings](std::chrono::milliseconds t) {
+      const std::chrono::milliseconds half = t / 2;
+      return server.Ready(half) && loop_pings.Ping(half);
+    };
+    status = obs::HttpExporter::Start(http_options, &http);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[lmerge_served] metrics http on port %d\n",
+                 http->port());
+  }
+
   net::ServeLoopOptions loop_options;
   loop_options.drain_publishers =
       static_cast<int>(flags.GetInt("drain-publishers", 0));
@@ -181,7 +214,10 @@ int main(int argc, char** argv) {
       static_cast<size_t>(max_outbound_mb) * 1024 * 1024;
   loop_options.idle_timeout_ms =
       static_cast<int>(flags.GetInt("idle-timeout-ms", 0));
+  loop_options.loop_pings = &loop_pings;
   net::ServeLoop(listener.get(), &server, loop_options);
+
+  if (http != nullptr) http->Stop();
 
   if (metrics_thread.joinable()) {
     {

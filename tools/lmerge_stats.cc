@@ -11,6 +11,13 @@
 // --json emits one JSON object per tick on stdout — the per-input table
 // plus the server's full metrics-registry snapshot — instead of the text
 // table, for scripting (scripts/demo_net.sh asserts on it).
+//
+// Rates are computed from the *server's* snapshot capture timestamps
+// (snapshot.captured_mono_us, v5 servers): the divisor is the time between
+// the two snapshots being captured, not between this tool observing them,
+// so a stalled monitor link cannot flatter or inflate el/s.  Against a v4
+// server the tool falls back to its own clock.  Each tick also renders the
+// server's latency.* stage histograms as p50/p99 columns.
 
 #include <algorithm>
 #include <chrono>
@@ -21,6 +28,7 @@
 
 #include "common/json.h"
 #include "net/client.h"
+#include "obs/metrics.h"
 #include "net/tcp.h"
 #include "tools/cli.h"
 
@@ -48,6 +56,19 @@ const char* AlgorithmName(uint8_t algorithm_case) {
     return "none";
   }
   return AlgorithmCaseName(static_cast<AlgorithmCase>(algorithm_case));
+}
+
+// One latency.* histogram as a table line; silent when it has no samples.
+void PrintLatencyRow(const net::StatsResponseMessage& stats,
+                     const char* name, const char* label) {
+  const obs::MetricValue* metric = stats.metrics.Find(name);
+  if (metric == nullptr || metric->histogram.count == 0) return;
+  const obs::HistogramSnapshot& h = metric->histogram;
+  std::printf("  %-18s %8lld samples  p50 %8lld  p99 %8lld  max %8lld us\n",
+              label, static_cast<long long>(h.count),
+              static_cast<long long>(h.Percentile(50)),
+              static_cast<long long>(h.Percentile(99)),
+              static_cast<long long>(h.max));
 }
 
 void PrintTable(const net::StatsResponseMessage& stats,
@@ -120,6 +141,16 @@ void PrintTable(const net::StatsResponseMessage& stats,
                 static_cast<long long>(busiest),
                 static_cast<long long>(quietest),
                 even > 0 ? static_cast<double>(busiest) / even : 1.0);
+  }
+  PrintLatencyRow(stats, "latency.rx_to_merge_us", "rx->merge");
+  PrintLatencyRow(stats, "latency.merge_us", "merge");
+  PrintLatencyRow(stats, "latency.merge_to_fanout_us", "merge->fanout");
+  PrintLatencyRow(stats, "latency.fanout_us", "fanout");
+  PrintLatencyRow(stats, "latency.publish_to_fanout_us", "publish->fanout");
+  const int64_t stable_lag = stats.metrics.Value("merge.stable_lag_ms", -1);
+  if (stable_lag >= 0) {
+    std::printf("  stable lag %lld ms\n",
+                static_cast<long long>(stable_lag));
   }
 }
 
@@ -198,6 +229,7 @@ int main(int argc, char** argv) {
 
   std::vector<int64_t> previous_in;
   auto previous_time = std::chrono::steady_clock::now();
+  int64_t previous_mono_us = 0;
   for (int64_t polls = 0; count <= 0 || polls < count; ++polls) {
     if (polls > 0) {
       std::this_thread::sleep_for(std::chrono::duration<double>(interval));
@@ -211,14 +243,23 @@ int main(int argc, char** argv) {
       return count > 0 ? 1 : 0;
     }
     const auto now = std::chrono::steady_clock::now();
-    const double elapsed =
+    // Prefer the interval between the server's own snapshot captures: it is
+    // exactly the window the counter deltas accumulated over.  Local clocks
+    // only when the server predates the capture stamps (v4).
+    double elapsed =
         std::chrono::duration<double>(now - previous_time).count();
+    if (stats.metrics.captured_mono_us != 0 && previous_mono_us != 0) {
+      elapsed = static_cast<double>(stats.metrics.captured_mono_us -
+                                    previous_mono_us) /
+                1e6;
+    }
     if (json) {
       PrintJson(stats);
     } else {
       PrintTable(stats, previous_in, polls == 0 ? 0.0 : elapsed);
     }
     previous_time = now;
+    previous_mono_us = stats.metrics.captured_mono_us;
     previous_in.clear();
     for (const net::StatsInputRow& row : stats.inputs) {
       previous_in.push_back(row.inserts_in + row.adjusts_in +
