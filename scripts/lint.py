@@ -6,21 +6,25 @@ source so documentation may mention the forbidden names):
 
   raw-mutex          No raw std::mutex / std::lock_guard / std::unique_lock /
                      std::scoped_lock / std::condition_variable / std::
-                     shared_mutex (or their includes) in src/ or tools/.
-                     Every lock must be an annotated lmerge::Mutex
-                     (src/common/mutex.h) so the Clang thread-safety build
-                     can see it.
+                     shared_mutex (or their includes) in src/, tools/,
+                     bench/, or examples/.  Every lock must be an annotated
+                     lmerge::Mutex (src/common/mutex.h) so the Clang
+                     thread-safety build can see it — examples double as
+                     copy-paste templates, so they follow the same
+                     discipline as the library.
 
   deep-copy          Row::DeepCopy() only in the Row implementation, the
                      LMR3- baseline (whose per-input duplication is the
                      paper's comparison point), and tests.  Everything else
-                     must share interned reps through the PayloadStore.
+                     (bench/ and examples/ included) must share interned
+                     reps through the PayloadStore.
 
   registry-mutation  MetricsRegistry::Global() / TraceRecorder::Global()
-                     only from the blessed instrumentation sites in src/.
-                     Ad-hoc registry access invents unreviewed metric names
-                     and bypasses the cached-handle hot-path discipline
-                     (docs/OBSERVABILITY.md).
+                     only from the blessed instrumentation sites in src/
+                     and the bench harness's read-side snapshot/dump
+                     helpers (allowlisted).  Ad-hoc registry access invents
+                     unreviewed metric names and bypasses the cached-handle
+                     hot-path discipline (docs/OBSERVABILITY.md).
 
 Exceptions live in scripts/lint_allowlist.json (paths or fnmatch globs).
 Exit status: 0 clean, 1 violations, 2 usage/config error.
@@ -49,7 +53,7 @@ RULES = [
             r"lock_guard|unique_lock|scoped_lock|condition_variable)\b"
             r"|#\s*include\s*<(mutex|shared_mutex|condition_variable)>"
         ),
-        ("src", "tools"),
+        ("src", "tools", "bench", "examples"),
         "raw standard-library lock primitive; use lmerge::Mutex / MutexLock "
         "/ CondVar from src/common/mutex.h so the clang -Wthread-safety "
         "build can check the locking discipline",
@@ -57,7 +61,7 @@ RULES = [
     (
         "deep-copy",
         re.compile(r"\bDeepCopy\s*\("),
-        ("src", "tools", "bench"),
+        ("src", "tools", "bench", "examples"),
         "Row::DeepCopy duplicates the payload per call; outside the LMR3- "
         "baseline (and tests) payloads must stay interned in the "
         "PayloadStore",
@@ -65,14 +69,14 @@ RULES = [
     (
         "registry-mutation",
         re.compile(r"\b(MetricsRegistry|TraceRecorder)::Global\s*\("),
-        ("src",),
+        ("src", "bench", "examples"),
         "direct obs registry access outside the blessed instrumentation "
         "sites; cache instrument handles at an allowlisted site or extend "
         "obs/export.h",
     ),
 ]
 
-SOURCE_EXTENSIONS = (".cc", ".h")
+SOURCE_EXTENSIONS = (".cc", ".h", ".cpp")
 
 LINE_COMMENT = re.compile(r"//[^\n]*")
 BLOCK_COMMENT = re.compile(r"/\*.*?\*/", re.DOTALL)

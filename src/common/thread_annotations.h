@@ -100,4 +100,31 @@
 #define LM_NO_THREAD_SAFETY_ANALYSIS \
   LM_THREAD_ANNOTATION__(no_thread_safety_analysis)
 
+// --- Whole-program contracts checked by tools/analyzer/lmerge_analyze ---
+//
+// Clang's per-function thread-safety pass cannot see call-graph-wide
+// properties; these annotations feed the project analyzer instead
+// (tools/analyzer/, the `analyzer` / `analyzer_self_test` ctest entries).
+// Under Clang they become `annotate` attributes the LibTooling extractor
+// reads from the AST; the fallback frontend matches the macro tokens, so
+// both backends see the same contract.  Under GCC they compile to nothing.
+
+// The function mutates merge state owned by the merge thread and may only
+// be reached from ConcurrentMerger::MergeLoop (directly or through a
+// control op / CallOnMergeThread callee).  The analyzer proves no IO-loop,
+// session, fanout, or HttpExporter entry point reaches it; legitimate
+// pre-thread exceptions (checkpoint restore before the merge thread
+// exists) are declared in tools/analyzer/analyzer_config.json with a
+// reason.
+#define LM_MERGE_THREAD_ONLY \
+  LM_THREAD_ANNOTATION__(annotate("lmerge::merge_thread_only"))
+
+// The function is on the per-element hot path (ProcessBatch, ring drains,
+// the aggregator forward loop, serialize-once encode).  The analyzer
+// rejects transitive heap allocation (operator new, malloc-family,
+// unreserved container growth) reachable from it unless the site is in the
+// machine-readable allowlist with a justification (amortized index growth,
+// once-per-batch buffers).
+#define LM_HOT_PATH LM_THREAD_ANNOTATION__(annotate("lmerge::hot_path"))
+
 #endif  // LMERGE_COMMON_THREAD_ANNOTATIONS_H_

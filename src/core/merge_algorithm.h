@@ -18,6 +18,7 @@
 
 #include "common/check.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/timestamp.h"
 #include "properties/properties.h"
 #include "stream/element.h"
@@ -83,7 +84,8 @@ class MergeAlgorithm {
 
   // Dispatches on element kind.  Insert/adjust may fail (e.g., adjust on an
   // algorithm that does not support revisions); stable never fails.
-  Status OnElement(int stream, const StreamElement& element) {
+  Status OnElement(int stream, const StreamElement& element)
+      LM_MERGE_THREAD_ONLY {
     LM_DCHECK(stream >= 0 && stream < stream_count());
     LM_DCHECK(active_[static_cast<size_t>(stream)]);
     CountIn(stream, element);
@@ -104,8 +106,8 @@ class MergeAlgorithm {
   // before the failing one stay applied).  Overrides amortize index probes
   // and scan work across the batch but must produce byte-identical output
   // and stats.
-  virtual Status ProcessBatch(int stream,
-                              std::span<const StreamElement> batch) {
+  virtual Status ProcessBatch(int stream, std::span<const StreamElement> batch)
+      LM_MERGE_THREAD_ONLY LM_HOT_PATH {
     for (const StreamElement& element : batch) {
       const Status status = OnElement(stream, element);
       if (!status.ok()) return status;
@@ -123,14 +125,16 @@ class MergeAlgorithm {
     return Status::Ok();
   }
 
-  virtual Status OnInsert(int stream, const StreamElement& element) = 0;
-  virtual Status OnAdjust(int stream, const StreamElement& element) = 0;
-  virtual void OnStable(int stream, Timestamp t) = 0;
+  virtual Status OnInsert(int stream, const StreamElement& element)
+      LM_MERGE_THREAD_ONLY = 0;
+  virtual Status OnAdjust(int stream, const StreamElement& element)
+      LM_MERGE_THREAD_ONLY = 0;
+  virtual void OnStable(int stream, Timestamp t) LM_MERGE_THREAD_ONLY = 0;
 
   // Registers a new input stream; returns its id.  The stream must only
   // deliver elements consistent with the reference stream from its join
   // point onward (Sec. V-B).
-  virtual int AddStream() {
+  virtual int AddStream() LM_MERGE_THREAD_ONLY {
     active_.push_back(true);
     per_input_.emplace_back();
     return stream_count() - 1;
@@ -138,7 +142,7 @@ class MergeAlgorithm {
 
   // Marks a stream as detached.  Its state is reclaimed lazily as events
   // freeze; the algorithm never consults a detached stream again.
-  virtual void RemoveStream(int stream) {
+  virtual void RemoveStream(int stream) LM_MERGE_THREAD_ONLY {
     LM_DCHECK(stream >= 0 && stream < stream_count());
     active_[static_cast<size_t>(stream)] = false;
   }
@@ -152,7 +156,7 @@ class MergeAlgorithm {
   // not at the empty one, which would make the first stable() retract
   // still-alive pre-cut events.  Default: nothing to seed (algorithms whose
   // state carries no per-stream views).
-  virtual Status AdoptOutputView(int stream) {
+  virtual Status AdoptOutputView(int stream) LM_MERGE_THREAD_ONLY {
     LM_DCHECK(stream >= 0 && stream < stream_count());
     (void)stream;
     return Status::Ok();
@@ -200,7 +204,8 @@ class MergeAlgorithm {
   // catalog).  Call from the merge thread (e.g. via
   // ConcurrentMerger::CallOnMergeThread): reads the same plain counters the
   // hot path mutates.
-  void ExportMetrics(obs::MetricsRegistry* registry) const;
+  void ExportMetrics(obs::MetricsRegistry* registry) const
+      LM_MERGE_THREAD_ONLY;
 
  protected:
   void EmitInsert(const Row& payload, Timestamp vs, Timestamp ve) {

@@ -230,7 +230,7 @@ class ConcurrentMerger : public Merger {
 
   // Merge-thread side.
   void MergeLoop();
-  size_t DrainRing(int stream);
+  size_t DrainRing(int stream) LM_HOT_PATH;
   size_t ProcessControlOps();
   void RecordError(const Status& status);
 

@@ -248,13 +248,14 @@ class PartitionedMerger : public Merger {
                   const obs::IngestStamp& stamp = obs::IngestStamp());
 
   // Shard-thread side.
-  void EnqueueOutput(int shard, const StreamElement& element);
+  void EnqueueOutput(int shard, const StreamElement& element) LM_HOT_PATH;
   void WakeAggregator();
 
   // Aggregator-thread side.
-  void AggregatorLoop();
-  size_t DrainShardOutput(int shard, std::vector<StreamElement>* scratch);
-  void ForwardElement(int shard, StreamElement& element);
+  void AggregatorLoop() LM_HOT_PATH;
+  size_t DrainShardOutput(int shard, std::vector<StreamElement>* scratch)
+      LM_HOT_PATH;
+  void ForwardElement(int shard, StreamElement& element) LM_HOT_PATH;
 
   int num_shards_ = 0;
   PartitionedMergerOptions options_;

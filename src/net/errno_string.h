@@ -1,0 +1,42 @@
+// Thread-safe errno formatting.
+//
+// std::strerror writes into a static buffer, so two threads reporting
+// socket errors can interleave messages (clang-tidy concurrency-mt-unsafe,
+// enabled in .clang-tidy, rejects it).  ErrnoString copies out of
+// strerror_r's caller-supplied buffer instead, handling both the XSI and
+// GNU variants so the header works regardless of _GNU_SOURCE.
+
+#ifndef LMERGE_NET_ERRNO_STRING_H_
+#define LMERGE_NET_ERRNO_STRING_H_
+
+#include <cstring>
+#include <string>
+
+namespace lmerge::net {
+
+namespace internal {
+// XSI strerror_r: message already in buf; report failure generically.
+inline const char* StrerrorResult(int rc, const char* buf) {
+  return rc == 0 ? buf : "unknown error";
+}
+// GNU strerror_r: returns the message (buf may be unused).
+inline const char* StrerrorResult(const char* msg, const char* /*buf*/) {
+  return msg;
+}
+}  // namespace internal
+
+// Returns the message for `err` (an errno value).
+inline std::string ErrnoString(int err) {
+  char buf[256];
+  buf[0] = '\0';
+  return internal::StrerrorResult(::strerror_r(err, buf, sizeof(buf)), buf);
+}
+
+// "what: message" — the common Status payload shape.
+inline std::string ErrnoMessage(const char* what, int err) {
+  return std::string(what) + ": " + ErrnoString(err);
+}
+
+}  // namespace lmerge::net
+
+#endif  // LMERGE_NET_ERRNO_STRING_H_

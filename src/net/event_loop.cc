@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "net/errno_string.h"
 
 namespace lmerge::net {
 
@@ -46,8 +47,7 @@ Status EventLoop::Add(int fd, uint32_t events, Callback callback) {
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
     MutexLock lock(mutex_);
     callbacks_.erase(fd);
-    return Status::Internal(std::string("epoll_ctl add: ") +
-                            std::strerror(errno));
+    return Status::Internal(ErrnoMessage("epoll_ctl add", errno));
   }
   return Status::Ok();
 }
@@ -58,8 +58,7 @@ Status EventLoop::Interest(int fd, uint32_t events) {
   event.events = events;
   event.data.fd = fd;
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) != 0) {
-    return Status::Internal(std::string("epoll_ctl mod: ") +
-                            std::strerror(errno));
+    return Status::Internal(ErrnoMessage("epoll_ctl mod", errno));
   }
   return Status::Ok();
 }

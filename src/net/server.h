@@ -235,12 +235,12 @@ class MergeServer {
   class FanOutSink : public ElementSink {
    public:
     explicit FanOutSink(MergeServer* server) : server_(server) {}
-    void OnElement(const StreamElement& element) override;
+    void OnElement(const StreamElement& element) override LM_HOT_PATH;
     // Encodes the buffered batch once per protocol class and hands the
     // shared buffers to every subscriber (and sinks).  No-op when empty.
     // Records the fan-out stages of the latency pipeline
     // (latency.{merge_to_fanout,fanout,publish_to_fanout}_us).
-    void Flush();
+    void Flush() LM_HOT_PATH;
 
    private:
     MergeServer* server_;
@@ -302,13 +302,13 @@ class MergeServer {
   // `lmerge_subscribe --latency` can price publish→delivery.  Dead
   // subscribers are unregistered inline.
   void FanOutBatchLocked(const ElementSequence& batch, int64_t origin_us)
-      LM_REQUIRES(fanout_mutex_);
+      LM_REQUIRES(fanout_mutex_) LM_HOT_PATH;
   // Dictionary-encodes `batch` against the server-wide broadcast dictionary
   // in ONE intern pass; new PAYLOAD_DEF frames land in the returned parts
   // AND on defs_tape_ so later v2+ joiners can be replayed into sync.  The
   // caller assembles the v2..v4 and v5 frame classes from the same parts.
   DictBatchParts EncodeDictBatchPartsLocked(const ElementSequence& batch)
-      LM_REQUIRES(fanout_mutex_);
+      LM_REQUIRES(fanout_mutex_) LM_HOT_PATH;
   // Sends BYE (best effort) and releases the session's resources.
   void CloseSessionLocked(Session& session, const std::string& reason,
                           bool send_bye) LM_REQUIRES(mutex_);

@@ -15,13 +15,11 @@
 #include <cstring>
 #include <thread>
 
+#include "net/errno_string.h"
+
 namespace lmerge::net {
 
 namespace {
-
-std::string ErrnoMessage(const char* what) {
-  return std::string(what) + ": " + std::strerror(errno);
-}
 
 std::string SockaddrToString(const sockaddr_storage& addr) {
   char host[NI_MAXHOST];
@@ -57,7 +55,7 @@ class TcpConnection : public Connection {
       if (n < 0) {
         if (errno == EINTR) continue;
         closed_.store(true, std::memory_order_relaxed);
-        return Status::Internal(ErrnoMessage("send"));
+        return Status::Internal(ErrnoMessage("send", errno));
       }
       sent += static_cast<size_t>(n);
     }
@@ -70,7 +68,7 @@ class TcpConnection : public Connection {
       if (n < 0) {
         if (errno == EINTR) continue;
         closed_.store(true, std::memory_order_relaxed);
-        return Status::Internal(ErrnoMessage("recv"));
+        return Status::Internal(ErrnoMessage("recv", errno));
       }
       if (n == 0) closed_.store(true, std::memory_order_relaxed);
       *received = static_cast<size_t>(n);
@@ -93,7 +91,7 @@ class TcpConnection : public Connection {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::Ok();
       if (errno == EINTR) continue;
       closed_.store(true, std::memory_order_relaxed);
-      return Status::Internal(ErrnoMessage("recv"));
+      return Status::Internal(ErrnoMessage("recv", errno));
     }
   }
 
@@ -106,7 +104,7 @@ class TcpConnection : public Connection {
         if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::Ok();
         closed_.store(true, std::memory_order_relaxed);
-        return Status::Internal(ErrnoMessage("send"));
+        return Status::Internal(ErrnoMessage("send", errno));
       }
       *sent += static_cast<size_t>(n);
     }
@@ -159,11 +157,11 @@ class TcpListener : public Listener {
           // the blocking API, e.g. in tests): park on poll until ready.
           pollfd pfd{fd_, POLLIN, 0};
           if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) {
-            return Status::Internal(ErrnoMessage("poll"));
+            return Status::Internal(ErrnoMessage("poll", errno));
           }
           continue;
         }
-        return Status::Internal(ErrnoMessage("accept"));
+        return Status::Internal(ErrnoMessage("accept", errno));
       }
       SetNoDelay(fd);
       *connection = std::make_unique<TcpConnection>(
@@ -188,7 +186,7 @@ class TcpListener : public Listener {
       if (fd < 0) {
         if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::Ok();
-        return Status::Internal(ErrnoMessage("accept"));
+        return Status::Internal(ErrnoMessage("accept", errno));
       }
       SetNoDelay(fd);
       *connection = std::make_unique<TcpConnection>(
@@ -243,14 +241,14 @@ Status TcpListen(int port, std::unique_ptr<Listener>* listener,
   for (addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
     const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
     if (fd < 0) {
-      status = Status::Internal(ErrnoMessage("socket"));
+      status = Status::Internal(ErrnoMessage("socket", errno));
       continue;
     }
     int one = 1;
     (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
     if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
         ::listen(fd, SOMAXCONN) != 0) {
-      status = Status::Internal(ErrnoMessage("bind/listen"));
+      status = Status::Internal(ErrnoMessage("bind/listen", errno));
       ::close(fd);
       continue;
     }
@@ -284,7 +282,7 @@ Status ConnectFd(int fd, const sockaddr* addr, socklen_t addr_len,
                  int timeout_ms) {
   if (timeout_ms <= 0) {
     if (::connect(fd, addr, addr_len) != 0) {
-      return Status::Internal(ErrnoMessage("connect"));
+      return Status::Internal(ErrnoMessage("connect", errno));
     }
     return Status::Ok();
   }
@@ -292,11 +290,11 @@ Status ConnectFd(int fd, const sockaddr* addr, socklen_t addr_len,
   (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   if (::connect(fd, addr, addr_len) != 0) {
     if (errno != EINPROGRESS) {
-      return Status::Internal(ErrnoMessage("connect"));
+      return Status::Internal(ErrnoMessage("connect", errno));
     }
     pollfd pfd{fd, POLLOUT, 0};
     const int ready = ::poll(&pfd, 1, timeout_ms);
-    if (ready < 0) return Status::Internal(ErrnoMessage("poll"));
+    if (ready < 0) return Status::Internal(ErrnoMessage("poll", errno));
     if (ready == 0) {
       return Status::Internal("connect timed out after " +
                               std::to_string(timeout_ms) + " ms");
@@ -305,8 +303,7 @@ Status ConnectFd(int fd, const sockaddr* addr, socklen_t addr_len,
     socklen_t err_len = sizeof(err);
     (void)getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len);
     if (err != 0) {
-      return Status::Internal(std::string("connect: ") +
-                              std::strerror(err));
+      return Status::Internal(ErrnoMessage("connect", err));
     }
   }
   (void)::fcntl(fd, F_SETFL, flags);
@@ -322,7 +319,7 @@ Status TcpConnectOnce(const std::string& host, int port, int timeout_ms,
   for (addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
     const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
     if (fd < 0) {
-      status = Status::Internal(ErrnoMessage("socket"));
+      status = Status::Internal(ErrnoMessage("socket", errno));
       continue;
     }
     status = ConnectFd(fd, ai->ai_addr, ai->ai_addrlen, timeout_ms);

@@ -1,0 +1,32 @@
+// Seeded violation: an IO-loop entry point (declared an off-thread root in
+// this fixture's analyzer_config.json) reaches an LM_MERGE_THREAD_ONLY
+// function through a plain call chain — no CallOnMergeThread hand-off, no
+// lambda boundary.  The analyzer must flag the reachability.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace lmerge {
+
+class ToyEngine {
+ public:
+  void MutateMergeState() LM_MERGE_THREAD_ONLY { ++mutations_; }
+
+ private:
+  long mutations_ = 0;
+};
+
+class ToyServer {
+ public:
+  explicit ToyServer(ToyEngine* engine) : engine_(engine) {}
+
+  // Off-thread root (see fixture config): decodes bytes on the IO loop and
+  // ILLEGALLY mutates merge state in place.
+  void OnBytes() { Deliver(); }
+
+ private:
+  void Deliver() { engine_->MutateMergeState(); }
+
+  ToyEngine* engine_;
+};
+
+}  // namespace lmerge

@@ -1,0 +1,25 @@
+// Seeded violation: an LM_HOT_PATH function reaches heap allocation
+// transitively — a helper growing an unreserved vector and another using
+// operator new.  Neither site is allowlisted, so both must be rejected.
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace lmerge {
+
+class ToyDrain {
+ public:
+  void DrainOnce() LM_HOT_PATH {
+    Buffer(7);
+    Leak();
+  }
+
+ private:
+  void Buffer(int value) { staged_.push_back(value); }
+  void Leak() { scratch_ = new int[16]; }
+
+  std::vector<int> staged_;
+  int* scratch_ = nullptr;
+};
+
+}  // namespace lmerge

@@ -1,0 +1,26 @@
+// Seeded violation: two functions acquire the same pair of mutexes in
+// opposite orders — the classic AB/BA deadlock.  lmerge_analyze must find
+// the cycle in the acquisition graph regardless of which declaration
+// annotations exist.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace lmerge {
+
+class CyclePair {
+ public:
+  void Forward() {
+    MutexLock hold_a(a_);
+    MutexLock hold_b(b_);
+  }
+  void Backward() {
+    MutexLock hold_b(b_);
+    MutexLock hold_a(a_);
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+};
+
+}  // namespace lmerge

@@ -1,0 +1,22 @@
+// Seeded violation: a consistent nesting (inner_ under outer_) that is
+// never declared — no LM_ACQUIRED_AFTER on the member, no edge or chain in
+// the fixture config.  The analyzer must reject the undeclared edge even
+// though the order is acyclic.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace lmerge {
+
+class UndeclaredNest {
+ public:
+  void Nested() {
+    MutexLock hold_outer(outer_);
+    MutexLock hold_inner(inner_);
+  }
+
+ private:
+  Mutex outer_;
+  Mutex inner_;
+};
+
+}  // namespace lmerge

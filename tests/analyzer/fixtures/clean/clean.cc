@@ -1,0 +1,34 @@
+// Clean fixture: every contract holds.  The nesting edge is declared with
+// LM_ACQUIRED_AFTER, the merge-thread-only mutator is reached only from an
+// unrooted helper, and the hot path touches no allocator.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace lmerge {
+
+class CleanEngine {
+ public:
+  void Control() {
+    MutexLock hold_outer(outer_);
+    MutexLock hold_inner(inner_);
+    ApplyLocked();
+  }
+
+  void Mutate() LM_MERGE_THREAD_ONLY { ++applied_; }
+
+  int DrainOnce() LM_HOT_PATH {
+    int drained = 0;
+    for (int i = 0; i < 4; ++i) drained += Step(i);
+    return drained;
+  }
+
+ private:
+  void ApplyLocked() { ++applied_; }
+  int Step(int i) { return i * 2; }
+
+  Mutex outer_;
+  Mutex inner_ LM_ACQUIRED_AFTER(outer_);
+  int applied_ = 0;
+};
+
+}  // namespace lmerge

@@ -1,0 +1,476 @@
+"""Whole-program checks over lmerge_analyze facts.
+
+Consumes the facts JSON produced by either frontend (the Clang LibTooling
+extractor or the lexer fallback in extract.py) and enforces the three
+contracts described in docs/STATIC_ANALYSIS.md:
+
+  lock-order       Build the global lock acquisition graph (lock A held
+                   while lock B is acquired => edge A -> B, including
+                   acquisitions reached through calls made with A held).
+                   Fail on any cycle, on any double-acquire of one lock,
+                   and on any edge not declared via LM_ACQUIRED_AFTER or
+                   the config's `lock_order` section.  A lock declared a
+                   *leaf* may be acquired under anything but must never
+                   have an outgoing edge.
+
+  thread-affinity  No function annotated LM_MERGE_THREAD_ONLY may be
+                   reachable through the call graph from an off-merge-
+                   thread root (IO loop callbacks, session entry points,
+                   the HTTP exporter, tool mains).  Lambdas are separate
+                   call-graph nodes: handing work to CallOnMergeThread /
+                   EventLoop::Post crosses a thread boundary, which is
+                   exactly where reachability should stop.
+
+  hot-path         No function reachable from an LM_HOT_PATH root may
+                   allocate (operator new, malloc family, container
+                   growth) unless the site is allowlisted with a reason.
+
+All exemptions live in tools/analyzer/analyzer_config.json — a machine-
+readable allowlist reviewed like code (same contract as
+scripts/lint_allowlist.json).
+"""
+
+import fnmatch
+from collections import deque
+
+
+class Violation:
+    def __init__(self, check, file, line, message, path=None):
+        self.check = check
+        self.file = file
+        self.line = line
+        self.message = message
+        self.path = path or []
+
+    def render(self):
+        text = f"{self.file}:{self.line}: [{self.check}] {self.message}"
+        if self.path:
+            text += "\n    call path: " + " -> ".join(self.path)
+        return text
+
+
+def _match_any(name, patterns):
+    return any(fnmatch.fnmatchcase(name, p) for p in patterns)
+
+
+class Analyzer:
+    def __init__(self, facts, config):
+        self.facts = facts
+        self.config = config
+        self.functions = {f["name"]: f for f in facts["functions"]}
+        self.classes = {c["name"]: c for c in facts["classes"]}
+        self._base_cache = {}
+        self._method_index = {}       # method name -> [class names]
+        for cls in self.classes.values():
+            for m in cls["methods"]:
+                self._method_index.setdefault(m, []).append(cls["name"])
+        self._override_cache = {}
+        self.violations = []
+        # entry_held[fn] = {lock: (caller, line) | None}; None = from
+        # LM_REQUIRES on the function itself.
+        self.entry_held = {}
+        self.lock_edges = {}          # (before, after) -> edge info
+
+    # --- class hierarchy ---------------------------------------------------
+
+    def _resolve_class(self, name):
+        if name in self.classes:
+            return name
+        suffix = "::" + name
+        cands = [c for c in self.classes if c.endswith(suffix)]
+        if len(cands) == 1:
+            return cands[0]
+        return None
+
+    def _bases(self, cls_name):
+        if cls_name in self._base_cache:
+            return self._base_cache[cls_name]
+        out = []
+        seen = {cls_name}
+        queue = list(self.classes.get(cls_name, {}).get("bases", []))
+        while queue:
+            base = self._resolve_class(queue.pop())
+            if base and base not in seen:
+                seen.add(base)
+                out.append(base)
+                queue.extend(self.classes[base].get("bases", []))
+        self._base_cache[cls_name] = out
+        return out
+
+    def _split_method(self, qname):
+        """'ns::Class::Method' -> (class name or None, method)."""
+        if "::" not in qname:
+            return None, qname
+        holder, method = qname.rsplit("::", 1)
+        if holder in self.classes:
+            return holder, method
+        return None, method
+
+    def _overrides(self, qname):
+        """Call targets for `qname`: itself plus every override in derived
+        classes (a call through a base pointer may land on any of them)."""
+        if qname in self._override_cache:
+            return self._override_cache[qname]
+        targets = [qname] if qname in self.functions else []
+        holder, method = self._split_method(qname)
+        if holder is not None:
+            for cls_name, cls in self.classes.items():
+                if cls_name == holder or method not in cls["methods"]:
+                    continue
+                if holder in self._bases(cls_name):
+                    cand = cls_name + "::" + method
+                    if cand in self.functions:
+                        targets.append(cand)
+        if not targets:
+            targets = []
+        self._override_cache[qname] = targets
+        return targets
+
+    def _annotated(self, annotation):
+        """Functions carrying `annotation`, closed over overriding methods
+        (an override of an annotated virtual inherits the contract)."""
+        direct = {name for name, f in self.functions.items()
+                  if annotation in f.get("annotations", ())}
+        closed = set(direct)
+        for name in direct:
+            closed.update(self._overrides(name))
+        return closed
+
+    # --- lock-order --------------------------------------------------------
+
+    @staticmethod
+    def _chain_edges(cfg):
+        """`chains` mirror DESIGN.md's canonical order: a chain [A, B, C]
+        declares every forward pair (A,B), (A,C), (B,C)."""
+        edges = set()
+        for chain in cfg.get("chains", []):
+            locks = chain["locks"] if isinstance(chain, dict) else chain
+            for i, before in enumerate(locks):
+                for after in locks[i + 1:]:
+                    edges.add((before, after))
+        return edges
+
+    def check_lock_order(self):
+        cfg = self.config.get("lock_order", {})
+        leaf_locks = {e["lock"] for e in cfg.get("leaf_locks", [])}
+        declared = {(e["before"], e["after"])
+                    for e in self.facts.get("declared_edges", [])}
+        declared |= {(e["before"], e["after"]) for e in cfg.get("edges", [])}
+        declared |= self._chain_edges(cfg)
+
+        # unresolved acquisitions are contract violations: a lock the
+        # analyzer cannot name is a lock it cannot order.
+        for fn in self.functions.values():
+            for acq in fn["acquires"]:
+                if not acq.get("resolved", True):
+                    self.violations.append(Violation(
+                        "lock-order", fn["file"], acq["line"],
+                        f"cannot resolve lock expression '{acq['lock']}' in "
+                        f"{fn['name']}; name the mutex so the acquisition "
+                        "graph stays complete"))
+
+        self._propagate_held()
+
+        # direct (lexical) nesting edges + propagated (entry-held) edges
+        for fn in self.functions.values():
+            entry = self.entry_held.get(fn["name"], {})
+            for acq in fn["acquires"]:
+                if not acq.get("resolved", True):
+                    continue
+                lock = acq["lock"]
+                for held in acq["held"]:
+                    self._add_edge(held, lock, fn, acq["line"],
+                                   propagated=False)
+                    if held == lock:
+                        self.violations.append(Violation(
+                            "lock-order", fn["file"], acq["line"],
+                            f"{fn['name']} acquires {lock} while already "
+                            "holding it (self-deadlock)"))
+                for held in entry:
+                    if held not in acq["held"]:
+                        self._add_edge(held, lock, fn, acq["line"],
+                                       propagated=True)
+
+        # leaf discipline and declaration coverage
+        for (before, after), edge in sorted(self.lock_edges.items()):
+            if before in leaf_locks:
+                self.violations.append(Violation(
+                    "lock-order", edge["file"], edge["line"],
+                    f"{after} acquired while holding leaf lock {before} "
+                    f"(declared terminal in analyzer_config.json)",
+                    path=edge.get("path")))
+                continue
+            if after in leaf_locks:
+                continue
+            if (before, after) not in declared:
+                self.violations.append(Violation(
+                    "lock-order", edge["file"], edge["line"],
+                    f"undeclared lock-order edge {before} -> {after}; "
+                    "declare it with LM_ACQUIRED_AFTER or in "
+                    "analyzer_config.json lock_order.edges",
+                    path=edge.get("path")))
+
+        self._find_cycles()
+
+    def _add_edge(self, before, after, fn, line, propagated):
+        if before == after:
+            # Distinct-instance recursion is reported separately above for
+            # the definite (lexical) case; propagated same-name pairs are
+            # instance-ambiguous and resolved by the cycle check.
+            return
+        key = (before, after)
+        if key not in self.lock_edges:
+            path = None
+            if propagated:
+                path = self._held_path(fn["name"], before)
+            self.lock_edges[key] = {
+                "before": before, "after": after,
+                "file": fn["file"], "line": line,
+                "function": fn["name"], "propagated": propagated,
+                "path": path,
+            }
+
+    def _propagate_held(self):
+        """Worklist: locks possibly held on entry to each function, from
+        LM_REQUIRES plus every resolved call site's held set."""
+        for fn in self.functions.values():
+            self.entry_held[fn["name"]] = {
+                lock: None for lock in fn.get("requires", ())}
+        work = deque(self.functions)
+        while work:
+            name = work.popleft()
+            fn = self.functions[name]
+            entry = self.entry_held[name]
+            for call in fn["calls"]:
+                incoming = dict.fromkeys(call["held"])
+                for lock in entry:
+                    incoming.setdefault(lock)
+                if not incoming:
+                    continue
+                for target in self._overrides(call["callee"]):
+                    t_entry = self.entry_held.setdefault(target, {})
+                    changed = False
+                    for lock in incoming:
+                        if lock not in t_entry:
+                            t_entry[lock] = (name, call["line"])
+                            changed = True
+                    if changed and target in self.functions:
+                        work.append(target)
+
+    def _held_path(self, fn_name, lock):
+        """Reconstructs how `lock` came to be held on entry to fn_name."""
+        path = [fn_name]
+        seen = {fn_name}
+        cur = fn_name
+        while True:
+            via = self.entry_held.get(cur, {}).get(lock)
+            if via is None:
+                break
+            caller, _line = via
+            if caller in seen:
+                break
+            seen.add(caller)
+            path.insert(0, caller)
+            cur = caller
+        return path
+
+    def _find_cycles(self):
+        graph = {}
+        for before, after in self.lock_edges:
+            graph.setdefault(before, set()).add(after)
+        index = {}
+        lowlink = {}
+        on_stack = set()
+        stack = []
+        sccs = []
+        counter = [0]
+
+        def strongconnect(v):
+            index[v] = lowlink[v] = counter[0]
+            counter[0] += 1
+            stack.append(v)
+            on_stack.add(v)
+            for w in graph.get(v, ()):
+                if w not in index:
+                    strongconnect(w)
+                    lowlink[v] = min(lowlink[v], lowlink[w])
+                elif w in on_stack:
+                    lowlink[v] = min(lowlink[v], index[w])
+            if lowlink[v] == index[v]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == v:
+                        break
+                if len(scc) > 1:
+                    sccs.append(scc)
+
+        for v in list(graph):
+            if v not in index:
+                strongconnect(v)
+        for scc in sccs:
+            members = sorted(scc)
+            sites = []
+            for (b, a), e in self.lock_edges.items():
+                if b in scc and a in scc:
+                    sites.append(f"{b} -> {a} at {e['file']}:{e['line']}")
+            self.violations.append(Violation(
+                "lock-order", "", 0,
+                "lock-order cycle among {" + ", ".join(members) + "}: "
+                + "; ".join(sorted(sites))))
+
+    # --- thread affinity ---------------------------------------------------
+
+    def check_thread_affinity(self):
+        cfg = self.config.get("thread_affinity", {})
+        root_patterns = [r["function"] for r in cfg.get("off_thread_roots", [])]
+        allow = cfg.get("allow", [])
+        affined = self._annotated("merge_thread_only")
+
+        roots = [name for name in self.functions
+                 if _match_any(name, root_patterns)]
+        parent = {}
+        queue = deque()
+        for r in roots:
+            if r not in parent:
+                parent[r] = None
+                queue.append(r)
+        while queue:
+            name = queue.popleft()
+            fn = self.functions.get(name)
+            if fn is None:
+                continue
+            for call in fn["calls"]:
+                for target in self._overrides(call["callee"]):
+                    if target not in parent:
+                        parent[target] = name
+                        queue.append(target)
+
+        for target in sorted(affined):
+            if target not in parent:
+                continue
+            path = []
+            cur = target
+            while cur is not None:
+                path.insert(0, cur)
+                cur = parent[cur]
+            root = path[0]
+            if any(_match_any(root, [a.get("root", "*")]) and
+                   _match_any(target, [a.get("target", "*")]) and
+                   ("via" not in a or
+                    any(_match_any(node, [a["via"]]) for node in path))
+                   for a in allow):
+                continue
+            fn = self.functions[target]
+            self.violations.append(Violation(
+                "thread-affinity", fn["file"], fn["line"],
+                f"{target} is LM_MERGE_THREAD_ONLY but reachable from "
+                f"off-merge-thread entry point {root}; route it through "
+                "CallOnMergeThread or allowlist the path with a reason",
+                path=path))
+
+    # --- hot path ----------------------------------------------------------
+
+    def check_hot_path(self):
+        cfg = self.config.get("hot_path", {})
+        allow = cfg.get("allow", [])
+        roots = self._annotated("hot_path")
+
+        parent = {}
+        queue = deque()
+        for r in sorted(roots):
+            if r not in parent:
+                parent[r] = None
+                queue.append(r)
+        while queue:
+            name = queue.popleft()
+            fn = self.functions.get(name)
+            if fn is None:
+                continue
+            for call in fn["calls"]:
+                for target in self._overrides(call["callee"]):
+                    if target not in parent:
+                        parent[target] = name
+                        queue.append(target)
+
+        for name in sorted(parent):
+            fn = self.functions.get(name)
+            if fn is None:
+                continue
+            for alloc in fn["allocs"]:
+                if self._alloc_allowed(name, alloc, allow):
+                    continue
+                path = []
+                cur = name
+                while cur is not None:
+                    path.insert(0, cur)
+                    cur = parent[cur]
+                self.violations.append(Violation(
+                    "hot-path", fn["file"], alloc["line"],
+                    f"heap allocation on the hot path: {alloc['detail']} "
+                    f"({alloc['kind']}) in {name}, reachable from "
+                    f"LM_HOT_PATH root {path[0]}; hoist/reserve it or "
+                    "allowlist the site with a reason",
+                    path=path))
+
+    @staticmethod
+    def _alloc_allowed(fn_name, alloc, allow):
+        for entry in allow:
+            if not fnmatch.fnmatchcase(fn_name, entry["function"]):
+                continue
+            kind = entry.get("kind")
+            if kind is None or fnmatch.fnmatchcase(alloc["kind"], kind):
+                return True
+        return False
+
+    # --- graph emission ----------------------------------------------------
+
+    def graph_json(self):
+        cfg = self.config.get("lock_order", {})
+        leaf_locks = {e["lock"] for e in cfg.get("leaf_locks", [])}
+        declared_ann = {(e["before"], e["after"])
+                        for e in self.facts.get("declared_edges", [])}
+        declared_cfg = {(e["before"], e["after"])
+                        for e in cfg.get("edges", [])}
+        declared_cfg |= self._chain_edges(cfg)
+        locks = set(leaf_locks)
+        for before, after in self.lock_edges:
+            locks.add(before)
+            locks.add(after)
+        for cls in self.classes.values():
+            for lock in cls.get("locks", ()):
+                locks.add(cls["name"] + "::" + lock)
+        edges = []
+        for (before, after), e in sorted(self.lock_edges.items()):
+            if (before, after) in declared_ann:
+                via = "LM_ACQUIRED_AFTER"
+            elif (before, after) in declared_cfg:
+                via = "analyzer_config.json"
+            elif after in leaf_locks:
+                via = "leaf"
+            else:
+                via = "UNDECLARED"
+            edges.append({
+                "before": before, "after": after, "declared_via": via,
+                "site": f"{e['file']}:{e['line']}",
+                "function": e["function"],
+                "propagated": e["propagated"],
+            })
+        return {
+            "locks": sorted(locks),
+            "leaf_locks": sorted(leaf_locks),
+            "edges": edges,
+        }
+
+    # --- entry point -------------------------------------------------------
+
+    def run(self, checks=("lock-order", "thread-affinity", "hot-path")):
+        if "lock-order" in checks:
+            self.check_lock_order()
+        if "thread-affinity" in checks:
+            self.check_thread_affinity()
+        if "hot-path" in checks:
+            self.check_hot_path()
+        return self.violations

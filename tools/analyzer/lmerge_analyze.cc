@@ -1,0 +1,685 @@
+// lmerge_analyze_extract: Clang LibTooling frontend for the lmerge
+// whole-program concurrency analyzer (tools/analyzer/lmerge_analyze.py).
+//
+// Emits the same facts JSON as the bundled lexer fallback (extract.py):
+// per-function lock acquisitions with the held-set at each site, call
+// edges, allocation sites, LM_* annotations read from the AST's
+// `annotate` attributes, per-class mutex members, and the LM_ACQUIRED_AFTER
+// declared lock-order edges.  The Python driver feeds either backend's
+// output to the shared analysis engine (analysis.py), so the checks are
+// identical — this frontend is just a sound replacement for the lexer's
+// heuristics when clang dev libraries are available (the CI
+// static-analysis job; the container fallback has none).
+//
+// Invocation (matches lmerge_analyze.py run_native):
+//   lmerge_analyze_extract --root <repo> a.cc b.cc ... -- -std=c++20 -Isrc
+//
+// Deliberate parity choices with extract.py:
+//   * Lambdas become synthetic functions `Parent::{lambda:LINE}` with NO
+//     call edge from the parent: a lambda handed to CallOnMergeThread /
+//     EventLoop::Post runs on another thread, so the severed edge is the
+//     thread boundary.  (Same-thread immediate invocation is rare enough
+//     here that the over-severing only loses coverage, never soundness of
+//     the lock-order graph — acquisitions inside the lambda still count.)
+//   * Internal-linkage functions (file statics, anon namespaces, main)
+//     are keyed `name@relative/path.cc` so same-named tool mains collide
+//     neither with each other nor with exported symbols.
+//   * Allocation kinds: "new" (operator new / make_unique / make_shared),
+//     "malloc" (C family), "container-growth" (push_back & friends),
+//     "string" (std::to_string) — matching extract.py's taxonomy so the
+//     hot_path allowlist applies to both backends unchanged.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "clang/AST/ASTConsumer.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Frontend/CompilerInstance.h"
+#include "clang/Frontend/FrontendAction.h"
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/CommandLine.h"
+#include "llvm/Support/FileSystem.h"
+#include "llvm/Support/JSON.h"
+#include "llvm/Support/Path.h"
+#include "llvm/Support/raw_ostream.h"
+
+using namespace clang;
+
+namespace {
+
+llvm::cl::OptionCategory ToolCategory("lmerge_analyze_extract");
+llvm::cl::opt<std::string> RootOpt(
+    "root", llvm::cl::desc("repository root; facts use paths relative to it"),
+    llvm::cl::Required, llvm::cl::cat(ToolCategory));
+
+const std::set<std::string> kGrowthMethods = {
+    "push_back", "emplace_back", "emplace",       "emplace_hint", "insert",
+    "resize",    "append",       "push_front",    "emplace_front"};
+const std::set<std::string> kMallocFamily = {"malloc", "calloc", "realloc",
+                                             "strdup", "aligned_alloc"};
+
+// ---------------------------------------------------------------------------
+// Fact records (mirror extract.py's Facts.to_json schema).
+
+struct AcquireFact {
+  std::string lock;
+  bool resolved;
+  unsigned line;
+  std::vector<std::string> held;
+};
+
+struct CallFact {
+  std::string callee;
+  unsigned line;
+  std::vector<std::string> held;
+};
+
+struct AllocFact {
+  std::string kind;
+  std::string detail;
+  unsigned line;
+};
+
+struct FuncFact {
+  std::string name;
+  std::string file;
+  unsigned line = 0;
+  std::vector<std::string> annotations;
+  std::vector<std::string> requiresLocks;  // JSON key "requires"
+  std::vector<AcquireFact> acquires;
+  std::vector<CallFact> calls;
+  std::vector<AllocFact> allocs;
+  bool isLambda = false;
+};
+
+struct ClassFact {
+  std::string name;
+  std::string file;
+  unsigned line = 0;
+  std::vector<std::string> bases;
+  std::vector<std::string> locks;
+  std::vector<std::pair<std::string, std::string>> members;  // name -> type
+  std::vector<std::string> methods;
+};
+
+struct EdgeFact {
+  std::string before;
+  std::string after;
+  std::string file;
+  unsigned line = 0;
+};
+
+struct Collector {
+  std::string root;  // canonical root path with trailing separator stripped
+  std::map<std::string, FuncFact> functions;  // keyed by qualified name
+  std::map<std::string, ClassFact> classes;
+  std::vector<EdgeFact> declaredEdges;
+  std::set<std::string> edgeKeys;
+  std::set<std::string> files;
+  unsigned unresolvedCalls = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Helpers.
+
+std::string canonicalize(llvm::StringRef path) {
+  llvm::SmallString<256> real;
+  if (llvm::sys::fs::real_path(path, real, /*expand_tilde=*/true))
+    real = path;  // fall back to the spelling we were given
+  llvm::sys::path::remove_dots(real, /*remove_dot_dot=*/true);
+  return std::string(real.str());
+}
+
+// Relative path under the root, or empty if the location is outside it
+// (system headers, builtins).
+std::string relPath(const Collector &C, const SourceManager &SM,
+                    SourceLocation loc) {
+  if (loc.isInvalid()) return {};
+  SourceLocation expansion = SM.getExpansionLoc(loc);
+  const FileEntry *entry = SM.getFileEntryForID(SM.getFileID(expansion));
+  if (!entry) return {};
+  std::string abs = canonicalize(entry->tryGetRealPathName().empty()
+                                     ? entry->getName()
+                                     : entry->tryGetRealPathName());
+  if (abs.size() <= C.root.size() || abs.compare(0, C.root.size(), C.root) ||
+      abs[C.root.size()] != '/')
+    return {};
+  return abs.substr(C.root.size() + 1);
+}
+
+bool isRecordNamed(QualType type, llvm::StringRef qualified) {
+  const CXXRecordDecl *record = type.getNonReferenceType()
+                                    .getCanonicalType()
+                                    ->getAsCXXRecordDecl();
+  return record && record->getQualifiedNameAsString() == qualified;
+}
+
+std::string typeSpelling(QualType type, const ASTContext &ctx) {
+  PrintingPolicy policy(ctx.getLangOpts());
+  policy.SuppressScope = false;
+  policy.SuppressUnwrittenScope = true;
+  return type.getNonReferenceType().getUnqualifiedType().getAsString(policy);
+}
+
+const Expr *stripWrappers(const Expr *E) {
+  while (E) {
+    E = E->IgnoreParenImpCasts();
+    if (const auto *cleanups = dyn_cast<ExprWithCleanups>(E)) {
+      E = cleanups->getSubExpr();
+      continue;
+    }
+    if (const auto *temp = dyn_cast<MaterializeTemporaryExpr>(E)) {
+      E = temp->getSubExpr();
+      continue;
+    }
+    if (const auto *unary = dyn_cast<UnaryOperator>(E)) {
+      if (unary->getOpcode() == UO_Deref || unary->getOpcode() == UO_AddrOf) {
+        E = unary->getSubExpr();
+        continue;
+      }
+    }
+    break;
+  }
+  return E;
+}
+
+// ---------------------------------------------------------------------------
+// Per-TU extraction.
+
+class Extractor : public RecursiveASTVisitor<Extractor> {
+ public:
+  Extractor(Collector &C, ASTContext &ctx) : C_(C), ctx_(ctx) {}
+
+  // Decl-level hooks -------------------------------------------------------
+
+  bool VisitCXXRecordDecl(CXXRecordDecl *D) {
+    if (!D->isThisDeclarationADefinition() || D->isLambda() ||
+        D->isImplicit())
+      return true;
+    const SourceManager &SM = ctx_.getSourceManager();
+    std::string file = relPath(C_, SM, D->getLocation());
+    if (file.empty()) return true;
+    C_.files.insert(file);
+
+    std::string name = D->getQualifiedNameAsString();
+    if (C_.classes.count(name)) {
+      recordDeclaredEdges(D, name);  // edges dedupe themselves
+      return true;
+    }
+    ClassFact cls;
+    cls.name = name;
+    cls.file = file;
+    cls.line = SM.getExpansionLineNumber(D->getLocation());
+    for (const CXXBaseSpecifier &base : D->bases())
+      if (const CXXRecordDecl *baseDecl = base.getType()->getAsCXXRecordDecl())
+        cls.bases.push_back(baseDecl->getQualifiedNameAsString());
+    for (const FieldDecl *field : D->fields()) {
+      std::string fieldName = field->getNameAsString();
+      if (fieldName.empty()) continue;
+      cls.members.emplace_back(fieldName, typeSpelling(field->getType(), ctx_));
+      if (isRecordNamed(field->getType(), "lmerge::Mutex"))
+        cls.locks.push_back(fieldName);
+    }
+    for (const CXXMethodDecl *method : D->methods())
+      if (!method->isImplicit())
+        cls.methods.push_back(method->getNameAsString());
+    C_.classes.emplace(name, std::move(cls));
+    recordDeclaredEdges(D, name);
+    return true;
+  }
+
+  bool VisitFunctionDecl(FunctionDecl *D) {
+    if (!D->doesThisDeclarationHaveABody() || D->isImplicit() ||
+        D->isDefaulted())
+      return true;
+    if (const auto *method = dyn_cast<CXXMethodDecl>(D))
+      if (method->getParent()->isLambda())
+        return true;  // emitted as Parent::{lambda:LINE} by the body walk
+    const SourceManager &SM = ctx_.getSourceManager();
+    std::string file = relPath(C_, SM, D->getLocation());
+    if (file.empty()) return true;
+    C_.files.insert(file);
+
+    FuncFact fn;
+    fn.name = functionKey(D, file);
+    if (C_.functions.count(fn.name)) return true;  // header seen in a prior TU
+    fn.file = file;
+    fn.line = SM.getExpansionLineNumber(D->getLocation());
+    collectFunctionAttrs(D, fn);
+    localMutexIds_.clear();
+    walkBody(D->getBody(), fn);
+    std::string key = fn.name;
+    C_.functions.emplace(key, std::move(fn));
+    return true;
+  }
+
+ private:
+  // Naming ------------------------------------------------------------------
+
+  std::string functionKey(const FunctionDecl *D, const std::string &file) {
+    std::string qual = D->getQualifiedNameAsString();
+    if (D->isMain() || D->getLinkageInternal() == InternalLinkage ||
+        D->isInAnonymousNamespace())
+      return qual + "@" + file;
+    return qual;
+  }
+
+  void collectFunctionAttrs(const FunctionDecl *D, FuncFact &fn) {
+    for (const FunctionDecl *redecl : D->redecls()) {
+      for (const Attr *attr : redecl->attrs()) {
+        if (const auto *annotate = dyn_cast<AnnotateAttr>(attr)) {
+          llvm::StringRef text = annotate->getAnnotation();
+          std::string value;
+          if (text == "lmerge::merge_thread_only")
+            value = "merge_thread_only";
+          else if (text == "lmerge::hot_path")
+            value = "hot_path";
+          if (!value.empty() &&
+              std::find(fn.annotations.begin(), fn.annotations.end(), value) ==
+                  fn.annotations.end())
+            fn.annotations.push_back(value);
+        } else if (const auto *req = dyn_cast<RequiresCapabilityAttr>(attr)) {
+          for (const Expr *arg : req->args())
+            if (std::optional<std::string> lock = resolveLockExpr(arg))
+              if (std::find(fn.requiresLocks.begin(), fn.requiresLocks.end(),
+                            *lock) == fn.requiresLocks.end())
+                fn.requiresLocks.push_back(*lock);
+        }
+      }
+    }
+  }
+
+  void recordDeclaredEdges(const CXXRecordDecl *D, const std::string &name) {
+    const SourceManager &SM = ctx_.getSourceManager();
+    for (const FieldDecl *field : D->fields()) {
+      std::string after = name + "::" + field->getNameAsString();
+      for (const Attr *attr : field->attrs()) {
+        const auto *acq = dyn_cast<AcquiredAfterAttr>(attr);
+        if (!acq) continue;
+        for (const Expr *arg : acq->args()) {
+          std::optional<std::string> before = resolveLockExpr(arg);
+          if (!before) continue;
+          std::string key = *before + "\x1f" + after;
+          if (!C_.edgeKeys.insert(key).second) continue;
+          EdgeFact edge;
+          edge.before = *before;
+          edge.after = after;
+          edge.file = relPath(C_, SM, field->getLocation());
+          edge.line = SM.getExpansionLineNumber(field->getLocation());
+          C_.declaredEdges.push_back(std::move(edge));
+        }
+      }
+    }
+  }
+
+  // Lock-expression resolution ----------------------------------------------
+
+  std::optional<std::string> resolveLockExpr(const Expr *E) {
+    E = stripWrappers(E);
+    if (!E) return std::nullopt;
+    if (const auto *member = dyn_cast<MemberExpr>(E)) {
+      if (const auto *field = dyn_cast<FieldDecl>(member->getMemberDecl())) {
+        const RecordDecl *parent = field->getParent();
+        return parent->getQualifiedNameAsString() + "::" +
+               field->getNameAsString();
+      }
+      return std::nullopt;
+    }
+    if (const auto *ref = dyn_cast<DeclRefExpr>(E)) {
+      const ValueDecl *decl = ref->getDecl();
+      // Thread-safety attribute arguments reference fields as DeclRefExprs.
+      if (const auto *field = dyn_cast<FieldDecl>(decl))
+        return field->getParent()->getQualifiedNameAsString() + "::" +
+               field->getNameAsString();
+      if (const auto *var = dyn_cast<VarDecl>(decl)) {
+        auto it = localMutexIds_.find(var);
+        if (it != localMutexIds_.end()) return it->second;
+        if (var->hasGlobalStorage()) return var->getQualifiedNameAsString();
+      }
+      return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  // Body walking ------------------------------------------------------------
+
+  struct GuardEntry {
+    const VarDecl *var;
+    std::string lock;
+    bool active;
+  };
+
+  std::vector<std::string> heldLocks() const {
+    std::vector<std::string> held;
+    for (const auto &frame : guardFrames_)
+      for (const GuardEntry &entry : frame)
+        if (entry.active) held.push_back(entry.lock);
+    return held;
+  }
+
+  void walkBody(Stmt *body, FuncFact &fn) {
+    guardFrames_.clear();
+    guardFrames_.emplace_back();
+    walkStmt(body, fn);
+    guardFrames_.clear();
+  }
+
+  void walkStmt(Stmt *S, FuncFact &fn) {
+    if (!S) return;
+
+    if (auto *compound = dyn_cast<CompoundStmt>(S)) {
+      guardFrames_.emplace_back();
+      for (Stmt *child : compound->body()) walkStmt(child, fn);
+      guardFrames_.pop_back();
+      return;
+    }
+
+    if (auto *declStmt = dyn_cast<DeclStmt>(S)) {
+      for (Decl *decl : declStmt->decls())
+        if (auto *var = dyn_cast<VarDecl>(decl)) handleVarDecl(var, fn);
+      return;
+    }
+
+    if (auto *lambda = dyn_cast<LambdaExpr>(S)) {
+      emitLambda(lambda, fn);
+      return;  // severed: no call edge, contents belong to the synthetic fn
+    }
+
+    if (auto *newExpr = dyn_cast<CXXNewExpr>(S)) {
+      handleNewExpr(newExpr, fn);
+      for (Stmt *child : S->children()) walkStmt(child, fn);
+      return;
+    }
+
+    if (auto *call = dyn_cast<CallExpr>(S)) {
+      handleCall(call, fn);
+      for (Stmt *child : S->children()) walkStmt(child, fn);
+      return;
+    }
+
+    if (auto *construct = dyn_cast<CXXConstructExpr>(S)) {
+      handleConstruct(construct, fn);
+      for (Stmt *child : S->children()) walkStmt(child, fn);
+      return;
+    }
+
+    for (Stmt *child : S->children()) walkStmt(child, fn);
+  }
+
+  void handleVarDecl(VarDecl *var, FuncFact &fn) {
+    const SourceManager &SM = ctx_.getSourceManager();
+    QualType type = var->getType();
+
+    if (isRecordNamed(type, "lmerge::MutexLock")) {
+      std::optional<std::string> lock;
+      if (const auto *construct =
+              dyn_cast_or_null<CXXConstructExpr>(var->getInit()))
+        if (construct->getNumArgs() >= 1)
+          lock = resolveLockExpr(construct->getArg(0));
+      AcquireFact acq;
+      acq.lock = lock.value_or("<unresolved:" + var->getNameAsString() + ">");
+      acq.resolved = lock.has_value();
+      acq.line = SM.getExpansionLineNumber(var->getLocation());
+      acq.held = heldLocks();
+      fn.acquires.push_back(std::move(acq));
+      guardFrames_.back().push_back(
+          {var, lock.value_or("?"), /*active=*/true});
+      return;
+    }
+
+    if (isRecordNamed(type, "lmerge::Mutex")) {
+      localMutexIds_[var] = fn.name + "::" + var->getNameAsString();
+      return;
+    }
+
+    if (Expr *init = var->getInit()) walkStmt(init, fn);
+  }
+
+  void handleNewExpr(CXXNewExpr *newExpr, FuncFact &fn) {
+    const SourceManager &SM = ctx_.getSourceManager();
+    std::string what = typeSpelling(newExpr->getAllocatedType(), ctx_);
+    fn.allocs.push_back({"new", "new " + what,
+                         SM.getExpansionLineNumber(newExpr->getBeginLoc())});
+  }
+
+  void handleConstruct(CXXConstructExpr *construct, FuncFact &fn) {
+    const CXXConstructorDecl *ctor = construct->getConstructor();
+    if (!ctor) return;
+    const SourceManager &SM = ctx_.getSourceManager();
+    std::string file = relPath(C_, SM, ctor->getParent()->getLocation());
+    if (file.empty()) return;  // not a project class
+    std::string cls = ctor->getParent()->getQualifiedNameAsString();
+    fn.calls.push_back(
+        {cls + "::" + ctor->getParent()->getNameAsString(),
+         SM.getExpansionLineNumber(construct->getBeginLoc()), heldLocks()});
+  }
+
+  void handleCall(CallExpr *call, FuncFact &fn) {
+    const SourceManager &SM = ctx_.getSourceManager();
+    unsigned line = SM.getExpansionLineNumber(call->getBeginLoc());
+    const FunctionDecl *callee = call->getDirectCallee();
+    if (!callee) {
+      ++C_.unresolvedCalls;  // function pointer / dependent call
+      return;
+    }
+    std::string calleeName = callee->getNameAsString();
+
+    // Guard toggles: lock.Unlock() / lock.Lock() on a MutexLock variable.
+    if (const auto *memberCall = dyn_cast<CXXMemberCallExpr>(call)) {
+      const CXXRecordDecl *recv = memberCall->getRecordDecl();
+      if (recv && recv->getQualifiedNameAsString() == "lmerge::MutexLock" &&
+          (calleeName == "Unlock" || calleeName == "Lock")) {
+        if (const auto *ref = dyn_cast_or_null<DeclRefExpr>(
+                stripWrappers(memberCall->getImplicitObjectArgument())))
+          if (const auto *var = dyn_cast<VarDecl>(ref->getDecl()))
+            for (auto &frame : guardFrames_)
+              for (GuardEntry &entry : frame)
+                if (entry.var == var) entry.active = (calleeName == "Lock");
+        return;
+      }
+    }
+
+    // Allocation taxonomy (matches extract.py).
+    bool inProject =
+        !relPath(C_, SM, callee->getLocation()).empty();
+    if (!inProject) {
+      if (kMallocFamily.count(calleeName)) {
+        fn.allocs.push_back({"malloc", calleeName, line});
+      } else if (calleeName == "to_string") {
+        fn.allocs.push_back({"string", "to_string", line});
+      } else if (calleeName == "make_unique" || calleeName == "make_shared") {
+        std::string arg = "?";
+        if (const auto *args = callee->getTemplateSpecializationArgs())
+          if (args->size() >= 1 &&
+              args->get(0).getKind() == TemplateArgument::Type)
+            arg = typeSpelling(args->get(0).getAsType(), ctx_);
+        fn.allocs.push_back({"new", calleeName + "<" + arg + ">", line});
+      } else if (kGrowthMethods.count(calleeName)) {
+        if (const auto *memberCall = dyn_cast<CXXMemberCallExpr>(call)) {
+          const CXXRecordDecl *recv = memberCall->getRecordDecl();
+          std::string recvName = recv ? recv->getNameAsString() : "?";
+          fn.allocs.push_back(
+              {"container-growth", recvName + "." + calleeName, line});
+        }
+      }
+      return;  // call edges only between project functions
+    }
+
+    std::string file = relPath(C_, SM, callee->getLocation());
+    fn.calls.push_back({functionKey(callee, file), line, heldLocks()});
+  }
+
+  void emitLambda(LambdaExpr *lambda, FuncFact &parent) {
+    const SourceManager &SM = ctx_.getSourceManager();
+    unsigned line = SM.getExpansionLineNumber(lambda->getBeginLoc());
+    FuncFact fn;
+    fn.name = parent.name + "::{lambda:" + std::to_string(line) + "}";
+    if (C_.functions.count(fn.name)) return;
+    fn.file = parent.file;
+    fn.line = line;
+    fn.isLambda = true;
+    if (const CXXMethodDecl *op = lambda->getCallOperator())
+      collectFunctionAttrs(op, fn);
+
+    // The lambda body gets a fresh held-stack: it runs on whatever thread
+    // invokes it, never under the parent's scoped locks.
+    std::vector<std::vector<GuardEntry>> saved;
+    saved.swap(guardFrames_);
+    guardFrames_.emplace_back();
+    walkStmt(lambda->getBody(), fn);
+    guardFrames_.swap(saved);
+
+    std::string key = fn.name;
+    C_.functions.emplace(key, std::move(fn));
+
+    // Capture initializers (e.g. `[state = MakeState()]`) still execute in
+    // the parent, so walk them in the parent's context.
+    for (Expr *init : lambda->capture_inits()) walkStmt(init, parent);
+  }
+
+  Collector &C_;
+  ASTContext &ctx_;
+  std::vector<std::vector<GuardEntry>> guardFrames_;
+  std::map<const VarDecl *, std::string> localMutexIds_;
+};
+
+class ExtractConsumer : public ASTConsumer {
+ public:
+  explicit ExtractConsumer(Collector &C) : C_(C) {}
+  void HandleTranslationUnit(ASTContext &ctx) override {
+    Extractor extractor(C_, ctx);
+    extractor.TraverseDecl(ctx.getTranslationUnitDecl());
+  }
+
+ private:
+  Collector &C_;
+};
+
+class ExtractAction : public ASTFrontendAction {
+ public:
+  explicit ExtractAction(Collector &C) : C_(C) {}
+  std::unique_ptr<ASTConsumer> CreateASTConsumer(CompilerInstance &,
+                                                 llvm::StringRef) override {
+    return std::make_unique<ExtractConsumer>(C_);
+  }
+
+ private:
+  Collector &C_;
+};
+
+class ExtractActionFactory : public tooling::FrontendActionFactory {
+ public:
+  explicit ExtractActionFactory(Collector &C) : C_(C) {}
+  std::unique_ptr<FrontendAction> create() override {
+    return std::make_unique<ExtractAction>(C_);
+  }
+
+ private:
+  Collector &C_;
+};
+
+// ---------------------------------------------------------------------------
+// JSON emission.
+
+llvm::json::Array toJson(const std::vector<std::string> &values) {
+  llvm::json::Array out;
+  for (const std::string &value : values) out.push_back(value);
+  return out;
+}
+
+void emitFacts(const Collector &C, llvm::raw_ostream &os) {
+  llvm::json::Array functions;
+  for (const auto &[name, fn] : C.functions) {
+    llvm::json::Array acquires;
+    for (const AcquireFact &acq : fn.acquires)
+      acquires.push_back(llvm::json::Object{{"lock", acq.lock},
+                                            {"resolved", acq.resolved},
+                                            {"line", acq.line},
+                                            {"held", toJson(acq.held)}});
+    llvm::json::Array calls;
+    for (const CallFact &call : fn.calls)
+      calls.push_back(llvm::json::Object{{"callee", call.callee},
+                                         {"line", call.line},
+                                         {"held", toJson(call.held)}});
+    llvm::json::Array allocs;
+    for (const AllocFact &alloc : fn.allocs)
+      allocs.push_back(llvm::json::Object{{"kind", alloc.kind},
+                                          {"detail", alloc.detail},
+                                          {"line", alloc.line}});
+    functions.push_back(
+        llvm::json::Object{{"name", fn.name},
+                           {"file", fn.file},
+                           {"line", fn.line},
+                           {"annotations", toJson(fn.annotations)},
+                           {"requires", toJson(fn.requiresLocks)},
+                           {"acquires", std::move(acquires)},
+                           {"calls", std::move(calls)},
+                           {"allocs", std::move(allocs)},
+                           {"is_lambda", fn.isLambda}});
+  }
+
+  llvm::json::Array classes;
+  for (const auto &[name, cls] : C.classes) {
+    llvm::json::Object members;
+    for (const auto &[memberName, type] : cls.members)
+      members[memberName] = type;
+    classes.push_back(llvm::json::Object{{"name", cls.name},
+                                         {"file", cls.file},
+                                         {"line", cls.line},
+                                         {"bases", toJson(cls.bases)},
+                                         {"locks", toJson(cls.locks)},
+                                         {"members", std::move(members)},
+                                         {"methods", toJson(cls.methods)}});
+  }
+
+  llvm::json::Array edges;
+  for (const EdgeFact &edge : C.declaredEdges)
+    edges.push_back(llvm::json::Object{{"before", edge.before},
+                                       {"after", edge.after},
+                                       {"file", edge.file},
+                                       {"line", edge.line}});
+
+  llvm::json::Array files;
+  for (const std::string &file : C.files) files.push_back(file);
+
+  llvm::json::Object facts{{"functions", std::move(functions)},
+                           {"classes", std::move(classes)},
+                           {"declared_edges", std::move(edges)},
+                           {"unresolved_calls", C.unresolvedCalls},
+                           {"files", std::move(files)}};
+  os << llvm::json::Value(std::move(facts)) << "\n";
+}
+
+}  // namespace
+
+int main(int argc, const char **argv) {
+  auto parser =
+      tooling::CommonOptionsParser::create(argc, argv, ToolCategory);
+  if (!parser) {
+    llvm::errs() << llvm::toString(parser.takeError()) << "\n";
+    return 2;
+  }
+  Collector collector;
+  collector.root = canonicalize(RootOpt.getValue());
+  while (!collector.root.empty() && collector.root.back() == '/')
+    collector.root.pop_back();
+
+  tooling::ClangTool tool(parser->getCompilations(),
+                          parser->getSourcePathList());
+  ExtractActionFactory factory(collector);
+  if (tool.run(&factory) != 0) return 2;
+  emitFacts(collector, llvm::outs());
+  return 0;
+}

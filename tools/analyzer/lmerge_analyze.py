@@ -1,0 +1,257 @@
+#!/usr/bin/env python3
+"""lmerge_analyze — whole-program lock-order / thread-affinity / hot-path
+checker for the lmerge tree.
+
+Two interchangeable frontends produce the same facts JSON:
+
+  * the Clang LibTooling extractor (tools/analyzer/lmerge_analyze.cc),
+    built when CMake finds Clang dev libraries (CI's static-analysis job);
+  * the project-aware lexer fallback (tools/analyzer/extract.py), which
+    needs only Python and understands this repo's idioms (lmerge::Mutex,
+    MutexLock guards, the LM_* macro family).
+
+Both feed tools/analyzer/analysis.py, which owns the actual checks, so a
+violation is a violation regardless of which frontend found the facts.
+
+Usage:
+  lmerge_analyze.py [--root DIR] [--config FILE] [--checks a,b]
+                    [--backend auto|native|fallback] [--native-bin PATH]
+                    [--graph-out FILE] [--facts-out FILE]
+  lmerge_analyze.py --self-test [--backend ...]
+
+Exit codes (same contract as scripts/lint.py): 0 clean, 1 violations
+found, 2 internal error.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import analysis   # noqa: E402
+import extract    # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+DEFAULT_CONFIG = os.path.join(REPO_ROOT, "tools", "analyzer",
+                              "analyzer_config.json")
+FIXTURE_DIR = os.path.join(REPO_ROOT, "tests", "analyzer", "fixtures")
+
+# Directories whose sources define the contracts (bench/ and examples/ are
+# clients of the public API and never hold engine locks; scripts/lint.py
+# covers them for style rules).
+SCAN_DIRS = ("src", "tools")
+SOURCE_EXTENSIONS = (".cc", ".h")
+
+
+def collect_sources(root, dirs):
+    rel_paths = []
+    for top in dirs:
+        top_abs = os.path.join(root, top)
+        for dirpath, dirnames, filenames in os.walk(top_abs):
+            dirnames[:] = [d for d in dirnames
+                           if d not in ("build", ".git", "__pycache__")]
+            for fname in sorted(filenames):
+                if fname.endswith(SOURCE_EXTENSIONS):
+                    rel_paths.append(os.path.relpath(
+                        os.path.join(dirpath, fname), root))
+    return sorted(rel_paths)
+
+
+def find_native_bin(explicit):
+    if explicit:
+        return explicit if os.path.isfile(explicit) else None
+    for cand in (
+        os.path.join(REPO_ROOT, "build", "tools", "analyzer",
+                     "lmerge_analyze_extract"),
+        os.path.join(REPO_ROOT, "build-clang", "tools", "analyzer",
+                     "lmerge_analyze_extract"),
+    ):
+        if os.path.isfile(cand):
+            return cand
+    return None
+
+
+def run_native(native_bin, root, rel_paths, extra_cc_args=None):
+    """Runs the LibTooling extractor over `rel_paths` (it emits the same
+    facts JSON schema as the fallback).  Headers ride along with the TUs
+    that include them, so only .cc files are passed."""
+    sources = [os.path.join(root, p) for p in rel_paths
+               if p.endswith(".cc")]
+    cmd = [native_bin, "--root", root]
+    cmd += sources
+    cmd += ["--", "-std=c++20", "-I" + os.path.join(root, "src")]
+    cmd += extra_cc_args or []
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"native extractor failed ({proc.returncode}):\n{proc.stderr}")
+    return json.loads(proc.stdout)
+
+
+def run_fallback(root, rel_paths):
+    return extract.extract_tree(root, rel_paths).to_json()
+
+
+def load_config(path):
+    if path and os.path.isfile(path):
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    return {}
+
+
+def get_facts(args, root, rel_paths):
+    backend = args.backend
+    native_bin = find_native_bin(args.native_bin)
+    if backend == "native" and native_bin is None:
+        raise RuntimeError("--backend native requested but no "
+                           "lmerge_analyze_extract binary found (build with "
+                           "-DLMERGE_BUILD_ANALYZER=ON under Clang)")
+    if backend == "auto":
+        backend = "native" if native_bin else "fallback"
+    if backend == "native":
+        return run_native(native_bin, root, rel_paths), "native"
+    return run_fallback(root, rel_paths), "fallback"
+
+
+def analyze_tree(args):
+    root = os.path.abspath(args.root)
+    rel_paths = collect_sources(root, SCAN_DIRS)
+    facts, backend = get_facts(args, root, rel_paths)
+    config = load_config(args.config)
+    checks = tuple(args.checks.split(",")) if args.checks else (
+        "lock-order", "thread-affinity", "hot-path")
+
+    eng = analysis.Analyzer(facts, config)
+    violations = eng.run(checks)
+
+    if args.facts_out:
+        with open(args.facts_out, "w", encoding="utf-8") as fh:
+            json.dump(facts, fh, indent=1, sort_keys=True)
+    if args.graph_out:
+        with open(args.graph_out, "w", encoding="utf-8") as fh:
+            json.dump(eng.graph_json(), fh, indent=1, sort_keys=True)
+
+    n_fn = len(facts["functions"])
+    n_edges = len(eng.lock_edges)
+    print(f"lmerge_analyze: backend={backend} files={len(facts['files'])} "
+          f"functions={n_fn} lock_edges={n_edges} checks={','.join(checks)}")
+    if violations:
+        for v in violations:
+            print(v.render())
+        print(f"lmerge_analyze: {len(violations)} violation(s)")
+        return 1
+    print("lmerge_analyze: clean")
+    return 0
+
+
+# --- self test --------------------------------------------------------------
+
+def self_test(args):
+    """Every seeded-violation fixture must be rejected by its named check,
+    and the `clean` fixture must pass all checks.  Runs whichever backends
+    are available so the LibTooling and fallback frontends are held to the
+    same contract."""
+    if not os.path.isdir(FIXTURE_DIR):
+        print(f"lmerge_analyze: fixture dir missing: {FIXTURE_DIR}",
+              file=sys.stderr)
+        return 2
+
+    backends = []
+    native_bin = find_native_bin(args.native_bin)
+    if args.backend in ("auto", "fallback"):
+        backends.append(("fallback", None))
+    if native_bin and args.backend in ("auto", "native"):
+        backends.append(("native", native_bin))
+    if args.backend == "native" and not native_bin:
+        print("lmerge_analyze: --backend native but no binary found",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    n_cases = 0
+    for name in sorted(os.listdir(FIXTURE_DIR)):
+        fdir = os.path.join(FIXTURE_DIR, name)
+        if not os.path.isdir(fdir):
+            continue
+        expect_path = os.path.join(fdir, "expect.json")
+        with open(expect_path, encoding="utf-8") as fh:
+            expect = json.load(fh)
+        config = load_config(os.path.join(fdir, "analyzer_config.json"))
+        rel_paths = sorted(
+            p for p in os.listdir(fdir) if p.endswith(SOURCE_EXTENSIONS))
+        for backend, nbin in backends:
+            n_cases += 1
+            try:
+                if backend == "native":
+                    facts = run_native(
+                        nbin, fdir, rel_paths,
+                        extra_cc_args=["-I" + os.path.join(REPO_ROOT, "src")])
+                else:
+                    facts = run_fallback(fdir, rel_paths)
+                violations = analysis.Analyzer(facts, config).run()
+            except Exception as exc:  # fixture must not crash the analyzer
+                failures.append(f"{name} [{backend}]: raised {exc!r}")
+                continue
+            failures.extend(
+                f"{name} [{backend}]: {msg}"
+                for msg in _check_expectation(expect, violations))
+
+    for f in failures:
+        print(f"SELF-TEST FAIL: {f}", file=sys.stderr)
+    if failures:
+        return 2
+    print(f"lmerge_analyze --self-test: {n_cases} fixture cases passed "
+          f"({', '.join(b for b, _ in backends)})")
+    return 0
+
+
+def _check_expectation(expect, violations):
+    """expect.json: {"clean": true} or
+    {"check": "...", "must_match": "substr"[, "min_count": N]}."""
+    msgs = []
+    if expect.get("clean"):
+        if violations:
+            msgs.append("expected clean but got: "
+                        + "; ".join(v.render() for v in violations))
+        return msgs
+    check = expect["check"]
+    want = expect.get("must_match", "")
+    min_count = expect.get("min_count", 1)
+    hits = [v for v in violations
+            if v.check == check and want in v.render()]
+    if len(hits) < min_count:
+        got = "; ".join(v.render() for v in violations) or "(no violations)"
+        msgs.append(f"expected >= {min_count} '{check}' violation(s) "
+                    f"matching '{want}', got: {got}")
+    return msgs
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=REPO_ROOT)
+    ap.add_argument("--config", default=DEFAULT_CONFIG)
+    ap.add_argument("--checks", default=None,
+                    help="comma list: lock-order,thread-affinity,hot-path")
+    ap.add_argument("--backend", choices=("auto", "native", "fallback"),
+                    default="auto")
+    ap.add_argument("--native-bin", default=None)
+    ap.add_argument("--graph-out", default=None,
+                    help="write the discovered lock acquisition graph here")
+    ap.add_argument("--facts-out", default=None)
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+    try:
+        if args.self_test:
+            return self_test(args)
+        return analyze_tree(args)
+    except RuntimeError as exc:
+        print(f"lmerge_analyze: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())
